@@ -1,0 +1,149 @@
+// Cooperative caching exploration (paper Section 6: decentralized CAMP in a
+// KOSAR-style framework). Three series on the three-tier trace:
+//
+//   coop/nodes=N        fixed total memory split over N nodes; cooperative
+//                       peer fetches vs the monolithic single node
+//   coop/guard=on|off   phase-shift workload: the last-replica guard must
+//                       preserve live last replicas yet drain cold ones
+//   coop/churn          elastic topology: add a node at 1/3 of the trace,
+//                       remove one at 2/3; remote hits absorb the remap
+#include "bench_common.h"
+
+#include "coop/group.h"
+
+namespace {
+
+using namespace camp;
+
+void run_nodes(benchmark::State& state, std::uint32_t nodes) {
+  const auto& bundle = bench::default_trace();
+  const std::uint64_t total_cap =
+      sim::capacity_for_ratio(0.25, bundle.unique_bytes);
+  for (auto _ : state) {
+    coop::CoopConfig config;
+    config.nodes = nodes;
+    config.node_capacity_bytes = std::max<std::uint64_t>(1, total_cap / nodes);
+    coop::CoopGroup group(config);
+    for (const trace::TraceRecord& r : bundle.records) {
+      group.request(r.key, r.size, r.cost);
+    }
+    const coop::CoopMetrics& m = group.metrics();
+    state.counters["cost_miss_ratio"] = m.cost_miss_ratio();
+    state.counters["miss_rate"] = m.miss_rate();
+    state.counters["remote_hits"] = static_cast<double>(m.remote_hits);
+    state.counters["guard_hits"] = static_cast<double>(m.guard_hits);
+  }
+}
+
+void run_guard(benchmark::State& state, bool guard_on) {
+  const auto& bundle = bench::phased_trace();
+  const std::uint64_t total_cap =
+      sim::capacity_for_ratio(0.5, bundle.unique_bytes);
+  for (auto _ : state) {
+    coop::CoopConfig config;
+    config.nodes = 4;
+    config.node_capacity_bytes = std::max<std::uint64_t>(1, total_cap / 4);
+    config.preserve_last_replica = guard_on;
+    config.guard_lease_requests = bundle.records.size() / 20;
+    coop::CoopGroup group(config);
+    for (const trace::TraceRecord& r : bundle.records) {
+      group.request(r.key, r.size, r.cost);
+    }
+    const coop::CoopMetrics& m = group.metrics();
+    state.counters["cost_miss_ratio"] = m.cost_miss_ratio();
+    state.counters["guard_parked"] = static_cast<double>(m.guard_parked);
+    state.counters["guard_hits"] = static_cast<double>(m.guard_hits);
+    state.counters["guard_expired"] = static_cast<double>(m.guard_expired);
+    state.counters["guard_squeezed"] = static_cast<double>(m.guard_squeezed);
+    state.counters["guard_left_resident"] =
+        static_cast<double>(group.guard_item_count());
+  }
+}
+
+void run_replication(benchmark::State& state, std::uint32_t replication) {
+  const auto& bundle = bench::default_trace();
+  const std::uint64_t total_cap =
+      sim::capacity_for_ratio(0.25, bundle.unique_bytes);
+  for (auto _ : state) {
+    coop::CoopConfig config;
+    config.nodes = 4;
+    config.node_capacity_bytes = std::max<std::uint64_t>(1, total_cap / 4);
+    config.replication = replication;
+    coop::CoopGroup group(config);
+    const std::size_t half = bundle.records.size() / 2;
+    std::size_t i = 0;
+    for (const trace::TraceRecord& r : bundle.records) {
+      if (i == half) group.remove_node(0);  // availability event mid-trace
+      group.request(r.key, r.size, r.cost);
+      ++i;
+    }
+    const coop::CoopMetrics& m = group.metrics();
+    state.counters["cost_miss_ratio"] = m.cost_miss_ratio();
+    state.counters["miss_rate"] = m.miss_rate();
+    state.counters["remote_hits"] = static_cast<double>(m.remote_hits);
+    state.counters["guard_parked"] = static_cast<double>(m.guard_parked);
+  }
+}
+
+void run_churn(benchmark::State& state) {
+  const auto& bundle = bench::default_trace();
+  const std::uint64_t total_cap =
+      sim::capacity_for_ratio(0.25, bundle.unique_bytes);
+  for (auto _ : state) {
+    coop::CoopConfig config;
+    config.nodes = 4;
+    config.node_capacity_bytes = std::max<std::uint64_t>(1, total_cap / 4);
+    coop::CoopGroup group(config);
+    const std::size_t third = bundle.records.size() / 3;
+    std::size_t i = 0;
+    coop::CoopGroup::NodeId added = 0;
+    for (const trace::TraceRecord& r : bundle.records) {
+      if (i == third) added = group.add_node();
+      if (i == 2 * third) group.remove_node(added);
+      group.request(r.key, r.size, r.cost);
+      ++i;
+    }
+    const coop::CoopMetrics& m = group.metrics();
+    state.counters["cost_miss_ratio"] = m.cost_miss_ratio();
+    state.counters["miss_rate"] = m.miss_rate();
+    state.counters["remote_hits"] = static_cast<double>(m.remote_hits);
+    state.counters["transfer_cost"] = static_cast<double>(m.transfer_cost);
+    state.counters["guard_hits"] = static_cast<double>(m.guard_hits);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::uint32_t nodes : {1u, 2u, 4u, 8u}) {
+    benchmark::RegisterBenchmark(
+        ("coop/nodes=" + std::to_string(nodes)).c_str(),
+        [nodes](benchmark::State& st) { run_nodes(st, nodes); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark(
+      "coop/guard=off",
+      [](benchmark::State& st) { run_guard(st, false); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "coop/guard=on", [](benchmark::State& st) { run_guard(st, true); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  for (const std::uint32_t r : {1u, 2u, 3u}) {
+    benchmark::RegisterBenchmark(
+        ("coop/replication=" + std::to_string(r)).c_str(),
+        [r](benchmark::State& st) { run_replication(st, r); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("coop/churn", run_churn)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

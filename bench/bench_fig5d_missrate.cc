@@ -1,0 +1,55 @@
+// Figure 5d: miss rate as a function of the cache size ratio for the same
+// policies as Figure 5c.
+//
+// Expected shape: cost-proportional Pooled LRU pays for its cost-miss win
+// with a much worse miss rate (it starves the cheap pools); CAMP's miss
+// rate stays close to LRU's.
+#include "bench_common.h"
+
+namespace {
+
+using namespace camp;
+
+void run_point(benchmark::State& state, const sim::CacheFactory& factory,
+               double ratio) {
+  const auto& bundle = bench::default_trace();
+  const std::uint64_t cap =
+      sim::capacity_for_ratio(ratio, bundle.unique_bytes);
+  for (auto _ : state) {
+    auto cache = factory(cap);
+    sim::Simulator simulator(*cache);
+    simulator.run(bundle.records);
+    bench::report_point(state, simulator.metrics());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& bundle = camp::bench::default_trace();
+  struct Series {
+    std::string name;
+    camp::sim::CacheFactory factory;
+  };
+  const std::vector<Series> series{
+      {"lru", camp::bench::lru_factory()},
+      {"pooled-uniform", camp::bench::pooled_uniform_factory(bundle.records)},
+      {"pooled-cost", camp::bench::pooled_cost_factory(bundle.records)},
+      {"camp-p5", camp::bench::camp_factory(5)},
+  };
+  for (const auto& s : series) {
+    for (const double ratio : camp::bench::paper_cache_ratios()) {
+      benchmark::RegisterBenchmark(
+          ("fig5d/" + s.name + "/ratio=" + std::to_string(ratio)).c_str(),
+          [factory = s.factory, ratio](benchmark::State& st) {
+            run_point(st, factory, ratio);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Two-level hierarchical cache exploration (paper Section 6 future work:
+// "extending CAMP for use with a hierarchical cache (using SSD, hard disk,
+// or both) which may persist costly data items").
+//
+// Series, all on the three-tier trace:
+//   hierarchy/<l1-policy>/l2=off     RAM only (the paper's main setting)
+//   hierarchy/<l1-policy>/l2=4x      L1 + a 4x-larger SSD victim tier
+//   hierarchy/demotion=on|off        the design choice DESIGN.md calls out:
+//                                    demote L1 victims vs discard them
+//
+// Total service cost uses the latency model: L1 hit = 1, L2 hit = 30 cost
+// units, full miss = the pair's recompute cost — SSD reads are cheap
+// relative to the {1, 100, 10K} recompute costs, so a victim tier should
+// slash the cost-miss ratio for CAMP (which parks expensive pairs there).
+#include "bench_common.h"
+
+#include "policy/policy_factory.h"
+#include "sim/hierarchy.h"
+
+namespace {
+
+using namespace camp;
+
+void run_hierarchy(benchmark::State& state, const std::string& l1_spec,
+                   bool l2_enabled, bool demote) {
+  const auto& bundle = bench::default_trace();
+  const std::uint64_t l1_cap =
+      sim::capacity_for_ratio(0.1, bundle.unique_bytes);
+  for (auto _ : state) {
+    sim::HierarchyConfig config;
+    config.l1_latency = 1;
+    config.l2_latency = 30;
+    config.demote_l1_victims = demote;
+    // The L2 tier always runs CAMP (it exists to persist costly pairs).
+    auto l2 = bench::camp_factory(5)(l2_enabled ? 4 * l1_cap : 1);
+    sim::HierarchicalCache cache(policy::make_policy(l1_spec, l1_cap),
+                                 std::move(l2), config);
+    cache.run(bundle.records);
+    const sim::HierarchyMetrics& m = cache.metrics();
+    state.counters["cost_miss_ratio"] = m.cost_miss_ratio();
+    state.counters["miss_rate"] = m.miss_rate();
+    state.counters["l1_hits"] = static_cast<double>(m.l1_hits);
+    state.counters["l2_hits"] = static_cast<double>(m.l2_hits);
+    state.counters["service_cost"] =
+        static_cast<double>(m.total_service_cost);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string l1 : {"lru", "camp"}) {
+    benchmark::RegisterBenchmark(
+        ("hierarchy/" + l1 + "/l2=off").c_str(),
+        [l1](benchmark::State& st) { run_hierarchy(st, l1, false, true); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("hierarchy/" + l1 + "/l2=4x").c_str(),
+        [l1](benchmark::State& st) { run_hierarchy(st, l1, true, true); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark(
+      "hierarchy/camp/demotion=off",
+      [](benchmark::State& st) { run_hierarchy(st, "camp", true, false); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

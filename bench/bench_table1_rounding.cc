@@ -1,0 +1,75 @@
+// Table 1: regular rounding vs CAMP's MSY rounding at binary precision 4.
+// Prints the paper's table rows, then times both rounding kernels.
+#include <benchmark/benchmark.h>
+
+#include <bitset>
+#include <cstdio>
+
+#include "util/rng.h"
+#include "util/rounding.h"
+
+namespace {
+
+void print_table1() {
+  std::printf("\nTable 1: rounding with (binary) precision 4\n");
+  std::printf("%-12s %-22s %-22s\n", "input", "regular rounding",
+              "CAMP (MSY) rounding");
+  const std::uint64_t inputs[] = {0b101101011, 0b001010011, 0b000001010,
+                                  0b000000111};
+  for (const std::uint64_t x : inputs) {
+    // "Regular" rounding with precision 4: zero the 4 low-order bits
+    // regardless of magnitude (the paper's left column).
+    const std::uint64_t regular = camp::util::truncate_low_bits(x, 4);
+    const std::uint64_t msy = camp::util::msy_round(x, 4);
+    std::printf("%-12s %-22s %-22s\n",
+                std::bitset<9>(x).to_string().c_str(),
+                std::bitset<9>(regular).to_string().c_str(),
+                std::bitset<9>(msy).to_string().c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_MsyRound(benchmark::State& state) {
+  const int precision = static_cast<int>(state.range(0));
+  camp::util::SplitMix64 rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= camp::util::msy_round(rng.next() >> 13, precision);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_MsyRound)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RegularTruncation(benchmark::State& state) {
+  camp::util::SplitMix64 rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= camp::util::truncate_low_bits(rng.next() >> 13, 5);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RegularTruncation);
+
+void BM_AdaptiveScaler(benchmark::State& state) {
+  camp::util::AdaptiveRatioScaler scaler;
+  scaler.observe_size(1 << 20);
+  camp::util::SplitMix64 rng(2);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const std::uint64_t cost = 1 + (rng.next() % 10'000);
+    const std::uint64_t size = 64 + (rng.next() % 65'536);
+    sink ^= scaler.scale_and_round(cost, size, 5);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_AdaptiveScaler);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The Section 3.1 adaptation experiment in miniature: several back-to-back
+// traces over disjoint key spaces emulate a sudden workload shift. The
+// example tracks how fast each policy drains the dead first-phase data from
+// the cache (the paper's Figures 6c/6d).
+//
+//   build/examples/adaptive_patterns
+#include <cstdio>
+#include <memory>
+
+#include "core/camp.h"
+#include "policy/lru.h"
+#include "sim/occupancy.h"
+#include "sim/simulator.h"
+#include "trace/workloads.h"
+
+namespace {
+
+void run(const char* label, camp::policy::ICache& cache,
+         const std::vector<camp::trace::TraceRecord>& records,
+         std::uint64_t capacity, std::uint64_t phase_len) {
+  camp::sim::OccupancyTracker tracker(/*tracked_trace_id=*/0, capacity,
+                                      /*sample_interval=*/phase_len / 8);
+  camp::sim::Simulator simulator(cache, &tracker);
+  simulator.run(records);
+  std::printf("%-6s drained TF1 at request %-9llu  final TF1 share %.4f   "
+              "cost-miss %.3f\n",
+              label,
+              static_cast<unsigned long long>(tracker.drained_at()),
+              tracker.current_fraction(),
+              simulator.metrics().cost_miss_ratio());
+}
+
+}  // namespace
+
+int main() {
+  auto base = camp::trace::bg_default(/*num_keys=*/10'000,
+                                      /*num_requests=*/150'000, /*seed=*/3);
+  const auto records = camp::trace::generate_phased(base, /*phases=*/4);
+  camp::trace::TraceGenerator gen(base);
+  const std::uint64_t capacity = gen.unique_bytes() / 4;  // ratio 0.25
+
+  std::printf("4 phases x %llu requests; phase-0 keys never recur after "
+              "phase 0.\n"
+              "cache = 25%% of one phase's unique bytes.\n\n",
+              static_cast<unsigned long long>(base.num_requests));
+
+  camp::policy::LruCache lru(capacity);
+  run("LRU", lru, records, capacity, base.num_requests);
+
+  camp::core::CampConfig config;
+  config.capacity_bytes = capacity;
+  config.precision = 5;
+  camp::core::CampCache camp_cache(config);
+  run("CAMP", camp_cache, records, capacity, base.num_requests);
+
+  std::printf("\nLRU forgets the dead phase fastest (pure recency); CAMP\n"
+              "holds the highest cost-to-size pairs a little longer but\n"
+              "still drains them - no pair squats forever (Section 3.1).\n");
+  return 0;
+}

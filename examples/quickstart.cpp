@@ -1,0 +1,51 @@
+// Quickstart: the CAMP cache in a dozen lines.
+//
+//   build/examples/quickstart
+//
+// Creates a CAMP cache, inserts key-value metadata with different sizes and
+// costs, and shows the cost-aware eviction order.
+#include <cstdio>
+
+#include "core/camp.h"
+
+int main() {
+  camp::core::CampConfig config;
+  config.capacity_bytes = 10 * 1024;  // 10 KiB of cache memory
+  config.precision = 5;               // the paper's default precision
+
+  camp::core::CampCache cache(config);
+  cache.set_eviction_listener([](camp::policy::Key key, std::uint64_t size) {
+    std::printf("  evicted key %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(key),
+                static_cast<unsigned long long>(size));
+  });
+
+  // A cache entry is (key, size-in-bytes, cost). Cost is whatever your
+  // application wants to minimise: recomputation time, query latency, ...
+  std::printf("inserting: cheap profile pages and one expensive ML result\n");
+  cache.put(/*key=*/1, /*size=*/4096, /*cost=*/2);      // cheap DB lookup
+  cache.put(/*key=*/2, /*size=*/4096, /*cost=*/2);      // cheap DB lookup
+  cache.put(/*key=*/3, /*size=*/2048, /*cost=*/50000);  // hours of ML compute
+
+  // Touch key 1 so it is recent; key 2 is now the coldest cheap entry.
+  (void)cache.get(1);
+
+  std::printf("inserting key 4 (forces an eviction)...\n");
+  cache.put(/*key=*/4, /*size=*/4096, /*cost=*/2);
+
+  std::printf("resident after eviction:\n");
+  for (const camp::policy::Key key : {1, 2, 3, 4}) {
+    std::printf("  key %d: %s\n", static_cast<int>(key),
+                cache.contains(key) ? "cached" : "evicted");
+  }
+
+  const auto& stats = cache.stats();
+  std::printf("stats: %llu gets, %llu hits, %llu evictions, %zu queues\n",
+              static_cast<unsigned long long>(stats.gets),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.evictions),
+              cache.queue_count());
+  std::printf("note: the expensive ML result (key 3) survived even though\n"
+              "      it was the least recently used entry.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// sweep_tool — run any policy over a trace file at a sweep of cache-size
+// ratios and emit CSV, ready for plotting.
+//
+//   sweep_tool <trace.bin> [--policies=lru,camp,gds] [--ratios=0.05,0.25,0.75]
+//
+// Output columns: policy,cache_ratio,capacity_bytes,miss_rate,
+// cost_miss_ratio,hits,evictions
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "policy/policy_factory.h"
+#include "sim/sweep.h"
+#include "trace/profiler.h"
+#include "trace/trace_file.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string arg_str(int argc, char** argv, const char* name,
+                    const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: sweep_tool <trace.bin> [--policies=lru,camp,...] "
+                 "[--ratios=0.05,0.25,...]\n");
+    return 1;
+  }
+  try {
+    const auto records = camp::trace::read_binary_file(argv[1]);
+    const auto profiler = camp::trace::TraceProfiler::by_cost_value(records);
+
+    const auto policies =
+        split_csv(arg_str(argc, argv, "--policies", "lru,camp,gds"));
+    std::vector<double> ratios;
+    for (const std::string& r :
+         split_csv(arg_str(argc, argv, "--ratios", "0.01,0.05,0.25,0.75"))) {
+      ratios.push_back(std::stod(r));
+    }
+
+    camp::sim::SweepConfig sweep;
+    sweep.cache_ratios = ratios;
+    sweep.unique_bytes = profiler.unique_bytes();
+
+    std::printf(
+        "policy,cache_ratio,capacity_bytes,miss_rate,cost_miss_ratio,"
+        "hits,evictions\n");
+    for (const std::string& spec : policies) {
+      const auto points = camp::sim::run_ratio_sweep(
+          records, sweep, spec, [&spec](std::uint64_t capacity) {
+            return camp::policy::make_policy(spec, capacity);
+          });
+      for (const auto& p : points) {
+        std::printf("%s,%.4f,%llu,%.6f,%.6f,%llu,%llu\n", p.policy.c_str(),
+                    p.cache_ratio,
+                    static_cast<unsigned long long>(p.capacity_bytes),
+                    p.metrics.miss_rate(), p.metrics.cost_miss_ratio(),
+                    static_cast<unsigned long long>(p.metrics.hits),
+                    static_cast<unsigned long long>(p.cache_stats.evictions));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,217 @@
+// trace_tool — generate, inspect and convert CAMP trace files.
+//
+//   trace_tool generate <out.bin> [--workload=default|varsize|equisize]
+//                       [--keys=N] [--requests=N] [--seed=N] [--phases=N]
+//   trace_tool profile  <in.bin>
+//   trace_tool to-csv   <in.bin> <out.csv>
+//   trace_tool from-csv <in.csv> <out.bin>
+//   trace_tool import-twitter <in.csv> <out.bin>
+//                       [--cost=tiered|unit|size] [--seed=N]
+//                       [--reads-only] [--limit=N]
+//
+// import-twitter consumes the Twitter production cache-trace CSV layout
+// (timestamp,key,key size,value size,client,operation,TTL) and synthesizes
+// per-key costs, enabling the paper's "real trace data" future-work study.
+// The binary format is documented in src/trace/trace_file.h.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/external.h"
+#include "trace/profiler.h"
+#include "trace/trace_file.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace camp::trace;
+
+std::uint64_t arg_u64(int argc, char** argv, const char* name,
+                      std::uint64_t fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::stoull(std::string(argv[i]).substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const char* name,
+                    const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+int cmd_generate(int argc, char** argv, const std::string& out_path) {
+  const auto keys = arg_u64(argc, argv, "--keys", 40'000);
+  const auto requests = arg_u64(argc, argv, "--requests", 400'000);
+  const auto seed = arg_u64(argc, argv, "--seed", 2014);
+  const auto phases =
+      static_cast<std::uint32_t>(arg_u64(argc, argv, "--phases", 1));
+  const std::string workload = arg_str(argc, argv, "--workload", "default");
+
+  WorkloadConfig config;
+  if (workload == "default") {
+    config = bg_default(keys, requests, seed);
+  } else if (workload == "varsize") {
+    config = bg_variable_size_fixed_cost(keys, requests, seed);
+  } else if (workload == "equisize") {
+    config = bg_equal_size_variable_cost(keys, requests, seed);
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+
+  std::vector<TraceRecord> records;
+  if (phases > 1) {
+    records = generate_phased(config, phases);
+  } else {
+    TraceGenerator gen(config);
+    records = gen.generate();
+  }
+  write_binary_file(out_path, records);
+  std::printf("wrote %zu records to %s (workload=%s keys=%llu seed=%llu "
+              "phases=%u)\n",
+              records.size(), out_path.c_str(), workload.c_str(),
+              static_cast<unsigned long long>(keys),
+              static_cast<unsigned long long>(seed), phases);
+  return 0;
+}
+
+int cmd_profile(const std::string& in_path) {
+  const auto records = read_binary_file(in_path);
+  const auto profiler = TraceProfiler::by_cost_value(records);
+  std::printf("trace: %s\n", in_path.c_str());
+  std::printf("  requests      %llu\n",
+              static_cast<unsigned long long>(profiler.total_requests()));
+  std::printf("  unique keys   %llu\n",
+              static_cast<unsigned long long>(profiler.unique_keys()));
+  std::printf("  unique bytes  %llu\n",
+              static_cast<unsigned long long>(profiler.unique_bytes()));
+  std::printf("  cost mass     %llu\n",
+              static_cast<unsigned long long>(profiler.total_cost_mass()));
+  std::printf("  cost groups   %zu\n", profiler.groups().size());
+  std::printf("  %12s %12s %14s %12s %14s\n", "cost", "requests",
+              "cost-mass", "uniq-keys", "uniq-bytes");
+  const std::size_t shown = std::min<std::size_t>(profiler.groups().size(), 20);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& g = profiler.groups()[i];
+    std::printf("  %12llu %12llu %14llu %12llu %14llu\n",
+                static_cast<unsigned long long>(g.cost_value),
+                static_cast<unsigned long long>(g.requests),
+                static_cast<unsigned long long>(g.cost_mass),
+                static_cast<unsigned long long>(g.unique_keys),
+                static_cast<unsigned long long>(g.unique_bytes));
+  }
+  if (profiler.groups().size() > shown) {
+    std::printf("  ... %zu more groups\n", profiler.groups().size() - shown);
+  }
+  return 0;
+}
+
+int cmd_to_csv(const std::string& in_path, const std::string& out_path) {
+  const auto records = read_binary_file(in_path);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  write_csv(out, records);
+  std::printf("wrote %zu rows to %s\n", records.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_from_csv(const std::string& in_path, const std::string& out_path) {
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+    return 2;
+  }
+  const auto records = read_csv(in);
+  write_binary_file(out_path, records);
+  std::printf("wrote %zu records to %s\n", records.size(), out_path.c_str());
+  return 0;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int cmd_import_twitter(int argc, char** argv, const std::string& in_path,
+                       const std::string& out_path) {
+  ExternalTraceOptions options;
+  const std::string cost = arg_str(argc, argv, "--cost", "tiered");
+  if (cost == "tiered") {
+    options.cost = CostAssignment::kTieredChoice;
+  } else if (cost == "unit") {
+    options.cost = CostAssignment::kUnit;
+  } else if (cost == "size") {
+    options.cost = CostAssignment::kSizeLinear;
+  } else {
+    std::fprintf(stderr, "unknown cost model '%s'\n", cost.c_str());
+    return 2;
+  }
+  options.seed = arg_u64(argc, argv, "--seed", 2014);
+  options.limit = arg_u64(argc, argv, "--limit", 0);
+  options.include_writes = !has_flag(argc, argv, "--reads-only");
+
+  ExternalTraceStats stats;
+  const auto records = parse_twitter_csv_file(in_path, options, &stats);
+  write_binary_file(out_path, records);
+  std::printf("imported %zu of %zu lines from %s -> %s\n"
+              "  dropped: %zu malformed, %zu filtered operations\n"
+              "  cost model: %s (seed %llu)\n",
+              stats.parsed, stats.lines, in_path.c_str(), out_path.c_str(),
+              stats.dropped_malformed, stats.dropped_operation, cost.c_str(),
+              static_cast<unsigned long long>(options.seed));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  trace_tool generate <out.bin> [--workload=default|varsize|equisize]\n"
+      "                      [--keys=N] [--requests=N] [--seed=N] [--phases=N]\n"
+      "  trace_tool profile  <in.bin>\n"
+      "  trace_tool to-csv   <in.bin> <out.csv>\n"
+      "  trace_tool from-csv <in.csv> <out.bin>\n"
+      "  trace_tool import-twitter <in.csv> <out.bin>\n"
+      "                      [--cost=tiered|unit|size] [--seed=N]\n"
+      "                      [--reads-only] [--limit=N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv, argv[2]);
+    if (cmd == "profile") return cmd_profile(argv[2]);
+    if (cmd == "to-csv" && argc >= 4) return cmd_to_csv(argv[2], argv[3]);
+    if (cmd == "from-csv" && argc >= 4) return cmd_from_csv(argv[2], argv[3]);
+    if (cmd == "import-twitter" && argc >= 4) {
+      return cmd_import_twitter(argc, argv, argv[2], argv[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return 1;
+}

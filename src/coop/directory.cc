@@ -1,0 +1,87 @@
+#include "coop/directory.h"
+
+#include <algorithm>
+
+namespace camp::coop {
+
+void ReplicaDirectory::add(Key key, NodeId node) {
+  auto& nodes = holders_[key];
+  if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) return;
+  nodes.push_back(node);
+  ++total_replicas_;
+}
+
+bool ReplicaDirectory::remove(Key key, NodeId node) {
+  const auto it = holders_.find(key);
+  if (it == holders_.end()) return false;
+  auto& nodes = it->second;
+  const auto pos = std::find(nodes.begin(), nodes.end(), node);
+  if (pos == nodes.end()) return false;
+  nodes.erase(pos);
+  --total_replicas_;
+  if (nodes.empty()) {
+    holders_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<ReplicaDirectory::Key> ReplicaDirectory::remove_node(NodeId node) {
+  std::vector<Key> orphaned;
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    auto& nodes = it->second;
+    const auto pos = std::find(nodes.begin(), nodes.end(), node);
+    if (pos == nodes.end()) {
+      ++it;
+      continue;
+    }
+    nodes.erase(pos);
+    --total_replicas_;
+    if (nodes.empty()) {
+      orphaned.push_back(it->first);
+      it = holders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return orphaned;
+}
+
+bool ReplicaDirectory::holds(Key key, NodeId node) const {
+  const auto it = holders_.find(key);
+  if (it == holders_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), node) !=
+         it->second.end();
+}
+
+bool ReplicaDirectory::is_last_replica(Key key, NodeId node) const {
+  const auto it = holders_.find(key);
+  return it != holders_.end() && it->second.size() == 1 &&
+         it->second.front() == node;
+}
+
+std::optional<ReplicaDirectory::NodeId> ReplicaDirectory::any_holder(
+    Key key, std::optional<NodeId> exclude) const {
+  const auto it = holders_.find(key);
+  if (it == holders_.end()) return std::nullopt;
+  for (const NodeId node : it->second) {
+    if (!exclude || node != *exclude) return node;
+  }
+  return std::nullopt;
+}
+
+std::size_t ReplicaDirectory::replica_count(Key key) const {
+  const auto it = holders_.find(key);
+  return it == holders_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::pair<ReplicaDirectory::Key,
+                      std::vector<ReplicaDirectory::NodeId>>>
+ReplicaDirectory::snapshot() const {
+  std::vector<std::pair<Key, std::vector<NodeId>>> out;
+  out.reserve(holders_.size());
+  for (const auto& [key, nodes] : holders_) out.emplace_back(key, nodes);
+  return out;
+}
+
+}  // namespace camp::coop

@@ -1,0 +1,62 @@
+// Replica directory for the cooperative caching group: which nodes hold a
+// copy of which key. This is the metadata service a KOSAR-style cooperative
+// cache coordinates through (paper Section 6); here it is an in-process
+// structure the group keeps transactionally consistent with the node caches
+// via their eviction listeners.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/cache_iface.h"
+
+namespace camp::coop {
+
+class ReplicaDirectory {
+ public:
+  using Key = policy::Key;
+  using NodeId = std::uint32_t;
+
+  /// Record that `node` holds a replica of `key`. Duplicate adds are no-ops.
+  void add(Key key, NodeId node);
+
+  /// Record that `node` no longer holds `key`. Removing an untracked pair is
+  /// a no-op. Returns true when this removal dropped the *last* replica.
+  bool remove(Key key, NodeId node);
+
+  /// Drop every entry for `node` (node decommission). Returns the keys whose
+  /// last replica lived there.
+  std::vector<Key> remove_node(NodeId node);
+
+  [[nodiscard]] bool holds(Key key, NodeId node) const;
+
+  /// True when `node` is the only holder of `key`.
+  [[nodiscard]] bool is_last_replica(Key key, NodeId node) const;
+
+  /// Any holder of `key` other than `exclude` (used for peer fetches).
+  [[nodiscard]] std::optional<NodeId> any_holder(
+      Key key, std::optional<NodeId> exclude = std::nullopt) const;
+
+  [[nodiscard]] std::size_t replica_count(Key key) const;
+  [[nodiscard]] std::size_t tracked_keys() const noexcept {
+    return holders_.size();
+  }
+  [[nodiscard]] std::size_t total_replicas() const noexcept {
+    return total_replicas_;
+  }
+
+  /// All keys with at least one replica; for invariant checks and node
+  /// decommissioning, not the request path.
+  [[nodiscard]] std::vector<std::pair<Key, std::vector<NodeId>>> snapshot()
+      const;
+
+ private:
+  // Replica sets are tiny (a handful of nodes), so a flat vector beats a
+  // set; linear scans are cache-friendly at this scale.
+  std::unordered_map<Key, std::vector<NodeId>> holders_;
+  std::size_t total_replicas_ = 0;
+};
+
+}  // namespace camp::coop

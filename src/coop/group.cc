@@ -1,0 +1,272 @@
+#include "coop/group.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "policy/policy_factory.h"
+
+namespace camp::coop {
+
+void CoopConfig::validate() const {
+  if (nodes == 0) {
+    throw std::invalid_argument("CoopConfig: nodes must be >= 1");
+  }
+  if (node_capacity_bytes == 0) {
+    throw std::invalid_argument(
+        "CoopConfig: node_capacity_bytes must be > 0");
+  }
+  if (virtual_nodes == 0) {
+    throw std::invalid_argument("CoopConfig: virtual_nodes must be >= 1");
+  }
+  if (guard_fraction < 0.0 || guard_fraction > 1.0) {
+    throw std::invalid_argument(
+        "CoopConfig: guard_fraction must lie in [0, 1]");
+  }
+  if (preserve_last_replica && guard_lease_requests == 0) {
+    throw std::invalid_argument(
+        "CoopConfig: guard_lease_requests must be >= 1 when the guard is on");
+  }
+  if (replication == 0) {
+    throw std::invalid_argument("CoopConfig: replication must be >= 1");
+  }
+}
+
+CoopGroup::CoopGroup(CoopConfig config)
+    : config_(std::move(config)), ring_(config_.virtual_nodes) {
+  config_.validate();
+  guard_capacity_ =
+      config_.preserve_last_replica
+          ? static_cast<std::uint64_t>(
+                std::llround(config_.guard_fraction *
+                             static_cast<double>(config_.node_capacity_bytes)))
+          : 0;
+  nodes_.reserve(config_.nodes);
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) add_node();
+}
+
+CoopGroup::Node& CoopGroup::node(NodeId id) {
+  for (Node& n : nodes_) {
+    if (n.id == id) return n;
+  }
+  throw std::invalid_argument("CoopGroup: unknown node id " +
+                              std::to_string(id));
+}
+
+const CoopGroup::Node& CoopGroup::node(NodeId id) const {
+  for (const Node& n : nodes_) {
+    if (n.id == id) return n;
+  }
+  throw std::invalid_argument("CoopGroup: unknown node id " +
+                              std::to_string(id));
+}
+
+CoopGroup::NodeId CoopGroup::add_node() {
+  const NodeId id = next_node_id_++;
+  Node n;
+  n.id = id;
+  n.cache = policy::make_policy(config_.policy_spec,
+                                config_.node_capacity_bytes);
+  n.cache->set_eviction_listener([this, id](Key key, std::uint64_t size) {
+    on_evicted(id, key, size);
+  });
+  nodes_.push_back(std::move(n));
+  ring_.add_node(id);
+  return id;
+}
+
+void CoopGroup::remove_node(NodeId id) {
+  if (nodes_.size() <= 1) {
+    throw std::invalid_argument("CoopGroup: cannot remove the final node");
+  }
+  Node& victim = node(id);  // throws on unknown id
+  // Drain: every replica leaves through the normal eviction path, so last
+  // replicas park in the guard exactly as under memory pressure.
+  while (victim.cache->evict_one()) {
+  }
+  // Policies without external eviction support leave residents behind; sweep
+  // them through the directory so the group stays consistent.
+  for (const Key key : directory_.remove_node(id)) {
+    const auto it = meta_.find(key);
+    if (it != meta_.end()) guard_park(key, it->second.first, it->second.second);
+  }
+  ring_.remove_node(id);
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    if (it->id == id) {
+      nodes_.erase(it);
+      break;
+    }
+  }
+}
+
+CoopGroup::NodeId CoopGroup::home_node(Key key) const {
+  return ring_.node_for(key);
+}
+
+std::size_t CoopGroup::node_count() const noexcept { return nodes_.size(); }
+
+const policy::CacheStats& CoopGroup::node_stats(NodeId id) const {
+  return node(id).cache->stats();
+}
+
+std::uint64_t CoopGroup::node_used_bytes(NodeId id) const {
+  return node(id).cache->used_bytes();
+}
+
+void CoopGroup::install(NodeId id, Key key, std::uint64_t size,
+                        std::uint64_t cost) {
+  Node& n = node(id);
+  if (n.cache->put(key, size, cost) && !directory_.holds(key, id)) {
+    directory_.add(key, id);
+  }
+}
+
+void CoopGroup::install_replicas(Key key, std::uint64_t size,
+                                 std::uint64_t cost) {
+  if (config_.replication == 1) {
+    install(ring_.node_for(key), key, size, cost);
+    return;
+  }
+  for (const NodeId id : ring_.nodes_for(key, config_.replication)) {
+    install(id, key, size, cost);
+  }
+}
+
+void CoopGroup::on_evicted(NodeId id, Key key, std::uint64_t size) {
+  const bool last = directory_.is_last_replica(key, id);
+  directory_.remove(key, id);
+  if (last && config_.preserve_last_replica) {
+    const auto it = meta_.find(key);
+    const std::uint64_t cost = it != meta_.end() ? it->second.second : 1;
+    guard_park(key, size, cost);
+  }
+}
+
+bool CoopGroup::request(Key key, std::uint64_t size, std::uint64_t cost) {
+  ++metrics_.requests;
+  meta_[key] = {size, cost};
+  const bool cold = seen_.insert(key).second;
+  if (!cold) metrics_.noncold_cost += cost;
+  guard_expire_front();
+
+  const NodeId home = ring_.node_for(key);
+  if (node(home).cache->get(key)) {
+    ++metrics_.local_hits;
+    return true;
+  }
+
+  if (const auto holder = directory_.any_holder(key, home)) {
+    // Peer fetch: touch the replica at its holder (policy side effects
+    // apply there) and pay the transfer cost instead of a recompute.
+    node(*holder).cache->get(key);
+    ++metrics_.remote_hits;
+    metrics_.transfer_cost += config_.remote_transfer_cost;
+    if (config_.promote_on_remote_hit) install(home, key, size, cost);
+    return true;
+  }
+
+  if (auto parked = guard_take(key)) {
+    // The last replica was preserved: reinstate it at the home node. No
+    // recompute and no network transfer is charged — the bytes never left
+    // the group.
+    ++metrics_.guard_hits;
+    install(home, key, parked->size, parked->cost);
+    return true;
+  }
+
+  if (cold) {
+    ++metrics_.cold_misses;
+  } else {
+    ++metrics_.misses;
+    metrics_.missed_cost += cost;
+  }
+  install_replicas(key, size, cost);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Last-replica guard
+// ---------------------------------------------------------------------------
+
+void CoopGroup::guard_park(Key key, std::uint64_t size, std::uint64_t cost) {
+  if (guard_capacity_ == 0 || size > guard_capacity_) return;
+  // A parked key has zero replicas, so a duplicate park can only follow a
+  // stale entry; replace it.
+  if (const auto it = guard_index_.find(key); it != guard_index_.end()) {
+    guard_drop(it->second);
+  }
+  while (guard_used_ + size > guard_capacity_) {
+    assert(!guard_fifo_.empty());
+    ++metrics_.guard_squeezed;
+    guard_drop(guard_fifo_.begin());
+  }
+  guard_fifo_.push_back(GuardEntry{
+      key, size, cost, metrics_.requests + config_.guard_lease_requests});
+  guard_index_[key] = std::prev(guard_fifo_.end());
+  guard_used_ += size;
+  ++metrics_.guard_parked;
+}
+
+std::optional<CoopGroup::GuardEntry> CoopGroup::guard_take(Key key) {
+  const auto it = guard_index_.find(key);
+  if (it == guard_index_.end()) return std::nullopt;
+  const GuardEntry entry = *it->second;
+  if (entry.deadline <= metrics_.requests) {
+    ++metrics_.guard_expired;
+    guard_drop(it->second);
+    return std::nullopt;
+  }
+  guard_drop(it->second);
+  return entry;
+}
+
+void CoopGroup::guard_expire_front() {
+  // Leases are granted in request order with a constant term, so the FIFO
+  // front always carries the earliest deadline.
+  while (!guard_fifo_.empty() &&
+         guard_fifo_.front().deadline <= metrics_.requests) {
+    ++metrics_.guard_expired;
+    guard_drop(guard_fifo_.begin());
+  }
+}
+
+void CoopGroup::guard_drop(std::list<GuardEntry>::iterator it) {
+  guard_used_ -= it->size;
+  guard_index_.erase(it->key);
+  guard_fifo_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+bool CoopGroup::check_invariants() const {
+  // Every directory entry is backed by a resident pair.
+  std::size_t directory_replicas = 0;
+  for (const auto& [key, holders] : directory_.snapshot()) {
+    if (holders.empty()) return false;
+    for (const NodeId id : holders) {
+      if (!node(id).cache->contains(key)) return false;
+    }
+    directory_replicas += holders.size();
+  }
+  // ... and every resident pair is in the directory (counting argument:
+  // ICache does not enumerate keys, but totals must agree).
+  std::size_t resident = 0;
+  for (const Node& n : nodes_) resident += n.cache->item_count();
+  if (resident != directory_replicas) return false;
+  if (directory_replicas != directory_.total_replicas()) return false;
+
+  // Guard bookkeeping.
+  if (guard_index_.size() != guard_fifo_.size()) return false;
+  if (guard_used_ > guard_capacity_ && !guard_fifo_.empty()) return false;
+  std::uint64_t guard_bytes = 0;
+  for (const GuardEntry& e : guard_fifo_) {
+    guard_bytes += e.size;
+    // A parked pair must have zero replicas anywhere.
+    if (directory_.replica_count(e.key) != 0) return false;
+  }
+  return guard_bytes == guard_used_;
+}
+
+}  // namespace camp::coop

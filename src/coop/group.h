@@ -1,0 +1,207 @@
+// Cooperative caching group: the decentralized-CAMP deployment the paper
+// lists as future work in Section 6 ("we are also investigating a
+// decentralized CAMP in the context of a cooperative caching framework such
+// as KOSAR").
+//
+// N nodes each run their own eviction policy (CAMP by default) over a
+// private memory budget. A consistent-hash ring routes each key to its
+// *home* node; a replica directory tracks which nodes hold which pairs. A
+// request flows:
+//
+//   1. home-node lookup            -> local hit
+//   2. directory -> peer fetch     -> remote hit (charged a transfer cost,
+//                                     optionally promoted to the home node)
+//   3. last-replica guard lookup   -> guard hit (reinstated at the home)
+//   4. otherwise                   -> miss: "compute" (charged the pair's
+//                                     full cost) and insert at the home node
+//
+// The last-replica guard answers the challenge the paper poses: "how to
+// maintain a last replica of a cached key-value pair without allowing those
+// that are never accessed again to occupy the KVS indefinitely." When a node
+// evicts the group's final copy of a pair, the guard parks its metadata in a
+// byte-bounded FIFO with a request-count lease. A pair re-requested within
+// the lease is reinstated (the last replica was preserved); a pair that
+// outlives its lease, or is squeezed out by newer last replicas, is dropped
+// for good — bounded occupation, no immortal cold data.
+//
+// The group is a single-threaded simulation substrate (like sim::Simulator),
+// not a networked service; the KVS server in src/kvs provides the networked
+// single-node path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coop/directory.h"
+#include "coop/hash_ring.h"
+#include "policy/cache_iface.h"
+
+namespace camp::coop {
+
+struct CoopConfig {
+  /// Initial number of nodes (ids 0..nodes-1).
+  std::uint32_t nodes = 4;
+  /// Per-node memory budget.
+  std::uint64_t node_capacity_bytes = 0;
+  /// Per-node eviction policy spec (policy::make_policy grammar).
+  std::string policy_spec = "camp";
+  /// Virtual points per node on the consistent-hash ring.
+  std::uint32_t virtual_nodes = 64;
+  /// Replication factor: a computed pair is installed on the first
+  /// `replication` distinct nodes clockwise from the key (clamped to the
+  /// group size). 1 = home-only placement.
+  std::uint32_t replication = 1;
+
+  /// Enable the last-replica guard.
+  bool preserve_last_replica = true;
+  /// Guard byte budget as a fraction of one node's capacity.
+  double guard_fraction = 0.10;
+  /// Guard lease: a parked last replica not re-requested within this many
+  /// group requests is dropped.
+  std::uint64_t guard_lease_requests = 50'000;
+
+  /// Cost charged for fetching a pair from a peer instead of recomputing it
+  /// (the win cooperative caching exists for: transfer_cost << cost(p)).
+  std::uint64_t remote_transfer_cost = 1;
+  /// Copy a remotely-hit pair to the home node (read-through replication).
+  bool promote_on_remote_hit = true;
+
+  void validate() const;  // throws std::invalid_argument on nonsense
+};
+
+/// Group-level metrics. Cold misses (first request of a key) are excluded
+/// from miss/cost ratios, matching the paper's simulator metrics.
+struct CoopMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t guard_hits = 0;  // reinstated last replicas
+  std::uint64_t misses = 0;      // non-cold misses
+  std::uint64_t cold_misses = 0;
+  std::uint64_t noncold_cost = 0;  // sum of costs over non-cold requests
+  std::uint64_t missed_cost = 0;   // recompute cost paid on non-cold misses
+  std::uint64_t transfer_cost = 0;
+  std::uint64_t guard_parked = 0;   // last replicas parked in the guard
+  std::uint64_t guard_expired = 0;  // parked pairs whose lease lapsed
+  std::uint64_t guard_squeezed = 0;  // parked pairs evicted by guard pressure
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t noncold = requests - cold_misses;
+    return noncold == 0
+               ? 0.0
+               : static_cast<double>(local_hits + remote_hits + guard_hits) /
+                     static_cast<double>(noncold);
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t noncold = requests - cold_misses;
+    return noncold == 0 ? 0.0
+                        : static_cast<double>(misses) /
+                              static_cast<double>(noncold);
+  }
+  /// Paper-style cost-miss ratio with peer transfers charged at their
+  /// (cheap) transfer cost.
+  [[nodiscard]] double cost_miss_ratio() const noexcept {
+    return noncold_cost == 0
+               ? 0.0
+               : static_cast<double>(missed_cost + transfer_cost) /
+                     static_cast<double>(noncold_cost);
+  }
+};
+
+class CoopGroup {
+ public:
+  using Key = policy::Key;
+  using NodeId = std::uint32_t;
+
+  explicit CoopGroup(CoopConfig config);
+
+  /// Process one request: lookup, peer fetch, or compute + insert. Returns
+  /// true when served without recomputation (local, remote or guard hit).
+  bool request(Key key, std::uint64_t size, std::uint64_t cost);
+
+  /// Add a new node with the next unused id; future requests rebalance onto
+  /// it via the ring. Returns its id.
+  NodeId add_node();
+
+  /// Decommission a node: every replica it holds is dropped (last replicas
+  /// route through the guard as usual), then it leaves the ring.
+  /// Throws std::invalid_argument for an unknown id or the final node.
+  void remove_node(NodeId id);
+
+  [[nodiscard]] NodeId home_node(Key key) const;
+  [[nodiscard]] std::size_t node_count() const noexcept;
+  [[nodiscard]] const CoopMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const ReplicaDirectory& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] const policy::CacheStats& node_stats(NodeId id) const;
+  [[nodiscard]] std::uint64_t node_used_bytes(NodeId id) const;
+  [[nodiscard]] std::size_t guard_item_count() const noexcept {
+    return guard_index_.size();
+  }
+  [[nodiscard]] std::uint64_t guard_used_bytes() const noexcept {
+    return guard_used_;
+  }
+  [[nodiscard]] const CoopConfig& config() const noexcept { return config_; }
+
+  /// Directory/cache agreement: every directory entry's holder really holds
+  /// the key, replica totals match node item counts, guard stays in budget.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Node {
+    NodeId id = 0;
+    std::unique_ptr<policy::ICache> cache;
+  };
+
+  struct GuardEntry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cost = 0;
+    std::uint64_t deadline = 0;  // request count at which the lease lapses
+  };
+
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+
+  void install(NodeId id, Key key, std::uint64_t size, std::uint64_t cost);
+  /// Install at the key's full replica set (used on computes).
+  void install_replicas(Key key, std::uint64_t size, std::uint64_t cost);
+  void on_evicted(NodeId id, Key key, std::uint64_t size);
+
+  // -- last-replica guard -------------------------------------------------
+  void guard_park(Key key, std::uint64_t size, std::uint64_t cost);
+  /// Remove and return the parked entry for `key` if its lease is alive.
+  std::optional<GuardEntry> guard_take(Key key);
+  void guard_expire_front();
+  void guard_drop(std::list<GuardEntry>::iterator it);
+
+  CoopConfig config_;
+  HashRing ring_;
+  std::vector<Node> nodes_;
+  ReplicaDirectory directory_;
+  CoopMetrics metrics_;
+  std::unordered_set<Key> seen_;  // cold-miss exclusion
+  // Last-known (size, cost) per key: eviction listeners only see (key,
+  // size), but parking a last replica needs its cost too.
+  std::unordered_map<Key, std::pair<std::uint64_t, std::uint64_t>> meta_;
+  NodeId next_node_id_ = 0;
+
+  // Guard storage: FIFO list (deadlines are monotone, so front expires
+  // first) + index. Byte budget derived from config.
+  std::list<GuardEntry> guard_fifo_;
+  std::unordered_map<Key, std::list<GuardEntry>::iterator> guard_index_;
+  std::uint64_t guard_used_ = 0;
+  std::uint64_t guard_capacity_ = 0;
+};
+
+}  // namespace camp::coop

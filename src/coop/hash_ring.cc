@@ -1,0 +1,87 @@
+#include "coop/hash_ring.h"
+
+#include <stdexcept>
+
+namespace camp::coop {
+
+namespace {
+
+/// SplitMix64 finalizer: a strong 64-bit mix for ring points and keys.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::uint32_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  if (virtual_nodes == 0) {
+    throw std::invalid_argument("HashRing: virtual_nodes must be >= 1");
+  }
+}
+
+std::uint64_t HashRing::point_hash(std::uint32_t node_id,
+                                   std::uint32_t replica) noexcept {
+  return mix64((static_cast<std::uint64_t>(node_id) << 32) | replica);
+}
+
+std::uint64_t HashRing::key_hash(std::uint64_t key) noexcept {
+  return mix64(key);
+}
+
+void HashRing::add_node(std::uint32_t node_id) {
+  if (!nodes_.insert(node_id).second) return;
+  for (std::uint32_t r = 0; r < virtual_nodes_; ++r) {
+    // try_emplace: on the (astronomically unlikely) point collision, first
+    // writer wins; the ring stays consistent either way.
+    ring_.try_emplace(point_hash(node_id, r), node_id);
+  }
+}
+
+void HashRing::remove_node(std::uint32_t node_id) {
+  if (nodes_.erase(node_id) == 0) return;
+  for (std::uint32_t r = 0; r < virtual_nodes_; ++r) {
+    const auto it = ring_.find(point_hash(node_id, r));
+    if (it != ring_.end() && it->second == node_id) ring_.erase(it);
+  }
+}
+
+std::uint32_t HashRing::node_for(std::uint64_t key) const {
+  if (ring_.empty()) {
+    throw std::logic_error("HashRing::node_for called on an empty ring");
+  }
+  auto it = ring_.lower_bound(key_hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::uint32_t> HashRing::nodes_for(std::uint64_t key,
+                                               std::size_t replicas) const {
+  std::vector<std::uint32_t> out;
+  if (ring_.empty() || replicas == 0) return out;
+  const std::size_t want = std::min(replicas, nodes_.size());
+  out.reserve(want);
+  auto it = ring_.lower_bound(key_hash(key));
+  // Walk clockwise, collecting distinct nodes, wrapping at most once per
+  // full lap (distinctness is bounded by nodes_.size()).
+  for (std::size_t steps = 0; out.size() < want && steps < ring_.size();
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::uint32_t node = it->second;
+    bool seen = false;
+    for (const std::uint32_t n : out) {
+      if (n == node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(node);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace camp::coop

@@ -1,0 +1,386 @@
+// CAMP: Cost Adaptive Multi-queue eviction Policy (the paper's contribution).
+//
+// CAMP approximates Greedy Dual Size with LRU-grade constant-factor work:
+//
+//   * Every resident pair has priority H = L + r, where L is the global
+//     non-decreasing GDS inflation value and r is the pair's cost-to-size
+//     ratio, scaled to an integer adaptively (by the largest size seen so
+//     far, a lower-bound estimate of 1/min-ratio) and rounded to its
+//     `precision` most significant bits (util::msy_round).
+//   * Pairs with equal rounded ratio share one LRU queue. Because L never
+//     decreases, LRU order within a queue IS priority order, so each queue
+//     is a plain intrusive list.
+//   * An 8-ary implicit heap indexes only the queue *heads*. The eviction
+//     victim is the head with the lexicographically smallest (H, access
+//     sequence number) — i.e. minimum priority with LRU tie-breaking, as
+//     the paper specifies.
+//   * A hit that does not change a queue head costs O(1); the heap is
+//     touched only when a head changes or a queue appears/disappears.
+//
+// With precision = util::kPrecisionInfinity the rounded ratio equals the
+// scaled ratio and CAMP's decisions are exactly those of GDS with LRU
+// tie-breaking (tests/camp_gds_equivalence_test.cc asserts this).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "heap/dary_heap.h"
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+#include "util/rounding.h"
+
+namespace camp::core {
+
+struct CampConfig {
+  std::uint64_t capacity_bytes = 0;
+  /// Number of significant bits kept by the rounding scheme. The paper's
+  /// simulation sweeps 1..10 and uses 5 for the headline figures;
+  /// util::kPrecisionInfinity disables rounding (GDS-equivalent decisions).
+  int precision = 5;
+  /// Recompute the rounded ratio with the current scaling multiplier on
+  /// every hit (paper: the adaptively-grown multiplier "is used for all
+  /// future rounding"). Disabling freezes a pair's queue assignment at
+  /// insert time; kept as an ablation knob.
+  bool recompute_ratio_on_hit = true;
+  /// CAMP-F extension (not in the paper): fold a per-pair hit counter into
+  /// the ratio, GDSF-style — H = L + round(freq * cost / size). A hit then
+  /// usually migrates the pair to a higher queue, but the multi-queue/
+  /// head-heap machinery is unchanged and the rounding still bounds the
+  /// queue count. At precision infinity, decisions are exactly those of
+  /// GDSF with LRU tie-breaks (tests/camp_frequency_test.cc). Implies
+  /// ratio recomputation on hits. Frequency is capped at 2^16, as in Squid.
+  bool frequency_aware = false;
+
+  void validate() const;  // throws std::invalid_argument on nonsense
+};
+
+/// Aggregate introspection counters, exposed for tests and the Figure 4/5b
+/// benches.
+struct CampIntrospection {
+  std::size_t nonempty_queues = 0;       // current LRU queue count
+  std::uint64_t queues_created = 0;      // lifetime
+  std::uint64_t queues_destroyed = 0;    // lifetime
+  std::uint64_t inflation = 0;           // current L
+  std::uint64_t max_scaled_ratio = 0;    // largest pre-rounding ratio seen (U)
+  std::uint64_t scaling_multiplier = 0;  // current adaptive max-size
+  heap::HeapStats heap;                  // head-heap instrumentation
+};
+
+template <int HeapArity = 8>
+class BasicCampCache final : public policy::CacheBase {
+ public:
+  using Key = policy::Key;
+
+  explicit BasicCampCache(CampConfig config)
+      : policy::CacheBase(config.capacity_bytes), config_(config) {
+    config_.validate();
+  }
+
+  // -- ICache ---------------------------------------------------------------
+  bool get(Key key) override {
+    ++stats_.gets;
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    ++stats_.hits;
+    touch(it->second);
+    return true;
+  }
+
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override {
+    ++stats_.puts;
+    if (size == 0 || size > capacity_) {
+      ++stats_.rejected_puts;
+      return false;
+    }
+    erase(key);  // overwrite semantics: drop any stale pair first
+    scaler_.observe_size(size);
+    const std::uint64_t ratio = rounded_ratio(cost, size);
+    while (used_ + size > capacity_) evict_victim();
+    auto [it, inserted] = index_.try_emplace(key);
+    assert(inserted);
+    Entry& e = it->second;
+    e.key = key;
+    e.size = size;
+    e.cost = cost;
+    e.freq = 1;
+    e.ratio = ratio;
+    e.h = inflation_ + ratio;
+    e.seq = ++seq_;
+    append(e, ratio);
+    used_ += size;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(Key key) const override {
+    return index_.contains(key);
+  }
+
+  void erase(Key key) override {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    Entry& e = it->second;
+    detach(e);
+    used_ -= e.size;
+    index_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t item_count() const override {
+    return index_.size();
+  }
+
+  [[nodiscard]] std::string name() const override {
+    const std::string base = config_.frequency_aware ? "camp-f" : "camp";
+    if (config_.precision >= util::kPrecisionInfinity) {
+      return base + "(p=inf)";
+    }
+    return base + "(p=" + std::to_string(config_.precision) + ")";
+  }
+
+  /// Evict the current victim on demand (KVS engine slab pressure).
+  bool evict_one() override {
+    if (head_heap_.empty()) return false;
+    evict_victim();
+    return true;
+  }
+
+  // -- introspection ----------------------------------------------------------
+  /// Key of the pair CAMP would evict next, if any. (Used by the
+  /// CAMP-vs-GDS equivalence property tests.)
+  [[nodiscard]] std::optional<Key> peek_victim() const {
+    if (head_heap_.empty()) return std::nullopt;
+    return head_heap_.top().queue->list.front()->key;
+  }
+
+  /// Current H value of a resident key (0 if absent).
+  [[nodiscard]] std::uint64_t priority_of(Key key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : it->second.h;
+  }
+
+  /// Current rounded ratio (queue id) of a resident key (0 if absent).
+  [[nodiscard]] std::uint64_t ratio_of(Key key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : it->second.ratio;
+  }
+
+  /// Hit count of a resident key (0 if absent; meaningful for CAMP-F).
+  [[nodiscard]] std::uint32_t frequency_of(Key key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : it->second.freq;
+  }
+
+  [[nodiscard]] CampIntrospection introspect() const {
+    CampIntrospection out = intro_;
+    out.nonempty_queues = queues_.size();
+    out.inflation = inflation_;
+    out.scaling_multiplier = scaler_.max_size();
+    out.heap = head_heap_.stats();
+    return out;
+  }
+
+  [[nodiscard]] const CampConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t inflation() const noexcept { return inflation_; }
+  [[nodiscard]] std::size_t queue_count() const noexcept {
+    return queues_.size();
+  }
+
+  /// Structural invariants; exercised by property tests after every
+  /// operation sequence. Returns false (rather than asserting) so tests can
+  /// report the failing sequence.
+  [[nodiscard]] bool check_invariants() {
+    if (!head_heap_.check_invariants()) return false;
+    std::uint64_t bytes = 0;
+    std::size_t items = 0;
+    for (auto& [ratio, q] : queues_) {
+      if (q.list.empty()) return false;
+      // Within a queue: strictly increasing (h, seq) from head to tail (seq
+      // is globally unique), so the head is the queue's minimum; every entry
+      // belongs to this queue and carries its ratio. Prop. 1 bounds H.
+      bool first = true;
+      std::uint64_t prev_h = 0, prev_seq = 0;
+      for (Entry& e : q.list) {
+        if (e.ratio != ratio || e.queue != &q) return false;
+        if (!first &&
+            (e.h < prev_h || (e.h == prev_h && e.seq <= prev_seq))) {
+          return false;
+        }
+        if (e.h < inflation_ || e.h > inflation_ + e.ratio) return false;
+        first = false;
+        prev_h = e.h;
+        prev_seq = e.seq;
+        bytes += e.size;
+        ++items;
+      }
+      // The heap key for this queue must match its head.
+      const HeadKey hk = head_heap_.value(q.handle);
+      const Entry* head = q.list.front();
+      if (hk.h != head->h || hk.seq != head->seq || hk.queue != &q) {
+        return false;
+      }
+    }
+    if (bytes != used_ || items != index_.size()) return false;
+    if (used_ > capacity_) return false;
+    return head_heap_.size() == queues_.size();
+  }
+
+ private:
+  struct Queue;
+
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cost = 0;
+    std::uint64_t ratio = 0;  // rounded scaled cost-to-size ratio (queue id)
+    std::uint64_t h = 0;      // priority = L at last touch + ratio
+    std::uint64_t seq = 0;    // global access sequence, for LRU tie-breaks
+    std::uint32_t freq = 1;   // hit count; only used when frequency_aware
+    Queue* queue = nullptr;
+    intrusive::ListHook hook;
+  };
+
+  struct Queue {
+    std::uint64_t ratio = 0;
+    intrusive::List<Entry, &Entry::hook> list;
+    std::uint32_t handle = 0;  // head-heap handle
+  };
+
+  struct HeadKey {
+    std::uint64_t h = 0;
+    std::uint64_t seq = 0;
+    Queue* queue = nullptr;
+  };
+  struct HeadKeyLess {
+    bool operator()(const HeadKey& a, const HeadKey& b) const noexcept {
+      if (a.h != b.h) return a.h < b.h;
+      return a.seq < b.seq;  // LRU tie-break across queues
+    }
+  };
+  using HeadHeap = heap::DaryHeap<HeadKey, HeadKeyLess, HeapArity>;
+
+  static constexpr std::uint32_t kMaxFrequency = 1u << 16;
+
+  /// The cost fed into the ratio: plain cost, or freq-weighted for CAMP-F.
+  [[nodiscard]] std::uint64_t effective_cost(const Entry& e) const noexcept {
+    return config_.frequency_aware ? e.cost * e.freq : e.cost;
+  }
+
+  [[nodiscard]] std::uint64_t rounded_ratio(std::uint64_t cost,
+                                            std::uint64_t size) {
+    const std::uint64_t scaled = scaler_.scale(cost, size);
+    if (scaled > intro_.max_scaled_ratio) intro_.max_scaled_ratio = scaled;
+    return util::msy_round(scaled, config_.precision);
+  }
+
+  [[nodiscard]] static HeadKey head_key(Queue& q) {
+    const Entry* head = q.list.front();
+    return HeadKey{head->h, head->seq, &q};
+  }
+
+  /// Unlink an entry from its queue; maintains the head heap and destroys
+  /// the queue if it empties. `e.queue` is nulled.
+  void detach(Entry& e) {
+    Queue& q = *e.queue;
+    const bool was_head = (q.list.front() == &e);
+    q.list.remove(e);
+    e.queue = nullptr;
+    if (q.list.empty()) {
+      head_heap_.erase(q.handle);
+      ++intro_.queues_destroyed;
+      queues_.erase(q.ratio);  // q is dead after this line
+    } else if (was_head) {
+      head_heap_.update(q.handle, head_key(q));
+    }
+  }
+
+  /// Append an entry (h/seq/ratio already set) to the queue for `ratio`,
+  /// creating the queue (and its heap node) on demand.
+  void append(Entry& e, std::uint64_t ratio) {
+    auto [it, created] = queues_.try_emplace(ratio);
+    Queue& q = it->second;
+    q.list.push_back(e);
+    e.queue = &q;
+    if (created) {
+      q.ratio = ratio;
+      q.handle = head_heap_.push(head_key(q));
+      ++intro_.queues_created;
+    }
+    // Tail insertion into an existing queue never changes the head: the new
+    // (h, seq) is >= every resident pair's because L and seq never decrease.
+  }
+
+  /// Apply hit side effects: H(p) <- L + ratio with L = min H over the
+  /// *other* resident pairs (Algorithm 1 line 2), then move to MRU position.
+  void touch(Entry& e) {
+    Queue& q = *e.queue;
+    const bool sole = (q.list.size() == 1);
+    if (config_.frequency_aware && e.freq < kMaxFrequency) ++e.freq;
+    const std::uint64_t new_ratio =
+        (config_.recompute_ratio_on_hit || config_.frequency_aware)
+            ? rounded_ratio(effective_cost(e), e.size)
+            : e.ratio;
+    if (sole && new_ratio == e.ratio &&
+        head_heap_.top_handle() != q.handle) {
+      // Fast path: p is alone in a queue that is not the global minimum.
+      // The minimum over the other pairs is the heap top as-is.
+      raise_inflation(head_heap_.top().h);
+      e.h = inflation_ + e.ratio;
+      e.seq = ++seq_;
+      head_heap_.update(q.handle, head_key(q));
+      return;
+    }
+    detach(e);
+    if (!head_heap_.empty()) raise_inflation(head_heap_.top().h);
+    e.ratio = new_ratio;
+    e.h = inflation_ + new_ratio;
+    e.seq = ++seq_;
+    append(e, new_ratio);
+  }
+
+  void evict_victim() {
+    assert(!head_heap_.empty() && "eviction requested from an empty cache");
+    Queue& q = *head_heap_.top().queue;
+    Entry* victim = q.list.front();
+    raise_inflation(victim->h);  // L <- H of the evicted minimum
+    const Key vkey = victim->key;
+    const std::uint64_t vsize = victim->size;
+    detach(*victim);
+    index_.erase(vkey);
+    note_eviction(vkey, vsize);
+  }
+
+  void raise_inflation(std::uint64_t candidate) noexcept {
+    // Proposition 1 guarantees candidate >= L already; max() keeps the
+    // invariant explicit and cheap.
+    if (candidate > inflation_) inflation_ = candidate;
+  }
+
+  CampConfig config_;
+  util::AdaptiveRatioScaler scaler_;
+  std::unordered_map<Key, Entry> index_;
+  std::unordered_map<std::uint64_t, Queue> queues_;  // rounded ratio -> queue
+  HeadHeap head_heap_;
+  std::uint64_t inflation_ = 0;  // the GDS global value L
+  std::uint64_t seq_ = 0;        // global access counter (LRU tie-breaks)
+  CampIntrospection intro_;      // lifetime counters (queues, max ratio)
+};
+
+/// The paper's configuration: 8-ary implicit head heap.
+using CampCache = BasicCampCache<8>;
+
+/// Factory used by the sweep driver and the policy registry.
+[[nodiscard]] std::unique_ptr<policy::ICache> make_camp(CampConfig config);
+
+extern template class BasicCampCache<2>;
+extern template class BasicCampCache<4>;
+extern template class BasicCampCache<8>;
+extern template class BasicCampCache<16>;
+
+}  // namespace camp::core

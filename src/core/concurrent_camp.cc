@@ -1,0 +1,403 @@
+#include "core/concurrent_camp.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::core {
+
+namespace {
+
+/// Fibonacci mix for the key -> physical sub-queue / index stripe hashes.
+[[nodiscard]] std::uint64_t mix(std::uint64_t key) noexcept {
+  return key * 0x9E3779B97F4A7C15ULL;
+}
+
+}  // namespace
+
+void ConcurrentCampConfig::validate() const {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument(
+        "ConcurrentCampConfig: capacity_bytes must be > 0");
+  }
+  if (precision < 1) {
+    throw std::invalid_argument("ConcurrentCampConfig: precision must be >= 1");
+  }
+  if (physical_queues == 0 || physical_queues > 256 ||
+      !std::has_single_bit(physical_queues)) {
+    throw std::invalid_argument(
+        "ConcurrentCampConfig: physical_queues must be a power of two in "
+        "[1, 256]");
+  }
+  if (index_stripes == 0 || !std::has_single_bit(index_stripes)) {
+    throw std::invalid_argument(
+        "ConcurrentCampConfig: index_stripes must be a power of two");
+  }
+}
+
+ConcurrentCampCache::ConcurrentCampCache(ConcurrentCampConfig config)
+    : config_(config) {
+  config_.validate();
+  stripes_.reserve(config_.index_stripes);
+  for (std::uint32_t i = 0; i < config_.index_stripes; ++i) {
+    stripes_.push_back(std::make_unique<IndexStripe>());
+  }
+}
+
+ConcurrentCampCache::~ConcurrentCampCache() = default;
+
+ConcurrentCampCache::IndexStripe& ConcurrentCampCache::stripe_for(
+    Key key) const noexcept {
+  const std::uint64_t h = mix(key) >> 32;
+  return *stripes_[h & (config_.index_stripes - 1)];
+}
+
+std::uint64_t ConcurrentCampCache::queue_id(std::uint64_t ratio,
+                                            Key key) const noexcept {
+  if (config_.physical_queues == 1) return ratio;
+  const auto shift =
+      static_cast<unsigned>(std::countr_zero(config_.physical_queues));
+  const std::uint64_t part = mix(key) >> (64 - shift);
+  // Ratios large enough to collide after the shift would need > 2^(64-shift)
+  // distinct scaled values; the adaptive scaler keeps ratios far below that.
+  return (ratio << shift) | part;
+}
+
+std::uint64_t ConcurrentCampCache::rounded_ratio(
+    std::uint64_t cost, std::uint64_t size) const noexcept {
+  return scaler_.scale_and_round(cost, size, config_.precision);
+}
+
+ConcurrentCampCache::HeadKey ConcurrentCampCache::head_key(Queue& q) {
+  const Entry* head = q.list.front();
+  return HeadKey{head->h, head->seq, &q};
+}
+
+void ConcurrentCampCache::raise_inflation(std::uint64_t candidate) noexcept {
+  std::uint64_t current = inflation_.load(std::memory_order_relaxed);
+  while (candidate > current) {
+    if (inflation_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void ConcurrentCampCache::refresh_min_head_locked() {
+  if (head_heap_.empty()) {
+    heap_nonempty_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  min_head_h_.store(head_heap_.top().h, std::memory_order_relaxed);
+  min_head_handle_.store(head_heap_.top_handle(), std::memory_order_relaxed);
+  heap_nonempty_.store(true, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-side hit path
+// ---------------------------------------------------------------------------
+
+bool ConcurrentCampCache::try_touch_shared(Entry& e) {
+  // e.queue is stable here: only the exclusive side migrates entries between
+  // queues, and we hold the shared structure lock.
+  Queue& q = *e.queue;
+  std::unique_lock queue_lock(q.mutex);
+  const std::uint64_t new_ratio = rounded_ratio(e.cost, e.size);
+  if (new_ratio != e.ratio) return false;  // queue migration: exclusive side
+
+  if (q.list.size() == 1) {
+    // Serial fast path: p alone in a queue that is not the global minimum.
+    // L <- current heap top (the minimum over the *other* pairs), then the
+    // refreshed head goes straight back into the heap node.
+    std::lock_guard heap_lock(heap_mutex_);
+    if (head_heap_.top_handle() == q.handle) return false;
+    raise_inflation(head_heap_.top().h);
+    e.h = inflation_.load(std::memory_order_relaxed) + e.ratio;
+    e.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    head_heap_.update(q.handle, HeadKey{e.h, e.seq, &q});
+    refresh_min_head_locked();
+    return true;
+  }
+
+  const bool was_head = (q.list.front() == &e);
+  q.list.remove(e);
+  if (was_head) {
+    // The queue head changed: this is the only case where the hit path
+    // synchronizes on the heap (Section 4.1, feature 1).
+    std::lock_guard heap_lock(heap_mutex_);
+    head_heap_.update(q.handle, head_key(q));
+    raise_inflation(head_heap_.top().h);
+    refresh_min_head_locked();
+  } else {
+    // Lock-free L raise from the mirrored heap minimum. A stale value only
+    // under-raises L, which Proposition 1 tolerates (L stays <= every H).
+    raise_inflation(min_head_h_.load(std::memory_order_relaxed));
+  }
+  e.h = inflation_.load(std::memory_order_relaxed) + e.ratio;
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  q.list.push_back(e);  // tail insert never changes the head
+  return true;
+}
+
+bool ConcurrentCampCache::get(Key key) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::shared_lock shared(structure_);
+    Entry* e = nullptr;
+    {
+      IndexStripe& s = stripe_for(key);
+      std::lock_guard g(s.mutex);
+      const auto it = s.map.find(key);
+      if (it == s.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      e = &it->second;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (try_touch_shared(*e)) {
+      shared_fast_hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Topology change needed (ratio migration or sole-head-of-heap). Re-find
+  // under the exclusive lock: the entry may have been evicted in the window,
+  // in which case the hit stands but the side effects are moot.
+  exclusive_retries_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock exclusive(structure_);
+  IndexStripe& s = stripe_for(key);
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) touch_exclusive(it->second);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Exclusive side: the serial algorithm verbatim (the unique structure lock
+// excludes every shared holder, so no inner locks are needed)
+// ---------------------------------------------------------------------------
+
+void ConcurrentCampCache::detach_exclusive(Entry& e) {
+  Queue& q = *e.queue;
+  const bool was_head = (q.list.front() == &e);
+  q.list.remove(e);
+  e.queue = nullptr;
+  if (q.list.empty()) {
+    head_heap_.erase(q.handle);
+    ++queues_destroyed_;
+    queues_.erase(q.qid);  // q is dead after this line
+  } else if (was_head) {
+    head_heap_.update(q.handle, head_key(q));
+  }
+  refresh_min_head_locked();
+}
+
+void ConcurrentCampCache::append_exclusive(Entry& e, std::uint64_t ratio) {
+  const std::uint64_t qid = queue_id(ratio, e.key);
+  auto [it, created] = queues_.try_emplace(qid);
+  Queue& q = it->second;
+  q.list.push_back(e);
+  e.queue = &q;
+  if (created) {
+    q.qid = qid;
+    q.ratio = ratio;
+    q.handle = head_heap_.push(head_key(q));
+    ++queues_created_;
+    refresh_min_head_locked();
+  }
+}
+
+void ConcurrentCampCache::touch_exclusive(Entry& e) {
+  const std::uint64_t new_ratio = rounded_ratio(e.cost, e.size);
+  detach_exclusive(e);
+  if (!head_heap_.empty()) raise_inflation(head_heap_.top().h);
+  e.ratio = new_ratio;
+  e.h = inflation_.load(std::memory_order_relaxed) + new_ratio;
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  append_exclusive(e, new_ratio);
+}
+
+void ConcurrentCampCache::evict_victim_exclusive() {
+  assert(!head_heap_.empty() && "eviction requested from an empty cache");
+  Queue& q = *head_heap_.top().queue;
+  Entry* victim = q.list.front();
+  raise_inflation(victim->h);  // L <- H of the evicted minimum
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  detach_exclusive(*victim);
+  stripe_for(vkey).map.erase(vkey);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  used_.fetch_sub(vsize, std::memory_order_relaxed);
+  policy::EvictionListener listener;
+  {
+    std::lock_guard g(listener_mutex_);
+    listener = listener_;
+  }
+  if (listener) listener(vkey, vsize);
+}
+
+bool ConcurrentCampCache::put(Key key, std::uint64_t size,
+                              std::uint64_t cost) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0 || size > config_.capacity_bytes) {
+    rejected_puts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::unique_lock exclusive(structure_);
+  // Overwrite semantics: drop any stale pair first.
+  {
+    IndexStripe& s = stripe_for(key);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      detach_exclusive(it->second);
+      used_.fetch_sub(it->second.size, std::memory_order_relaxed);
+      s.map.erase(it);
+    }
+  }
+  scaler_.observe_size(size);
+  const std::uint64_t ratio = rounded_ratio(cost, size);
+  while (used_.load(std::memory_order_relaxed) + size >
+         config_.capacity_bytes) {
+    evict_victim_exclusive();
+  }
+  IndexStripe& s = stripe_for(key);
+  auto [it, inserted] = s.map.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.cost = cost;
+  e.ratio = ratio;
+  e.h = inflation_.load(std::memory_order_relaxed) + ratio;
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  append_exclusive(e, ratio);
+  used_.fetch_add(size, std::memory_order_relaxed);
+  return true;
+}
+
+bool ConcurrentCampCache::contains(Key key) const {
+  std::shared_lock shared(structure_);
+  IndexStripe& s = stripe_for(key);
+  std::lock_guard g(s.mutex);
+  return s.map.contains(key);
+}
+
+void ConcurrentCampCache::erase(Key key) {
+  std::unique_lock exclusive(structure_);
+  IndexStripe& s = stripe_for(key);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return;
+  detach_exclusive(it->second);
+  used_.fetch_sub(it->second.size, std::memory_order_relaxed);
+  s.map.erase(it);
+}
+
+bool ConcurrentCampCache::evict_one() {
+  std::unique_lock exclusive(structure_);
+  if (head_heap_.empty()) return false;
+  evict_victim_exclusive();
+  return true;
+}
+
+std::size_t ConcurrentCampCache::item_count() const {
+  std::shared_lock shared(structure_);
+  std::size_t count = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard g(stripe->mutex);
+    count += stripe->map.size();
+  }
+  return count;
+}
+
+const policy::CacheStats& ConcurrentCampCache::stats() const {
+  std::lock_guard g(stats_mutex_);
+  stats_snapshot_.gets = gets_.load(std::memory_order_relaxed);
+  stats_snapshot_.hits = hits_.load(std::memory_order_relaxed);
+  stats_snapshot_.misses = misses_.load(std::memory_order_relaxed);
+  stats_snapshot_.puts = puts_.load(std::memory_order_relaxed);
+  stats_snapshot_.evictions = evictions_.load(std::memory_order_relaxed);
+  stats_snapshot_.rejected_puts =
+      rejected_puts_.load(std::memory_order_relaxed);
+  return stats_snapshot_;
+}
+
+std::string ConcurrentCampCache::name() const {
+  std::string name = "camp-mt(p=";
+  name += config_.precision >= util::kPrecisionInfinity
+              ? "inf"
+              : std::to_string(config_.precision);
+  if (config_.physical_queues > 1) {
+    name += ",q=" + std::to_string(config_.physical_queues);
+  }
+  name += ")";
+  return name;
+}
+
+void ConcurrentCampCache::set_eviction_listener(
+    policy::EvictionListener listener) {
+  std::lock_guard g(listener_mutex_);
+  listener_ = std::move(listener);
+}
+
+ConcurrentCampIntrospection ConcurrentCampCache::introspect() const {
+  std::shared_lock shared(structure_);
+  ConcurrentCampIntrospection out;
+  out.nonempty_queues = queues_.size();
+  out.queues_created = queues_created_;
+  out.queues_destroyed = queues_destroyed_;
+  out.inflation = inflation_.load(std::memory_order_relaxed);
+  out.scaling_multiplier = scaler_.max_size();
+  out.shared_fast_hits = shared_fast_hits_.load(std::memory_order_relaxed);
+  out.exclusive_retries = exclusive_retries_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard heap_lock(heap_mutex_);
+    out.heap = head_heap_.stats();
+  }
+  return out;
+}
+
+bool ConcurrentCampCache::check_invariants() {
+  std::unique_lock exclusive(structure_);
+  if (!head_heap_.check_invariants()) return false;
+  std::uint64_t bytes = 0;
+  std::size_t items = 0;
+  const std::uint64_t inflation = inflation_.load(std::memory_order_relaxed);
+  for (auto& [qid, q] : queues_) {
+    if (q.list.empty()) return false;
+    bool first = true;
+    std::uint64_t prev_h = 0, prev_seq = 0;
+    for (Entry& e : q.list) {
+      if (e.queue != &q) return false;
+      if (queue_id(e.ratio, e.key) != qid || q.ratio != e.ratio) return false;
+      if (!first && (e.h < prev_h || (e.h == prev_h && e.seq <= prev_seq))) {
+        return false;
+      }
+      // Proposition 1's upper bound H <= L + ratio can be transiently
+      // exceeded by exactly the lag of one stale L-raise on another thread,
+      // but at quiescence it must hold; the lower bound always holds.
+      if (e.h < inflation || e.h > inflation + e.ratio) return false;
+      first = false;
+      prev_h = e.h;
+      prev_seq = e.seq;
+      bytes += e.size;
+      ++items;
+    }
+    const HeadKey hk = head_heap_.value(q.handle);
+    const Entry* head = q.list.front();
+    if (hk.h != head->h || hk.seq != head->seq || hk.queue != &q) {
+      return false;
+    }
+  }
+  std::size_t indexed = 0;
+  for (const auto& stripe : stripes_) indexed += stripe->map.size();
+  if (bytes != used_.load(std::memory_order_relaxed)) return false;
+  if (items != indexed) return false;
+  if (bytes > config_.capacity_bytes) return false;
+  return head_heap_.size() == queues_.size();
+}
+
+std::unique_ptr<policy::ICache> make_concurrent_camp(
+    ConcurrentCampConfig config) {
+  return std::make_unique<ConcurrentCampCache>(config);
+}
+
+}  // namespace camp::core

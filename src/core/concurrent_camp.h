@@ -1,0 +1,225 @@
+// Thread-safe CAMP, implementing the vertical-scaling design the paper
+// sketches in Section 4.1:
+//
+//   1. "It only updates its heap data structure (which requires synchronized
+//      access) when the head of a LRU queue changes value instead of per
+//      eviction." — the head heap sits behind one mutex that the hit path
+//      takes only when a queue head actually changes; the global minimum is
+//      mirrored into lock-free atomics for the L-raise read.
+//   2. "Different threads may update different LRU queues simultaneously
+//      without waiting for one another." — every LRU queue carries its own
+//      mutex; a hit locks only its queue (plus the heap when the head moves).
+//   3. "CAMP may represent each LRU queue as multiple physical queues and
+//      hash partition keys across these physical queues to further enhance
+//      concurrent access." — `physical_queues` splits each rounded-ratio
+//      queue into that many sub-queues by key hash. Decisions are unchanged
+//      (the head heap still surfaces the true global minimum; (H, seq) keys
+//      are globally unique) at the price of more heap nodes.
+//
+// Locking protocol. A readers-writer `structure_` lock separates the two
+// planes: hits run under the shared side (index stripe -> queue mutex ->
+// heap mutex, strictly in that order, never holding two queue locks);
+// misses, inserts, erases and evictions take the unique side and then run
+// the exact serial algorithm. Hits that would change the queue topology
+// (ratio migration after a multiplier growth, or a sole-entry queue that is
+// also the global minimum) retry on the unique side. Run single-threaded,
+// the cache makes decision-for-decision the same choices as BasicCampCache
+// (tests/camp_concurrent_test.cc asserts this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/dary_heap.h"
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+#include "util/rounding.h"
+
+namespace camp::core {
+
+struct ConcurrentCampConfig {
+  std::uint64_t capacity_bytes = 0;
+  /// MSY rounding precision, as in CampConfig.
+  int precision = 5;
+  /// Physical sub-queues per rounded ratio (Section 4.1, feature 3). 1 keeps
+  /// the serial layout; higher values trade extra heap nodes for less
+  /// per-queue lock contention on hot ratios. Must be a power of two.
+  std::uint32_t physical_queues = 1;
+  /// Hash-map stripes for the key index. Must be a power of two.
+  std::uint32_t index_stripes = 16;
+
+  void validate() const;  // throws std::invalid_argument on nonsense
+};
+
+/// Point-in-time introspection mirror of CampIntrospection for the
+/// concurrent engine; taken under the structure lock.
+struct ConcurrentCampIntrospection {
+  std::size_t nonempty_queues = 0;
+  std::uint64_t queues_created = 0;
+  std::uint64_t queues_destroyed = 0;
+  std::uint64_t inflation = 0;
+  std::uint64_t scaling_multiplier = 0;
+  std::uint64_t shared_fast_hits = 0;   // hits served under the shared lock
+  std::uint64_t exclusive_retries = 0;  // hits that fell to the unique side
+  heap::HeapStats heap;
+};
+
+class ConcurrentCampCache final : public policy::ICache {
+ public:
+  using Key = policy::Key;
+
+  explicit ConcurrentCampCache(ConcurrentCampConfig config);
+  ~ConcurrentCampCache() override;
+
+  ConcurrentCampCache(const ConcurrentCampCache&) = delete;
+  ConcurrentCampCache& operator=(const ConcurrentCampCache&) = delete;
+
+  // -- ICache (all entry points are thread-safe) ------------------------------
+  // The eviction listener runs while the cache holds its exclusive lock;
+  // it must not call back into this cache (same contract as the serial
+  // engine, where the listener runs inside put()).
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  bool evict_one() override;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return config_.capacity_bytes;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] const policy::CacheStats& stats() const override;
+  [[nodiscard]] std::string name() const override;
+  void set_eviction_listener(policy::EvictionListener listener) override;
+
+  // -- introspection ----------------------------------------------------------
+  [[nodiscard]] ConcurrentCampIntrospection introspect() const;
+  [[nodiscard]] std::uint64_t inflation() const noexcept {
+    return inflation_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const ConcurrentCampConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Structural invariants (queue ordering, heap/head agreement, byte and
+  /// item accounting). Not thread-safe: call quiesced, e.g. after joining
+  /// worker threads in a stress test.
+  [[nodiscard]] bool check_invariants();
+
+ private:
+  struct Queue;
+
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cost = 0;
+    std::uint64_t ratio = 0;  // rounded scaled ratio (logical queue id)
+    std::uint64_t h = 0;
+    std::uint64_t seq = 0;
+    Queue* queue = nullptr;
+    intrusive::ListHook hook;
+  };
+
+  struct Queue {
+    std::uint64_t qid = 0;  // ratio * physical_queues + part
+    std::uint64_t ratio = 0;
+    std::mutex mutex;  // guards list and the h/seq fields of its entries
+    intrusive::List<Entry, &Entry::hook> list;
+    std::uint32_t handle = 0;  // head-heap handle
+  };
+
+  struct HeadKey {
+    std::uint64_t h = 0;
+    std::uint64_t seq = 0;
+    Queue* queue = nullptr;
+  };
+  struct HeadKeyLess {
+    bool operator()(const HeadKey& a, const HeadKey& b) const noexcept {
+      if (a.h != b.h) return a.h < b.h;
+      return a.seq < b.seq;
+    }
+  };
+  using HeadHeap = heap::DaryHeap<HeadKey, HeadKeyLess, 8>;
+
+  struct alignas(64) IndexStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Entry> map;
+  };
+
+  [[nodiscard]] IndexStripe& stripe_for(Key key) const noexcept;
+  [[nodiscard]] std::uint64_t queue_id(std::uint64_t ratio,
+                                       Key key) const noexcept;
+  [[nodiscard]] std::uint64_t rounded_ratio(std::uint64_t cost,
+                                            std::uint64_t size) const noexcept;
+
+  /// Fast-path hit under the shared structure lock. Returns false when the
+  /// operation needs the exclusive side (topology change).
+  bool try_touch_shared(Entry& e);
+
+  /// Serial-equivalent hit path; caller holds the unique structure lock.
+  void touch_exclusive(Entry& e);
+
+  // The following helpers require the unique structure lock.
+  void detach_exclusive(Entry& e);
+  void append_exclusive(Entry& e, std::uint64_t ratio);
+  void evict_victim_exclusive();
+
+  /// Re-reads the heap minimum into the atomic mirror; caller holds
+  /// heap_mutex_.
+  void refresh_min_head_locked();
+
+  void raise_inflation(std::uint64_t candidate) noexcept;
+  [[nodiscard]] static HeadKey head_key(Queue& q);
+
+  ConcurrentCampConfig config_;
+  util::AtomicRatioScaler scaler_;
+
+  mutable std::shared_mutex structure_;
+  std::vector<std::unique_ptr<IndexStripe>> stripes_;
+
+  // Queue topology: mutated only under the unique structure lock, so shared
+  // holders may read the map without extra locking.
+  std::unordered_map<std::uint64_t, Queue> queues_;
+
+  mutable std::mutex heap_mutex_;
+  HeadHeap head_heap_;
+  // Lock-free mirror of the heap minimum for the L-raise on the hit path.
+  // Updated under heap_mutex_; readers tolerate a stale pair (the raise is a
+  // monotone max and L <= every resident H, so a stale minimum only delays
+  // inflation by one operation).
+  std::atomic<std::uint64_t> min_head_h_{0};
+  std::atomic<std::uint32_t> min_head_handle_{0};
+  std::atomic<bool> heap_nonempty_{false};
+
+  std::atomic<std::uint64_t> inflation_{0};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> used_{0};
+
+  // Statistics (atomics; folded into a CacheStats snapshot on demand).
+  std::atomic<std::uint64_t> gets_{0}, hits_{0}, misses_{0}, puts_{0},
+      evictions_{0}, rejected_puts_{0};
+  std::atomic<std::uint64_t> shared_fast_hits_{0}, exclusive_retries_{0};
+  std::uint64_t queues_created_ = 0;    // unique-lock side only
+  std::uint64_t queues_destroyed_ = 0;  // unique-lock side only
+
+  mutable std::mutex stats_mutex_;
+  mutable policy::CacheStats stats_snapshot_;
+
+  std::mutex listener_mutex_;
+  policy::EvictionListener listener_;
+};
+
+/// Factory mirroring make_camp.
+[[nodiscard]] std::unique_ptr<policy::ICache> make_concurrent_camp(
+    ConcurrentCampConfig config);
+
+}  // namespace camp::core

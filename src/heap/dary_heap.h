@@ -1,0 +1,198 @@
+// D-ary implicit min-heap with stable handles and visit instrumentation.
+//
+// This is the priority queue the paper selects for CAMP: "we chose to use an
+// 8-ary implicit heap as suggested by the recent study [Larkin, Sen, Tarjan,
+// ALENEX 2014]". The heap is "implicit" (array-backed, no pointers); handles
+// stay valid while elements move because the heap stores slot ids and a
+// slot -> position table.
+//
+// The same template (Arity = 2) backs the straw-man heap-per-item GDS
+// implementation that Figure 4 compares against.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "heap/heap_stats.h"
+
+namespace camp::heap {
+
+template <class T, class Less = std::less<T>, int Arity = 8>
+class DaryHeap {
+  static_assert(Arity >= 2, "heap arity must be at least 2");
+
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kInvalidHandle = 0xffffffffu;
+
+  DaryHeap() = default;
+  explicit DaryHeap(Less less) : less_(std::move(less)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Insert a value; returns a handle valid until erase/pop of that element.
+  Handle push(T value) {
+    ++stats_.pushes;
+    const Handle slot = alloc_slot();
+    const auto idx = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(Node{std::move(value), slot});
+    pos_[slot] = idx;
+    sift_up(idx);
+    return slot;
+  }
+
+  [[nodiscard]] const T& top() const noexcept {
+    assert(!empty());
+    return heap_.front().value;
+  }
+
+  [[nodiscard]] Handle top_handle() const noexcept {
+    assert(!empty());
+    return heap_.front().slot;
+  }
+
+  void pop() {
+    assert(!empty());
+    ++stats_.pops;
+    remove_at(0);
+  }
+
+  void erase(Handle h) {
+    assert(is_valid(h));
+    ++stats_.erases;
+    remove_at(pos_[h]);
+  }
+
+  /// Replace the value at handle h and restore the heap property.
+  void update(Handle h, T value) {
+    assert(is_valid(h));
+    ++stats_.updates;
+    const std::uint32_t idx = pos_[h];
+    const bool smaller = less_(value, heap_[idx].value);
+    heap_[idx].value = std::move(value);
+    if (smaller) {
+      sift_up(idx);
+    } else {
+      sift_down(idx);
+    }
+  }
+
+  [[nodiscard]] const T& value(Handle h) const noexcept {
+    assert(is_valid(h));
+    return heap_[pos_[h]].value;
+  }
+
+  [[nodiscard]] bool is_valid(Handle h) const noexcept {
+    return h < pos_.size() && pos_[h] != kInvalidHandle;
+  }
+
+  void clear() noexcept {
+    heap_.clear();
+    pos_.clear();
+    free_slots_.clear();
+  }
+
+  [[nodiscard]] const HeapStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  /// Verify the heap property and the slot table; used by tests.
+  [[nodiscard]] bool check_invariants() const {
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (less_(heap_[i].value, heap_[parent].value)) return false;
+    }
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (pos_[heap_[i].slot] != i) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Node {
+    T value;
+    Handle slot;
+  };
+
+  Handle alloc_slot() {
+    if (!free_slots_.empty()) {
+      const Handle h = free_slots_.back();
+      free_slots_.pop_back();
+      return h;
+    }
+    const auto h = static_cast<Handle>(pos_.size());
+    pos_.push_back(kInvalidHandle);
+    return h;
+  }
+
+  void remove_at(std::uint32_t idx) {
+    const Handle slot = heap_[idx].slot;
+    pos_[slot] = kInvalidHandle;
+    free_slots_.push_back(slot);
+    const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+    if (idx != last) {
+      heap_[idx] = std::move(heap_[last]);
+      pos_[heap_[idx].slot] = idx;
+      heap_.pop_back();
+      // The moved element may need to travel either direction.
+      if (idx > 0 &&
+          less_(heap_[idx].value, heap_[(idx - 1) / Arity].value)) {
+        sift_up(idx);
+      } else {
+        sift_down(idx);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void sift_up(std::uint32_t idx) {
+    ++stats_.nodes_visited;  // the node being placed
+    while (idx > 0) {
+      const std::uint32_t parent = (idx - 1) / Arity;
+      ++stats_.nodes_visited;
+      if (!less_(heap_[idx].value, heap_[parent].value)) break;
+      swap_nodes(idx, parent);
+      idx = parent;
+    }
+  }
+
+  void sift_down(std::uint32_t idx) {
+    ++stats_.nodes_visited;  // the node being placed
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      const std::uint64_t first =
+          static_cast<std::uint64_t>(idx) * Arity + 1;
+      if (first >= n) break;
+      const std::uint32_t last = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(first + Arity, n));
+      std::uint32_t best = static_cast<std::uint32_t>(first);
+      for (std::uint32_t c = static_cast<std::uint32_t>(first); c < last;
+           ++c) {
+        ++stats_.nodes_visited;
+        if (less_(heap_[c].value, heap_[best].value)) best = c;
+      }
+      if (!less_(heap_[best].value, heap_[idx].value)) break;
+      swap_nodes(idx, best);
+      idx = best;
+    }
+  }
+
+  void swap_nodes(std::uint32_t a, std::uint32_t b) noexcept {
+    using std::swap;
+    swap(heap_[a], heap_[b]);
+    pos_[heap_[a].slot] = a;
+    pos_[heap_[b].slot] = b;
+  }
+
+  std::vector<Node> heap_;
+  std::vector<std::uint32_t> pos_;  // slot -> heap index
+  std::vector<Handle> free_slots_;
+  Less less_;
+  mutable HeapStats stats_;
+};
+
+}  // namespace camp::heap

@@ -1,0 +1,28 @@
+// Instrumentation counters shared by the priority-queue implementations.
+//
+// Figure 4 of the paper plots "number of visited heap nodes" for GDS vs
+// CAMP; these counters are maintained by the heaps themselves so the figure
+// falls out of the data structures rather than ad-hoc bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+namespace camp::heap {
+
+struct HeapStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t erases = 0;
+  /// Nodes examined during sift-up/sift-down/merge passes. Every node whose
+  /// key is read while restoring the heap property counts once.
+  std::uint64_t nodes_visited = 0;
+
+  void reset() noexcept { *this = HeapStats{}; }
+
+  [[nodiscard]] std::uint64_t total_operations() const noexcept {
+    return pushes + pops + updates + erases;
+  }
+};
+
+}  // namespace camp::heap

@@ -1,0 +1,196 @@
+// Pointer-based pairing heap with handles.
+//
+// Used in the priority-queue ablation (DESIGN.md §3): the paper motivates
+// CAMP by the cost of maintaining a per-item priority queue for GDS; the
+// pairing heap is the strongest practical pointer-based contender per the
+// Larkin/Sen/Tarjan study the paper cites, so the ablation pits GDS-on-
+// pairing-heap against GDS-on-implicit-heap and CAMP.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "heap/heap_stats.h"
+
+namespace camp::heap {
+
+template <class T, class Less = std::less<T>>
+class PairingHeap {
+ public:
+  struct Node {
+    T value;
+    Node* child = nullptr;
+    Node* sibling = nullptr;
+    Node* prev = nullptr;  // parent if first child, else left sibling
+  };
+  using Handle = Node*;
+
+  PairingHeap() = default;
+  explicit PairingHeap(Less less) : less_(std::move(less)) {}
+  PairingHeap(const PairingHeap&) = delete;
+  PairingHeap& operator=(const PairingHeap&) = delete;
+  ~PairingHeap() { destroy(root_); }
+
+  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  Handle push(T value) {
+    ++stats_.pushes;
+    Node* n = new Node{std::move(value)};
+    root_ = meld(root_, n);
+    ++size_;
+    return n;
+  }
+
+  [[nodiscard]] const T& top() const noexcept {
+    assert(root_ != nullptr);
+    return root_->value;
+  }
+
+  [[nodiscard]] Handle top_handle() const noexcept { return root_; }
+
+  void pop() {
+    assert(root_ != nullptr);
+    ++stats_.pops;
+    Node* old = root_;
+    root_ = combine_siblings(root_->child);
+    if (root_ != nullptr) root_->prev = nullptr;
+    delete old;
+    --size_;
+  }
+
+  void erase(Handle h) {
+    assert(h != nullptr);
+    ++stats_.erases;
+    detach(h);
+    Node* sub = combine_siblings(h->child);
+    if (sub != nullptr) sub->prev = nullptr;
+    root_ = meld(root_, sub);
+    delete h;
+    --size_;
+  }
+
+  /// Replace the value at h. Decrease = cut-and-meld; increase = structural
+  /// erase + reinsert of the same node (handle stays valid).
+  void update(Handle h, T value) {
+    assert(h != nullptr);
+    ++stats_.updates;
+    if (less_(value, h->value)) {
+      h->value = std::move(value);
+      if (h != root_) {
+        detach(h);
+        root_ = meld(root_, h);
+      }
+    } else {
+      h->value = std::move(value);
+      if (h == root_ && h->child == nullptr) return;
+      detach(h);
+      Node* sub = combine_siblings(h->child);
+      if (sub != nullptr) sub->prev = nullptr;
+      h->child = nullptr;
+      root_ = meld(meld(root_, sub), h);
+    }
+  }
+
+  [[nodiscard]] const T& value(Handle h) const noexcept {
+    assert(h != nullptr);
+    return h->value;
+  }
+
+  [[nodiscard]] const HeapStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ private:
+  // Remove h from its parent/sibling chain. h may be the root (no-op then).
+  void detach(Node* h) noexcept {
+    if (h == root_) {
+      root_ = combine_siblings(h->child);
+      if (root_ != nullptr) root_->prev = nullptr;
+      h->child = nullptr;
+      // Caller will meld root_ with h (or delete h).
+      return;
+    }
+    if (h->prev->child == h) {
+      h->prev->child = h->sibling;
+    } else {
+      h->prev->sibling = h->sibling;
+    }
+    if (h->sibling != nullptr) h->sibling->prev = h->prev;
+    h->prev = h->sibling = nullptr;
+  }
+
+  Node* meld(Node* a, Node* b) noexcept {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    stats_.nodes_visited += 2;
+    if (less_(b->value, a->value)) std::swap(a, b);
+    // b becomes the first child of a.
+    b->prev = a;
+    b->sibling = a->child;
+    if (a->child != nullptr) a->child->prev = b;
+    a->child = b;
+    a->sibling = nullptr;
+    a->prev = nullptr;
+    return a;
+  }
+
+  // Two-pass pairing of a sibling chain.
+  Node* combine_siblings(Node* first) noexcept {
+    if (first == nullptr) return nullptr;
+    // First pass: pair up left to right.
+    Node* paired = nullptr;  // stack of pair winners linked via sibling
+    Node* cur = first;
+    while (cur != nullptr) {
+      Node* a = cur;
+      Node* b = a->sibling;
+      Node* next = (b != nullptr) ? b->sibling : nullptr;
+      a->sibling = nullptr;
+      a->prev = nullptr;
+      if (b != nullptr) {
+        b->sibling = nullptr;
+        b->prev = nullptr;
+      }
+      Node* merged = meld(a, b);
+      merged->sibling = paired;
+      paired = merged;
+      cur = next;
+    }
+    // Second pass: meld right to left.
+    Node* result = paired;
+    paired = paired->sibling;
+    result->sibling = nullptr;
+    while (paired != nullptr) {
+      Node* next = paired->sibling;
+      paired->sibling = nullptr;
+      result = meld(result, paired);
+      paired = next;
+    }
+    return result;
+  }
+
+  // Iterative teardown: pairing-heap trees can degenerate into O(n)-deep
+  // chains, so recursion is not safe at KVS scale.
+  static void destroy(Node* n) noexcept {
+    Node* pending = n;
+    while (pending != nullptr) {
+      Node* cur = pending;
+      pending = cur->sibling;
+      if (cur->child != nullptr) {
+        Node* tail = cur->child;
+        while (tail->sibling != nullptr) tail = tail->sibling;
+        tail->sibling = pending;
+        pending = cur->child;
+      }
+      delete cur;
+    }
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  Less less_;
+  mutable HeapStats stats_;
+};
+
+}  // namespace camp::heap

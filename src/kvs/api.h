@@ -1,0 +1,39 @@
+// Transport-agnostic client API. The Figure 9 bench drives the KVS through
+// this interface over either the real TCP client (paper fidelity: network
+// and copy costs included) or the in-process transport (deterministic,
+// protocol-free).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kvs/engine.h"  // GetResult
+
+namespace camp::kvs {
+
+class KvsApi {
+ public:
+  virtual ~KvsApi() = default;
+
+  [[nodiscard]] virtual GetResult get(std::string_view key) = 0;
+  [[nodiscard]] virtual GetResult iqget(std::string_view key) = 0;
+  virtual bool set(std::string_view key, std::string_view value,
+                   std::uint32_t flags, std::uint32_t cost,
+                   std::uint32_t exptime_s) = 0;
+  virtual bool iqset(std::string_view key, std::string_view value,
+                     std::uint32_t flags, std::uint32_t exptime_s) = 0;
+
+  // Convenience overloads (non-virtual): no expiry.
+  bool set(std::string_view key, std::string_view value, std::uint32_t flags,
+           std::uint32_t cost) {
+    return set(key, value, flags, cost, 0);
+  }
+  bool iqset(std::string_view key, std::string_view value,
+             std::uint32_t flags) {
+    return iqset(key, value, flags, 0);
+  }
+  virtual bool del(std::string_view key) = 0;
+};
+
+}  // namespace camp::kvs

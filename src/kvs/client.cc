@@ -1,0 +1,204 @@
+#include "kvs/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace camp::kvs {
+
+KvsClient::KvsClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("KvsClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("KvsClient: bad host address");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    throw std::runtime_error(std::string("KvsClient: connect failed: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+KvsClient::~KvsClient() {
+  if (fd_ >= 0) {
+    send_all("quit\r\n");
+    ::close(fd_);
+  }
+}
+
+void KvsClient::send_all(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) throw std::runtime_error("KvsClient: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string KvsClient::read_line() {
+  for (;;) {
+    const std::size_t pos = inbuf_.find("\r\n");
+    if (pos != std::string::npos) {
+      std::string line = inbuf_.substr(0, pos);
+      inbuf_.erase(0, pos + 2);
+      return line;
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) throw std::runtime_error("KvsClient: connection closed");
+    inbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string KvsClient::read_bytes(std::size_t n) {
+  while (inbuf_.size() < n + 2) {  // payload + CRLF
+    char chunk[16 * 1024];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got <= 0) throw std::runtime_error("KvsClient: connection closed");
+    inbuf_.append(chunk, static_cast<std::size_t>(got));
+  }
+  std::string payload = inbuf_.substr(0, n);
+  inbuf_.erase(0, n + 2);
+  return payload;
+}
+
+GetResult KvsClient::retrieve(std::string_view verb, std::string_view key) {
+  std::string request(verb);
+  request.append(" ").append(key).append("\r\n");
+  send_all(request);
+  GetResult result;
+  for (;;) {
+    const std::string line = read_line();
+    if (line == "END") return result;
+    if (line.rfind("VALUE ", 0) == 0) {
+      // VALUE <key> <flags> <bytes>
+      const std::size_t flags_pos = line.find(' ', 6);
+      const std::size_t bytes_pos = line.find(' ', flags_pos + 1);
+      result.flags = static_cast<std::uint32_t>(
+          std::stoul(line.substr(flags_pos + 1, bytes_pos - flags_pos - 1)));
+      const auto nbytes =
+          static_cast<std::size_t>(std::stoul(line.substr(bytes_pos + 1)));
+      result.value = read_bytes(nbytes);
+      result.hit = true;
+      continue;
+    }
+    throw std::runtime_error("KvsClient: unexpected reply: " + line);
+  }
+}
+
+GetResult KvsClient::get(std::string_view key) { return retrieve("get", key); }
+
+GetResult KvsClient::iqget(std::string_view key) {
+  return retrieve("iqget", key);
+}
+
+bool KvsClient::store(std::string_view verb, std::string_view key,
+                      std::string_view value, std::uint32_t flags,
+                      std::uint32_t cost, std::uint32_t exptime_s,
+                      bool include_cost) {
+  std::string request(verb);
+  request.append(" ").append(key);
+  request.append(" ").append(std::to_string(flags));
+  request.append(" ").append(std::to_string(exptime_s)).append(" ");
+  request.append(std::to_string(value.size()));
+  if (include_cost) request.append(" ").append(std::to_string(cost));
+  request.append("\r\n");
+  request.append(value);
+  request.append("\r\n");
+  send_all(request);
+  const std::string line = read_line();
+  if (line == "STORED") return true;
+  if (line == "NOT_STORED") return false;
+  throw std::runtime_error("KvsClient: unexpected reply: " + line);
+}
+
+bool KvsClient::set(std::string_view key, std::string_view value,
+                    std::uint32_t flags, std::uint32_t cost,
+                    std::uint32_t exptime_s) {
+  return store("set", key, value, flags, cost, exptime_s, cost != 0);
+}
+
+bool KvsClient::iqset(std::string_view key, std::string_view value,
+                      std::uint32_t flags, std::uint32_t exptime_s) {
+  return store("iqset", key, value, flags, 0, exptime_s, false);
+}
+
+std::map<std::string, GetResult> KvsClient::multi_get(
+    const std::vector<std::string>& keys) {
+  std::string request("get");
+  for (const std::string& key : keys) request.append(" ").append(key);
+  request.append("\r\n");
+  send_all(request);
+  std::map<std::string, GetResult> out;
+  for (;;) {
+    const std::string line = read_line();
+    if (line == "END") return out;
+    if (line.rfind("VALUE ", 0) == 0) {
+      const std::size_t key_end = line.find(' ', 6);
+      const std::string key = line.substr(6, key_end - 6);
+      const std::size_t bytes_pos = line.find(' ', key_end + 1);
+      GetResult r;
+      r.flags = static_cast<std::uint32_t>(
+          std::stoul(line.substr(key_end + 1, bytes_pos - key_end - 1)));
+      const auto nbytes =
+          static_cast<std::size_t>(std::stoul(line.substr(bytes_pos + 1)));
+      r.value = read_bytes(nbytes);
+      r.hit = true;
+      out.emplace(key, std::move(r));
+      continue;
+    }
+    throw std::runtime_error("KvsClient: unexpected reply: " + line);
+  }
+}
+
+bool KvsClient::del(std::string_view key) {
+  std::string request("delete ");
+  request.append(key).append("\r\n");
+  send_all(request);
+  const std::string line = read_line();
+  if (line == "DELETED") return true;
+  if (line == "NOT_FOUND") return false;
+  throw std::runtime_error("KvsClient: unexpected reply: " + line);
+}
+
+std::map<std::string, std::string> KvsClient::stats() {
+  send_all("stats\r\n");
+  std::map<std::string, std::string> out;
+  for (;;) {
+    const std::string line = read_line();
+    if (line == "END") return out;
+    if (line.rfind("STAT ", 0) == 0) {
+      const std::size_t value_pos = line.find(' ', 5);
+      out.emplace(line.substr(5, value_pos - 5), line.substr(value_pos + 1));
+      continue;
+    }
+    throw std::runtime_error("KvsClient: unexpected stats reply: " + line);
+  }
+}
+
+void KvsClient::flush_all() {
+  send_all("flush_all\r\n");
+  const std::string line = read_line();
+  if (line != "OK") {
+    throw std::runtime_error("KvsClient: flush_all failed: " + line);
+  }
+}
+
+std::string KvsClient::version() {
+  send_all("version\r\n");
+  return read_line();
+}
+
+}  // namespace camp::kvs

@@ -1,0 +1,55 @@
+// Blocking TCP client for the KVS server — the repository's counterpart of
+// the Whalin memcached client used in the paper's Section 4 experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+#include <string>
+#include <string_view>
+
+#include "kvs/api.h"
+
+namespace camp::kvs {
+
+class KvsClient final : public KvsApi {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  KvsClient(const std::string& host, std::uint16_t port);
+  ~KvsClient() override;
+  KvsClient(const KvsClient&) = delete;
+  KvsClient& operator=(const KvsClient&) = delete;
+
+  [[nodiscard]] GetResult get(std::string_view key) override;
+  [[nodiscard]] GetResult iqget(std::string_view key) override;
+  using KvsApi::set;
+  using KvsApi::iqset;
+  bool set(std::string_view key, std::string_view value, std::uint32_t flags,
+           std::uint32_t cost, std::uint32_t exptime_s) override;
+  bool iqset(std::string_view key, std::string_view value,
+             std::uint32_t flags, std::uint32_t exptime_s) override;
+  bool del(std::string_view key) override;
+
+  /// Pipelined multi-key get ("get k1 k2 ..."): returns hits only.
+  [[nodiscard]] std::map<std::string, GetResult> multi_get(
+      const std::vector<std::string>& keys);
+
+  [[nodiscard]] std::map<std::string, std::string> stats();
+  void flush_all();
+  [[nodiscard]] std::string version();
+
+ private:
+  [[nodiscard]] GetResult retrieve(std::string_view verb,
+                                   std::string_view key);
+  bool store(std::string_view verb, std::string_view key,
+             std::string_view value, std::uint32_t flags, std::uint32_t cost,
+             std::uint32_t exptime_s, bool include_cost);
+  void send_all(std::string_view data);
+  [[nodiscard]] std::string read_line();
+  [[nodiscard]] std::string read_bytes(std::size_t n);
+
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace camp::kvs

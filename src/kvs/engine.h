@@ -1,0 +1,144 @@
+// The KVS storage engine: slab-allocated values + a pluggable eviction
+// policy, mirroring the paper's IQ Twemcache implementation (Section 4).
+//
+// The engine wires three pieces together:
+//   * a SlabAllocator holding the actual bytes,
+//   * an eviction policy (LRU or CAMP via policy::ICache) deciding *which*
+//     pair to drop when memory runs out, and
+//   * the IQ cost capture: an iqget that misses records a timestamp; the
+//     subsequent iqset uses (set_time - miss_time) as the pair's cost
+//     ("the difference between these two timestamps is used as the cost").
+//
+// Not thread-safe by itself: ShardedKvs (sharded_cache.h) provides the
+// hash-partitioned, per-shard-locked wrapper from the paper's Section 4.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "kvs/item.h"
+#include "policy/cache_iface.h"
+#include "slab/slab_allocator.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace camp::kvs {
+
+/// Builds the eviction policy for a given byte budget ("lru", "camp", any
+/// policy_factory spec).
+using PolicyFactory =
+    std::function<std::unique_ptr<policy::ICache>(std::uint64_t capacity)>;
+
+struct EngineConfig {
+  slab::SlabConfig slab;
+  /// Fraction of slab memory the policy may account for; the headroom
+  /// absorbs per-class fragmentation so policy evictions usually free a
+  /// usable chunk before the allocator runs dry.
+  double policy_fill_fraction = 0.85;
+  /// Scale ns timestamps to cost units for iqset (1000 = microseconds).
+  std::uint64_t cost_time_divisor_ns = 1000;
+  std::uint64_t rng_seed = 0x5eedc0de;
+};
+
+struct EngineStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t rejected_sets = 0;
+  std::uint64_t expired = 0;  // pairs lazily dropped on an expired get
+  std::uint64_t slab_reassignments = 0;
+  std::uint64_t items = 0;
+  std::uint64_t value_bytes = 0;  // payload bytes currently resident
+};
+
+struct GetResult {
+  bool hit = false;
+  std::string value;
+  std::uint32_t flags = 0;
+};
+
+class KvsEngine {
+ public:
+  /// `clock` must outlive the engine. The policy factory receives the
+  /// policy byte budget (fill fraction * slab memory limit).
+  KvsEngine(EngineConfig config, const PolicyFactory& policy_factory,
+            const util::Clock& clock);
+  KvsEngine(const KvsEngine&) = delete;
+  KvsEngine& operator=(const KvsEngine&) = delete;
+
+  /// Plain get. Copies the value out (the caller may outlive the chunk).
+  /// An expired pair counts as a miss and is lazily removed (twemcache's
+  /// "replace an expired key-value" allocation step happens through here).
+  [[nodiscard]] GetResult get(std::string_view key);
+
+  /// IQ get: a miss records the miss timestamp for cost capture.
+  [[nodiscard]] GetResult iqget(std::string_view key);
+
+  /// Store with an explicit cost (0 means "unknown": clamps to 1).
+  /// `exptime_s` = seconds until expiry, 0 = never (memcached semantics).
+  bool set(std::string_view key, std::string_view value, std::uint32_t flags,
+           std::uint32_t cost, std::uint32_t exptime_s = 0);
+
+  /// IQ set: cost = elapsed time since the iqget miss (scaled), or 1 when
+  /// no miss was recorded.
+  bool iqset(std::string_view key, std::string_view value,
+             std::uint32_t flags, std::uint32_t exptime_s = 0);
+
+  bool del(std::string_view key);
+  void flush_all();
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Visit every resident pair. Expired pairs are skipped (this is a const
+  /// walk; lazy removal still happens on the next get). `remaining_ttl_s`
+  /// is 0 for pairs that never expire, else the seconds left (>= 1).
+  /// Used by the snapshot module (kvs/snapshot.h); order unspecified.
+  void for_each_item(
+      const std::function<void(std::string_view key, std::string_view value,
+                               std::uint32_t flags, std::uint32_t cost,
+                               std::uint32_t remaining_ttl_s)>& fn) const;
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const policy::CacheStats& policy_stats() const {
+    return policy_->stats();
+  }
+  [[nodiscard]] std::string policy_name() const { return policy_->name(); }
+  [[nodiscard]] const slab::SlabAllocator& allocator() const { return slab_; }
+
+ private:
+  struct Item {
+    policy::Key id = 0;
+    slab::Chunk chunk;
+    std::uint32_t value_len = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t cost = 0;
+    std::uint64_t expiry_ns = 0;  // 0 = never expires
+  };
+
+  void remove_item(const std::string& key, bool free_chunk);
+  void on_policy_eviction(policy::Key id);
+  [[nodiscard]] std::optional<slab::Chunk> allocate_with_pressure(
+      std::uint64_t footprint);
+
+  EngineConfig config_;
+  slab::SlabAllocator slab_;
+  std::unique_ptr<policy::ICache> policy_;
+  const util::Clock& clock_;
+  util::Xoshiro256 rng_;
+  std::unordered_map<std::string, Item> index_;
+  std::unordered_map<policy::Key, std::string> id_to_key_;
+  std::unordered_map<std::string, std::uint64_t> miss_timestamps_;
+  policy::Key next_id_ = 1;
+  // Set in flight: the policy already accounts for this id but its chunk is
+  // not allocated yet. If pressure eviction picks it as the victim, the set
+  // aborts instead of dereferencing a not-yet-existing item.
+  policy::Key pending_id_ = 0;
+  bool pending_evicted_ = false;
+  EngineStats stats_;
+};
+
+}  // namespace camp::kvs

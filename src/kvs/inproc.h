@@ -1,0 +1,38 @@
+// In-process transport: KvsApi implemented by direct calls into a KvsStore.
+// No sockets, no protocol parse — used for deterministic tests and as the
+// lower bound in the transport ablation.
+#pragma once
+
+#include "kvs/api.h"
+#include "kvs/store.h"
+
+namespace camp::kvs {
+
+class InprocClient final : public KvsApi {
+ public:
+  /// The store must outlive the client.
+  explicit InprocClient(KvsStore& store) : store_(store) {}
+
+  [[nodiscard]] GetResult get(std::string_view key) override {
+    return store_.get(key);
+  }
+  [[nodiscard]] GetResult iqget(std::string_view key) override {
+    return store_.iqget(key);
+  }
+  using KvsApi::set;
+  using KvsApi::iqset;
+  bool set(std::string_view key, std::string_view value, std::uint32_t flags,
+           std::uint32_t cost, std::uint32_t exptime_s) override {
+    return store_.set(key, value, flags, cost, exptime_s);
+  }
+  bool iqset(std::string_view key, std::string_view value,
+             std::uint32_t flags, std::uint32_t exptime_s) override {
+    return store_.iqset(key, value, flags, exptime_s);
+  }
+  bool del(std::string_view key) override { return store_.del(key); }
+
+ private:
+  KvsStore& store_;
+};
+
+}  // namespace camp::kvs

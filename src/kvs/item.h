@@ -1,0 +1,67 @@
+// On-chunk item layout for the KVS engine.
+//
+// Each slab chunk stores a small header followed by the key bytes and the
+// value bytes. Keeping the key inside the chunk lets slab reassignment
+// (calcification remedy) identify the resident item from raw chunk memory,
+// exactly like twemcache's item headers do.
+//
+//   [ItemHeader][key bytes][value bytes]
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace camp::kvs {
+
+struct ItemHeader {
+  std::uint16_t key_len = 0;
+  std::uint32_t value_len = 0;
+  std::uint32_t flags = 0;     // opaque client flags (memcached semantics)
+  std::uint32_t cost = 0;      // integer cost units (for CAMP/GDS)
+};
+
+inline constexpr std::size_t kItemHeaderSize = sizeof(ItemHeader);
+inline constexpr std::size_t kMaxKeyLength = 250;  // memcached's limit
+
+/// Total chunk bytes needed for a key/value pair.
+[[nodiscard]] inline std::uint64_t item_footprint(std::size_t key_len,
+                                                  std::size_t value_len) {
+  return kItemHeaderSize + key_len + value_len;
+}
+
+/// Serialize header+key+value into `chunk_data` (must be large enough).
+inline void write_item(std::byte* chunk_data, std::string_view key,
+                       std::string_view value, std::uint32_t flags,
+                       std::uint32_t cost) {
+  ItemHeader header;
+  header.key_len = static_cast<std::uint16_t>(key.size());
+  header.value_len = static_cast<std::uint32_t>(value.size());
+  header.flags = flags;
+  header.cost = cost;
+  std::memcpy(chunk_data, &header, kItemHeaderSize);
+  std::memcpy(chunk_data + kItemHeaderSize, key.data(), key.size());
+  std::memcpy(chunk_data + kItemHeaderSize + key.size(), value.data(),
+              value.size());
+}
+
+[[nodiscard]] inline ItemHeader read_item_header(const std::byte* chunk_data) {
+  ItemHeader header;
+  std::memcpy(&header, chunk_data, kItemHeaderSize);
+  return header;
+}
+
+[[nodiscard]] inline std::string_view item_key(const std::byte* chunk_data,
+                                               const ItemHeader& header) {
+  return {reinterpret_cast<const char*>(chunk_data) + kItemHeaderSize,
+          header.key_len};
+}
+
+[[nodiscard]] inline std::string_view item_value(const std::byte* chunk_data,
+                                                 const ItemHeader& header) {
+  return {reinterpret_cast<const char*>(chunk_data) + kItemHeaderSize +
+              header.key_len,
+          header.value_len};
+}
+
+}  // namespace camp::kvs

@@ -1,0 +1,163 @@
+#include "kvs/protocol.h"
+
+#include <charconv>
+
+namespace camp::kvs {
+
+namespace {
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > start) tokens.push_back(line.substr(start, pos - start));
+  }
+  return tokens;
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool valid_key(std::string_view key) {
+  if (key.empty() || key.size() > 250) return false;
+  for (const char c : key) {
+    if (c == ' ' || c == '\r' || c == '\n' || c == '\0') return false;
+  }
+  return true;
+}
+
+std::optional<Command> parse_storage(CommandType type,
+                                     const std::vector<std::string_view>& t) {
+  // set <key> <flags> <exptime> <bytes> [cost] [noreply]
+  if (t.size() < 5 || t.size() > 7) return std::nullopt;
+  Command cmd;
+  cmd.type = type;
+  if (!valid_key(t[1])) return std::nullopt;
+  cmd.key = std::string(t[1]);
+  if (!parse_u32(t[2], cmd.flags) || !parse_u32(t[3], cmd.exptime) ||
+      !parse_u32(t[4], cmd.value_bytes)) {
+    return std::nullopt;
+  }
+  std::size_t next = 5;
+  if (type == CommandType::kSet && next < t.size() && t[next] != "noreply") {
+    if (!parse_u32(t[next], cmd.cost)) return std::nullopt;
+    ++next;
+  }
+  if (next < t.size()) {
+    if (t[next] != "noreply") return std::nullopt;
+    cmd.noreply = true;
+    ++next;
+  }
+  return next == t.size() ? std::optional<Command>(cmd) : std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Command> parse_command(std::string_view line) {
+  const auto tokens = split_tokens(line);
+  if (tokens.empty()) return std::nullopt;
+  const std::string_view verb = tokens[0];
+
+  if (verb == "get") {
+    if (tokens.size() < 2) return std::nullopt;
+    Command cmd;
+    cmd.type = CommandType::kGet;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (!valid_key(tokens[i])) return std::nullopt;
+      if (i == 1) {
+        cmd.key = std::string(tokens[i]);
+      } else {
+        cmd.extra_keys.emplace_back(tokens[i]);
+      }
+    }
+    return cmd;
+  }
+  if (verb == "iqget") {
+    if (tokens.size() != 2 || !valid_key(tokens[1])) return std::nullopt;
+    Command cmd;
+    cmd.type = CommandType::kIqGet;
+    cmd.key = std::string(tokens[1]);
+    return cmd;
+  }
+  if (verb == "set") return parse_storage(CommandType::kSet, tokens);
+  if (verb == "iqset") return parse_storage(CommandType::kIqSet, tokens);
+  if (verb == "delete") {
+    if (tokens.size() < 2 || tokens.size() > 3 || !valid_key(tokens[1])) {
+      return std::nullopt;
+    }
+    Command cmd;
+    cmd.type = CommandType::kDelete;
+    cmd.key = std::string(tokens[1]);
+    if (tokens.size() == 3) {
+      if (tokens[2] != "noreply") return std::nullopt;
+      cmd.noreply = true;
+    }
+    return cmd;
+  }
+  if (verb == "stats" && tokens.size() == 1) {
+    Command cmd;
+    cmd.type = CommandType::kStats;
+    return cmd;
+  }
+  if (verb == "flush_all" && tokens.size() == 1) {
+    Command cmd;
+    cmd.type = CommandType::kFlushAll;
+    return cmd;
+  }
+  if (verb == "version" && tokens.size() == 1) {
+    Command cmd;
+    cmd.type = CommandType::kVersion;
+    return cmd;
+  }
+  if (verb == "quit" && tokens.size() == 1) {
+    Command cmd;
+    cmd.type = CommandType::kQuit;
+    return cmd;
+  }
+  return std::nullopt;
+}
+
+std::string format_value(std::string_view key, std::uint32_t flags,
+                         std::string_view data) {
+  std::string out;
+  out.reserve(key.size() + data.size() + 32);
+  out.append("VALUE ");
+  out.append(key);
+  out.push_back(' ');
+  out.append(std::to_string(flags));
+  out.push_back(' ');
+  out.append(std::to_string(data.size()));
+  out.append("\r\n");
+  out.append(data);
+  out.append("\r\n");
+  return out;
+}
+
+std::string format_end() { return "END\r\n"; }
+
+std::string format_stored(bool stored) {
+  return stored ? "STORED\r\n" : "NOT_STORED\r\n";
+}
+
+std::string format_deleted(bool deleted) {
+  return deleted ? "DELETED\r\n" : "NOT_FOUND\r\n";
+}
+
+std::string format_error() { return "ERROR\r\n"; }
+
+std::string format_stat(std::string_view name, std::string_view value) {
+  std::string out("STAT ");
+  out.append(name);
+  out.push_back(' ');
+  out.append(value);
+  out.append("\r\n");
+  return out;
+}
+
+}  // namespace camp::kvs

@@ -1,0 +1,70 @@
+// Memcached text protocol subset, plus the IQ extensions the paper's
+// implementation uses (iqget/iqset) and an optional trailing cost on set.
+//
+//   get <key> [<key> ...]\r\n          (multi-key get supported)
+//   iqget <key>\r\n
+//   set <key> <flags> <exptime> <bytes> [cost] [noreply]\r\n<data>\r\n
+//   iqset <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//   delete <key> [noreply]\r\n
+//   stats\r\n | flush_all\r\n | version\r\n | quit\r\n
+//
+// Responses follow memcached: "VALUE <key> <flags> <bytes>\r\n<data>\r\nEND",
+// "STORED"/"NOT_STORED", "DELETED"/"NOT_FOUND", "STAT <k> <v>...END",
+// "ERROR".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace camp::kvs {
+
+enum class CommandType {
+  kGet,
+  kIqGet,
+  kSet,
+  kIqSet,
+  kDelete,
+  kStats,
+  kFlushAll,
+  kVersion,
+  kQuit,
+};
+
+struct Command {
+  CommandType type = CommandType::kGet;
+  std::string key;
+  std::vector<std::string> extra_keys;  // additional keys of a multi-get
+  std::uint32_t flags = 0;
+  std::uint32_t exptime = 0;      // seconds until expiry; 0 = never
+  std::uint32_t value_bytes = 0;  // payload length for set/iqset
+  std::uint32_t cost = 0;         // optional on set (0 = unspecified)
+  bool noreply = false;
+};
+
+/// Parse one command line (without the trailing CRLF). nullopt = protocol
+/// error (caller answers "ERROR").
+[[nodiscard]] std::optional<Command> parse_command(std::string_view line);
+
+// ---- response formatting ------------------------------------------------------
+
+[[nodiscard]] std::string format_value(std::string_view key,
+                                       std::uint32_t flags,
+                                       std::string_view data);
+[[nodiscard]] std::string format_end();
+[[nodiscard]] std::string format_stored(bool stored);
+[[nodiscard]] std::string format_deleted(bool deleted);
+[[nodiscard]] std::string format_error();
+[[nodiscard]] std::string format_stat(std::string_view name,
+                                      std::string_view value);
+
+/// Consumes a full "VALUE..." | "END" response from a client-side buffer.
+struct ParsedValue {
+  bool found = false;
+  std::string value;
+  std::uint32_t flags = 0;
+};
+
+}  // namespace camp::kvs

@@ -1,0 +1,219 @@
+#include "kvs/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "kvs/protocol.h"
+
+namespace camp::kvs {
+
+namespace {
+
+// Blocking full-buffer send.
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads more bytes into buf; false on EOF/error.
+bool fill(int fd, std::string& buf) {
+  char chunk[16 * 1024];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n <= 0) return false;
+  buf.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+// Extract one CRLF-terminated line; false when more data is needed.
+bool take_line(std::string& buf, std::string& line) {
+  const std::size_t pos = buf.find("\r\n");
+  if (pos == std::string::npos) return false;
+  line = buf.substr(0, pos);
+  buf.erase(0, pos + 2);
+  return true;
+}
+
+// Extract exactly n bytes + CRLF; false when more data is needed.
+bool take_payload(std::string& buf, std::size_t n, std::string& payload) {
+  if (buf.size() < n + 2) return false;
+  payload = buf.substr(0, n);
+  buf.erase(0, n + 2);  // also drop the trailing CRLF
+  return true;
+}
+
+}  // namespace
+
+KvsServer::KvsServer(ServerConfig config, const PolicyFactory& policy_factory,
+                     const util::Clock& clock)
+    : config_(std::move(config)),
+      store_(config_.store, policy_factory, clock) {}
+
+KvsServer::~KvsServer() { stop(); }
+
+void KvsServer::start() {
+  if (running_.load()) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("KvsServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    throw std::runtime_error("KvsServer: bad bind address");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw std::runtime_error(std::string("KvsServer: bind failed: ") +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    throw std::runtime_error("KvsServer: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void KvsServer::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::close(fd);
+    connection_fds_.clear();
+    connection_threads_.clear();
+  }
+}
+
+void KvsServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(
+        [this, fd] { handle_connection(fd); });
+  }
+}
+
+void KvsServer::handle_connection(int fd) {
+  std::string inbuf;
+  std::string line;
+  while (running_.load()) {
+    if (!take_line(inbuf, line)) {
+      if (!fill(fd, inbuf)) break;
+      continue;
+    }
+    auto cmd = parse_command(line);
+    if (!cmd) {
+      if (!send_all(fd, format_error())) break;
+      continue;
+    }
+    switch (cmd->type) {
+      case CommandType::kGet:
+      case CommandType::kIqGet: {
+        std::string reply;
+        const GetResult result = cmd->type == CommandType::kGet
+                                     ? store_.get(cmd->key)
+                                     : store_.iqget(cmd->key);
+        if (result.hit) {
+          reply = format_value(cmd->key, result.flags, result.value);
+        }
+        for (const std::string& key : cmd->extra_keys) {
+          const GetResult extra = store_.get(key);
+          if (extra.hit) {
+            reply += format_value(key, extra.flags, extra.value);
+          }
+        }
+        reply += format_end();
+        if (!send_all(fd, reply)) return;
+        break;
+      }
+      case CommandType::kSet:
+      case CommandType::kIqSet: {
+        std::string payload;
+        while (!take_payload(inbuf, cmd->value_bytes, payload)) {
+          if (!fill(fd, inbuf)) return;
+        }
+        const bool stored =
+            cmd->type == CommandType::kSet
+                ? store_.set(cmd->key, payload, cmd->flags, cmd->cost,
+                             cmd->exptime)
+                : store_.iqset(cmd->key, payload, cmd->flags, cmd->exptime);
+        if (!cmd->noreply && !send_all(fd, format_stored(stored))) return;
+        break;
+      }
+      case CommandType::kDelete: {
+        const bool deleted = store_.del(cmd->key);
+        if (!cmd->noreply && !send_all(fd, format_deleted(deleted))) return;
+        break;
+      }
+      case CommandType::kStats: {
+        const EngineStats s = store_.aggregated_stats();
+        std::string reply;
+        reply += format_stat("policy", store_.policy_name());
+        reply += format_stat("gets", std::to_string(s.gets));
+        reply += format_stat("hits", std::to_string(s.hits));
+        reply += format_stat("sets", std::to_string(s.sets));
+        reply += format_stat("deletes", std::to_string(s.deletes));
+        reply += format_stat("items", std::to_string(s.items));
+        reply += format_stat("value_bytes", std::to_string(s.value_bytes));
+        reply += format_stat("rejected_sets",
+                             std::to_string(s.rejected_sets));
+        reply += format_stat("expired", std::to_string(s.expired));
+        reply += format_stat("slab_reassignments",
+                             std::to_string(s.slab_reassignments));
+        reply += format_end();
+        if (!send_all(fd, reply)) return;
+        break;
+      }
+      case CommandType::kFlushAll: {
+        store_.flush_all();
+        if (!send_all(fd, "OK\r\n")) return;
+        break;
+      }
+      case CommandType::kVersion: {
+        if (!send_all(fd, "VERSION camp-kvs 1.0.0\r\n")) return;
+        break;
+      }
+      case CommandType::kQuit:
+        return;
+    }
+  }
+}
+
+}  // namespace camp::kvs

@@ -1,0 +1,62 @@
+// TCP server speaking the memcached text protocol subset (kvs/protocol.h),
+// fronting a KvsStore — the repository's stand-in for IQ Twemcache in the
+// Section 4 implementation experiments.
+//
+// Threading model: one acceptor thread plus one thread per connection
+// (bounded in practice by the benches' client counts). stop() shuts the
+// listener and every live connection down and joins all threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvs/store.h"
+
+namespace camp::kvs {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
+  StoreConfig store;
+};
+
+class KvsServer {
+ public:
+  KvsServer(ServerConfig config, const PolicyFactory& policy_factory,
+            const util::Clock& clock);
+  ~KvsServer();
+  KvsServer(const KvsServer&) = delete;
+  KvsServer& operator=(const KvsServer&) = delete;
+
+  /// Bind, listen and spawn the acceptor. Throws std::runtime_error on
+  /// socket errors.
+  void start();
+  void stop();
+
+  /// Actual listening port (resolves ephemeral 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] KvsStore& store() { return store_; }
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void serve_command(int fd, std::string& inbuf);
+
+  ServerConfig config_;
+  KvsStore store_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace camp::kvs

@@ -1,0 +1,114 @@
+#include "kvs/sharded_cache.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace camp::kvs {
+
+ShardedCache::ShardedCache(std::uint64_t capacity_bytes, std::size_t shards,
+                           const ShardFactory& factory) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedCache: need at least one shard");
+  }
+  if (capacity_bytes < shards) {
+    throw std::invalid_argument("ShardedCache: capacity below shard count");
+  }
+  const std::uint64_t share = capacity_bytes / shards;
+  const std::uint64_t remainder = capacity_bytes - share * shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const std::uint64_t cap = share + (i == shards - 1 ? remainder : 0);
+    shard->cache = factory(cap);
+    if (!shard->cache) {
+      throw std::invalid_argument("ShardedCache: factory returned null");
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedCache::Shard& ShardedCache::shard_for(policy::Key key) const {
+  const std::uint64_t h = util::mix64(key);
+  return *shards_[static_cast<std::size_t>(h % shards_.size())];
+}
+
+bool ShardedCache::get(policy::Key key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.cache->get(key);
+}
+
+bool ShardedCache::put(policy::Key key, std::uint64_t size,
+                       std::uint64_t cost) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.cache->put(key, size, cost);
+}
+
+bool ShardedCache::contains(policy::Key key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.cache->contains(key);
+}
+
+void ShardedCache::erase(policy::Key key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  shard.cache->erase(key);
+}
+
+std::uint64_t ShardedCache::capacity_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->cache->capacity_bytes();
+  return total;
+}
+
+std::uint64_t ShardedCache::used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->cache->used_bytes();
+  }
+  return total;
+}
+
+std::size_t ShardedCache::item_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->cache->item_count();
+  }
+  return total;
+}
+
+const policy::CacheStats& ShardedCache::stats() const {
+  policy::CacheStats agg;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    const policy::CacheStats& s = shard->cache->stats();
+    agg.gets += s.gets;
+    agg.hits += s.hits;
+    agg.misses += s.misses;
+    agg.puts += s.puts;
+    agg.evictions += s.evictions;
+    agg.rejected_puts += s.rejected_puts;
+  }
+  aggregated_ = agg;
+  return aggregated_;
+}
+
+std::string ShardedCache::name() const {
+  return "sharded(" + std::to_string(shards_.size()) + "x" +
+         shards_.front()->cache->name() + ")";
+}
+
+void ShardedCache::set_eviction_listener(policy::EvictionListener listener) {
+  // Each shard forwards to the shared listener. The listener runs under the
+  // shard's mutex; it must not call back into the same shard.
+  for (const auto& shard : shards_) {
+    shard->cache->set_eviction_listener(listener);
+  }
+}
+
+}  // namespace camp::kvs

@@ -1,0 +1,60 @@
+// Hash-partitioned, per-shard-locked cache — the paper's Section 4.1
+// vertical-scaling recipe: "CAMP may represent each LRU queue as multiple
+// physical queues and hash partition keys across these physical queues to
+// further enhance concurrent access."
+//
+// ShardedCache implements ICache and is safe for concurrent use: each key
+// maps to one shard (an independent policy instance guarded by its own
+// mutex), so threads touching different shards never contend. Aggregate
+// stats are assembled on demand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "policy/cache_iface.h"
+
+namespace camp::kvs {
+
+class ShardedCache final : public policy::ICache {
+ public:
+  using ShardFactory =
+      std::function<std::unique_ptr<policy::ICache>(std::uint64_t capacity)>;
+
+  /// Splits `capacity_bytes` evenly across `shards` instances built by the
+  /// factory.
+  ShardedCache(std::uint64_t capacity_bytes, std::size_t shards,
+               const ShardFactory& factory);
+
+  bool get(policy::Key key) override;
+  bool put(policy::Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(policy::Key key) const override;
+  void erase(policy::Key key) override;
+  [[nodiscard]] std::uint64_t capacity_bytes() const override;
+  [[nodiscard]] std::uint64_t used_bytes() const override;
+  [[nodiscard]] std::size_t item_count() const override;
+  /// Aggregated snapshot; rebuilt on each call.
+  [[nodiscard]] const policy::CacheStats& stats() const override;
+  [[nodiscard]] std::string name() const override;
+  void set_eviction_listener(policy::EvictionListener listener) override;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<policy::ICache> cache;
+    mutable std::mutex mutex;
+  };
+
+  [[nodiscard]] Shard& shard_for(policy::Key key) const;
+
+  // deque-like stable storage via unique_ptr (mutexes are immovable).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable policy::CacheStats aggregated_;
+};
+
+}  // namespace camp::kvs

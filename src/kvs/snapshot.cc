@@ -1,0 +1,115 @@
+#include "kvs/snapshot.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace camp::kvs {
+
+namespace {
+
+template <class T>
+void put_le(std::ostream& out, T value) {
+  std::array<unsigned char, sizeof(T)> buf;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(buf.data()), sizeof(T));
+}
+
+template <class T>
+T get_le(std::istream& in) {
+  std::array<unsigned char, sizeof(T)> buf;
+  in.read(reinterpret_cast<char*>(buf.data()), sizeof(T));
+  if (!in) throw std::runtime_error("snapshot: truncated input");
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(buf[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t save_snapshot(std::ostream& out, const KvsStore& store) {
+  // Two-pass: the count precedes the items in the format, and the store
+  // only exposes iteration.
+  std::uint64_t count = 0;
+  store.for_each_item([&](std::string_view, std::string_view, std::uint32_t,
+                          std::uint32_t, std::uint32_t) { ++count; });
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  put_le<std::uint64_t>(out, count);
+  std::uint64_t written = 0;
+  store.for_each_item([&](std::string_view key, std::string_view value,
+                          std::uint32_t flags, std::uint32_t cost,
+                          std::uint32_t ttl_s) {
+    // The resident set may shrink between the passes (expiry); pad-proof
+    // by never writing more than `count` items. A growth between passes
+    // cannot happen (for_each_item is const and the caller holds the
+    // store single-threaded during snapshots by contract).
+    if (written == count) return;
+    put_le<std::uint32_t>(out, static_cast<std::uint32_t>(key.size()));
+    put_le<std::uint32_t>(out, static_cast<std::uint32_t>(value.size()));
+    put_le<std::uint32_t>(out, flags);
+    put_le<std::uint32_t>(out, cost);
+    put_le<std::uint32_t>(out, ttl_s);
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    ++written;
+  });
+  // If expiry shrank the second pass, backfill is impossible in a stream;
+  // declare the file invalid rather than quietly truncating.
+  if (written != count) {
+    throw std::runtime_error("snapshot: resident set changed during save");
+  }
+  if (!out) throw std::runtime_error("snapshot: write failed");
+  return written;
+}
+
+std::uint64_t save_snapshot_file(const std::string& path,
+                                 const KvsStore& store) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("snapshot: cannot open " + path);
+  return save_snapshot(out, store);
+}
+
+SnapshotStats load_snapshot(std::istream& in, KvsStore& store) {
+  char magic[sizeof(kSnapshotMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("snapshot: bad magic");
+  }
+  const auto count = get_le<std::uint64_t>(in);
+  SnapshotStats stats;
+  std::string key, value;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto key_len = get_le<std::uint32_t>(in);
+    const auto value_len = get_le<std::uint32_t>(in);
+    const auto flags = get_le<std::uint32_t>(in);
+    const auto cost = get_le<std::uint32_t>(in);
+    const auto ttl_s = get_le<std::uint32_t>(in);
+    key.resize(key_len);
+    value.resize(value_len);
+    in.read(key.data(), key_len);
+    in.read(value.data(), value_len);
+    if (!in) throw std::runtime_error("snapshot: truncated item");
+    if (store.set(key, value, flags, cost, ttl_s)) {
+      ++stats.items_loaded;
+    } else {
+      ++stats.items_rejected;
+    }
+  }
+  stats.items_written = count;
+  return stats;
+}
+
+SnapshotStats load_snapshot_file(const std::string& path, KvsStore& store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snapshot: cannot open " + path);
+  return load_snapshot(in, store);
+}
+
+}  // namespace camp::kvs

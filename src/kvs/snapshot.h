@@ -1,0 +1,49 @@
+// Warm-restart snapshots for the KVS store (paper Section 6: a hierarchical
+// deployment "may persist costly data items"; the snapshot is the simplest
+// persistence tier — dump the resident set, reload it after a restart so
+// the expensive pairs do not have to be recomputed from a cold cache).
+//
+// Format (little-endian, magic "CAMPSNP1"):
+//
+//   [magic:8][count:u64]
+//   per item: [key_len:u32][value_len:u32][flags:u32][cost:u32][ttl_s:u32]
+//             [key bytes][value bytes]
+//
+// Loading replays items through the normal set() path, so the eviction
+// policy re-admits them and memory limits are honoured: a snapshot larger
+// than the target store simply loads its prefix (later items may evict
+// earlier ones, exactly as live traffic would). Recency order inside the
+// snapshot is the walk order of the source store, not the original access
+// order — what survives a restart is the *cost* information CAMP needs,
+// while recency rebuilds within a few requests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "kvs/store.h"
+
+namespace camp::kvs {
+
+inline constexpr char kSnapshotMagic[8] = {'C', 'A', 'M', 'P',
+                                           'S', 'N', 'P', '1'};
+
+struct SnapshotStats {
+  std::uint64_t items_written = 0;
+  std::uint64_t items_loaded = 0;    // accepted by set()
+  std::uint64_t items_rejected = 0;  // refused (capacity/size limits)
+};
+
+/// Dump every resident, unexpired pair. Returns the number written.
+/// Throws std::runtime_error on I/O failure.
+std::uint64_t save_snapshot(std::ostream& out, const KvsStore& store);
+std::uint64_t save_snapshot_file(const std::string& path,
+                                 const KvsStore& store);
+
+/// Replay a snapshot into `store` via set(). Returns load accounting.
+/// Throws std::runtime_error on bad magic or truncation.
+SnapshotStats load_snapshot(std::istream& in, KvsStore& store);
+SnapshotStats load_snapshot_file(const std::string& path, KvsStore& store);
+
+}  // namespace camp::kvs

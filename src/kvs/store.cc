@@ -1,0 +1,136 @@
+#include "kvs/store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace camp::kvs {
+
+namespace {
+
+std::uint64_t hash_key(std::string_view key) {
+  // FNV-1a finished with a strong mix.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return util::mix64(h);
+}
+
+}  // namespace
+
+KvsStore::KvsStore(StoreConfig config, const PolicyFactory& policy_factory,
+                   const util::Clock& clock) {
+  if (config.shards == 0) {
+    throw std::invalid_argument("StoreConfig: need at least one shard");
+  }
+  EngineConfig per_shard = config.engine;
+  per_shard.slab.memory_limit_bytes =
+      std::max<std::uint64_t>(config.engine.slab.memory_limit_bytes /
+                                  config.shards,
+                              per_shard.slab.slab_size_bytes);
+  shards_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    EngineConfig cfg = per_shard;
+    cfg.rng_seed = per_shard.rng_seed + i;
+    shard->engine = std::make_unique<KvsEngine>(cfg, policy_factory, clock);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+KvsStore::Shard& KvsStore::shard_for(std::string_view key) const {
+  return *shards_[static_cast<std::size_t>(hash_key(key) % shards_.size())];
+}
+
+GetResult KvsStore::get(std::string_view key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.engine->get(key);
+}
+
+GetResult KvsStore::iqget(std::string_view key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.engine->iqget(key);
+}
+
+bool KvsStore::set(std::string_view key, std::string_view value,
+                   std::uint32_t flags, std::uint32_t cost,
+                   std::uint32_t exptime_s) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.engine->set(key, value, flags, cost, exptime_s);
+}
+
+bool KvsStore::iqset(std::string_view key, std::string_view value,
+                     std::uint32_t flags, std::uint32_t exptime_s) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.engine->iqset(key, value, flags, exptime_s);
+}
+
+bool KvsStore::del(std::string_view key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.engine->del(key);
+}
+
+void KvsStore::flush_all() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->engine->flush_all();
+  }
+}
+
+void KvsStore::for_each_item(
+    const std::function<void(std::string_view, std::string_view,
+                             std::uint32_t, std::uint32_t, std::uint32_t)>&
+        fn) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->engine->for_each_item(fn);
+  }
+}
+
+EngineStats KvsStore::aggregated_stats() const {
+  EngineStats agg;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    const EngineStats& s = shard->engine->stats();
+    agg.gets += s.gets;
+    agg.hits += s.hits;
+    agg.sets += s.sets;
+    agg.deletes += s.deletes;
+    agg.rejected_sets += s.rejected_sets;
+    agg.expired += s.expired;
+    agg.slab_reassignments += s.slab_reassignments;
+    agg.items += s.items;
+    agg.value_bytes += s.value_bytes;
+  }
+  return agg;
+}
+
+policy::CacheStats KvsStore::aggregated_policy_stats() const {
+  policy::CacheStats agg;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    const policy::CacheStats& s = shard->engine->policy_stats();
+    agg.gets += s.gets;
+    agg.hits += s.hits;
+    agg.misses += s.misses;
+    agg.puts += s.puts;
+    agg.evictions += s.evictions;
+    agg.rejected_puts += s.rejected_puts;
+  }
+  return agg;
+}
+
+std::string KvsStore::policy_name() const {
+  std::lock_guard lock(shards_.front()->mutex);
+  return shards_.front()->engine->policy_name();
+}
+
+}  // namespace camp::kvs

@@ -1,0 +1,62 @@
+// KvsStore: the thread-safe front of the storage engine. Keys are hash
+// partitioned across N independent KvsEngine shards, each guarded by its
+// own mutex (the paper's Section 4.1 concurrency recipe applied at the
+// store level). The server and the in-process transport both talk to this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "kvs/engine.h"
+
+namespace camp::kvs {
+
+struct StoreConfig {
+  std::size_t shards = 4;
+  EngineConfig engine;  // memory limit is split across shards
+};
+
+class KvsStore {
+ public:
+  KvsStore(StoreConfig config, const PolicyFactory& policy_factory,
+           const util::Clock& clock);
+  KvsStore(const KvsStore&) = delete;
+  KvsStore& operator=(const KvsStore&) = delete;
+
+  [[nodiscard]] GetResult get(std::string_view key);
+  [[nodiscard]] GetResult iqget(std::string_view key);
+  bool set(std::string_view key, std::string_view value, std::uint32_t flags,
+           std::uint32_t cost, std::uint32_t exptime_s = 0);
+  bool iqset(std::string_view key, std::string_view value,
+             std::uint32_t flags, std::uint32_t exptime_s = 0);
+  bool del(std::string_view key);
+  void flush_all();
+
+  /// Visit every resident, unexpired pair across all shards (each shard
+  /// walked under its own lock). Used by kvs/snapshot.h.
+  void for_each_item(
+      const std::function<void(std::string_view key, std::string_view value,
+                               std::uint32_t flags, std::uint32_t cost,
+                               std::uint32_t remaining_ttl_s)>& fn) const;
+
+  [[nodiscard]] EngineStats aggregated_stats() const;
+  [[nodiscard]] policy::CacheStats aggregated_policy_stats() const;
+  [[nodiscard]] std::string policy_name() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<KvsEngine> engine;
+    mutable std::mutex mutex;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace camp::kvs

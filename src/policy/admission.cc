@@ -1,0 +1,97 @@
+#include "policy/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace camp::policy {
+
+namespace {
+constexpr int kHashes = 3;
+}
+
+AdmissionFilter::AdmissionFilter(std::unique_ptr<ICache> inner,
+                                 AdmissionConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  if (!inner_) {
+    throw std::invalid_argument("AdmissionFilter: inner cache is null");
+  }
+  if (config_.doorkeeper_bits == 0 || config_.window_ops == 0) {
+    throw std::invalid_argument("AdmissionFilter: zero-sized doorkeeper");
+  }
+  if (config_.min_attempts < 2) {
+    throw std::invalid_argument("AdmissionFilter: min_attempts must be >= 2");
+  }
+  const std::size_t words = (config_.doorkeeper_bits + 63) / 64;
+  window_[0].assign(words, 0);
+  window_[1].assign(words, 0);
+  if (config_.min_attempts >= 3) {
+    sketch_.emplace(config_.sketch_width, config_.sketch_depth,
+                    /*aging_period=*/config_.window_ops);
+  }
+}
+
+bool AdmissionFilter::put(Key key, std::uint64_t size, std::uint64_t cost) {
+  maybe_rotate();
+  ++ops_in_window_;
+  if (bypass(size, cost)) return inner_->put(key, size, cost);
+  if (sketch_.has_value()) {
+    // Frequency mode: the key needs min_attempts-1 prior attempts on
+    // record before it may enter.
+    const bool frequent =
+        sketch_->estimate(key) + 1 >= config_.min_attempts;
+    sketch_->add(key);
+    if (frequent) return inner_->put(key, size, cost);
+    ++denied_;
+    return false;
+  }
+  if (seen_recently(key)) return inner_->put(key, size, cost);
+  remember(key);
+  ++denied_;
+  return false;
+}
+
+bool AdmissionFilter::bypass(std::uint64_t size, std::uint64_t cost) const {
+  if (config_.bypass_ratio_numerator == 0) return false;
+  // cost/size >= num/den without division.
+  return cost * config_.bypass_ratio_denominator >=
+         size * config_.bypass_ratio_numerator;
+}
+
+bool AdmissionFilter::seen_recently(Key key) const {
+  const std::size_t bits = window_[0].size() * 64;
+  for (int w = 0; w < 2; ++w) {
+    bool all = true;
+    std::uint64_t h = util::mix64(key ^ 0x5bd1e995u);
+    for (int i = 0; i < kHashes; ++i) {
+      const std::size_t bit = static_cast<std::size_t>(h) % bits;
+      if ((window_[w][bit / 64] & (1ull << (bit % 64))) == 0) {
+        all = false;
+        break;
+      }
+      h = util::mix64(h);
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+void AdmissionFilter::remember(Key key) {
+  const std::size_t bits = window_[active_].size() * 64;
+  std::uint64_t h = util::mix64(key ^ 0x5bd1e995u);
+  for (int i = 0; i < kHashes; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(h) % bits;
+    window_[active_][bit / 64] |= 1ull << (bit % 64);
+    h = util::mix64(h);
+  }
+}
+
+void AdmissionFilter::maybe_rotate() {
+  if (ops_in_window_ < config_.window_ops) return;
+  ops_in_window_ = 0;
+  active_ ^= 1;
+  std::fill(window_[active_].begin(), window_[active_].end(), 0);
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,97 @@
+// Admission control (the paper's Section 6 future-work direction):
+// "admission control policies in conjunction with CAMP ... by not inserting
+// unpopular key-value pairs that are evicted before their next request."
+//
+// AdmissionFilter is a decorator around any ICache. It combines:
+//   * a doorkeeper: a pair is admitted only on its second put attempt
+//     within a sliding window (one-hit wonders never enter the cache), and
+//   * a cost-to-size bypass: pairs whose cost/size ratio is at or above a
+//     threshold are admitted immediately (an expensive miss is exactly what
+//     the cache exists to prevent).
+//
+// The doorkeeper uses a pair of alternating hash-bit windows (a standard
+// aging Bloom-filter scheme): inserts go to the active window, lookups
+// check both, and the stale window is cleared every `window_ops`
+// operations. False positives mildly over-admit; never under-admit
+// persistently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/cache_iface.h"
+#include "util/sketch.h"
+
+namespace camp::policy {
+
+struct AdmissionConfig {
+  /// Doorkeeper bit-array size per window (bits, rounded up to 64).
+  std::size_t doorkeeper_bits = 1u << 20;
+  /// Swap/clear windows every this many put attempts.
+  std::uint64_t window_ops = 1u << 18;
+  /// Pairs with cost * bypass_ratio_denominator >= size * numerator are
+  /// admitted without the doorkeeper test. Set numerator to 0 to disable
+  /// the bypass; defaults admit anything whose cost >= its size.
+  std::uint64_t bypass_ratio_numerator = 1;
+  std::uint64_t bypass_ratio_denominator = 1;
+  /// Admit on the Nth put attempt within the sliding history. 2 uses the
+  /// doorkeeper alone; >= 3 switches to a count-min frequency sketch so
+  /// keys must prove themselves N-1 times (TinyLFU-style aging applies).
+  std::uint32_t min_attempts = 2;
+  /// Count-min geometry, used when min_attempts >= 3.
+  std::size_t sketch_width = 1u << 16;
+  int sketch_depth = 4;
+};
+
+class AdmissionFilter final : public ICache {
+ public:
+  AdmissionFilter(std::unique_ptr<ICache> inner, AdmissionConfig config);
+
+  bool get(Key key) override { return inner_->get(key); }
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override {
+    return inner_->contains(key);
+  }
+  void erase(Key key) override { inner_->erase(key); }
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return inner_->capacity_bytes();
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return inner_->used_bytes();
+  }
+  [[nodiscard]] std::size_t item_count() const override {
+    return inner_->item_count();
+  }
+  [[nodiscard]] const CacheStats& stats() const override {
+    return inner_->stats();
+  }
+  [[nodiscard]] std::string name() const override {
+    return "admit+" + inner_->name();
+  }
+  void set_eviction_listener(EvictionListener listener) override {
+    inner_->set_eviction_listener(std::move(listener));
+  }
+
+  [[nodiscard]] std::uint64_t denied_puts() const noexcept { return denied_; }
+  [[nodiscard]] ICache& inner() noexcept { return *inner_; }
+
+ private:
+  [[nodiscard]] bool seen_recently(Key key) const;
+  void remember(Key key);
+  void maybe_rotate();
+  [[nodiscard]] bool bypass(std::uint64_t size, std::uint64_t cost) const;
+
+  std::unique_ptr<ICache> inner_;
+  AdmissionConfig config_;
+  std::vector<std::uint64_t> window_[2];
+  int active_ = 0;
+  std::uint64_t ops_in_window_ = 0;
+  std::uint64_t denied_ = 0;
+  // Frequency sketch, allocated only for min_attempts >= 3.
+  std::optional<util::CountMinSketch> sketch_;
+};
+
+}  // namespace camp::policy

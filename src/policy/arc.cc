@@ -1,0 +1,172 @@
+#include "policy/arc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+ArcCache::ArcCache(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("ArcCache: capacity must be > 0");
+  }
+}
+
+bool ArcCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  // Case I: hit in T1 or T2 promotes to MRU of T2.
+  if (e.where == Where::kT1) {
+    t1_.remove(e);
+    t1_bytes_ -= e.size;
+    e.where = Where::kT2;
+    t2_.push_back(e);
+    t2_bytes_ += e.size;
+  } else {
+    t2_.move_to_back(e);
+  }
+  return true;
+}
+
+bool ArcCache::put(Key key, std::uint64_t size, std::uint64_t /*cost*/) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+
+  const auto git = ghost_index_.find(key);
+  bool to_t2 = false;
+  bool was_b2 = false;
+  if (git != ghost_index_.end()) {
+    Ghost& g = git->second;
+    // Cases II/III: ghost hit steers the adaptation target p.
+    if (g.from_t1) {
+      const std::uint64_t ratio =
+          b1_bytes_ == 0 ? 1 : std::max<std::uint64_t>(1, b2_bytes_ / b1_bytes_);
+      p_ = std::min(capacity_, p_ + ratio * g.size);
+    } else {
+      const std::uint64_t ratio =
+          b2_bytes_ == 0 ? 1 : std::max<std::uint64_t>(1, b1_bytes_ / b2_bytes_);
+      const std::uint64_t delta = ratio * g.size;
+      p_ = delta > p_ ? 0 : p_ - delta;
+      was_b2 = true;
+    }
+    remove_ghost(g);
+    to_t2 = true;
+  }
+
+  while (used_ + size > capacity_) replace(was_b2, size);
+
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  if (to_t2) {
+    e.where = Where::kT2;
+    t2_.push_back(e);
+    t2_bytes_ += size;
+  } else {
+    e.where = Where::kT1;
+    t1_.push_back(e);
+    t1_bytes_ += size;
+  }
+  used_ += size;
+  trim_ghosts();
+  return true;
+}
+
+bool ArcCache::contains(Key key) const { return index_.contains(key); }
+
+void ArcCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  Entry& e = it->second;
+  if (e.where == Where::kT1) {
+    t1_.remove(e);
+    t1_bytes_ -= e.size;
+  } else {
+    t2_.remove(e);
+    t2_bytes_ -= e.size;
+  }
+  used_ -= e.size;
+  index_.erase(it);
+}
+
+std::size_t ArcCache::item_count() const { return index_.size(); }
+
+// REPLACE from the ARC paper: evict from T1 when it exceeds its target p
+// (or meets it exactly on a B2 ghost hit), otherwise from T2.
+void ArcCache::replace(bool requested_in_b2, std::uint64_t /*incoming*/) {
+  const bool t1_over =
+      !t1_.empty() &&
+      (t1_bytes_ > p_ || (requested_in_b2 && t1_bytes_ == p_ && p_ > 0));
+  if ((t1_over || t2_.empty()) && !t1_.empty()) {
+    evict_to_ghost(Where::kT1);
+  } else if (!t2_.empty()) {
+    evict_to_ghost(Where::kT2);
+  } else {
+    assert(!t1_.empty() && "replace() called on an empty cache");
+    evict_to_ghost(Where::kT1);
+  }
+}
+
+void ArcCache::evict_to_ghost(Where from) {
+  auto& list = from == Where::kT1 ? t1_ : t2_;
+  auto& bytes = from == Where::kT1 ? t1_bytes_ : t2_bytes_;
+  Entry* victim = list.front();
+  assert(victim != nullptr);
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  list.remove(*victim);
+  bytes -= vsize;
+  index_.erase(vkey);
+
+  auto [git, inserted] = ghost_index_.try_emplace(vkey);
+  if (!inserted) {
+    // Key somehow already ghosted (e.g. erase + reinsert churn): refresh it.
+    Ghost& old = git->second;
+    (old.from_t1 ? b1_ : b2_).remove(old);
+    (old.from_t1 ? b1_bytes_ : b2_bytes_) -= old.size;
+  }
+  Ghost& g = git->second;
+  g.key = vkey;
+  g.size = vsize;
+  g.from_t1 = (from == Where::kT1);
+  (g.from_t1 ? b1_ : b2_).push_back(g);
+  (g.from_t1 ? b1_bytes_ : b2_bytes_) += vsize;
+
+  note_eviction(vkey, vsize);
+}
+
+void ArcCache::remove_ghost(Ghost& g) {
+  (g.from_t1 ? b1_ : b2_).remove(g);
+  (g.from_t1 ? b1_bytes_ : b2_bytes_) -= g.size;
+  ghost_index_.erase(g.key);
+}
+
+void ArcCache::trim_ghosts() {
+  // Directory bound: resident + ghosts <= 2c. Prefer trimming the side
+  // whose resident list is already over target, mirroring Case IV.
+  while (b1_bytes_ + b2_bytes_ > capacity_) {
+    if (b1_bytes_ >= b2_bytes_ && !b1_.empty()) {
+      remove_ghost(*b1_.front());
+    } else if (!b2_.empty()) {
+      remove_ghost(*b2_.front());
+    } else if (!b1_.empty()) {
+      remove_ghost(*b1_.front());
+    } else {
+      break;
+    }
+  }
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,73 @@
+// ARC (Megiddo & Modha, FAST 2003), generalized from page counts to byte
+// budgets. Related-work baseline: self-tuning between recency (T1) and
+// frequency (T2) using ghost lists (B1/B2), but cost- and size-oblivious in
+// its victim choice — exactly the contrast the paper draws with CAMP.
+//
+// Byte generalization (documented deviation from the page-based original):
+// the adaptation target `p` and all list budgets are in bytes; the learning
+// step on a ghost hit is the ghost's size scaled by the usual |B2|/|B1|
+// (resp. |B1|/|B2|) ratio; ghost directories are trimmed to keep
+// B1+B2 <= capacity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+class ArcCache final : public CacheBase {
+ public:
+  explicit ArcCache(std::uint64_t capacity_bytes);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override { return "arc"; }
+
+  [[nodiscard]] std::uint64_t target_t1_bytes() const noexcept { return p_; }
+  [[nodiscard]] std::uint64_t t1_bytes() const noexcept { return t1_bytes_; }
+  [[nodiscard]] std::uint64_t t2_bytes() const noexcept { return t2_bytes_; }
+
+ private:
+  enum class Where : std::uint8_t { kT1, kT2 };
+
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    Where where = Where::kT1;
+    intrusive::ListHook hook;
+  };
+  struct Ghost {
+    Key key = 0;
+    std::uint64_t size = 0;
+    bool from_t1 = true;  // i.e. lives in B1
+    intrusive::ListHook hook;
+  };
+
+  void replace(bool requested_in_b2, std::uint64_t incoming_size);
+  void evict_to_ghost(Where from);
+  void remove_ghost(Ghost& g);
+  void trim_ghosts();
+
+  std::unordered_map<Key, Entry> index_;
+  std::unordered_map<Key, Ghost> ghost_index_;
+  intrusive::List<Entry, &Entry::hook> t1_;  // front = LRU
+  intrusive::List<Entry, &Entry::hook> t2_;
+  intrusive::List<Ghost, &Ghost::hook> b1_;
+  intrusive::List<Ghost, &Ghost::hook> b2_;
+  std::uint64_t t1_bytes_ = 0;
+  std::uint64_t t2_bytes_ = 0;
+  std::uint64_t b1_bytes_ = 0;
+  std::uint64_t b2_bytes_ = 0;
+  std::uint64_t p_ = 0;  // adaptive target for T1, in bytes
+};
+
+}  // namespace camp::policy

@@ -1,0 +1,96 @@
+#include "policy/belady.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+BeladyCache::BeladyCache(std::uint64_t capacity_bytes,
+                         std::vector<Key> future_gets)
+    : CacheBase(capacity_bytes), future_(std::move(future_gets)) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("BeladyCache: capacity must be > 0");
+  }
+  for (std::size_t i = 0; i < future_.size(); ++i) {
+    positions_[future_[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::uint64_t BeladyCache::next_use_after(Key key, std::size_t from) const {
+  const auto it = positions_.find(key);
+  if (it == positions_.end()) return kNever;
+  const auto& pos = it->second;
+  const auto next = std::upper_bound(pos.begin(), pos.end(),
+                                     static_cast<std::uint32_t>(from));
+  return next == pos.end() ? kNever : *next;
+}
+
+bool BeladyCache::get(Key key) {
+  ++stats_.gets;
+  assert(cursor_ < future_.size() && future_[cursor_] == key &&
+         "BeladyCache::get must follow the supplied future sequence");
+  const std::size_t here = cursor_++;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  heap_.update(it->second.handle, VictimKey{next_use_after(key, here), key});
+  return true;
+}
+
+bool BeladyCache::put(Key key, std::uint64_t size, std::uint64_t /*cost*/) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  // The put happens right after the miss at cursor_-1; next use is relative
+  // to that position.
+  const std::size_t here = cursor_ == 0 ? 0 : cursor_ - 1;
+  const std::uint64_t next = next_use_after(key, here);
+  if (next == kNever) {
+    // Clairvoyant shortcut: a pair never requested again need not be cached
+    // at all. Count it as admitted-then-instantly-dead to keep byte
+    // accounting simple for callers: we simply decline to store it.
+    ++stats_.rejected_puts;
+    return false;
+  }
+  while (used_ + size > capacity_) evict_victim();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.handle = heap_.push(VictimKey{next, key});
+  used_ += size;
+  return true;
+}
+
+bool BeladyCache::contains(Key key) const { return index_.contains(key); }
+
+void BeladyCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  heap_.erase(it->second.handle);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+std::size_t BeladyCache::item_count() const { return index_.size(); }
+
+void BeladyCache::evict_victim() {
+  assert(!heap_.empty() && "eviction requested from an empty cache");
+  const VictimKey top = heap_.top();
+  const auto it = index_.find(top.key);
+  assert(it != index_.end());
+  const std::uint64_t vsize = it->second.size;
+  heap_.pop();
+  index_.erase(it);
+  note_eviction(top.key, vsize);
+}
+
+}  // namespace camp::policy

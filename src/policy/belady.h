@@ -1,0 +1,72 @@
+// Belady's MIN — the clairvoyant offline policy. Given the full future
+// request sequence, it evicts the resident pair whose next reference is
+// farthest away (never-referenced-again first).
+//
+// MIN is optimal for uniform sizes and costs only; with variable sizes it
+// is a greedy heuristic (true offline optimality is NP-hard there), and it
+// ignores costs entirely. It is included as the miss-rate lower-bound
+// reference series in the extended benches, not as a paper figure.
+//
+// Usage contract: construct with the exact sequence of keys that will be
+// passed to get(); each get() consumes one position. put() must follow a
+// miss before the next get(), mirroring the simulator's loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/dary_heap.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+class BeladyCache final : public CacheBase {
+ public:
+  BeladyCache(std::uint64_t capacity_bytes, std::vector<Key> future_gets);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override { return "belady-min"; }
+
+  /// Position of the next get() in the supplied future sequence.
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+
+ private:
+  static constexpr std::uint64_t kNever = ~0ull;
+
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint32_t handle = 0;
+  };
+  struct VictimKey {
+    std::uint64_t next_use = 0;  // larger = farther = evict first
+    Key key = 0;
+  };
+  struct VictimGreater {  // max-heap on next_use
+    bool operator()(const VictimKey& a, const VictimKey& b) const noexcept {
+      return a.next_use > b.next_use;
+    }
+  };
+
+  /// First position > from at which `key` is requested, or kNever.
+  [[nodiscard]] std::uint64_t next_use_after(Key key,
+                                             std::size_t from) const;
+  void evict_victim();
+
+  std::vector<Key> future_;
+  // key -> sorted positions in future_ (for next-use binary search)
+  std::unordered_map<Key, std::vector<std::uint32_t>> positions_;
+  std::unordered_map<Key, Entry> index_;
+  heap::DaryHeap<VictimKey, VictimGreater, 2> heap_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace camp::policy

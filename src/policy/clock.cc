@@ -1,0 +1,78 @@
+#include "policy/clock.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+ClockCache::ClockCache(std::uint64_t capacity_bytes)
+    : CacheBase(capacity_bytes) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("ClockCache: capacity must be > 0");
+  }
+}
+
+bool ClockCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  it->second.referenced = true;  // the whole cost of a CLOCK hit
+  return true;
+}
+
+bool ClockCache::put(Key key, std::uint64_t size, std::uint64_t /*cost*/) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  while (used_ + size > capacity_) evict_one();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.referenced = false;  // fresh pages start unreferenced (classic CLOCK)
+  ring_.push_back(e);
+  used_ += size;
+  return true;
+}
+
+bool ClockCache::contains(Key key) const { return index_.contains(key); }
+
+void ClockCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  ring_.remove(it->second);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+std::size_t ClockCache::item_count() const { return index_.size(); }
+
+bool ClockCache::evict_one() {
+  // Sweep: give referenced entries a second chance (clear + rotate), evict
+  // the first unreferenced one. Terminates within two laps.
+  while (Entry* candidate = ring_.front()) {
+    ++hand_steps_;
+    if (candidate->referenced) {
+      candidate->referenced = false;
+      ring_.move_to_back(*candidate);
+      continue;
+    }
+    const Key vkey = candidate->key;
+    const std::uint64_t vsize = candidate->size;
+    ring_.remove(*candidate);
+    index_.erase(vkey);
+    note_eviction(vkey, vsize);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace camp::policy

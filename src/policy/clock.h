@@ -1,0 +1,54 @@
+// CLOCK (second-chance) — the classic low-overhead LRU approximation used
+// by OS page caches. A circular list with a reference bit per entry: the
+// hand sweeps, clearing bits, and evicts the first entry whose bit is
+// already clear. Hits only set a bit (no list surgery at all), which makes
+// CLOCK the cheapest recency policy here — and a useful lower bound on
+// bookkeeping cost when comparing against CAMP's O(1)-splice hits.
+//
+// Cost- and size-oblivious, like LRU.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+class ClockCache final : public CacheBase {
+ public:
+  explicit ClockCache(std::uint64_t capacity_bytes);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override { return "clock"; }
+  bool evict_one() override;
+
+  /// Total hand advances (instrumentation: CLOCK's analogue of heap visits).
+  [[nodiscard]] std::uint64_t hand_steps() const noexcept {
+    return hand_steps_;
+  }
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    bool referenced = false;
+    intrusive::ListHook hook;
+  };
+
+  std::unordered_map<Key, Entry> index_;
+  // The clock ring: front = next entry under the hand. Sweeping rotates
+  // entries to the back; eviction pops the front.
+  intrusive::List<Entry, &Entry::hook> ring_;
+  std::uint64_t hand_steps_ = 0;
+};
+
+}  // namespace camp::policy

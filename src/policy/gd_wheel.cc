@@ -1,0 +1,217 @@
+#include "policy/gd_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+GdWheelCache::GdWheelCache(GdWheelConfig config)
+    : CacheBase(config.capacity_bytes), config_(config) {
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("GdWheelConfig: capacity must be > 0");
+  }
+  if (config.slots_per_wheel < 2) {
+    throw std::invalid_argument("GdWheelConfig: need at least 2 slots");
+  }
+  if (config.num_levels < 1 || config.num_levels > 2) {
+    throw std::invalid_argument("GdWheelConfig: num_levels must be 1 or 2");
+  }
+  if (config.ratio_multiplier == 0) {
+    throw std::invalid_argument("GdWheelConfig: ratio_multiplier must be > 0");
+  }
+  level0_.resize(config.slots_per_wheel);
+  if (config.num_levels == 2) level1_.resize(config.slots_per_wheel);
+}
+
+std::uint64_t GdWheelCache::ratio(std::uint64_t cost,
+                                  std::uint64_t size) const {
+  const std::uint64_t num = cost * config_.ratio_multiplier;
+  const std::uint64_t r = (num + size / 2) / size;
+  return r == 0 ? 1 : r;
+}
+
+void GdWheelCache::place(Entry& e) {
+  const std::uint64_t n = config_.slots_per_wheel;
+  const std::uint64_t span1 = n;
+  const std::uint64_t span2 = config_.num_levels == 2 ? n * n : n;
+  // The hand may have overtaken this priority during an earlier migration
+  // (wheel schemes round total priorities; this is the inversion the paper
+  // calls out) — clamp to the hand.
+  const std::uint64_t d = e.h > hand_ ? e.h - hand_ : 0;
+  if (d < span1) {
+    e.level = 0;
+    e.slot = static_cast<std::uint32_t>((hand_ + d) % n);
+    level0_[e.slot].push_back(e);
+  } else if (d < span2) {
+    e.level = 1;
+    e.slot = static_cast<std::uint32_t>(((hand_ + d) / n) % n);
+    level1_[e.slot].push_back(e);
+  } else {
+    ++intro_.overflow_clamps;
+    e.level = 2;
+    e.slot = 0;
+    overflow_.push_back(e);
+  }
+}
+
+void GdWheelCache::unlink(Entry& e) {
+  switch (e.level) {
+    case 0:
+      level0_[e.slot].remove(e);
+      break;
+    case 1:
+      level1_[e.slot].remove(e);
+      break;
+    default:
+      overflow_.remove(e);
+      break;
+  }
+}
+
+bool GdWheelCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  // GDS hit rule: H <- L + ratio; in wheel terms the pair moves `ratio`
+  // slots ahead of the hand (and to the MRU end of that slot's list).
+  unlink(e);
+  e.h = hand_ + ratio(e.cost, e.size);
+  place(e);
+  return true;
+}
+
+bool GdWheelCache::put(Key key, std::uint64_t size, std::uint64_t cost) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  while (used_ + size > capacity_) evict_victim();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.cost = cost;
+  e.h = hand_ + ratio(cost, size);
+  place(e);
+  used_ += size;
+  return true;
+}
+
+bool GdWheelCache::contains(Key key) const { return index_.contains(key); }
+
+void GdWheelCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  unlink(it->second);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+std::size_t GdWheelCache::item_count() const { return index_.size(); }
+
+GdWheelCache::Entry* GdWheelCache::find_victim() {
+  const std::uint64_t n = config_.slots_per_wheel;
+  for (;;) {
+    // Level 0: nearest occupied slot at or ahead of the hand. Residents of
+    // level 0 always satisfy 0 <= h - hand < n, so each physical slot holds
+    // a single priority value and the scan is exact.
+    for (std::uint64_t i = 0; i < n; ++i) {
+      SlotList& slot = level0_[(hand_ + i) % n];
+      if (!slot.empty()) {
+        hand_ += i;  // L advances to the victim's priority
+        intro_.hand_position = hand_;
+        return slot.front();
+      }
+    }
+    if (config_.num_levels == 2 && migrate_level1()) continue;
+    if (migrate_overflow()) continue;
+    return nullptr;
+  }
+}
+
+// Pull the globally lowest level-1 block down into level 0. The hand jumps
+// to that block's base (this is GD-Wheel's migration procedure — the
+// recurring re-bucketing cost the CAMP paper contrasts with its own
+// ratio-keyed queues). Returns false when level 1 is empty.
+bool GdWheelCache::migrate_level1() {
+  const std::uint64_t n = config_.slots_per_wheel;
+  // Find the slot holding the entry with the smallest priority. A physical
+  // slot can transiently hold two blocks (the hand may have jumped past a
+  // block boundary), so the minimum is taken over entries, not slots.
+  SlotList* best_slot = nullptr;
+  std::uint64_t min_h = ~0ull;
+  for (SlotList& slot : level1_) {
+    for (Entry& e : slot) {
+      if (e.h < min_h) {
+        min_h = e.h;
+        best_slot = &slot;
+      }
+    }
+  }
+  if (best_slot == nullptr) return false;
+  const std::uint64_t block_base = (min_h / n) * n;
+  if (block_base > hand_) {
+    hand_ = block_base;
+    intro_.hand_position = hand_;
+  }
+  ++intro_.migrations;
+  // Detach everything first: place() may legitimately re-bucket an entry
+  // into this same physical slot (a different block), which would otherwise
+  // make the drain loop chase its own tail.
+  std::vector<Entry*> moved;
+  while (Entry* e = best_slot->pop_front()) moved.push_back(e);
+  for (Entry* e : moved) {
+    ++intro_.migrated_items;
+    place(*e);  // the min_h block lands in level 0 -> guaranteed progress
+  }
+  return true;
+}
+
+// Re-bucket every overflow entry after jumping the hand to the smallest
+// overflow priority; at least that entry lands in a wheel, so the eviction
+// loop always makes progress.
+bool GdWheelCache::migrate_overflow() {
+  if (overflow_.empty()) return false;
+  std::uint64_t min_h = ~0ull;
+  for (Entry& e : overflow_) min_h = std::min(min_h, e.h);
+  if (min_h > hand_) {
+    hand_ = min_h;
+    intro_.hand_position = hand_;
+  }
+  ++intro_.migrations;
+  // Drain to a temporary first: far-future entries re-enter overflow_ and
+  // would otherwise be popped and re-placed forever.
+  std::vector<Entry*> moved;
+  while (Entry* e = overflow_.pop_front()) moved.push_back(e);
+  for (Entry* e : moved) {
+    ++intro_.migrated_items;
+    place(*e);
+  }
+  return true;
+}
+
+void GdWheelCache::evict_victim() {
+  Entry* victim = find_victim();
+  assert(victim != nullptr && "eviction requested from an empty cache");
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  unlink(*victim);
+  index_.erase(vkey);
+  note_eviction(vkey, vsize);
+}
+
+std::optional<Key> GdWheelCache::peek_victim() {
+  Entry* victim = find_victim();
+  return victim == nullptr ? std::nullopt : std::optional<Key>(victim->key);
+}
+
+}  // namespace camp::policy

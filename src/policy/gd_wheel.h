@@ -1,0 +1,98 @@
+// GD-Wheel (Li & Cox, LADIS 2013) — the other cost-aware GDS descendant the
+// paper's related-work section contrasts with CAMP.
+//
+// Instead of a priority queue, GD-Wheel spreads pairs over hierarchical
+// "cost wheels" (timing-wheel-style circular arrays of LRU lists). The
+// wheel hand tracks the GDS inflation value L; a pair with (scaled,
+// integer) cost-to-size ratio r lands r slots ahead of the hand. Evicting
+// advances the hand to the next occupied slot. When the level-0 wheel
+// wraps, the next occupied level-1 slot is *migrated*: all its pairs are
+// re-bucketed into level 0 — the recurring migration cost CAMP's design
+// specifically avoids (we count migrations so the ablation bench can show
+// it).
+//
+// GD-Wheel rounds the *total priority* (slot granularity) rather than the
+// cost-to-size ratio, which is the approximation-quality difference the
+// paper calls out. Pairs whose ratio exceeds the wheel span are clamped to
+// the farthest slot (counted, documented).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+#include "util/rounding.h"
+
+namespace camp::policy {
+
+struct GdWheelConfig {
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t slots_per_wheel = 256;  // N; level-1 granularity is N
+  int num_levels = 2;                   // wheel hierarchy depth (1 or 2)
+  /// Fixed fraction-to-integer multiplier: ratio = round(cost * multiplier
+  /// / size), clamped to >= 1. GD-Wheel has no adaptive scaler — choosing
+  /// this a priori is precisely the configuration burden the CAMP paper
+  /// criticizes; ratios beyond the wheel span are clamped (and counted).
+  std::uint64_t ratio_multiplier = 1024;
+};
+
+struct GdWheelIntrospection {
+  std::uint64_t migrations = 0;        // level-1 -> level-0 slot migrations
+  std::uint64_t migrated_items = 0;    // pairs re-bucketed by migrations
+  std::uint64_t overflow_clamps = 0;   // ratios clamped to the wheel span
+  std::uint64_t hand_position = 0;     // current L
+};
+
+class GdWheelCache final : public CacheBase {
+ public:
+  explicit GdWheelCache(GdWheelConfig config);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override { return "gd-wheel"; }
+
+  [[nodiscard]] GdWheelIntrospection introspect() const { return intro_; }
+  [[nodiscard]] std::optional<Key> peek_victim();
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cost = 0;
+    std::uint64_t h = 0;  // absolute priority = L at insert + ratio
+    int level = 0;
+    std::uint32_t slot = 0;
+    intrusive::ListHook hook;
+  };
+  using SlotList = intrusive::List<Entry, &Entry::hook>;
+
+  [[nodiscard]] std::uint64_t ratio(std::uint64_t cost,
+                                    std::uint64_t size) const;
+  void place(Entry& e);   // bucket by e.h relative to hand (L)
+  void unlink(Entry& e);  // remove from its slot list
+  Entry* find_victim();   // advance the hand; may migrate level-1 slots
+  bool migrate_level1();  // re-bucket the lowest level-1 block; false if empty
+  bool migrate_overflow();  // re-bucket overflow items; false if empty
+  void evict_victim();
+
+  GdWheelConfig config_;
+  util::AdaptiveRatioScaler scaler_;
+  std::unordered_map<Key, Entry> index_;
+  // deque: SlotList is an intrusive list, neither copyable nor movable.
+  std::deque<SlotList> level0_;
+  std::deque<SlotList> level1_;
+  SlotList overflow_;  // priorities beyond the hierarchy span
+  std::uint64_t hand_ = 0;  // absolute L; level-0 slot = h - hand_ offsets
+  GdWheelIntrospection intro_;
+};
+
+}  // namespace camp::policy

@@ -1,0 +1,121 @@
+#include "policy/gdsf.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+GdsfCache::GdsfCache(GdsfConfig config)
+    : CacheBase(config.capacity_bytes),
+      config_(config),
+      heap_(ItemKeyLess{config.lru_tie_break}) {
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("GdsfConfig: capacity_bytes must be > 0");
+  }
+  if (config.precision < 1) {
+    throw std::invalid_argument("GdsfConfig: precision must be >= 1");
+  }
+  if (config.max_frequency == 0) {
+    throw std::invalid_argument("GdsfConfig: max_frequency must be >= 1");
+  }
+}
+
+std::uint64_t GdsfCache::rounded_ratio(std::uint64_t cost, std::uint64_t size,
+                                       std::uint32_t freq) const {
+  // freq multiplies the cost before scaling so the frequency factor is
+  // subject to the same rounding error bound as the ratio itself.
+  return scaler_.scale_and_round(cost * freq, size, config_.precision);
+}
+
+bool GdsfCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  if (e.freq < config_.max_frequency) ++e.freq;
+  heap_.erase(e.handle);
+  if (!heap_.empty() && heap_.top().h > inflation_) {
+    inflation_ = heap_.top().h;
+  }
+  e.h = inflation_ + rounded_ratio(e.cost, e.size, e.freq);
+  e.handle = heap_.push(ItemKey{e.h, ++seq_, key});
+  return true;
+}
+
+bool GdsfCache::put(Key key, std::uint64_t size, std::uint64_t cost) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  scaler_.observe_size(size);
+  const std::uint64_t ratio = rounded_ratio(cost, size, /*freq=*/1);
+  while (used_ + size > capacity_) evict_one();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.cost = cost;
+  e.freq = 1;
+  e.h = inflation_ + ratio;
+  e.handle = heap_.push(ItemKey{e.h, ++seq_, key});
+  used_ += size;
+  return true;
+}
+
+bool GdsfCache::contains(Key key) const { return index_.contains(key); }
+
+void GdsfCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  heap_.erase(it->second.handle);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+std::size_t GdsfCache::item_count() const { return index_.size(); }
+
+std::string GdsfCache::name() const {
+  if (config_.precision >= util::kPrecisionInfinity) return "gdsf";
+  return "gdsf(p=" + std::to_string(config_.precision) + ")";
+}
+
+std::optional<Key> GdsfCache::peek_victim() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().key;
+}
+
+std::uint64_t GdsfCache::priority_of(Key key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second.h;
+}
+
+std::uint32_t GdsfCache::frequency_of(Key key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second.freq;
+}
+
+bool GdsfCache::evict_one() {
+  if (heap_.empty()) return false;
+  const ItemKey top = heap_.top();
+  if (top.h > inflation_) inflation_ = top.h;  // L <- H of the evicted min
+  const auto it = index_.find(top.key);
+  assert(it != index_.end());
+  const std::uint64_t vsize = it->second.size;
+  heap_.pop();
+  index_.erase(it);
+  note_eviction(top.key, vsize);
+  return true;
+}
+
+std::unique_ptr<ICache> make_gdsf(GdsfConfig config) {
+  return std::make_unique<GdsfCache>(config);
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,103 @@
+// Greedy-Dual-Size-Frequency (Cherkasova, HP Labs TR-98-69; shipped in the
+// Squid proxy as one of its heap replacement policies). GDSF extends GDS
+// with a per-item access-frequency factor:
+//
+//   H(p) = L + freq(p) * cost(p) / size(p)
+//
+// so a pair that is both expensive and popular outranks a pair that is
+// merely expensive. The paper's related-work discussion groups CAMP with
+// the GDS family; GDSF is the most widely deployed member of that family,
+// which makes it the natural extra baseline for the comparison benches.
+//
+// Like our GdsCache, priorities use the shared adaptive integer scaling so
+// results are directly comparable with CAMP, and the frequency factor is
+// applied before MSY rounding. Frequencies are capped to keep H inside
+// uint64 headroom; the cap is far above any count a 4M-request trace
+// produces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "heap/dary_heap.h"
+#include "policy/cache_iface.h"
+#include "util/rounding.h"
+
+namespace camp::policy {
+
+struct GdsfConfig {
+  std::uint64_t capacity_bytes = 0;
+  /// MSY rounding precision applied to the scaled freq*cost/size product;
+  /// util::kPrecisionInfinity (default) = exact GDSF.
+  int precision = util::kPrecisionInfinity;
+  /// Frequency ceiling. Squid clamps at 2^16 to bound priority growth of
+  /// pathologically hot objects; same default here.
+  std::uint32_t max_frequency = 1u << 16;
+  /// Break priority ties by recency (LRU) instead of arbitrarily, mirroring
+  /// GdsConfig so differential tests can pin decisions down.
+  bool lru_tie_break = false;
+};
+
+class GdsfCache final : public CacheBase {
+ public:
+  explicit GdsfCache(GdsfConfig config);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::optional<Key> peek_victim() const;
+  bool evict_one() override;
+  [[nodiscard]] std::uint64_t priority_of(Key key) const;
+  [[nodiscard]] std::uint32_t frequency_of(Key key) const;
+  [[nodiscard]] std::uint64_t inflation() const noexcept { return inflation_; }
+  [[nodiscard]] const heap::HeapStats& heap_stats() const {
+    return heap_.stats();
+  }
+  [[nodiscard]] const GdsfConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cost = 0;
+    std::uint64_t h = 0;
+    std::uint32_t freq = 1;
+    std::uint32_t handle = 0;  // heap handle
+  };
+
+  struct ItemKey {
+    std::uint64_t h = 0;
+    std::uint64_t seq = 0;
+    Key key = 0;
+  };
+  struct ItemKeyLess {
+    bool lru_tie_break;
+    bool operator()(const ItemKey& a, const ItemKey& b) const noexcept {
+      if (a.h != b.h) return a.h < b.h;
+      return lru_tie_break && a.seq < b.seq;
+    }
+  };
+  using ItemHeap = heap::DaryHeap<ItemKey, ItemKeyLess, 2>;
+
+  [[nodiscard]] std::uint64_t rounded_ratio(std::uint64_t cost,
+                                            std::uint64_t size,
+                                            std::uint32_t freq) const;
+
+  GdsfConfig config_;
+  util::AdaptiveRatioScaler scaler_;
+  std::unordered_map<Key, Entry> index_;
+  ItemHeap heap_;
+  std::uint64_t inflation_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ICache> make_gdsf(GdsfConfig config);
+
+}  // namespace camp::policy

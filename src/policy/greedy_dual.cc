@@ -1,0 +1,82 @@
+#include "policy/greedy_dual.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+GreedyDualCache::GreedyDualCache(std::uint64_t capacity_bytes)
+    : CacheBase(capacity_bytes) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("GreedyDualCache: capacity must be > 0");
+  }
+}
+
+bool GreedyDualCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  heap_.erase(e.handle);
+  if (!heap_.empty() && heap_.top().h > inflation_) {
+    inflation_ = heap_.top().h;
+  }
+  e.h = inflation_ + (e.cost == 0 ? 1 : e.cost);
+  e.handle = heap_.push(ItemKey{e.h, ++seq_, key});
+  return true;
+}
+
+bool GreedyDualCache::put(Key key, std::uint64_t size, std::uint64_t cost) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  while (used_ + size > capacity_) evict_victim();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.cost = cost;
+  e.h = inflation_ + (cost == 0 ? 1 : cost);
+  e.handle = heap_.push(ItemKey{e.h, ++seq_, key});
+  used_ += size;
+  return true;
+}
+
+bool GreedyDualCache::contains(Key key) const { return index_.contains(key); }
+
+void GreedyDualCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  heap_.erase(it->second.handle);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+std::size_t GreedyDualCache::item_count() const { return index_.size(); }
+
+std::optional<Key> GreedyDualCache::peek_victim() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().key;
+}
+
+void GreedyDualCache::evict_victim() {
+  assert(!heap_.empty() && "eviction requested from an empty cache");
+  const ItemKey top = heap_.top();
+  if (top.h > inflation_) inflation_ = top.h;
+  const auto it = index_.find(top.key);
+  assert(it != index_.end());
+  const std::uint64_t vsize = it->second.size;
+  heap_.pop();
+  index_.erase(it);
+  note_eviction(top.key, vsize);
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,64 @@
+// Greedy Dual (Young, SODA 1991): the ancestor of GDS. Handles varying
+// *costs* but assumes uniform page sizes, so the priority of a pair is
+// H = L + cost (no size division). Included as a substrate/baseline: on
+// uniform-size workloads it coincides with GDS; on variable-size workloads
+// it shows why GDS's cost-to-size ratio matters.
+//
+// Space accounting still uses real sizes (the cache is byte-budgeted like
+// every other policy here); only the *priority* ignores size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "heap/dary_heap.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+class GreedyDualCache final : public CacheBase {
+ public:
+  explicit GreedyDualCache(std::uint64_t capacity_bytes);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override { return "greedy-dual"; }
+
+  [[nodiscard]] std::optional<Key> peek_victim() const;
+  [[nodiscard]] std::uint64_t inflation() const noexcept { return inflation_; }
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cost = 0;
+    std::uint64_t h = 0;
+    std::uint32_t handle = 0;
+  };
+  struct ItemKey {
+    std::uint64_t h = 0;
+    std::uint64_t seq = 0;
+    Key key = 0;
+  };
+  struct ItemKeyLess {
+    bool operator()(const ItemKey& a, const ItemKey& b) const noexcept {
+      if (a.h != b.h) return a.h < b.h;
+      return a.seq < b.seq;
+    }
+  };
+
+  void evict_victim();
+
+  std::unordered_map<Key, Entry> index_;
+  heap::DaryHeap<ItemKey, ItemKeyLess, 2> heap_;
+  std::uint64_t inflation_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace camp::policy

@@ -1,0 +1,68 @@
+#include "policy/lru.h"
+
+#include <cassert>
+#include <optional>
+
+namespace camp::policy {
+
+LruCache::LruCache(std::uint64_t capacity_bytes) : CacheBase(capacity_bytes) {}
+
+bool LruCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.move_to_back(it->second);
+  return true;
+}
+
+bool LruCache::put(Key key, std::uint64_t size, std::uint64_t /*cost*/) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  while (used_ + size > capacity_) evict_one();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  lru_.push_back(e);
+  used_ += size;
+  return true;
+}
+
+bool LruCache::contains(Key key) const { return index_.contains(key); }
+
+void LruCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.remove(it->second);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+std::size_t LruCache::item_count() const { return index_.size(); }
+
+std::optional<Key> LruCache::peek_victim() const {
+  const Entry* victim = lru_.front();
+  return victim == nullptr ? std::nullopt : std::optional<Key>(victim->key);
+}
+
+bool LruCache::evict_one() {
+  Entry* victim = lru_.front();
+  if (victim == nullptr) return false;
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  lru_.remove(*victim);
+  index_.erase(vkey);
+  note_eviction(vkey, vsize);
+  return true;
+}
+
+}  // namespace camp::policy

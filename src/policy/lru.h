@@ -1,0 +1,43 @@
+// Plain LRU: the first baseline in every figure of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+class LruCache final : public CacheBase {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override { return "lru"; }
+
+  /// Key at the LRU end (the next victim), if any; for tests.
+  [[nodiscard]] std::optional<Key> peek_victim() const;
+
+  /// Evict the LRU victim on demand (used by the KVS engine).
+  bool evict_one() override;
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    intrusive::ListHook hook;
+  };
+
+  std::unordered_map<Key, Entry> index_;
+  intrusive::List<Entry, &Entry::hook> lru_;  // front = LRU, back = MRU
+};
+
+}  // namespace camp::policy

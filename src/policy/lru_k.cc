@@ -1,0 +1,80 @@
+#include "policy/lru_k.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+LruKCache::LruKCache(std::uint64_t capacity_bytes, int k)
+    : CacheBase(capacity_bytes), k_(k) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("LruKCache: capacity must be > 0");
+  }
+  if (k < 1) throw std::invalid_argument("LruKCache: k must be >= 1");
+}
+
+void LruKCache::record_access(Entry& e) {
+  e.history[e.next_slot % e.history.size()] = ++now_;
+  ++e.next_slot;
+  ++e.refs;
+  heap_.update(e.handle, victim_key(e));
+}
+
+bool LruKCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  record_access(it->second);
+  return true;
+}
+
+bool LruKCache::put(Key key, std::uint64_t size, std::uint64_t /*cost*/) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  while (used_ + size > capacity_) evict_victim();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.history.assign(static_cast<std::size_t>(k_), 0);
+  e.history[0] = ++now_;
+  e.next_slot = 1;
+  e.refs = 1;
+  e.handle = heap_.push(victim_key(e));
+  used_ += size;
+  return true;
+}
+
+bool LruKCache::contains(Key key) const { return index_.contains(key); }
+
+void LruKCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  heap_.erase(it->second.handle);
+  used_ -= it->second.size;
+  index_.erase(it);
+}
+
+std::size_t LruKCache::item_count() const { return index_.size(); }
+
+void LruKCache::evict_victim() {
+  assert(!heap_.empty() && "eviction requested from an empty cache");
+  const VictimKey top = heap_.top();
+  const auto it = index_.find(top.key);
+  assert(it != index_.end());
+  const std::uint64_t vsize = it->second.size;
+  heap_.pop();
+  index_.erase(it);
+  note_eviction(top.key, vsize);
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,81 @@
+// LRU-K (O'Neil, O'Neil, Weikum, SIGMOD 1993) — recency/frequency-balancing
+// baseline from the paper's related-work section. Evicts the resident pair
+// whose K-th most recent reference is oldest (infinite backward K-distance,
+// i.e. fewer than K references, evicts first; ties by oldest last access).
+//
+// Cost- and size-oblivious by design: it is here to show what
+// recency/frequency tuning alone buys on the paper's cost-skewed workloads.
+// Reference history is kept only for resident keys (a simplification of the
+// paper's Retained Information Period, documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/dary_heap.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+class LruKCache final : public CacheBase {
+ public:
+  LruKCache(std::uint64_t capacity_bytes, int k);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override {
+    return "lru-" + std::to_string(k_);
+  }
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::vector<std::uint64_t> history;  // ring of the last K access times
+    std::size_t next_slot = 0;           // ring cursor
+    std::uint64_t refs = 0;              // total references while resident
+    std::uint32_t handle = 0;
+
+    [[nodiscard]] std::uint64_t kth_last(int k) const {
+      if (refs < static_cast<std::uint64_t>(k)) return 0;  // -infinity
+      return history[next_slot % history.size()];  // oldest retained
+    }
+    [[nodiscard]] std::uint64_t last() const {
+      const std::size_t idx =
+          (next_slot + history.size() - 1) % history.size();
+      return history[idx];
+    }
+  };
+
+  struct VictimKey {
+    std::uint64_t kth_last = 0;  // 0 = infinite backward distance
+    std::uint64_t last = 0;
+    Key key = 0;
+  };
+  struct VictimLess {
+    bool operator()(const VictimKey& a, const VictimKey& b) const noexcept {
+      if (a.kth_last != b.kth_last) return a.kth_last < b.kth_last;
+      return a.last < b.last;
+    }
+  };
+
+  void record_access(Entry& e);
+  void evict_victim();
+  [[nodiscard]] VictimKey victim_key(const Entry& e) const {
+    return VictimKey{e.kth_last(k_), e.last(), e.key};
+  }
+
+  int k_;
+  std::uint64_t now_ = 0;
+  std::unordered_map<Key, Entry> index_;
+  heap::DaryHeap<VictimKey, VictimLess, 2> heap_;
+};
+
+}  // namespace camp::policy

@@ -1,0 +1,118 @@
+#include "policy/policy_factory.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "core/camp.h"
+#include "core/concurrent_camp.h"
+#include "policy/admission.h"
+#include "policy/arc.h"
+#include "policy/clock.h"
+#include "policy/gd_wheel.h"
+#include "policy/gds.h"
+#include "policy/gdsf.h"
+#include "policy/greedy_dual.h"
+#include "policy/lru.h"
+#include "policy/lru_k.h"
+#include "policy/sampled_lru.h"
+#include "policy/two_q.h"
+
+namespace camp::policy {
+
+namespace {
+
+int parse_int(std::string_view text, const char* what) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument(std::string("make_policy: bad ") + what +
+                                " in spec");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::unique_ptr<ICache> make_policy(const std::string& spec,
+                                    std::uint64_t capacity_bytes) {
+  if (spec.rfind("admit+", 0) == 0) {
+    return std::make_unique<AdmissionFilter>(
+        make_policy(spec.substr(6), capacity_bytes), AdmissionConfig{});
+  }
+  if (spec == "lru") return std::make_unique<LruCache>(capacity_bytes);
+  if (spec == "camp") {
+    return core::make_camp(core::CampConfig{capacity_bytes, 5, true});
+  }
+  if (spec.rfind("camp:p=", 0) == 0) {
+    const int p = parse_int(std::string_view(spec).substr(7), "precision");
+    return core::make_camp(core::CampConfig{capacity_bytes, p, true});
+  }
+  if (spec == "camp-f" || spec.rfind("camp-f:p=", 0) == 0) {
+    core::CampConfig config;
+    config.capacity_bytes = capacity_bytes;
+    config.frequency_aware = true;
+    if (spec != "camp-f") {
+      config.precision =
+          parse_int(std::string_view(spec).substr(9), "precision");
+    }
+    return core::make_camp(config);
+  }
+  if (spec == "camp-mt") {
+    core::ConcurrentCampConfig config;
+    config.capacity_bytes = capacity_bytes;
+    return core::make_concurrent_camp(config);
+  }
+  if (spec.rfind("camp-mt:q=", 0) == 0) {
+    core::ConcurrentCampConfig config;
+    config.capacity_bytes = capacity_bytes;
+    config.physical_queues = static_cast<std::uint32_t>(
+        parse_int(std::string_view(spec).substr(10), "physical queues"));
+    return core::make_concurrent_camp(config);
+  }
+  if (spec == "gds") {
+    return make_gds(GdsConfig{capacity_bytes, util::kPrecisionInfinity, false});
+  }
+  if (spec == "gds:lru") {
+    return make_gds(GdsConfig{capacity_bytes, util::kPrecisionInfinity, true});
+  }
+  if (spec == "gdsf") {
+    GdsfConfig config;
+    config.capacity_bytes = capacity_bytes;
+    return make_gdsf(config);
+  }
+  if (spec == "greedy-dual") {
+    return std::make_unique<GreedyDualCache>(capacity_bytes);
+  }
+  if (spec == "arc") return std::make_unique<ArcCache>(capacity_bytes);
+  if (spec == "2q") {
+    return std::make_unique<TwoQCache>(TwoQConfig{capacity_bytes, 0.25, 0.5});
+  }
+  if (spec.rfind("lru-", 0) == 0) {
+    const int k = parse_int(std::string_view(spec).substr(4), "K");
+    return std::make_unique<LruKCache>(capacity_bytes, k);
+  }
+  if (spec == "clock") return std::make_unique<ClockCache>(capacity_bytes);
+  if (spec == "sampled-lru" || spec == "sampled-gds") {
+    SampledLruConfig config;
+    config.capacity_bytes = capacity_bytes;
+    config.cost_aware = (spec == "sampled-gds");
+    return std::make_unique<SampledLruCache>(config);
+  }
+  if (spec == "gd-wheel") {
+    GdWheelConfig config;
+    config.capacity_bytes = capacity_bytes;
+    return std::make_unique<GdWheelCache>(config);
+  }
+  throw std::invalid_argument("make_policy: unknown spec '" + spec + "'");
+}
+
+std::vector<std::string> known_policy_specs() {
+  return {"lru",         "camp",        "camp:p=1",    "camp-f",
+          "camp-mt",     "gds",         "gds:lru",     "gdsf",
+          "greedy-dual", "arc",         "2q",          "lru-2",
+          "gd-wheel",    "clock",       "sampled-lru", "sampled-gds",
+          "admit+camp"};
+}
+
+}  // namespace camp::policy

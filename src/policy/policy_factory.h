@@ -1,0 +1,47 @@
+// String-spec factory for eviction policies, used by the sweep driver, the
+// examples and the KVS server's command line.
+//
+// Recognised specs (case-sensitive):
+//   "lru"              plain LRU
+//   "camp"             CAMP with the paper's defaults (precision 5)
+//   "camp:p=<n>"       CAMP with precision n (n >= 64 means no rounding)
+//   "camp-f"           frequency-aware CAMP (GDSF scoring, CAMP machinery)
+//   "camp-f:p=<n>"     frequency-aware CAMP with precision n
+//   "camp-mt"          thread-safe CAMP (Section 4.1 design), precision 5
+//   "camp-mt:q=<n>"    thread-safe CAMP with n physical sub-queues per ratio
+//   "gds"              Greedy Dual Size, arbitrary tie-break
+//   "gds:lru"          Greedy Dual Size with LRU tie-break
+//   "gdsf"             Greedy-Dual-Size-Frequency (Squid's GDS variant)
+//   "greedy-dual"      Young's Greedy Dual (cost-only priorities)
+//   "arc"              ARC
+//   "2q"               2Q with default fractions
+//   "lru-<k>"          LRU-K, e.g. "lru-2"
+//   "gd-wheel"         GD-Wheel with default wheel geometry
+//   "clock"            CLOCK / second-chance
+//   "sampled-lru"      Redis-style sampled LRU (5 samples)
+//   "sampled-gds"      sampled cost-aware eviction (idle * size / cost)
+//   "admit+<spec>"     admission filter wrapped around any of the above
+//
+// Pooled LRU is intentionally absent: its pool plan requires offline trace
+// knowledge (see trace::TraceProfiler), so benches construct it directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+/// Build a cache from a spec string. Throws std::invalid_argument on an
+/// unknown spec.
+[[nodiscard]] std::unique_ptr<ICache> make_policy(const std::string& spec,
+                                                  std::uint64_t capacity_bytes);
+
+/// All specs make_policy accepts with default parameters; used by help
+/// output and the comparison example.
+[[nodiscard]] std::vector<std::string> known_policy_specs();
+
+}  // namespace camp::policy

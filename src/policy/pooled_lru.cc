@@ -1,0 +1,180 @@
+#include "policy/pooled_lru.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace camp::policy {
+
+std::uint64_t PooledLruCache::total_capacity(
+    const std::vector<PoolConfig>& pools) {
+  return std::accumulate(pools.begin(), pools.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const PoolConfig& p) {
+                           return acc + p.capacity_bytes;
+                         });
+}
+
+PooledLruCache::PooledLruCache(std::vector<PoolConfig> pools,
+                               PoolAssigner assigner)
+    : CacheBase(total_capacity(pools)), assigner_(std::move(assigner)) {
+  if (pools.empty()) {
+    throw std::invalid_argument("PooledLruCache: need at least one pool");
+  }
+  if (!assigner_) {
+    throw std::invalid_argument("PooledLruCache: assigner must be callable");
+  }
+  pools_.resize(pools.size());
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    pools_[i].config = std::move(pools[i]);
+  }
+}
+
+bool PooledLruCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  Pool& pool = pools_[e.pool];
+  ++pool.gets;
+  ++pool.hits;
+  pool.lru.move_to_back(e);
+  return true;
+}
+
+bool PooledLruCache::put(Key key, std::uint64_t size, std::uint64_t cost) {
+  ++stats_.puts;
+  const std::size_t pool_idx = assigner_(key, size, cost);
+  if (pool_idx >= pools_.size()) {
+    throw std::out_of_range("PooledLruCache: assigner returned bad pool");
+  }
+  Pool& pool = pools_[pool_idx];
+  if (size == 0 || size > pool.config.capacity_bytes) {
+    // Pair does not fit in its pool — with static partitions that is a
+    // permanent rejection (this is exactly the calcification-style failure
+    // mode CAMP avoids).
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  while (pool.used + size > pool.config.capacity_bytes) evict_one(pool);
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.pool = pool_idx;
+  pool.lru.push_back(e);
+  pool.used += size;
+  ++pool.items;
+  used_ += size;
+  return true;
+}
+
+bool PooledLruCache::contains(Key key) const { return index_.contains(key); }
+
+void PooledLruCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  Entry& e = it->second;
+  Pool& pool = pools_[e.pool];
+  pool.lru.remove(e);
+  pool.used -= e.size;
+  --pool.items;
+  used_ -= e.size;
+  index_.erase(it);
+}
+
+std::size_t PooledLruCache::item_count() const { return index_.size(); }
+
+std::string PooledLruCache::name() const {
+  return "pooled-lru(" + std::to_string(pools_.size()) + ")";
+}
+
+PoolStats PooledLruCache::pool_stats(std::size_t pool) const {
+  const Pool& p = pools_.at(pool);
+  return PoolStats{p.gets, p.hits, p.evictions, p.used, p.items};
+}
+
+void PooledLruCache::evict_one(Pool& pool) {
+  Entry* victim = pool.lru.front();
+  assert(victim != nullptr && "eviction requested from an empty pool");
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  pool.lru.remove(*victim);
+  pool.used -= vsize;
+  --pool.items;
+  ++pool.evictions;
+  index_.erase(vkey);
+  note_eviction(vkey, vsize);
+}
+
+std::vector<PoolConfig> uniform_pools(std::uint64_t total_bytes,
+                                      std::size_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_pools: n must be > 0");
+  std::vector<PoolConfig> out(n);
+  const std::uint64_t share = total_bytes / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].label = "pool" + std::to_string(i);
+    out[i].capacity_bytes = share;
+  }
+  out.back().capacity_bytes += total_bytes - share * n;  // remainder
+  return out;
+}
+
+std::vector<PoolConfig> weighted_pools(std::uint64_t total_bytes,
+                                       const std::vector<double>& weights,
+                                       const std::vector<std::string>& labels) {
+  if (weights.empty()) {
+    throw std::invalid_argument("weighted_pools: weights must be non-empty");
+  }
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (sum <= 0.0) {
+    throw std::invalid_argument("weighted_pools: weights must sum > 0");
+  }
+  std::vector<PoolConfig> out(weights.size());
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    out[i].label = i < labels.size() ? labels[i] : "pool" + std::to_string(i);
+    auto share = static_cast<std::uint64_t>(
+        static_cast<double>(total_bytes) * (weights[i] / sum));
+    share = std::max<std::uint64_t>(share, 1);
+    out[i].capacity_bytes = share;
+    assigned += share;
+  }
+  // Put any rounding slack in the heaviest pool.
+  if (assigned < total_bytes) {
+    const std::size_t heaviest = static_cast<std::size_t>(
+        std::max_element(weights.begin(), weights.end()) - weights.begin());
+    out[heaviest].capacity_bytes += total_bytes - assigned;
+  }
+  return out;
+}
+
+PoolAssigner assign_by_cost_value(
+    std::map<std::uint64_t, std::size_t> cost_to_pool) {
+  if (cost_to_pool.empty()) {
+    throw std::invalid_argument("assign_by_cost_value: empty mapping");
+  }
+  const std::size_t fallback = cost_to_pool.rbegin()->second;
+  return [cost_to_pool = std::move(cost_to_pool), fallback](
+             Key, std::uint64_t, std::uint64_t cost) -> std::size_t {
+    const auto it = cost_to_pool.find(cost);
+    return it == cost_to_pool.end() ? fallback : it->second;
+  };
+}
+
+PoolAssigner assign_by_cost_range(std::vector<std::uint64_t> boundaries) {
+  return [boundaries = std::move(boundaries)](
+             Key, std::uint64_t, std::uint64_t cost) -> std::size_t {
+    const auto it =
+        std::upper_bound(boundaries.begin(), boundaries.end(), cost);
+    return static_cast<std::size_t>(it - boundaries.begin());
+  };
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,109 @@
+// Pooled LRU: the human-partitioned alternative the paper compares against
+// (Facebook-style memcached pools, Nishtala et al., NSDI 2013).
+//
+// Memory is statically divided into pools; an assigner maps each key-value
+// pair to a pool (by exact cost value or by cost range); each pool runs its
+// own LRU. Unlike CAMP, pool boundaries never move — the paper's point is
+// that this needs a human and goes stale when workloads shift.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+/// Chooses the pool index for an incoming pair.
+using PoolAssigner =
+    std::function<std::size_t(Key key, std::uint64_t size, std::uint64_t cost)>;
+
+struct PoolConfig {
+  std::string label;
+  std::uint64_t capacity_bytes = 0;
+};
+
+struct PoolStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t used_bytes = 0;
+  std::size_t items = 0;
+};
+
+class PooledLruCache final : public CacheBase {
+ public:
+  PooledLruCache(std::vector<PoolConfig> pools, PoolAssigner assigner);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t pool_count() const { return pools_.size(); }
+  [[nodiscard]] PoolStats pool_stats(std::size_t pool) const;
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::size_t pool = 0;
+    intrusive::ListHook hook;
+  };
+  struct Pool {
+    PoolConfig config;
+    intrusive::List<Entry, &Entry::hook> lru;
+    std::uint64_t used = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t evictions = 0;
+    std::size_t items = 0;
+  };
+
+  void evict_one(Pool& pool);
+  static std::uint64_t total_capacity(const std::vector<PoolConfig>& pools);
+
+  // deque: Pool holds an intrusive list and is neither copyable nor movable.
+  std::deque<Pool> pools_;
+  PoolAssigner assigner_;
+  std::unordered_map<Key, Entry> index_;
+};
+
+// ---- partition plans --------------------------------------------------------
+
+/// Split `total_bytes` into `n` equal pools (the paper's "uniform" plan).
+[[nodiscard]] std::vector<PoolConfig> uniform_pools(std::uint64_t total_bytes,
+                                                    std::size_t n);
+
+/// Split `total_bytes` proportionally to `weights` (the paper's
+/// cost-proportional plan, with weights = total request cost per pool, and
+/// the Section 3.2 plan, with weights = lowest cost value of each range).
+/// Every pool receives at least 1 byte so no pool is unusable.
+[[nodiscard]] std::vector<PoolConfig> weighted_pools(
+    std::uint64_t total_bytes, const std::vector<double>& weights,
+    const std::vector<std::string>& labels = {});
+
+// ---- assigners ---------------------------------------------------------------
+
+/// Pool per exact cost value (the {1, 100, 10K} traces). Unknown costs go to
+/// the last pool.
+[[nodiscard]] PoolAssigner assign_by_cost_value(
+    std::map<std::uint64_t, std::size_t> cost_to_pool);
+
+/// Pool by cost range: pair with cost c goes to the first i such that
+/// c < boundaries[i], and to boundaries.size() otherwise. For the paper's
+/// Section 3.2 ranges {1..100, 100..10K, >=10K} pass boundaries {100, 10000}.
+[[nodiscard]] PoolAssigner assign_by_cost_range(
+    std::vector<std::uint64_t> boundaries);
+
+}  // namespace camp::policy

@@ -1,0 +1,106 @@
+#include "policy/sampled_lru.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+SampledLruCache::SampledLruCache(SampledLruConfig config)
+    : CacheBase(config.capacity_bytes),
+      config_(config),
+      rng_(config.seed) {
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("SampledLruConfig: capacity must be > 0");
+  }
+  if (config.sample_size < 1) {
+    throw std::invalid_argument("SampledLruConfig: sample_size must be >= 1");
+  }
+}
+
+bool SampledLruCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  it->second.last_tick = ++tick_;  // the whole cost of a hit
+  return true;
+}
+
+bool SampledLruCache::put(Key key, std::uint64_t size, std::uint64_t cost) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  while (used_ + size > capacity_) evict_one();
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  e.cost = cost == 0 ? 1 : cost;
+  e.last_tick = ++tick_;
+  e.slot = keys_.size();
+  keys_.push_back(key);
+  used_ += size;
+  return true;
+}
+
+bool SampledLruCache::contains(Key key) const { return index_.contains(key); }
+
+// Drops the entry from the index and the dense sampling array. Byte
+// accounting is the caller's job: erase() subtracts directly while
+// evict_one() goes through note_eviction (which also fires the listener).
+void SampledLruCache::remove_entry(Key key) {
+  const auto it = index_.find(key);
+  assert(it != index_.end());
+  const std::size_t slot = it->second.slot;
+  // Swap-remove from the dense key array; fix the moved key's slot.
+  keys_[slot] = keys_.back();
+  index_.at(keys_[slot]).slot = slot;
+  keys_.pop_back();
+  index_.erase(it);
+}
+
+void SampledLruCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  used_ -= it->second.size;
+  remove_entry(key);
+}
+
+std::size_t SampledLruCache::item_count() const { return index_.size(); }
+
+bool SampledLruCache::evict_one() {
+  if (keys_.empty()) return false;
+  const Entry* victim = nullptr;
+  double victim_score = -1.0;
+  const int samples =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(config_.sample_size), keys_.size()));
+  for (int i = 0; i < samples; ++i) {
+    const Key key = keys_[static_cast<std::size_t>(rng_.below(keys_.size()))];
+    const Entry& e = index_.at(key);
+    const double idle = static_cast<double>(tick_ - e.last_tick) + 1.0;
+    const double score =
+        config_.cost_aware
+            ? idle * static_cast<double>(e.size) / static_cast<double>(e.cost)
+            : idle;
+    if (score > victim_score) {
+      victim_score = score;
+      victim = &e;
+    }
+  }
+  assert(victim != nullptr);
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  remove_entry(vkey);
+  note_eviction(vkey, vsize);
+  return true;
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,62 @@
+// Sampled LRU — Redis-style approximated eviction. No global recency list:
+// each entry records its last-access tick, and eviction draws K random
+// resident entries and removes the one with the oldest tick. An optional
+// cost-aware mode scores candidates by (idle_time * size / cost), i.e. a
+// sampled approximation of the GDS victim choice — a natural "cheap CAMP"
+// strawman for the ablation discussion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/cache_iface.h"
+#include "util/rng.h"
+
+namespace camp::policy {
+
+struct SampledLruConfig {
+  std::uint64_t capacity_bytes = 0;
+  int sample_size = 5;  // Redis's default maxmemory-samples
+  /// false: victim = oldest last-access among the sample (Redis LRU).
+  /// true: victim = max idle * size / cost (sampled cost-aware GDS-ish).
+  bool cost_aware = false;
+  std::uint64_t seed = 0x5a3d1ed;
+};
+
+class SampledLruCache final : public CacheBase {
+ public:
+  explicit SampledLruCache(SampledLruConfig config);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override {
+    return config_.cost_aware ? "sampled-gds" : "sampled-lru";
+  }
+  bool evict_one() override;
+
+ private:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    std::uint64_t cost = 1;
+    std::uint64_t last_tick = 0;
+    std::size_t slot = 0;  // position in keys_ (swap-remove bookkeeping)
+  };
+
+  void remove_entry(Key key);
+
+  SampledLruConfig config_;
+  util::Xoshiro256 rng_;
+  std::unordered_map<Key, Entry> index_;
+  std::vector<Key> keys_;  // dense key array for O(1) uniform sampling
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace camp::policy

@@ -1,0 +1,152 @@
+#include "policy/two_q.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace camp::policy {
+
+TwoQCache::TwoQCache(TwoQConfig config)
+    : CacheBase(config.capacity_bytes), config_(config) {
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("TwoQConfig: capacity must be > 0");
+  }
+  if (config.kin_fraction <= 0.0 || config.kin_fraction >= 1.0) {
+    throw std::invalid_argument("TwoQConfig: kin_fraction must be in (0,1)");
+  }
+  kin_bytes_ = static_cast<std::uint64_t>(
+      static_cast<double>(config.capacity_bytes) * config.kin_fraction);
+  kin_bytes_ = std::max<std::uint64_t>(kin_bytes_, 1);
+  kout_bytes_ = static_cast<std::uint64_t>(
+      static_cast<double>(config.capacity_bytes) * config.kout_fraction);
+}
+
+bool TwoQCache::get(Key key) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  // 2Q: a hit in Am refreshes recency; a hit in A1in deliberately does not
+  // (the pair proves itself by being re-referenced after leaving A1in).
+  if (e.where == Where::kAm) am_.move_to_back(e);
+  return true;
+}
+
+bool TwoQCache::put(Key key, std::uint64_t size, std::uint64_t /*cost*/) {
+  ++stats_.puts;
+  if (size == 0 || size > capacity_) {
+    ++stats_.rejected_puts;
+    return false;
+  }
+  erase(key);
+  const auto ghost_it = ghost_index_.find(key);
+  const bool hot = ghost_it != ghost_index_.end();
+  if (hot) {
+    ghost_bytes_ -= ghost_it->second.size;
+    ghosts_.remove(ghost_it->second);
+    ghost_index_.erase(ghost_it);
+  }
+  make_room(size);
+  auto [it, inserted] = index_.try_emplace(key);
+  assert(inserted);
+  Entry& e = it->second;
+  e.key = key;
+  e.size = size;
+  if (hot) {
+    e.where = Where::kAm;
+    am_.push_back(e);
+    am_bytes_ += size;
+  } else {
+    e.where = Where::kA1in;
+    a1in_.push_back(e);
+    in_bytes_ += size;
+  }
+  used_ += size;
+  return true;
+}
+
+bool TwoQCache::contains(Key key) const { return index_.contains(key); }
+
+void TwoQCache::erase(Key key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  Entry& e = it->second;
+  if (e.where == Where::kA1in) {
+    a1in_.remove(e);
+    in_bytes_ -= e.size;
+  } else {
+    am_.remove(e);
+    am_bytes_ -= e.size;
+  }
+  used_ -= e.size;
+  index_.erase(it);
+}
+
+std::size_t TwoQCache::item_count() const { return index_.size(); }
+
+void TwoQCache::make_room(std::uint64_t size) {
+  while (used_ + size > capacity_) {
+    if (in_bytes_ > kin_bytes_ && !a1in_.empty()) {
+      demote_a1in_head();
+    } else if (!am_.empty()) {
+      evict_am_lru();
+    } else if (!a1in_.empty()) {
+      demote_a1in_head();
+    } else {
+      break;  // cache empty; caller's size <= capacity so this ends the loop
+    }
+  }
+}
+
+void TwoQCache::demote_a1in_head() {
+  Entry* victim = a1in_.front();
+  assert(victim != nullptr);
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  a1in_.remove(*victim);
+  in_bytes_ -= vsize;
+  index_.erase(vkey);
+  push_ghost(vkey, vsize);
+  note_eviction(vkey, vsize);
+}
+
+void TwoQCache::evict_am_lru() {
+  Entry* victim = am_.front();
+  assert(victim != nullptr);
+  const Key vkey = victim->key;
+  const std::uint64_t vsize = victim->size;
+  am_.remove(*victim);
+  am_bytes_ -= vsize;
+  index_.erase(vkey);
+  note_eviction(vkey, vsize);  // Am victims are NOT remembered in A1out
+}
+
+void TwoQCache::push_ghost(Key key, std::uint64_t size) {
+  if (kout_bytes_ == 0) return;
+  auto [it, inserted] = ghost_index_.try_emplace(key);
+  if (!inserted) {
+    ghost_bytes_ -= it->second.size;
+    ghosts_.remove(it->second);
+  }
+  Ghost& g = it->second;
+  g.key = key;
+  g.size = size;
+  ghosts_.push_back(g);
+  ghost_bytes_ += size;
+  trim_ghosts();
+}
+
+void TwoQCache::trim_ghosts() {
+  while (ghost_bytes_ > kout_bytes_ && !ghosts_.empty()) {
+    Ghost* g = ghosts_.front();
+    ghost_bytes_ -= g->size;
+    ghosts_.remove(*g);
+    ghost_index_.erase(g->key);
+  }
+}
+
+}  // namespace camp::policy

@@ -1,0 +1,80 @@
+// 2Q (Johnson & Shasha, VLDB 1994) — "full version", adapted from page
+// counts to byte budgets. Related-work baseline: adaptive between recency
+// and frequency, but cost- and size-oblivious in its decisions.
+//
+//   A1in : FIFO of freshly-inserted resident pairs (target kin bytes)
+//   A1out: FIFO ghost queue of keys recently pushed out of A1in
+//          (target kout bytes, metadata only)
+//   Am   : LRU of proven-hot resident pairs
+//
+// A pair re-requested while its key sits in A1out is promoted into Am on
+// insert; one-hit wonders wash out of A1in without polluting Am.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "intrusive/list.h"
+#include "policy/cache_iface.h"
+
+namespace camp::policy {
+
+struct TwoQConfig {
+  std::uint64_t capacity_bytes = 0;
+  double kin_fraction = 0.25;   // A1in target share of capacity
+  double kout_fraction = 0.50;  // A1out ghost budget as share of capacity
+};
+
+class TwoQCache final : public CacheBase {
+ public:
+  explicit TwoQCache(TwoQConfig config);
+
+  bool get(Key key) override;
+  bool put(Key key, std::uint64_t size, std::uint64_t cost) override;
+  [[nodiscard]] bool contains(Key key) const override;
+  void erase(Key key) override;
+  [[nodiscard]] std::size_t item_count() const override;
+  [[nodiscard]] std::string name() const override { return "2q"; }
+
+  [[nodiscard]] std::uint64_t a1in_bytes() const noexcept { return in_bytes_; }
+  [[nodiscard]] std::uint64_t am_bytes() const noexcept { return am_bytes_; }
+  [[nodiscard]] std::size_t ghost_count() const { return ghosts_.size(); }
+
+ private:
+  enum class Where : std::uint8_t { kA1in, kAm };
+
+  struct Entry {
+    Key key = 0;
+    std::uint64_t size = 0;
+    Where where = Where::kA1in;
+    intrusive::ListHook hook;
+  };
+  struct Ghost {
+    Key key = 0;
+    std::uint64_t size = 0;
+    intrusive::ListHook hook;
+  };
+
+  void make_room(std::uint64_t size);
+  void demote_a1in_head();
+  void evict_am_lru();
+  void push_ghost(Key key, std::uint64_t size);
+  void trim_ghosts();
+
+  TwoQConfig config_;
+  std::uint64_t kin_bytes_;
+  std::uint64_t kout_bytes_;
+  std::unordered_map<Key, Entry> index_;
+  std::unordered_map<Key, Ghost> ghost_index_;
+  intrusive::List<Entry, &Entry::hook> a1in_;  // front = oldest
+  intrusive::List<Entry, &Entry::hook> am_;    // front = LRU
+  intrusive::List<Ghost, &Ghost::hook> ghosts_;
+  std::uint64_t in_bytes_ = 0;
+  std::uint64_t am_bytes_ = 0;
+  std::uint64_t ghost_bytes_ = 0;
+};
+
+}  // namespace camp::policy

@@ -1,0 +1,71 @@
+#include "sim/hierarchy.h"
+
+#include <stdexcept>
+
+namespace camp::sim {
+
+HierarchicalCache::HierarchicalCache(std::unique_ptr<policy::ICache> l1,
+                                     std::unique_ptr<policy::ICache> l2,
+                                     HierarchyConfig config)
+    : l1_(std::move(l1)), l2_(std::move(l2)), config_(config) {
+  if (!l1_ || !l2_) {
+    throw std::invalid_argument("HierarchicalCache: both levels required");
+  }
+  // Demote L1 victims into L2 (victim caching). L2's own evictions are
+  // final. The listener fires inside l1_->put(), after which the victim's
+  // metadata is dropped.
+  l1_->set_eviction_listener([this](policy::Key key, std::uint64_t) {
+    const auto it = l1_meta_.find(key);
+    if (it == l1_meta_.end()) return;
+    const PairMeta meta = it->second;
+    l1_meta_.erase(it);
+    if (config_.demote_l1_victims) {
+      l2_->put(key, meta.size, meta.cost);
+    }
+  });
+}
+
+void HierarchicalCache::l1_insert(policy::Key key, std::uint64_t size,
+                                  std::uint64_t cost) {
+  l1_meta_[key] = PairMeta{size, cost};
+  if (!l1_->put(key, size, cost)) l1_meta_.erase(key);
+}
+
+void HierarchicalCache::process(const trace::TraceRecord& r) {
+  ++metrics_.requests;
+  const bool cold = seen_.insert(r.key).second;
+  if (cold) {
+    ++metrics_.cold_requests;
+  } else {
+    metrics_.noncold_cost_total += r.cost;
+  }
+
+  if (l1_->get(r.key)) {
+    ++metrics_.l1_hits;
+    metrics_.total_service_cost += config_.l1_latency;
+    return;
+  }
+  if (l2_->get(r.key)) {
+    ++metrics_.l2_hits;
+    metrics_.total_service_cost += config_.l2_latency;
+    // Promote into L1; drop the L2 copy first so a demotion of the same key
+    // during the promotion re-inserts cleanly.
+    l2_->erase(r.key);
+    l1_insert(r.key, r.size, r.cost);
+    return;
+  }
+
+  if (!cold) {
+    ++metrics_.noncold_misses;
+    metrics_.noncold_cost_missed += r.cost;
+  }
+  // Full miss: recompute the value (pay its cost) and install in L1.
+  metrics_.total_service_cost += r.cost + config_.l1_latency;
+  l1_insert(r.key, r.size, r.cost);
+}
+
+void HierarchicalCache::run(std::span<const trace::TraceRecord> records) {
+  for (const trace::TraceRecord& r : records) process(r);
+}
+
+}  // namespace camp::sim

@@ -1,0 +1,89 @@
+// Two-level hierarchical cache (the paper's Section 6 future-work
+// direction: "extending CAMP for use with a hierarchical cache (using SSD,
+// hard disk, or both) which may persist costly data items").
+//
+// L1 models RAM, L2 models an SSD tier. A get probes L1 then L2; an L2 hit
+// promotes the pair into L1. L1 victims are *demoted* into L2 rather than
+// discarded (victim caching), so expensive pairs survive memory pressure.
+// The latency model charges per-level service times plus the pair's cost on
+// a full miss, giving an end-to-end "total service cost" metric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "policy/cache_iface.h"
+#include "sim/metrics.h"
+#include "trace/record.h"
+
+namespace camp::sim {
+
+struct HierarchyConfig {
+  std::uint64_t l1_latency = 1;    // cost units charged on an L1 hit
+  std::uint64_t l2_latency = 30;   // cost units charged on an L2 hit
+  bool demote_l1_victims = true;   // victim-cache demotion into L2
+};
+
+struct HierarchyMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t cold_requests = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t noncold_misses = 0;
+  std::uint64_t noncold_cost_total = 0;
+  std::uint64_t noncold_cost_missed = 0;
+  std::uint64_t total_service_cost = 0;  // latency model over all requests
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t n = requests - cold_requests;
+    return n == 0 ? 0.0
+                  : static_cast<double>(noncold_misses) /
+                        static_cast<double>(n);
+  }
+  [[nodiscard]] double cost_miss_ratio() const noexcept {
+    return noncold_cost_total == 0
+               ? 0.0
+               : static_cast<double>(noncold_cost_missed) /
+                     static_cast<double>(noncold_cost_total);
+  }
+};
+
+class HierarchicalCache {
+ public:
+  /// Takes ownership of both levels. Both caches must start empty and must
+  /// not have eviction listeners installed (the hierarchy wires L1's).
+  HierarchicalCache(std::unique_ptr<policy::ICache> l1,
+                    std::unique_ptr<policy::ICache> l2,
+                    HierarchyConfig config);
+
+  /// Process one request end-to-end (probe, promote, insert on miss).
+  void process(const trace::TraceRecord& r);
+  void run(std::span<const trace::TraceRecord> records);
+
+  [[nodiscard]] const HierarchyMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] policy::ICache& l1() noexcept { return *l1_; }
+  [[nodiscard]] policy::ICache& l2() noexcept { return *l2_; }
+
+ private:
+  struct PairMeta {
+    std::uint64_t size = 0;
+    std::uint64_t cost = 0;
+  };
+
+  void l1_insert(policy::Key key, std::uint64_t size, std::uint64_t cost);
+
+  std::unique_ptr<policy::ICache> l1_;
+  std::unique_ptr<policy::ICache> l2_;
+  HierarchyConfig config_;
+  HierarchyMetrics metrics_;
+  std::unordered_set<policy::Key> seen_;
+  // Sizes/costs of resident L1 pairs so demotion can re-insert into L2.
+  std::unordered_map<policy::Key, PairMeta> l1_meta_;
+};
+
+}  // namespace camp::sim

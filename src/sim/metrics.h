@@ -1,0 +1,38 @@
+// The paper's two key metrics (Section 3):
+//   miss rate       = non-cold misses / non-cold requests
+//   cost-miss ratio = cost of non-cold misses / cost of non-cold requests
+// "the first request to a particular key-value pair in the trace (called a
+// cold request) is not counted because any algorithm will fault on such
+// requests."
+#pragma once
+
+#include <cstdint>
+
+namespace camp::sim {
+
+struct Metrics {
+  std::uint64_t requests = 0;
+  std::uint64_t cold_requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t noncold_misses = 0;
+  std::uint64_t noncold_cost_total = 0;
+  std::uint64_t noncold_cost_missed = 0;
+
+  [[nodiscard]] std::uint64_t noncold_requests() const noexcept {
+    return requests - cold_requests;
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t n = noncold_requests();
+    return n == 0 ? 0.0
+                  : static_cast<double>(noncold_misses) /
+                        static_cast<double>(n);
+  }
+  [[nodiscard]] double cost_miss_ratio() const noexcept {
+    return noncold_cost_total == 0
+               ? 0.0
+               : static_cast<double>(noncold_cost_missed) /
+                     static_cast<double>(noncold_cost_total);
+  }
+};
+
+}  // namespace camp::sim

@@ -1,0 +1,41 @@
+#include "sim/occupancy.h"
+
+namespace camp::sim {
+
+OccupancyTracker::OccupancyTracker(std::uint32_t tracked_trace_id,
+                                   std::uint64_t capacity_bytes,
+                                   std::uint64_t sample_interval)
+    : tracked_(tracked_trace_id),
+      capacity_(capacity_bytes),
+      interval_(sample_interval == 0 ? 1 : sample_interval) {}
+
+void OccupancyTracker::on_insert(policy::Key key, std::uint64_t size,
+                                 std::uint32_t trace_id) {
+  if (trace_id != tracked_) return;
+  auto [it, inserted] = resident_.try_emplace(key, size);
+  if (!inserted) {
+    tracked_bytes_ -= it->second;  // overwrite of a resident pair
+    it->second = size;
+  }
+  tracked_bytes_ += size;
+  ever_populated_ = true;
+}
+
+void OccupancyTracker::on_evict(policy::Key key) {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  tracked_bytes_ -= it->second;
+  resident_.erase(it);
+  if (tracked_bytes_ == 0 && ever_populated_ && drained_at_ == 0) {
+    drained_at_ = last_request_;
+  }
+}
+
+void OccupancyTracker::on_request_done(std::uint64_t request_index) {
+  last_request_ = request_index;
+  if (request_index % interval_ == 0) {
+    samples_.push_back(OccupancySample{request_index, current_fraction()});
+  }
+}
+
+}  // namespace camp::sim

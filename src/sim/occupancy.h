@@ -1,0 +1,64 @@
+// Occupancy-by-trace tracking for the adaptation experiment (Figures 6c/6d):
+// "the fraction of KVS memory occupied by the key-values of TF1" sampled as
+// requests are issued.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/cache_iface.h"
+
+namespace camp::sim {
+
+struct OccupancySample {
+  std::uint64_t request_index = 0;  // absolute position in the run
+  double fraction = 0.0;            // tracked-trace bytes / cache capacity
+};
+
+class OccupancyTracker {
+ public:
+  /// Track the bytes of pairs that belong to `tracked_trace_id`, sampling
+  /// every `sample_interval` requests against `capacity_bytes`.
+  OccupancyTracker(std::uint32_t tracked_trace_id,
+                   std::uint64_t capacity_bytes,
+                   std::uint64_t sample_interval);
+
+  /// The simulator reports every successful insert.
+  void on_insert(policy::Key key, std::uint64_t size, std::uint32_t trace_id);
+  /// Wire this to the cache's eviction listener (also call for erases).
+  void on_evict(policy::Key key);
+  /// Called once per request processed (after any insert/evict activity).
+  void on_request_done(std::uint64_t request_index);
+
+  [[nodiscard]] const std::vector<OccupancySample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t tracked_bytes() const noexcept {
+    return tracked_bytes_;
+  }
+  [[nodiscard]] double current_fraction() const noexcept {
+    return capacity_ == 0 ? 0.0
+                          : static_cast<double>(tracked_bytes_) /
+                                static_cast<double>(capacity_);
+  }
+  /// Request index at which the tracked trace's bytes first reached zero
+  /// after having been non-zero (0 if never).
+  [[nodiscard]] std::uint64_t drained_at() const noexcept {
+    return drained_at_;
+  }
+
+ private:
+  std::uint32_t tracked_;
+  std::uint64_t capacity_;
+  std::uint64_t interval_;
+  std::uint64_t tracked_bytes_ = 0;
+  bool ever_populated_ = false;
+  std::uint64_t drained_at_ = 0;
+  std::uint64_t last_request_ = 0;
+  // resident tracked keys -> size (only pairs of the tracked trace)
+  std::unordered_map<policy::Key, std::uint64_t> resident_;
+  std::vector<OccupancySample> samples_;
+};
+
+}  // namespace camp::sim

@@ -1,0 +1,68 @@
+#include "sim/parallel_simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+namespace camp::sim {
+
+ParallelReplayResult replay_parallel(
+    policy::ICache& cache, std::span<const trace::TraceRecord> records,
+    unsigned threads) {
+  threads = std::max(1u, threads);
+
+  // Deterministic cold detection: the request carrying a key's first trace
+  // index is the cold one, whichever thread replays it. The map is written
+  // single-threaded here and only read by the workers.
+  std::unordered_map<policy::Key, std::size_t> first_index;
+  first_index.reserve(records.size() / 4 + 1);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    first_index.try_emplace(records[i].key, i);
+  }
+
+  ParallelReplayResult result;
+  result.per_thread.assign(threads, Metrics{});
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Metrics& m = result.per_thread[w];
+      for (std::size_t i = w; i < records.size(); i += threads) {
+        const trace::TraceRecord& r = records[i];
+        ++m.requests;
+        const bool cold = first_index.find(r.key)->second == i;
+        const bool hit = cache.get(r.key);
+        if (hit) ++m.hits;
+        if (cold) {
+          ++m.cold_requests;
+        } else {
+          m.noncold_cost_total += r.cost;
+          if (!hit) {
+            ++m.noncold_misses;
+            m.noncold_cost_missed += r.cost;
+          }
+        }
+        if (!hit) cache.put(r.key, r.size, r.cost);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const Metrics& m : result.per_thread) {
+    result.metrics.requests += m.requests;
+    result.metrics.cold_requests += m.cold_requests;
+    result.metrics.hits += m.hits;
+    result.metrics.noncold_misses += m.noncold_misses;
+    result.metrics.noncold_cost_total += m.noncold_cost_total;
+    result.metrics.noncold_cost_missed += m.noncold_cost_missed;
+  }
+  return result;
+}
+
+}  // namespace camp::sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+namespace camp::sim {
+
+Simulator::Simulator(policy::ICache& cache, OccupancyTracker* occupancy)
+    : cache_(cache), occupancy_(occupancy) {
+  if (occupancy_ != nullptr) {
+    cache_.set_eviction_listener(
+        [this](policy::Key key, std::uint64_t) { occupancy_->on_evict(key); });
+  }
+}
+
+void Simulator::process(const trace::TraceRecord& r) {
+  ++request_index_;
+  ++metrics_.requests;
+  const bool cold = seen_.insert(r.key).second;
+  if (cold) {
+    ++metrics_.cold_requests;
+  } else {
+    metrics_.noncold_cost_total += r.cost;
+  }
+  if (cache_.get(r.key)) {
+    ++metrics_.hits;
+  } else {
+    if (!cold) {
+      ++metrics_.noncold_misses;
+      metrics_.noncold_cost_missed += r.cost;
+    }
+    // The request generator computes the missing value and stores it.
+    const bool admitted = cache_.put(r.key, r.size, r.cost);
+    if (admitted && occupancy_ != nullptr) {
+      occupancy_->on_insert(r.key, r.size, r.trace_id);
+    }
+  }
+  if (occupancy_ != nullptr) occupancy_->on_request_done(request_index_);
+}
+
+void Simulator::run(std::span<const trace::TraceRecord> records) {
+  for (const trace::TraceRecord& r : records) process(r);
+}
+
+}  // namespace camp::sim

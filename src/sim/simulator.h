@@ -1,0 +1,43 @@
+// Trace-driven simulator: the paper's "KVS and a request generator" loop.
+// Every reference is a get; on a miss the generator computes the value and
+// inserts it (put), which may trigger evictions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "policy/cache_iface.h"
+#include "sim/metrics.h"
+#include "sim/occupancy.h"
+#include "trace/record.h"
+
+namespace camp::sim {
+
+class Simulator {
+ public:
+  /// The cache must outlive the simulator. If `occupancy` is non-null the
+  /// simulator wires itself to the cache's eviction listener and feeds the
+  /// tracker; callers must not install their own listener in that case.
+  explicit Simulator(policy::ICache& cache,
+                     OccupancyTracker* occupancy = nullptr);
+
+  /// Process one request: get, and on a miss put (compute-and-insert).
+  void process(const trace::TraceRecord& r);
+
+  /// Process a whole trace in order.
+  void run(std::span<const trace::TraceRecord> records);
+
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] policy::ICache& cache() noexcept { return cache_; }
+
+ private:
+  policy::ICache& cache_;
+  OccupancyTracker* occupancy_;
+  Metrics metrics_;
+  std::unordered_set<policy::Key> seen_;  // for cold-request detection
+  std::uint64_t request_index_ = 0;
+};
+
+}  // namespace camp::sim

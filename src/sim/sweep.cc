@@ -1,0 +1,31 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+
+namespace camp::sim {
+
+std::uint64_t capacity_for_ratio(double ratio, std::uint64_t unique_bytes) {
+  const double bytes = ratio * static_cast<double>(unique_bytes);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(bytes));
+}
+
+std::vector<SweepPoint> run_ratio_sweep(
+    const std::vector<trace::TraceRecord>& records, const SweepConfig& config,
+    const std::string& policy_name, const CacheFactory& factory) {
+  std::vector<SweepPoint> out;
+  out.reserve(config.cache_ratios.size());
+  for (const double ratio : config.cache_ratios) {
+    const std::uint64_t capacity =
+        capacity_for_ratio(ratio, config.unique_bytes);
+    auto cache = factory(capacity);
+    Simulator simulator(*cache);
+    simulator.run(records);
+    out.push_back(SweepPoint{policy_name, ratio, capacity,
+                             simulator.metrics(), cache->stats()});
+  }
+  return out;
+}
+
+}  // namespace camp::sim

@@ -1,0 +1,112 @@
+#include "slab/buddy_allocator.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace camp::slab {
+
+BuddyAllocator::BuddyAllocator(BuddyConfig config) : config_(config) {
+  if (!util::is_pow2(config.min_block_bytes)) {
+    throw std::invalid_argument("BuddyConfig: min block must be pow2");
+  }
+  if (config.arena_bytes < config.min_block_bytes) {
+    throw std::invalid_argument("BuddyConfig: arena below one block");
+  }
+  // Round arena down to a power of two multiple of the min block.
+  std::uint64_t usable = std::bit_floor(config.arena_bytes);
+  max_order_ = static_cast<std::uint32_t>(
+      util::floor_log2(usable / config.min_block_bytes));
+  usable = static_cast<std::uint64_t>(config.min_block_bytes) << max_order_;
+  arena_ = std::make_unique<std::byte[]>(usable);
+  stats_.arena_bytes = usable;
+
+  free_lists_.resize(max_order_ + 1);
+  free_map_.resize(max_order_ + 1);
+  for (std::uint32_t k = 0; k <= max_order_; ++k) {
+    const std::uint64_t blocks = usable / (static_cast<std::uint64_t>(
+                                              config.min_block_bytes)
+                                           << k);
+    free_map_[k].assign(static_cast<std::size_t>(blocks), false);
+  }
+  // One free block of the top order.
+  free_lists_[max_order_].push_back(0);
+  free_map_[max_order_][0] = true;
+}
+
+std::uint32_t BuddyAllocator::order_for(std::uint64_t size) const {
+  std::uint64_t block = config_.min_block_bytes;
+  std::uint32_t order = 0;
+  while (block < size) {
+    block <<= 1;
+    ++order;
+  }
+  return order;
+}
+
+std::uint64_t BuddyAllocator::buddy_of(std::uint64_t offset,
+                                       std::uint32_t order) const {
+  const std::uint64_t size = static_cast<std::uint64_t>(
+                                 config_.min_block_bytes)
+                             << order;
+  return offset ^ size;
+}
+
+std::optional<BuddyBlock> BuddyAllocator::allocate(std::uint64_t size) {
+  if (size == 0 || size > max_allocation()) return std::nullopt;
+  const std::uint32_t want = order_for(size);
+  // Find the smallest order >= want with a free block.
+  std::uint32_t k = want;
+  while (k <= max_order_ && free_lists_[k].empty()) ++k;
+  if (k > max_order_) return std::nullopt;
+  std::uint64_t offset = free_lists_[k].back();
+  free_lists_[k].pop_back();
+  free_map_[k][static_cast<std::size_t>(
+      offset / (static_cast<std::uint64_t>(config_.min_block_bytes) << k))] =
+      false;
+  // Split down to the wanted order.
+  while (k > want) {
+    --k;
+    ++stats_.splits;
+    const std::uint64_t half =
+        static_cast<std::uint64_t>(config_.min_block_bytes) << k;
+    const std::uint64_t right = offset + half;
+    free_lists_[k].push_back(right);
+    free_map_[k][static_cast<std::size_t>(right / half)] = true;
+  }
+  const std::uint64_t block_size =
+      static_cast<std::uint64_t>(config_.min_block_bytes) << want;
+  ++stats_.live_blocks;
+  stats_.allocated_bytes += block_size;
+  return BuddyBlock{arena_.get() + offset, offset, want, block_size};
+}
+
+void BuddyAllocator::free(const BuddyBlock& block) {
+  std::uint64_t offset = block.offset;
+  std::uint32_t order = block.order;
+  --stats_.live_blocks;
+  stats_.allocated_bytes -= block.size;
+  // Coalesce upward while the buddy is free.
+  while (order < max_order_) {
+    const std::uint64_t buddy = buddy_of(offset, order);
+    const std::uint64_t block_size =
+        static_cast<std::uint64_t>(config_.min_block_bytes) << order;
+    const auto buddy_idx = static_cast<std::size_t>(buddy / block_size);
+    if (!free_map_[order][buddy_idx]) break;
+    // Remove buddy from its free list.
+    auto& list = free_lists_[order];
+    list.erase(std::find(list.begin(), list.end(), buddy));
+    free_map_[order][buddy_idx] = false;
+    offset = std::min(offset, buddy);
+    ++order;
+    ++stats_.merges;
+  }
+  const std::uint64_t merged_size =
+      static_cast<std::uint64_t>(config_.min_block_bytes) << order;
+  free_lists_[order].push_back(offset);
+  free_map_[order][static_cast<std::size_t>(offset / merged_size)] = true;
+}
+
+}  // namespace camp::slab

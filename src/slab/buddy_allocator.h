@@ -1,0 +1,75 @@
+// Binary buddy allocator over a contiguous arena — the alternative space
+// manager the paper's Section 5 suggests ("one may use a buddy algorithm
+// [8] to manage space in combination with CAMP (or LRU)"). Used by the
+// allocator ablation bench and available to the KVS engine.
+//
+// Classic power-of-two scheme: blocks of order k have size
+// min_block << k; splitting produces two buddies whose offsets differ in
+// exactly bit k; freeing coalesces with a free buddy recursively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace camp::slab {
+
+struct BuddyConfig {
+  std::uint64_t arena_bytes = 64ull << 20;  // rounded down to a power of two
+  std::uint32_t min_block_bytes = 64;       // order-0 block size (pow2)
+};
+
+struct BuddyBlock {
+  std::byte* data = nullptr;
+  std::uint64_t offset = 0;
+  std::uint32_t order = 0;
+  std::uint64_t size = 0;  // min_block << order
+};
+
+struct BuddyStats {
+  std::uint64_t arena_bytes = 0;
+  std::uint64_t allocated_bytes = 0;  // sum of live block sizes
+  std::uint64_t live_blocks = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+};
+
+class BuddyAllocator {
+ public:
+  explicit BuddyAllocator(BuddyConfig config);
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  /// Allocate the smallest block holding `size` bytes; nullopt when no
+  /// block is available (fragmentation or exhaustion).
+  [[nodiscard]] std::optional<BuddyBlock> allocate(std::uint64_t size);
+
+  /// Return a block; coalesces with free buddies.
+  void free(const BuddyBlock& block);
+
+  [[nodiscard]] const BuddyStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t max_order() const { return max_order_; }
+  /// Largest size a single allocation can serve.
+  [[nodiscard]] std::uint64_t max_allocation() const {
+    return static_cast<std::uint64_t>(config_.min_block_bytes) << max_order_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t order_for(std::uint64_t size) const;
+  [[nodiscard]] std::uint64_t buddy_of(std::uint64_t offset,
+                                       std::uint32_t order) const;
+
+  BuddyConfig config_;
+  std::unique_ptr<std::byte[]> arena_;
+  std::uint32_t max_order_ = 0;
+  // free_[k] = offsets of free blocks of order k (kept sorted not required;
+  // membership checked via the set for O(log) buddy lookup).
+  std::vector<std::vector<std::uint64_t>> free_lists_;
+  // Bit tracking of free blocks per order for buddy coalescing.
+  std::vector<std::vector<bool>> free_map_;
+  BuddyStats stats_;
+};
+
+}  // namespace camp::slab

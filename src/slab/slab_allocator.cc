@@ -1,0 +1,162 @@
+#include "slab/slab_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace camp::slab {
+
+SlabAllocator::SlabAllocator(SlabConfig config) : config_(config) {
+  if (config.slab_size_bytes == 0 || config.min_chunk_size == 0) {
+    throw std::invalid_argument("SlabConfig: zero sizes");
+  }
+  if (config.min_chunk_size > config.slab_size_bytes) {
+    throw std::invalid_argument("SlabConfig: min chunk exceeds slab size");
+  }
+  if (config.growth_factor <= 1.0) {
+    throw std::invalid_argument("SlabConfig: growth factor must be > 1");
+  }
+  if (config.memory_limit_bytes < config.slab_size_bytes) {
+    throw std::invalid_argument("SlabConfig: budget below one slab");
+  }
+  // Build the class table: chunk sizes grow by the factor, 8-byte aligned,
+  // last class spans the whole slab (twemcache's layout).
+  double size = config.min_chunk_size;
+  while (true) {
+    auto chunk = static_cast<std::uint32_t>(size);
+    chunk = (chunk + 7u) & ~7u;  // align
+    if (chunk >= config.slab_size_bytes) break;
+    classes_.push_back(SlabClass{chunk, {}, {}, 0});
+    size *= config.growth_factor;
+  }
+  classes_.push_back(SlabClass{config.slab_size_bytes, {}, {}, 0});
+}
+
+std::optional<std::uint32_t> SlabAllocator::class_for(
+    std::uint64_t item_size) const {
+  if (item_size == 0) return std::nullopt;
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), item_size,
+      [](const SlabClass& c, std::uint64_t sz) { return c.chunk_size < sz; });
+  if (it == classes_.end()) return std::nullopt;
+  return static_cast<std::uint32_t>(it - classes_.begin());
+}
+
+std::uint32_t SlabAllocator::chunks_per_slab(std::uint32_t cls) const {
+  return config_.slab_size_bytes / classes_.at(cls).chunk_size;
+}
+
+std::optional<Chunk> SlabAllocator::allocate(std::uint64_t item_size) {
+  const auto cls_opt = class_for(item_size);
+  if (!cls_opt) return std::nullopt;
+  const std::uint32_t cls = *cls_opt;
+  SlabClass& sc = classes_[cls];
+  if (sc.free_chunks.empty() && !grow_class(cls)) {
+    return std::nullopt;  // budget exhausted: caller evicts and retries
+  }
+  Chunk chunk = sc.free_chunks.back();
+  sc.free_chunks.pop_back();
+  Slab& slab = slabs_[chunk.slab_index];
+  slab.occupied[chunk.chunk_index] = true;
+  ++slab.used;
+  ++sc.used_chunks;
+  return chunk;
+}
+
+void SlabAllocator::free(const Chunk& chunk) {
+  Slab& slab = slabs_.at(chunk.slab_index);
+  if (slab.slab_class != chunk.slab_class) {
+    // The slab was reassigned under this chunk; the item is already gone.
+    return;
+  }
+  if (!slab.occupied.at(chunk.chunk_index)) {
+    throw std::logic_error("SlabAllocator: double free");
+  }
+  slab.occupied[chunk.chunk_index] = false;
+  --slab.used;
+  SlabClass& sc = classes_[chunk.slab_class];
+  --sc.used_chunks;
+  sc.free_chunks.push_back(chunk);
+}
+
+bool SlabAllocator::grow_class(std::uint32_t cls) {
+  if (allocated_bytes() + config_.slab_size_bytes >
+      config_.memory_limit_bytes) {
+    return false;
+  }
+  const auto slab_id = static_cast<std::uint32_t>(slabs_.size());
+  Slab slab;
+  slab.memory = std::make_unique<std::byte[]>(config_.slab_size_bytes);
+  slabs_.push_back(std::move(slab));
+  carve_slab(slab_id, cls);
+  return true;
+}
+
+void SlabAllocator::carve_slab(std::uint32_t slab_id, std::uint32_t cls) {
+  Slab& slab = slabs_[slab_id];
+  SlabClass& sc = classes_[cls];
+  slab.slab_class = cls;
+  const std::uint32_t count = chunks_per_slab(cls);
+  slab.occupied.assign(count, false);
+  slab.used = 0;
+  sc.slab_ids.push_back(slab_id);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Chunk chunk;
+    chunk.data = slab.memory.get() +
+                 static_cast<std::size_t>(i) * sc.chunk_size;
+    chunk.size = sc.chunk_size;
+    chunk.slab_class = cls;
+    chunk.slab_index = slab_id;
+    chunk.chunk_index = i;
+    sc.free_chunks.push_back(chunk);
+  }
+}
+
+bool SlabAllocator::reassign_slab(
+    std::uint32_t needy_class, util::Xoshiro256& rng,
+    const std::function<void(const Chunk&)>& on_evict) {
+  // Collect candidate slabs owned by other classes.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t id = 0; id < slabs_.size(); ++id) {
+    if (slabs_[id].slab_class != needy_class) candidates.push_back(id);
+  }
+  if (candidates.empty()) return false;
+  const std::uint32_t victim_id = candidates[static_cast<std::size_t>(
+      rng.below(candidates.size()))];
+  Slab& victim = slabs_[victim_id];
+  const std::uint32_t old_cls = victim.slab_class;
+  SlabClass& old_sc = classes_[old_cls];
+
+  // Invalidate resident items.
+  for (std::uint32_t i = 0; i < victim.occupied.size(); ++i) {
+    if (!victim.occupied[i]) continue;
+    Chunk chunk;
+    chunk.data = victim.memory.get() +
+                 static_cast<std::size_t>(i) * old_sc.chunk_size;
+    chunk.size = old_sc.chunk_size;
+    chunk.slab_class = old_cls;
+    chunk.slab_index = victim_id;
+    chunk.chunk_index = i;
+    if (on_evict) on_evict(chunk);
+    --old_sc.used_chunks;
+  }
+  // Drop the victim's free chunks from the old class's free list and the
+  // slab from its id list.
+  std::erase_if(old_sc.free_chunks, [victim_id](const Chunk& c) {
+    return c.slab_index == victim_id;
+  });
+  std::erase(old_sc.slab_ids, victim_id);
+
+  carve_slab(victim_id, needy_class);
+  ++reassignments_;
+  return true;
+}
+
+SlabClassStats SlabAllocator::class_stats(std::uint32_t cls) const {
+  const SlabClass& sc = classes_.at(cls);
+  return SlabClassStats{sc.chunk_size,
+                        static_cast<std::uint32_t>(sc.slab_ids.size()),
+                        sc.free_chunks.size(), sc.used_chunks};
+}
+
+}  // namespace camp::slab

@@ -1,0 +1,123 @@
+// Twemcache-style slab allocator (paper Section 5).
+//
+// Memory is carved into fixed-size slabs (default 1 MiB). Each slab is
+// assigned to a *slab class* and subdivided into equal chunks; class 0's
+// chunk size is min_chunk_size (twemcache: 120 bytes) and each subsequent
+// class grows by the growth factor (1.25). An item is stored in the
+// smallest class whose chunk fits it.
+//
+// Allocation follows the paper's step list:
+//   1. (expired-item replacement happens at the KVS layer)
+//   2. take a free chunk of the class, else
+//   3. carve a new slab for the class if the memory budget allows, else
+//   4. fail — the caller evicts via its policy (or forces a slab
+//      reassignment) and retries.
+//
+// Once a slab is assigned to a class it keeps that class forever — the
+// "slab calcification" failure mode the paper describes. reassign_slab()
+// implements twemcache's remedy: evict a random slab of another class and
+// re-carve it for the needy class (the callback lets the KVS invalidate the
+// victims).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace camp::slab {
+
+struct SlabConfig {
+  std::uint64_t memory_limit_bytes = 64ull << 20;  // total slab budget
+  std::uint32_t slab_size_bytes = 1u << 20;        // 1 MiB, twemcache default
+  std::uint32_t min_chunk_size = 120;              // slab class 0
+  double growth_factor = 1.25;
+};
+
+/// A chunk reservation: raw storage plus enough identity to free it.
+struct Chunk {
+  std::byte* data = nullptr;
+  std::uint32_t size = 0;        // usable bytes (the class chunk size)
+  std::uint32_t slab_class = 0;
+  std::uint32_t slab_index = 0;  // global slab id
+  std::uint32_t chunk_index = 0;
+};
+
+struct SlabClassStats {
+  std::uint32_t chunk_size = 0;
+  std::uint32_t slabs = 0;
+  std::uint64_t free_chunks = 0;
+  std::uint64_t used_chunks = 0;
+};
+
+class SlabAllocator {
+ public:
+  explicit SlabAllocator(SlabConfig config);
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  /// Smallest class whose chunks hold `item_size` bytes, or nullopt when
+  /// the item exceeds the largest chunk (one whole slab).
+  [[nodiscard]] std::optional<std::uint32_t> class_for(
+      std::uint64_t item_size) const;
+
+  /// Reserve a chunk for an item of `item_size` bytes. Returns nullopt when
+  /// the item is too large for any class OR the class is out of chunks and
+  /// the memory budget is exhausted (caller should evict / reassign).
+  [[nodiscard]] std::optional<Chunk> allocate(std::uint64_t item_size);
+
+  /// Return a chunk to its class's free list.
+  void free(const Chunk& chunk);
+
+  /// Twemcache's calcification remedy: pick a random slab belonging to a
+  /// class other than `needy_class`, invoke `on_evict` for every occupied
+  /// chunk on it (the owner must drop those items WITHOUT calling free()),
+  /// then re-carve the slab for `needy_class`. Returns false when no other
+  /// class owns a slab.
+  bool reassign_slab(std::uint32_t needy_class, util::Xoshiro256& rng,
+                     const std::function<void(const Chunk&)>& on_evict);
+
+  [[nodiscard]] std::size_t class_count() const { return classes_.size(); }
+  [[nodiscard]] SlabClassStats class_stats(std::uint32_t cls) const;
+  [[nodiscard]] std::uint64_t allocated_bytes() const {
+    return static_cast<std::uint64_t>(slabs_.size()) *
+           config_.slab_size_bytes;
+  }
+  [[nodiscard]] std::uint64_t memory_limit() const {
+    return config_.memory_limit_bytes;
+  }
+  [[nodiscard]] std::uint32_t chunk_size_of_class(std::uint32_t cls) const {
+    return classes_.at(cls).chunk_size;
+  }
+  /// Number of chunks a slab of this class holds.
+  [[nodiscard]] std::uint32_t chunks_per_slab(std::uint32_t cls) const;
+  [[nodiscard]] std::uint64_t reassignments() const { return reassignments_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> memory;
+    std::uint32_t slab_class = 0;
+    std::vector<bool> occupied;  // per chunk
+    std::uint32_t used = 0;
+  };
+  struct SlabClass {
+    std::uint32_t chunk_size = 0;
+    std::vector<std::uint32_t> slab_ids;
+    std::vector<Chunk> free_chunks;
+    std::uint64_t used_chunks = 0;
+  };
+
+  bool grow_class(std::uint32_t cls);  // carve a fresh slab
+  void carve_slab(std::uint32_t slab_id, std::uint32_t cls);
+
+  SlabConfig config_;
+  std::vector<SlabClass> classes_;
+  std::vector<Slab> slabs_;
+  std::uint64_t reassignments_ = 0;
+};
+
+}  // namespace camp::slab

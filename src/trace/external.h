@@ -1,0 +1,85 @@
+// Adapter for real-world cache traces (the paper's short-term future work:
+// "It would be particularly interesting to test the performance of CAMP on
+// real trace data").
+//
+// Input format: the Twitter production cache-trace CSV layout
+// (twitter/cache-trace, SOSP'21), one request per line:
+//
+//   timestamp,anonymized key,key size,value size,client id,operation,TTL
+//
+// Only a subset of columns is needed here; extra columns are ignored and
+// short rows are tolerated where possible. String keys are hashed to 64-bit
+// ids (FNV-1a), sizes are key+value bytes (clamped to >= 1), and only
+// read-path operations (get/gets) plus write-path installs (set/add/...)
+// are kept — metadata ops (delete, incr, touch, ...) are dropped.
+//
+// Real traces carry no notion of recomputation cost, so the adapter
+// synthesizes per-key costs the way the paper's simulator does (Section 3:
+// "a synthetic value selected from {1, 100, 10K}... Once a cost is assigned
+// to a key-value pair, it remains in effect for the entire trace"):
+//
+//   kUnit          every pair costs 1 (miss-rate study)
+//   kTieredChoice  per-key uniform choice from {1, 100, 10K}, seeded,
+//                  stable across the whole trace (the paper's model)
+//   kSizeLinear    cost proportional to pair size (network-bound systems)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace camp::trace {
+
+enum class CostAssignment {
+  kUnit,
+  kTieredChoice,
+  kSizeLinear,
+};
+
+struct ExternalTraceOptions {
+  CostAssignment cost = CostAssignment::kTieredChoice;
+  /// Seed for the per-key cost draw (kTieredChoice).
+  std::uint64_t seed = 2014;
+  /// Keep write-path operations (set/add/replace/cas/append/prepend) as
+  /// references too. The Twitter traces are write-heavy for some clusters;
+  /// a set both references and installs the pair in the paper's model.
+  bool include_writes = true;
+  /// Rows to skip at the top (some dumps carry a header line).
+  std::size_t skip_rows = 0;
+  /// Stop after this many parsed records (0 = no limit).
+  std::size_t limit = 0;
+};
+
+struct ExternalTraceStats {
+  std::size_t lines = 0;
+  std::size_t parsed = 0;
+  std::size_t dropped_malformed = 0;
+  std::size_t dropped_operation = 0;  // delete/incr/touch/... filtered out
+};
+
+/// Parse a Twitter-layout CSV stream into simulator records. Returns the
+/// records; fills `stats` (if non-null) with parse accounting. Throws
+/// std::runtime_error only on stream-level failure, not on bad rows (bad
+/// rows are counted and skipped — real dumps are dirty).
+[[nodiscard]] std::vector<TraceRecord> parse_twitter_csv(
+    std::istream& in, const ExternalTraceOptions& options = {},
+    ExternalTraceStats* stats = nullptr);
+
+[[nodiscard]] std::vector<TraceRecord> parse_twitter_csv_file(
+    const std::string& path, const ExternalTraceOptions& options = {},
+    ExternalTraceStats* stats = nullptr);
+
+/// Stable 64-bit FNV-1a for anonymized string keys.
+[[nodiscard]] std::uint64_t hash_key(std::string_view key) noexcept;
+
+/// The paper's per-key cost model: a stable, seeded uniform draw from
+/// {1, 100, 10'000} (Section 3). Exposed for tests and for assigning costs
+/// to other external formats.
+[[nodiscard]] std::uint32_t tiered_cost(std::uint64_t key,
+                                        std::uint64_t seed) noexcept;
+
+}  // namespace camp::trace

@@ -1,0 +1,122 @@
+#include "trace/profiler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace camp::trace {
+
+namespace {
+
+struct Accumulated {
+  std::vector<CostGroupProfile> groups;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t unique_keys = 0;
+  std::uint64_t total_cost = 0;
+};
+
+// Shared accumulation: group index is provided by `classify`.
+template <class Classify>
+Accumulated accumulate(const std::vector<TraceRecord>& records,
+                       std::vector<CostGroupProfile> groups,
+                       Classify classify) {
+  Accumulated acc;
+  std::unordered_set<std::uint64_t> seen;
+  for (const TraceRecord& r : records) {
+    const std::size_t g = classify(r);
+    CostGroupProfile& group = groups[g];
+    ++group.requests;
+    group.cost_mass += r.cost;
+    acc.total_cost += r.cost;
+    if (seen.insert(r.key).second) {
+      ++group.unique_keys;
+      group.unique_bytes += r.size;
+      acc.unique_bytes += r.size;
+    }
+  }
+  acc.groups = std::move(groups);
+  acc.unique_keys = seen.size();
+  return acc;
+}
+
+}  // namespace
+
+TraceProfiler TraceProfiler::by_cost_value(
+    const std::vector<TraceRecord>& records) {
+  std::vector<std::uint64_t> values;
+  values.reserve(records.size());
+  for (const TraceRecord& r : records) values.push_back(r.cost);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  std::vector<CostGroupProfile> groups(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    groups[i].cost_value = values[i];
+  }
+  Accumulated acc =
+      accumulate(records, std::move(groups), [&](const TraceRecord& r) {
+        return static_cast<std::size_t>(
+            std::lower_bound(values.begin(), values.end(), r.cost) -
+            values.begin());
+      });
+
+  TraceProfiler out;
+  out.groups_ = std::move(acc.groups);
+  out.unique_bytes_ = acc.unique_bytes;
+  out.unique_keys_ = acc.unique_keys;
+  out.total_requests_ = records.size();
+  out.total_cost_mass_ = acc.total_cost;
+  return out;
+}
+
+TraceProfiler TraceProfiler::by_cost_range(
+    const std::vector<TraceRecord>& records,
+    const std::vector<std::uint64_t>& boundaries) {
+  std::vector<CostGroupProfile> groups(boundaries.size() + 1);
+  groups[0].cost_value = 0;
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    groups[i + 1].cost_value = boundaries[i];  // range lower bound
+  }
+  Accumulated acc =
+      accumulate(records, std::move(groups), [&](const TraceRecord& r) {
+        return static_cast<std::size_t>(
+            std::upper_bound(boundaries.begin(), boundaries.end(), r.cost) -
+            boundaries.begin());
+      });
+
+  TraceProfiler out;
+  out.groups_ = std::move(acc.groups);
+  out.unique_bytes_ = acc.unique_bytes;
+  out.unique_keys_ = acc.unique_keys;
+  out.total_requests_ = records.size();
+  out.total_cost_mass_ = acc.total_cost;
+  return out;
+}
+
+std::vector<double> TraceProfiler::cost_mass_weights() const {
+  std::vector<double> out;
+  out.reserve(groups_.size());
+  for (const CostGroupProfile& g : groups_) {
+    out.push_back(static_cast<double>(g.cost_mass));
+  }
+  return out;
+}
+
+std::vector<double> TraceProfiler::min_cost_weights() const {
+  std::vector<double> out;
+  out.reserve(groups_.size());
+  for (const CostGroupProfile& g : groups_) {
+    out.push_back(
+        static_cast<double>(std::max<std::uint64_t>(1, g.cost_value)));
+  }
+  return out;
+}
+
+std::map<std::uint64_t, std::size_t> TraceProfiler::cost_to_group() const {
+  std::map<std::uint64_t, std::size_t> out;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    out[groups_[i].cost_value] = i;
+  }
+  return out;
+}
+
+}  // namespace camp::trace

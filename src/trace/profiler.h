@@ -1,0 +1,77 @@
+// Offline trace profiler.
+//
+// Pooled LRU's partitions are computed "in advance using the frequency of
+// references to the different key-value pairs over the entire trace" —
+// i.e. the paper gives the pooled baseline oracle knowledge. This profiler
+// provides that: per-cost-group request counts, cost mass, and unique
+// bytes, plus the trace-wide unique-byte total used as the denominator of
+// the cache size ratio.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace camp::trace {
+
+struct CostGroupProfile {
+  std::uint64_t cost_value = 0;     // representative (exact value or range lo)
+  std::uint64_t requests = 0;       // rows in this group
+  std::uint64_t cost_mass = 0;      // sum of cost over rows
+  std::uint64_t unique_keys = 0;
+  std::uint64_t unique_bytes = 0;   // sum of sizes over distinct keys
+};
+
+class TraceProfiler {
+ public:
+  /// Profile with one group per distinct cost value (the {1,100,10K} case).
+  [[nodiscard]] static TraceProfiler by_cost_value(
+      const std::vector<TraceRecord>& records);
+
+  /// Profile with groups [0, boundaries[0]), [boundaries[0], boundaries[1]),
+  /// ..., [boundaries.back(), inf) — matching
+  /// policy::assign_by_cost_range(boundaries).
+  [[nodiscard]] static TraceProfiler by_cost_range(
+      const std::vector<TraceRecord>& records,
+      const std::vector<std::uint64_t>& boundaries);
+
+  [[nodiscard]] const std::vector<CostGroupProfile>& groups() const noexcept {
+    return groups_;
+  }
+
+  /// Sum of sizes of all distinct keys (cache-size-ratio denominator).
+  [[nodiscard]] std::uint64_t unique_bytes() const noexcept {
+    return unique_bytes_;
+  }
+  [[nodiscard]] std::uint64_t unique_keys() const noexcept {
+    return unique_keys_;
+  }
+  [[nodiscard]] std::uint64_t total_requests() const noexcept {
+    return total_requests_;
+  }
+  [[nodiscard]] std::uint64_t total_cost_mass() const noexcept {
+    return total_cost_mass_;
+  }
+
+  /// Pool weights for the paper's cost-proportional plan: the total cost of
+  /// requests belonging to each group.
+  [[nodiscard]] std::vector<double> cost_mass_weights() const;
+
+  /// Pool weights for Section 3.2's plan: each range weighted by its lowest
+  /// cost value (with 1 substituted for a zero lower bound).
+  [[nodiscard]] std::vector<double> min_cost_weights() const;
+
+  /// Mapping cost value -> group index for assign_by_cost_value.
+  [[nodiscard]] std::map<std::uint64_t, std::size_t> cost_to_group() const;
+
+ private:
+  std::vector<CostGroupProfile> groups_;
+  std::uint64_t unique_bytes_ = 0;
+  std::uint64_t unique_keys_ = 0;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t total_cost_mass_ = 0;
+};
+
+}  // namespace camp::trace

@@ -1,0 +1,19 @@
+// The trace row format from the paper's Section 3: "Each row identifies a
+// referenced key-value pair, its size, and cost."  trace_id tags which of
+// the back-to-back phase traces (Section 3.1) a row belongs to.
+#pragma once
+
+#include <cstdint>
+
+namespace camp::trace {
+
+struct TraceRecord {
+  std::uint64_t key = 0;
+  std::uint32_t size = 0;      // bytes
+  std::uint32_t cost = 0;      // integer cost units (e.g. microseconds)
+  std::uint32_t trace_id = 0;  // phase id for evolving-pattern experiments
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+}  // namespace camp::trace

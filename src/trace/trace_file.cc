@@ -1,0 +1,116 @@
+#include "trace/trace_file.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace camp::trace {
+
+namespace {
+
+template <class T>
+void put_le(std::ostream& out, T value) {
+  std::array<unsigned char, sizeof(T)> buf;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(buf.data()), sizeof(T));
+}
+
+template <class T>
+T get_le(std::istream& in) {
+  std::array<unsigned char, sizeof(T)> buf;
+  in.read(reinterpret_cast<char*>(buf.data()), sizeof(T));
+  if (!in) throw std::runtime_error("trace: truncated input");
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(buf[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out.write(kTraceMagic, sizeof(kTraceMagic));
+  put_le<std::uint64_t>(out, records.size());
+  for (const TraceRecord& r : records) {
+    put_le(out, r.key);
+    put_le(out, r.size);
+    put_le(out, r.cost);
+    put_le(out, r.trace_id);
+  }
+  if (!out) throw std::runtime_error("trace: write failed");
+}
+
+void write_binary_file(const std::string& path,
+                       const std::vector<TraceRecord>& records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  write_binary(out, records);
+}
+
+std::vector<TraceRecord> read_binary(std::istream& in) {
+  char magic[sizeof(kTraceMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  const auto count = get_le<std::uint64_t>(in);
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.key = get_le<std::uint64_t>(in);
+    r.size = get_le<std::uint32_t>(in);
+    r.cost = get_le<std::uint32_t>(in);
+    r.trace_id = get_le<std::uint32_t>(in);
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<TraceRecord> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return read_binary(in);
+}
+
+void write_csv(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "key,size,cost,trace_id\n";
+  for (const TraceRecord& r : records) {
+    out << r.key << ',' << r.size << ',' << r.cost << ',' << r.trace_id
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("trace: csv write failed");
+}
+
+std::vector<TraceRecord> read_csv(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("trace: empty csv");
+  if (line.rfind("key,", 0) != 0) {
+    throw std::runtime_error("trace: missing csv header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceRecord r;
+    char comma = 0;
+    std::istringstream row(line);
+    std::uint64_t size = 0, cost = 0, tid = 0;
+    if (!(row >> r.key >> comma >> size >> comma >> cost >> comma >> tid)) {
+      throw std::runtime_error("trace: malformed csv row: " + line);
+    }
+    r.size = static_cast<std::uint32_t>(size);
+    r.cost = static_cast<std::uint32_t>(cost);
+    r.trace_id = static_cast<std::uint32_t>(tid);
+    records.push_back(r);
+  }
+  return records;
+}
+
+}  // namespace camp::trace

@@ -1,0 +1,33 @@
+// Trace file I/O: a compact little-endian binary format (magic "CAMPTRC1")
+// and a human-readable CSV format (key,size,cost,trace_id). The simulator
+// consumes in-memory vectors; files exist so traces can be exchanged with
+// external tools and regenerated bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace camp::trace {
+
+inline constexpr char kTraceMagic[8] = {'C', 'A', 'M', 'P',
+                                        'T', 'R', 'C', '1'};
+
+/// Write records in binary format. Throws std::runtime_error on I/O failure.
+void write_binary(std::ostream& out, const std::vector<TraceRecord>& records);
+void write_binary_file(const std::string& path,
+                       const std::vector<TraceRecord>& records);
+
+/// Read a binary trace. Throws std::runtime_error on bad magic/truncation.
+[[nodiscard]] std::vector<TraceRecord> read_binary(std::istream& in);
+[[nodiscard]] std::vector<TraceRecord> read_binary_file(
+    const std::string& path);
+
+/// CSV with a "key,size,cost,trace_id" header row.
+void write_csv(std::ostream& out, const std::vector<TraceRecord>& records);
+[[nodiscard]] std::vector<TraceRecord> read_csv(std::istream& in);
+
+}  // namespace camp::trace

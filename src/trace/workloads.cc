@@ -1,0 +1,174 @@
+#include "trace/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace camp::trace {
+
+namespace {
+
+// Deterministic per-key standard normal via Box-Muller over two hash-derived
+// uniforms. Pure function of (seed, key, salt): a key's attributes never
+// change within a trace, matching the paper's setup.
+double key_normal(std::uint64_t seed, std::uint64_t key, std::uint64_t salt) {
+  const std::uint64_t a = util::mix64(seed ^ util::mix64(key ^ salt));
+  const std::uint64_t b = util::mix64(a ^ 0x9e3779b97f4a7c15ull);
+  const double u1 =
+      (static_cast<double>(a >> 11) + 0.5) * 0x1.0p-53;  // (0,1)
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;  // [0,1)
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::uint64_t key_uniform(std::uint64_t seed, std::uint64_t key,
+                          std::uint64_t salt, std::uint64_t bound) {
+  return util::mix64(seed ^ util::mix64(key ^ salt)) % bound;
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(WorkloadConfig config)
+    : config_(config),
+      zipf_(config.num_keys,
+            util::ZipfianGenerator::solve_exponent(
+                config.num_keys, config.top_fraction, config.top_mass)),
+      rng_(config.seed) {
+  if (config.num_keys == 0) {
+    throw std::invalid_argument("WorkloadConfig: num_keys must be > 0");
+  }
+  // Seeded Fisher-Yates permutation decorrelates Zipf rank from key id.
+  rank_to_key_.resize(config.num_keys);
+  std::iota(rank_to_key_.begin(), rank_to_key_.end(), 0u);
+  util::Xoshiro256 perm_rng(config.seed ^ 0xfeedfacecafebeefull);
+  for (std::size_t i = rank_to_key_.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(perm_rng.below(i));
+    std::swap(rank_to_key_[i - 1], rank_to_key_[j]);
+  }
+}
+
+TraceRecord TraceGenerator::next() {
+  const std::uint64_t rank = zipf_.sample(rng_);
+  const std::uint64_t key =
+      config_.key_namespace + rank_to_key_[static_cast<std::size_t>(rank)];
+  return TraceRecord{key, size_of(key), cost_of(key), config_.trace_id};
+}
+
+std::vector<TraceRecord> TraceGenerator::generate() {
+  std::vector<TraceRecord> out;
+  out.reserve(config_.num_requests);
+  for (std::uint64_t i = 0; i < config_.num_requests; ++i) {
+    out.push_back(next());
+  }
+  return out;
+}
+
+std::uint32_t TraceGenerator::size_of(std::uint64_t key) const {
+  const SizeModel& m = config_.size_model;
+  switch (m.kind) {
+    case SizeModel::Kind::kFixed:
+      return m.fixed_bytes;
+    case SizeModel::Kind::kLogNormal: {
+      const double z = key_normal(config_.seed, key, /*salt=*/0x51ull);
+      const double v = std::exp(m.log_mean + m.log_sigma * z);
+      const double clamped =
+          std::clamp(v, static_cast<double>(m.min_bytes),
+                     static_cast<double>(m.max_bytes));
+      auto size = static_cast<std::uint32_t>(clamped);
+      if (m.quantum > 1) {
+        size = (size + m.quantum - 1) / m.quantum * m.quantum;
+      }
+      return size;
+    }
+  }
+  return m.fixed_bytes;
+}
+
+std::uint32_t TraceGenerator::cost_of(std::uint64_t key) const {
+  const CostModel& m = config_.cost_model;
+  switch (m.kind) {
+    case CostModel::Kind::kFixed:
+      return m.fixed_cost;
+    case CostModel::Kind::kChoice: {
+      if (m.choices.empty()) return 1;
+      const std::uint64_t idx =
+          key_uniform(config_.seed, key, /*salt=*/0xc0ull, m.choices.size());
+      return m.choices[static_cast<std::size_t>(idx)];
+    }
+    case CostModel::Kind::kLogNormal: {
+      const double z = key_normal(config_.seed, key, /*salt=*/0xc1ull);
+      const double v = std::exp(m.log_mean + m.log_sigma * z);
+      const double clamped =
+          std::clamp(v, static_cast<double>(m.min_cost),
+                     static_cast<double>(m.max_cost));
+      return static_cast<std::uint32_t>(clamped);
+    }
+  }
+  return m.fixed_cost;
+}
+
+std::uint64_t TraceGenerator::unique_bytes() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < config_.num_keys; ++k) {
+    total += size_of(config_.key_namespace + k);
+  }
+  return total;
+}
+
+WorkloadConfig bg_default(std::uint64_t num_keys, std::uint64_t num_requests,
+                          std::uint64_t seed) {
+  WorkloadConfig c;
+  c.num_keys = num_keys;
+  c.num_requests = num_requests;
+  c.seed = seed;
+  // 512-byte quantum: BG's profile/friend-list documents cluster on a
+  // modest set of sizes, which keeps the distinct cost-to-size ratio count
+  // small (Figure 5b) relative to the continuous-cost trace (Figure 8c).
+  c.size_model = SizeModel::log_normal(7.6, 1.0, 64, 64 * 1024, 512);
+  c.cost_model = CostModel::choice({1, 100, 10'000});
+  return c;
+}
+
+WorkloadConfig bg_variable_size_fixed_cost(std::uint64_t num_keys,
+                                           std::uint64_t num_requests,
+                                           std::uint64_t seed) {
+  WorkloadConfig c;
+  c.num_keys = num_keys;
+  c.num_requests = num_requests;
+  c.seed = seed;
+  c.size_model = SizeModel::log_normal(7.6, 1.2, 64, 256 * 1024);
+  c.cost_model = CostModel::fixed(1);
+  return c;
+}
+
+WorkloadConfig bg_equal_size_variable_cost(std::uint64_t num_keys,
+                                           std::uint64_t num_requests,
+                                           std::uint64_t seed) {
+  WorkloadConfig c;
+  c.num_keys = num_keys;
+  c.num_requests = num_requests;
+  c.seed = seed;
+  c.size_model = SizeModel::fixed(4096);
+  // Wide continuous spread covering the paper's 1..10K+ range.
+  c.cost_model = CostModel::log_normal(4.6, 2.0, 1, 100'000);
+  return c;
+}
+
+std::vector<TraceRecord> generate_phased(const WorkloadConfig& base,
+                                         std::uint32_t phases) {
+  std::vector<TraceRecord> out;
+  out.reserve(base.num_requests * phases);
+  for (std::uint32_t phase = 0; phase < phases; ++phase) {
+    WorkloadConfig c = base;
+    c.trace_id = phase;
+    c.seed = base.seed + phase * 1000003ull;
+    c.key_namespace = base.key_namespace + phase * (base.num_keys + 1);
+    TraceGenerator gen(c);
+    auto rows = gen.generate();
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
+}
+
+}  // namespace camp::trace

@@ -1,0 +1,167 @@
+// BG-like synthetic workload generators (the paper's trace substitution —
+// see DESIGN.md).
+//
+// The paper's traces come from the BG social-networking benchmark: ~4M rows,
+// "approximately 70% of requests referencing 20% of keys", per-key sizes,
+// and per-key costs that stay fixed for the whole trace. Cost is either a
+// synthetic value chosen uniformly from {1, 100, 10K} or an RDBMS service
+// time. This module reproduces those statistical knobs deterministically:
+//
+//   * key popularity: Zipfian with the exponent solved for the 70/20 rule,
+//     ranks scrambled through a seeded permutation so popularity and key id
+//     are uncorrelated;
+//   * per-key attributes (size, cost) are pure functions of (seed, key), so
+//     a key always has the same size and cost, matching the paper;
+//   * phase traces (Section 3.1): N back-to-back traces over disjoint key
+//     spaces, so "any request from a given trace file will never be
+//     requested again after that trace".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace camp::trace {
+
+/// Per-key size models.
+struct SizeModel {
+  enum class Kind { kFixed, kLogNormal } kind = Kind::kFixed;
+  std::uint32_t fixed_bytes = 1024;
+  // Lognormal parameters (of the underlying normal), clamped to [min,max].
+  double log_mean = 7.6;   // e^7.6 ~ 2 KB median
+  double log_sigma = 1.0;
+  std::uint32_t min_bytes = 64;
+  std::uint32_t max_bytes = 64 * 1024;
+  /// Sizes are rounded up to a multiple of this (1 = byte-granular).
+  /// Real KVS payloads cluster on allocation-unit boundaries; a coarser
+  /// quantum also bounds the number of distinct cost-to-size ratios, which
+  /// is what the paper's BG traces exhibit (compare Figures 5b and 8c).
+  std::uint32_t quantum = 1;
+
+  [[nodiscard]] static SizeModel fixed(std::uint32_t bytes) {
+    SizeModel m;
+    m.kind = Kind::kFixed;
+    m.fixed_bytes = bytes;
+    return m;
+  }
+  [[nodiscard]] static SizeModel log_normal(double mean, double sigma,
+                                            std::uint32_t min_b,
+                                            std::uint32_t max_b,
+                                            std::uint32_t quantum = 1) {
+    SizeModel m;
+    m.kind = Kind::kLogNormal;
+    m.log_mean = mean;
+    m.log_sigma = sigma;
+    m.min_bytes = min_b;
+    m.max_bytes = max_b;
+    m.quantum = quantum;
+    return m;
+  }
+};
+
+/// Per-key cost models.
+struct CostModel {
+  enum class Kind { kFixed, kChoice, kLogNormal } kind = Kind::kFixed;
+  std::uint32_t fixed_cost = 1;
+  std::vector<std::uint32_t> choices;  // uniform pick, fixed per key
+  double log_mean = 4.6;               // e^4.6 ~ 100 cost units median
+  double log_sigma = 1.6;
+  std::uint32_t min_cost = 1;
+  std::uint32_t max_cost = 1'000'000;
+
+  [[nodiscard]] static CostModel fixed(std::uint32_t cost) {
+    CostModel m;
+    m.kind = Kind::kFixed;
+    m.fixed_cost = cost;
+    return m;
+  }
+  /// The paper's synthetic model: each key gets one of the values "with
+  /// equal probability", fixed for the whole trace.
+  [[nodiscard]] static CostModel choice(std::vector<std::uint32_t> values) {
+    CostModel m;
+    m.kind = Kind::kChoice;
+    m.choices = std::move(values);
+    return m;
+  }
+  /// RDBMS-service-time-like continuous costs (Section 3.2's "many more
+  /// distinct cost values").
+  [[nodiscard]] static CostModel log_normal(double mean, double sigma,
+                                            std::uint32_t min_c,
+                                            std::uint32_t max_c) {
+    CostModel m;
+    m.kind = Kind::kLogNormal;
+    m.log_mean = mean;
+    m.log_sigma = sigma;
+    m.min_cost = min_c;
+    m.max_cost = max_c;
+    return m;
+  }
+};
+
+struct WorkloadConfig {
+  std::uint64_t num_keys = 100'000;
+  std::uint64_t num_requests = 4'000'000;
+  double top_fraction = 0.20;  // the paper's "20% of keys ..."
+  double top_mass = 0.70;      // "... receive 70% of requests"
+  SizeModel size_model;
+  CostModel cost_model;
+  std::uint64_t seed = 42;
+  std::uint32_t trace_id = 0;
+  /// Added to every key id; phase traces use disjoint namespaces.
+  std::uint64_t key_namespace = 0;
+};
+
+/// Streaming generator with per-key attribute oracles.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(WorkloadConfig config);
+
+  /// Sample the next request.
+  [[nodiscard]] TraceRecord next();
+
+  /// Generate config.num_requests records.
+  [[nodiscard]] std::vector<TraceRecord> generate();
+
+  /// Deterministic per-key attributes (same values next() uses).
+  [[nodiscard]] std::uint32_t size_of(std::uint64_t key) const;
+  [[nodiscard]] std::uint32_t cost_of(std::uint64_t key) const;
+
+  /// Sum of sizes over all num_keys unique keys — the denominator of the
+  /// paper's "cache size ratio".
+  [[nodiscard]] std::uint64_t unique_bytes() const;
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  WorkloadConfig config_;
+  util::ZipfianGenerator zipf_;
+  util::Xoshiro256 rng_;
+  std::vector<std::uint32_t> rank_to_key_;  // seeded permutation
+};
+
+// ---- paper workload presets --------------------------------------------------
+
+/// Sections 3 / 3.1: lognormal sizes, synthetic costs {1, 100, 10K}.
+[[nodiscard]] WorkloadConfig bg_default(std::uint64_t num_keys,
+                                        std::uint64_t num_requests,
+                                        std::uint64_t seed);
+
+/// Figure 7: variable sizes, constant cost 1.
+[[nodiscard]] WorkloadConfig bg_variable_size_fixed_cost(
+    std::uint64_t num_keys, std::uint64_t num_requests, std::uint64_t seed);
+
+/// Figure 8: equi-sized pairs, many distinct (lognormal) cost values.
+[[nodiscard]] WorkloadConfig bg_equal_size_variable_cost(
+    std::uint64_t num_keys, std::uint64_t num_requests, std::uint64_t seed);
+
+/// Section 3.1: `phases` back-to-back traces with disjoint key namespaces;
+/// phase i's rows carry trace_id = i.
+[[nodiscard]] std::vector<TraceRecord> generate_phased(
+    const WorkloadConfig& base, std::uint32_t phases);
+
+}  // namespace camp::trace

@@ -1,0 +1,35 @@
+// Bit-level helpers shared by the rounding scheme and the heaps.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace camp::util {
+
+/// Position of the highest set bit, 1-based (the paper's `b`).
+/// bit_position(1) == 1, bit_position(0b101101011) == 9. Requires x > 0.
+[[nodiscard]] constexpr int highest_bit_position(std::uint64_t x) noexcept {
+  return static_cast<int>(std::bit_width(x));
+}
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return std::has_single_bit(x);
+}
+
+/// Smallest power of two >= x (x >= 1).
+[[nodiscard]] constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t x) noexcept {
+  return static_cast<int>(std::bit_width(x)) - 1;
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0 : static_cast<int>(std::bit_width(x - 1));
+}
+
+}  // namespace camp::util

@@ -1,0 +1,40 @@
+// Time sources. Production code uses the steady clock; tests and the
+// simulator inject a manual clock so cost measurement (iqget/iqset deltas)
+// is deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace camp::util {
+
+/// Abstract nanosecond time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+};
+
+/// Wall-free monotonic clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic clock advanced by hand (tests, simulation).
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override { return now_; }
+  void advance_ns(std::uint64_t delta) noexcept { now_ += delta; }
+  void set_ns(std::uint64_t t) noexcept { now_ = t; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace camp::util

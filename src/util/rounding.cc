@@ -1,0 +1,43 @@
+#include "util/rounding.h"
+
+#include <cmath>
+
+#include "util/bitops.h"
+
+namespace camp::util {
+
+std::uint64_t msy_round(std::uint64_t x, int precision) noexcept {
+  if (x == 0 || precision <= 0) return 0;
+  const int b = highest_bit_position(x);  // 1-based index of top bit
+  if (b <= precision) return x;           // already fits in `precision` bits
+  const int drop = b - precision;         // zero out the low (b - p) bits
+  return (x >> drop) << drop;
+}
+
+std::uint64_t truncate_low_bits(std::uint64_t x, int drop_bits) noexcept {
+  if (drop_bits <= 0) return x;
+  if (drop_bits >= 64) return 0;
+  return (x >> drop_bits) << drop_bits;
+}
+
+std::uint64_t distinct_rounded_values_bound(std::uint64_t max_value,
+                                            int precision) noexcept {
+  if (max_value == 0) return 0;
+  if (precision >= highest_bit_position(max_value)) return max_value;
+  // ceil(log2(U+1)) without overflow when U == 2^64 - 1.
+  const std::uint64_t bits =
+      (max_value == std::numeric_limits<std::uint64_t>::max())
+          ? 64
+          : static_cast<std::uint64_t>(ceil_log2(max_value + 1));
+  const std::uint64_t levels = bits - static_cast<std::uint64_t>(precision) + 1;
+  return levels << precision;
+}
+
+double msy_relative_error_bound(int precision) noexcept {
+  if (precision >= kPrecisionInfinity) return 0.0;
+  return std::numeric_limits<double>::radix == 2
+             ? std::ldexp(1.0, 1 - precision)
+             : 2.0 / static_cast<double>(1ull << precision);
+}
+
+}  // namespace camp::util

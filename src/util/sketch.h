@@ -1,0 +1,81 @@
+// Count-min sketch with periodic aging — the frequency-estimation substrate
+// for admission control (paper §6 future work: "not inserting unpopular
+// key-value pairs that are evicted before their next request").
+//
+// 4-bit counters packed two-per-byte would be the TinyLFU classic; here we
+// use 8-bit saturating counters for simplicity, and halve every counter
+// once `aging_period` increments have been observed (the standard "reset"
+// operation that keeps estimates fresh under drifting workloads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace camp::util {
+
+class CountMinSketch {
+ public:
+  /// `width` counters per row (rounded up to a power of two), `depth` rows.
+  CountMinSketch(std::size_t width, int depth, std::uint64_t aging_period)
+      : depth_(depth), aging_period_(aging_period) {
+    std::size_t w = 16;
+    while (w < width) w <<= 1;
+    mask_ = w - 1;
+    rows_.assign(static_cast<std::size_t>(depth) * w, 0);
+  }
+
+  /// Record one occurrence; counters saturate at 255. Triggers aging every
+  /// aging_period increments.
+  void add(std::uint64_t key) {
+    std::uint64_t h = mix64(key ^ 0x9ae16a3b2f90404full);
+    for (int d = 0; d < depth_; ++d) {
+      std::uint8_t& counter = cell(d, h);
+      if (counter < 0xff) ++counter;
+      h = mix64(h);
+    }
+    if (++since_aging_ >= aging_period_ && aging_period_ > 0) age();
+  }
+
+  /// Point estimate (min over rows); an over-approximation.
+  [[nodiscard]] std::uint32_t estimate(std::uint64_t key) const {
+    std::uint64_t h = mix64(key ^ 0x9ae16a3b2f90404full);
+    std::uint32_t best = 0xff;
+    for (int d = 0; d < depth_; ++d) {
+      best = std::min<std::uint32_t>(best, cell(d, h));
+      h = mix64(h);
+    }
+    return best;
+  }
+
+  /// Halve every counter (the aging "reset").
+  void age() {
+    for (std::uint8_t& c : rows_) c = static_cast<std::uint8_t>(c >> 1);
+    since_aging_ = 0;
+    ++agings_;
+  }
+
+  [[nodiscard]] std::uint64_t agings() const noexcept { return agings_; }
+  [[nodiscard]] std::size_t width() const noexcept { return mask_ + 1; }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+ private:
+  [[nodiscard]] std::uint8_t& cell(int row, std::uint64_t h) {
+    return rows_[static_cast<std::size_t>(row) * (mask_ + 1) +
+                 static_cast<std::size_t>(h & mask_)];
+  }
+  [[nodiscard]] const std::uint8_t& cell(int row, std::uint64_t h) const {
+    return rows_[static_cast<std::size_t>(row) * (mask_ + 1) +
+                 static_cast<std::size_t>(h & mask_)];
+  }
+
+  int depth_;
+  std::uint64_t aging_period_;
+  std::size_t mask_ = 0;
+  std::vector<std::uint8_t> rows_;
+  std::uint64_t since_aging_ = 0;
+  std::uint64_t agings_ = 0;
+};
+
+}  // namespace camp::util

@@ -1,0 +1,26 @@
+#include "util/stats.h"
+
+#include <bit>
+#include <limits>
+
+namespace camp::util {
+
+double ReservoirSampler::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::sort(samples_.begin(), samples_.end());
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  const std::size_t bucket =
+      value <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+  ++counts_[bucket];
+  ++total_;
+}
+
+}  // namespace camp::util

@@ -1,0 +1,90 @@
+// Lightweight running statistics used by the simulator and the KVS server.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace camp::util {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-capacity reservoir sampler for percentile estimates (latencies).
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(std::size_t capacity) : capacity_(capacity) {
+    samples_.reserve(capacity);
+  }
+
+  template <class Rng>
+  void add(double x, Rng& rng) {
+    ++seen_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(x);
+    } else {
+      const std::uint64_t j = rng.below(seen_);
+      if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+    }
+  }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  mutable std::vector<double> samples_;
+};
+
+/// Geometric-bucket histogram (powers of two) for size/cost distributions.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+  /// Inclusive lower bound of bucket i (2^i, bucket 0 holds value 0..1).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t i) noexcept {
+    return i == 0 ? 0 : (1ull << i);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace camp::util

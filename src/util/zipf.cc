@@ -1,0 +1,78 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace camp::util {
+
+namespace {
+
+// Harmonic-style partial sums for Zipf(s): sum over i in [1, k] of i^-s.
+// Returns the CDF table normalised to 1 in `out`.
+void build_cdf(std::uint64_t n, double s, std::vector<double>& out) {
+  out.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -s);
+    out[i] = acc;
+  }
+  const double total = acc;
+  for (auto& v : out) v /= total;
+}
+
+// Mass of top ceil(f*n) ranks for Zipf(s) over n keys, computed directly.
+double top_mass(std::uint64_t n, double s, double f) {
+  const auto k = static_cast<std::uint64_t>(
+      std::ceil(f * static_cast<double>(n)));
+  double head = 0.0, total = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    const double w = std::pow(static_cast<double>(i), -s);
+    total += w;
+    if (i <= k) head += w;
+  }
+  return head / total;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t num_keys, double exponent)
+    : num_keys_(num_keys), exponent_(exponent) {
+  if (num_keys == 0) throw std::invalid_argument("ZipfianGenerator: 0 keys");
+  build_cdf(num_keys_, exponent_, cdf_);
+}
+
+std::uint64_t ZipfianGenerator::sample(Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return num_keys_ - 1;
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfianGenerator::mass_of_top(double top_fraction) const {
+  const auto k = static_cast<std::uint64_t>(
+      std::ceil(top_fraction * static_cast<double>(num_keys_)));
+  if (k == 0) return 0.0;
+  if (k >= num_keys_) return 1.0;
+  return cdf_[k - 1];
+}
+
+double ZipfianGenerator::solve_exponent(std::uint64_t num_keys,
+                                        double top_fraction,
+                                        double target_mass) {
+  assert(top_fraction > 0.0 && top_fraction < 1.0);
+  assert(target_mass > top_fraction && target_mass < 1.0);
+  double lo = 0.0, hi = 4.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (top_mass(num_keys, mid, top_fraction) < target_mass) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace camp::util

@@ -1,0 +1,46 @@
+// Zipfian key-popularity generator with a calibration solver.
+//
+// The paper's BG benchmark traces "reference keys using a skewed pattern of
+// access with approximately 70% of requests referencing 20% of keys". We
+// reproduce that by sampling ranks from a Zipf(s) distribution over n keys
+// where the exponent s is solved numerically so the top 20% of ranks carry
+// the requested probability mass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace camp::util {
+
+/// Samples ranks 0..n-1 with P(rank i) proportional to 1/(i+1)^s via an
+/// inverse-CDF table (O(log n) per sample, deterministic given the RNG).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t num_keys, double exponent);
+
+  /// Draw a rank in [0, num_keys). Rank 0 is the most popular.
+  [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const;
+
+  [[nodiscard]] std::uint64_t num_keys() const noexcept { return num_keys_; }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+  /// Fraction of probability mass held by the `top_fraction` most popular
+  /// ranks (e.g. 0.2 -> mass of the hottest 20%).
+  [[nodiscard]] double mass_of_top(double top_fraction) const;
+
+  /// Solve for the exponent s such that the hottest `top_fraction` of
+  /// `num_keys` ranks receive `target_mass` of the requests (e.g. 0.2/0.7
+  /// for the paper's 70/20 skew). Binary search on s in [0, 4].
+  [[nodiscard]] static double solve_exponent(std::uint64_t num_keys,
+                                             double top_fraction,
+                                             double target_mass);
+
+ private:
+  std::uint64_t num_keys_;
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace camp::util

@@ -1,0 +1,122 @@
+#include "slab/buddy_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace camp::slab {
+namespace {
+
+BuddyConfig tiny() {
+  BuddyConfig c;
+  c.arena_bytes = 1024;
+  c.min_block_bytes = 64;
+  return c;
+}
+
+TEST(Buddy, Validation) {
+  BuddyConfig bad = tiny();
+  bad.min_block_bytes = 100;  // not pow2
+  EXPECT_THROW(BuddyAllocator{bad}, std::invalid_argument);
+  bad = tiny();
+  bad.arena_bytes = 32;
+  EXPECT_THROW(BuddyAllocator{bad}, std::invalid_argument);
+}
+
+TEST(Buddy, AllocatesSmallestFittingBlock) {
+  BuddyAllocator alloc(tiny());
+  const auto block = alloc.allocate(65);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->size, 128u) << "65 bytes needs an order-1 (128B) block";
+  EXPECT_EQ(block->order, 1u);
+}
+
+TEST(Buddy, ExhaustsArena) {
+  BuddyAllocator alloc(tiny());  // 1024 bytes = 16 x 64B
+  std::vector<BuddyBlock> held;
+  for (int i = 0; i < 16; ++i) {
+    auto b = alloc.allocate(64);
+    ASSERT_TRUE(b.has_value()) << i;
+    held.push_back(*b);
+  }
+  EXPECT_FALSE(alloc.allocate(64).has_value());
+  alloc.free(held[3]);
+  EXPECT_TRUE(alloc.allocate(64).has_value());
+}
+
+TEST(Buddy, CoalescesBuddies) {
+  BuddyAllocator alloc(tiny());
+  const auto a = alloc.allocate(64);
+  const auto b = alloc.allocate(64);
+  ASSERT_TRUE(a && b);
+  alloc.free(*a);
+  alloc.free(*b);
+  // After freeing both halves everything coalesces back to one 1024 block.
+  const auto big = alloc.allocate(1024);
+  EXPECT_TRUE(big.has_value()) << "full arena should be allocatable again";
+  EXPECT_GT(alloc.stats().merges, 0u);
+}
+
+TEST(Buddy, RejectsOversizedAndZero) {
+  BuddyAllocator alloc(tiny());
+  EXPECT_FALSE(alloc.allocate(0).has_value());
+  EXPECT_FALSE(alloc.allocate(2048).has_value());
+  EXPECT_EQ(alloc.max_allocation(), 1024u);
+}
+
+TEST(Buddy, FragmentationBlocksLargeAllocation) {
+  BuddyAllocator alloc(tiny());
+  // Hold every other 64B block: half the arena free but no big block.
+  std::vector<BuddyBlock> all;
+  for (int i = 0; i < 16; ++i) all.push_back(*alloc.allocate(64));
+  for (int i = 0; i < 16; i += 2) alloc.free(all[static_cast<std::size_t>(i)]);
+  EXPECT_FALSE(alloc.allocate(512).has_value())
+      << "free space exists but is fragmented";
+  // Free the interleaved blocks: coalescing must restore the full arena.
+  for (int i = 1; i < 16; i += 2) alloc.free(all[static_cast<std::size_t>(i)]);
+  EXPECT_TRUE(alloc.allocate(1024).has_value());
+}
+
+TEST(Buddy, StatsTrackLiveBytes) {
+  BuddyAllocator alloc(tiny());
+  const auto a = alloc.allocate(64);
+  const auto b = alloc.allocate(200);  // 256B block
+  EXPECT_EQ(alloc.stats().live_blocks, 2u);
+  EXPECT_EQ(alloc.stats().allocated_bytes, 64u + 256u);
+  alloc.free(*a);
+  alloc.free(*b);
+  EXPECT_EQ(alloc.stats().live_blocks, 0u);
+  EXPECT_EQ(alloc.stats().allocated_bytes, 0u);
+}
+
+TEST(Buddy, RandomizedAllocFreeNeverCorrupts) {
+  BuddyConfig c;
+  c.arena_bytes = 64 * 1024;
+  c.min_block_bytes = 64;
+  BuddyAllocator alloc(c);
+  util::Xoshiro256 rng(7);
+  std::vector<BuddyBlock> live;
+  for (int op = 0; op < 5000; ++op) {
+    if (rng.below(2) == 0 || live.empty()) {
+      const auto size = 1 + rng.below(4096);
+      if (auto b = alloc.allocate(size)) {
+        // Write a byte to catch overlapping blocks via later checks.
+        b->data[0] = std::byte{static_cast<unsigned char>(op)};
+        live.push_back(*b);
+      }
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.below(live.size()));
+      alloc.free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  // Free everything: arena must coalesce to a single max block.
+  for (const auto& b : live) alloc.free(b);
+  EXPECT_TRUE(alloc.allocate(alloc.max_allocation()).has_value());
+}
+
+}  // namespace
+}  // namespace camp::slab

@@ -1,0 +1,271 @@
+// Tests for the thread-safe CAMP engine (core/concurrent_camp.h): exact
+// single-threaded equivalence with BasicCampCache, structural invariants
+// under multi-threaded stress, and the Section 4.1 contention-avoidance
+// behaviours (shared fast path, physical sub-queues).
+#include "core/concurrent_camp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/camp.h"
+#include "util/rng.h"
+
+namespace camp::core {
+namespace {
+
+using policy::Key;
+
+ConcurrentCampConfig mt_cfg(std::uint64_t cap, int precision = 5,
+                            std::uint32_t physical = 1) {
+  ConcurrentCampConfig c;
+  c.capacity_bytes = cap;
+  c.precision = precision;
+  c.physical_queues = physical;
+  return c;
+}
+
+TEST(ConcurrentCamp, RejectsBadConfig) {
+  EXPECT_THROW(ConcurrentCampCache{ConcurrentCampConfig{}},
+               std::invalid_argument);
+  EXPECT_THROW(ConcurrentCampCache{mt_cfg(100, 0)}, std::invalid_argument);
+  EXPECT_THROW(ConcurrentCampCache{mt_cfg(100, 5, 3)},
+               std::invalid_argument);  // not a power of two
+  EXPECT_THROW(ConcurrentCampCache{mt_cfg(100, 5, 512)},
+               std::invalid_argument);  // above the cap
+  ConcurrentCampConfig bad_stripes = mt_cfg(100);
+  bad_stripes.index_stripes = 12;
+  EXPECT_THROW(ConcurrentCampCache{bad_stripes}, std::invalid_argument);
+}
+
+TEST(ConcurrentCamp, BasicHitMissEvict) {
+  ConcurrentCampCache cache(mt_cfg(300));
+  EXPECT_FALSE(cache.get(1));
+  EXPECT_TRUE(cache.put(1, 100, 10));
+  EXPECT_TRUE(cache.get(1));
+  EXPECT_TRUE(cache.contains(1));
+  cache.put(2, 100, 1000);
+  cache.put(3, 100, 1000);
+  cache.put(4, 100, 1000);  // evicts the cheapest pair, key 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.item_count(), 3u);
+  EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ConcurrentCamp, NameEncodesConfig) {
+  EXPECT_EQ(ConcurrentCampCache(mt_cfg(100)).name(), "camp-mt(p=5)");
+  EXPECT_EQ(ConcurrentCampCache(mt_cfg(100, 64)).name(), "camp-mt(p=inf)");
+  EXPECT_EQ(ConcurrentCampCache(mt_cfg(100, 5, 4)).name(),
+            "camp-mt(p=5,q=4)");
+}
+
+// ---------------------------------------------------------------------------
+// Single-threaded equivalence with the serial engine
+// ---------------------------------------------------------------------------
+
+struct SerialDriver {
+  // Runs the same randomized workload against a serial and a concurrent
+  // instance and compares the externally observable streams.
+  static void compare(int precision, std::uint32_t physical,
+                      std::uint64_t seed) {
+    const std::uint64_t cap = 16 * 1024;
+    CampConfig serial_cfg;
+    serial_cfg.capacity_bytes = cap;
+    serial_cfg.precision = precision;
+    CampCache serial(serial_cfg);
+    ConcurrentCampCache concurrent(mt_cfg(cap, precision, physical));
+
+    std::vector<std::pair<Key, std::uint64_t>> serial_evictions;
+    std::vector<std::pair<Key, std::uint64_t>> concurrent_evictions;
+    serial.set_eviction_listener([&](Key k, std::uint64_t s) {
+      serial_evictions.emplace_back(k, s);
+    });
+    concurrent.set_eviction_listener([&](Key k, std::uint64_t s) {
+      concurrent_evictions.emplace_back(k, s);
+    });
+
+    util::Xoshiro256 rng(seed);
+    for (int i = 0; i < 20'000; ++i) {
+      const Key k = rng.below(400);
+      const auto dice = rng.below(100);
+      if (dice < 80) {
+        const bool a = serial.get(k);
+        const bool b = concurrent.get(k);
+        ASSERT_EQ(a, b) << "hit/miss diverged at op " << i;
+        if (!a) {
+          const std::uint64_t size = 16 + rng.below(700);
+          const std::uint64_t cost = 1 + rng.below(10'000);
+          ASSERT_EQ(serial.put(k, size, cost), concurrent.put(k, size, cost));
+        }
+      } else if (dice < 90) {
+        const std::uint64_t size = 16 + rng.below(700);
+        const std::uint64_t cost = 1 + rng.below(10'000);
+        ASSERT_EQ(serial.put(k, size, cost), concurrent.put(k, size, cost));
+      } else {
+        serial.erase(k);
+        concurrent.erase(k);
+      }
+      ASSERT_EQ(serial.used_bytes(), concurrent.used_bytes()) << "op " << i;
+      ASSERT_EQ(serial_evictions.size(), concurrent_evictions.size())
+          << "op " << i;
+    }
+    ASSERT_EQ(serial_evictions, concurrent_evictions)
+        << "eviction sequences diverged (seed " << seed << ")";
+    ASSERT_EQ(serial.item_count(), concurrent.item_count());
+    ASSERT_EQ(serial.inflation(), concurrent.inflation());
+    ASSERT_TRUE(concurrent.check_invariants());
+  }
+};
+
+class ConcurrentCampEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(ConcurrentCampEquivalence, MatchesSerialDecisionForDecision) {
+  const auto [precision, physical] = GetParam();
+  for (const std::uint64_t seed : {7ull, 99ull, 2024ull}) {
+    SerialDriver::compare(precision, physical, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionAndPartitioning, ConcurrentCampEquivalence,
+    ::testing::Combine(::testing::Values(1, 5, 64),
+                       ::testing::Values(1u, 4u)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_q" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Multi-threaded stress
+// ---------------------------------------------------------------------------
+
+class ConcurrentCampStress : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ConcurrentCampStress, InvariantsHoldAfterParallelChurn) {
+  ConcurrentCampCache cache(mt_cfg(64 * 1024, 5, GetParam()));
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 30'000;
+  std::atomic<std::uint64_t> listener_calls{0};
+  cache.set_eviction_listener(
+      [&](Key, std::uint64_t) { listener_calls.fetch_add(1); });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Key k = rng.below(2'000);
+        const auto dice = rng.below(100);
+        if (dice < 85) {
+          if (!cache.get(k)) {
+            cache.put(k, 16 + rng.below(900), 1 + rng.below(10'000));
+          }
+        } else if (dice < 95) {
+          cache.put(k, 16 + rng.below(900), 1 + rng.below(10'000));
+        } else {
+          cache.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_TRUE(cache.check_invariants());
+  EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  const auto& stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.gets);
+  EXPECT_EQ(stats.evictions, listener_calls.load());
+  const auto intro = cache.introspect();
+  EXPECT_GT(intro.shared_fast_hits, 0u)
+      << "hit path never took the lock-free/shared route";
+}
+
+INSTANTIATE_TEST_SUITE_P(PhysicalQueues, ConcurrentCampStress,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+TEST(ConcurrentCamp, ParallelReadersOnDistinctQueuesProceed) {
+  // Two keys with wildly different cost-to-size ratios live in different
+  // LRU queues; hammering them from two threads must complete and the vast
+  // majority of hits should use the shared fast path (Section 4.1 feature 2).
+  ConcurrentCampCache cache(mt_cfg(1 << 20));
+  ASSERT_TRUE(cache.put(1, 1000, 1));
+  ASSERT_TRUE(cache.put(2, 10, 10'000));
+  // A third pair keeps the heap minimum away from both hot queues so the
+  // sole-entry fast path never needs the exclusive side.
+  ASSERT_TRUE(cache.put(3, 1000, 1));
+
+  constexpr int kHits = 50'000;
+  std::thread a([&] {
+    for (int i = 0; i < kHits; ++i) ASSERT_TRUE(cache.get(1));
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kHits; ++i) ASSERT_TRUE(cache.get(2));
+  });
+  a.join();
+  b.join();
+  const auto intro = cache.introspect();
+  EXPECT_EQ(cache.stats().hits, 2u * kHits);
+  EXPECT_GT(intro.shared_fast_hits, 2u * kHits * 9 / 10);
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(ConcurrentCamp, EvictOneDrainsToEmpty) {
+  ConcurrentCampCache cache(mt_cfg(4096));
+  for (Key k = 0; k < 20; ++k) cache.put(k, 100, 1 + k);
+  std::size_t evicted = 0;
+  while (cache.evict_one()) ++evicted;
+  EXPECT_EQ(evicted, 20u);
+  EXPECT_EQ(cache.item_count(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.evict_one());
+}
+
+TEST(ConcurrentCamp, OverwriteUpdatesAccounting) {
+  ConcurrentCampCache cache(mt_cfg(4096));
+  cache.put(1, 100, 10);
+  cache.put(1, 300, 20);
+  EXPECT_EQ(cache.used_bytes(), 300u);
+  EXPECT_EQ(cache.item_count(), 1u);
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(ConcurrentCamp, RejectsOversizedAndZero) {
+  ConcurrentCampCache cache(mt_cfg(100));
+  EXPECT_FALSE(cache.put(1, 0, 10));
+  EXPECT_FALSE(cache.put(1, 101, 10));
+  EXPECT_EQ(cache.stats().rejected_puts, 2u);
+  EXPECT_EQ(cache.item_count(), 0u);
+}
+
+TEST(ConcurrentCamp, IntrospectionTracksQueues) {
+  ConcurrentCampCache cache(mt_cfg(1 << 16, 64));
+  cache.put(1, 100, 100);    // ratio 100
+  cache.put(2, 100, 10000);  // ratio 10000
+  cache.put(3, 100, 100);    // joins key 1's queue
+  const auto intro = cache.introspect();
+  EXPECT_EQ(intro.nonempty_queues, 2u);
+  EXPECT_EQ(intro.queues_created, 2u);
+  EXPECT_EQ(intro.queues_destroyed, 0u);
+}
+
+TEST(ConcurrentCamp, PhysicalQueuesSplitHotRatios) {
+  // With q=8, pairs sharing one rounded ratio spread across up to 8
+  // physical queues (more heap nodes, less lock contention).
+  ConcurrentCampCache cache(mt_cfg(1 << 20, 5, 8));
+  for (Key k = 0; k < 64; ++k) cache.put(k, 100, 100);  // one logical ratio
+  const auto intro = cache.introspect();
+  EXPECT_GT(intro.nonempty_queues, 1u);
+  EXPECT_LE(intro.nonempty_queues, 8u);
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+}  // namespace
+}  // namespace camp::core

@@ -1,0 +1,198 @@
+// CAMP-F: the frequency-aware extension (GDSF scoring on CAMP's multi-
+// queue machinery). The headline property mirrors the paper's central
+// CAMP ≡ GDS claim one level up: at precision infinity, CAMP-F makes
+// exactly the decisions of GDSF with LRU tie-breaks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "core/camp.h"
+#include "policy/gdsf.h"
+#include "util/rng.h"
+
+namespace camp::core {
+namespace {
+
+using policy::Key;
+
+CampConfig f_cfg(std::uint64_t cap, int precision = 5) {
+  CampConfig c;
+  c.capacity_bytes = cap;
+  c.precision = precision;
+  c.frequency_aware = true;
+  return c;
+}
+
+TEST(CampF, NameAndFactory) {
+  EXPECT_EQ(CampCache(f_cfg(100)).name(), "camp-f(p=5)");
+  EXPECT_EQ(CampCache(f_cfg(100, 64)).name(), "camp-f(p=inf)");
+  CampConfig plain;
+  plain.capacity_bytes = 100;
+  EXPECT_EQ(CampCache(plain).name(), "camp(p=5)");
+}
+
+TEST(CampF, FrequencyCountsHits) {
+  CampCache cache(f_cfg(1000));
+  cache.put(1, 100, 10);
+  EXPECT_EQ(cache.frequency_of(1), 1u);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cache.get(1));
+  EXPECT_EQ(cache.frequency_of(1), 5u);
+  cache.put(1, 100, 10);  // overwrite resets
+  EXPECT_EQ(cache.frequency_of(1), 1u);
+}
+
+TEST(CampF, PlainCampIgnoresFrequency) {
+  CampConfig plain;
+  plain.capacity_bytes = 1000;
+  CampCache cache(plain);
+  cache.put(1, 100, 10);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cache.get(1));
+  EXPECT_EQ(cache.frequency_of(1), 1u) << "freq must stay untouched";
+}
+
+TEST(CampF, PopularCheapBeatsUnpopularExpensive) {
+  // The GDSF scenario CAMP cannot express: hits accumulate, so a popular
+  // cheap pair outranks a moderately expensive untouched one.
+  CampCache cache(f_cfg(300, util::kPrecisionInfinity));
+  cache.put(1, 100, 10);
+  cache.put(2, 100, 50);
+  cache.put(3, 100, 20);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cache.get(1));
+  cache.put(4, 100, 1000);  // evicts 3
+  cache.put(5, 100, 1000);  // the discriminating eviction: 2 goes, 1 stays
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(CampF, HitsMigrateAcrossQueues) {
+  // Rising frequency moves a pair to higher-ratio queues; the queue for
+  // its old ratio disappears when it empties.
+  CampCache cache(f_cfg(1 << 16, util::kPrecisionInfinity));
+  cache.put(1, 100, 100);
+  const std::uint64_t ratio_before = cache.ratio_of(1);
+  ASSERT_TRUE(cache.get(1));
+  EXPECT_GT(cache.ratio_of(1), ratio_before) << "freq must raise the ratio";
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(CampF, RoundingStillBoundsQueues) {
+  // Even with frequencies fanning out the ratio set, precision-1 rounding
+  // keeps the queue count tiny on a churning workload.
+  CampCache cache(f_cfg(32'000, 1));
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 30'000; ++i) {
+    const Key k = rng.below(400);
+    if (!cache.get(k)) cache.put(k, 16 + rng.below(500), 1 + rng.below(9999));
+    if (i % 5'000 == 4'999) {
+      ASSERT_TRUE(cache.check_invariants());
+    }
+  }
+  const auto intro = cache.introspect();
+  EXPECT_LE(intro.nonempty_queues, 64u)
+      << "p=1 must coarsen freq*cost/size into few queues";
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence property: CAMP-F(p=inf) == GDSF(lru tie-break)
+// ---------------------------------------------------------------------------
+
+class CampFGdsfEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CampFGdsfEquivalence, IdenticalDecisionsAtInfinitePrecision) {
+  const std::uint64_t cap = 24'000;
+  CampCache camp_f(f_cfg(cap, util::kPrecisionInfinity));
+  policy::GdsfConfig gdsf_cfg;
+  gdsf_cfg.capacity_bytes = cap;
+  gdsf_cfg.lru_tie_break = true;
+  policy::GdsfCache gdsf(gdsf_cfg);
+
+  std::vector<std::pair<Key, std::uint64_t>> camp_evictions, gdsf_evictions;
+  camp_f.set_eviction_listener([&](Key k, std::uint64_t s) {
+    camp_evictions.emplace_back(k, s);
+  });
+  gdsf.set_eviction_listener([&](Key k, std::uint64_t s) {
+    gdsf_evictions.emplace_back(k, s);
+  });
+
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 25'000; ++i) {
+    const Key k = rng.below(500);
+    const auto dice = rng.below(100);
+    if (dice < 85) {
+      const bool a = camp_f.get(k);
+      const bool b = gdsf.get(k);
+      ASSERT_EQ(a, b) << "hit/miss diverged at op " << i;
+      if (!a) {
+        const std::uint64_t size = 16 + rng.below(600);
+        const std::uint64_t cost = 1 + rng.below(10'000);
+        camp_f.put(k, size, cost);
+        gdsf.put(k, size, cost);
+      }
+    } else if (dice < 95) {
+      const std::uint64_t size = 16 + rng.below(600);
+      const std::uint64_t cost = 1 + rng.below(10'000);
+      camp_f.put(k, size, cost);
+      gdsf.put(k, size, cost);
+    } else {
+      camp_f.erase(k);
+      gdsf.erase(k);
+    }
+    ASSERT_EQ(camp_f.used_bytes(), gdsf.used_bytes()) << "op " << i;
+    ASSERT_EQ(camp_evictions.size(), gdsf_evictions.size()) << "op " << i;
+  }
+  ASSERT_EQ(camp_evictions, gdsf_evictions)
+      << "eviction sequences diverged (seed " << GetParam() << ")";
+  EXPECT_EQ(camp_f.item_count(), gdsf.item_count());
+  EXPECT_EQ(camp_f.inflation(), gdsf.inflation());
+  EXPECT_TRUE(camp_f.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampFGdsfEquivalence,
+                         ::testing::Values(11ull, 47ull, 2014ull, 9999ull),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(CampF, LowPrecisionStaysCloseToGdsf) {
+  // With rounding on, decisions may differ but quality must stay close:
+  // cost-miss within 10% (relative) of exact GDSF on a skewed workload.
+  const std::uint64_t cap = 20'000;
+  CampCache camp_f(f_cfg(cap, 5));
+  policy::GdsfConfig gdsf_cfg;
+  gdsf_cfg.capacity_bytes = cap;
+  policy::GdsfCache gdsf(gdsf_cfg);
+
+  util::Xoshiro256 rng(5);
+  std::unordered_set<Key> seen;
+  std::uint64_t cost_total = 0, camp_missed = 0, gdsf_missed = 0;
+  for (int i = 0; i < 60'000; ++i) {
+    const double u = rng.uniform();
+    const Key k = static_cast<Key>(u * u * 600);
+    const std::uint64_t size = 50 + (k % 300);
+    const std::uint64_t cost = (k % 3 == 0) ? 10'000 : 1 + (k % 100);
+    const bool cold = seen.insert(k).second;
+    if (!cold) cost_total += cost;
+    if (!camp_f.get(k)) {
+      if (!cold) camp_missed += cost;
+      camp_f.put(k, size, cost);
+    }
+    if (!gdsf.get(k)) {
+      if (!cold) gdsf_missed += cost;
+      gdsf.put(k, size, cost);
+    }
+  }
+  ASSERT_GT(cost_total, 0u);
+  const double camp_ratio =
+      static_cast<double>(camp_missed) / static_cast<double>(cost_total);
+  const double gdsf_ratio =
+      static_cast<double>(gdsf_missed) / static_cast<double>(cost_total);
+  EXPECT_LT(std::abs(camp_ratio - gdsf_ratio),
+            0.10 * gdsf_ratio + 1e-9)
+      << "camp-f " << camp_ratio << " vs gdsf " << gdsf_ratio;
+}
+
+}  // namespace
+}  // namespace camp::core

@@ -1,0 +1,179 @@
+// Property tests: structural invariants of the CAMP data structures under
+// randomized workloads, across precisions, arities and workload shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/camp.h"
+#include "util/rng.h"
+
+namespace camp::core {
+namespace {
+
+struct WorkloadShape {
+  std::uint64_t key_space;
+  std::uint64_t max_size;
+  std::uint64_t max_cost;
+  const char* label;
+};
+
+class CampInvariants
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(CampInvariants, HoldUnderRandomWorkload) {
+  const auto [precision, seed] = GetParam();
+  CampConfig config;
+  config.capacity_bytes = 5000;
+  config.precision = precision;
+  CampCache cache(config);
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < 3000; ++i) {
+    const policy::Key k = rng.below(100);
+    const auto dice = rng.below(100);
+    if (dice < 70) {
+      if (!cache.get(k)) {
+        cache.put(k, 1 + rng.below(500), rng.below(20'000));
+      }
+    } else if (dice < 85) {
+      cache.put(k, 1 + rng.below(500), rng.below(20'000));
+    } else {
+      cache.erase(k);
+    }
+    if (i % 64 == 0) {
+      ASSERT_TRUE(cache.check_invariants())
+          << "precision=" << precision << " seed=" << seed << " op=" << i;
+    }
+  }
+  ASSERT_TRUE(cache.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionSeeds, CampInvariants,
+    ::testing::Combine(::testing::Values(1, 2, 5, 10, util::kPrecisionInfinity),
+                       ::testing::Values<std::uint64_t>(1, 7, 42)));
+
+template <int Arity>
+void run_arity_invariants(std::uint64_t seed) {
+  CampConfig config;
+  config.capacity_bytes = 4000;
+  config.precision = 5;
+  BasicCampCache<Arity> cache(config);
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    const policy::Key k = rng.below(80);
+    if (!cache.get(k)) cache.put(k, 1 + rng.below(300), 1 + rng.below(9999));
+    if (i % 128 == 0) {
+      ASSERT_TRUE(cache.check_invariants()) << "op " << i;
+    }
+  }
+  ASSERT_TRUE(cache.check_invariants());
+}
+
+TEST(CampArity, TwoAry) { run_arity_invariants<2>(3); }
+TEST(CampArity, FourAry) { run_arity_invariants<4>(3); }
+TEST(CampArity, EightAry) { run_arity_invariants<8>(3); }
+TEST(CampArity, SixteenAry) { run_arity_invariants<16>(3); }
+
+TEST(CampArity, AllAritiesMakeIdenticalDecisions) {
+  // Heap arity is a performance knob; evictions must not depend on it.
+  CampConfig config;
+  config.capacity_bytes = 3000;
+  config.precision = 4;
+  BasicCampCache<2> c2(config);
+  BasicCampCache<8> c8(config);
+  BasicCampCache<16> c16(config);
+  util::Xoshiro256 rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const policy::Key k = rng.below(60);
+    const std::uint64_t size = 1 + rng.below(400);
+    const std::uint64_t cost = 1 + rng.below(10'000);
+    const bool h2 = c2.get(k);
+    const bool h8 = c8.get(k);
+    const bool h16 = c16.get(k);
+    ASSERT_EQ(h2, h8) << "op " << i;
+    ASSERT_EQ(h8, h16) << "op " << i;
+    if (!h2) {
+      c2.put(k, size, cost);
+      c8.put(k, size, cost);
+      c16.put(k, size, cost);
+    }
+  }
+  EXPECT_EQ(c2.item_count(), c8.item_count());
+  EXPECT_EQ(c2.used_bytes(), c8.used_bytes());
+  EXPECT_EQ(c8.stats().evictions, c16.stats().evictions);
+}
+
+TEST(CampBound, QueueCountWithinPropositionTwo) {
+  // Number of non-empty queues <= (ceil(log2(U+1)) - p + 1) * 2^p where U
+  // is the largest scaled (pre-rounding) ratio observed.
+  for (int precision : {1, 2, 3, 5, 8}) {
+    CampConfig config;
+    config.capacity_bytes = 1 << 20;
+    config.precision = precision;
+    CampCache cache(config);
+    util::Xoshiro256 rng(23 + static_cast<std::uint64_t>(precision));
+    for (int i = 0; i < 5000; ++i) {
+      const policy::Key k = rng.below(2000);
+      if (!cache.get(k)) {
+        cache.put(k, 1 + rng.below(4096), 1 + rng.below(100'000));
+      }
+    }
+    const auto intro = cache.introspect();
+    ASSERT_GT(intro.max_scaled_ratio, 0u);
+    EXPECT_LE(intro.nonempty_queues,
+              util::distinct_rounded_values_bound(intro.max_scaled_ratio,
+                                                  precision))
+        << "precision=" << precision;
+  }
+}
+
+TEST(CampBound, LowerPrecisionNeverMoreQueues) {
+  // Rounding coarser can only merge queues (on the same request stream).
+  std::vector<std::size_t> queue_counts;
+  for (int precision : {1, 3, 6, 10}) {
+    CampConfig config;
+    config.capacity_bytes = 1 << 18;
+    config.precision = precision;
+    CampCache cache(config);
+    util::Xoshiro256 rng(31);
+    for (int i = 0; i < 4000; ++i) {
+      const policy::Key k = rng.below(500);
+      if (!cache.get(k)) {
+        cache.put(k, 1 + rng.below(2048), 1 + rng.below(50'000));
+      }
+    }
+    queue_counts.push_back(cache.queue_count());
+  }
+  for (std::size_t i = 1; i < queue_counts.size(); ++i) {
+    EXPECT_LE(queue_counts[i - 1], queue_counts[i] * 2)
+        << "coarser precision should not explode queue count";
+  }
+}
+
+TEST(Camp, RecomputeRatioOnHitKnob) {
+  // With the knob off, a pair's queue is frozen at insert time even after
+  // the scaling multiplier grows.
+  CampConfig frozen;
+  frozen.capacity_bytes = 1 << 20;
+  frozen.precision = util::kPrecisionInfinity;
+  frozen.recompute_ratio_on_hit = false;
+  CampCache cache(frozen);
+  cache.put(1, 100, 10);  // multiplier 100 -> ratio 10
+  const auto r_before = cache.ratio_of(1);
+  cache.put(2, 10'000, 10);  // multiplier grows to 10'000
+  ASSERT_TRUE(cache.get(1));
+  EXPECT_EQ(cache.ratio_of(1), r_before);
+
+  CampConfig live = frozen;
+  live.recompute_ratio_on_hit = true;
+  CampCache cache2(live);
+  cache2.put(1, 100, 10);
+  const auto r2_before = cache2.ratio_of(1);
+  cache2.put(2, 10'000, 10);
+  ASSERT_TRUE(cache2.get(1));
+  EXPECT_GT(cache2.ratio_of(1), r2_before)
+      << "recomputed ratio uses the grown multiplier";
+}
+
+}  // namespace
+}  // namespace camp::core

@@ -1,0 +1,121 @@
+// Tests for CAMP's precision/rounding behaviour at the cache level: queue
+// counts shrink with coarser precision, adaptive rescaling only affects
+// future roundings, and the paper's "adapts to new maximum sizes" rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/camp.h"
+#include "util/rng.h"
+
+namespace camp::core {
+namespace {
+
+CampConfig cfg(std::uint64_t cap, int precision) {
+  CampConfig c;
+  c.capacity_bytes = cap;
+  c.precision = precision;
+  return c;
+}
+
+std::size_t queues_after_workload(int precision, std::uint64_t seed) {
+  CampCache cache(cfg(1 << 20, precision));
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < 20'000; ++i) {
+    const policy::Key k = rng.below(3000);
+    if (!cache.get(k)) {
+      const std::uint64_t size = 64 + (util::mix64(k) % 4000);
+      const std::uint64_t cost = 1 + (util::mix64(k ^ 0xabc) % 50'000);
+      cache.put(k, size, cost);
+    }
+  }
+  return cache.queue_count();
+}
+
+TEST(CampRounding, QueueCountGrowsWithPrecision) {
+  // Figure 5b / 8c shape: few queues at precision 1, many at infinity.
+  const std::size_t q1 = queues_after_workload(1, 5);
+  const std::size_t q3 = queues_after_workload(3, 5);
+  const std::size_t q6 = queues_after_workload(6, 5);
+  const std::size_t qi = queues_after_workload(util::kPrecisionInfinity, 5);
+  EXPECT_LE(q1, q3);
+  EXPECT_LE(q3, q6);
+  EXPECT_LE(q6, qi);
+  EXPECT_LT(q1, qi) << "rounding must actually merge queues";
+  EXPECT_GE(q1, 1u);
+}
+
+TEST(CampRounding, PrecisionOneStillBeatsSingleQueue) {
+  // Even at the lowest precision CAMP keeps multiple queues on a workload
+  // with order-of-magnitude cost spread (paper: "Even for a very low level
+  // of precision, CAMP has at least five non-empty queues").
+  CampCache cache(cfg(1 << 20, 1));
+  util::Xoshiro256 rng(7);
+  const std::uint32_t costs[3] = {1, 100, 10'000};
+  for (int i = 0; i < 20'000; ++i) {
+    const policy::Key k = rng.below(2000);
+    if (!cache.get(k)) {
+      const std::uint64_t size = 64 + (util::mix64(k) % 2000);
+      cache.put(k, size, costs[util::mix64(k ^ 1) % 3]);
+    }
+  }
+  EXPECT_GE(cache.queue_count(), 3u);
+}
+
+TEST(CampRounding, ResidentsNotRescaledOnMultiplierGrowth) {
+  // "we do not update the rounded priorities of all the key-value pairs in
+  // the KVS when a new lower bound ... is determined"
+  CampCache cache(cfg(1 << 20, util::kPrecisionInfinity));
+  cache.put(1, 100, 10);  // multiplier = 100, ratio = 10
+  const std::uint64_t ratio_before = cache.ratio_of(1);
+  EXPECT_EQ(ratio_before, 10u);
+  cache.put(2, 100'000, 10);  // multiplier jumps to 100'000
+  // Pair 1 was not touched: still in its old queue.
+  EXPECT_EQ(cache.ratio_of(1), ratio_before);
+  // Pair 2's ratio uses the new multiplier: 10 * 100000 / 100000 = 10.
+  EXPECT_EQ(cache.ratio_of(2), 10u);
+  // A *new* pair with pair-1's shape gets the new scaling.
+  cache.put(3, 100, 10);  // 10 * 100000 / 100 = 10'000
+  EXPECT_EQ(cache.ratio_of(3), 10'000u);
+}
+
+TEST(CampRounding, IntrospectionTracksMaxScaledRatio) {
+  CampCache cache(cfg(1 << 20, 5));
+  cache.put(1, 1000, 1);
+  cache.put(2, 10, 10'000);  // ratio = 10'000 * 1000 / 10 = 1'000'000
+  const auto intro = cache.introspect();
+  EXPECT_GE(intro.max_scaled_ratio, 1'000'000u);
+  EXPECT_EQ(intro.scaling_multiplier, 1000u);
+}
+
+TEST(CampRounding, CostMissRatioStableAcrossPrecisions) {
+  // Figure 5a's headline: "almost no variation in cost-miss ratios for
+  // different precisions". Run the same skewed stream at p=1..inf and check
+  // the spread of missed cost is modest.
+  std::vector<double> missed;
+  for (int precision : {1, 2, 4, 6, 8, util::kPrecisionInfinity}) {
+    CampCache cache(cfg(40'000, precision));
+    util::Xoshiro256 rng(99);
+    const std::uint32_t costs[3] = {1, 100, 10'000};
+    std::uint64_t missed_cost = 0;
+    for (int i = 0; i < 50'000; ++i) {
+      const policy::Key k = rng.below(100) < 70 ? rng.below(120)
+                                                : 120 + rng.below(1080);
+      const std::uint64_t size = 64 + (util::mix64(k) % 1500);
+      const std::uint64_t cost = costs[util::mix64(k ^ 3) % 3];
+      if (!cache.get(k)) {
+        missed_cost += cost;
+        cache.put(k, size, cost);
+      }
+    }
+    missed.push_back(static_cast<double>(missed_cost));
+  }
+  const double lo = *std::min_element(missed.begin(), missed.end());
+  const double hi = *std::max_element(missed.begin(), missed.end());
+  EXPECT_LT(hi / lo, 1.15) << "cost-miss outcomes should be nearly flat "
+                              "across precisions";
+}
+
+}  // namespace
+}  // namespace camp::core

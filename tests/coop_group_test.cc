@@ -1,0 +1,337 @@
+// Integration tests for the cooperative caching group: request routing,
+// peer fetches, the last-replica guard's preserve-then-expire contract, and
+// node churn.
+#include "coop/group.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace camp::coop {
+namespace {
+
+using policy::Key;
+
+CoopConfig base_cfg(std::uint32_t nodes, std::uint64_t node_cap) {
+  CoopConfig c;
+  c.nodes = nodes;
+  c.node_capacity_bytes = node_cap;
+  return c;
+}
+
+TEST(CoopGroup, RejectsBadConfig) {
+  EXPECT_THROW(CoopGroup{CoopConfig{}}, std::invalid_argument);
+  EXPECT_THROW(CoopGroup{base_cfg(0, 100)}, std::invalid_argument);
+  CoopConfig bad = base_cfg(2, 100);
+  bad.guard_fraction = 1.5;
+  EXPECT_THROW(CoopGroup{bad}, std::invalid_argument);
+  bad = base_cfg(2, 100);
+  bad.guard_lease_requests = 0;
+  EXPECT_THROW(CoopGroup{bad}, std::invalid_argument);
+  bad.preserve_last_replica = false;  // lease irrelevant when guard is off
+  EXPECT_NO_THROW(CoopGroup{bad});
+}
+
+TEST(CoopGroup, FirstRequestIsAColdMissSecondIsALocalHit) {
+  CoopGroup group(base_cfg(4, 10'000));
+  EXPECT_FALSE(group.request(1, 100, 50));
+  EXPECT_TRUE(group.request(1, 100, 50));
+  const CoopMetrics& m = group.metrics();
+  EXPECT_EQ(m.cold_misses, 1u);
+  EXPECT_EQ(m.local_hits, 1u);
+  EXPECT_EQ(m.misses, 0u);
+  EXPECT_EQ(m.requests, 2u);
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, KeysRouteToTheirHomeNode) {
+  CoopGroup group(base_cfg(4, 1 << 20));
+  for (Key k = 0; k < 200; ++k) group.request(k, 100, 10);
+  for (Key k = 0; k < 200; ++k) {
+    EXPECT_TRUE(group.directory().holds(k, group.home_node(k)))
+        << "key " << k << " not at its home";
+  }
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, RemoteHitAfterTopologyChange) {
+  // Install keys with 2 nodes, then add nodes so some keys' home moves.
+  // The next request for a moved key must be a remote hit (peer fetch),
+  // charged transfer cost, and promoted to the new home.
+  CoopConfig cfg = base_cfg(2, 1 << 20);
+  cfg.remote_transfer_cost = 3;
+  CoopGroup group(cfg);
+  for (Key k = 0; k < 400; ++k) group.request(k, 100, 1000);
+  const auto before = group.metrics();
+  group.add_node();
+  group.add_node();
+  std::uint64_t moved = 0;
+  for (Key k = 0; k < 400; ++k) {
+    const auto home = group.home_node(k);
+    if (!group.directory().holds(k, home)) ++moved;
+    EXPECT_TRUE(group.request(k, 100, 1000)) << "key " << k << " lost";
+  }
+  ASSERT_GT(moved, 0u) << "adding 2 nodes must remap some keys";
+  const auto& m = group.metrics();
+  EXPECT_EQ(m.remote_hits - before.remote_hits, moved);
+  EXPECT_EQ(m.transfer_cost - before.transfer_cost, moved * 3);
+  EXPECT_EQ(m.misses, before.misses) << "no recompute should have happened";
+  // Promotion: moved keys now also live at their new home.
+  for (Key k = 0; k < 400; ++k) {
+    EXPECT_TRUE(group.directory().holds(k, group.home_node(k)));
+  }
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, PromotionCanBeDisabled) {
+  CoopConfig cfg = base_cfg(2, 1 << 20);
+  cfg.promote_on_remote_hit = false;
+  CoopGroup group(cfg);
+  for (Key k = 0; k < 200; ++k) group.request(k, 100, 10);
+  group.add_node();
+  for (Key k = 0; k < 200; ++k) group.request(k, 100, 10);
+  // Without promotion, every moved key's replica count stays 1.
+  for (Key k = 0; k < 200; ++k) {
+    EXPECT_EQ(group.directory().replica_count(k), 1u) << "key " << k;
+  }
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, LastReplicaParksInGuardAndReinstates) {
+  // One node, tiny cache: evictions park last replicas. Re-requesting a
+  // parked key within the lease must be a guard hit (no recompute).
+  CoopConfig cfg = base_cfg(1, 1000);
+  cfg.guard_fraction = 0.5;  // 500-byte guard
+  cfg.guard_lease_requests = 1'000;
+  CoopGroup group(cfg);
+  // Fill: key 1 (cheap) will be evicted by the expensive keys that follow.
+  group.request(1, 400, 1);
+  group.request(2, 400, 10'000);
+  group.request(3, 400, 10'000);  // evicts key 1 -> guard
+  ASSERT_EQ(group.directory().replica_count(1), 0u);
+  ASSERT_GE(group.metrics().guard_parked, 1u);
+  ASSERT_GT(group.guard_item_count(), 0u);
+
+  const auto misses_before = group.metrics().misses;
+  EXPECT_TRUE(group.request(1, 400, 1)) << "guard must serve the request";
+  EXPECT_EQ(group.metrics().guard_hits, 1u);
+  EXPECT_EQ(group.metrics().misses, misses_before) << "no recompute";
+  EXPECT_TRUE(group.directory().holds(1, group.home_node(1)))
+      << "reinstated at home";
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, GuardLeaseExpiresColdLastReplicas) {
+  // The paper's challenge: a preserved last replica that is never accessed
+  // again must not occupy memory indefinitely.
+  CoopConfig cfg = base_cfg(1, 1000);
+  cfg.guard_fraction = 1.0;
+  cfg.guard_lease_requests = 50;
+  CoopGroup group(cfg);
+  group.request(1, 400, 1);
+  group.request(2, 400, 10'000);
+  group.request(3, 400, 10'000);  // key 1 parks
+  ASSERT_GT(group.guard_item_count(), 0u);
+  // Churn unrelated keys past the lease.
+  for (int i = 0; i < 60; ++i) group.request(1000 + (i % 2), 100, 10);
+  EXPECT_EQ(group.guard_item_count(), 0u) << "lease must have lapsed";
+  EXPECT_GE(group.metrics().guard_expired, 1u);
+  // Re-request: a real (non-cold) miss now.
+  const auto misses_before = group.metrics().misses;
+  EXPECT_FALSE(group.request(1, 400, 1));
+  EXPECT_EQ(group.metrics().misses, misses_before + 1);
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, GuardByteBudgetSqueezesOldestFirst) {
+  CoopConfig cfg = base_cfg(1, 600);
+  cfg.guard_fraction = 0.5;          // 300 bytes: one 300-byte entry max
+  cfg.guard_lease_requests = 10'000;
+  CoopGroup group(cfg);
+  group.request(1, 300, 1);
+  group.request(2, 300, 2);
+  group.request(3, 600, 10'000);  // evicts 1 and 2; only one fits the guard
+  EXPECT_EQ(group.metrics().guard_parked, 2u);
+  EXPECT_EQ(group.metrics().guard_squeezed, 1u) << "oldest park displaced";
+  EXPECT_EQ(group.guard_item_count(), 1u);
+  EXPECT_LE(group.guard_used_bytes(), 300u);
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, GuardCanBeDisabled) {
+  CoopConfig cfg = base_cfg(1, 1000);
+  cfg.preserve_last_replica = false;
+  CoopGroup group(cfg);
+  group.request(1, 400, 1);
+  group.request(2, 400, 10'000);
+  group.request(3, 400, 10'000);
+  EXPECT_EQ(group.guard_item_count(), 0u);
+  EXPECT_EQ(group.metrics().guard_parked, 0u);
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, RemoveNodeDrainsThroughTheGuard) {
+  CoopConfig cfg = base_cfg(3, 1 << 20);
+  cfg.guard_fraction = 1.0;
+  CoopGroup group(cfg);
+  for (Key k = 0; k < 300; ++k) group.request(k, 100, 100);
+  const auto node_to_remove = group.home_node(0);
+  group.remove_node(node_to_remove);
+  EXPECT_EQ(group.node_count(), 2u);
+  // Keys whose only copy lived on the removed node are parked, not lost.
+  EXPECT_GT(group.guard_item_count(), 0u);
+  EXPECT_TRUE(group.check_invariants());
+  // A parked key is served from the guard without recompute.
+  const auto misses_before = group.metrics().misses;
+  EXPECT_TRUE(group.request(0, 100, 100));
+  EXPECT_EQ(group.metrics().misses, misses_before);
+}
+
+TEST(CoopGroup, RemovingUnknownOrFinalNodeThrows) {
+  CoopGroup group(base_cfg(2, 1000));
+  EXPECT_THROW(group.remove_node(99), std::invalid_argument);
+  group.remove_node(0);
+  EXPECT_THROW(group.remove_node(1), std::invalid_argument);
+}
+
+TEST(CoopGroup, CooperationBeatsIsolatedNodesOnCost) {
+  // The cooperative win: after a topology change, keys whose home moved are
+  // served by a peer fetch at transfer cost 1 instead of a recompute at
+  // cost 10'000. "No cooperation" is proxied by pricing the peer fetch at
+  // the full recompute cost, so the ratio difference isolates the benefit.
+  const auto drive = [](CoopGroup& group) {
+    for (Key k = 0; k < 400; ++k) group.request(k, 100, 10'000);  // warm-up
+    group.add_node();  // remaps a slice of the keyspace
+    for (Key k = 0; k < 400; ++k) group.request(k, 100, 10'000);
+  };
+  CoopConfig coop_cfg = base_cfg(2, 1 << 20);
+  coop_cfg.remote_transfer_cost = 1;
+  CoopGroup coop(coop_cfg);
+  drive(coop);
+
+  CoopConfig solo_cfg = base_cfg(2, 1 << 20);
+  solo_cfg.remote_transfer_cost = 10'000;
+  CoopGroup solo(solo_cfg);
+  drive(solo);
+
+  ASSERT_GT(coop.metrics().remote_hits, 0u) << "no keys moved; vacuous test";
+  EXPECT_LT(coop.metrics().cost_miss_ratio(),
+            solo.metrics().cost_miss_ratio());
+  EXPECT_TRUE(coop.check_invariants());
+}
+
+TEST(CoopGroup, RandomizedChurnKeepsInvariants) {
+  CoopConfig cfg = base_cfg(4, 8'000);
+  cfg.guard_fraction = 0.25;
+  cfg.guard_lease_requests = 2'000;
+  CoopGroup group(cfg);
+  util::Xoshiro256 rng(23);
+  for (int i = 0; i < 30'000; ++i) {
+    const Key k = rng.below(800);
+    group.request(k, 16 + rng.below(600), 1 + rng.below(10'000));
+    if (i % 10'000 == 9'999) {
+      ASSERT_TRUE(group.check_invariants()) << "op " << i;
+    }
+  }
+  // Topology churn under load.
+  group.add_node();
+  for (int i = 0; i < 5'000; ++i) {
+    group.request(rng.below(800), 100, 1 + rng.below(100));
+  }
+  ASSERT_TRUE(group.check_invariants());
+  const auto any_node = group.home_node(1);
+  group.remove_node(any_node);
+  for (int i = 0; i < 5'000; ++i) {
+    group.request(rng.below(800), 100, 1 + rng.below(100));
+  }
+  EXPECT_TRUE(group.check_invariants());
+  const auto& m = group.metrics();
+  EXPECT_EQ(m.local_hits + m.remote_hits + m.guard_hits + m.misses +
+                m.cold_misses,
+            m.requests);
+}
+
+TEST(CoopGroup, ReplicationInstallsAtDistinctNodes) {
+  CoopConfig cfg = base_cfg(4, 1 << 20);
+  cfg.replication = 2;
+  CoopGroup group(cfg);
+  for (Key k = 0; k < 200; ++k) group.request(k, 100, 10);
+  for (Key k = 0; k < 200; ++k) {
+    EXPECT_EQ(group.directory().replica_count(k), 2u) << "key " << k;
+    EXPECT_TRUE(group.directory().holds(k, group.home_node(k)));
+  }
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, ReplicationClampedToGroupSize) {
+  CoopConfig cfg = base_cfg(2, 1 << 20);
+  cfg.replication = 5;
+  CoopGroup group(cfg);
+  group.request(1, 100, 10);
+  EXPECT_EQ(group.directory().replica_count(1), 2u);
+  EXPECT_THROW([] {
+    CoopConfig bad;
+    bad.nodes = 2;
+    bad.node_capacity_bytes = 100;
+    bad.replication = 0;
+    CoopGroup{bad};
+  }(),
+               std::invalid_argument);
+}
+
+TEST(CoopGroup, ReplicaSurvivesNodeLoss) {
+  // With replication 2, decommissioning a key's home must leave the pair
+  // servable from its secondary as a remote hit — no recompute, no guard.
+  CoopConfig cfg = base_cfg(4, 1 << 20);
+  cfg.replication = 2;
+  CoopGroup group(cfg);
+  for (Key k = 0; k < 200; ++k) group.request(k, 100, 10'000);
+  const auto victim = group.home_node(7);
+  group.remove_node(victim);
+  const auto misses_before = group.metrics().misses;
+  const auto parked_before = group.metrics().guard_parked;
+  EXPECT_TRUE(group.request(7, 100, 10'000));
+  EXPECT_EQ(group.metrics().misses, misses_before) << "recompute happened";
+  // Key 7 had a second replica, so it never went through the guard.
+  EXPECT_GE(group.metrics().guard_parked, parked_before);
+  EXPECT_TRUE(group.check_invariants());
+}
+
+TEST(CoopGroup, ReplicationReducesGuardTraffic) {
+  // Doubly-replicated pairs only park when BOTH copies are gone; under node
+  // churn the guard sees strictly less traffic than with replication 1.
+  const auto drive = [](CoopGroup& group) {
+    util::Xoshiro256 rng(9);
+    for (int i = 0; i < 10'000; ++i) {
+      group.request(rng.below(300), 100, 100);
+    }
+    group.remove_node(0);
+    util::Xoshiro256 rng2(10);
+    for (int i = 0; i < 5'000; ++i) {
+      group.request(rng2.below(300), 100, 100);
+    }
+  };
+  CoopConfig r1 = base_cfg(4, 1 << 20);
+  CoopGroup group_r1(r1);
+  drive(group_r1);
+  CoopConfig r2 = base_cfg(4, 1 << 20);
+  r2.replication = 2;
+  CoopGroup group_r2(r2);
+  drive(group_r2);
+  EXPECT_LT(group_r2.metrics().guard_parked, group_r1.metrics().guard_parked);
+  EXPECT_TRUE(group_r2.check_invariants());
+}
+
+TEST(CoopGroup, PerNodePolicyIsConfigurable) {
+  CoopConfig cfg = base_cfg(2, 10'000);
+  cfg.policy_spec = "lru";
+  CoopGroup group(cfg);
+  group.request(1, 100, 10);
+  EXPECT_EQ(group.node_stats(group.home_node(1)).puts, 1u);
+  CoopConfig bad = cfg;
+  bad.policy_spec = "no-such-policy";
+  EXPECT_THROW(CoopGroup{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camp::coop

@@ -1,0 +1,115 @@
+#include "coop/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace camp::coop {
+namespace {
+
+TEST(HashRing, RejectsZeroVirtualNodes) {
+  EXPECT_THROW(HashRing{0}, std::invalid_argument);
+}
+
+TEST(HashRing, EmptyRingThrows) {
+  HashRing ring;
+  EXPECT_THROW((void)ring.node_for(1), std::logic_error);
+  EXPECT_TRUE(ring.nodes_for(1, 2).empty());
+}
+
+TEST(HashRing, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.add_node(7);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_EQ(ring.node_for(k), 7u);
+}
+
+TEST(HashRing, AddIsIdempotent) {
+  HashRing ring;
+  ring.add_node(1);
+  ring.add_node(1);
+  EXPECT_EQ(ring.node_count(), 1u);
+  ring.remove_node(1);
+  EXPECT_EQ(ring.node_count(), 0u);
+  ring.remove_node(1);  // no-op
+}
+
+TEST(HashRing, BalancesKeysAcrossNodes) {
+  HashRing ring(128);
+  constexpr std::uint32_t kNodes = 8;
+  for (std::uint32_t n = 0; n < kNodes; ++n) ring.add_node(n);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kKeys = 40'000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) ++counts[ring.node_for(k)];
+  ASSERT_EQ(counts.size(), kNodes);
+  for (const auto& [node, count] : counts) {
+    // Perfect balance would be kKeys / kNodes = 5000; accept a generous
+    // +/-50% band (128 virtual points keep the spread far tighter).
+    EXPECT_GT(count, kKeys / kNodes / 2) << "node " << node << " starved";
+    EXPECT_LT(count, kKeys / kNodes * 3 / 2) << "node " << node << " hot";
+  }
+}
+
+TEST(HashRing, RemovalOnlyRemapsTheRemovedNodesKeys) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 5; ++n) ring.add_node(n);
+  std::map<std::uint64_t, std::uint32_t> before;
+  for (std::uint64_t k = 0; k < 10'000; ++k) before[k] = ring.node_for(k);
+  ring.remove_node(2);
+  int moved_wrongly = 0;
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    const std::uint32_t now = ring.node_for(k);
+    if (before[k] == 2) {
+      EXPECT_NE(now, 2u);
+    } else if (now != before[k]) {
+      ++moved_wrongly;  // consistent hashing: keys on surviving nodes stay
+    }
+  }
+  EXPECT_EQ(moved_wrongly, 0)
+      << "keys not owned by the removed node must not move";
+}
+
+TEST(HashRing, AdditionStealsOnlyASlice) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 4; ++n) ring.add_node(n);
+  std::map<std::uint64_t, std::uint32_t> before;
+  constexpr int kKeys = 10'000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) before[k] = ring.node_for(k);
+  ring.add_node(99);
+  int moved = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::uint32_t now = ring.node_for(k);
+    if (now != before[k]) {
+      EXPECT_EQ(now, 99u) << "a key may only move to the new node";
+      ++moved;
+    }
+  }
+  // The new node should take roughly 1/5th of the keyspace.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(HashRing, NodesForReturnsDistinctNodes) {
+  HashRing ring;
+  for (std::uint32_t n = 0; n < 4; ++n) ring.add_node(n);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const auto replicas = ring.nodes_for(k, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_NE(replicas[0], replicas[2]);
+    EXPECT_NE(replicas[1], replicas[2]);
+    // The primary replica matches node_for.
+    EXPECT_EQ(replicas[0], ring.node_for(k));
+  }
+}
+
+TEST(HashRing, NodesForClampsToRingSize) {
+  HashRing ring;
+  ring.add_node(0);
+  ring.add_node(1);
+  const auto replicas = ring.nodes_for(42, 5);
+  EXPECT_EQ(replicas.size(), 2u);
+}
+
+}  // namespace
+}  // namespace camp::coop

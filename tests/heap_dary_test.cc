@@ -1,0 +1,126 @@
+#include "heap/dary_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace camp::heap {
+namespace {
+
+using IntHeap = DaryHeap<int, std::less<int>, 8>;
+
+TEST(DaryHeap, StartsEmpty) {
+  IntHeap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(DaryHeap, PushPopSorted) {
+  IntHeap h;
+  for (int v : {5, 3, 8, 1, 9, 2, 7}) h.push(v);
+  std::vector<int> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top());
+    h.pop();
+  }
+  EXPECT_EQ(popped, (std::vector<int>{1, 2, 3, 5, 7, 8, 9}));
+}
+
+TEST(DaryHeap, HandleStableAcrossMoves) {
+  IntHeap h;
+  const auto h5 = h.push(5);
+  h.push(3);
+  h.push(8);
+  const auto h1 = h.push(1);
+  EXPECT_EQ(h.value(h5), 5);
+  EXPECT_EQ(h.value(h1), 1);
+  EXPECT_EQ(h.top(), 1);
+  h.pop();  // removes 1
+  EXPECT_FALSE(h.is_valid(h1));
+  EXPECT_TRUE(h.is_valid(h5));
+  EXPECT_EQ(h.value(h5), 5);
+}
+
+TEST(DaryHeap, UpdateDecrease) {
+  IntHeap h;
+  h.push(10);
+  const auto mid = h.push(20);
+  h.push(30);
+  h.update(mid, 1);
+  EXPECT_EQ(h.top(), 1);
+  EXPECT_EQ(h.top_handle(), mid);
+}
+
+TEST(DaryHeap, UpdateIncrease) {
+  IntHeap h;
+  const auto lo = h.push(1);
+  h.push(10);
+  h.push(20);
+  h.update(lo, 100);
+  EXPECT_EQ(h.top(), 10);
+  EXPECT_EQ(h.value(lo), 100);
+}
+
+TEST(DaryHeap, EraseMiddle) {
+  IntHeap h;
+  h.push(4);
+  const auto seven = h.push(7);
+  h.push(2);
+  h.erase(seven);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.top(), 2);
+  h.pop();
+  EXPECT_EQ(h.top(), 4);
+}
+
+TEST(DaryHeap, SlotReuseAfterErase) {
+  IntHeap h;
+  const auto a = h.push(1);
+  h.erase(a);
+  const auto b = h.push(2);  // may reuse slot
+  EXPECT_TRUE(h.is_valid(b));
+  EXPECT_EQ(h.value(b), 2);
+}
+
+TEST(DaryHeap, CountsNodeVisits) {
+  IntHeap h;
+  for (int i = 100; i > 0; --i) h.push(i);
+  const auto visits_after_push = h.stats().nodes_visited;
+  EXPECT_GT(visits_after_push, 0u);
+  h.pop();
+  EXPECT_GT(h.stats().nodes_visited, visits_after_push);
+  EXPECT_EQ(h.stats().pushes, 100u);
+  EXPECT_EQ(h.stats().pops, 1u);
+}
+
+TEST(DaryHeap, ClearResets) {
+  IntHeap h;
+  h.push(1);
+  h.push(2);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  const auto a = h.push(42);
+  EXPECT_EQ(h.value(a), 42);
+  EXPECT_EQ(h.top(), 42);
+}
+
+TEST(DaryHeap, DuplicateValues) {
+  IntHeap h;
+  for (int i = 0; i < 10; ++i) h.push(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.top(), 7);
+    h.pop();
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(DaryHeap, BinaryArityWorksToo) {
+  DaryHeap<int, std::less<int>, 2> h;
+  for (int v : {9, 4, 6, 1}) h.push(v);
+  EXPECT_TRUE(h.check_invariants());
+  EXPECT_EQ(h.top(), 1);
+}
+
+}  // namespace
+}  // namespace camp::heap

@@ -1,0 +1,118 @@
+#include "heap/pairing_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace camp::heap {
+namespace {
+
+using IntHeap = PairingHeap<int>;
+
+TEST(PairingHeap, PushPopSorted) {
+  IntHeap h;
+  for (int v : {5, 3, 8, 1, 9, 2, 7}) h.push(v);
+  std::vector<int> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top());
+    h.pop();
+  }
+  EXPECT_EQ(popped, (std::vector<int>{1, 2, 3, 5, 7, 8, 9}));
+}
+
+TEST(PairingHeap, DecreaseKey) {
+  IntHeap h;
+  h.push(10);
+  auto* mid = h.push(20);
+  h.push(30);
+  h.update(mid, 5);
+  EXPECT_EQ(h.top(), 5);
+  EXPECT_EQ(h.top_handle(), mid);
+}
+
+TEST(PairingHeap, IncreaseKey) {
+  IntHeap h;
+  auto* lo = h.push(1);
+  h.push(10);
+  h.push(20);
+  h.update(lo, 100);
+  EXPECT_EQ(h.top(), 10);
+  EXPECT_EQ(h.value(lo), 100);
+  // lo must still be reachable and pop last.
+  std::vector<int> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top());
+    h.pop();
+  }
+  EXPECT_EQ(popped, (std::vector<int>{10, 20, 100}));
+}
+
+TEST(PairingHeap, EraseRoot) {
+  IntHeap h;
+  auto* a = h.push(1);
+  h.push(5);
+  h.push(3);
+  h.erase(a);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.top(), 3);
+}
+
+TEST(PairingHeap, EraseInner) {
+  IntHeap h;
+  h.push(1);
+  auto* b = h.push(5);
+  h.push(3);
+  h.push(7);
+  h.erase(b);
+  std::vector<int> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top());
+    h.pop();
+  }
+  EXPECT_EQ(popped, (std::vector<int>{1, 3, 7}));
+}
+
+TEST(PairingHeap, UpdateRootIncrease) {
+  IntHeap h;
+  auto* a = h.push(1);
+  h.push(2);
+  h.push(3);
+  h.update(a, 10);
+  EXPECT_EQ(h.top(), 2);
+}
+
+TEST(PairingHeap, SingleElementUpdate) {
+  IntHeap h;
+  auto* a = h.push(5);
+  h.update(a, 3);
+  EXPECT_EQ(h.top(), 3);
+  h.update(a, 9);
+  EXPECT_EQ(h.top(), 9);
+  h.pop();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(PairingHeap, ManyAscendingThenDescending) {
+  IntHeap h;
+  for (int i = 0; i < 1000; ++i) h.push(i);
+  for (int i = 2000; i > 1000; --i) h.push(i);
+  int prev = -1;
+  while (!h.empty()) {
+    EXPECT_GE(h.top(), prev);
+    prev = h.top();
+    h.pop();
+  }
+}
+
+TEST(PairingHeap, StatsCount) {
+  IntHeap h;
+  h.push(3);
+  h.push(1);
+  h.pop();
+  EXPECT_EQ(h.stats().pushes, 2u);
+  EXPECT_EQ(h.stats().pops, 1u);
+  EXPECT_GT(h.stats().nodes_visited, 0u);
+}
+
+}  // namespace
+}  // namespace camp::heap

@@ -1,0 +1,142 @@
+#include "intrusive/list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace camp::intrusive {
+namespace {
+
+struct Node {
+  Node() = default;
+  explicit Node(int node_id) : id(node_id) {}
+  int id = 0;
+  ListHook hook;
+};
+
+using NodeList = List<Node, &Node::hook>;
+
+std::vector<int> ids(NodeList& list) {
+  std::vector<int> out;
+  for (Node& n : list) out.push_back(n.id);
+  return out;
+}
+
+TEST(IntrusiveList, StartsEmpty) {
+  NodeList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveList, PushBackOrder) {
+  NodeList list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(ids(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.front()->id, 1);
+  EXPECT_EQ(list.back()->id, 3);
+}
+
+TEST(IntrusiveList, PushFront) {
+  NodeList list;
+  Node a{1}, b{2};
+  list.push_front(a);
+  list.push_front(b);
+  EXPECT_EQ(ids(list), (std::vector<int>{2, 1}));
+}
+
+TEST(IntrusiveList, RemoveMiddle) {
+  NodeList list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.remove(b);
+  EXPECT_EQ(ids(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(b.hook.is_linked());
+}
+
+TEST(IntrusiveList, MoveToBackIsLruTouch) {
+  NodeList list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.move_to_back(a);
+  EXPECT_EQ(ids(list), (std::vector<int>{2, 3, 1}));
+  list.move_to_back(a);  // already MRU: no change
+  EXPECT_EQ(ids(list), (std::vector<int>{2, 3, 1}));
+}
+
+TEST(IntrusiveList, PopFront) {
+  NodeList list;
+  Node a{1}, b{2};
+  list.push_back(a);
+  list.push_back(b);
+  Node* popped = list.pop_front();
+  ASSERT_NE(popped, nullptr);
+  EXPECT_EQ(popped->id, 1);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_FALSE(popped->hook.is_linked());
+}
+
+TEST(IntrusiveList, ClearUnlinksAll) {
+  NodeList list;
+  Node a{1}, b{2};
+  list.push_back(a);
+  list.push_back(b);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(a.hook.is_linked());
+  EXPECT_FALSE(b.hook.is_linked());
+  // Nodes are reusable after clear.
+  list.push_back(b);
+  EXPECT_EQ(ids(list), (std::vector<int>{2}));
+}
+
+TEST(IntrusiveList, SingleElement) {
+  NodeList list;
+  Node a{1};
+  list.push_back(a);
+  EXPECT_EQ(list.front(), list.back());
+  list.move_to_back(a);
+  EXPECT_EQ(list.front()->id, 1);
+  list.remove(a);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, HookOffsetWorksWithNonFirstMember) {
+  // The hook is not at offset 0 in Node; owner recovery must still work.
+  NodeList list;
+  Node a{42};
+  list.push_back(a);
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.front()->id, 42);
+}
+
+TEST(IntrusiveList, StressInterleaved) {
+  NodeList list;
+  std::vector<Node> nodes(100);
+  for (int i = 0; i < 100; ++i) nodes[static_cast<std::size_t>(i)].id = i;
+  for (auto& n : nodes) list.push_back(n);
+  // Remove evens.
+  for (int i = 0; i < 100; i += 2) {
+    list.remove(nodes[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(list.size(), 50u);
+  // Touch every odd node; order must rotate consistently.
+  for (int i = 1; i < 100; i += 2) {
+    list.move_to_back(nodes[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(list.front()->id, 1);
+  EXPECT_EQ(list.back()->id, 99);
+}
+
+}  // namespace
+}  // namespace camp::intrusive

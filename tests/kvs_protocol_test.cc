@@ -1,0 +1,118 @@
+#include "kvs/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace camp::kvs {
+namespace {
+
+TEST(Protocol, ParseGet) {
+  const auto cmd = parse_command("get mykey");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->type, CommandType::kGet);
+  EXPECT_EQ(cmd->key, "mykey");
+}
+
+TEST(Protocol, ParseIqGet) {
+  const auto cmd = parse_command("iqget profile:42");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->type, CommandType::kIqGet);
+  EXPECT_EQ(cmd->key, "profile:42");
+}
+
+TEST(Protocol, ParseSetBasic) {
+  const auto cmd = parse_command("set k 7 0 5");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->type, CommandType::kSet);
+  EXPECT_EQ(cmd->key, "k");
+  EXPECT_EQ(cmd->flags, 7u);
+  EXPECT_EQ(cmd->value_bytes, 5u);
+  EXPECT_EQ(cmd->cost, 0u);
+  EXPECT_FALSE(cmd->noreply);
+}
+
+TEST(Protocol, ParseSetWithCostAndNoreply) {
+  const auto cmd = parse_command("set k 0 0 10 12345 noreply");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->cost, 12345u);
+  EXPECT_TRUE(cmd->noreply);
+}
+
+TEST(Protocol, ParseIqSetRejectsCostToken) {
+  // iqset's cost comes from the miss->set delta, never from the client.
+  EXPECT_FALSE(parse_command("iqset k 0 0 10 999").has_value());
+  const auto ok = parse_command("iqset k 0 0 10 noreply");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->type, CommandType::kIqSet);
+  EXPECT_TRUE(ok->noreply);
+}
+
+TEST(Protocol, ParseDelete) {
+  auto cmd = parse_command("delete gone");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->type, CommandType::kDelete);
+  cmd = parse_command("delete gone noreply");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_TRUE(cmd->noreply);
+}
+
+TEST(Protocol, ParseAdmin) {
+  EXPECT_EQ(parse_command("stats")->type, CommandType::kStats);
+  EXPECT_EQ(parse_command("flush_all")->type, CommandType::kFlushAll);
+  EXPECT_EQ(parse_command("version")->type, CommandType::kVersion);
+  EXPECT_EQ(parse_command("quit")->type, CommandType::kQuit);
+}
+
+TEST(Protocol, ParseMultiGet) {
+  const auto cmd = parse_command("get a b c");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->type, CommandType::kGet);
+  EXPECT_EQ(cmd->key, "a");
+  ASSERT_EQ(cmd->extra_keys.size(), 2u);
+  EXPECT_EQ(cmd->extra_keys[0], "b");
+  EXPECT_EQ(cmd->extra_keys[1], "c");
+  // iqget stays single-key (a lease per key).
+  EXPECT_FALSE(parse_command("iqget a b").has_value());
+}
+
+TEST(Protocol, ParseExptime) {
+  const auto cmd = parse_command("set k 0 300 5");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->exptime, 300u);
+}
+
+TEST(Protocol, RejectsMalformed) {
+  EXPECT_FALSE(parse_command("").has_value());
+  EXPECT_FALSE(parse_command("get").has_value());
+  EXPECT_FALSE(parse_command("get ok bad\rkey").has_value());
+  EXPECT_FALSE(parse_command("set k 0 0").has_value());
+  EXPECT_FALSE(parse_command("set k x 0 5").has_value());
+  EXPECT_FALSE(parse_command("set k 0 0 5 bogus").has_value());
+  EXPECT_FALSE(parse_command("frobnicate k").has_value());
+  EXPECT_FALSE(parse_command("stats extra").has_value());
+}
+
+TEST(Protocol, RejectsBadKeys) {
+  EXPECT_FALSE(parse_command("get " + std::string(251, 'x')).has_value());
+  const auto ok = parse_command("get " + std::string(250, 'x'));
+  EXPECT_TRUE(ok.has_value());
+}
+
+TEST(Protocol, ToleratesExtraSpaces) {
+  const auto cmd = parse_command("get   spaced");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->key, "spaced");
+}
+
+TEST(Protocol, FormatValue) {
+  EXPECT_EQ(format_value("k", 3, "hello"), "VALUE k 3 5\r\nhello\r\n");
+  EXPECT_EQ(format_end(), "END\r\n");
+  EXPECT_EQ(format_stored(true), "STORED\r\n");
+  EXPECT_EQ(format_stored(false), "NOT_STORED\r\n");
+  EXPECT_EQ(format_deleted(true), "DELETED\r\n");
+  EXPECT_EQ(format_deleted(false), "NOT_FOUND\r\n");
+  EXPECT_EQ(format_error(), "ERROR\r\n");
+  EXPECT_EQ(format_stat("hits", "42"), "STAT hits 42\r\n");
+}
+
+}  // namespace
+}  // namespace camp::kvs

@@ -1,0 +1,157 @@
+// Robustness tests driving the server with a raw socket: malformed
+// commands, split packets, pipelined requests — things the friendly
+// KvsClient never sends.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "kvs/server.h"
+#include "policy/lru.h"
+
+namespace camp::kvs {
+namespace {
+
+class RawSocket {
+ public:
+  explicit RawSocket(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~RawSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_raw(const std::string& data) {
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  std::string recv_until(const std::string& marker) {
+    std::string out;
+    char chunk[4096];
+    while (out.find(marker) == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class RawProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerConfig config;
+    config.store.shards = 1;
+    config.store.engine.slab.memory_limit_bytes = 2u << 20;
+    server_ = std::make_unique<KvsServer>(
+        config,
+        [](std::uint64_t cap) {
+          return std::make_unique<policy::LruCache>(cap);
+        },
+        clock_);
+    server_->start();
+  }
+  void TearDown() override { server_->stop(); }
+
+  util::SteadyClock clock_;
+  std::unique_ptr<KvsServer> server_;
+};
+
+TEST_F(RawProtocolTest, GarbageGetsError) {
+  RawSocket sock(server_->port());
+  sock.send_raw("frobnicate the cache\r\n");
+  EXPECT_NE(sock.recv_until("\r\n").find("ERROR"), std::string::npos);
+  // Connection must survive; a valid command still works.
+  sock.send_raw("version\r\n");
+  EXPECT_NE(sock.recv_until("\r\n").find("VERSION"), std::string::npos);
+}
+
+TEST_F(RawProtocolTest, SplitPacketsReassembled) {
+  RawSocket sock(server_->port());
+  // Send a set command byte-dribbled across many packets.
+  const std::string request = "set dribble 0 0 5\r\nhello\r\n";
+  for (const char c : request) sock.send_raw(std::string(1, c));
+  EXPECT_NE(sock.recv_until("\r\n").find("STORED"), std::string::npos);
+  sock.send_raw("get dribble\r\n");
+  const std::string reply = sock.recv_until("END\r\n");
+  EXPECT_NE(reply.find("VALUE dribble 0 5"), std::string::npos);
+  EXPECT_NE(reply.find("hello"), std::string::npos);
+}
+
+TEST_F(RawProtocolTest, PipelinedCommands) {
+  RawSocket sock(server_->port());
+  sock.send_raw(
+      "set a 0 0 1\r\nA\r\n"
+      "set b 0 0 1\r\nB\r\n"
+      "get a b\r\n");
+  const std::string reply = sock.recv_until("END\r\n");
+  EXPECT_NE(reply.find("STORED"), std::string::npos);
+  EXPECT_NE(reply.find("VALUE a 0 1"), std::string::npos);
+  EXPECT_NE(reply.find("VALUE b 0 1"), std::string::npos);
+}
+
+TEST_F(RawProtocolTest, NoreplySuppressesResponse) {
+  RawSocket sock(server_->port());
+  sock.send_raw("set quiet 0 0 2 noreply\r\nhi\r\nget quiet\r\n");
+  const std::string reply = sock.recv_until("END\r\n");
+  EXPECT_EQ(reply.find("STORED"), std::string::npos)
+      << "noreply must not produce STORED";
+  EXPECT_NE(reply.find("VALUE quiet 0 2"), std::string::npos);
+}
+
+TEST_F(RawProtocolTest, PayloadWithCrLfInside) {
+  RawSocket sock(server_->port());
+  // 6-byte binary payload containing CRLF; framing must rely on the byte
+  // count, not on line scanning.
+  sock.send_raw(std::string("set bin 0 0 6\r\n") + std::string("a\r\nb\rc", 6) +
+                "\r\n");
+  EXPECT_NE(sock.recv_until("\r\n").find("STORED"), std::string::npos);
+  sock.send_raw("get bin\r\n");
+  const std::string reply = sock.recv_until("END\r\n");
+  EXPECT_NE(reply.find("VALUE bin 0 6"), std::string::npos);
+}
+
+TEST_F(RawProtocolTest, OversizedDeclaredLengthRejectedGracefully) {
+  RawSocket sock(server_->port());
+  // Declared bytes exceed the largest slab chunk: NOT_STORED, connection
+  // stays up.
+  const std::string big(3u << 20, 'x');
+  sock.send_raw("set huge 0 0 " + std::to_string(big.size()) + "\r\n" + big +
+                "\r\n");
+  EXPECT_NE(sock.recv_until("\r\n").find("NOT_STORED"), std::string::npos);
+  sock.send_raw("version\r\n");
+  EXPECT_NE(sock.recv_until("\r\n").find("VERSION"), std::string::npos);
+}
+
+TEST_F(RawProtocolTest, AbruptDisconnectDuringPayload) {
+  {
+    RawSocket sock(server_->port());
+    sock.send_raw("set ghost 0 0 100\r\npartial");
+    // Destructor closes mid-payload.
+  }
+  // Server must survive and keep serving.
+  RawSocket sock2(server_->port());
+  sock2.send_raw("get ghost\r\n");
+  const std::string reply = sock2.recv_until("END\r\n");
+  EXPECT_EQ(reply.find("VALUE"), std::string::npos)
+      << "half-written item must not be visible";
+}
+
+}  // namespace
+}  // namespace camp::kvs

@@ -1,0 +1,94 @@
+#include "kvs/sharded_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/camp.h"
+#include "policy/lru.h"
+#include "util/rng.h"
+
+namespace camp::kvs {
+namespace {
+
+ShardedCache::ShardFactory camp_factory() {
+  return [](std::uint64_t cap) {
+    core::CampConfig config;
+    config.capacity_bytes = cap;
+    config.precision = 5;
+    return core::make_camp(config);
+  };
+}
+
+TEST(ShardedCache, Validation) {
+  EXPECT_THROW(ShardedCache(1000, 0, camp_factory()), std::invalid_argument);
+  EXPECT_THROW(ShardedCache(2, 4, camp_factory()), std::invalid_argument);
+}
+
+TEST(ShardedCache, CapacitySplitAcrossShards) {
+  ShardedCache cache(1001, 4, camp_factory());
+  EXPECT_EQ(cache.capacity_bytes(), 1001u);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.name(), "sharded(4xcamp(p=5))");
+}
+
+TEST(ShardedCache, BasicSemantics) {
+  ShardedCache cache(10'000, 4, camp_factory());
+  EXPECT_FALSE(cache.get(1));
+  EXPECT_TRUE(cache.put(1, 100, 5));
+  EXPECT_TRUE(cache.get(1));
+  EXPECT_TRUE(cache.contains(1));
+  cache.erase(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().gets, 2u);
+}
+
+TEST(ShardedCache, EvictionListenerForwarded) {
+  ShardedCache cache(400, 2, [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  });
+  std::atomic<int> evictions{0};
+  cache.set_eviction_listener(
+      [&](policy::Key, std::uint64_t) { evictions.fetch_add(1); });
+  // Each shard holds 200 bytes; same-shard keys force shard-local eviction.
+  for (policy::Key k = 0; k < 50; ++k) cache.put(k, 150, 1);
+  EXPECT_GT(evictions.load(), 0);
+}
+
+TEST(ShardedCache, ConcurrentThroughputIsCorrect) {
+  ShardedCache cache(1u << 20, 8, camp_factory());
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20'000;
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &hits, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const policy::Key k = rng.below(2000);
+        if (cache.get(k)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.put(k, 64 + rng.below(512), 1 + rng.below(1000));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.gets, static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(stats.hits, hits.load());
+  EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+}
+
+TEST(ShardedCache, SameKeyAlwaysSameShard) {
+  ShardedCache cache(10'000, 4, camp_factory());
+  ASSERT_TRUE(cache.put(42, 100, 5));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cache.get(42)) << "key must be routed consistently";
+  }
+}
+
+}  // namespace
+}  // namespace camp::kvs

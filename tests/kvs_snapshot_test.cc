@@ -1,0 +1,203 @@
+#include "kvs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/camp.h"
+#include "policy/lru.h"
+
+namespace camp::kvs {
+namespace {
+
+StoreConfig small_config(std::uint64_t bytes = 4u << 20,
+                         std::size_t shards = 2) {
+  StoreConfig config;
+  config.shards = shards;
+  config.engine.slab.memory_limit_bytes = bytes;
+  return config;
+}
+
+PolicyFactory lru_factory() {
+  return [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  };
+}
+
+PolicyFactory camp_factory() {
+  return [](std::uint64_t cap) {
+    core::CampConfig config;
+    config.capacity_bytes = cap;
+    config.precision = 5;
+    return core::make_camp(config);
+  };
+}
+
+/// Canonical dump for comparisons: key -> (value, flags, cost, ttl).
+using Dump = std::map<std::string,
+                      std::tuple<std::string, std::uint32_t, std::uint32_t,
+                                 std::uint32_t>>;
+Dump dump(const KvsStore& store) {
+  Dump out;
+  store.for_each_item([&](std::string_view key, std::string_view value,
+                          std::uint32_t flags, std::uint32_t cost,
+                          std::uint32_t ttl) {
+    out.emplace(std::string(key),
+                std::make_tuple(std::string(value), flags, cost, ttl));
+  });
+  return out;
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  util::ManualClock clock;
+  KvsStore source(small_config(), camp_factory(), clock);
+  ASSERT_TRUE(source.set("cheap", "small value", 7, 1));
+  ASSERT_TRUE(source.set("pricey", std::string(3000, 'x'), 0, 10'000));
+  ASSERT_TRUE(source.set("ttl", "leased", 1, 100, /*exptime_s=*/60));
+
+  std::stringstream buffer;
+  EXPECT_EQ(save_snapshot(buffer, source), 3u);
+
+  KvsStore restored(small_config(), camp_factory(), clock);
+  const SnapshotStats stats = load_snapshot(buffer, restored);
+  EXPECT_EQ(stats.items_written, 3u);
+  EXPECT_EQ(stats.items_loaded, 3u);
+  EXPECT_EQ(stats.items_rejected, 0u);
+  EXPECT_EQ(dump(source), dump(restored));
+
+  const GetResult pricey = restored.get("pricey");
+  ASSERT_TRUE(pricey.hit);
+  EXPECT_EQ(pricey.value.size(), 3000u);
+  EXPECT_EQ(restored.get("cheap").flags, 7u);
+}
+
+TEST(Snapshot, TtlSurvivesAndStillExpires) {
+  util::ManualClock clock;
+  KvsStore source(small_config(), lru_factory(), clock);
+  ASSERT_TRUE(source.set("lease", "v", 0, 1, /*exptime_s=*/10));
+
+  std::stringstream buffer;
+  save_snapshot(buffer, source);
+  KvsStore restored(small_config(), lru_factory(), clock);
+  load_snapshot(buffer, restored);
+
+  EXPECT_TRUE(restored.get("lease").hit);
+  clock.advance_ns(11ull * 1'000'000'000ull);
+  EXPECT_FALSE(restored.get("lease").hit) << "snapshot must not grant "
+                                             "immortality to leased pairs";
+}
+
+TEST(Snapshot, ExpiredPairsAreNotWritten) {
+  util::ManualClock clock;
+  KvsStore source(small_config(), lru_factory(), clock);
+  ASSERT_TRUE(source.set("gone", "v", 0, 1, /*exptime_s=*/1));
+  ASSERT_TRUE(source.set("kept", "v", 0, 1));
+  clock.advance_ns(2ull * 1'000'000'000ull);
+
+  std::stringstream buffer;
+  EXPECT_EQ(save_snapshot(buffer, source), 1u);
+  KvsStore restored(small_config(), lru_factory(), clock);
+  const SnapshotStats stats = load_snapshot(buffer, restored);
+  EXPECT_EQ(stats.items_loaded, 1u);
+  EXPECT_TRUE(restored.get("kept").hit);
+  EXPECT_FALSE(restored.get("gone").hit);
+}
+
+TEST(Snapshot, LoadIntoSmallerStoreHonoursLimits) {
+  util::ManualClock clock;
+  KvsStore source(small_config(16u << 20, 1), lru_factory(), clock);
+  for (int i = 0; i < 2'000; ++i) {
+    ASSERT_TRUE(source.set("bulk" + std::to_string(i),
+                           std::string(4'000, 'b'), 0, 1));
+  }
+  std::stringstream buffer;
+  const auto written = save_snapshot(buffer, source);
+  ASSERT_GT(written, 100u);
+
+  // A store a fraction of the size: the load must complete, admitting what
+  // fits and evicting/rejecting the rest — never overflowing.
+  KvsStore tiny(small_config(2u << 20, 1), lru_factory(), clock);
+  const SnapshotStats stats = load_snapshot(buffer, tiny);
+  EXPECT_EQ(stats.items_written, written);
+  EXPECT_EQ(stats.items_loaded + stats.items_rejected, written);
+  EXPECT_LT(tiny.aggregated_stats().items, written);
+  EXPECT_GT(tiny.aggregated_stats().items, 0u);
+}
+
+TEST(Snapshot, RejectsGarbageAndTruncation) {
+  util::ManualClock clock;
+  KvsStore store(small_config(), lru_factory(), clock);
+  {
+    std::stringstream garbage("definitely not a snapshot");
+    EXPECT_THROW(load_snapshot(garbage, store), std::runtime_error);
+  }
+  {
+    // Valid header, truncated body.
+    KvsStore source(small_config(), lru_factory(), clock);
+    ASSERT_TRUE(source.set("k", "a long enough value", 0, 1));
+    std::stringstream buffer;
+    save_snapshot(buffer, source);
+    const std::string full = buffer.str();
+    std::stringstream cut(full.substr(0, full.size() - 5));
+    EXPECT_THROW(load_snapshot(cut, store), std::runtime_error);
+  }
+}
+
+TEST(Snapshot, EmptyStoreRoundTrips) {
+  util::ManualClock clock;
+  KvsStore source(small_config(), lru_factory(), clock);
+  std::stringstream buffer;
+  EXPECT_EQ(save_snapshot(buffer, source), 0u);
+  KvsStore restored(small_config(), lru_factory(), clock);
+  const SnapshotStats stats = load_snapshot(buffer, restored);
+  EXPECT_EQ(stats.items_loaded, 0u);
+  EXPECT_EQ(restored.aggregated_stats().items, 0u);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  util::ManualClock clock;
+  KvsStore source(small_config(), camp_factory(), clock);
+  ASSERT_TRUE(source.set("disk", "persisted", 3, 500));
+  const std::string path = ::testing::TempDir() + "camp_snapshot_test.bin";
+  EXPECT_EQ(save_snapshot_file(path, source), 1u);
+  KvsStore restored(small_config(), camp_factory(), clock);
+  EXPECT_EQ(load_snapshot_file(path, restored).items_loaded, 1u);
+  EXPECT_EQ(restored.get("disk").value, "persisted");
+  EXPECT_THROW(load_snapshot_file("/no/such/snapshot.bin", restored),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, WarmRestartKeepsCostlyPairsWorking) {
+  // The point of the feature: after a "restart", the expensive pair is
+  // still served from memory and CAMP still knows it is expensive (a
+  // churn burst evicts the cheap pairs first, as live traffic would).
+  // The store spans several slabs so the churn class recycles its own
+  // chunks through policy evictions; a single-slab store would fall back
+  // to random slab reassignment, which no policy can veto.
+  util::ManualClock clock;
+  KvsStore source(small_config(8u << 20, 1), camp_factory(), clock);
+  ASSERT_TRUE(source.set("model", std::string(8'000, 'm'), 0, 50'000));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(source.set("row" + std::to_string(i),
+                           std::string(1'000, 'r'), 0, 1));
+  }
+  std::stringstream buffer;
+  save_snapshot(buffer, source);
+
+  KvsStore restarted(small_config(8u << 20, 1), camp_factory(), clock);
+  load_snapshot(buffer, restarted);
+  ASSERT_TRUE(restarted.get("model").hit);
+  // Churn far past the memory limit with cheap pairs.
+  for (int i = 0; i < 20'000; ++i) {
+    restarted.set("churn" + std::to_string(i), std::string(1'000, 'c'), 0, 1);
+  }
+  ASSERT_GT(restarted.aggregated_policy_stats().evictions, 0u)
+      << "churn never pressured the cache; weak scenario";
+  EXPECT_TRUE(restarted.get("model").hit)
+      << "the restored cost must still shield the expensive pair";
+}
+
+}  // namespace
+}  // namespace camp::kvs

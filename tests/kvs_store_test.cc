@@ -1,0 +1,127 @@
+#include "kvs/store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kvs/inproc.h"
+#include "policy/lru.h"
+
+namespace camp::kvs {
+namespace {
+
+StoreConfig store_config(std::size_t shards = 4) {
+  StoreConfig c;
+  c.shards = shards;
+  c.engine.slab.memory_limit_bytes = 8u << 20;
+  c.engine.slab.slab_size_bytes = 1u << 20;
+  return c;
+}
+
+PolicyFactory lru_factory() {
+  return [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  };
+}
+
+TEST(Store, Validation) {
+  util::ManualClock clock;
+  StoreConfig bad = store_config(0);
+  EXPECT_THROW(KvsStore(bad, lru_factory(), clock), std::invalid_argument);
+}
+
+TEST(Store, BasicOperations) {
+  util::ManualClock clock;
+  KvsStore store(store_config(), lru_factory(), clock);
+  ASSERT_TRUE(store.set("a", "1", 0, 1));
+  ASSERT_TRUE(store.set("b", "2", 0, 1));
+  EXPECT_EQ(store.get("a").value, "1");
+  EXPECT_EQ(store.get("b").value, "2");
+  EXPECT_TRUE(store.del("a"));
+  EXPECT_FALSE(store.get("a").hit);
+  EXPECT_EQ(store.shard_count(), 4u);
+}
+
+TEST(Store, KeysSpreadAcrossShards) {
+  util::ManualClock clock;
+  KvsStore store(store_config(4), lru_factory(), clock);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store.set("key" + std::to_string(i), "v", 0, 1));
+  }
+  const auto stats = store.aggregated_stats();
+  EXPECT_EQ(stats.items, 400u);
+  EXPECT_EQ(stats.sets, 400u);
+}
+
+TEST(Store, AggregatedStats) {
+  util::ManualClock clock;
+  KvsStore store(store_config(), lru_factory(), clock);
+  store.set("x", "val", 0, 1);
+  (void)store.get("x");
+  (void)store.get("missing");
+  const auto stats = store.aggregated_stats();
+  EXPECT_EQ(stats.gets, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(store.policy_name(), "lru");
+}
+
+TEST(Store, FlushAllShards) {
+  util::ManualClock clock;
+  KvsStore store(store_config(), lru_factory(), clock);
+  for (int i = 0; i < 50; ++i) {
+    store.set("k" + std::to_string(i), "v", 0, 1);
+  }
+  store.flush_all();
+  EXPECT_EQ(store.aggregated_stats().items, 0u);
+}
+
+TEST(Store, ConcurrentMixedWorkload) {
+  util::SteadyClock clock;
+  KvsStore store(store_config(8), lru_factory(), clock);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5'000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "k" + std::to_string((t * 31 + i * 7) % 1000);
+        if (i % 3 == 0) {
+          if (!store.set(key, "value-" + key, 0, 1)) failures.fetch_add(1);
+        } else if (i % 7 == 0) {
+          store.del(key);
+        } else {
+          const GetResult r = store.get(key);
+          if (r.hit && r.value != "value-" + key) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << "no torn values, no failed sets";
+  const auto stats = store.aggregated_stats();
+  EXPECT_EQ(stats.gets + stats.sets + stats.deletes,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(Store, InprocClientRoundTrip) {
+  util::ManualClock clock;
+  KvsStore store(store_config(), lru_factory(), clock);
+  InprocClient client(store);
+  ASSERT_TRUE(client.set("k", "v", 3, 10));
+  const GetResult r = client.get("k");
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, "v");
+  EXPECT_EQ(r.flags, 3u);
+  EXPECT_FALSE(client.iqget("miss").hit);
+  clock.advance_ns(2000);
+  EXPECT_TRUE(client.iqset("miss", "computed", 0));
+  EXPECT_TRUE(client.get("miss").hit);
+  EXPECT_TRUE(client.del("k"));
+}
+
+}  // namespace
+}  // namespace camp::kvs

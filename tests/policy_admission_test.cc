@@ -1,0 +1,117 @@
+#include "policy/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/lru.h"
+
+namespace camp::policy {
+namespace {
+
+AdmissionConfig doorkeeper_only() {
+  AdmissionConfig c;
+  c.bypass_ratio_numerator = 0;  // disable the cost bypass
+  return c;
+}
+
+TEST(Admission, Validation) {
+  EXPECT_THROW(AdmissionFilter(nullptr, AdmissionConfig{}),
+               std::invalid_argument);
+  AdmissionConfig bad;
+  bad.doorkeeper_bits = 0;
+  EXPECT_THROW(AdmissionFilter(std::make_unique<LruCache>(10), bad),
+               std::invalid_argument);
+}
+
+TEST(Admission, FirstPutDeniedSecondAdmitted) {
+  AdmissionFilter cache(std::make_unique<LruCache>(1000), doorkeeper_only());
+  EXPECT_FALSE(cache.put(1, 100, 1));
+  EXPECT_EQ(cache.denied_puts(), 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.put(1, 100, 1)) << "second attempt is admitted";
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Admission, HighCostBypassesDoorkeeper) {
+  AdmissionConfig c;  // default bypass: cost >= size
+  AdmissionFilter cache(std::make_unique<LruCache>(1000), c);
+  EXPECT_TRUE(cache.put(1, 100, 100)) << "cost/size >= 1 admits immediately";
+  EXPECT_FALSE(cache.put(2, 100, 1)) << "cheap pair must prove itself";
+}
+
+TEST(Admission, OneHitWondersStayOut) {
+  AdmissionFilter cache(std::make_unique<LruCache>(10'000), doorkeeper_only());
+  for (Key k = 0; k < 50; ++k) {
+    cache.put(k, 100, 1);  // each key seen once
+  }
+  EXPECT_EQ(cache.item_count(), 0u);
+  EXPECT_EQ(cache.denied_puts(), 50u);
+}
+
+TEST(Admission, WindowRotationForgets) {
+  AdmissionConfig c = doorkeeper_only();
+  c.window_ops = 4;
+  AdmissionFilter cache(std::make_unique<LruCache>(1000), c);
+  EXPECT_FALSE(cache.put(1, 10, 1));
+  // Push enough other traffic to rotate both windows twice.
+  for (Key k = 100; k < 120; ++k) cache.put(k, 10, 1);
+  EXPECT_FALSE(cache.put(1, 10, 1))
+      << "after both windows cleared, 1 must re-prove itself";
+}
+
+TEST(Admission, FrequencyModeNeedsNAttempts) {
+  AdmissionConfig c = doorkeeper_only();
+  c.min_attempts = 3;  // count-min mode: admit on the 3rd attempt
+  AdmissionFilter cache(std::make_unique<LruCache>(1000), c);
+  EXPECT_FALSE(cache.put(1, 100, 1));
+  EXPECT_FALSE(cache.put(1, 100, 1));
+  EXPECT_TRUE(cache.put(1, 100, 1)) << "third attempt must be admitted";
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Admission, FrequencyModeAges) {
+  AdmissionConfig c = doorkeeper_only();
+  c.min_attempts = 3;
+  c.window_ops = 8;  // tiny aging period
+  AdmissionFilter cache(std::make_unique<LruCache>(10'000), c);
+  EXPECT_FALSE(cache.put(1, 10, 1));
+  // Flood with other attempts so key 1's count halves away.
+  for (Key k = 100; k < 140; ++k) cache.put(k, 10, 1);
+  EXPECT_FALSE(cache.put(1, 10, 1))
+      << "aged-out attempt should not count as the second";
+}
+
+TEST(Admission, MinAttemptsValidation) {
+  AdmissionConfig c;
+  c.min_attempts = 1;
+  EXPECT_THROW(AdmissionFilter(std::make_unique<LruCache>(10), c),
+               std::invalid_argument);
+}
+
+TEST(Admission, DelegatesEverythingElse) {
+  AdmissionFilter cache(std::make_unique<LruCache>(500), doorkeeper_only());
+  cache.put(1, 100, 1);
+  cache.put(1, 100, 1);  // admitted now
+  EXPECT_TRUE(cache.get(1));
+  EXPECT_EQ(cache.capacity_bytes(), 500u);
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_EQ(cache.item_count(), 1u);
+  EXPECT_EQ(cache.name(), "admit+lru");
+  cache.erase(1);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Admission, EvictionListenerPassesThrough) {
+  AdmissionFilter cache(std::make_unique<LruCache>(150), doorkeeper_only());
+  int evictions = 0;
+  cache.set_eviction_listener([&](Key, std::uint64_t) { ++evictions; });
+  cache.put(1, 100, 1);
+  cache.put(1, 100, 1);  // resident
+  cache.put(2, 100, 1);
+  cache.put(2, 100, 1);  // forces eviction of 1
+  EXPECT_EQ(evictions, 1);
+}
+
+}  // namespace
+}  // namespace camp::policy

@@ -1,0 +1,65 @@
+#include "policy/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace camp::policy {
+namespace {
+
+TEST(Clock, Validation) {
+  EXPECT_THROW(ClockCache(0), std::invalid_argument);
+}
+
+TEST(Clock, SecondChanceProtectsReferenced) {
+  ClockCache cache(300);
+  cache.put(1, 100, 0);
+  cache.put(2, 100, 0);
+  cache.put(3, 100, 0);
+  ASSERT_TRUE(cache.get(1));  // sets 1's reference bit
+  cache.put(4, 100, 0);       // hand: 1 referenced -> spared; 2 evicted
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Clock, UnreferencedEvictedInRingOrder) {
+  ClockCache cache(300);
+  cache.put(1, 100, 0);
+  cache.put(2, 100, 0);
+  cache.put(3, 100, 0);
+  cache.put(4, 100, 0);  // nobody referenced: 1 goes (oldest in ring)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(Clock, FullLapClearsAllBits) {
+  ClockCache cache(300);
+  cache.put(1, 100, 0);
+  cache.put(2, 100, 0);
+  cache.put(3, 100, 0);
+  ASSERT_TRUE(cache.get(1));
+  ASSERT_TRUE(cache.get(2));
+  ASSERT_TRUE(cache.get(3));
+  // All referenced: the sweep clears 1,2,3 then evicts 1 on the second lap.
+  cache.put(4, 100, 0);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_GE(cache.hand_steps(), 4u);
+}
+
+TEST(Clock, EvictOneOnDemand) {
+  ClockCache cache(300);
+  EXPECT_FALSE(cache.evict_one()) << "empty cache has no victim";
+  cache.put(1, 100, 0);
+  EXPECT_TRUE(cache.evict_one());
+  EXPECT_EQ(cache.item_count(), 0u);
+}
+
+TEST(Clock, CostOblivious) {
+  ClockCache cache(200);
+  cache.put(1, 100, 1'000'000);
+  cache.put(2, 100, 1);
+  cache.put(3, 100, 1);  // evicts 1 despite its cost
+  EXPECT_FALSE(cache.contains(1));
+}
+
+}  // namespace
+}  // namespace camp::policy

@@ -1,0 +1,47 @@
+#include "policy/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace camp::policy {
+namespace {
+
+TEST(Factory, BuildsEveryKnownSpec) {
+  for (const std::string& spec : known_policy_specs()) {
+    auto cache = make_policy(spec, 10'000);
+    ASSERT_NE(cache, nullptr) << spec;
+    EXPECT_EQ(cache->capacity_bytes(), 10'000u) << spec;
+    // Smoke: the cache must actually cache.
+    cache->put(1, 100, 200);
+    cache->put(1, 100, 200);  // admit+ variants admit on the second attempt
+    EXPECT_TRUE(cache->get(1)) << spec;
+  }
+}
+
+TEST(Factory, CampPrecisionParsing) {
+  auto p3 = make_policy("camp:p=3", 1000);
+  EXPECT_EQ(p3->name(), "camp(p=3)");
+  auto pinf = make_policy("camp:p=64", 1000);
+  EXPECT_EQ(pinf->name(), "camp(p=inf)");
+}
+
+TEST(Factory, LruKParsing) {
+  EXPECT_EQ(make_policy("lru-3", 1000)->name(), "lru-3");
+}
+
+TEST(Factory, GdsTieBreakVariant) {
+  EXPECT_EQ(make_policy("gds:lru", 1000)->name(), "gds");
+}
+
+TEST(Factory, AdmissionWrapping) {
+  auto cache = make_policy("admit+camp:p=5", 1000);
+  EXPECT_EQ(cache->name(), "admit+camp(p=5)");
+}
+
+TEST(Factory, UnknownSpecThrows) {
+  EXPECT_THROW(make_policy("nope", 100), std::invalid_argument);
+  EXPECT_THROW(make_policy("camp:p=x", 100), std::invalid_argument);
+  EXPECT_THROW(make_policy("lru-", 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camp::policy

@@ -1,0 +1,122 @@
+#include "policy/gd_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace camp::policy {
+namespace {
+
+GdWheelConfig cfg(std::uint64_t cap) {
+  GdWheelConfig c;
+  c.capacity_bytes = cap;
+  return c;
+}
+
+TEST(GdWheel, Validation) {
+  const GdWheelConfig zero_capacity{};
+  EXPECT_THROW(GdWheelCache{zero_capacity}, std::invalid_argument);
+  GdWheelConfig bad = cfg(100);
+  bad.slots_per_wheel = 1;
+  EXPECT_THROW(GdWheelCache{bad}, std::invalid_argument);
+  bad = cfg(100);
+  bad.num_levels = 3;
+  EXPECT_THROW(GdWheelCache{bad}, std::invalid_argument);
+  bad = cfg(100);
+  bad.ratio_multiplier = 0;
+  EXPECT_THROW(GdWheelCache{bad}, std::invalid_argument);
+}
+
+TEST(GdWheel, EvictsCheapestSlotFirst) {
+  GdWheelConfig c = cfg(300);
+  c.ratio_multiplier = 100;  // ratio = cost * 100 / size
+  GdWheelCache cache(c);
+  cache.put(1, 100, 1);    // ratio 1
+  cache.put(2, 100, 200);  // ratio 200
+  cache.put(3, 100, 50);   // ratio 50
+  cache.put(4, 100, 50);   // evict the ratio-1 pair
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(GdWheel, HitMovesPairForward) {
+  GdWheelConfig c = cfg(200);
+  c.ratio_multiplier = 100;
+  GdWheelCache cache(c);
+  cache.put(1, 100, 10);
+  cache.put(2, 100, 10);
+  ASSERT_TRUE(cache.get(1));  // 1 re-placed ahead of the hand
+  cache.put(3, 100, 10);      // 2 is now the nearest victim
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(GdWheel, Level1MigrationHappens) {
+  GdWheelConfig c = cfg(400);
+  c.slots_per_wheel = 4;  // tiny wheel: level-0 span 4, level-1 span 16
+  c.ratio_multiplier = 1;
+  GdWheelCache cache(c);
+  cache.put(1, 100, 1);    // ratio clamps to 1: level 0
+  cache.put(2, 100, 600);  // ratio 6: level 1
+  cache.put(3, 100, 900);  // ratio 9: level 1
+  // Force evictions past the level-0 contents: 1 is evicted from level 0,
+  // then the level-1 blocks must migrate down to satisfy the rest.
+  cache.put(4, 350, 1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(4));
+  const auto intro = cache.introspect();
+  EXPECT_GE(intro.migrations, 1u);
+  EXPECT_GE(intro.migrated_items, 1u);
+}
+
+TEST(GdWheel, OverflowClampCounted) {
+  GdWheelConfig c = cfg(1000);
+  c.slots_per_wheel = 2;  // span = 4 priorities total
+  c.ratio_multiplier = 1000;
+  GdWheelCache cache(c);
+  cache.put(1, 10, 1000);  // ratio 100'000 >> span -> overflow
+  EXPECT_GE(cache.introspect().overflow_clamps, 1u);
+  EXPECT_TRUE(cache.contains(1));
+  // Evicting everything must drain overflow too.
+  cache.put(2, 995, 1);
+  EXPECT_LE(cache.item_count(), 2u);
+}
+
+TEST(GdWheel, ByteBudgetRespected) {
+  GdWheelCache cache(cfg(2000));
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = rng.below(200);
+    if (!cache.get(k)) {
+      cache.put(k, 20 + rng.below(300), 1 + rng.below(10'000));
+    }
+    ASSERT_LE(cache.used_bytes(), 2000u) << "op " << i;
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(GdWheel, SingleLevelWheelWorks) {
+  GdWheelConfig c = cfg(500);
+  c.num_levels = 1;
+  c.slots_per_wheel = 8;
+  GdWheelCache cache(c);
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = rng.below(50);
+    if (!cache.get(k)) cache.put(k, 10 + rng.below(100), 1 + rng.below(100));
+  }
+  EXPECT_LE(cache.used_bytes(), 500u);
+}
+
+TEST(GdWheel, EraseUnlinksCleanly) {
+  GdWheelCache cache(cfg(500));
+  cache.put(1, 100, 50);
+  cache.erase(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  cache.put(1, 100, 50);  // reinsert fine
+  EXPECT_TRUE(cache.contains(1));
+}
+
+}  // namespace
+}  // namespace camp::policy

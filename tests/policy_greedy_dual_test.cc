@@ -1,0 +1,74 @@
+#include "policy/greedy_dual.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace camp::policy {
+namespace {
+
+TEST(GreedyDual, EvictsCheapestFirst) {
+  GreedyDualCache cache(300);
+  cache.put(1, 100, 5);
+  cache.put(2, 100, 500);
+  cache.put(3, 100, 50);
+  EXPECT_EQ(cache.peek_victim(), std::optional<Key>(1));
+  cache.put(4, 100, 50);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(GreedyDual, IgnoresSizeInPriority) {
+  // Both pairs cost 10; the bigger one is NOT preferentially evicted
+  // (unlike GDS) — recency/insert order decides via L.
+  GreedyDualCache cache(1000);
+  cache.put(1, 700, 10);
+  cache.put(2, 100, 10);
+  cache.put(3, 300, 10);  // over budget; equal H -> ties; some pair goes
+  EXPECT_EQ(cache.item_count(), 2u);
+}
+
+TEST(GreedyDual, HitRefreshes) {
+  GreedyDualCache cache(200);
+  cache.put(1, 100, 10);
+  cache.put(2, 100, 10);
+  ASSERT_TRUE(cache.get(1));
+  cache.put(3, 100, 10);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(GreedyDual, ZeroCostClampedToOne) {
+  GreedyDualCache cache(100);
+  cache.put(1, 50, 0);
+  EXPECT_TRUE(cache.contains(1));
+  cache.put(2, 60, 5);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(GreedyDual, InflationMonotone) {
+  GreedyDualCache cache(400);
+  util::SplitMix64 rng(11);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Key k = rng.next() % 30;
+    if (!cache.get(k)) cache.put(k, 50, 1 + rng.next() % 100);
+    ASSERT_GE(cache.inflation(), last);
+    last = cache.inflation();
+  }
+}
+
+TEST(GreedyDual, MatchesGdsOnUniformSizes) {
+  // With uniform sizes Greedy Dual and GDS agree up to ratio scaling; check
+  // that the same pairs survive a deterministic sequence.
+  GreedyDualCache gd(500);
+  for (Key k = 0; k < 5; ++k) gd.put(k, 100, 1 + 10 * k);
+  // cap 500, all fit. Insert one more expensive pair: cheapest (k=0) goes.
+  gd.put(99, 100, 1000);
+  EXPECT_FALSE(gd.contains(0));
+  EXPECT_TRUE(gd.contains(4));
+}
+
+}  // namespace
+}  // namespace camp::policy

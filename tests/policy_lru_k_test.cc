@@ -1,0 +1,76 @@
+#include "policy/lru_k.h"
+
+#include <gtest/gtest.h>
+
+namespace camp::policy {
+namespace {
+
+TEST(LruK, Validation) {
+  EXPECT_THROW(LruKCache(0, 2), std::invalid_argument);
+  EXPECT_THROW(LruKCache(100, 0), std::invalid_argument);
+}
+
+TEST(LruK, KEqualsOneBehavesLikeLru) {
+  LruKCache cache(300, 1);
+  cache.put(1, 100, 0);
+  cache.put(2, 100, 0);
+  cache.put(3, 100, 0);
+  ASSERT_TRUE(cache.get(1));
+  cache.put(4, 100, 0);  // evicts 2 (oldest last access)
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(LruK, SingleReferencePagesEvictFirst) {
+  // LRU-2: pairs with fewer than 2 references have infinite backward
+  // distance and are preferred victims over twice-referenced pairs.
+  LruKCache cache(300, 2);
+  cache.put(1, 100, 0);
+  ASSERT_TRUE(cache.get(1));  // 1 now has 2 references
+  cache.put(2, 100, 0);       // 2 has 1 reference
+  cache.put(3, 100, 0);       // 3 has 1 reference
+  cache.put(4, 100, 0);       // evict: 2 (inf distance, older than 3)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LruK, ScanResistance) {
+  // A one-pass scan of cold keys must not flush the hot twice-referenced
+  // working set (the motivating property of LRU-2 over LRU).
+  LruKCache cache(1000, 2);
+  for (Key k = 0; k < 5; ++k) {
+    cache.put(k, 100, 0);
+    ASSERT_TRUE(cache.get(k));  // hot set, 2+ refs each
+  }
+  for (Key scan = 100; scan < 140; ++scan) {
+    cache.put(scan, 100, 0);  // single-reference scan traffic
+  }
+  int hot_survivors = 0;
+  for (Key k = 0; k < 5; ++k) hot_survivors += cache.contains(k) ? 1 : 0;
+  EXPECT_EQ(hot_survivors, 5) << "scan traffic should evict itself";
+}
+
+TEST(LruK, KthReferenceOrdering) {
+  LruKCache cache(200, 2);  // room for exactly two pairs
+  cache.put(1, 100, 0);
+  cache.put(2, 100, 0);
+  ASSERT_TRUE(cache.get(1));  // 1: refs at t1,t3 -> 2nd-last = t1
+  ASSERT_TRUE(cache.get(2));  // 2: refs at t2,t4 -> 2nd-last = t2
+  ASSERT_TRUE(cache.get(1));  // 1: refs at t3,t5 -> 2nd-last = t3 > t2
+  cache.put(3, 100, 0);       // evict pair with oldest kth-last: 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruK, EraseAndStats) {
+  LruKCache cache(200, 2);
+  cache.put(1, 100, 0);
+  cache.erase(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.name(), "lru-2");
+}
+
+}  // namespace
+}  // namespace camp::policy

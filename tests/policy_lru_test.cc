@@ -1,0 +1,86 @@
+#include "policy/lru.h"
+
+#include <gtest/gtest.h>
+
+namespace camp::policy {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache cache(300);
+  cache.put(1, 100, 0);
+  cache.put(2, 100, 0);
+  cache.put(3, 100, 0);
+  EXPECT_EQ(cache.peek_victim(), std::optional<Key>(1));
+  ASSERT_TRUE(cache.get(1));  // 1 -> MRU
+  cache.put(4, 100, 0);       // evicts 2
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(Lru, IgnoresCost) {
+  LruCache cache(200);
+  cache.put(1, 100, 1'000'000);  // hugely expensive
+  cache.put(2, 100, 1);
+  cache.put(3, 100, 1);  // evicts 1 regardless of its cost
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lru, VariableSizesEvictUntilFit) {
+  LruCache cache(1000);
+  cache.put(1, 400, 0);
+  cache.put(2, 400, 0);
+  cache.put(3, 900, 0);  // must evict both 1 and 2
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.used_bytes(), 900u);
+}
+
+TEST(Lru, OverwriteUpdatesBytes) {
+  LruCache cache(1000);
+  cache.put(1, 100, 0);
+  cache.put(1, 600, 0);
+  EXPECT_EQ(cache.used_bytes(), 600u);
+  EXPECT_EQ(cache.item_count(), 1u);
+}
+
+TEST(Lru, RejectsTooBig) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.put(1, 101, 0));
+  EXPECT_FALSE(cache.put(1, 0, 0));
+  EXPECT_EQ(cache.stats().rejected_puts, 2u);
+}
+
+TEST(Lru, GetMissCounts) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.get(9));
+  EXPECT_EQ(cache.stats().gets, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+TEST(Lru, EraseRemovesWithoutEviction) {
+  LruCache cache(100);
+  cache.put(1, 50, 0);
+  cache.erase(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.erase(1);  // idempotent
+}
+
+TEST(Lru, ListenerReceivesVictims) {
+  LruCache cache(100);
+  std::vector<Key> victims;
+  cache.set_eviction_listener(
+      [&](Key k, std::uint64_t) { victims.push_back(k); });
+  cache.put(1, 60, 0);
+  cache.put(2, 60, 0);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 1u);
+}
+
+}  // namespace
+}  // namespace camp::policy

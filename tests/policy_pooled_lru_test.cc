@@ -1,0 +1,111 @@
+#include "policy/pooled_lru.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace camp::policy {
+namespace {
+
+PoolAssigner three_tier() {
+  return assign_by_cost_value({{1, 0}, {100, 1}, {10'000, 2}});
+}
+
+TEST(PooledLru, PartitionHelpers) {
+  const auto uniform = uniform_pools(1000, 3);
+  ASSERT_EQ(uniform.size(), 3u);
+  EXPECT_EQ(uniform[0].capacity_bytes, 333u);
+  EXPECT_EQ(uniform[2].capacity_bytes, 334u);  // remainder lands in the last
+
+  const auto weighted = weighted_pools(10'101, {1.0, 100.0, 10'000.0});
+  ASSERT_EQ(weighted.size(), 3u);
+  EXPECT_GE(weighted[0].capacity_bytes, 1u);
+  EXPECT_GT(weighted[2].capacity_bytes, weighted[1].capacity_bytes);
+  std::uint64_t total = 0;
+  for (const auto& p : weighted) total += p.capacity_bytes;
+  EXPECT_EQ(total, 10'101u);
+}
+
+TEST(PooledLru, PartitionValidation) {
+  EXPECT_THROW(uniform_pools(100, 0), std::invalid_argument);
+  EXPECT_THROW(weighted_pools(100, {}), std::invalid_argument);
+  EXPECT_THROW(weighted_pools(100, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(PooledLru, IsolatesPools) {
+  // Cheap churn must not evict the expensive pool's residents.
+  PooledLruCache cache(uniform_pools(600, 3), three_tier());
+  cache.put(1000, 100, 10'000);  // expensive pool
+  for (Key k = 0; k < 50; ++k) cache.put(k, 100, 1);  // cheap churn
+  EXPECT_TRUE(cache.contains(1000));
+  EXPECT_LE(cache.pool_stats(0).used_bytes, 200u);
+}
+
+TEST(PooledLru, EvictsWithinPoolByLru) {
+  PooledLruCache cache(uniform_pools(300, 3), three_tier());
+  cache.put(1, 50, 1);
+  cache.put(2, 50, 1);  // pool 0 capacity is 100 -> full
+  ASSERT_TRUE(cache.get(1));
+  cache.put(3, 50, 1);  // evicts 2 (LRU within pool 0)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(PooledLru, RejectsPairBiggerThanItsPool) {
+  // The calcification-style failure: the pair would fit in total memory but
+  // not in its statically assigned pool.
+  PooledLruCache cache(uniform_pools(300, 3), three_tier());
+  EXPECT_FALSE(cache.put(1, 150, 1));  // pool 0 holds only 100 bytes
+  EXPECT_EQ(cache.stats().rejected_puts, 1u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(PooledLru, AssignByCostRange) {
+  const auto assigner = assign_by_cost_range({100, 10'000});
+  EXPECT_EQ(assigner(0, 0, 1), 0u);
+  EXPECT_EQ(assigner(0, 0, 99), 0u);
+  EXPECT_EQ(assigner(0, 0, 100), 1u);
+  EXPECT_EQ(assigner(0, 0, 9'999), 1u);
+  EXPECT_EQ(assigner(0, 0, 10'000), 2u);
+  EXPECT_EQ(assigner(0, 0, 1'000'000), 2u);
+}
+
+TEST(PooledLru, UnknownCostFallsBack) {
+  const auto assigner = assign_by_cost_value({{1, 0}, {100, 1}});
+  EXPECT_EQ(assigner(0, 0, 55), 1u) << "unknown cost -> last pool";
+}
+
+TEST(PooledLru, PerPoolStats) {
+  PooledLruCache cache(uniform_pools(600, 3), three_tier());
+  cache.put(1, 50, 1);
+  cache.put(2, 50, 10'000);
+  ASSERT_TRUE(cache.get(1));
+  ASSERT_TRUE(cache.get(2));
+  EXPECT_EQ(cache.pool_stats(0).hits, 1u);
+  EXPECT_EQ(cache.pool_stats(2).hits, 1u);
+  EXPECT_EQ(cache.pool_stats(0).items, 1u);
+  EXPECT_EQ(cache.pool_stats(1).items, 0u);
+}
+
+TEST(PooledLru, CapacityIsSumOfPools) {
+  PooledLruCache cache(uniform_pools(999, 3), three_tier());
+  EXPECT_EQ(cache.capacity_bytes(), 999u);
+  EXPECT_EQ(cache.pool_count(), 3u);
+}
+
+TEST(PooledLru, Validation) {
+  EXPECT_THROW(PooledLruCache({}, three_tier()), std::invalid_argument);
+  EXPECT_THROW(PooledLruCache(uniform_pools(100, 2), PoolAssigner{}),
+               std::invalid_argument);
+}
+
+TEST(PooledLru, BadAssignerIndexThrows) {
+  PooledLruCache cache(uniform_pools(100, 2),
+                       [](Key, std::uint64_t, std::uint64_t) -> std::size_t {
+                         return 99;
+                       });
+  EXPECT_THROW(cache.put(1, 10, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace camp::policy

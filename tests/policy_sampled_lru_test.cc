@@ -1,0 +1,100 @@
+#include "policy/sampled_lru.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/lru.h"
+#include "util/rng.h"
+
+namespace camp::policy {
+namespace {
+
+SampledLruConfig cfg(std::uint64_t cap, bool cost_aware = false) {
+  SampledLruConfig c;
+  c.capacity_bytes = cap;
+  c.cost_aware = cost_aware;
+  return c;
+}
+
+TEST(SampledLru, Validation) {
+  const SampledLruConfig zero{};
+  EXPECT_THROW(SampledLruCache{zero}, std::invalid_argument);
+  SampledLruConfig bad = cfg(100);
+  bad.sample_size = 0;
+  EXPECT_THROW(SampledLruCache{bad}, std::invalid_argument);
+}
+
+TEST(SampledLru, ApproximatesLruMissRate) {
+  // On a skewed stream, sampled LRU's miss rate should be within a few
+  // points of exact LRU (Redis's design premise).
+  SampledLruCache sampled(cfg(5000));
+  LruCache exact(5000);
+  util::Xoshiro256 rng(7);
+  std::uint64_t sampled_misses = 0, exact_misses = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const Key k = rng.below(100) < 70 ? rng.below(50) : 50 + rng.below(450);
+    if (!sampled.get(k)) {
+      ++sampled_misses;
+      sampled.put(k, 50, 1);
+    }
+    if (!exact.get(k)) {
+      ++exact_misses;
+      exact.put(k, 50, 1);
+    }
+  }
+  const double ratio = static_cast<double>(sampled_misses) /
+                       static_cast<double>(exact_misses);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.35) << "5-sample LRU should track exact LRU closely";
+}
+
+TEST(SampledLru, OldKeysEventuallyEvicted) {
+  SampledLruCache cache(cfg(1000));
+  cache.put(999, 100, 1);
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = rng.below(50);
+    if (!cache.get(k)) cache.put(k, 100, 1);
+  }
+  EXPECT_FALSE(cache.contains(999)) << "idle key must age out via sampling";
+}
+
+TEST(SampledLru, CostAwareShieldsExpensivePairs) {
+  SampledLruCache cache(cfg(1000, /*cost_aware=*/true));
+  cache.put(999, 100, 100'000);  // expensive
+  util::Xoshiro256 rng(11);
+  int survived = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Key k = rng.below(30);
+    if (!cache.get(k)) cache.put(k, 100, 1);
+    survived += cache.contains(999) ? 1 : 0;
+  }
+  EXPECT_GT(survived, 400)
+      << "idle*size/cost scoring should protect the expensive pair far "
+         "longer than plain sampled LRU would";
+  EXPECT_EQ(cache.name(), "sampled-gds");
+}
+
+TEST(SampledLru, SwapRemoveKeepsSamplingSound) {
+  SampledLruCache cache(cfg(10'000));
+  // Heavy interleaved insert/erase churn exercises the dense-array slots.
+  util::Xoshiro256 rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = rng.below(200);
+    const auto dice = rng.below(3);
+    if (dice == 0) {
+      cache.put(k, 1 + rng.below(100), 1);
+    } else if (dice == 1) {
+      cache.erase(k);
+    } else {
+      cache.get(k);
+    }
+  }
+  // Evict everything through the sampler; counts must stay consistent.
+  while (cache.evict_one()) {
+  }
+  EXPECT_EQ(cache.item_count(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace camp::policy

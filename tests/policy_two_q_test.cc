@@ -1,0 +1,89 @@
+#include "policy/two_q.h"
+
+#include <gtest/gtest.h>
+
+namespace camp::policy {
+namespace {
+
+TwoQConfig cfg(std::uint64_t cap) {
+  TwoQConfig c;
+  c.capacity_bytes = cap;
+  return c;
+}
+
+TEST(TwoQ, Validation) {
+  const TwoQConfig zero_capacity{};
+  EXPECT_THROW(TwoQCache{zero_capacity}, std::invalid_argument);
+  TwoQConfig bad = cfg(100);
+  bad.kin_fraction = 0.0;
+  EXPECT_THROW(TwoQCache{bad}, std::invalid_argument);
+}
+
+TEST(TwoQ, FirstInsertGoesToA1in) {
+  TwoQCache cache(cfg(1000));
+  cache.put(1, 100, 0);
+  EXPECT_EQ(cache.a1in_bytes(), 100u);
+  EXPECT_EQ(cache.am_bytes(), 0u);
+}
+
+TEST(TwoQ, GhostHitPromotesToAm) {
+  TwoQCache cache(cfg(400));  // kin = 100 bytes
+  cache.put(1, 100, 0);
+  // Push 1 out of A1in by exceeding kin.
+  cache.put(2, 100, 0);
+  cache.put(3, 100, 0);
+  cache.put(4, 100, 0);
+  cache.put(5, 100, 0);  // forces demotions; 1 should be ghosted by now
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_GT(cache.ghost_count(), 0u);
+  // Re-inserting 1 (after its re-reference missed) lands in Am.
+  cache.put(1, 100, 0);
+  EXPECT_EQ(cache.am_bytes(), 100u);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(TwoQ, OneHitWondersWashOut) {
+  // A long scan of never-repeated keys must leave Am untouched.
+  TwoQCache cache(cfg(1000));
+  // Build a hot pair in Am via the ghost path.
+  cache.put(1, 100, 0);
+  for (Key k = 10; k < 20; ++k) cache.put(k, 100, 0);  // flush 1 to ghosts
+  cache.put(1, 100, 0);  // promoted to Am
+  ASSERT_GT(cache.am_bytes(), 0u);
+  for (Key scan = 1000; scan < 1100; ++scan) cache.put(scan, 90, 0);
+  EXPECT_TRUE(cache.contains(1)) << "scan traffic stays in A1in";
+}
+
+TEST(TwoQ, HitInAmRefreshesRecency) {
+  TwoQCache cache(cfg(600));  // kin = 150, kout = 300 (3 ghost entries)
+  cache.put(1, 100, 0);
+  // Exactly one demotion: capacity holds 6 pairs; the 7th put pushes the
+  // A1in head (pair 1) into the ghost list.
+  for (Key k = 10; k < 16; ++k) cache.put(k, 100, 0);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_GE(cache.ghost_count(), 1u);
+  cache.put(1, 100, 0);  // ghost hit -> lands in Am
+  EXPECT_EQ(cache.am_bytes(), 100u);
+  ASSERT_TRUE(cache.get(1));  // Am hit refreshes recency
+  EXPECT_EQ(cache.am_bytes(), 100u);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(TwoQ, ByteAccounting) {
+  TwoQCache cache(cfg(500));
+  cache.put(1, 200, 0);
+  cache.put(2, 200, 0);
+  EXPECT_EQ(cache.used_bytes(), cache.a1in_bytes() + cache.am_bytes());
+  EXPECT_LE(cache.used_bytes(), 500u);
+  cache.erase(1);
+  EXPECT_EQ(cache.used_bytes(), 200u);
+}
+
+TEST(TwoQ, RejectsOversized) {
+  TwoQCache cache(cfg(100));
+  EXPECT_FALSE(cache.put(1, 200, 0));
+  EXPECT_EQ(cache.stats().rejected_puts, 1u);
+}
+
+}  // namespace
+}  // namespace camp::policy

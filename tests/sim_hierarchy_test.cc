@@ -1,0 +1,99 @@
+#include "sim/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/camp.h"
+#include "policy/lru.h"
+
+namespace camp::sim {
+namespace {
+
+trace::TraceRecord rec(std::uint64_t key, std::uint32_t size,
+                       std::uint32_t cost) {
+  return trace::TraceRecord{key, size, cost, 0};
+}
+
+std::unique_ptr<policy::ICache> lru(std::uint64_t cap) {
+  return std::make_unique<policy::LruCache>(cap);
+}
+
+TEST(Hierarchy, Validation) {
+  EXPECT_THROW(HierarchicalCache(nullptr, lru(10), {}),
+               std::invalid_argument);
+  EXPECT_THROW(HierarchicalCache(lru(10), nullptr, {}),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, L1HitFastPath) {
+  HierarchicalCache h(lru(1000), lru(1000), HierarchyConfig{});
+  h.process(rec(1, 100, 500));  // cold miss, lands in L1
+  h.process(rec(1, 100, 500));  // L1 hit
+  EXPECT_EQ(h.metrics().l1_hits, 1u);
+  EXPECT_EQ(h.metrics().l2_hits, 0u);
+}
+
+TEST(Hierarchy, DemotionToL2AndPromotionBack) {
+  HierarchyConfig config;
+  HierarchicalCache h(lru(200), lru(1000), config);
+  h.process(rec(1, 100, 500));  // in L1
+  h.process(rec(2, 100, 1));    // in L1 (full now)
+  h.process(rec(3, 100, 1));    // evicts 1 from L1 -> demoted to L2
+  EXPECT_TRUE(h.l2().contains(1)) << "L1 victim must be demoted";
+  h.process(rec(1, 100, 500));  // L2 hit, promoted back to L1
+  EXPECT_EQ(h.metrics().l2_hits, 1u);
+  EXPECT_TRUE(h.l1().contains(1));
+  EXPECT_FALSE(h.l2().contains(1)) << "promotion removes the L2 copy";
+}
+
+TEST(Hierarchy, NoDemotionWhenDisabled) {
+  HierarchyConfig config;
+  config.demote_l1_victims = false;
+  HierarchicalCache h(lru(200), lru(1000), config);
+  h.process(rec(1, 100, 1));
+  h.process(rec(2, 100, 1));
+  h.process(rec(3, 100, 1));  // evicts 1; NOT demoted
+  EXPECT_FALSE(h.l2().contains(1));
+}
+
+TEST(Hierarchy, ServiceCostModel) {
+  HierarchyConfig config;
+  config.l1_latency = 2;
+  config.l2_latency = 50;
+  HierarchicalCache h(lru(200), lru(1000), config);
+  h.process(rec(1, 100, 700));  // full miss: 700 + 2
+  h.process(rec(1, 100, 700));  // L1 hit: +2
+  EXPECT_EQ(h.metrics().total_service_cost, 700u + 2u + 2u);
+}
+
+TEST(Hierarchy, CampAtBothLevelsKeepsExpensivePairsReachable) {
+  // Expensive pairs pushed out of a small CAMP L1 must survive in L2 and be
+  // served from there instead of recomputed.
+  auto make_camp_level = [](std::uint64_t cap) {
+    core::CampConfig c;
+    c.capacity_bytes = cap;
+    c.precision = 5;
+    return core::make_camp(c);
+  };
+  HierarchicalCache h(make_camp_level(300), make_camp_level(3000),
+                      HierarchyConfig{});
+  h.process(rec(99, 100, 10'000));  // expensive pair
+  // Cheap churn floods L1.
+  for (std::uint64_t k = 0; k < 30; ++k) h.process(rec(k, 100, 1));
+  // The expensive pair should be served without paying its cost again.
+  const auto missed_before = h.metrics().noncold_cost_missed;
+  h.process(rec(99, 100, 10'000));
+  EXPECT_EQ(h.metrics().noncold_cost_missed, missed_before)
+      << "pair 99 must hit somewhere in the hierarchy";
+}
+
+TEST(Hierarchy, MetricsExcludeCold) {
+  HierarchicalCache h(lru(100), lru(100), HierarchyConfig{});
+  h.process(rec(1, 50, 9));
+  EXPECT_EQ(h.metrics().cold_requests, 1u);
+  EXPECT_DOUBLE_EQ(h.metrics().miss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace camp::sim

@@ -1,0 +1,62 @@
+#include "sim/occupancy.h"
+
+#include <gtest/gtest.h>
+
+namespace camp::sim {
+namespace {
+
+TEST(Occupancy, TracksOnlyTargetTrace) {
+  OccupancyTracker t(1, 1000, 10);
+  t.on_insert(1, 200, /*trace_id=*/1);
+  t.on_insert(2, 300, /*trace_id=*/2);
+  EXPECT_EQ(t.tracked_bytes(), 200u);
+  EXPECT_DOUBLE_EQ(t.current_fraction(), 0.2);
+}
+
+TEST(Occupancy, OverwriteReplacesBytes) {
+  OccupancyTracker t(0, 1000, 10);
+  t.on_insert(1, 200, 0);
+  t.on_insert(1, 500, 0);
+  EXPECT_EQ(t.tracked_bytes(), 500u);
+}
+
+TEST(Occupancy, EvictIgnoresForeignKeys) {
+  OccupancyTracker t(0, 1000, 10);
+  t.on_insert(1, 200, 0);
+  t.on_evict(999);
+  EXPECT_EQ(t.tracked_bytes(), 200u);
+  t.on_evict(1);
+  EXPECT_EQ(t.tracked_bytes(), 0u);
+}
+
+TEST(Occupancy, SamplesAtInterval) {
+  OccupancyTracker t(0, 100, 5);
+  t.on_insert(1, 50, 0);
+  for (std::uint64_t i = 1; i <= 20; ++i) t.on_request_done(i);
+  ASSERT_EQ(t.samples().size(), 4u);  // at 5, 10, 15, 20
+  EXPECT_EQ(t.samples()[0].request_index, 5u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].fraction, 0.5);
+}
+
+TEST(Occupancy, DrainedAtRecordsFirstEmptying) {
+  OccupancyTracker t(0, 100, 1);
+  t.on_insert(1, 50, 0);
+  t.on_request_done(1);
+  t.on_request_done(2);
+  t.on_evict(1);
+  EXPECT_EQ(t.drained_at(), 2u);
+  // Re-populating and draining again must not overwrite the first record.
+  t.on_insert(2, 10, 0);
+  t.on_request_done(3);
+  t.on_evict(2);
+  EXPECT_EQ(t.drained_at(), 2u);
+}
+
+TEST(Occupancy, ZeroIntervalClamped) {
+  OccupancyTracker t(0, 100, 0);
+  t.on_request_done(1);
+  EXPECT_EQ(t.samples().size(), 1u);
+}
+
+}  // namespace
+}  // namespace camp::sim

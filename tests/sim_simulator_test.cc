@@ -1,0 +1,96 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/lru.h"
+
+namespace camp::sim {
+namespace {
+
+trace::TraceRecord rec(std::uint64_t key, std::uint32_t size,
+                       std::uint32_t cost, std::uint32_t tid = 0) {
+  return trace::TraceRecord{key, size, cost, tid};
+}
+
+TEST(Simulator, ColdRequestsExcluded) {
+  policy::LruCache cache(1000);
+  Simulator sim(cache);
+  sim.process(rec(1, 100, 50));  // cold miss: not counted
+  sim.process(rec(1, 100, 50));  // hit
+  const auto& m = sim.metrics();
+  EXPECT_EQ(m.requests, 2u);
+  EXPECT_EQ(m.cold_requests, 1u);
+  EXPECT_EQ(m.noncold_requests(), 1u);
+  EXPECT_EQ(m.hits, 1u);
+  EXPECT_EQ(m.noncold_misses, 0u);
+  EXPECT_DOUBLE_EQ(m.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.cost_miss_ratio(), 0.0);
+}
+
+TEST(Simulator, NonColdMissCountsCost) {
+  policy::LruCache cache(100);  // room for exactly one pair
+  Simulator sim(cache);
+  sim.process(rec(1, 100, 7));   // cold
+  sim.process(rec(2, 100, 11));  // cold, evicts 1
+  sim.process(rec(1, 100, 7));   // NON-cold miss
+  const auto& m = sim.metrics();
+  EXPECT_EQ(m.noncold_misses, 1u);
+  EXPECT_EQ(m.noncold_cost_total, 7u);
+  EXPECT_EQ(m.noncold_cost_missed, 7u);
+  EXPECT_DOUBLE_EQ(m.miss_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(m.cost_miss_ratio(), 1.0);
+}
+
+TEST(Simulator, MissTriggersInsert) {
+  policy::LruCache cache(1000);
+  Simulator sim(cache);
+  sim.process(rec(5, 200, 1));
+  EXPECT_TRUE(cache.contains(5)) << "the generator inserts on a miss";
+  EXPECT_EQ(cache.stats().puts, 1u);
+}
+
+TEST(Simulator, RunProcessesWholeTrace) {
+  policy::LruCache cache(250);
+  Simulator sim(cache);
+  std::vector<trace::TraceRecord> rows;
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t k = 0; k < 5; ++k) rows.push_back(rec(k, 100, 10));
+  }
+  sim.run(rows);
+  const auto& m = sim.metrics();
+  EXPECT_EQ(m.requests, 50u);
+  EXPECT_EQ(m.cold_requests, 5u);
+  // Capacity 250 holds 2 pairs; cycling 5 keys through LRU gives 0 hits.
+  EXPECT_EQ(m.hits, 0u);
+  EXPECT_DOUBLE_EQ(m.miss_rate(), 1.0);
+}
+
+TEST(Simulator, HitsWhenCacheFits) {
+  policy::LruCache cache(1000);
+  Simulator sim(cache);
+  std::vector<trace::TraceRecord> rows;
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t k = 0; k < 5; ++k) rows.push_back(rec(k, 100, 10));
+  }
+  sim.run(rows);
+  EXPECT_DOUBLE_EQ(sim.metrics().miss_rate(), 0.0);
+  EXPECT_EQ(sim.metrics().hits, 45u);
+}
+
+TEST(Simulator, OccupancyWiring) {
+  policy::LruCache cache(300);
+  OccupancyTracker tracker(/*tracked_trace_id=*/0, 300, /*interval=*/1);
+  Simulator sim(cache, &tracker);
+  sim.process(rec(1, 100, 1, /*tid=*/0));
+  sim.process(rec(2, 100, 1, /*tid=*/1));
+  EXPECT_EQ(tracker.tracked_bytes(), 100u) << "only trace 0 pairs tracked";
+  // Evict 1 by inserting two more trace-1 pairs.
+  sim.process(rec(3, 100, 1, 1));
+  sim.process(rec(4, 100, 1, 1));
+  EXPECT_EQ(tracker.tracked_bytes(), 0u);
+  EXPECT_GT(tracker.drained_at(), 0u);
+  EXPECT_EQ(tracker.samples().size(), 4u);
+}
+
+}  // namespace
+}  // namespace camp::sim

@@ -1,0 +1,63 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "core/camp.h"
+#include "policy/lru.h"
+#include "trace/workloads.h"
+
+namespace camp::sim {
+namespace {
+
+TEST(Sweep, CapacityForRatio) {
+  EXPECT_EQ(capacity_for_ratio(0.5, 1000), 500u);
+  EXPECT_EQ(capacity_for_ratio(0.0, 1000), 1u) << "clamped to 1";
+  EXPECT_EQ(capacity_for_ratio(1.0, 1000), 1000u);
+}
+
+TEST(Sweep, RunsEveryRatio) {
+  const auto config = trace::bg_default(500, 20'000, 41);
+  trace::TraceGenerator gen(config);
+  const auto rows = gen.generate();
+  SweepConfig sweep;
+  sweep.cache_ratios = {0.05, 0.25, 0.75};
+  sweep.unique_bytes = gen.unique_bytes();
+  const auto points = run_ratio_sweep(rows, sweep, "lru", [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  });
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.policy, "lru");
+    EXPECT_GT(p.metrics.requests, 0u);
+  }
+  // More cache -> monotonically no-worse miss rate for LRU on a fixed trace.
+  EXPECT_GE(points[0].metrics.miss_rate(), points[1].metrics.miss_rate());
+  EXPECT_GE(points[1].metrics.miss_rate(), points[2].metrics.miss_rate());
+}
+
+TEST(Sweep, CampBeatsLruOnCostMissRatio) {
+  // The paper's headline comparison at a mid cache ratio.
+  const auto config = trace::bg_default(800, 40'000, 43);
+  trace::TraceGenerator gen(config);
+  const auto rows = gen.generate();
+  SweepConfig sweep;
+  sweep.cache_ratios = {0.1};
+  sweep.unique_bytes = gen.unique_bytes();
+
+  const auto lru = run_ratio_sweep(rows, sweep, "lru", [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  });
+  const auto camp =
+      run_ratio_sweep(rows, sweep, "camp", [](std::uint64_t cap) {
+        core::CampConfig c;
+        c.capacity_bytes = cap;
+        c.precision = 5;
+        return core::make_camp(c);
+      });
+  EXPECT_LT(camp[0].metrics.cost_miss_ratio(),
+            lru[0].metrics.cost_miss_ratio())
+      << "CAMP must beat LRU on cost-miss ratio for the 3-tier trace";
+}
+
+}  // namespace
+}  // namespace camp::sim

@@ -1,0 +1,136 @@
+#include "trace/external.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace camp::trace {
+namespace {
+
+constexpr const char* kSample =
+    "0,keyA,8,100,3,get,0\n"
+    "1,keyB,8,200,3,get,0\n"
+    "2,keyA,8,100,4,set,500\n"
+    "3,keyC,8,50,4,gets,0\n"
+    "4,keyA,8,100,5,delete,0\n"
+    "5,keyD,8,0,5,incr,0\n";
+
+TEST(ExternalTrace, ParsesTwitterLayout) {
+  std::istringstream in(kSample);
+  ExternalTraceStats stats;
+  const auto records = parse_twitter_csv(in, {}, &stats);
+  ASSERT_EQ(records.size(), 4u);  // 2 gets + 1 set + 1 gets
+  EXPECT_EQ(stats.lines, 6u);
+  EXPECT_EQ(stats.parsed, 4u);
+  EXPECT_EQ(stats.dropped_operation, 2u);  // delete + incr
+  EXPECT_EQ(stats.dropped_malformed, 0u);
+  // Sizes are key + value bytes.
+  EXPECT_EQ(records[0].size, 108u);
+  EXPECT_EQ(records[1].size, 208u);
+  EXPECT_EQ(records[3].size, 58u);
+  // Same string key -> same hashed id.
+  EXPECT_EQ(records[0].key, records[2].key);
+  EXPECT_NE(records[0].key, records[1].key);
+}
+
+TEST(ExternalTrace, WritesCanBeExcluded) {
+  std::istringstream in(kSample);
+  ExternalTraceOptions options;
+  options.include_writes = false;
+  ExternalTraceStats stats;
+  const auto records = parse_twitter_csv(in, options, &stats);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(stats.dropped_operation, 3u);  // set joins delete + incr
+}
+
+TEST(ExternalTrace, MalformedRowsAreCountedNotFatal) {
+  std::istringstream in(
+      "garbage\n"
+      "0,k,notanumber,100,3,get,0\n"
+      "0,k,8,alsobad,3,get,0\n"
+      "0,,8,100,3,get,0\n"
+      "0,k,8,100,3,get,0\n");
+  ExternalTraceStats stats;
+  const auto records = parse_twitter_csv(in, {}, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(stats.dropped_malformed, 4u);
+}
+
+TEST(ExternalTrace, SkipRowsAndLimit) {
+  std::istringstream in(kSample);
+  ExternalTraceOptions options;
+  options.skip_rows = 1;  // drop the first get
+  options.limit = 2;
+  const auto records = parse_twitter_csv(in, options);
+  ASSERT_EQ(records.size(), 2u);
+}
+
+TEST(ExternalTrace, CostModels) {
+  const auto parse_with = [](CostAssignment cost) {
+    std::istringstream in(kSample);
+    ExternalTraceOptions options;
+    options.cost = cost;
+    return parse_twitter_csv(in, options);
+  };
+  for (const auto& r : parse_with(CostAssignment::kUnit)) {
+    EXPECT_EQ(r.cost, 1u);
+  }
+  for (const auto& r : parse_with(CostAssignment::kSizeLinear)) {
+    EXPECT_EQ(r.cost, std::max<std::uint32_t>(1, r.size / 64));
+  }
+  const auto tiered = parse_with(CostAssignment::kTieredChoice);
+  for (const auto& r : tiered) {
+    EXPECT_TRUE(r.cost == 1 || r.cost == 100 || r.cost == 10'000) << r.cost;
+  }
+  // Paper model: one key, one cost, for the whole trace.
+  EXPECT_EQ(tiered[0].cost, tiered[2].cost) << "keyA must keep its cost";
+}
+
+TEST(ExternalTrace, TieredCostIsStableAndSeeded) {
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(tiered_cost(key, 42), tiered_cost(key, 42));
+  }
+  // A different seed must reshuffle at least some keys.
+  int differs = 0;
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    if (tiered_cost(key, 1) != tiered_cost(key, 2)) ++differs;
+  }
+  EXPECT_GT(differs, 50);
+}
+
+TEST(ExternalTrace, TieredCostRoughlyUniform) {
+  int tiers[3] = {0, 0, 0};
+  for (std::uint64_t key = 0; key < 30'000; ++key) {
+    switch (tiered_cost(key, 7)) {
+      case 1: ++tiers[0]; break;
+      case 100: ++tiers[1]; break;
+      default: ++tiers[2]; break;
+    }
+  }
+  for (const int count : tiers) {
+    EXPECT_GT(count, 8'000);
+    EXPECT_LT(count, 12'000);
+  }
+}
+
+TEST(ExternalTrace, HashKeyIsFnv1a) {
+  // Reference vectors for 64-bit FNV-1a.
+  EXPECT_EQ(hash_key(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(hash_key("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_NE(hash_key("keyA"), hash_key("keyB"));
+}
+
+TEST(ExternalTrace, MissingFileThrows) {
+  EXPECT_THROW(parse_twitter_csv_file("/no/such/file.csv"),
+               std::runtime_error);
+}
+
+TEST(ExternalTrace, SizeClampsToAtLeastOne) {
+  std::istringstream in("0,k,0,0,3,get,0\n");
+  const auto records = parse_twitter_csv(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].size, 1u);
+}
+
+}  // namespace
+}  // namespace camp::trace

@@ -1,0 +1,77 @@
+#include "trace/trace_file.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace camp::trace {
+namespace {
+
+std::vector<TraceRecord> sample_records() {
+  return {
+      {1, 100, 1, 0},
+      {0xffffffffffffffffull, 0xffffffffu, 0xffffffffu, 7},
+      {42, 2048, 10'000, 3},
+  };
+}
+
+TEST(TraceFile, BinaryRoundTrip) {
+  const auto records = sample_records();
+  std::stringstream buf;
+  write_binary(buf, records);
+  const auto loaded = read_binary(buf);
+  EXPECT_EQ(loaded, records);
+}
+
+TEST(TraceFile, BinaryEmptyTrace) {
+  std::stringstream buf;
+  write_binary(buf, {});
+  EXPECT_TRUE(read_binary(buf).empty());
+}
+
+TEST(TraceFile, BinaryBadMagic) {
+  std::stringstream buf("NOTATRACEFILE");
+  EXPECT_THROW(read_binary(buf), std::runtime_error);
+}
+
+TEST(TraceFile, BinaryTruncated) {
+  const auto records = sample_records();
+  std::stringstream buf;
+  write_binary(buf, records);
+  std::string data = buf.str();
+  data.resize(data.size() - 5);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceFile, CsvRoundTrip) {
+  const auto records = sample_records();
+  std::stringstream buf;
+  write_csv(buf, records);
+  const auto loaded = read_csv(buf);
+  EXPECT_EQ(loaded, records);
+}
+
+TEST(TraceFile, CsvHeaderRequired) {
+  std::stringstream buf("1,2,3,4\n");
+  EXPECT_THROW(read_csv(buf), std::runtime_error);
+}
+
+TEST(TraceFile, CsvMalformedRow) {
+  std::stringstream buf("key,size,cost,trace_id\n1,2\n");
+  EXPECT_THROW(read_csv(buf), std::runtime_error);
+}
+
+TEST(TraceFile, FileRoundTrip) {
+  const auto records = sample_records();
+  const std::string path = ::testing::TempDir() + "/camp_trace_test.bin";
+  write_binary_file(path, records);
+  EXPECT_EQ(read_binary_file(path), records);
+}
+
+TEST(TraceFile, MissingFileThrows) {
+  EXPECT_THROW(read_binary_file("/nonexistent/camp.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace camp::trace

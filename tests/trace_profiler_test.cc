@@ -1,0 +1,100 @@
+#include "trace/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.h"
+
+namespace camp::trace {
+namespace {
+
+std::vector<TraceRecord> tiny_trace() {
+  // key, size, cost, trace_id
+  return {
+      {1, 100, 1, 0},    {2, 200, 100, 0},  {3, 300, 10'000, 0},
+      {1, 100, 1, 0},    {1, 100, 1, 0},    {2, 200, 100, 0},
+      {4, 400, 100, 0},
+  };
+}
+
+TEST(Profiler, ByCostValueGroups) {
+  const auto profiler = TraceProfiler::by_cost_value(tiny_trace());
+  ASSERT_EQ(profiler.groups().size(), 3u);
+  const auto& g1 = profiler.groups()[0];
+  EXPECT_EQ(g1.cost_value, 1u);
+  EXPECT_EQ(g1.requests, 3u);
+  EXPECT_EQ(g1.cost_mass, 3u);
+  EXPECT_EQ(g1.unique_keys, 1u);
+  EXPECT_EQ(g1.unique_bytes, 100u);
+  const auto& g2 = profiler.groups()[1];
+  EXPECT_EQ(g2.cost_value, 100u);
+  EXPECT_EQ(g2.requests, 3u);
+  EXPECT_EQ(g2.unique_keys, 2u);
+  EXPECT_EQ(g2.unique_bytes, 600u);
+  const auto& g3 = profiler.groups()[2];
+  EXPECT_EQ(g3.cost_value, 10'000u);
+  EXPECT_EQ(g3.requests, 1u);
+}
+
+TEST(Profiler, Totals) {
+  const auto profiler = TraceProfiler::by_cost_value(tiny_trace());
+  EXPECT_EQ(profiler.total_requests(), 7u);
+  EXPECT_EQ(profiler.unique_keys(), 4u);
+  EXPECT_EQ(profiler.unique_bytes(), 1000u);
+  EXPECT_EQ(profiler.total_cost_mass(), 3u + 300u + 10'000u);
+}
+
+TEST(Profiler, CostMassWeights) {
+  const auto profiler = TraceProfiler::by_cost_value(tiny_trace());
+  const auto w = profiler.cost_mass_weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[1], 300.0);
+  EXPECT_DOUBLE_EQ(w[2], 10'000.0);
+}
+
+TEST(Profiler, ByCostRangeGroups) {
+  const auto profiler =
+      TraceProfiler::by_cost_range(tiny_trace(), {100, 10'000});
+  ASSERT_EQ(profiler.groups().size(), 3u);
+  EXPECT_EQ(profiler.groups()[0].requests, 3u);  // cost 1 (x3)
+  EXPECT_EQ(profiler.groups()[1].requests, 3u);  // cost 100 (x3)
+  EXPECT_EQ(profiler.groups()[2].requests, 1u);  // cost 10'000
+  const auto w = profiler.min_cost_weights();
+  EXPECT_DOUBLE_EQ(w[0], 1.0) << "zero lower bound substitutes 1";
+  EXPECT_DOUBLE_EQ(w[1], 100.0);
+  EXPECT_DOUBLE_EQ(w[2], 10'000.0);
+}
+
+TEST(Profiler, CostToGroupMapping) {
+  const auto profiler = TraceProfiler::by_cost_value(tiny_trace());
+  const auto mapping = profiler.cost_to_group();
+  EXPECT_EQ(mapping.at(1), 0u);
+  EXPECT_EQ(mapping.at(100), 1u);
+  EXPECT_EQ(mapping.at(10'000), 2u);
+}
+
+TEST(Profiler, BgTraceHasBalancedTiers) {
+  // The paper: the three {1,100,10K} pools have "approximately the same
+  // number of key-value pairs, frequency and size".
+  const auto config = bg_default(3000, 60'000, 31);
+  TraceGenerator gen(config);
+  const auto rows = gen.generate();
+  const auto profiler = TraceProfiler::by_cost_value(rows);
+  ASSERT_EQ(profiler.groups().size(), 3u);
+  const double third =
+      static_cast<double>(profiler.total_requests()) / 3.0;
+  for (const auto& g : profiler.groups()) {
+    EXPECT_NEAR(static_cast<double>(g.requests), third, third * 0.25)
+        << "cost tier " << g.cost_value;
+  }
+}
+
+TEST(Profiler, EmptyTrace) {
+  const auto profiler = TraceProfiler::by_cost_value({});
+  EXPECT_TRUE(profiler.groups().empty());
+  EXPECT_EQ(profiler.unique_bytes(), 0u);
+  EXPECT_EQ(profiler.total_requests(), 0u);
+}
+
+}  // namespace
+}  // namespace camp::trace

@@ -1,0 +1,138 @@
+#include "trace/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace camp::trace {
+namespace {
+
+TEST(Workloads, DeterministicGeneration) {
+  const auto config = bg_default(1000, 5000, 7);
+  TraceGenerator a(config), b(config);
+  EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(Workloads, DifferentSeedsDiffer) {
+  auto c1 = bg_default(1000, 2000, 1);
+  auto c2 = bg_default(1000, 2000, 2);
+  EXPECT_NE(TraceGenerator(c1).generate(), TraceGenerator(c2).generate());
+}
+
+TEST(Workloads, PerKeyAttributesStable) {
+  // The paper: "Once a cost is assigned to a key-value pair, it remains in
+  // effect for the entire trace." Same for sizes.
+  const auto config = bg_default(500, 20'000, 3);
+  TraceGenerator gen(config);
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+      seen;
+  for (const TraceRecord& r : gen.generate()) {
+    const auto [it, inserted] = seen.try_emplace(r.key, r.size, r.cost);
+    if (!inserted) {
+      ASSERT_EQ(it->second.first, r.size) << "size changed for " << r.key;
+      ASSERT_EQ(it->second.second, r.cost) << "cost changed for " << r.key;
+    }
+  }
+}
+
+TEST(Workloads, SeventyTwentySkew) {
+  const auto config = bg_default(2000, 100'000, 11);
+  TraceGenerator gen(config);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (const TraceRecord& r : gen.generate()) ++counts[r.key];
+  // Take the hottest 20% of referenced keys and sum their share.
+  std::vector<std::uint64_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [k, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  const std::size_t top = static_cast<std::size_t>(0.2 * 2000);
+  std::uint64_t head = 0, total = 0;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    total += freq[i];
+    if (i < top) head += freq[i];
+  }
+  EXPECT_NEAR(static_cast<double>(head) / static_cast<double>(total), 0.7,
+              0.03);
+}
+
+TEST(Workloads, SyntheticCostsAreTheThreeTiers) {
+  const auto config = bg_default(1000, 30'000, 13);
+  TraceGenerator gen(config);
+  std::set<std::uint32_t> costs;
+  for (const TraceRecord& r : gen.generate()) costs.insert(r.cost);
+  for (const std::uint32_t c : costs) {
+    EXPECT_TRUE(c == 1 || c == 100 || c == 10'000) << c;
+  }
+  EXPECT_EQ(costs.size(), 3u) << "all three tiers should appear";
+}
+
+TEST(Workloads, VariableSizeFixedCostPreset) {
+  const auto config = bg_variable_size_fixed_cost(1000, 10'000, 17);
+  TraceGenerator gen(config);
+  std::set<std::uint32_t> sizes;
+  for (const TraceRecord& r : gen.generate()) {
+    EXPECT_EQ(r.cost, 1u);
+    sizes.insert(r.size);
+    EXPECT_GE(r.size, 64u);
+    EXPECT_LE(r.size, 256u * 1024);
+  }
+  EXPECT_GT(sizes.size(), 100u) << "sizes should vary widely";
+}
+
+TEST(Workloads, EqualSizeVariableCostPreset) {
+  const auto config = bg_equal_size_variable_cost(1000, 10'000, 19);
+  TraceGenerator gen(config);
+  std::set<std::uint32_t> costs;
+  for (const TraceRecord& r : gen.generate()) {
+    EXPECT_EQ(r.size, 4096u);
+    costs.insert(r.cost);
+  }
+  EXPECT_GT(costs.size(), 100u)
+      << "Section 3.2: many more distinct cost values";
+}
+
+TEST(Workloads, UniqueBytesMatchesEnumeration) {
+  const auto config = bg_default(200, 100, 23);
+  TraceGenerator gen(config);
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < 200; ++k) total += gen.size_of(k);
+  EXPECT_EQ(gen.unique_bytes(), total);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Workloads, PhasedTracesDisjointKeys) {
+  auto base = bg_default(300, 1000, 29);
+  const auto rows = generate_phased(base, 4);
+  EXPECT_EQ(rows.size(), 4000u);
+  std::map<std::uint32_t, std::set<std::uint64_t>> keys_by_phase;
+  for (const TraceRecord& r : rows) keys_by_phase[r.trace_id].insert(r.key);
+  ASSERT_EQ(keys_by_phase.size(), 4u);
+  for (auto a = keys_by_phase.begin(); a != keys_by_phase.end(); ++a) {
+    for (auto b = std::next(a); b != keys_by_phase.end(); ++b) {
+      std::vector<std::uint64_t> overlap;
+      std::set_intersection(a->second.begin(), a->second.end(),
+                            b->second.begin(), b->second.end(),
+                            std::back_inserter(overlap));
+      EXPECT_TRUE(overlap.empty())
+          << "phases " << a->first << " and " << b->first << " share keys";
+    }
+  }
+  // Phases are contiguous: trace_id never decreases.
+  std::uint32_t last = 0;
+  for (const TraceRecord& r : rows) {
+    EXPECT_GE(r.trace_id, last);
+    last = r.trace_id;
+  }
+}
+
+TEST(Workloads, RejectsZeroKeys) {
+  WorkloadConfig c;
+  c.num_keys = 0;
+  EXPECT_THROW(TraceGenerator{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camp::trace

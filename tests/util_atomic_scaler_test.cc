@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/rounding.h"
+
+namespace camp::util {
+namespace {
+
+TEST(AtomicRatioScaler, MatchesSerialScalerExactly) {
+  AdaptiveRatioScaler serial;
+  AtomicRatioScaler atomic;
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t size = 1 + rng.below(100'000);
+    const std::uint64_t cost = 1 + rng.below(1'000'000);
+    ASSERT_EQ(serial.observe_size(size), atomic.observe_size(size));
+    ASSERT_EQ(serial.max_size(), atomic.max_size());
+    ASSERT_EQ(serial.scale(cost, size), atomic.scale(cost, size));
+    for (const int p : {1, 4, 8, kPrecisionInfinity}) {
+      ASSERT_EQ(serial.scale_and_round(cost, size, p),
+                atomic.scale_and_round(cost, size, p));
+    }
+  }
+}
+
+TEST(AtomicRatioScaler, ObserveIsMonotoneUnderContention) {
+  AtomicRatioScaler scaler;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&scaler, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      std::uint64_t local_max = 0;
+      for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t size = 1 + rng.below(1u << 20);
+        local_max = std::max(local_max, size);
+        scaler.observe_size(size);
+        // The global max can never fall below anything this thread saw.
+        ASSERT_GE(scaler.max_size(), local_max);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_GE(scaler.max_size(), 1u);
+}
+
+TEST(AtomicRatioScaler, ScaleClampsToOne) {
+  AtomicRatioScaler scaler;
+  scaler.observe_size(1);
+  // cost * max_size / size rounds to zero -> clamp to 1 so every pair has
+  // a positive priority increment.
+  EXPECT_EQ(scaler.scale(1, 1'000'000), 1u);
+}
+
+TEST(AtomicRatioScaler, ObserveReportsGrowth) {
+  AtomicRatioScaler scaler;
+  EXPECT_TRUE(scaler.observe_size(100));
+  EXPECT_FALSE(scaler.observe_size(100));
+  EXPECT_FALSE(scaler.observe_size(50));
+  EXPECT_TRUE(scaler.observe_size(101));
+  EXPECT_EQ(scaler.max_size(), 101u);
+}
+
+}  // namespace
+}  // namespace camp::util

@@ -1,0 +1,180 @@
+// Unit + property tests for the MSY rounding scheme and the adaptive scaler.
+#include "util/rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "util/bitops.h"
+#include "util/rng.h"
+
+namespace camp::util {
+namespace {
+
+// ---- Table 1 of the paper: rounding with (binary) precision 4 ---------------
+
+TEST(MsyRound, PaperTable1Examples) {
+  // 101101011 -> 101100000
+  EXPECT_EQ(msy_round(0b101101011, 4), 0b101100000u);
+  // 001010011 -> 001010000
+  EXPECT_EQ(msy_round(0b001010011, 4), 0b001010000u);
+  // 000001010 -> 000001010 (bit width <= precision: unchanged)
+  EXPECT_EQ(msy_round(0b000001010, 4), 0b000001010u);
+  // 000000111 -> 000000111
+  EXPECT_EQ(msy_round(0b000000111, 4), 0b000000111u);
+}
+
+TEST(MsyRound, RegularRoundingTable1Comparison) {
+  // "Regular rounding" zeroes a fixed number of low bits: it loses the small
+  // values entirely (too little information for small values).
+  EXPECT_EQ(truncate_low_bits(0b101101011, 5), 0b101100000u);
+  EXPECT_EQ(truncate_low_bits(0b001010011, 4), 0b001010000u);
+  EXPECT_EQ(truncate_low_bits(0b000001010, 4), 0u);
+  EXPECT_EQ(truncate_low_bits(0b000000111, 4), 0u);
+}
+
+TEST(MsyRound, ZeroAndSmallValues) {
+  EXPECT_EQ(msy_round(0, 4), 0u);
+  for (std::uint64_t x = 1; x <= 16; ++x) {
+    EXPECT_EQ(msy_round(x, 5), x) << "values under 2^p are exact";
+  }
+}
+
+TEST(MsyRound, PrecisionOneKeepsOnlyTopBit) {
+  EXPECT_EQ(msy_round(0b1111, 1), 0b1000u);
+  EXPECT_EQ(msy_round(1, 1), 1u);
+  EXPECT_EQ(msy_round((1ull << 63) | 12345, 1), 1ull << 63);
+}
+
+TEST(MsyRound, InfinityPrecisionIsIdentity) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.next();
+    EXPECT_EQ(msy_round(x, kPrecisionInfinity), x);
+  }
+}
+
+TEST(MsyRound, Idempotent) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.next() >> (i % 40);
+    for (int p = 1; p <= 12; ++p) {
+      const std::uint64_t once = msy_round(x, p);
+      EXPECT_EQ(msy_round(once, p), once);
+    }
+  }
+}
+
+TEST(MsyRound, Monotone) {
+  // x <= y implies round(x) <= round(y).
+  SplitMix64 rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t x = rng.next() >> 20;
+    std::uint64_t y = rng.next() >> 20;
+    if (x > y) std::swap(x, y);
+    for (int p : {1, 3, 5, 8}) {
+      EXPECT_LE(msy_round(x, p), msy_round(y, p))
+          << "x=" << x << " y=" << y << " p=" << p;
+    }
+  }
+}
+
+// ---- Proposition 3: relative error bound eps = 2^(1-p) ----------------------
+
+class MsyErrorBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsyErrorBound, RelativeErrorWithinEpsilon) {
+  const int p = GetParam();
+  const double eps = msy_relative_error_bound(p);
+  SplitMix64 rng(17 + static_cast<std::uint64_t>(p));
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = (rng.next() >> (i % 32)) | 1;  // x >= 1
+    const std::uint64_t rounded = msy_round(x, p);
+    ASSERT_GT(rounded, 0u);
+    ASSERT_LE(rounded, x) << "rounding only clears bits";
+    // x <= (1 + eps) * rounded
+    EXPECT_LE(static_cast<double>(x),
+              (1.0 + eps) * static_cast<double>(rounded) * (1 + 1e-15))
+        << "x=" << x << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, MsyErrorBound,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 16));
+
+// ---- Proposition 2: number of distinct rounded values -----------------------
+
+class MsyDistinctValues
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MsyDistinctValues, BoundHolds) {
+  const auto [p, max_value] = GetParam();
+  std::set<std::uint64_t> distinct;
+  for (std::uint64_t x = 1; x <= max_value; ++x) {
+    distinct.insert(msy_round(x, p));
+  }
+  EXPECT_LE(distinct.size(), distinct_rounded_values_bound(max_value, p))
+      << "p=" << p << " U=" << max_value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MsyDistinctValues,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values<std::uint64_t>(7, 64, 1000, 4096,
+                                                        65535)));
+
+TEST(DistinctBound, CollapsesToIdentityForHighPrecision) {
+  EXPECT_EQ(distinct_rounded_values_bound(100, 7), 100u);
+  EXPECT_EQ(distinct_rounded_values_bound(127, 7), 127u);
+}
+
+// ---- AdaptiveRatioScaler -----------------------------------------------------
+
+TEST(AdaptiveRatioScaler, ScalesByMaxSize) {
+  AdaptiveRatioScaler scaler;
+  EXPECT_TRUE(scaler.observe_size(1000));
+  // ratio = cost * max_size / size
+  EXPECT_EQ(scaler.scale(10, 1000), 10u);   // 10 * 1000 / 1000
+  EXPECT_EQ(scaler.scale(10, 100), 100u);   // 10 * 1000 / 100
+  EXPECT_EQ(scaler.scale(1, 1000), 1u);     // smallest possible ratio -> 1
+}
+
+TEST(AdaptiveRatioScaler, RoundsToNearest) {
+  AdaptiveRatioScaler scaler;
+  scaler.observe_size(10);
+  EXPECT_EQ(scaler.scale(1, 3), 3u);  // 10/3 = 3.33 -> 3
+  EXPECT_EQ(scaler.scale(1, 4), 3u);  // 10/4 = 2.5  -> 3 (round half up)
+  EXPECT_EQ(scaler.scale(1, 7), 1u);  // 10/7 = 1.43 -> 1
+}
+
+TEST(AdaptiveRatioScaler, ClampsToOne) {
+  AdaptiveRatioScaler scaler;
+  scaler.observe_size(4);
+  EXPECT_EQ(scaler.scale(0, 4), 1u) << "zero cost still gets a queue";
+  EXPECT_EQ(scaler.scale(1, 400), 1u) << "sub-1 ratios clamp to 1";
+}
+
+TEST(AdaptiveRatioScaler, MultiplierOnlyGrows) {
+  AdaptiveRatioScaler scaler;
+  EXPECT_TRUE(scaler.observe_size(100));
+  EXPECT_FALSE(scaler.observe_size(50));
+  EXPECT_EQ(scaler.max_size(), 100u);
+  EXPECT_TRUE(scaler.observe_size(200));
+  EXPECT_EQ(scaler.max_size(), 200u);
+}
+
+TEST(AdaptiveRatioScaler, OrderPreservedAcrossScaling) {
+  // If ratio(a) < ratio(b) exactly, scaled values must not invert (they may
+  // tie due to rounding).
+  AdaptiveRatioScaler scaler;
+  scaler.observe_size(1 << 20);
+  const std::uint64_t a = scaler.scale(100, 2048);  // ratio 0.049
+  const std::uint64_t b = scaler.scale(100, 1024);  // ratio 0.098
+  const std::uint64_t c = scaler.scale(10'000, 1024);
+  EXPECT_LE(a, b);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace camp::util

@@ -1,0 +1,68 @@
+#include "util/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace camp::util {
+namespace {
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch s(1024, 4, /*aging_period=*/0);  // 0 = never age
+  for (int i = 0; i < 37; ++i) s.add(42);
+  EXPECT_GE(s.estimate(42), 37u);
+}
+
+TEST(CountMin, ColdKeysNearZero) {
+  CountMinSketch s(1 << 14, 4, 1u << 30);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) s.add(rng.below(1000));
+  // Keys never added should estimate (close to) zero: with 16K counters and
+  // 2K increments, collisions across 4 rows are rare.
+  int nonzero = 0;
+  for (std::uint64_t k = 1'000'000; k < 1'000'100; ++k) {
+    if (s.estimate(k) > 0) ++nonzero;
+  }
+  EXPECT_LE(nonzero, 5);
+}
+
+TEST(CountMin, SaturatesAt255) {
+  CountMinSketch s(64, 2, 1u << 30);
+  for (int i = 0; i < 1000; ++i) s.add(7);
+  EXPECT_EQ(s.estimate(7), 255u);
+}
+
+TEST(CountMin, AgingHalves) {
+  CountMinSketch s(256, 4, 1u << 30);
+  for (int i = 0; i < 40; ++i) s.add(1);
+  const auto before = s.estimate(1);
+  s.age();
+  EXPECT_EQ(s.estimate(1), before / 2);
+  EXPECT_EQ(s.agings(), 1u);
+}
+
+TEST(CountMin, AutomaticAgingAtPeriod) {
+  CountMinSketch s(256, 4, /*aging_period=*/100);
+  for (int i = 0; i < 100; ++i) s.add(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(s.agings(), 1u) << "the 100th add triggers an aging pass";
+}
+
+TEST(CountMin, DistinguishesHotFromCold) {
+  CountMinSketch s(1 << 12, 4, 1u << 30);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    s.add(17);                 // hot
+    s.add(rng.below(100'000));  // cold noise
+  }
+  EXPECT_EQ(s.estimate(17), 255u);
+  EXPECT_LT(s.estimate(55'555), 20u);
+}
+
+TEST(CountMin, WidthRoundsToPow2) {
+  CountMinSketch s(1000, 3, 1);
+  EXPECT_EQ(s.width(), 1024u);
+  EXPECT_EQ(s.depth(), 3);
+}
+
+}  // namespace
+}  // namespace camp::util

@@ -1,0 +1,64 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace camp::util {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(ReservoirSampler, ExactWhenUnderCapacity) {
+  ReservoirSampler r(100);
+  Xoshiro256 rng(1);
+  for (int i = 1; i <= 11; ++i) r.add(i, rng);
+  EXPECT_EQ(r.size(), 11u);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 11.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 6.0);
+}
+
+TEST(ReservoirSampler, ApproximatesUniformPercentiles) {
+  ReservoirSampler r(2000);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100'000; ++i) r.add(rng.uniform(), rng);
+  EXPECT_EQ(r.seen(), 100'000u);
+  EXPECT_NEAR(r.percentile(0.5), 0.5, 0.05);
+  EXPECT_NEAR(r.percentile(0.9), 0.9, 0.05);
+}
+
+TEST(Log2Histogram, BucketsByMagnitude) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.count(), 5u);
+  ASSERT_GE(h.buckets().size(), 11u);
+  EXPECT_EQ(h.buckets()[0], 2u);   // values 0 and 1
+  EXPECT_EQ(h.buckets()[1], 2u);   // values 2 and 3
+  EXPECT_EQ(h.buckets()[10], 1u);  // 1024
+  EXPECT_EQ(Log2Histogram::bucket_floor(10), 1024u);
+}
+
+}  // namespace
+}  // namespace camp::util

@@ -1,0 +1,74 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace camp::util {
+namespace {
+
+TEST(Zipf, SolverHitsPaperSkew) {
+  // The paper's BG traces: ~70% of requests to 20% of keys.
+  const std::uint64_t n = 10'000;
+  const double s = ZipfianGenerator::solve_exponent(n, 0.2, 0.7);
+  ZipfianGenerator gen(n, s);
+  EXPECT_NEAR(gen.mass_of_top(0.2), 0.7, 0.01);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfianGenerator gen(1000, 0.0);
+  EXPECT_NEAR(gen.mass_of_top(0.2), 0.2, 1e-9);
+}
+
+TEST(Zipf, MassMonotoneInExponent) {
+  const std::uint64_t n = 5000;
+  double prev = 0.0;
+  for (double s : {0.0, 0.3, 0.6, 0.9, 1.2, 1.5}) {
+    ZipfianGenerator gen(n, s);
+    const double mass = gen.mass_of_top(0.2);
+    EXPECT_GE(mass, prev);
+    prev = mass;
+  }
+}
+
+TEST(Zipf, SamplesMatchAnalyticMass) {
+  const std::uint64_t n = 1000;
+  const double s = ZipfianGenerator::solve_exponent(n, 0.2, 0.7);
+  ZipfianGenerator gen(n, s);
+  Xoshiro256 rng(99);
+  const int draws = 200'000;
+  int top = 0;
+  const auto cutoff = static_cast<std::uint64_t>(0.2 * n);
+  for (int i = 0; i < draws; ++i) {
+    if (gen.sample(rng) < cutoff) ++top;
+  }
+  EXPECT_NEAR(static_cast<double>(top) / draws, 0.7, 0.02);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  ZipfianGenerator gen(100, 1.0);
+  Xoshiro256 rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    ++counts[static_cast<std::size_t>(gen.sample(rng))];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfianGenerator gen(500, 0.8);
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gen.sample(a), gen.sample(b));
+  }
+}
+
+TEST(Zipf, RejectsZeroKeys) {
+  EXPECT_THROW(ZipfianGenerator(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camp::util
