@@ -11,10 +11,21 @@
 // here includes protocol parsing, TCP round trips and value copies — the
 // same cost components the paper's Figure 9b measures (absolute values are
 // hardware-specific; the shape is the reproduction target).
+//
+// fig9_scaling benches the batched-API redesign: the same replay driven in
+// `unbatched` mode (one round trip per op, the historical client) and
+// `batched` mode (KvsBatch of 32 iqgets per write, misses refilled with a
+// noreply set batch) against 1, 4 and hardware_concurrency store shards,
+// fronted by the shard-per-core worker-pool server. The reported
+// `ops_per_sec` separates transport amortization (batched vs unbatched)
+// from lock contention (shard count).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -67,20 +78,29 @@ kvs::PolicyFactory policy_factory(const std::string& name) {
   };
 }
 
+kvs::ServerConfig server_config(double ratio, std::size_t shards) {
+  const Fig9Trace& t = fig9_trace();
+  kvs::ServerConfig config;
+  config.store.shards = shards;
+  config.workers = shards;  // shard-per-core worker pool
+  config.store.engine.slab.slab_size_bytes = 64u << 10;
+  config.store.engine.slab.memory_limit_bytes = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(ratio * static_cast<double>(t.unique_bytes)),
+      8ull * shards * config.store.engine.slab.slab_size_bytes);
+  return config;
+}
+
+// Reusable value payload: item value bytes are opaque to the policies.
+const std::string& payload() {
+  static const std::string p(256u << 10, 'v');
+  return p;
+}
+
 void run_point(benchmark::State& state, const std::string& policy,
                double ratio) {
   const Fig9Trace& t = fig9_trace();
   static util::SteadyClock clock;
-
-  kvs::ServerConfig config;
-  config.store.shards = 1;
-  config.store.engine.slab.slab_size_bytes = 64u << 10;
-  config.store.engine.slab.memory_limit_bytes = std::max<std::uint64_t>(
-      static_cast<std::uint64_t>(ratio * static_cast<double>(t.unique_bytes)),
-      8ull * config.store.engine.slab.slab_size_bytes);
-
-  // Reusable value payload: item value bytes are opaque to the policies.
-  static const std::string payload(256u << 10, 'v');
+  const kvs::ServerConfig config = server_config(ratio, /*shards=*/1);
 
   for (auto _ : state) {
     kvs::KvsServer server(config, policy_factory(policy), clock);
@@ -104,7 +124,7 @@ void run_point(benchmark::State& state, const std::string& policy,
           ++noncold_misses;
           cost_missed += r.cost;
         }
-        client.set(key, std::string_view(payload).substr(0, r.size), 0,
+        client.set(key, std::string_view(payload()).substr(0, r.size), 0,
                    r.cost);
       }
     }
@@ -124,6 +144,70 @@ void run_point(benchmark::State& state, const std::string& policy,
   }
 }
 
+// One scaling point: replay the trace through `shards` store shards either
+// one op per round trip (unbatched) or kBatchSize iqgets per write with
+// noreply set refills (batched). Reports throughput, so the batched versus
+// unbatched gap is the transport amortization the API redesign buys.
+void run_scaling_point(benchmark::State& state, bool batched,
+                       std::size_t shards) {
+  constexpr std::size_t kBatchSize = 32;
+  const Fig9Trace& t = fig9_trace();
+  static util::SteadyClock clock;
+  const kvs::ServerConfig config = server_config(/*ratio=*/0.25, shards);
+
+  std::uint64_t total_ops = 0;
+  for (auto _ : state) {
+    kvs::KvsServer server(config, policy_factory("camp"), clock);
+    server.start();
+    kvs::KvsClient client("127.0.0.1", server.port());
+    std::uint64_t ops = 0;
+
+    if (!batched) {
+      for (const trace::TraceRecord& r : t.records) {
+        const std::string key = "k" + std::to_string(r.key);
+        const kvs::GetResult result = client.iqget(key);
+        ++ops;
+        if (!result.hit) {
+          client.set(key, std::string_view(payload()).substr(0, r.size), 0,
+                     r.cost);
+          ++ops;
+        }
+      }
+    } else {
+      for (std::size_t base = 0; base < t.records.size();
+           base += kBatchSize) {
+        const std::size_t n =
+            std::min(kBatchSize, t.records.size() - base);
+        kvs::KvsBatch gets;
+        gets.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          gets.add_iqget("k" + std::to_string(t.records[base + i].key));
+        }
+        const kvs::KvsBatchResult got = client.execute(gets);
+        ops += n;
+        kvs::KvsBatch refill;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (got[i].ok) continue;
+          const trace::TraceRecord& r = t.records[base + i];
+          refill.add_set("k" + std::to_string(r.key),
+                         std::string_view(payload()).substr(0, r.size), 0,
+                         r.cost, 0, /*noreply=*/true);
+        }
+        if (!refill.empty()) {
+          (void)client.execute(refill);
+          ops += refill.size();
+        }
+      }
+    }
+    total_ops += ops;
+    server.stop();
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = batched ? kBatchSize : 1.0;
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_ops), benchmark::Counter::kIsRate);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,6 +225,28 @@ int main(int argc, char** argv) {
           ->UseRealTime();
     }
   }
+
+  // Batched vs unbatched throughput per shard count (1, 4, cores).
+  std::set<std::size_t> shard_counts{1, 4};
+  shard_counts.insert(std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency())));
+  for (const bool batched : {false, true}) {
+    for (const std::size_t shards : shard_counts) {
+      const std::string name = std::string("fig9_scaling/") +
+                               (batched ? "batched" : "unbatched") +
+                               "/shards=" + std::to_string(shards);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [batched, shards](benchmark::State& st) {
+            run_scaling_point(st, batched, shards);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond)
+          ->MeasureProcessCPUTime()
+          ->UseRealTime();
+    }
+  }
+
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();

@@ -1,6 +1,8 @@
-// End-to-end KVS demo: starts the memcached-protocol server with a CAMP
-// engine, connects a TCP client, and demonstrates the IQ cost-capture flow
-// (iqget miss -> compute -> iqset derives the cost from elapsed time).
+// End-to-end KVS demo: starts the memcached-protocol server (worker-pool
+// threading, sharded store) with a CAMP engine, connects a TCP client, and
+// demonstrates the IQ cost-capture flow (iqget miss -> compute -> iqset
+// derives the cost from elapsed time) plus the batched API (a whole
+// KvsBatch of ops in one write()).
 //
 //   build/examples/kvs_server_demo
 #include <chrono>
@@ -15,6 +17,8 @@ int main() {
   camp::util::SteadyClock clock;
   camp::kvs::ServerConfig config;
   config.port = 0;  // pick a free port
+  config.workers = 2;       // fixed worker pool (0 = one per core)
+  config.policy_shards = 2; // physical policy queues per engine shard
   config.store.shards = 2;
   config.store.engine.slab.memory_limit_bytes = 8u << 20;
 
@@ -48,6 +52,27 @@ int main() {
   std::printf("iqset model:ads (cost = measured 25ms recompute time)\n");
   std::printf("iqget model:ads -> %s\n",
               client.iqget("model:ads").hit ? "hit" : "miss");
+
+  // Batched API: one write() carries the whole batch — noreply sets plus a
+  // multi-get — and the results come back index-aligned with the ops.
+  camp::kvs::KvsBatch batch;
+  batch.add_set("user:1", "ada", 0, 1, 0, /*noreply=*/true)
+      .add_set("user:2", "grace", 0, 1, 0, /*noreply=*/true)
+      .add_get("user:1")
+      .add_get("user:2")
+      .add_get("user:404");
+  const auto before = client.write_count();
+  const camp::kvs::KvsBatchResult batch_result = client.execute(batch);
+  std::printf("\nbatch of %zu ops in %llu write(s):\n", batch.size(),
+              static_cast<unsigned long long>(client.write_count() - before));
+  for (std::size_t i = 0; i < batch_result.size(); ++i) {
+    std::printf("  op %zu (%s) -> %s%s%s\n", i, batch[i].key.c_str(),
+                batch_result[i].ok ? "ok" : "miss",
+                batch_result[i].acked ? "" : " (noreply, assumed)",
+                batch_result[i].value.empty()
+                    ? ""
+                    : (": " + batch_result[i].value).c_str());
+  }
 
   std::printf("\nserver stats:\n");
   for (const auto& [name, value] : client.stats()) {

@@ -1,39 +1,166 @@
-// Transport-agnostic client API. The Figure 9 bench drives the KVS through
-// this interface over either the real TCP client (paper fidelity: network
-// and copy costs included) or the in-process transport (deterministic,
-// protocol-free).
+// Transport-agnostic client API, redesigned around multi-op batches.
+//
+// The unit of work is a KvsBatch: an ordered vector of tagged operations
+// (get / iqget / set / iqset / del) executed by the single transport
+// virtual `execute`. Transports amortize their fixed per-request cost over
+// the whole batch — the TCP client encodes a batch into ONE wire buffer
+// (one write() per batch, memcached multi-get for runs of plain gets,
+// optional noreply for fire-and-forget mutations) and the in-process
+// transport simply loops. This mirrors the paper's Section 4 server setup,
+// where per-request transport overhead would otherwise dominate policy
+// cost in the Figure 9 measurements.
+//
+// The familiar one-shot methods (get/set/...) survive as thin non-virtual
+// wrappers over single-op batches, so existing callers migrate
+// incrementally.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "kvs/engine.h"  // GetResult
 
 namespace camp::kvs {
 
+enum class KvsOpType : std::uint8_t { kGet, kIqGet, kSet, kIqSet, kDel };
+
+/// One tagged operation inside a batch.
+struct KvsOp {
+  KvsOpType type = KvsOpType::kGet;
+  std::string key;
+  std::string value;           // payload for set/iqset
+  std::uint32_t flags = 0;     // set/iqset
+  std::uint32_t cost = 0;      // set only (0 = unspecified)
+  std::uint32_t exptime_s = 0; // set/iqset; 0 = never expires
+  /// Fire-and-forget (set/iqset/del only): the transport asks the server to
+  /// suppress the reply and reports the op's result as assumed-success with
+  /// `acked == false`.
+  bool noreply = false;
+};
+
+/// Per-op outcome, index-aligned with the batch's ops.
+struct KvsOpResult {
+  /// get/iqget: hit. set/iqset: stored. del: deleted.
+  bool ok = false;
+  /// False when the op was sent noreply and `ok` is assumed, not confirmed.
+  bool acked = true;
+  std::string value;       // get/iqget hit payload
+  std::uint32_t flags = 0; // get/iqget hit flags
+
+  [[nodiscard]] GetResult to_get_result() const {
+    return GetResult{ok, value, flags};
+  }
+};
+
+/// Ordered multi-op request. Build with the add_* fluent helpers:
+///
+///   KvsBatch batch;
+///   batch.add_get("a").add_get("b").add_set("c", "value", 0, 7);
+///   KvsBatchResult r = api.execute(batch);
+class KvsBatch {
+ public:
+  KvsBatch& add_get(std::string_view key) {
+    return add(KvsOpType::kGet, key, {}, 0, 0, 0, false);
+  }
+  KvsBatch& add_iqget(std::string_view key) {
+    return add(KvsOpType::kIqGet, key, {}, 0, 0, 0, false);
+  }
+  KvsBatch& add_set(std::string_view key, std::string_view value,
+                    std::uint32_t flags, std::uint32_t cost,
+                    std::uint32_t exptime_s = 0, bool noreply = false) {
+    return add(KvsOpType::kSet, key, value, flags, cost, exptime_s, noreply);
+  }
+  KvsBatch& add_iqset(std::string_view key, std::string_view value,
+                      std::uint32_t flags, std::uint32_t exptime_s = 0,
+                      bool noreply = false) {
+    return add(KvsOpType::kIqSet, key, value, flags, 0, exptime_s, noreply);
+  }
+  KvsBatch& add_del(std::string_view key, bool noreply = false) {
+    return add(KvsOpType::kDel, key, {}, 0, 0, 0, noreply);
+  }
+
+  [[nodiscard]] const std::vector<KvsOp>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  void clear() { ops_.clear(); }
+  void reserve(std::size_t n) { ops_.reserve(n); }
+  [[nodiscard]] const KvsOp& operator[](std::size_t i) const { return ops_[i]; }
+
+ private:
+  KvsBatch& add(KvsOpType type, std::string_view key, std::string_view value,
+                std::uint32_t flags, std::uint32_t cost,
+                std::uint32_t exptime_s, bool noreply) {
+    KvsOp op;
+    op.type = type;
+    op.key = std::string(key);
+    op.value = std::string(value);
+    op.flags = flags;
+    op.cost = cost;
+    op.exptime_s = exptime_s;
+    op.noreply = noreply;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  std::vector<KvsOp> ops_;
+};
+
+/// Results, index-aligned with the executed batch.
+struct KvsBatchResult {
+  std::vector<KvsOpResult> results;
+
+  [[nodiscard]] std::size_t size() const { return results.size(); }
+  [[nodiscard]] const KvsOpResult& operator[](std::size_t i) const {
+    return results[i];
+  }
+  /// Number of ops with ok == true (hits for gets, stored/deleted for
+  /// mutations).
+  [[nodiscard]] std::size_t ok_count() const {
+    std::size_t n = 0;
+    for (const KvsOpResult& r : results) n += r.ok ? 1 : 0;
+    return n;
+  }
+};
+
 class KvsApi {
  public:
   virtual ~KvsApi() = default;
 
-  [[nodiscard]] virtual GetResult get(std::string_view key) = 0;
-  [[nodiscard]] virtual GetResult iqget(std::string_view key) = 0;
-  virtual bool set(std::string_view key, std::string_view value,
-                   std::uint32_t flags, std::uint32_t cost,
-                   std::uint32_t exptime_s) = 0;
-  virtual bool iqset(std::string_view key, std::string_view value,
-                     std::uint32_t flags, std::uint32_t exptime_s) = 0;
+  /// The single transport virtual: execute every op in order and return
+  /// index-aligned results.
+  [[nodiscard]] virtual KvsBatchResult execute(const KvsBatch& batch) = 0;
 
-  // Convenience overloads (non-virtual): no expiry.
+  // ---- one-shot convenience wrappers (non-virtual, single-op batches) ----
+
+  [[nodiscard]] GetResult get(std::string_view key) {
+    KvsBatch batch;
+    batch.add_get(key);
+    return execute(batch).results.at(0).to_get_result();
+  }
+  [[nodiscard]] GetResult iqget(std::string_view key) {
+    KvsBatch batch;
+    batch.add_iqget(key);
+    return execute(batch).results.at(0).to_get_result();
+  }
   bool set(std::string_view key, std::string_view value, std::uint32_t flags,
-           std::uint32_t cost) {
-    return set(key, value, flags, cost, 0);
+           std::uint32_t cost, std::uint32_t exptime_s = 0) {
+    KvsBatch batch;
+    batch.add_set(key, value, flags, cost, exptime_s);
+    return execute(batch).results.at(0).ok;
   }
   bool iqset(std::string_view key, std::string_view value,
-             std::uint32_t flags) {
-    return iqset(key, value, flags, 0);
+             std::uint32_t flags, std::uint32_t exptime_s = 0) {
+    KvsBatch batch;
+    batch.add_iqset(key, value, flags, exptime_s);
+    return execute(batch).results.at(0).ok;
   }
-  virtual bool del(std::string_view key) = 0;
+  bool del(std::string_view key) {
+    KvsBatch batch;
+    batch.add_del(key);
+    return execute(batch).results.at(0).ok;
+  }
 };
 
 }  // namespace camp::kvs

@@ -3,11 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
 #include <stdexcept>
+
+#include "kvs/protocol.h"
 
 namespace camp::kvs {
 
@@ -32,7 +35,10 @@ KvsClient::KvsClient(const std::string& host, std::uint16_t port) {
 
 KvsClient::~KvsClient() {
   if (fd_ >= 0) {
-    send_all("quit\r\n");
+    // Best-effort courtesy quit; the server may already be gone and a
+    // destructor must not throw.
+    static constexpr char kQuit[] = "quit\r\n";
+    (void)::send(fd_, kQuit, sizeof(kQuit) - 1, MSG_NOSIGNAL);
     ::close(fd_);
   }
 }
@@ -41,9 +47,33 @@ void KvsClient::send_all(std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) throw std::runtime_error("KvsClient: send failed");
-    sent += static_cast<std::size_t>(n);
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      ++write_count_;
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel send buffer full. The server may itself be blocked writing
+      // replies we have not read yet (a huge replied batch can exceed both
+      // sockets' buffers), so drain replies into inbuf_ before waiting for
+      // writability — otherwise the two blocking writers deadlock.
+      char chunk[16 * 1024];
+      ssize_t got;
+      while ((got = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT)) > 0) {
+        inbuf_.append(chunk, static_cast<std::size_t>(got));
+      }
+      if (got == 0) throw std::runtime_error("KvsClient: connection closed");
+      if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        throw std::runtime_error("KvsClient: recv failed");
+      }
+      pollfd pfd{fd_, POLLIN | POLLOUT, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+        throw std::runtime_error("KvsClient: poll failed");
+      }
+      continue;
+    }
+    throw std::runtime_error("KvsClient: send failed");
   }
 }
 
@@ -74,103 +104,99 @@ std::string KvsClient::read_bytes(std::size_t n) {
   return payload;
 }
 
-GetResult KvsClient::retrieve(std::string_view verb, std::string_view key) {
-  std::string request(verb);
-  request.append(" ").append(key).append("\r\n");
-  send_all(request);
-  GetResult result;
-  for (;;) {
-    const std::string line = read_line();
-    if (line == "END") return result;
-    if (line.rfind("VALUE ", 0) == 0) {
-      // VALUE <key> <flags> <bytes>
-      const std::size_t flags_pos = line.find(' ', 6);
-      const std::size_t bytes_pos = line.find(' ', flags_pos + 1);
-      result.flags = static_cast<std::uint32_t>(
-          std::stoul(line.substr(flags_pos + 1, bytes_pos - flags_pos - 1)));
-      const auto nbytes =
-          static_cast<std::size_t>(std::stoul(line.substr(bytes_pos + 1)));
-      result.value = read_bytes(nbytes);
-      result.hit = true;
-      continue;
+KvsBatchResult KvsClient::execute(const KvsBatch& batch) {
+  KvsBatchResult out;
+  out.results.resize(batch.size());
+  if (batch.empty()) return out;
+
+  // noreply mutations get no wire confirmation: assumed stored/deleted.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].noreply) {
+      out.results[i].ok = true;
+      out.results[i].acked = false;
     }
-    throw std::runtime_error("KvsClient: unexpected reply: " + line);
   }
-}
 
-GetResult KvsClient::get(std::string_view key) { return retrieve("get", key); }
+  const BatchWire wire = encode_batch(batch);
+  send_all(wire.request);  // the whole batch: exactly one write()
 
-GetResult KvsClient::iqget(std::string_view key) {
-  return retrieve("iqget", key);
-}
-
-bool KvsClient::store(std::string_view verb, std::string_view key,
-                      std::string_view value, std::uint32_t flags,
-                      std::uint32_t cost, std::uint32_t exptime_s,
-                      bool include_cost) {
-  std::string request(verb);
-  request.append(" ").append(key);
-  request.append(" ").append(std::to_string(flags));
-  request.append(" ").append(std::to_string(exptime_s)).append(" ");
-  request.append(std::to_string(value.size()));
-  if (include_cost) request.append(" ").append(std::to_string(cost));
-  request.append("\r\n");
-  request.append(value);
-  request.append("\r\n");
-  send_all(request);
-  const std::string line = read_line();
-  if (line == "STORED") return true;
-  if (line == "NOT_STORED") return false;
-  throw std::runtime_error("KvsClient: unexpected reply: " + line);
-}
-
-bool KvsClient::set(std::string_view key, std::string_view value,
-                    std::uint32_t flags, std::uint32_t cost,
-                    std::uint32_t exptime_s) {
-  return store("set", key, value, flags, cost, exptime_s, cost != 0);
-}
-
-bool KvsClient::iqset(std::string_view key, std::string_view value,
-                      std::uint32_t flags, std::uint32_t exptime_s) {
-  return store("iqset", key, value, flags, 0, exptime_s, false);
+  for (const BatchWire::Expect& expect : wire.expects) {
+    switch (expect.kind) {
+      case BatchWire::Expect::Kind::kValues: {
+        // The server answers a (multi-)get with the hits in request order,
+        // duplicates included; match VALUE lines against the covered ops by
+        // walking both sequences forward. Ops skipped over are misses.
+        std::size_t cursor = 0;
+        for (;;) {
+          const std::string line = read_line();
+          if (line == "END") break;
+          if (line.rfind("VALUE ", 0) != 0) {
+            throw std::runtime_error("KvsClient: unexpected reply: " + line);
+          }
+          const std::size_t key_end = line.find(' ', 6);
+          const std::size_t bytes_pos = line.find(' ', key_end + 1);
+          const std::string key = line.substr(6, key_end - 6);
+          const auto flags = static_cast<std::uint32_t>(
+              std::stoul(line.substr(key_end + 1, bytes_pos - key_end - 1)));
+          const auto nbytes =
+              static_cast<std::size_t>(std::stoul(line.substr(bytes_pos + 1)));
+          std::string payload = read_bytes(nbytes);
+          while (cursor < expect.op_indices.size() &&
+                 batch[expect.op_indices[cursor]].key != key) {
+            ++cursor;
+          }
+          if (cursor == expect.op_indices.size()) {
+            throw std::runtime_error("KvsClient: unrequested key in reply: " +
+                                     key);
+          }
+          KvsOpResult& r = out.results[expect.op_indices[cursor]];
+          r.ok = true;
+          r.flags = flags;
+          r.value = std::move(payload);
+          ++cursor;
+        }
+        break;
+      }
+      case BatchWire::Expect::Kind::kStored: {
+        const std::string line = read_line();
+        KvsOpResult& r = out.results[expect.op_indices.front()];
+        if (line == "STORED") {
+          r.ok = true;
+        } else if (line == "NOT_STORED") {
+          r.ok = false;
+        } else {
+          throw std::runtime_error("KvsClient: unexpected reply: " + line);
+        }
+        break;
+      }
+      case BatchWire::Expect::Kind::kDeleted: {
+        const std::string line = read_line();
+        KvsOpResult& r = out.results[expect.op_indices.front()];
+        if (line == "DELETED") {
+          r.ok = true;
+        } else if (line == "NOT_FOUND") {
+          r.ok = false;
+        } else {
+          throw std::runtime_error("KvsClient: unexpected reply: " + line);
+        }
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 std::map<std::string, GetResult> KvsClient::multi_get(
     const std::vector<std::string>& keys) {
-  std::string request("get");
-  for (const std::string& key : keys) request.append(" ").append(key);
-  request.append("\r\n");
-  send_all(request);
+  KvsBatch batch;
+  batch.reserve(keys.size());
+  for (const std::string& key : keys) batch.add_get(key);
+  const KvsBatchResult r = execute(batch);
   std::map<std::string, GetResult> out;
-  for (;;) {
-    const std::string line = read_line();
-    if (line == "END") return out;
-    if (line.rfind("VALUE ", 0) == 0) {
-      const std::size_t key_end = line.find(' ', 6);
-      const std::string key = line.substr(6, key_end - 6);
-      const std::size_t bytes_pos = line.find(' ', key_end + 1);
-      GetResult r;
-      r.flags = static_cast<std::uint32_t>(
-          std::stoul(line.substr(key_end + 1, bytes_pos - key_end - 1)));
-      const auto nbytes =
-          static_cast<std::size_t>(std::stoul(line.substr(bytes_pos + 1)));
-      r.value = read_bytes(nbytes);
-      r.hit = true;
-      out.emplace(key, std::move(r));
-      continue;
-    }
-    throw std::runtime_error("KvsClient: unexpected reply: " + line);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (r.results[i].ok) out[keys[i]] = r.results[i].to_get_result();
   }
-}
-
-bool KvsClient::del(std::string_view key) {
-  std::string request("delete ");
-  request.append(key).append("\r\n");
-  send_all(request);
-  const std::string line = read_line();
-  if (line == "DELETED") return true;
-  if (line == "NOT_FOUND") return false;
-  throw std::runtime_error("KvsClient: unexpected reply: " + line);
+  return out;
 }
 
 std::map<std::string, std::string> KvsClient::stats() {

@@ -1,12 +1,20 @@
 // Blocking TCP client for the KVS server — the repository's counterpart of
 // the Whalin memcached client used in the paper's Section 4 experiments.
+//
+// The transport is batch-first: execute() encodes the whole KvsBatch into
+// one contiguous buffer (runs of plain gets become a single memcached
+// multi-get command, mutations may carry noreply), issues exactly ONE
+// write() for it, then parses the server's pipelined replies back onto op
+// indices. The one-shot get/set/... methods inherited from KvsApi are
+// single-op batches and therefore keep the historical one round trip per
+// operation.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <vector>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "kvs/api.h"
 
@@ -20,15 +28,9 @@ class KvsClient final : public KvsApi {
   KvsClient(const KvsClient&) = delete;
   KvsClient& operator=(const KvsClient&) = delete;
 
-  [[nodiscard]] GetResult get(std::string_view key) override;
-  [[nodiscard]] GetResult iqget(std::string_view key) override;
-  using KvsApi::set;
-  using KvsApi::iqset;
-  bool set(std::string_view key, std::string_view value, std::uint32_t flags,
-           std::uint32_t cost, std::uint32_t exptime_s) override;
-  bool iqset(std::string_view key, std::string_view value,
-             std::uint32_t flags, std::uint32_t exptime_s) override;
-  bool del(std::string_view key) override;
+  /// One write() per batch; replies are read until every non-noreply op is
+  /// resolved. noreply mutations come back ok=true, acked=false.
+  [[nodiscard]] KvsBatchResult execute(const KvsBatch& batch) override;
 
   /// Pipelined multi-key get ("get k1 k2 ..."): returns hits only.
   [[nodiscard]] std::map<std::string, GetResult> multi_get(
@@ -38,18 +40,20 @@ class KvsClient final : public KvsApi {
   void flush_all();
   [[nodiscard]] std::string version();
 
+  /// Number of send() syscalls that transmitted bytes so far — the batch
+  /// tests assert one write per executed batch. (A batch larger than the
+  /// kernel send buffer needs more, with replies drained in between to
+  /// avoid deadlocking against the server's own blocking reply writes.)
+  [[nodiscard]] std::uint64_t write_count() const { return write_count_; }
+
  private:
-  [[nodiscard]] GetResult retrieve(std::string_view verb,
-                                   std::string_view key);
-  bool store(std::string_view verb, std::string_view key,
-             std::string_view value, std::uint32_t flags, std::uint32_t cost,
-             std::uint32_t exptime_s, bool include_cost);
   void send_all(std::string_view data);
   [[nodiscard]] std::string read_line();
   [[nodiscard]] std::string read_bytes(std::size_t n);
 
   int fd_ = -1;
   std::string inbuf_;
+  std::uint64_t write_count_ = 0;
 };
 
 }  // namespace camp::kvs

@@ -1,7 +1,11 @@
 // In-process transport: KvsApi implemented by direct calls into a KvsStore.
-// No sockets, no protocol parse — used for deterministic tests and as the
-// lower bound in the transport ablation.
+// No sockets, no protocol encode/parse — used for deterministic tests and
+// as the lower bound in the transport ablation. A batch is executed as a
+// plain in-order loop; noreply ops still report their real outcome (there
+// is no wire to save, so nothing is assumed).
 #pragma once
+
+#include <utility>
 
 #include "kvs/api.h"
 #include "kvs/store.h"
@@ -13,23 +17,40 @@ class InprocClient final : public KvsApi {
   /// The store must outlive the client.
   explicit InprocClient(KvsStore& store) : store_(store) {}
 
-  [[nodiscard]] GetResult get(std::string_view key) override {
-    return store_.get(key);
+  [[nodiscard]] KvsBatchResult execute(const KvsBatch& batch) override {
+    KvsBatchResult out;
+    out.results.reserve(batch.size());
+    for (const KvsOp& op : batch.ops()) {
+      KvsOpResult r;
+      switch (op.type) {
+        case KvsOpType::kGet: {
+          GetResult g = store_.get(op.key);
+          r.ok = g.hit;
+          r.value = std::move(g.value);
+          r.flags = g.flags;
+          break;
+        }
+        case KvsOpType::kIqGet: {
+          GetResult g = store_.iqget(op.key);
+          r.ok = g.hit;
+          r.value = std::move(g.value);
+          r.flags = g.flags;
+          break;
+        }
+        case KvsOpType::kSet:
+          r.ok = store_.set(op.key, op.value, op.flags, op.cost, op.exptime_s);
+          break;
+        case KvsOpType::kIqSet:
+          r.ok = store_.iqset(op.key, op.value, op.flags, op.exptime_s);
+          break;
+        case KvsOpType::kDel:
+          r.ok = store_.del(op.key);
+          break;
+      }
+      out.results.push_back(std::move(r));
+    }
+    return out;
   }
-  [[nodiscard]] GetResult iqget(std::string_view key) override {
-    return store_.iqget(key);
-  }
-  using KvsApi::set;
-  using KvsApi::iqset;
-  bool set(std::string_view key, std::string_view value, std::uint32_t flags,
-           std::uint32_t cost, std::uint32_t exptime_s) override {
-    return store_.set(key, value, flags, cost, exptime_s);
-  }
-  bool iqset(std::string_view key, std::string_view value,
-             std::uint32_t flags, std::uint32_t exptime_s) override {
-    return store_.iqset(key, value, flags, exptime_s);
-  }
-  bool del(std::string_view key) override { return store_.del(key); }
 
  private:
   KvsStore& store_;

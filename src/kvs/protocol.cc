@@ -1,6 +1,8 @@
 #include "kvs/protocol.h"
 
+#include <algorithm>
 #include <charconv>
+#include <stdexcept>
 
 namespace camp::kvs {
 
@@ -44,6 +46,9 @@ std::optional<Command> parse_storage(CommandType type,
       !parse_u32(t[4], cmd.value_bytes)) {
     return std::nullopt;
   }
+  // Reject absurd declared sizes up front: the connection would otherwise
+  // buffer towards 4 GiB waiting for a payload that may never arrive.
+  if (cmd.value_bytes > kMaxValueBytes) return std::nullopt;
   std::size_t next = 5;
   if (type == CommandType::kSet && next < t.size() && t[next] != "noreply") {
     if (!parse_u32(t[next], cmd.cost)) return std::nullopt;
@@ -121,6 +126,175 @@ std::optional<Command> parse_command(std::string_view line) {
     return cmd;
   }
   return std::nullopt;
+}
+
+BatchWire encode_batch(const KvsBatch& batch) {
+  BatchWire wire;
+  const std::vector<KvsOp>& ops = batch.ops();
+  // Enforce the server's key rules up front: an invalid key would be
+  // rejected wire-side with ERROR, which a noreply op has no reply slot
+  // for — the stray ERROR would desync every later reply in the batch.
+  for (const KvsOp& op : ops) {
+    if (!valid_key(op.key)) {
+      throw std::invalid_argument("encode_batch: invalid key '" + op.key +
+                                  "'");
+    }
+  }
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    const KvsOp& op = ops[i];
+    switch (op.type) {
+      case KvsOpType::kGet: {
+        // Coalesce the run of consecutive plain gets into one multi-get.
+        // Only consecutive ops may merge: a later get of a key mutated in
+        // between must observe the mutation. A run whose command line
+        // would cross kMaxCommandLineBytes (which the server's decoder
+        // fatally rejects) is split into several multi-get lines.
+        BatchWire::Expect expect;
+        expect.kind = BatchWire::Expect::Kind::kValues;
+        wire.request.append("get");
+        std::size_t line_len = 3;
+        while (i < ops.size() && ops[i].type == KvsOpType::kGet) {
+          if (!expect.op_indices.empty() &&
+              line_len + 1 + ops[i].key.size() > kMaxCommandLineBytes) {
+            wire.request.append("\r\n");
+            wire.expects.push_back(std::move(expect));
+            expect = {BatchWire::Expect::Kind::kValues, {}};
+            wire.request.append("get");
+            line_len = 3;
+          }
+          wire.request.push_back(' ');
+          wire.request.append(ops[i].key);
+          line_len += 1 + ops[i].key.size();
+          expect.op_indices.push_back(i);
+          ++i;
+        }
+        wire.request.append("\r\n");
+        wire.expects.push_back(std::move(expect));
+        break;
+      }
+      case KvsOpType::kIqGet: {
+        wire.request.append("iqget ").append(op.key).append("\r\n");
+        wire.expects.push_back(
+            {BatchWire::Expect::Kind::kValues, {i}});
+        ++i;
+        break;
+      }
+      case KvsOpType::kSet:
+      case KvsOpType::kIqSet: {
+        // The server's decoder kills a connection that declares a payload
+        // past kMaxValueBytes; never emit such a header in the first place.
+        if (op.value.size() > kMaxValueBytes) {
+          throw std::length_error("encode_batch: value for key '" + op.key +
+                                  "' exceeds kMaxValueBytes");
+        }
+        wire.request.append(op.type == KvsOpType::kSet ? "set " : "iqset ");
+        wire.request.append(op.key);
+        wire.request.push_back(' ');
+        wire.request.append(std::to_string(op.flags));
+        wire.request.push_back(' ');
+        wire.request.append(std::to_string(op.exptime_s));
+        wire.request.push_back(' ');
+        wire.request.append(std::to_string(op.value.size()));
+        if (op.type == KvsOpType::kSet && op.cost != 0) {
+          wire.request.push_back(' ');
+          wire.request.append(std::to_string(op.cost));
+        }
+        if (op.noreply) wire.request.append(" noreply");
+        wire.request.append("\r\n");
+        wire.request.append(op.value);
+        wire.request.append("\r\n");
+        if (!op.noreply) {
+          wire.expects.push_back(
+              {BatchWire::Expect::Kind::kStored, {i}});
+        }
+        ++i;
+        break;
+      }
+      case KvsOpType::kDel: {
+        wire.request.append("delete ").append(op.key);
+        if (op.noreply) wire.request.append(" noreply");
+        wire.request.append("\r\n");
+        if (!op.noreply) {
+          wire.expects.push_back(
+              {BatchWire::Expect::Kind::kDeleted, {i}});
+        }
+        ++i;
+        break;
+      }
+    }
+  }
+  return wire;
+}
+
+CommandDecoder::Status CommandDecoder::next(DecodedCommand& out) {
+  for (;;) {
+    const std::size_t available = buf_.size() - pos_;
+    if (skip_bytes_ > 0) {
+      // Discard the payload of an already-rejected storage command.
+      const std::size_t drop = std::min(skip_bytes_, available);
+      pos_ += drop;
+      skip_bytes_ -= drop;
+      if (skip_bytes_ > 0) return Status::kNeedMore;
+      continue;  // recompute `available`
+    }
+    if (pending_) {
+      // Storage header parsed; wait for <bytes> + CRLF.
+      const std::size_t need =
+          static_cast<std::size_t>(pending_->value_bytes) + 2;
+      if (available < need) return Status::kNeedMore;
+      const std::size_t value_bytes = pending_->value_bytes;
+      out.cmd = std::move(*pending_);
+      out.payload = buf_.substr(pos_, value_bytes);
+      pos_ += need;  // also skips the trailing CRLF
+      pending_.reset();
+      return Status::kCommand;
+    }
+    const std::size_t eol = buf_.find("\r\n", pos_);
+    if (eol == std::string::npos) {
+      // Bound what a CRLF-less stream can make us buffer.
+      return available > kMaxCommandLineBytes ? Status::kFatalError
+                                              : Status::kNeedMore;
+    }
+    if (eol - pos_ > kMaxCommandLineBytes) return Status::kFatalError;
+    const std::string line = buf_.substr(pos_, eol - pos_);
+    pos_ = eol + 2;
+    auto cmd = parse_command(line);
+    if (!cmd) {
+      // Usually recoverable (answer ERROR, keep framing) — EXCEPT a
+      // storage header whose numeric byte count overflows u32 or exceeds
+      // kMaxValueBytes: its (potentially huge) payload would stream in as
+      // garbage "commands", so the connection must die instead.
+      const auto tokens = split_tokens(line);
+      if (tokens.size() >= 5 &&
+          (tokens[0] == "set" || tokens[0] == "iqset")) {
+        const std::string_view bytes_tok = tokens[4];
+        const bool numeric =
+            !bytes_tok.empty() &&
+            bytes_tok.find_first_not_of("0123456789") ==
+                std::string_view::npos;
+        std::uint32_t declared = 0;
+        if (numeric) {
+          if (!parse_u32(bytes_tok, declared) ||
+              declared > kMaxValueBytes) {
+            return Status::kFatalError;
+          }
+          // Rejected for another reason (bad cost token, oversized key...)
+          // but the declared size is credible: swallow the payload that
+          // follows so it is not misparsed as commands.
+          skip_bytes_ = static_cast<std::size_t>(declared) + 2;
+        }
+      }
+      return Status::kProtocolError;
+    }
+    if (cmd->type == CommandType::kSet || cmd->type == CommandType::kIqSet) {
+      pending_ = std::move(cmd);
+      continue;  // loop back to pull the payload
+    }
+    out.cmd = std::move(*cmd);
+    out.payload.clear();
+    return Status::kCommand;
+  }
 }
 
 std::string format_value(std::string_view key, std::uint32_t flags,

@@ -11,6 +11,14 @@
 // Responses follow memcached: "VALUE <key> <flags> <bytes>\r\n<data>\r\nEND",
 // "STORED"/"NOT_STORED", "DELETED"/"NOT_FOUND", "STAT <k> <v>...END",
 // "ERROR".
+//
+// Batch support (the KvsApi redesign): encode_batch turns a KvsBatch into
+// ONE contiguous wire buffer — runs of consecutive plain gets coalesce into
+// a single multi-get command, mutations may carry noreply — plus the reply
+// plan needed to map the server's pipelined responses back onto op indices.
+// CommandDecoder is the server-side dual: an incremental parser that feeds
+// on raw bytes and yields complete commands (header + payload) one at a
+// time, so a worker drains an entire pipelined request burst per read.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "kvs/api.h"
 
 namespace camp::kvs {
 
@@ -33,6 +43,16 @@ enum class CommandType {
   kQuit,
 };
 
+/// Upper bound on a storage command's declared payload size. Anything
+/// larger is a protocol error: it would let one connection make the server
+/// buffer gigabytes waiting for a payload that may never arrive.
+inline constexpr std::uint32_t kMaxValueBytes = 64u << 20;  // 64 MiB
+
+/// Upper bound on one command line. Far above any legal command (keys cap
+/// at 250 bytes) while bounding how much a connection that never sends
+/// CRLF can make the decoder buffer.
+inline constexpr std::size_t kMaxCommandLineBytes = 64u << 10;  // 64 KiB
+
 struct Command {
   CommandType type = CommandType::kGet;
   std::string key;
@@ -47,6 +67,89 @@ struct Command {
 /// Parse one command line (without the trailing CRLF). nullopt = protocol
 /// error (caller answers "ERROR").
 [[nodiscard]] std::optional<Command> parse_command(std::string_view line);
+
+// ---- batch wire encoding (client side) ---------------------------------------
+
+/// A whole KvsBatch encoded into one buffer (one write() per batch), plus
+/// the ordered reply plan. Each Expect entry corresponds to one wire
+/// command that solicits a reply; noreply mutations appear in no entry.
+struct BatchWire {
+  std::string request;
+
+  struct Expect {
+    enum class Kind {
+      kValues,   // "VALUE ..."* then "END" (get / iqget, possibly multi-key)
+      kStored,   // "STORED" | "NOT_STORED"
+      kDeleted,  // "DELETED" | "NOT_FOUND"
+    };
+    Kind kind = Kind::kValues;
+    /// Batch op indices covered by this wire command, in request order.
+    /// kValues may cover several (a coalesced multi-get); the others cover
+    /// exactly one.
+    std::vector<std::size_t> op_indices;
+  };
+  std::vector<Expect> expects;
+};
+
+/// Encode a batch for the TCP transport. Runs of consecutive kGet ops
+/// become one multi-get command; iqget stays single-key (one lease per
+/// key); mutations with op.noreply carry the noreply token. Throws
+/// std::length_error for a value larger than kMaxValueBytes and
+/// std::invalid_argument for a key the server would reject — either would
+/// corrupt or kill the connection wire-side, so neither is ever emitted.
+[[nodiscard]] BatchWire encode_batch(const KvsBatch& batch);
+
+// ---- incremental command decoding (server side) ------------------------------
+
+/// One complete command pulled off the wire; `payload` holds the value
+/// bytes of a storage command.
+struct DecodedCommand {
+  Command cmd;
+  std::string payload;
+};
+
+/// Incremental decoder for a pipelined byte stream. Feed raw reads, then
+/// pull complete commands until kNeedMore:
+///
+///   decoder.feed(chunk);
+///   DecodedCommand dc;
+///   while (decoder.next(dc) == CommandDecoder::Status::kCommand) { ... }
+///
+/// kProtocolError means one malformed command line was consumed (answer
+/// "ERROR" and keep pulling — the stream stays usable). kFatalError means
+/// the stream can no longer be framed safely — a storage header declaring
+/// a numeric payload size past kMaxValueBytes (whose payload would stream
+/// in as garbage commands) or a command line past kMaxCommandLineBytes —
+/// and the connection must close, memcached-style.
+class CommandDecoder {
+ public:
+  enum class Status { kNeedMore, kCommand, kProtocolError, kFatalError };
+
+  void feed(std::string_view bytes) {
+    // Compact once per read instead of erasing buf_'s front per command —
+    // draining a pipelined burst stays linear in the chunk size.
+    if (pos_ > 0) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    buf_.append(bytes);
+  }
+
+  Status next(DecodedCommand& out);
+
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // bytes of buf_ already consumed
+  std::optional<Command> pending_;  // header parsed, payload still in flight
+  /// Declared payload (+CRLF) of a REJECTED storage command, discarded as
+  /// it arrives so the stream stays framed (memcached's "bad data chunk"
+  /// handling).
+  std::size_t skip_bytes_ = 0;
+};
 
 // ---- response formatting ------------------------------------------------------
 

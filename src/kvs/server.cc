@@ -1,8 +1,10 @@
 #include "kvs/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,7 +12,7 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "kvs/protocol.h"
+#include "kvs/sharded_cache.h"
 
 namespace camp::kvs {
 
@@ -28,38 +30,34 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
-// Reads more bytes into buf; false on EOF/error.
-bool fill(int fd, std::string& buf) {
-  char chunk[16 * 1024];
-  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-  if (n <= 0) return false;
-  buf.append(chunk, static_cast<std::size_t>(n));
-  return true;
+// With policy_shards > 1 every engine's eviction policy becomes a
+// ShardedCache of that many physical queues built by the inner factory —
+// the paper's "hash partition keys across multiple physical queues".
+PolicyFactory wrap_policy_factory(PolicyFactory inner,
+                                  std::size_t policy_shards) {
+  if (policy_shards <= 1) return inner;
+  return [inner = std::move(inner),
+          policy_shards](std::uint64_t capacity)
+             -> std::unique_ptr<policy::ICache> {
+    return std::make_unique<ShardedCache>(capacity, policy_shards, inner);
+  };
 }
 
-// Extract one CRLF-terminated line; false when more data is needed.
-bool take_line(std::string& buf, std::string& line) {
-  const std::size_t pos = buf.find("\r\n");
-  if (pos == std::string::npos) return false;
-  line = buf.substr(0, pos);
-  buf.erase(0, pos + 2);
-  return true;
-}
-
-// Extract exactly n bytes + CRLF; false when more data is needed.
-bool take_payload(std::string& buf, std::size_t n, std::string& payload) {
-  if (buf.size() < n + 2) return false;
-  payload = buf.substr(0, n);
-  buf.erase(0, n + 2);  // also drop the trailing CRLF
-  return true;
-}
+// One connection owned by a worker: fd plus incremental decode state.
+struct Connection {
+  int fd = -1;
+  CommandDecoder decoder;
+  bool closing = false;
+};
 
 }  // namespace
 
 KvsServer::KvsServer(ServerConfig config, const PolicyFactory& policy_factory,
                      const util::Clock& clock)
     : config_(std::move(config)),
-      store_(config_.store, policy_factory, clock) {}
+      store_(config_.store,
+             wrap_policy_factory(policy_factory, config_.policy_shards),
+             clock) {}
 
 KvsServer::~KvsServer() { stop(); }
 
@@ -70,48 +68,99 @@ void KvsServer::start() {
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
+  // Everything from here until the threads spawn must release the fds it
+  // opened on failure: stop() is a no-op while running_ is still false, so
+  // a throwing start() would otherwise leak them.
+  const auto fail = [this](const std::string& what) {
+    for (const auto& worker : workers_) {
+      if (worker->wake_read_fd >= 0) ::close(worker->wake_read_fd);
+      if (worker->wake_write_fd >= 0) ::close(worker->wake_write_fd);
+    }
+    workers_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("KvsServer: " + what);
+  };
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(config_.port);
   if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    throw std::runtime_error("KvsServer: bad bind address");
+    fail("bad bind address");
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    throw std::runtime_error(std::string("KvsServer: bind failed: ") +
-                             std::strerror(errno));
+    fail(std::string("bind failed: ") + std::strerror(errno));
   }
   if (::listen(listen_fd_, 64) < 0) {
-    throw std::runtime_error("KvsServer: listen failed");
+    fail("listen failed");
   }
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  std::size_t pool = config_.workers;
+  if (pool == 0) {
+    pool = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.clear();
+  workers_.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    auto worker = std::make_unique<Worker>();
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      workers_.push_back(std::move(worker));  // fds -1; fail() skips them
+      fail("pipe() failed");
+    }
+    worker->wake_read_fd = pipe_fds[0];
+    worker->wake_write_fd = pipe_fds[1];
+    // Non-blocking read end: the drain loop below must never park the
+    // worker inside read() once poll() reported the pipe readable.
+    ::fcntl(worker->wake_read_fd, F_SETFL,
+            ::fcntl(worker->wake_read_fd, F_GETFL) | O_NONBLOCK);
+    workers_.push_back(std::move(worker));
+  }
+
   running_.store(true);
+  next_worker_ = 0;
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    worker->thread = std::thread([this, w] { worker_loop(*w); });
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 void KvsServer::stop() {
   if (!running_.exchange(false)) return;
+  // Unblock the acceptor with shutdown() and join it BEFORE touching
+  // listen_fd_ again: close()/reassignment while accept() still reads the
+  // member would race (and could hand a recycled fd to accept()).
   ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  if (acceptor_.joinable()) acceptor_.join();
-  {
-    std::lock_guard lock(connections_mutex_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& worker : workers_) {
+    const char wake = 'q';
+    (void)!::write(worker->wake_write_fd, &wake, 1);
+    // Unblock a worker parked in a blocking send()/recv() on a stalled
+    // connection; shutdown (not close) keeps the fd numbers valid for the
+    // worker's own cleanup.
+    std::lock_guard lock(worker->mutex);
+    for (const int fd : worker->live_fds) ::shutdown(fd, SHUT_RDWR);
+    for (const int fd : worker->pending_fds) ::shutdown(fd, SHUT_RDWR);
   }
-  for (auto& t : connection_threads_) {
-    if (t.joinable()) t.join();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+    ::close(worker->wake_read_fd);
+    ::close(worker->wake_write_fd);
+    // The acceptor may have handed over a connection after the worker's
+    // final adoption pass; with both threads joined, whatever is left in
+    // pending_fds belongs to no one — close it here.
+    for (const int fd : worker->pending_fds) ::close(fd);
+    worker->pending_fds.clear();
   }
-  {
-    std::lock_guard lock(connections_mutex_);
-    for (const int fd : connection_fds_) ::close(fd);
-    connection_fds_.clear();
-    connection_threads_.clear();
-  }
+  workers_.clear();
 }
 
 void KvsServer::accept_loop() {
@@ -123,97 +172,190 @@ void KvsServer::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard lock(connections_mutex_);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back(
-        [this, fd] { handle_connection(fd); });
+    Worker& worker = *workers_[next_worker_++ % workers_.size()];
+    {
+      std::lock_guard lock(worker.mutex);
+      worker.pending_fds.push_back(fd);
+    }
+    const char wake = 'c';
+    (void)!::write(worker.wake_write_fd, &wake, 1);
   }
 }
 
-void KvsServer::handle_connection(int fd) {
-  std::string inbuf;
-  std::string line;
+void KvsServer::worker_loop(Worker& worker) {
+  std::vector<Connection> conns;
+  std::vector<pollfd> pfds;
+  std::string out;
+  char chunk[16 * 1024];
+
+  // Deregister from live_fds BEFORE closing so stop() can never shutdown()
+  // a recycled fd number.
+  const auto retire = [&worker](int fd) {
+    {
+      std::lock_guard lock(worker.mutex);
+      std::erase(worker.live_fds, fd);
+    }
+    ::close(fd);
+  };
+
   while (running_.load()) {
-    if (!take_line(inbuf, line)) {
-      if (!fill(fd, inbuf)) break;
-      continue;
+    // Adopt connections the acceptor handed over.
+    {
+      std::lock_guard lock(worker.mutex);
+      for (const int fd : worker.pending_fds) {
+        Connection conn;
+        conn.fd = fd;
+        conns.push_back(std::move(conn));
+        worker.live_fds.push_back(fd);
+      }
+      worker.pending_fds.clear();
     }
-    auto cmd = parse_command(line);
-    if (!cmd) {
-      if (!send_all(fd, format_error())) break;
-      continue;
+
+    pfds.clear();
+    pfds.push_back({worker.wake_read_fd, POLLIN, 0});
+    for (const Connection& conn : conns) {
+      pfds.push_back({conn.fd, POLLIN, 0});
     }
-    switch (cmd->type) {
-      case CommandType::kGet:
-      case CommandType::kIqGet: {
-        std::string reply;
-        const GetResult result = cmd->type == CommandType::kGet
-                                     ? store_.get(cmd->key)
-                                     : store_.iqget(cmd->key);
-        if (result.hit) {
-          reply = format_value(cmd->key, result.flags, result.value);
-        }
-        for (const std::string& key : cmd->extra_keys) {
-          const GetResult extra = store_.get(key);
-          if (extra.hit) {
-            reply += format_value(key, extra.flags, extra.value);
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      // Drain every queued wake byte (handoff or shutdown notice); the
+      // read end is non-blocking, so this stops at EAGAIN.
+      while (::read(worker.wake_read_fd, chunk, sizeof(chunk)) > 0) {
+      }
+    }
+
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& conn = conns[i];
+      if ((pfds[i + 1].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        conn.closing = true;
+        continue;
+      }
+      conn.decoder.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+
+      // Drain the entire pipeline of complete commands, answering the
+      // whole burst with one write — flushing early if the replies grow
+      // past kReplyFlushBytes, so a tiny request pipeline asking for huge
+      // values cannot amplify into unbounded server memory.
+      constexpr std::size_t kReplyFlushBytes = 64u << 10;
+      out.clear();
+      DecodedCommand dc;
+      for (;;) {
+        if (out.size() >= kReplyFlushBytes) {
+          if (!send_all(conn.fd, out)) {
+            conn.closing = true;
+            break;
           }
+          out.clear();
         }
-        reply += format_end();
-        if (!send_all(fd, reply)) return;
-        break;
-      }
-      case CommandType::kSet:
-      case CommandType::kIqSet: {
-        std::string payload;
-        while (!take_payload(inbuf, cmd->value_bytes, payload)) {
-          if (!fill(fd, inbuf)) return;
+        const CommandDecoder::Status status = conn.decoder.next(dc);
+        if (status == CommandDecoder::Status::kNeedMore) break;
+        if (status == CommandDecoder::Status::kFatalError) {
+          // Unframeable stream (malformed storage header / endless line):
+          // answer ERROR and drop the connection, memcached-style.
+          out += format_error();
+          conn.closing = true;
+          break;
         }
-        const bool stored =
-            cmd->type == CommandType::kSet
-                ? store_.set(cmd->key, payload, cmd->flags, cmd->cost,
-                             cmd->exptime)
-                : store_.iqset(cmd->key, payload, cmd->flags, cmd->exptime);
-        if (!cmd->noreply && !send_all(fd, format_stored(stored))) return;
-        break;
+        if (status == CommandDecoder::Status::kProtocolError) {
+          out += format_error();
+          continue;
+        }
+        if (!apply_command(dc, out)) {
+          conn.closing = true;
+          break;
+        }
       }
-      case CommandType::kDelete: {
-        const bool deleted = store_.del(cmd->key);
-        if (!cmd->noreply && !send_all(fd, format_deleted(deleted))) return;
-        break;
+      if (!out.empty() && !send_all(conn.fd, out)) conn.closing = true;
+    }
+
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      if (conns[i].closing) {
+        retire(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
       }
-      case CommandType::kStats: {
-        const EngineStats s = store_.aggregated_stats();
-        std::string reply;
-        reply += format_stat("policy", store_.policy_name());
-        reply += format_stat("gets", std::to_string(s.gets));
-        reply += format_stat("hits", std::to_string(s.hits));
-        reply += format_stat("sets", std::to_string(s.sets));
-        reply += format_stat("deletes", std::to_string(s.deletes));
-        reply += format_stat("items", std::to_string(s.items));
-        reply += format_stat("value_bytes", std::to_string(s.value_bytes));
-        reply += format_stat("rejected_sets",
-                             std::to_string(s.rejected_sets));
-        reply += format_stat("expired", std::to_string(s.expired));
-        reply += format_stat("slab_reassignments",
-                             std::to_string(s.slab_reassignments));
-        reply += format_end();
-        if (!send_all(fd, reply)) return;
-        break;
-      }
-      case CommandType::kFlushAll: {
-        store_.flush_all();
-        if (!send_all(fd, "OK\r\n")) return;
-        break;
-      }
-      case CommandType::kVersion: {
-        if (!send_all(fd, "VERSION camp-kvs 1.0.0\r\n")) return;
-        break;
-      }
-      case CommandType::kQuit:
-        return;
     }
   }
+
+  for (const Connection& conn : conns) retire(conn.fd);
+  // Connections handed over after the last adoption pass still belong to
+  // this worker; close them too.
+  std::lock_guard lock(worker.mutex);
+  for (const int fd : worker.pending_fds) ::close(fd);
+  worker.pending_fds.clear();
+}
+
+bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
+  const Command& cmd = dc.cmd;
+  switch (cmd.type) {
+    case CommandType::kGet:
+    case CommandType::kIqGet: {
+      const GetResult result = cmd.type == CommandType::kGet
+                                   ? store_.get(cmd.key)
+                                   : store_.iqget(cmd.key);
+      if (result.hit) {
+        out += format_value(cmd.key, result.flags, result.value);
+      }
+      for (const std::string& key : cmd.extra_keys) {
+        const GetResult extra = store_.get(key);
+        if (extra.hit) {
+          out += format_value(key, extra.flags, extra.value);
+        }
+      }
+      out += format_end();
+      break;
+    }
+    case CommandType::kSet:
+    case CommandType::kIqSet: {
+      const bool stored =
+          cmd.type == CommandType::kSet
+              ? store_.set(cmd.key, dc.payload, cmd.flags, cmd.cost,
+                           cmd.exptime)
+              : store_.iqset(cmd.key, dc.payload, cmd.flags, cmd.exptime);
+      if (!cmd.noreply) out += format_stored(stored);
+      break;
+    }
+    case CommandType::kDelete: {
+      const bool deleted = store_.del(cmd.key);
+      if (!cmd.noreply) out += format_deleted(deleted);
+      break;
+    }
+    case CommandType::kStats: {
+      const EngineStats s = store_.aggregated_stats();
+      out += format_stat("policy", store_.policy_name());
+      out += format_stat("workers", std::to_string(workers_.size()));
+      out += format_stat("store_shards", std::to_string(store_.shard_count()));
+      out += format_stat("gets", std::to_string(s.gets));
+      out += format_stat("hits", std::to_string(s.hits));
+      out += format_stat("sets", std::to_string(s.sets));
+      out += format_stat("deletes", std::to_string(s.deletes));
+      out += format_stat("items", std::to_string(s.items));
+      out += format_stat("value_bytes", std::to_string(s.value_bytes));
+      out += format_stat("rejected_sets", std::to_string(s.rejected_sets));
+      out += format_stat("expired", std::to_string(s.expired));
+      out += format_stat("slab_reassignments",
+                         std::to_string(s.slab_reassignments));
+      out += format_end();
+      break;
+    }
+    case CommandType::kFlushAll: {
+      store_.flush_all();
+      out += "OK\r\n";
+      break;
+    }
+    case CommandType::kVersion: {
+      out += "VERSION camp-kvs 1.0.0\r\n";
+      break;
+    }
+    case CommandType::kQuit:
+      return false;
+  }
+  return true;
 }
 
 }  // namespace camp::kvs

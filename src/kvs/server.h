@@ -2,9 +2,23 @@
 // fronting a KvsStore — the repository's stand-in for IQ Twemcache in the
 // Section 4 implementation experiments.
 //
-// Threading model: one acceptor thread plus one thread per connection
-// (bounded in practice by the benches' client counts). stop() shuts the
-// listener and every live connection down and joins all threads.
+// Threading model: one acceptor thread plus a FIXED pool of worker threads
+// (shard-per-core: `workers == 0` sizes the pool to hardware_concurrency).
+// The acceptor hands each accepted connection to a worker round-robin; a
+// worker multiplexes all of its connections with poll() and a self-pipe
+// for shutdown/handoff wakeups. Per readable connection the worker drains
+// EVERY complete pipelined command out of the read buffer (incremental
+// CommandDecoder), accumulates the replies, and answers with one write —
+// so a batched client costs one read + one write per batch on the server
+// side too.
+//
+// Keys are hash-partitioned across the store's engine shards; with
+// `policy_shards > 1` each engine's eviction policy is additionally a
+// ShardedCache over that many physical queues (the paper's Section 4.1
+// "multiple physical queues per LRU queue" recipe).
+//
+// stop() shuts the listener and every live connection down and joins all
+// threads.
 #pragma once
 
 #include <atomic>
@@ -15,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "kvs/protocol.h"
 #include "kvs/store.h"
 
 namespace camp::kvs {
@@ -22,6 +37,11 @@ namespace camp::kvs {
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
+  /// Worker pool size; 0 = one worker per hardware thread.
+  std::size_t workers = 0;
+  /// Physical policy queues per engine shard (ShardedCache); 1 = the
+  /// policy factory's cache is used directly.
+  std::size_t policy_shards = 1;
   StoreConfig store;
 };
 
@@ -33,8 +53,8 @@ class KvsServer {
   KvsServer(const KvsServer&) = delete;
   KvsServer& operator=(const KvsServer&) = delete;
 
-  /// Bind, listen and spawn the acceptor. Throws std::runtime_error on
-  /// socket errors.
+  /// Bind, listen, spawn the worker pool and the acceptor. Throws
+  /// std::runtime_error on socket errors.
   void start();
   void stop();
 
@@ -42,11 +62,29 @@ class KvsServer {
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] KvsStore& store() { return store_; }
   [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
  private:
+  /// One worker thread's shared state. The worker exclusively owns its
+  /// connections; the acceptor only touches `pending_fds` (under `mutex`)
+  /// and the write end of the wake pipe. `live_fds` mirrors the fds the
+  /// worker currently serves (maintained under `mutex`) so stop() can
+  /// shutdown() them and unblock a worker parked in a blocking send() to a
+  /// stalled client.
+  struct Worker {
+    std::thread thread;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    std::mutex mutex;
+    std::vector<int> pending_fds;
+    std::vector<int> live_fds;
+  };
+
   void accept_loop();
-  void handle_connection(int fd);
-  void serve_command(int fd, std::string& inbuf);
+  void worker_loop(Worker& worker);
+  /// Execute one decoded command against the store, appending the reply to
+  /// `out`. Returns false when the connection must close (quit).
+  bool apply_command(const DecodedCommand& dc, std::string& out);
 
   ServerConfig config_;
   KvsStore store_;
@@ -54,9 +92,8 @@ class KvsServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::vector<int> connection_fds_;
-  std::vector<std::thread> connection_threads_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t next_worker_ = 0;  // acceptor-only round-robin cursor
 };
 
 }  // namespace camp::kvs

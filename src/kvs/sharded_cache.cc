@@ -1,5 +1,6 @@
 #include "kvs/sharded_cache.h"
 
+#include <map>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -15,11 +16,13 @@ ShardedCache::ShardedCache(std::uint64_t capacity_bytes, std::size_t shards,
     throw std::invalid_argument("ShardedCache: capacity below shard count");
   }
   const std::uint64_t share = capacity_bytes / shards;
-  const std::uint64_t remainder = capacity_bytes - share * shards;
+  const std::uint64_t remainder = capacity_bytes % shards;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    const std::uint64_t cap = share + (i == shards - 1 ? remainder : 0);
+    // Spread the remainder one byte per shard so the split sums to exactly
+    // capacity_bytes and no two shards differ by more than one byte.
+    const std::uint64_t cap = share + (i < remainder ? 1 : 0);
     shard->cache = factory(cap);
     if (!shard->cache) {
       throw std::invalid_argument("ShardedCache: factory returned null");
@@ -82,7 +85,7 @@ std::size_t ShardedCache::item_count() const {
   return total;
 }
 
-const policy::CacheStats& ShardedCache::stats() const {
+policy::CacheStats ShardedCache::stats_snapshot() const {
   policy::CacheStats agg;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
@@ -94,8 +97,25 @@ const policy::CacheStats& ShardedCache::stats() const {
     agg.evictions += s.evictions;
     agg.rejected_puts += s.rejected_puts;
   }
-  aggregated_ = agg;
-  return aggregated_;
+  return agg;
+}
+
+const policy::CacheStats& ShardedCache::stats() const {
+  // The ICache interface returns by reference; a thread-local buffer keeps
+  // concurrent stats() callers from racing on shared aggregation state
+  // (each thread copies into — and reads from — its own snapshot). Keyed
+  // by instance so references from two caches on one thread never alias
+  // (nested ShardedCaches happen: policy_shards wrapping a sharded inner
+  // policy). Entries are few and tiny; they die with the thread.
+  static thread_local std::map<const ShardedCache*, policy::CacheStats>
+      snapshots;
+  policy::CacheStats& snapshot = snapshots[this];
+  snapshot = stats_snapshot();
+  return snapshot;
+}
+
+std::uint64_t ShardedCache::shard_capacity_bytes(std::size_t index) const {
+  return shards_.at(index)->cache->capacity_bytes();
 }
 
 std::string ShardedCache::name() const {

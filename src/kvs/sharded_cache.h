@@ -26,7 +26,9 @@ class ShardedCache final : public policy::ICache {
       std::function<std::unique_ptr<policy::ICache>(std::uint64_t capacity)>;
 
   /// Splits `capacity_bytes` evenly across `shards` instances built by the
-  /// factory.
+  /// factory. The integer-division remainder is spread one byte at a time
+  /// over the first shards, so the shard capacities always sum to exactly
+  /// `capacity_bytes` and differ by at most one byte.
   ShardedCache(std::uint64_t capacity_bytes, std::size_t shards,
                const ShardFactory& factory);
 
@@ -37,12 +39,20 @@ class ShardedCache final : public policy::ICache {
   [[nodiscard]] std::uint64_t capacity_bytes() const override;
   [[nodiscard]] std::uint64_t used_bytes() const override;
   [[nodiscard]] std::size_t item_count() const override;
-  /// Aggregated snapshot; rebuilt on each call.
+  /// Aggregated snapshot, assembled under the shard locks. The returned
+  /// reference points at a thread-local per-instance buffer, so concurrent
+  /// callers never race on shared aggregation state and two instances on
+  /// one thread never alias; it stays valid until the SAME thread calls
+  /// stats() on the SAME instance again.
   [[nodiscard]] const policy::CacheStats& stats() const override;
+  /// By-value variant of stats() for callers that want an owned snapshot.
+  [[nodiscard]] policy::CacheStats stats_snapshot() const;
   [[nodiscard]] std::string name() const override;
   void set_eviction_listener(policy::EvictionListener listener) override;
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Capacity assigned to one shard (remainder-distributed split).
+  [[nodiscard]] std::uint64_t shard_capacity_bytes(std::size_t index) const;
 
  private:
   struct Shard {
@@ -54,7 +64,6 @@ class ShardedCache final : public policy::ICache {
 
   // deque-like stable storage via unique_ptr (mutexes are immovable).
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable policy::CacheStats aggregated_;
 };
 
 }  // namespace camp::kvs

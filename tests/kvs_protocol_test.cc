@@ -103,6 +103,58 @@ TEST(Protocol, ToleratesExtraSpaces) {
   EXPECT_EQ(cmd->key, "spaced");
 }
 
+TEST(Protocol, MultiGetWithDuplicateKeys) {
+  // Duplicates are preserved, not deduplicated: the batch layer maps VALUE
+  // lines back onto op indices in request order, so every occurrence must
+  // survive parsing.
+  const auto cmd = parse_command("get a b a a");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->key, "a");
+  ASSERT_EQ(cmd->extra_keys.size(), 3u);
+  EXPECT_EQ(cmd->extra_keys[0], "b");
+  EXPECT_EQ(cmd->extra_keys[1], "a");
+  EXPECT_EQ(cmd->extra_keys[2], "a");
+}
+
+TEST(Protocol, NoreplyOnDelete) {
+  const auto cmd = parse_command("delete victim noreply");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->type, CommandType::kDelete);
+  EXPECT_EQ(cmd->key, "victim");
+  EXPECT_TRUE(cmd->noreply);
+  // Only the literal token counts, and only in the third position.
+  EXPECT_FALSE(parse_command("delete victim noreplyx").has_value());
+  EXPECT_FALSE(parse_command("delete noreply victim extra").has_value());
+}
+
+TEST(Protocol, OversizedValueBytesRejected) {
+  // At the limit: accepted.
+  const auto ok =
+      parse_command("set k 0 0 " + std::to_string(kMaxValueBytes));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->value_bytes, kMaxValueBytes);
+  // One past the limit: protocol error instead of buffering 4 GiB.
+  EXPECT_FALSE(
+      parse_command("set k 0 0 " + std::to_string(kMaxValueBytes + 1))
+          .has_value());
+  // Doesn't even fit in uint32: from_chars overflow must not wrap.
+  EXPECT_FALSE(parse_command("set k 0 0 4294967296").has_value());
+  EXPECT_FALSE(parse_command("set k 0 0 99999999999999999999").has_value());
+}
+
+TEST(Protocol, MalformedTrailingCostTokens) {
+  EXPECT_FALSE(parse_command("set k 0 0 5 12x34").has_value());
+  EXPECT_FALSE(parse_command("set k 0 0 5 -7").has_value());
+  EXPECT_FALSE(parse_command("set k 0 0 5 10 10").has_value());
+  EXPECT_FALSE(parse_command("set k 0 0 5 10 noreply extra").has_value());
+  EXPECT_FALSE(parse_command("set k 0 0 5 noreply 10").has_value());
+  // A well-formed cost + noreply still parses.
+  const auto ok = parse_command("set k 0 0 5 10 noreply");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->cost, 10u);
+  EXPECT_TRUE(ok->noreply);
+}
+
 TEST(Protocol, FormatValue) {
   EXPECT_EQ(format_value("k", 3, "hello"), "VALUE k 3 5\r\nhello\r\n");
   EXPECT_EQ(format_end(), "END\r\n");

@@ -139,6 +139,22 @@ TEST_F(RawProtocolTest, OversizedDeclaredLengthRejectedGracefully) {
   EXPECT_NE(sock.recv_until("\r\n").find("VERSION"), std::string::npos);
 }
 
+TEST_F(RawProtocolTest, MalformedStorageHeaderClosesConnection) {
+  // A set whose byte count cannot be parsed (u32 overflow) leaves the
+  // stream unframeable: the server answers ERROR and drops the connection
+  // instead of misparsing the payload as commands.
+  RawSocket sock(server_->port());
+  sock.send_raw("set huge 0 0 4294967296\r\n");
+  const std::string reply = sock.recv_until("\r\n");
+  EXPECT_NE(reply.find("ERROR"), std::string::npos);
+  // The connection is gone: recv drains to EOF with no further replies.
+  EXPECT_EQ(sock.recv_until("VERSION").find("VERSION"), std::string::npos);
+  // The server itself survives and serves fresh connections.
+  RawSocket sock2(server_->port());
+  sock2.send_raw("version\r\n");
+  EXPECT_NE(sock2.recv_until("\r\n").find("VERSION"), std::string::npos);
+}
+
 TEST_F(RawProtocolTest, AbruptDisconnectDuringPayload) {
   {
     RawSocket sock(server_->port());

@@ -1,8 +1,14 @@
 // End-to-end integration tests: real TCP server + client over localhost.
 #include "kvs/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include <atomic>
@@ -167,6 +173,37 @@ TEST(ServerLifecycle, StartStopIsClean) {
     server.stop();
     EXPECT_FALSE(server.running());
   }
+}
+
+TEST(ServerLifecycle, StopUnblocksWorkerStalledOnReply) {
+  // A client that requests far more reply bytes than the socket buffers
+  // hold and never reads parks the worker inside a blocking send(); stop()
+  // must shutdown() the connection to unblock it, or the join hangs.
+  util::SteadyClock clock;
+  KvsServer server(server_config(), lru_factory(), clock);
+  server.start();
+  {
+    KvsClient seeder("127.0.0.1", server.port());
+    ASSERT_TRUE(seeder.set("big", std::string(200'000, 'b'), 0, 0));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string flood;
+  for (int i = 0; i < 100; ++i) flood += "get big\r\n";  // ~20 MB of replies
+  ASSERT_EQ(::send(fd, flood.data(), flood.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(flood.size()));
+  // Give the worker a moment to wedge in send(), then stop. The test
+  // passing at all IS the assertion: a hung join would time the suite out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();
+  EXPECT_FALSE(server.running());
+  ::close(fd);
 }
 
 TEST(ServerLifecycle, CampPolicyEndToEnd) {

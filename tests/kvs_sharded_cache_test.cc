@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -31,6 +32,31 @@ TEST(ShardedCache, CapacitySplitAcrossShards) {
   EXPECT_EQ(cache.capacity_bytes(), 1001u);
   EXPECT_EQ(cache.shard_count(), 4u);
   EXPECT_EQ(cache.name(), "sharded(4xcamp(p=5))");
+}
+
+TEST(ShardedCache, CapacityRemainderIsDistributedEvenly) {
+  // 1003 = 4 * 250 + 3: the three remainder bytes go to the first three
+  // shards, so nothing is dropped and no shard is more than one byte
+  // larger than another.
+  ShardedCache cache(1003, 4, camp_factory());
+  std::uint64_t sum = 0, min_cap = ~0ull, max_cap = 0;
+  for (std::size_t i = 0; i < cache.shard_count(); ++i) {
+    const std::uint64_t cap = cache.shard_capacity_bytes(i);
+    sum += cap;
+    min_cap = std::min(min_cap, cap);
+    max_cap = std::max(max_cap, cap);
+  }
+  EXPECT_EQ(sum, 1003u) << "shard capacities must sum to the full budget";
+  EXPECT_LE(max_cap - min_cap, 1u);
+  EXPECT_EQ(cache.shard_capacity_bytes(0), 251u);
+  EXPECT_EQ(cache.shard_capacity_bytes(3), 250u);
+  EXPECT_EQ(cache.capacity_bytes(), 1003u);
+
+  // An exact split stays exact.
+  ShardedCache even(1000, 4, camp_factory());
+  for (std::size_t i = 0; i < even.shard_count(); ++i) {
+    EXPECT_EQ(even.shard_capacity_bytes(i), 250u);
+  }
 }
 
 TEST(ShardedCache, BasicSemantics) {
@@ -80,6 +106,54 @@ TEST(ShardedCache, ConcurrentThroughputIsCorrect) {
   EXPECT_EQ(stats.gets, static_cast<std::uint64_t>(kThreads) * kOps);
   EXPECT_EQ(stats.hits, hits.load());
   EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+}
+
+TEST(ShardedCache, ConcurrentStatsReadersDoNotRace) {
+  // stats() aggregates under the shard locks into a thread-local snapshot:
+  // concurrent readers share no aggregation buffer. Run under TSan in CI.
+  ShardedCache cache(1u << 20, 4, camp_factory());
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 3;
+  constexpr int kOps = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&cache, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      for (int i = 0; i < kOps; ++i) {
+        const policy::Key k = rng.below(500);
+        if (!cache.get(k)) cache.put(k, 64, 1);
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < kOps; ++i) {
+        const policy::CacheStats& s = cache.stats();
+        // Monotone invariant on a coherent snapshot.
+        EXPECT_LE(s.hits, s.gets);
+        const policy::CacheStats owned = cache.stats_snapshot();
+        EXPECT_LE(owned.hits, owned.gets);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const policy::CacheStats final_stats = cache.stats_snapshot();
+  EXPECT_EQ(final_stats.gets,
+            static_cast<std::uint64_t>(kWriters) * kOps);
+}
+
+TEST(ShardedCache, StatsReferencesFromTwoInstancesDoNotAlias) {
+  ShardedCache a(10'000, 2, camp_factory());
+  ShardedCache b(10'000, 2, camp_factory());
+  a.put(1, 100, 1);
+  (void)a.get(1);
+  (void)a.get(2);  // a: 2 gets
+  (void)b.get(7);  // b: 1 get
+  const policy::CacheStats& sa = a.stats();
+  const policy::CacheStats& sb = b.stats();
+  EXPECT_NE(&sa, &sb) << "per-instance buffers must not alias";
+  EXPECT_EQ(sa.gets, 2u) << "a's snapshot must survive b.stats()";
+  EXPECT_EQ(sb.gets, 1u);
 }
 
 TEST(ShardedCache, SameKeyAlwaysSameShard) {
