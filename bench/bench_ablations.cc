@@ -13,14 +13,19 @@
 #include <atomic>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "core/camp.h"
 #include "core/concurrent_camp.h"
 #include "heap/pairing_heap.h"
 #include "sim/parallel_simulator.h"
 #include "kvs/sharded_cache.h"
 #include "policy/admission.h"
+#include "policy/gds.h"
 #include "slab/buddy_allocator.h"
 #include "slab/slab_allocator.h"
+#include "util/rounding.h"
 
 namespace {
 

@@ -1,32 +1,34 @@
-// Shared support for the figure-reproduction benches.
+// Shared support for the figure-reproduction benches — now a thin adapter
+// over the src/figures layer, which owns the trace bundles, the policy
+// factories, and the per-figure computations (the copy-pasted setup that
+// used to live here).
 //
 // Scale: by default traces are generated at 1/10th of the paper's 4M rows
 // so the whole bench suite finishes in minutes. Set CAMP_PAPER_SCALE=1 to
 // run the paper's full scale (4M rows per trace, 10 phase traces, ...).
 //
-// Every bench registers google-benchmark cases named
-// "<figure>/<policy>/<x-axis-point>" that run the simulation once
-// (Iterations(1)) and report the paper's metrics as counters
-// (cost_miss_ratio, miss_rate, queues, heap_visits, ...).
+// Determinism: every trace accessor takes an EXPLICIT seed (defaulting to
+// the canonical paper seed) and forwards to figures::shared_trace, which
+// is keyed by (kind, scale, seed) — no hidden global state feeds the
+// generators, so bench runs and `camp_figures` runs see byte-identical
+// traces (asserted by tests/figures_repeatability_test.cc).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
-#include <memory>
-#include <string>
+#include <cstdint>
 #include <vector>
 
-#include "core/camp.h"
-#include "policy/gds.h"
-#include "policy/lru.h"
-#include "policy/pooled_lru.h"
+#include "figures/factories.h"
+#include "figures/figure_spec.h"
+#include "figures/traces.h"
+#include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
-#include "trace/profiler.h"
-#include "trace/workloads.h"
 
 namespace camp::bench {
+
+using figures::TraceBundle;
 
 struct Scale {
   std::uint64_t num_keys;
@@ -35,139 +37,81 @@ struct Scale {
 };
 
 inline Scale scale() {
-  const char* env = std::getenv("CAMP_PAPER_SCALE");
-  const bool paper = env != nullptr && env[0] == '1';
-  if (paper) return Scale{400'000, 4'000'000, true};
-  return Scale{40'000, 400'000, false};
+  const figures::Scale s = figures::Scale::from_env();
+  return Scale{s.num_keys, s.num_requests, s.name == "paper"};
+}
+
+/// Figure options matching the bench environment (scale from
+/// CAMP_PAPER_SCALE, canonical seed, wall-clock metrics enabled — benches
+/// measure time by construction).
+inline figures::FigureOptions figure_options() {
+  figures::FigureOptions options;
+  options.scale = figures::Scale::from_env();
+  options.seed = figures::kCanonicalSeed;
+  options.timing = true;
+  return options;
 }
 
 /// The paper's default x-axis: cache size ratios.
 inline std::vector<double> paper_cache_ratios() {
-  return {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75};
+  return figures::paper_cache_ratios();
 }
 
-/// Memoised trace bundles so several benchmark cases share one generation.
-struct TraceBundle {
-  std::vector<trace::TraceRecord> records;
-  std::uint64_t unique_bytes = 0;
-};
+// ---- memoised trace bundles (explicit seeds, shared with camp_figures) ----
 
-inline const TraceBundle& default_trace() {
-  static const TraceBundle bundle = [] {
-    const Scale s = scale();
-    trace::TraceGenerator gen(trace::bg_default(s.num_keys, s.num_requests,
-                                                /*seed=*/2014));
-    TraceBundle b;
-    b.records = gen.generate();
-    b.unique_bytes = gen.unique_bytes();
-    return b;
-  }();
-  return bundle;
+inline const TraceBundle& default_trace(
+    std::uint64_t seed = figures::seed_for(figures::TraceKind::kDefault,
+                                           figures::kCanonicalSeed)) {
+  return figures::shared_trace(figures::TraceKind::kDefault,
+                               figures::Scale::from_env(), seed);
 }
 
-inline const TraceBundle& varsize_trace() {
-  static const TraceBundle bundle = [] {
-    const Scale s = scale();
-    trace::TraceGenerator gen(trace::bg_variable_size_fixed_cost(
-        s.num_keys, s.num_requests, /*seed=*/2015));
-    TraceBundle b;
-    b.records = gen.generate();
-    b.unique_bytes = gen.unique_bytes();
-    return b;
-  }();
-  return bundle;
+inline const TraceBundle& varsize_trace(
+    std::uint64_t seed = figures::seed_for(figures::TraceKind::kVarSize,
+                                           figures::kCanonicalSeed)) {
+  return figures::shared_trace(figures::TraceKind::kVarSize,
+                               figures::Scale::from_env(), seed);
 }
 
-inline const TraceBundle& equisize_trace() {
-  static const TraceBundle bundle = [] {
-    const Scale s = scale();
-    trace::TraceGenerator gen(trace::bg_equal_size_variable_cost(
-        s.num_keys, s.num_requests, /*seed=*/2016));
-    TraceBundle b;
-    b.records = gen.generate();
-    b.unique_bytes = gen.unique_bytes();
-    return b;
-  }();
-  return bundle;
+inline const TraceBundle& equisize_trace(
+    std::uint64_t seed = figures::seed_for(figures::TraceKind::kEquiSize,
+                                           figures::kCanonicalSeed)) {
+  return figures::shared_trace(figures::TraceKind::kEquiSize,
+                               figures::Scale::from_env(), seed);
 }
 
 /// Ten back-to-back phase traces with disjoint key spaces (Section 3.1).
-inline const TraceBundle& phased_trace() {
-  static const TraceBundle bundle = [] {
-    const Scale s = scale();
-    auto base = trace::bg_default(s.num_keys, s.num_requests, /*seed=*/2017);
-    TraceBundle b;
-    b.records = trace::generate_phased(base, 10);
-    // Unique bytes of ONE phase: the paper's cache size ratio is relative
-    // to a single trace's footprint.
-    trace::TraceGenerator gen(base);
-    b.unique_bytes = gen.unique_bytes();
-    return b;
-  }();
-  return bundle;
+/// unique_bytes is ONE phase's footprint (the paper's cache size ratio is
+/// relative to a single trace's footprint).
+inline const TraceBundle& phased_trace(
+    std::uint64_t seed = figures::seed_for(figures::TraceKind::kPhased,
+                                           figures::kCanonicalSeed)) {
+  return figures::shared_trace(figures::TraceKind::kPhased,
+                               figures::Scale::from_env(), seed);
 }
 
-// ---- policy factories -----------------------------------------------------------
+// ---- policy factories (re-exported from the figures layer) ----------------
 
-inline sim::CacheFactory lru_factory() {
-  return [](std::uint64_t cap) {
-    return std::make_unique<policy::LruCache>(cap);
-  };
-}
+inline sim::CacheFactory lru_factory() { return figures::lru_factory(); }
 
 inline sim::CacheFactory camp_factory(int precision) {
-  return [precision](std::uint64_t cap) {
-    core::CampConfig config;
-    config.capacity_bytes = cap;
-    config.precision = precision;
-    return core::make_camp(config);
-  };
+  return figures::camp_factory(precision);
 }
 
-inline sim::CacheFactory gds_factory() {
-  return [](std::uint64_t cap) {
-    policy::GdsConfig config;
-    config.capacity_bytes = cap;
-    return policy::make_gds(config);
-  };
-}
+inline sim::CacheFactory gds_factory() { return figures::gds_factory(); }
 
-/// The paper's cost-proportional Pooled LRU built from an offline profile
-/// (pools by exact cost value, capacity proportional to request cost mass).
 inline sim::CacheFactory pooled_cost_factory(
     const std::vector<trace::TraceRecord>& records) {
-  const auto profiler = trace::TraceProfiler::by_cost_value(records);
-  const auto weights = profiler.cost_mass_weights();
-  const auto mapping = profiler.cost_to_group();
-  return [weights, mapping](std::uint64_t cap) {
-    return std::make_unique<policy::PooledLruCache>(
-        policy::weighted_pools(cap, weights),
-        policy::assign_by_cost_value(mapping));
-  };
+  return figures::pooled_cost_factory(records);
 }
 
-/// Uniform-partition Pooled LRU (the paper's other plan).
 inline sim::CacheFactory pooled_uniform_factory(
     const std::vector<trace::TraceRecord>& records) {
-  const auto profiler = trace::TraceProfiler::by_cost_value(records);
-  const std::size_t pools = profiler.groups().size();
-  const auto mapping = profiler.cost_to_group();
-  return [pools, mapping](std::uint64_t cap) {
-    return std::make_unique<policy::PooledLruCache>(
-        policy::uniform_pools(cap, pools),
-        policy::assign_by_cost_value(mapping));
-  };
+  return figures::pooled_uniform_factory(records);
 }
 
-/// Section 3.2's range-based Pooled LRU: ranges [1,100), [100,10K), [10K,+inf),
-/// capacities proportional to each range's lowest cost value.
 inline sim::CacheFactory pooled_range_factory() {
-  const std::vector<std::uint64_t> boundaries{100, 10'000};
-  return [boundaries](std::uint64_t cap) {
-    return std::make_unique<policy::PooledLruCache>(
-        policy::weighted_pools(cap, {1.0, 100.0, 10'000.0}),
-        policy::assign_by_cost_range(boundaries));
-  };
+  return figures::pooled_range_factory();
 }
 
 /// Run one simulation and report the paper metrics as counters.

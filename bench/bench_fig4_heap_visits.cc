@@ -5,70 +5,11 @@
 // Expected shape: the GDS curve INCREASES with cache size (more resident
 // items -> deeper heap) while the CAMP curve DECREASES (queue count is
 // constant but a bigger cache absorbs more hits without head changes).
-#include "bench_common.h"
-
-#include "sim/simulator.h"
-
-namespace {
-
-using namespace camp;
-
-void run_gds_point(benchmark::State& state, double ratio) {
-  const auto& bundle = bench::default_trace();
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(ratio, bundle.unique_bytes);
-  for (auto _ : state) {
-    policy::GdsConfig config;
-    config.capacity_bytes = cap;
-    policy::GdsCache cache(config);
-    sim::Simulator simulator(cache);
-    simulator.run(bundle.records);
-    state.counters["heap_node_visits"] =
-        static_cast<double>(cache.heap_stats().nodes_visited);
-    state.counters["heap_operations"] =
-        static_cast<double>(cache.heap_stats().total_operations());
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-void run_camp_point(benchmark::State& state, double ratio) {
-  const auto& bundle = bench::default_trace();
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(ratio, bundle.unique_bytes);
-  for (auto _ : state) {
-    core::CampConfig config;
-    config.capacity_bytes = cap;
-    config.precision = 5;
-    core::CampCache cache(config);
-    sim::Simulator simulator(cache);
-    simulator.run(bundle.records);
-    const auto intro = cache.introspect();
-    state.counters["heap_node_visits"] =
-        static_cast<double>(intro.heap.nodes_visited);
-    state.counters["heap_operations"] =
-        static_cast<double>(intro.heap.total_operations());
-    state.counters["queues"] = static_cast<double>(intro.nonempty_queues);
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-}  // namespace
+//
+// The computation lives in the fig4 FigureSpec (src/figures/registry.cc);
+// this binary only adapts it to google-benchmark.
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  for (const double ratio : camp::bench::paper_cache_ratios()) {
-    benchmark::RegisterBenchmark(
-        ("fig4/gds/ratio=" + std::to_string(ratio)).c_str(),
-        [ratio](benchmark::State& st) { run_gds_point(st, ratio); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
-        ("fig4/camp/ratio=" + std::to_string(ratio)).c_str(),
-        [ratio](benchmark::State& st) { run_camp_point(st, ratio); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig4"}, argc, argv);
 }

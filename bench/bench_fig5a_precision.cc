@@ -1,49 +1,12 @@
 // Figure 5a: cost-miss ratio as a function of CAMP's precision, for three
-// cache size ratios; "infinity" (= standard GDS decisions) included.
+// cache size ratios; "infinity" (= standard GDS decisions, precision 64)
+// included.
 //
 // Expected shape: essentially flat in precision — rounding does not hurt.
-#include "bench_common.h"
-
-namespace {
-
-using namespace camp;
-
-void run_point(benchmark::State& state, double ratio, int precision) {
-  const auto& bundle = bench::default_trace();
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(ratio, bundle.unique_bytes);
-  for (auto _ : state) {
-    core::CampConfig config;
-    config.capacity_bytes = cap;
-    config.precision = precision;
-    core::CampCache cache(config);
-    sim::Simulator simulator(cache);
-    simulator.run(bundle.records);
-    state.counters["queues"] =
-        static_cast<double>(cache.introspect().nonempty_queues);
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-}  // namespace
+//
+// The computation lives in the fig5a FigureSpec (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  const std::vector<double> ratios{0.05, 0.25, 0.75};  // three cache sizes
-  const std::vector<int> precisions{1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
-                                    camp::util::kPrecisionInfinity};
-  for (const double ratio : ratios) {
-    for (const int p : precisions) {
-      const std::string pname =
-          p >= camp::util::kPrecisionInfinity ? "inf" : std::to_string(p);
-      benchmark::RegisterBenchmark(
-          ("fig5a/ratio=" + std::to_string(ratio) + "/precision=" + pname).c_str(),
-          [ratio, p](benchmark::State& st) { run_point(st, ratio, p); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig5a"}, argc, argv);
 }

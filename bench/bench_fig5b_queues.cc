@@ -1,53 +1,14 @@
 // Figure 5b: number of non-empty LRU queues maintained by CAMP as a
-// function of precision (three-tier {1,100,10K} cost trace).
+// function of precision (three-tier {1,100,10K} cost trace), with the
+// Proposition 2 bound reported alongside.
 //
 // Expected shape: grows with precision, saturating quickly — the 3-tier
 // trace has a limited set of distinct cost-to-size ratios; even precision 1
 // keeps several queues (vs LRU's single queue).
-#include "bench_common.h"
-
-namespace {
-
-using namespace camp;
-
-void run_point(benchmark::State& state, int precision) {
-  const auto& bundle = bench::default_trace();
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(0.25, bundle.unique_bytes);
-  for (auto _ : state) {
-    core::CampConfig config;
-    config.capacity_bytes = cap;
-    config.precision = precision;
-    core::CampCache cache(config);
-    sim::Simulator simulator(cache);
-    simulator.run(bundle.records);
-    const auto intro = cache.introspect();
-    state.counters["queues"] = static_cast<double>(intro.nonempty_queues);
-    state.counters["queues_created"] =
-        static_cast<double>(intro.queues_created);
-    state.counters["prop2_bound"] = static_cast<double>(
-        util::distinct_rounded_values_bound(intro.max_scaled_ratio,
-                                            precision));
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-}  // namespace
+//
+// The computation lives in the fig5b FigureSpec (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  const std::vector<int> precisions{1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
-                                    camp::util::kPrecisionInfinity};
-  for (const int p : precisions) {
-    const std::string pname =
-        p >= camp::util::kPrecisionInfinity ? "inf" : std::to_string(p);
-    benchmark::RegisterBenchmark(
-        ("fig5b/precision=" + pname).c_str(),
-        [p](benchmark::State& st) { run_point(st, p); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig5b"}, argc, argv);
 }

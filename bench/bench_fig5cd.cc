@@ -1,0 +1,18 @@
+// Figures 5c/5d: cost-miss ratio (5c) and miss rate (5d) as a function of
+// the cache size ratio for LRU, Pooled LRU (uniform and cost-proportional
+// partitions) and CAMP (precision 5), on the three-tier {1,100,10K} cost
+// trace. One sweep serves both figures — every point carries both metrics
+// as counters, so this single binary replaces the former
+// bench_fig5c_costmiss / bench_fig5d_missrate pair.
+//
+// Expected shape: 5c — CAMP lowest everywhere; cost-proportional Pooled
+// LRU approaches CAMP at large cache sizes; uniform Pooled LRU tracks LRU.
+// 5d — cost-proportional Pooled LRU pays for its cost-miss win with a much
+// worse miss rate (it starves the cheap pools); CAMP stays close to LRU.
+//
+// The computation lives in the fig5cd FigureSpec (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
+
+int main(int argc, char** argv) {
+  return camp::bench::run_figure_bench({"fig5cd"}, argc, argv);
+}

@@ -5,52 +5,10 @@
 //
 // Expected shape: same ordering as Figures 5c/5d — CAMP adapts and keeps
 // its cost-miss advantage despite the adversarial phase shifts.
-#include "bench_common.h"
-
-namespace {
-
-using namespace camp;
-
-void run_point(benchmark::State& state, const sim::CacheFactory& factory,
-               double ratio) {
-  const auto& bundle = bench::phased_trace();
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(ratio, bundle.unique_bytes);
-  for (auto _ : state) {
-    auto cache = factory(cap);
-    sim::Simulator simulator(*cache);
-    simulator.run(bundle.records);
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-}  // namespace
+//
+// The computation lives in the fig6ab FigureSpec (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  const auto& bundle = camp::bench::phased_trace();
-  struct Series {
-    std::string name;
-    camp::sim::CacheFactory factory;
-  };
-  const std::vector<Series> series{
-      {"lru", camp::bench::lru_factory()},
-      {"pooled-cost", camp::bench::pooled_cost_factory(bundle.records)},
-      {"camp-p5", camp::bench::camp_factory(5)},
-  };
-  const std::vector<double> ratios{0.05, 0.1, 0.25, 0.5, 0.75, 1.0};
-  for (const auto& s : series) {
-    for (const double ratio : ratios) {
-      benchmark::RegisterBenchmark(
-          ("fig6ab/" + s.name + "/ratio=" + std::to_string(ratio)).c_str(),
-          [factory = s.factory, ratio](benchmark::State& st) {
-            run_point(st, factory, ratio);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig6ab"}, argc, argv);
 }

@@ -1,76 +1,16 @@
 // Figures 6c/6d: fraction of cache memory occupied by Trace-File-1 pairs as
 // later phase traces run, for cache size ratios 0.25 and 0.75.
 //
-// The timeline (x = requests after the start of TF2, y = TF1 fraction) is
-// printed as CSV to stdout; counters summarise the drain point.
-//
 // Expected shape: LRU drains TF1 fastest; Pooled LRU drops it in steps;
 // CAMP drains most of TF1 quickly but keeps a sliver of the
 // highest-ratio pairs (<2% at ratio 0.25; <0.6% long-lived at 0.75).
-#include "bench_common.h"
-
-#include <cstdio>
-
-namespace {
-
-using namespace camp;
-
-void run_point(benchmark::State& state, const std::string& name,
-               const sim::CacheFactory& factory, double ratio) {
-  const auto& bundle = bench::phased_trace();
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(ratio, bundle.unique_bytes);
-  const std::uint64_t phase_len = bundle.records.size() / 10;
-  for (auto _ : state) {
-    auto cache = factory(cap);
-    sim::OccupancyTracker tracker(/*tracked_trace_id=*/0, cap,
-                                  /*sample_interval=*/phase_len / 40);
-    sim::Simulator simulator(*cache, &tracker);
-    simulator.run(bundle.records);
-    // Print the timeline relative to the start of TF2 (phase_len requests).
-    std::printf("# fig6cd timeline policy=%s ratio=%.2f\n", name.c_str(),
-                ratio);
-    std::printf("requests_after_tf2_start,tf1_fraction\n");
-    for (const auto& sample : tracker.samples()) {
-      if (sample.request_index < phase_len) continue;
-      std::printf("%llu,%.6f\n",
-                  static_cast<unsigned long long>(sample.request_index -
-                                                  phase_len),
-                  sample.fraction);
-    }
-    state.counters["drained_at_request"] =
-        static_cast<double>(tracker.drained_at());
-    state.counters["final_tf1_fraction"] = tracker.current_fraction();
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-}  // namespace
+//
+// The fig6cd FigureSpec (src/figures/registry.cc) computes the drain
+// timeline; the counters here summarise the drain point, and the full
+// requests_after_tf2_start timeline is emitted by `camp_figures --figure
+// fig6cd` as CSV.
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  const auto& bundle = camp::bench::phased_trace();
-  struct Series {
-    std::string name;
-    camp::sim::CacheFactory factory;
-  };
-  const std::vector<Series> series{
-      {"lru", camp::bench::lru_factory()},
-      {"pooled-cost", camp::bench::pooled_cost_factory(bundle.records)},
-      {"camp-p5", camp::bench::camp_factory(5)},
-  };
-  for (const auto& s : series) {
-    for (const double ratio : {0.25, 0.75}) {
-      benchmark::RegisterBenchmark(
-          ("fig6cd/" + s.name + "/ratio=" + std::to_string(ratio)).c_str(),
-          [s, ratio](benchmark::State& st) {
-            run_point(st, s.name, s.factory, ratio);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig6cd"}, argc, argv);
 }

@@ -6,50 +6,10 @@
 // rate is slightly worse than LRU at small caches (it shields expensive
 // pairs); range-based Pooled LRU wins on cost-miss at small ratios but
 // falls behind both at large ratios.
-#include "bench_common.h"
-
-namespace {
-
-using namespace camp;
-
-void run_point(benchmark::State& state, const sim::CacheFactory& factory,
-               double ratio) {
-  const auto& bundle = bench::equisize_trace();
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(ratio, bundle.unique_bytes);
-  for (auto _ : state) {
-    auto cache = factory(cap);
-    sim::Simulator simulator(*cache);
-    simulator.run(bundle.records);
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-}  // namespace
+//
+// The computation lives in the fig8ab FigureSpec (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  struct Series {
-    std::string name;
-    camp::sim::CacheFactory factory;
-  };
-  const std::vector<Series> series{
-      {"lru", camp::bench::lru_factory()},
-      {"pooled-range", camp::bench::pooled_range_factory()},
-      {"camp-p5", camp::bench::camp_factory(5)},
-  };
-  for (const auto& s : series) {
-    for (const double ratio : camp::bench::paper_cache_ratios()) {
-      benchmark::RegisterBenchmark(
-          ("fig8ab/" + s.name + "/ratio=" + std::to_string(ratio)).c_str(),
-          [factory = s.factory, ratio](benchmark::State& st) {
-            run_point(st, factory, ratio);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig8ab"}, argc, argv);
 }

@@ -4,54 +4,10 @@
 // Expected shape: the continuous-cost trace needs far more queues at high
 // precision (many distinct cost-to-size ratios); at low precision both
 // traces converge to a handful of queues with no performance loss.
-#include "bench_common.h"
-
-namespace {
-
-using namespace camp;
-
-void run_point(benchmark::State& state, const bench::TraceBundle& bundle,
-               int precision) {
-  const std::uint64_t cap =
-      sim::capacity_for_ratio(0.25, bundle.unique_bytes);
-  for (auto _ : state) {
-    core::CampConfig config;
-    config.capacity_bytes = cap;
-    config.precision = precision;
-    core::CampCache cache(config);
-    sim::Simulator simulator(cache);
-    simulator.run(bundle.records);
-    state.counters["queues"] =
-        static_cast<double>(cache.introspect().nonempty_queues);
-    bench::report_point(state, simulator.metrics());
-  }
-}
-
-}  // namespace
+//
+// The computation lives in the fig8c FigureSpec (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  const std::vector<int> precisions{1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
-                                    camp::util::kPrecisionInfinity};
-  for (const int p : precisions) {
-    const std::string pname =
-        p >= camp::util::kPrecisionInfinity ? "inf" : std::to_string(p);
-    benchmark::RegisterBenchmark(
-        ("fig8c/three-tier/precision=" + pname).c_str(),
-        [p](benchmark::State& st) {
-          run_point(st, camp::bench::default_trace(), p);
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
-        ("fig8c/equisize-continuous/precision=" + pname).c_str(),
-        [p](benchmark::State& st) {
-          run_point(st, camp::bench::equisize_trace(), p);
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig8c"}, argc, argv);
 }

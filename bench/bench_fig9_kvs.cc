@@ -1,254 +1,26 @@
-// Figures 9a/9b/9c: the implementation experiment. A real KVS server
-// (slab-allocated storage + LRU or CAMP policy) is driven over localhost
-// TCP by a trace-replaying client using iqget/set, mirroring the paper's
-// IQ Twemcache + Whalin client setup.
+// Figures 9a/9b/9c: the implementation experiment. The KVS engine
+// (slab-allocated storage + LRU or CAMP policy) replays the paper's
+// {1,100,10K}-cost trace using iqget/set, mirroring the paper's IQ
+// Twemcache setup:
 //
 //   9a: cost-miss ratio vs cache size ratio  (CAMP much lower at small caches)
 //   9b: run time vs cache size ratio         (CAMP ~ LRU, both decrease)
 //   9c: miss rate vs cache size ratio        (both decrease; CAMP close to LRU)
 //
-// The replayed trace uses the paper's synthetic {1,100,10K} costs. Run time
-// here includes protocol parsing, TCP round trips and value copies — the
-// same cost components the paper's Figure 9b measures (absolute values are
-// hardware-specific; the shape is the reproduction target).
-//
-// fig9_scaling benches the batched-API redesign: the same replay driven in
-// `unbatched` mode (one round trip per op, the historical client) and
+// fig9_scaling benches the batched-API redesign as a clients x shards
+// matrix: the same replay in `unbatched` mode (one op per round trip) and
 // `batched` mode (KvsBatch of 32 iqgets per write, misses refilled with a
-// noreply set batch) against 1, 4 and hardware_concurrency store shards,
-// fronted by the shard-per-core worker-pool server. The reported
-// `ops_per_sec` separates transport amortization (batched vs unbatched)
-// from lock contention (shard count).
-#include <benchmark/benchmark.h>
-
-#include <algorithm>
-#include <memory>
-#include <set>
-#include <string>
-#include <thread>
-#include <unordered_set>
-#include <vector>
-
-#include "core/camp.h"
-#include "kvs/client.h"
-#include "kvs/server.h"
-#include "policy/lru.h"
-#include "trace/workloads.h"
-
-namespace {
-
-using namespace camp;
-
-struct Fig9Trace {
-  std::vector<trace::TraceRecord> records;
-  std::uint64_t unique_bytes = 0;
-};
-
-const Fig9Trace& fig9_trace() {
-  static const Fig9Trace t = [] {
-    const char* env = std::getenv("CAMP_PAPER_SCALE");
-    const bool paper = env != nullptr && env[0] == '1';
-    const std::uint64_t keys = paper ? 60'000 : 12'000;
-    const std::uint64_t requests = paper ? 1'000'000 : 60'000;
-    // KVS-sized values (<= 8 KiB) so the slab-class spread stays modest
-    // relative to the smallest cache sizes in the sweep.
-    auto config = trace::bg_default(keys, requests, 914);
-    config.size_model =
-        trace::SizeModel::log_normal(6.9, 0.7, 128, 8 * 1024);
-    trace::TraceGenerator gen(config);
-    Fig9Trace out;
-    out.records = gen.generate();
-    out.unique_bytes = gen.unique_bytes();
-    return out;
-  }();
-  return t;
-}
-
-kvs::PolicyFactory policy_factory(const std::string& name) {
-  if (name == "lru") {
-    return [](std::uint64_t cap) {
-      return std::make_unique<policy::LruCache>(cap);
-    };
-  }
-  return [](std::uint64_t cap) {
-    core::CampConfig config;
-    config.capacity_bytes = cap;
-    config.precision = 5;  // the paper's Figure 9 setting
-    return core::make_camp(config);
-  };
-}
-
-kvs::ServerConfig server_config(double ratio, std::size_t shards) {
-  const Fig9Trace& t = fig9_trace();
-  kvs::ServerConfig config;
-  config.store.shards = shards;
-  config.workers = shards;  // shard-per-core worker pool
-  config.store.engine.slab.slab_size_bytes = 64u << 10;
-  config.store.engine.slab.memory_limit_bytes = std::max<std::uint64_t>(
-      static_cast<std::uint64_t>(ratio * static_cast<double>(t.unique_bytes)),
-      8ull * shards * config.store.engine.slab.slab_size_bytes);
-  return config;
-}
-
-// Reusable value payload: item value bytes are opaque to the policies.
-const std::string& payload() {
-  static const std::string p(256u << 10, 'v');
-  return p;
-}
-
-void run_point(benchmark::State& state, const std::string& policy,
-               double ratio) {
-  const Fig9Trace& t = fig9_trace();
-  static util::SteadyClock clock;
-  const kvs::ServerConfig config = server_config(ratio, /*shards=*/1);
-
-  for (auto _ : state) {
-    kvs::KvsServer server(config, policy_factory(policy), clock);
-    server.start();
-    kvs::KvsClient client("127.0.0.1", server.port());
-
-    std::unordered_set<std::uint64_t> seen;
-    std::uint64_t noncold = 0, noncold_misses = 0;
-    std::uint64_t cost_total = 0, cost_missed = 0;
-
-    for (const trace::TraceRecord& r : t.records) {
-      const std::string key = "k" + std::to_string(r.key);
-      const bool cold = seen.insert(r.key).second;
-      if (!cold) {
-        ++noncold;
-        cost_total += r.cost;
-      }
-      const kvs::GetResult result = client.iqget(key);
-      if (!result.hit) {
-        if (!cold) {
-          ++noncold_misses;
-          cost_missed += r.cost;
-        }
-        client.set(key, std::string_view(payload()).substr(0, r.size), 0,
-                   r.cost);
-      }
-    }
-    state.counters["cost_miss_ratio"] =
-        cost_total == 0 ? 0.0
-                        : static_cast<double>(cost_missed) /
-                              static_cast<double>(cost_total);
-    state.counters["miss_rate"] =
-        noncold == 0 ? 0.0
-                     : static_cast<double>(noncold_misses) /
-                           static_cast<double>(noncold);
-    state.counters["requests"] = static_cast<double>(t.records.size());
-    const auto stats = server.store().aggregated_stats();
-    state.counters["slab_reassignments"] =
-        static_cast<double>(stats.slab_reassignments);
-    server.stop();
-  }
-}
-
-// One scaling point: replay the trace through `shards` store shards either
-// one op per round trip (unbatched) or kBatchSize iqgets per write with
-// noreply set refills (batched). Reports throughput, so the batched versus
-// unbatched gap is the transport amortization the API redesign buys.
-void run_scaling_point(benchmark::State& state, bool batched,
-                       std::size_t shards) {
-  constexpr std::size_t kBatchSize = 32;
-  const Fig9Trace& t = fig9_trace();
-  static util::SteadyClock clock;
-  const kvs::ServerConfig config = server_config(/*ratio=*/0.25, shards);
-
-  std::uint64_t total_ops = 0;
-  for (auto _ : state) {
-    kvs::KvsServer server(config, policy_factory("camp"), clock);
-    server.start();
-    kvs::KvsClient client("127.0.0.1", server.port());
-    std::uint64_t ops = 0;
-
-    if (!batched) {
-      for (const trace::TraceRecord& r : t.records) {
-        const std::string key = "k" + std::to_string(r.key);
-        const kvs::GetResult result = client.iqget(key);
-        ++ops;
-        if (!result.hit) {
-          client.set(key, std::string_view(payload()).substr(0, r.size), 0,
-                     r.cost);
-          ++ops;
-        }
-      }
-    } else {
-      for (std::size_t base = 0; base < t.records.size();
-           base += kBatchSize) {
-        const std::size_t n =
-            std::min(kBatchSize, t.records.size() - base);
-        kvs::KvsBatch gets;
-        gets.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          gets.add_iqget("k" + std::to_string(t.records[base + i].key));
-        }
-        const kvs::KvsBatchResult got = client.execute(gets);
-        ops += n;
-        kvs::KvsBatch refill;
-        for (std::size_t i = 0; i < n; ++i) {
-          if (got[i].ok) continue;
-          const trace::TraceRecord& r = t.records[base + i];
-          refill.add_set("k" + std::to_string(r.key),
-                         std::string_view(payload()).substr(0, r.size), 0,
-                         r.cost, 0, /*noreply=*/true);
-        }
-        if (!refill.empty()) {
-          (void)client.execute(refill);
-          ops += refill.size();
-        }
-      }
-    }
-    total_ops += ops;
-    server.stop();
-  }
-  state.counters["shards"] = static_cast<double>(shards);
-  state.counters["batch"] = batched ? kBatchSize : 1.0;
-  state.counters["ops_per_sec"] = benchmark::Counter(
-      static_cast<double>(total_ops), benchmark::Counter::kIsRate);
-}
-
-}  // namespace
+// noreply set batch) for 1/4/8 concurrent clients against 1/4/8 store
+// shards. Because bench adapters run with timing enabled, each point also
+// drives a REAL worker-pool TCP server with that many concurrent batched
+// clients and reports `ops_per_sec` — transport amortization (batched vs
+// unbatched) separated from lock contention (shard count).
+//
+// Both computations live in the fig9 / fig9_scaling FigureSpecs
+// (src/figures/registry.cc); camp_figures emits their deterministic
+// counters for the committed baselines.
+#include "bench_figure_adapter.h"
 
 int main(int argc, char** argv) {
-  const std::vector<double> ratios{0.01, 0.05, 0.1, 0.25, 0.5, 0.75};
-  for (const std::string policy : {"lru", "camp"}) {
-    for (const double ratio : ratios) {
-      benchmark::RegisterBenchmark(
-          ("fig9/" + policy + "/ratio=" + std::to_string(ratio)).c_str(),
-          [policy, ratio](benchmark::State& st) {
-            run_point(st, policy, ratio);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kSecond)
-          ->MeasureProcessCPUTime()
-          ->UseRealTime();
-    }
-  }
-
-  // Batched vs unbatched throughput per shard count (1, 4, cores).
-  std::set<std::size_t> shard_counts{1, 4};
-  shard_counts.insert(std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::thread::hardware_concurrency())));
-  for (const bool batched : {false, true}) {
-    for (const std::size_t shards : shard_counts) {
-      const std::string name = std::string("fig9_scaling/") +
-                               (batched ? "batched" : "unbatched") +
-                               "/shards=" + std::to_string(shards);
-      benchmark::RegisterBenchmark(
-          name.c_str(),
-          [batched, shards](benchmark::State& st) {
-            run_scaling_point(st, batched, shards);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kSecond)
-          ->MeasureProcessCPUTime()
-          ->UseRealTime();
-    }
-  }
-
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return camp::bench::run_figure_bench({"fig9", "fig9_scaling"}, argc, argv);
 }

@@ -1,0 +1,68 @@
+// Thin google-benchmark adapter over the FigureSpec registry: a bench
+// binary names the figures it fronts, and every registry point becomes one
+// benchmark case ("<figure>/<policy>/<x_label>=<x>") whose counters are
+// the figure's metric columns. The computation lives in
+// src/figures/registry.cc — the binaries carry no trace or sweep setup of
+// their own.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+#include "bench_common.h"
+#include "figures/figure_spec.h"
+
+namespace camp::bench {
+
+inline void run_figure_point(benchmark::State& state,
+                             const figures::FigureSpec& spec,
+                             const figures::FigurePointSpec& point,
+                             const figures::FigureOptions& options) {
+  for (auto _ : state) {
+    const auto rows = spec.run_point(point, options);
+    // Timeline figures fan out into many rows; the first row is the
+    // summary the counters report.
+    if (rows.empty()) continue;
+    for (const auto& [metric, value] : rows.front().metrics) {
+      state.counters[metric] = value;
+    }
+  }
+}
+
+inline std::string point_case_name(const figures::FigureSpec& spec,
+                                   const figures::FigurePointSpec& point) {
+  char x[32];
+  std::snprintf(x, sizeof(x), "%g", point.x);
+  return spec.id() + "/" + point.policy + "/" + point.x_label + "=" + x;
+}
+
+/// Register every point of every named figure and run the benchmark loop.
+inline int run_figure_bench(std::initializer_list<const char*> figure_ids,
+                            int argc, char** argv) {
+  const figures::FigureOptions options = figure_options();
+  for (const char* id : figure_ids) {
+    const figures::FigureSpec* spec = figures::find_figure(id);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown figure '%s'\n", id);
+      return 1;
+    }
+    for (const figures::FigurePointSpec& point : spec->points(options)) {
+      benchmark::RegisterBenchmark(
+          point_case_name(*spec, point).c_str(),
+          [spec, point, options](benchmark::State& st) {
+            run_figure_point(st, *spec, point, options);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace camp::bench

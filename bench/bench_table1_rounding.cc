@@ -1,28 +1,32 @@
 // Table 1: regular rounding vs CAMP's MSY rounding at binary precision 4.
-// Prints the paper's table rows, then times both rounding kernels.
+// Prints the paper's table rows (from the table1 FigureSpec, the same
+// numbers camp_figures emits), then times the rounding kernels.
 #include <benchmark/benchmark.h>
 
 #include <bitset>
 #include <cstdio>
 
+#include "figures/figure_runner.h"
 #include "util/rng.h"
 #include "util/rounding.h"
 
 namespace {
 
 void print_table1() {
+  const camp::figures::FigureRunner runner(camp::figures::FigureOptions{});
+  const camp::figures::FigureResult result = runner.run("table1");
   std::printf("\nTable 1: rounding with (binary) precision 4\n");
   std::printf("%-12s %-22s %-22s\n", "input", "regular rounding",
               "CAMP (MSY) rounding");
-  const std::uint64_t inputs[] = {0b101101011, 0b001010011, 0b000001010,
-                                  0b000000111};
-  for (const std::uint64_t x : inputs) {
-    // "Regular" rounding with precision 4: zero the 4 low-order bits
-    // regardless of magnitude (the paper's left column).
-    const std::uint64_t regular = camp::util::truncate_low_bits(x, 4);
-    const std::uint64_t msy = camp::util::msy_round(x, 4);
+  for (const camp::figures::FigureRow& row : result.rows) {
+    const auto input = static_cast<std::uint64_t>(row.point.x);
+    std::uint64_t regular = 0, msy = 0;
+    for (const auto& [metric, value] : row.metrics) {
+      if (metric == "regular") regular = static_cast<std::uint64_t>(value);
+      if (metric == "msy") msy = static_cast<std::uint64_t>(value);
+    }
     std::printf("%-12s %-22s %-22s\n",
-                std::bitset<9>(x).to_string().c_str(),
+                std::bitset<9>(input).to_string().c_str(),
                 std::bitset<9>(regular).to_string().c_str(),
                 std::bitset<9>(msy).to_string().c_str());
   }

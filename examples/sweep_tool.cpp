@@ -1,15 +1,19 @@
 // sweep_tool — run any policy over a trace file at a sweep of cache-size
-// ratios and emit CSV, ready for plotting.
+// ratios and emit CSV in the figure pipeline's stable schema (the same
+// header camp_figures writes, so one plotting/diffing toolchain serves
+// both).
 //
 //   sweep_tool <trace.bin> [--policies=lru,camp,gds] [--ratios=0.05,0.25,0.75]
 //
-// Output columns: policy,cache_ratio,capacity_bytes,miss_rate,
-// cost_miss_ratio,hits,evictions
+// Output rows: policy,cache_ratio -> capacity_bytes, miss_rate,
+// cost_miss_ratio, hits, evictions metrics (long format, one metric per
+// line).
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "figures/emit.h"
 #include "policy/policy_factory.h"
 #include "sim/sweep.h"
 #include "trace/profiler.h"
@@ -63,23 +67,30 @@ int main(int argc, char** argv) {
     sweep.cache_ratios = ratios;
     sweep.unique_bytes = profiler.unique_bytes();
 
-    std::printf(
-        "policy,cache_ratio,capacity_bytes,miss_rate,cost_miss_ratio,"
-        "hits,evictions\n");
+    camp::figures::FigureResult result;
+    result.figure = "sweep";
+    result.seed = 0;  // external trace: no generator seed
+    result.scale = "external";
     for (const std::string& spec : policies) {
       const auto points = camp::sim::run_ratio_sweep(
           records, sweep, spec, [&spec](std::uint64_t capacity) {
             return camp::policy::make_policy(spec, capacity);
           });
       for (const auto& p : points) {
-        std::printf("%s,%.4f,%llu,%.6f,%.6f,%llu,%llu\n", p.policy.c_str(),
-                    p.cache_ratio,
-                    static_cast<unsigned long long>(p.capacity_bytes),
-                    p.metrics.miss_rate(), p.metrics.cost_miss_ratio(),
-                    static_cast<unsigned long long>(p.metrics.hits),
-                    static_cast<unsigned long long>(p.cache_stats.evictions));
+        camp::figures::FigureRow row{{p.policy, "ratio", p.cache_ratio}, {}};
+        row.metrics.emplace_back("capacity_bytes",
+                                 static_cast<double>(p.capacity_bytes));
+        row.metrics.emplace_back("miss_rate", p.metrics.miss_rate());
+        row.metrics.emplace_back("cost_miss_ratio",
+                                 p.metrics.cost_miss_ratio());
+        row.metrics.emplace_back("hits",
+                                 static_cast<double>(p.metrics.hits));
+        row.metrics.emplace_back(
+            "evictions", static_cast<double>(p.cache_stats.evictions));
+        result.rows.push_back(std::move(row));
       }
     }
+    std::fputs(camp::figures::to_csv(result).c_str(), stdout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

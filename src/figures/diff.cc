@@ -1,0 +1,156 @@
+#include "figures/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "figures/emit.h"
+
+namespace camp::figures {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  // A trailing empty field ("a,b,") is swallowed by getline; emitted CSVs
+  // never produce one, so no special case is needed.
+  return fields;
+}
+
+}  // namespace
+
+std::vector<MetricRow> parse_metric_csv(const std::string& text) {
+  std::vector<MetricRow> rows;
+  std::stringstream stream(text);
+  std::string line;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != csv_header()) {
+        throw std::runtime_error(
+            "figures: unexpected CSV header '" + line + "' (want '" +
+            csv_header() + "')");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::vector<std::string> f = split_fields(line);
+    if (f.size() != 8) {
+      throw std::runtime_error("figures: malformed CSV line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    MetricRow row;
+    row.figure = f[0];
+    row.policy = f[1];
+    row.x_label = f[2];
+    row.x = f[3];
+    row.metric = f[4];
+    row.value_text = f[5];
+    try {
+      row.value = std::stod(f[5]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("figures: non-numeric value on CSV line " +
+                               std::to_string(line_no) + ": '" + f[5] + "'");
+    }
+    row.seed = f[6];
+    row.scale = f[7];
+    rows.push_back(std::move(row));
+  }
+  if (!saw_header) {
+    throw std::runtime_error("figures: CSV is empty (no header)");
+  }
+  // Keys must be unique or the diff join silently drops rows — a
+  // duplicated (point, metric) is an emitter bug, surface it here.
+  std::set<std::string> seen;
+  for (const MetricRow& row : rows) {
+    if (!seen.insert(row.key()).second) {
+      throw std::runtime_error("figures: duplicate CSV row key " +
+                               row.key());
+    }
+  }
+  return rows;
+}
+
+std::map<std::string, double> DiffConfig::default_tolerances() {
+  return {{"ops_per_sec", 0.40}};
+}
+
+std::string DiffIssue::to_string() const {
+  char buf[160];
+  switch (kind) {
+    case Kind::kMissingInCandidate:
+      return "missing in candidate: " + key;
+    case Kind::kMissingInBaseline:
+      return "missing in baseline (new row): " + key;
+    case Kind::kOutOfTolerance:
+      std::snprintf(buf, sizeof(buf),
+                    ": baseline=%.9g candidate=%.9g rel_err=%.3g tol=%.3g",
+                    baseline, candidate, rel_error, tolerance);
+      return "out of tolerance: " + key + buf;
+  }
+  return key;
+}
+
+double relative_error(double baseline, double candidate) {
+  const double denom =
+      std::max({std::fabs(baseline), std::fabs(candidate), 1.0});
+  return std::fabs(baseline - candidate) / denom;
+}
+
+DiffReport diff_metrics(const std::vector<MetricRow>& baseline,
+                        const std::vector<MetricRow>& candidate,
+                        const DiffConfig& config) {
+  DiffReport report;
+  std::map<std::string, const MetricRow*> candidate_by_key;
+  for (const MetricRow& row : candidate) {
+    candidate_by_key.emplace(row.key(), &row);
+  }
+
+  std::map<std::string, bool> matched;
+  for (const MetricRow& base : baseline) {
+    const std::string key = base.key();
+    const auto it = candidate_by_key.find(key);
+    if (it == candidate_by_key.end()) {
+      report.issues.push_back(
+          {DiffIssue::Kind::kMissingInCandidate, key, base.value, 0.0, 0.0,
+           0.0});
+      continue;
+    }
+    matched[key] = true;
+    const MetricRow& cand = *it->second;
+    ++report.compared;
+
+    const auto tol_it = config.metric_tolerance.find(base.metric);
+    const double tolerance = tol_it != config.metric_tolerance.end()
+                                 ? tol_it->second
+                                 : config.default_tolerance;
+    // Identical emitted text is always a pass (the byte-identical case).
+    if (base.value_text == cand.value_text) continue;
+    const double rel = relative_error(base.value, cand.value);
+    if (rel <= tolerance + config.exact_epsilon) continue;
+    report.issues.push_back({DiffIssue::Kind::kOutOfTolerance, key,
+                             base.value, cand.value, rel, tolerance});
+  }
+
+  if (config.require_same_rows) {
+    for (const MetricRow& cand : candidate) {
+      const std::string key = cand.key();
+      if (matched.find(key) != matched.end()) continue;
+      report.issues.push_back({DiffIssue::Kind::kMissingInBaseline, key, 0.0,
+                               cand.value, 0.0, 0.0});
+    }
+  }
+  return report;
+}
+
+}  // namespace camp::figures

@@ -1,0 +1,85 @@
+// Baseline comparison for the figure pipeline: parse emitted CSVs and diff
+// a candidate run against a committed baseline with per-metric relative
+// tolerances. Deterministic simulator counters (heap_visits, queues,
+// cost_miss_ratio, ...) are compared exactly; wall-clock metrics
+// (ops_per_sec) get a banded tolerance. Used by the camp_bench_diff tool
+// and the CI figures-smoke gate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace camp::figures {
+
+/// One parsed (point, metric) line of an emitted CSV.
+struct MetricRow {
+  std::string figure;
+  std::string policy;
+  std::string x_label;
+  std::string x;  // kept as text: it is a join key, not a quantity
+  std::string metric;
+  double value = 0.0;
+  std::string value_text;  // exact emitted spelling
+  std::string seed;
+  std::string scale;
+
+  [[nodiscard]] std::string key() const {
+    return figure + '/' + policy + '/' + x_label + '=' + x + '/' + metric;
+  }
+};
+
+/// Parse an emitted CSV (header required). Throws std::runtime_error on a
+/// malformed header or row.
+[[nodiscard]] std::vector<MetricRow> parse_metric_csv(
+    const std::string& text);
+
+struct DiffConfig {
+  /// Relative tolerance per metric name; metrics absent from the map use
+  /// `default_tolerance`. 0 means exact (modulo `exact_epsilon`).
+  std::map<std::string, double> metric_tolerance = default_tolerances();
+  double default_tolerance = 0.0;
+  /// Slack for exact comparisons: absorbs only formatting-level noise, not
+  /// metric drift.
+  double exact_epsilon = 1e-12;
+  /// When true, candidate rows missing from the baseline are mismatches
+  /// (schema drift must be deliberate).
+  bool require_same_rows = true;
+
+  /// Built-in bands: wall-clock throughput (ops_per_sec) is allowed 40%
+  /// relative drift, everything else is exact.
+  [[nodiscard]] static std::map<std::string, double> default_tolerances();
+};
+
+struct DiffIssue {
+  enum class Kind {
+    kMissingInCandidate,
+    kMissingInBaseline,
+    kOutOfTolerance,
+  };
+  Kind kind = Kind::kOutOfTolerance;
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_error = 0.0;
+  double tolerance = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct DiffReport {
+  std::vector<DiffIssue> issues;
+  std::size_t compared = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+};
+
+/// Relative error |a-b| / max(|a|,|b|,1): the denominator floor keeps
+/// near-zero metrics from exploding a tiny absolute wobble.
+[[nodiscard]] double relative_error(double baseline, double candidate);
+
+[[nodiscard]] DiffReport diff_metrics(const std::vector<MetricRow>& baseline,
+                                      const std::vector<MetricRow>& candidate,
+                                      const DiffConfig& config);
+
+}  // namespace camp::figures

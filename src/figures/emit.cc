@@ -1,0 +1,64 @@
+#include "figures/emit.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace camp::figures {
+
+const char* csv_header() {
+  return "figure,policy,x_label,x,metric,value,seed,scale";
+}
+
+std::string format_value(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string to_csv(const FigureResult& result) {
+  std::string out = csv_header();
+  out += '\n';
+  const std::string seed = std::to_string(result.seed);
+  for (const FigureRow& row : result.rows) {
+    const std::string prefix = result.figure + ',' + row.point.policy + ',' +
+                               row.point.x_label + ',' +
+                               format_value(row.point.x) + ',';
+    for (const auto& [metric, value] : row.metrics) {
+      out += prefix;
+      out += metric;
+      out += ',';
+      out += format_value(value);
+      out += ',';
+      out += seed;
+      out += ',';
+      out += result.scale;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string to_json(const FigureResult& result) {
+  std::string out = "[";
+  bool first = true;
+  for (const FigureRow& row : result.rows) {
+    for (const auto& [metric, value] : row.metrics) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n  {\"figure\":\"" + result.figure + "\",\"policy\":\"" +
+             row.point.policy + "\",\"x_label\":\"" + row.point.x_label +
+             "\",\"x\":" + format_value(row.point.x) + ",\"metric\":\"" +
+             metric + "\",\"value\":" + format_value(value) +
+             ",\"seed\":" + std::to_string(result.seed) + ",\"scale\":\"" +
+             result.scale + "\"}";
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace camp::figures

@@ -1,0 +1,33 @@
+// Stable-schema emitters for figure results.
+//
+// CSV is the baseline format: long/tidy layout with one line per
+// (point, metric) so every figure — sweeps, precision grids, timelines,
+// scaling matrices — fits the SAME header:
+//
+//   figure,policy,x_label,x,metric,value,seed,scale
+//
+// Numbers are formatted deterministically (integers without a decimal
+// point, everything else with %.9g), so identical runs produce
+// byte-identical files; the committed baselines and the golden-file test
+// both rely on that. Changing this schema means deliberately regenerating
+// bench/baselines/ and tests/golden/.
+#pragma once
+
+#include <string>
+
+#include "figures/figure_spec.h"
+
+namespace camp::figures {
+
+/// The fixed CSV header line (without trailing newline).
+[[nodiscard]] const char* csv_header();
+
+/// Deterministic number formatting shared by both emitters.
+[[nodiscard]] std::string format_value(double v);
+
+[[nodiscard]] std::string to_csv(const FigureResult& result);
+
+/// JSON array of row objects with the same fields as the CSV columns.
+[[nodiscard]] std::string to_json(const FigureResult& result);
+
+}  // namespace camp::figures

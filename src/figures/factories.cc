@@ -1,0 +1,84 @@
+#include "figures/factories.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/camp.h"
+#include "policy/gds.h"
+#include "policy/lru.h"
+#include "policy/pooled_lru.h"
+#include "trace/profiler.h"
+
+namespace camp::figures {
+
+sim::CacheFactory lru_factory() {
+  return [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  };
+}
+
+sim::CacheFactory gds_factory() {
+  return [](std::uint64_t cap) {
+    policy::GdsConfig config;
+    config.capacity_bytes = cap;
+    return policy::make_gds(config);
+  };
+}
+
+sim::CacheFactory camp_factory(int precision) {
+  return [precision](std::uint64_t cap) {
+    core::CampConfig config;
+    config.capacity_bytes = cap;
+    config.precision = precision;
+    return core::make_camp(config);
+  };
+}
+
+sim::CacheFactory pooled_cost_factory(
+    const std::vector<trace::TraceRecord>& records) {
+  const auto profiler = trace::TraceProfiler::by_cost_value(records);
+  const auto weights = profiler.cost_mass_weights();
+  const auto mapping = profiler.cost_to_group();
+  return [weights, mapping](std::uint64_t cap) {
+    return std::make_unique<policy::PooledLruCache>(
+        policy::weighted_pools(cap, weights),
+        policy::assign_by_cost_value(mapping));
+  };
+}
+
+sim::CacheFactory pooled_uniform_factory(
+    const std::vector<trace::TraceRecord>& records) {
+  const auto profiler = trace::TraceProfiler::by_cost_value(records);
+  const std::size_t pools = profiler.groups().size();
+  const auto mapping = profiler.cost_to_group();
+  return [pools, mapping](std::uint64_t cap) {
+    return std::make_unique<policy::PooledLruCache>(
+        policy::uniform_pools(cap, pools),
+        policy::assign_by_cost_value(mapping));
+  };
+}
+
+sim::CacheFactory pooled_range_factory() {
+  const std::vector<std::uint64_t> boundaries{100, 10'000};
+  return [boundaries](std::uint64_t cap) {
+    return std::make_unique<policy::PooledLruCache>(
+        policy::weighted_pools(cap, {1.0, 100.0, 10'000.0}),
+        policy::assign_by_cost_range(boundaries));
+  };
+}
+
+sim::CacheFactory series_factory(
+    const std::string& series,
+    const std::vector<trace::TraceRecord>& records) {
+  if (series == "lru") return lru_factory();
+  if (series == "gds") return gds_factory();
+  if (series.rfind("camp-p", 0) == 0) {
+    return camp_factory(std::stoi(series.substr(6)));
+  }
+  if (series == "pooled-cost") return pooled_cost_factory(records);
+  if (series == "pooled-uniform") return pooled_uniform_factory(records);
+  if (series == "pooled-range") return pooled_range_factory();
+  throw std::invalid_argument("figures: unknown series '" + series + "'");
+}
+
+}  // namespace camp::figures

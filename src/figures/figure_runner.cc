@@ -1,0 +1,67 @@
+#include "figures/figure_runner.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace camp::figures {
+
+FigureResult FigureRunner::run(const FigureSpec& spec) const {
+  FigureResult result;
+  result.figure = spec.id();
+  result.seed = options_.seed;
+  result.scale = options_.scale.name;
+  for (const FigurePointSpec& point : spec.points(options_)) {
+    for (FigureRow& row : spec.run_point(point, options_)) {
+      result.rows.push_back(std::move(row));
+    }
+  }
+  // Between figures no bundle reference is live; keeping only the most
+  // recent one bounds an all-figures paper-scale run to one resident
+  // workload family (the registry order makes consecutive figures share
+  // it, so at most one bundle is ever regenerated).
+  trim_shared_traces(1);
+  return result;
+}
+
+FigureResult FigureRunner::run(const std::string& figure_id) const {
+  const FigureSpec* spec = find_figure(figure_id);
+  if (spec == nullptr) {
+    throw std::invalid_argument("figures: unknown figure '" + figure_id +
+                                "'");
+  }
+  return run(*spec);
+}
+
+std::vector<FigureResult> FigureRunner::run_all() const {
+  std::vector<FigureResult> results;
+  results.reserve(all_figures().size());
+  for (const FigureSpec& spec : all_figures()) {
+    results.push_back(run(spec));
+  }
+  return results;
+}
+
+std::vector<std::string> FigureRunner::resolve_selection(
+    const std::string& selection) {
+  std::vector<std::string> ids;
+  if (selection == "all" || selection.empty()) {
+    for (const FigureSpec& spec : all_figures()) ids.push_back(spec.id());
+    return ids;
+  }
+  std::stringstream stream(selection);
+  std::string id;
+  while (std::getline(stream, id, ',')) {
+    if (id.empty()) continue;
+    if (find_figure(id) == nullptr) {
+      throw std::invalid_argument("figures: unknown figure '" + id + "'");
+    }
+    ids.push_back(id);
+  }
+  if (ids.empty()) {
+    throw std::invalid_argument("figures: empty figure selection '" +
+                                selection + "'");
+  }
+  return ids;
+}
+
+}  // namespace camp::figures

@@ -1,0 +1,39 @@
+// FigureRunner: drives FigureSpecs point by point and assembles the
+// FigureResults the emitters and the camp_figures CLI consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "figures/figure_spec.h"
+
+namespace camp::figures {
+
+class FigureRunner {
+ public:
+  explicit FigureRunner(FigureOptions options) : options_(options) {}
+
+  [[nodiscard]] const FigureOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Run one spec: every point, in registry order.
+  [[nodiscard]] FigureResult run(const FigureSpec& spec) const;
+
+  /// Run by registry id. Throws std::invalid_argument for an unknown id.
+  [[nodiscard]] FigureResult run(const std::string& figure_id) const;
+
+  /// Run every registered figure in emission order.
+  [[nodiscard]] std::vector<FigureResult> run_all() const;
+
+  /// Resolve a figure selection: "all" -> every registry id, else a
+  /// comma-separated id list, validated against the registry. Throws
+  /// std::invalid_argument on unknown ids.
+  [[nodiscard]] static std::vector<std::string> resolve_selection(
+      const std::string& selection);
+
+ private:
+  FigureOptions options_;
+};
+
+}  // namespace camp::figures

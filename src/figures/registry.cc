@@ -1,0 +1,646 @@
+// The figure registry: every paper figure (fig4..fig9, table1) plus the
+// KVS multi-client scaling matrix, each as a deterministic FigureSpec.
+#include "figures/figure_spec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "core/camp.h"
+#include "figures/factories.h"
+#include "kvs/api.h"
+#include "kvs/client.h"
+#include "kvs/inproc.h"
+#include "kvs/server.h"
+#include "kvs/store.h"
+#include "policy/gds.h"
+#include "sim/occupancy.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "util/clock.h"
+#include "util/rounding.h"
+
+namespace camp::figures {
+
+namespace {
+
+/// Compact axis formatting for series names ("0.05", "1", "0.001").
+std::string fmt_axis(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void append_sim_metrics(FigureRow& row, const sim::Metrics& m) {
+  row.metrics.emplace_back("cost_miss_ratio", m.cost_miss_ratio());
+  row.metrics.emplace_back("miss_rate", m.miss_rate());
+  row.metrics.emplace_back("requests", static_cast<double>(m.requests));
+}
+
+const TraceBundle& bundle_for(TraceKind kind, const FigureOptions& o) {
+  return shared_trace(kind, o.scale, seed_for(kind, o.seed));
+}
+
+/// Cross product of series names and an x axis.
+std::vector<FigurePointSpec> grid(const std::vector<std::string>& series,
+                                  const std::string& x_label,
+                                  const std::vector<double>& axis) {
+  std::vector<FigurePointSpec> points;
+  points.reserve(series.size() * axis.size());
+  for (const std::string& s : series) {
+    for (const double x : axis) points.push_back({s, x_label, x});
+  }
+  return points;
+}
+
+std::vector<double> precision_axis() {
+  std::vector<double> axis;
+  for (const int p : paper_precisions()) axis.push_back(p);
+  return axis;
+}
+
+// ---- fig4: visited heap nodes, GDS vs CAMP --------------------------------
+
+std::vector<FigureRow> fig4_run(const FigurePointSpec& point,
+                                const FigureOptions& o) {
+  const TraceBundle& b = bundle_for(TraceKind::kDefault, o);
+  const std::uint64_t cap = sim::capacity_for_ratio(point.x, b.unique_bytes);
+  FigureRow row{point, {}};
+  if (point.policy == "gds") {
+    policy::GdsConfig config;
+    config.capacity_bytes = cap;
+    policy::GdsCache cache(config);
+    sim::Simulator simulator(cache);
+    simulator.run(b.records);
+    row.metrics.emplace_back(
+        "heap_node_visits",
+        static_cast<double>(cache.heap_stats().nodes_visited));
+    row.metrics.emplace_back(
+        "heap_operations",
+        static_cast<double>(cache.heap_stats().total_operations()));
+    append_sim_metrics(row, simulator.metrics());
+  } else {
+    core::CampConfig config;
+    config.capacity_bytes = cap;
+    config.precision = 5;
+    core::CampCache cache(config);
+    sim::Simulator simulator(cache);
+    simulator.run(b.records);
+    const auto intro = cache.introspect();
+    row.metrics.emplace_back("heap_node_visits",
+                             static_cast<double>(intro.heap.nodes_visited));
+    row.metrics.emplace_back(
+        "heap_operations",
+        static_cast<double>(intro.heap.total_operations()));
+    row.metrics.emplace_back("queues",
+                             static_cast<double>(intro.nonempty_queues));
+    append_sim_metrics(row, simulator.metrics());
+  }
+  return {row};
+}
+
+// ---- fig5a: cost-miss ratio vs precision, three cache sizes ---------------
+
+std::vector<FigurePointSpec> fig5a_points(const FigureOptions&) {
+  std::vector<FigurePointSpec> points;
+  for (const double ratio : {0.05, 0.25, 0.75}) {
+    for (const double p : precision_axis()) {
+      points.push_back({"camp/ratio=" + fmt_axis(ratio), "precision", p});
+    }
+  }
+  return points;
+}
+
+/// Runs CAMP at `precision` over the default trace and reports the queue
+/// count plus the simulator metrics (shared by fig5a/fig5b/fig8c).
+FigureRow run_camp_precision_point(const FigurePointSpec& point,
+                                   const TraceBundle& b, double ratio,
+                                   bool with_prop2_bound) {
+  const std::uint64_t cap = sim::capacity_for_ratio(ratio, b.unique_bytes);
+  core::CampConfig config;
+  config.capacity_bytes = cap;
+  config.precision = static_cast<int>(point.x);
+  core::CampCache cache(config);
+  sim::Simulator simulator(cache);
+  simulator.run(b.records);
+  const auto intro = cache.introspect();
+  FigureRow row{point, {}};
+  row.metrics.emplace_back("queues",
+                           static_cast<double>(intro.nonempty_queues));
+  if (with_prop2_bound) {
+    row.metrics.emplace_back("queues_created",
+                             static_cast<double>(intro.queues_created));
+    row.metrics.emplace_back(
+        "prop2_bound",
+        static_cast<double>(util::distinct_rounded_values_bound(
+            intro.max_scaled_ratio, static_cast<int>(point.x))));
+  }
+  append_sim_metrics(row, simulator.metrics());
+  return row;
+}
+
+std::vector<FigureRow> fig5a_run(const FigurePointSpec& point,
+                                 const FigureOptions& o) {
+  const double ratio = std::stod(point.policy.substr(point.policy.find('=') + 1));
+  return {run_camp_precision_point(point, bundle_for(TraceKind::kDefault, o),
+                                   ratio, /*with_prop2_bound=*/false)};
+}
+
+// ---- fig5b: non-empty queues vs precision ---------------------------------
+
+std::vector<FigureRow> fig5b_run(const FigurePointSpec& point,
+                                 const FigureOptions& o) {
+  return {run_camp_precision_point(point, bundle_for(TraceKind::kDefault, o),
+                                   /*ratio=*/0.25,
+                                   /*with_prop2_bound=*/true)};
+}
+
+// ---- ratio sweeps over a policy series (fig5cd/fig6ab/fig7/fig8ab) --------
+
+std::vector<FigureRow> run_series_ratio_point(const FigurePointSpec& point,
+                                              TraceKind kind,
+                                              const FigureOptions& o) {
+  const TraceBundle& b = bundle_for(kind, o);
+  const std::uint64_t cap = sim::capacity_for_ratio(point.x, b.unique_bytes);
+  auto cache = series_factory(point.policy, b.records)(cap);
+  sim::Simulator simulator(*cache);
+  simulator.run(b.records);
+  FigureRow row{point, {}};
+  append_sim_metrics(row, simulator.metrics());
+  row.metrics.emplace_back("hits",
+                           static_cast<double>(simulator.metrics().hits));
+  row.metrics.emplace_back("evictions",
+                           static_cast<double>(cache->stats().evictions));
+  return {row};
+}
+
+// ---- fig6cd: TF1 occupancy drain timeline ---------------------------------
+
+std::vector<FigurePointSpec> fig6cd_points(const FigureOptions&) {
+  return grid({"lru", "pooled-cost", "camp-p5"}, "ratio", {0.25, 0.75});
+}
+
+std::vector<FigureRow> fig6cd_run(const FigurePointSpec& point,
+                                  const FigureOptions& o) {
+  const TraceBundle& b = bundle_for(TraceKind::kPhased, o);
+  const std::uint64_t cap = sim::capacity_for_ratio(point.x, b.unique_bytes);
+  const std::uint64_t phase_len = b.records.size() / 10;
+  auto cache = series_factory(point.policy, b.records)(cap);
+  sim::OccupancyTracker tracker(
+      /*tracked_trace_id=*/0, cap,
+      /*sample_interval=*/std::max<std::uint64_t>(1, phase_len / 40));
+  sim::Simulator simulator(*cache, &tracker);
+  simulator.run(b.records);
+
+  std::vector<FigureRow> rows;
+  FigureRow summary{point, {}};
+  summary.metrics.emplace_back("drained_at_request",
+                               static_cast<double>(tracker.drained_at()));
+  summary.metrics.emplace_back("final_tf1_fraction",
+                               tracker.current_fraction());
+  append_sim_metrics(summary, simulator.metrics());
+  rows.push_back(std::move(summary));
+
+  // Timeline relative to the start of TF2 (phase_len requests in).
+  const std::string series = point.policy + "/ratio=" + fmt_axis(point.x);
+  for (const auto& sample : tracker.samples()) {
+    if (sample.request_index < phase_len) continue;
+    FigureRow row{{series, "requests_after_tf2_start",
+                   static_cast<double>(sample.request_index - phase_len)},
+                  {}};
+    row.metrics.emplace_back("tf1_fraction", sample.fraction);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---- fig9: KVS engine replay (LRU vs CAMP) --------------------------------
+
+const util::Clock& figure_clock() {
+  // The replay uses explicit costs (no iqset time capture) and no expiry,
+  // so a manual clock keeps the whole KVS path deterministic.
+  static const util::ManualClock clock;
+  return clock;
+}
+
+kvs::PolicyFactory kvs_policy_factory(const std::string& name) {
+  if (name == "lru") return lru_factory();
+  return camp_factory(5);  // the paper's Figure 9 setting
+}
+
+kvs::StoreConfig fig9_store_config(double ratio, std::size_t shards,
+                                   std::uint64_t unique_bytes) {
+  kvs::StoreConfig config;
+  config.shards = shards;
+  config.engine.slab.slab_size_bytes = 64u << 10;
+  config.engine.slab.memory_limit_bytes = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(ratio * static_cast<double>(unique_bytes)),
+      8ull * shards * config.engine.slab.slab_size_bytes);
+  return config;
+}
+
+const std::string& fig9_payload() {
+  static const std::string p(256u << 10, 'v');
+  return p;
+}
+
+/// KVS key for a trace key id. Built without the fused `"k" + to_string`
+/// temporary, which trips GCC 12's bogus -Wrestrict at -O2.
+std::string trace_key(std::uint64_t key) {
+  std::string out = "k";
+  out += std::to_string(key);
+  return out;
+}
+
+std::vector<FigurePointSpec> fig9_points(const FigureOptions&) {
+  return grid({"lru", "camp"}, "ratio", {0.01, 0.05, 0.1, 0.25, 0.5, 0.75});
+}
+
+std::vector<FigureRow> fig9_run(const FigurePointSpec& point,
+                                const FigureOptions& o) {
+  const TraceBundle& t = bundle_for(TraceKind::kKvs, o);
+  kvs::KvsStore store(fig9_store_config(point.x, /*shards=*/1,
+                                        t.unique_bytes),
+                      kvs_policy_factory(point.policy), figure_clock());
+
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t noncold = 0, noncold_misses = 0;
+  std::uint64_t cost_total = 0, cost_missed = 0;
+  for (const trace::TraceRecord& r : t.records) {
+    const std::string key = trace_key(r.key);
+    const bool cold = seen.insert(r.key).second;
+    if (!cold) {
+      ++noncold;
+      cost_total += r.cost;
+    }
+    const kvs::GetResult result = store.iqget(key);
+    if (!result.hit) {
+      if (!cold) {
+        ++noncold_misses;
+        cost_missed += r.cost;
+      }
+      store.set(key, std::string_view(fig9_payload()).substr(0, r.size), 0,
+                r.cost);
+    }
+  }
+  FigureRow row{point, {}};
+  row.metrics.emplace_back(
+      "cost_miss_ratio",
+      cost_total == 0 ? 0.0
+                      : static_cast<double>(cost_missed) /
+                            static_cast<double>(cost_total));
+  row.metrics.emplace_back(
+      "miss_rate", noncold == 0 ? 0.0
+                                : static_cast<double>(noncold_misses) /
+                                      static_cast<double>(noncold));
+  row.metrics.emplace_back("requests",
+                           static_cast<double>(t.records.size()));
+  row.metrics.emplace_back(
+      "slab_reassignments",
+      static_cast<double>(store.aggregated_stats().slab_reassignments));
+  return {row};
+}
+
+// ---- fig9_scaling: batched clients x shards matrix ------------------------
+
+constexpr std::size_t kScalingBatch = 32;
+
+struct ClientStream {
+  std::vector<kvs::KvsBatch> gets;                    // iqget batches
+  std::vector<std::vector<const trace::TraceRecord*>> rows;  // per batch
+};
+
+/// Round-robin partition of the KVS trace into per-client iqget batches.
+std::vector<ClientStream> partition_streams(
+    const std::vector<trace::TraceRecord>& records, std::size_t clients) {
+  std::vector<ClientStream> streams(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    kvs::KvsBatch batch;
+    std::vector<const trace::TraceRecord*> rows;
+    for (std::size_t i = c; i < records.size(); i += clients) {
+      batch.add_iqget(trace_key(records[i].key));
+      rows.push_back(&records[i]);
+      if (batch.size() == kScalingBatch) {
+        streams[c].gets.push_back(std::move(batch));
+        streams[c].rows.push_back(std::move(rows));
+        batch = {};
+        rows.clear();
+      }
+    }
+    if (!batch.empty()) {
+      streams[c].gets.push_back(std::move(batch));
+      streams[c].rows.push_back(std::move(rows));
+    }
+  }
+  return streams;
+}
+
+struct BatchOutcome {
+  std::uint64_t ops = 0;   // gets + refill sets executed
+  std::uint64_t gets = 0;  // iqgets only
+  std::uint64_t hits = 0;
+};
+
+/// Execute one gets-batch and refill the misses with a noreply set batch.
+BatchOutcome replay_batch(
+    kvs::KvsApi& api, const kvs::KvsBatch& gets,
+    const std::vector<const trace::TraceRecord*>& rows) {
+  const kvs::KvsBatchResult got = api.execute(gets);
+  BatchOutcome outcome;
+  outcome.gets = gets.size();
+  outcome.ops = gets.size();
+  kvs::KvsBatch refill;
+  for (std::size_t i = 0; i < gets.size(); ++i) {
+    if (got[i].ok) {
+      ++outcome.hits;
+      continue;
+    }
+    const trace::TraceRecord& r = *rows[i];
+    refill.add_set(trace_key(r.key),
+                   std::string_view(fig9_payload()).substr(0, r.size), 0,
+                   r.cost, 0, /*noreply=*/true);
+  }
+  if (!refill.empty()) {
+    (void)api.execute(refill);
+    outcome.ops += refill.size();
+  }
+  return outcome;
+}
+
+std::vector<FigurePointSpec> fig9_scaling_points(const FigureOptions&) {
+  std::vector<FigurePointSpec> points;
+  for (const char* mode : {"unbatched", "batched"}) {
+    for (const std::size_t clients : {1u, 4u, 8u}) {
+      for (const double shards : {1.0, 4.0, 8.0}) {
+        points.push_back({std::string(mode) +
+                              "/clients=" + std::to_string(clients),
+                          "shards", shards});
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<FigureRow> fig9_scaling_run(const FigurePointSpec& point,
+                                        const FigureOptions& o) {
+  const TraceBundle& t = bundle_for(TraceKind::kKvs, o);
+  const bool batched = point.policy.rfind("batched", 0) == 0;
+  const std::size_t clients = static_cast<std::size_t>(
+      std::stoul(point.policy.substr(point.policy.find('=') + 1)));
+  const auto shards = static_cast<std::size_t>(point.x);
+  const kvs::StoreConfig store_config =
+      fig9_store_config(/*ratio=*/0.25, shards, t.unique_bytes);
+
+  // Deterministic pass: the same per-client batch streams executed in-proc,
+  // single-threaded, interleaved round-robin — client count and shard count
+  // still shape the hit pattern, but nothing depends on scheduling.
+  std::uint64_t ops = 0, gets = 0, hits = 0, batches = 0;
+  {
+    kvs::KvsStore store(store_config, kvs_policy_factory("camp"),
+                        figure_clock());
+    kvs::InprocClient inproc(store);
+    auto streams = partition_streams(t.records, clients);
+    // Unbatched mode replays the identical op mix one op per batch.
+    if (!batched) {
+      for (auto& s : streams) {
+        std::vector<kvs::KvsBatch> singles;
+        std::vector<std::vector<const trace::TraceRecord*>> single_rows;
+        for (std::size_t bi = 0; bi < s.gets.size(); ++bi) {
+          for (std::size_t i = 0; i < s.gets[bi].size(); ++i) {
+            kvs::KvsBatch one;
+            one.add_iqget(s.gets[bi][i].key);
+            singles.push_back(std::move(one));
+            single_rows.push_back({s.rows[bi][i]});
+          }
+        }
+        s.gets = std::move(singles);
+        s.rows = std::move(single_rows);
+      }
+    }
+    std::vector<std::size_t> cursor(clients, 0);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t c = 0; c < clients; ++c) {
+        if (cursor[c] >= streams[c].gets.size()) continue;
+        const BatchOutcome outcome = replay_batch(
+            inproc, streams[c].gets[cursor[c]], streams[c].rows[cursor[c]]);
+        ops += outcome.ops;
+        gets += outcome.gets;
+        hits += outcome.hits;
+        ++batches;
+        ++cursor[c];
+        progressed = true;
+      }
+    }
+  }
+
+  FigureRow row{point, {}};
+  row.metrics.emplace_back("clients", static_cast<double>(clients));
+  row.metrics.emplace_back("batch",
+                           batched ? static_cast<double>(kScalingBatch) : 1.0);
+  row.metrics.emplace_back("ops", static_cast<double>(ops));
+  row.metrics.emplace_back("gets", static_cast<double>(gets));
+  row.metrics.emplace_back("batches", static_cast<double>(batches));
+  row.metrics.emplace_back("hits", static_cast<double>(hits));
+  row.metrics.emplace_back("misses", static_cast<double>(gets - hits));
+
+  // Optional wall-clock pass: a real worker-pool server driven by `clients`
+  // concurrent TCP connections. Nondeterministic by nature — only emitted
+  // under --timing, and diffed with a banded tolerance.
+  if (o.timing) {
+    kvs::ServerConfig server_config;
+    server_config.store = store_config;
+    server_config.workers = shards;
+    static const util::SteadyClock steady;
+    kvs::KvsServer server(server_config, kvs_policy_factory("camp"), steady);
+    server.start();
+    const auto streams = partition_streams(t.records, clients);
+    std::atomic<std::uint64_t> total_ops{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        kvs::KvsClient client("127.0.0.1", server.port());
+        std::uint64_t local = 0;
+        for (std::size_t bi = 0; bi < streams[c].gets.size(); ++bi) {
+          if (batched) {
+            local += replay_batch(client, streams[c].gets[bi],
+                                  streams[c].rows[bi])
+                         .ops;
+          } else {
+            for (std::size_t i = 0; i < streams[c].gets[bi].size(); ++i) {
+              kvs::KvsBatch one;
+              one.add_iqget(streams[c].gets[bi][i].key);
+              local += replay_batch(client, one, {streams[c].rows[bi][i]})
+                           .ops;
+            }
+          }
+        }
+        total_ops.fetch_add(local);
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    server.stop();
+    row.metrics.emplace_back(
+        "ops_per_sec",
+        seconds <= 0.0 ? 0.0
+                       : static_cast<double>(total_ops.load()) / seconds);
+  }
+  return {row};
+}
+
+// ---- table1: regular vs MSY rounding at precision 4 -----------------------
+
+std::vector<FigurePointSpec> table1_points(const FigureOptions&) {
+  std::vector<FigurePointSpec> points;
+  for (const std::uint64_t input :
+       {0b101101011ull, 0b001010011ull, 0b000001010ull, 0b000000111ull}) {
+    points.push_back(
+        {"rounding-p4", "input", static_cast<double>(input)});
+  }
+  return points;
+}
+
+std::vector<FigureRow> table1_run(const FigurePointSpec& point,
+                                  const FigureOptions&) {
+  const auto input = static_cast<std::uint64_t>(point.x);
+  FigureRow row{point, {}};
+  row.metrics.emplace_back(
+      "regular", static_cast<double>(util::truncate_low_bits(input, 4)));
+  row.metrics.emplace_back("msy",
+                           static_cast<double>(util::msy_round(input, 4)));
+  return {row};
+}
+
+// ---- registry -------------------------------------------------------------
+
+std::vector<FigureSpec> build_registry() {
+  std::vector<FigureSpec> figures;
+
+  figures.emplace_back(
+      "fig4", "Visited heap nodes vs cache size ratio (GDS vs CAMP)",
+      [](const FigureOptions&) {
+        return grid({"gds", "camp-p5"}, "ratio", paper_cache_ratios());
+      },
+      fig4_run);
+
+  figures.emplace_back("fig5a",
+                       "Cost-miss ratio vs precision, three cache sizes",
+                       fig5a_points, fig5a_run);
+
+  figures.emplace_back(
+      "fig5b", "Non-empty LRU queues vs precision (three-tier costs)",
+      [](const FigureOptions&) {
+        return grid({"camp"}, "precision", precision_axis());
+      },
+      fig5b_run);
+
+  figures.emplace_back(
+      "fig5cd",
+      "Cost-miss ratio (5c) and miss rate (5d) vs cache size ratio",
+      [](const FigureOptions&) {
+        return grid({"lru", "pooled-uniform", "pooled-cost", "camp-p5"},
+                    "ratio", paper_cache_ratios());
+      },
+      [](const FigurePointSpec& p, const FigureOptions& o) {
+        return run_series_ratio_point(p, TraceKind::kDefault, o);
+      });
+
+  figures.emplace_back(
+      "fig6ab", "Adaptation under evolving access patterns (phased traces)",
+      [](const FigureOptions&) {
+        return grid({"lru", "pooled-cost", "camp-p5"}, "ratio",
+                    {0.05, 0.1, 0.25, 0.5, 0.75, 1.0});
+      },
+      [](const FigurePointSpec& p, const FigureOptions& o) {
+        return run_series_ratio_point(p, TraceKind::kPhased, o);
+      });
+
+  figures.emplace_back("fig6cd",
+                       "TF1 occupancy drain after the phase shift",
+                       fig6cd_points, fig6cd_run);
+
+  figures.emplace_back(
+      "fig7", "Miss rate with variable sizes and constant cost",
+      [](const FigureOptions&) {
+        return grid({"lru", "camp-p5", "gds"}, "ratio",
+                    paper_cache_ratios());
+      },
+      [](const FigurePointSpec& p, const FigureOptions& o) {
+        return run_series_ratio_point(p, TraceKind::kVarSize, o);
+      });
+
+  figures.emplace_back(
+      "fig8ab", "Equi-sized pairs with continuous costs",
+      [](const FigureOptions&) {
+        return grid({"lru", "pooled-range", "camp-p5"}, "ratio",
+                    paper_cache_ratios());
+      },
+      [](const FigurePointSpec& p, const FigureOptions& o) {
+        return run_series_ratio_point(p, TraceKind::kEquiSize, o);
+      });
+
+  figures.emplace_back(
+      "fig8c", "Queue count vs precision, three-tier vs continuous costs",
+      [](const FigureOptions&) {
+        return grid({"three-tier", "equisize-continuous"}, "precision",
+                    precision_axis());
+      },
+      [](const FigurePointSpec& p, const FigureOptions& o) {
+        const TraceKind kind = p.policy == "three-tier"
+                                   ? TraceKind::kDefault
+                                   : TraceKind::kEquiSize;
+        return std::vector<FigureRow>{run_camp_precision_point(
+            p, bundle_for(kind, o), /*ratio=*/0.25,
+            /*with_prop2_bound=*/false)};
+      });
+
+  figures.emplace_back("fig9",
+                       "KVS implementation experiment (LRU vs CAMP)",
+                       fig9_points, fig9_run);
+
+  figures.emplace_back("fig9_scaling",
+                       "Batched clients x shards scaling matrix",
+                       fig9_scaling_points, fig9_scaling_run);
+
+  figures.emplace_back("table1", "Regular vs MSY rounding at precision 4",
+                       table1_points, table1_run);
+
+  return figures;
+}
+
+}  // namespace
+
+std::vector<double> paper_cache_ratios() {
+  return {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75};
+}
+
+std::vector<int> paper_precisions() {
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, util::kPrecisionInfinity};
+}
+
+const std::vector<FigureSpec>& all_figures() {
+  static const std::vector<FigureSpec> registry = build_registry();
+  return registry;
+}
+
+const FigureSpec* find_figure(const std::string& id) {
+  for (const FigureSpec& spec : all_figures()) {
+    if (spec.id() == id) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace camp::figures

@@ -1,0 +1,84 @@
+// Golden-file schema test: the FigureRunner's CSV output for a tiny
+// fixed-seed trace must be BYTE-IDENTICAL to the checked-in golden files.
+// A schema change (column order, number formatting, metric set, row order)
+// fails here until tests/golden/ is regenerated deliberately — see the
+// README's "Regenerating the paper figures" section.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "figures/emit.h"
+#include "figures/figure_runner.h"
+
+namespace camp::figures {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(CAMP_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "cannot open golden file " << path;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+FigureRunner tiny_runner() {
+  FigureOptions options;
+  options.scale = Scale::tiny();
+  options.seed = kCanonicalSeed;
+  return FigureRunner(options);
+}
+
+TEST(FiguresCsvTest, HeaderIsStable) {
+  EXPECT_STREQ(csv_header(), "figure,policy,x_label,x,metric,value,seed,scale");
+}
+
+TEST(FiguresCsvTest, Fig4MatchesGolden) {
+  const std::string csv = to_csv(tiny_runner().run("fig4"));
+  EXPECT_EQ(csv, read_golden("fig4_tiny.csv"))
+      << "fig4 CSV drifted from tests/golden/fig4_tiny.csv — if the change "
+         "is intentional, regenerate the golden file (see README)";
+}
+
+TEST(FiguresCsvTest, Fig9MatchesGolden) {
+  const std::string csv = to_csv(tiny_runner().run("fig9"));
+  EXPECT_EQ(csv, read_golden("fig9_tiny.csv"))
+      << "fig9 CSV drifted from tests/golden/fig9_tiny.csv — if the change "
+         "is intentional, regenerate the golden file (see README)";
+}
+
+TEST(FiguresCsvTest, Table1MatchesGolden) {
+  const std::string csv = to_csv(tiny_runner().run("table1"));
+  EXPECT_EQ(csv, read_golden("table1_tiny.csv"));
+}
+
+TEST(FiguresCsvTest, EveryRowHasTheSchemaColumnCount) {
+  const std::string csv = to_csv(tiny_runner().run("fig5cd"));
+  std::stringstream stream(csv);
+  std::string line;
+  while (std::getline(stream, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 7) << line;
+  }
+}
+
+TEST(FiguresCsvTest, JsonEmitterCoversTheSameRows) {
+  const FigureResult result = tiny_runner().run("table1");
+  const std::string json = to_json(result);
+  std::size_t metric_count = 0;
+  for (const FigureRow& row : result.rows) metric_count += row.metrics.size();
+  std::size_t objects = 0;
+  for (std::size_t pos = json.find("{\"figure\""); pos != std::string::npos;
+       pos = json.find("{\"figure\"", pos + 1)) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, metric_count);
+}
+
+}  // namespace
+}  // namespace camp::figures

@@ -1,0 +1,156 @@
+// The baseline diff core: exact comparison for deterministic counters,
+// banded tolerance for wall-clock metrics, and hard failures for schema
+// drift (missing/extra rows). camp_bench_diff and the CI figures-smoke
+// gate are thin wrappers over this.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "figures/diff.h"
+#include "figures/emit.h"
+#include "figures/figure_runner.h"
+
+namespace camp::figures {
+namespace {
+
+std::string tiny_csv(const char* figure) {
+  FigureOptions options;
+  options.scale = Scale::tiny();
+  return to_csv(FigureRunner(options).run(figure));
+}
+
+TEST(FiguresDiffTest, ParsesEmittedCsvRoundTrip) {
+  const std::string csv = tiny_csv("fig4");
+  const auto rows = parse_metric_csv(csv);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().figure, "fig4");
+  EXPECT_EQ(rows.front().x_label, "ratio");
+  EXPECT_EQ(rows.front().scale, "tiny");
+  EXPECT_EQ(rows.front().seed, std::to_string(kCanonicalSeed));
+}
+
+TEST(FiguresDiffTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_metric_csv(""), std::runtime_error);
+  EXPECT_THROW(parse_metric_csv("wrong,header\n"), std::runtime_error);
+  const std::string good = std::string(csv_header()) + "\n";
+  EXPECT_NO_THROW(parse_metric_csv(good));
+  EXPECT_THROW(parse_metric_csv(good + "a,b,c\n"), std::runtime_error);
+  EXPECT_THROW(
+      parse_metric_csv(good + "f,p,x,1,m,not-a-number,2014,tiny\n"),
+      std::runtime_error);
+}
+
+TEST(FiguresDiffTest, ParserRejectsDuplicateRowKeys) {
+  // A duplicated (point, metric) key would make the diff join silently
+  // drop one copy — it must be rejected at parse time instead.
+  const std::string csv = std::string(csv_header()) +
+                          "\n"
+                          "f,p,ratio,0.25,queues,40,2014,tiny\n"
+                          "f,p,ratio,0.25,queues,41,2014,tiny\n";
+  EXPECT_THROW(parse_metric_csv(csv), std::runtime_error);
+}
+
+TEST(FiguresDiffTest, IdenticalRunsDiffClean) {
+  const auto a = parse_metric_csv(tiny_csv("fig9"));
+  const auto b = parse_metric_csv(tiny_csv("fig9"));
+  const DiffReport report = diff_metrics(a, b, DiffConfig{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.compared, a.size());
+}
+
+TEST(FiguresDiffTest, PerturbedExactMetricFailsTheDiff) {
+  auto baseline = parse_metric_csv(tiny_csv("fig9"));
+  auto candidate = baseline;
+  // Perturb one deterministic counter by ~1%: far beyond the exact
+  // tolerance, the build must fail.
+  bool perturbed = false;
+  for (MetricRow& row : candidate) {
+    if (row.metric == "cost_miss_ratio" && row.value > 0.0) {
+      row.value *= 1.01;
+      row.value_text = format_value(row.value);
+      perturbed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(perturbed);
+  const DiffReport report =
+      diff_metrics(baseline, candidate, DiffConfig{});
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, DiffIssue::Kind::kOutOfTolerance);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FiguresDiffTest, FormattingNoiseDoesNotFailExactMetrics) {
+  auto baseline = parse_metric_csv(tiny_csv("fig4"));
+  auto candidate = baseline;
+  for (MetricRow& row : candidate) {
+    if (row.metric == "cost_miss_ratio") {
+      row.value_text += "0";  // "0.5" -> "0.50": same value, new spelling
+    }
+  }
+  EXPECT_TRUE(diff_metrics(baseline, candidate, DiffConfig{}).ok());
+}
+
+TEST(FiguresDiffTest, BandedMetricToleratesDriftWithinTheBand) {
+  MetricRow base;
+  base.figure = "fig9_scaling";
+  base.policy = "batched/clients=8";
+  base.x_label = "shards";
+  base.x = "4";
+  base.metric = "ops_per_sec";
+  base.value = 100'000.0;
+  base.value_text = "100000";
+  MetricRow cand = base;
+  cand.value = 120'000.0;  // +20%: inside the 40% band
+  cand.value_text = "120000";
+  EXPECT_TRUE(diff_metrics({base}, {cand}, DiffConfig{}).ok());
+
+  cand.value = 250'000.0;  // +150%: outside
+  cand.value_text = "250000";
+  const DiffReport report = diff_metrics({base}, {cand}, DiffConfig{});
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].tolerance, 0.40);
+}
+
+TEST(FiguresDiffTest, MissingAndExtraRowsAreSchemaDrift) {
+  const auto baseline = parse_metric_csv(tiny_csv("table1"));
+  auto candidate = baseline;
+  candidate.pop_back();
+  DiffReport report = diff_metrics(baseline, candidate, DiffConfig{});
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, DiffIssue::Kind::kMissingInCandidate);
+
+  candidate = baseline;
+  MetricRow extra = baseline.front();
+  extra.metric = "brand_new_metric";
+  candidate.push_back(extra);
+  report = diff_metrics(baseline, candidate, DiffConfig{});
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, DiffIssue::Kind::kMissingInBaseline);
+
+  DiffConfig allow_extra;
+  allow_extra.require_same_rows = false;
+  EXPECT_TRUE(diff_metrics(baseline, candidate, allow_extra).ok());
+}
+
+TEST(FiguresDiffTest, PerMetricOverridesWin) {
+  MetricRow base;
+  base.figure = "f";
+  base.policy = "p";
+  base.x_label = "ratio";
+  base.x = "0.25";
+  base.metric = "queues";
+  base.value = 40.0;
+  base.value_text = "40";
+  MetricRow cand = base;
+  cand.value = 42.0;
+  cand.value_text = "42";
+  EXPECT_FALSE(diff_metrics({base}, {cand}, DiffConfig{}).ok());
+
+  DiffConfig loose;
+  loose.metric_tolerance["queues"] = 0.10;
+  EXPECT_TRUE(diff_metrics({base}, {cand}, loose).ok());
+}
+
+}  // namespace
+}  // namespace camp::figures

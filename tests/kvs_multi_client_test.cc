@@ -1,0 +1,190 @@
+// Multi-client stress for the worker-pool server: 8 concurrent batched TCP
+// clients against one KvsServer. Asserts per-client reply accounting
+// (every non-noreply op is acked, batch results stay index-aligned), no
+// lost acks server-side (engine op totals equal the ops the clients
+// pushed), and a clean stop() while clients are mid-flight. Runs in the
+// TSan CI matrix.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/camp.h"
+#include "kvs/client.h"
+#include "kvs/server.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace camp {
+namespace {
+
+constexpr std::size_t kClients = 8;
+
+kvs::ServerConfig stress_config() {
+  kvs::ServerConfig config;
+  config.workers = 4;
+  config.store.shards = 4;
+  config.store.engine.slab.memory_limit_bytes = 64u << 20;
+  return config;
+}
+
+kvs::PolicyFactory camp_policy() {
+  return [](std::uint64_t cap) {
+    core::CampConfig config;
+    config.capacity_bytes = cap;
+    config.precision = 5;
+    return core::make_camp(config);
+  };
+}
+
+struct ClientTally {
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;          // acked sets
+  std::uint64_t noreply_sets = 0;  // fire-and-forget sets
+  std::uint64_t replies = 0;       // acked results observed
+  std::uint64_t batches = 0;
+};
+
+/// One client's workload: `batches` random batches of 16 iqgets + 8 sets
+/// (half of them noreply). Returns the tally; fails the test on any
+/// mis-aligned or un-acked reply.
+ClientTally run_client(std::uint16_t port, std::uint64_t seed,
+                       int batches) {
+  kvs::KvsClient client("127.0.0.1", port);
+  util::Xoshiro256 rng(seed);
+  ClientTally tally;
+  for (int b = 0; b < batches; ++b) {
+    kvs::KvsBatch batch;
+    std::vector<bool> expect_ack;
+    for (int i = 0; i < 16; ++i) {
+      batch.add_iqget("stress-" + std::to_string(rng.below(2'000)));
+      expect_ack.push_back(true);
+      ++tally.gets;
+    }
+    for (int i = 0; i < 8; ++i) {
+      const bool noreply = (i % 2) == 0;
+      batch.add_set("stress-" + std::to_string(rng.below(2'000)),
+                    std::string(64 + rng.below(512), 's'), 0,
+                    static_cast<std::uint32_t>(1 + rng.below(10'000)), 0,
+                    noreply);
+      expect_ack.push_back(!noreply);
+      if (noreply) {
+        ++tally.noreply_sets;
+      } else {
+        ++tally.sets;
+      }
+    }
+    const kvs::KvsBatchResult result = client.execute(batch);
+    EXPECT_EQ(result.size(), batch.size());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].acked, expect_ack[i]) << "op " << i;
+      if (result[i].acked) ++tally.replies;
+      if (batch[i].type == kvs::KvsOpType::kSet && result[i].acked) {
+        EXPECT_TRUE(result[i].ok) << "acked set must store";
+      }
+    }
+    ++tally.batches;
+  }
+  return tally;
+}
+
+TEST(KvsMultiClientTest, EightBatchedClientsNoLostAcks) {
+  kvs::ServerConfig config = stress_config();
+  static const util::SteadyClock clock;
+  kvs::KvsServer server(config, camp_policy(), clock);
+  server.start();
+
+  constexpr int kBatches = 40;
+  std::vector<ClientTally> tallies(kClients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        tallies[c] = run_client(server.port(), /*seed=*/c + 1, kBatches);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  std::uint64_t gets = 0, sets = 0, noreply_sets = 0, replies = 0;
+  for (const ClientTally& t : tallies) {
+    // Per-client accounting: every batch returned, every acked op replied.
+    EXPECT_EQ(t.batches, static_cast<std::uint64_t>(kBatches));
+    EXPECT_EQ(t.replies, t.gets + t.sets);
+    gets += t.gets;
+    sets += t.sets;
+    noreply_sets += t.noreply_sets;
+    replies += t.replies;
+  }
+  EXPECT_EQ(gets, kClients * kBatches * 16u);
+  EXPECT_EQ(replies, gets + sets);
+
+  // Server-side totals: noreply sets were executed too, none were lost.
+  const kvs::EngineStats stats = server.store().aggregated_stats();
+  EXPECT_EQ(stats.gets, gets);
+  EXPECT_EQ(stats.sets + stats.rejected_sets, sets + noreply_sets);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(KvsMultiClientTest, StopUnderLoadIsClean) {
+  kvs::ServerConfig config = stress_config();
+  static const util::SteadyClock clock;
+  kvs::KvsServer server(config, camp_policy(), clock);
+  server.start();
+
+  std::atomic<bool> stop_requested{false};
+  std::atomic<std::uint64_t> completed_batches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        kvs::KvsClient client("127.0.0.1", server.port());
+        util::Xoshiro256 rng(100 + c);
+        // Bounded loop: the stop() below aborts it early via the
+        // connection teardown; without stop() it still terminates.
+        for (int b = 0; b < 50'000 && !stop_requested.load(); ++b) {
+          kvs::KvsBatch batch;
+          for (int i = 0; i < 24; ++i) {
+            batch.add_iqget("load-" + std::to_string(rng.below(1'000)));
+          }
+          batch.add_set("load-" + std::to_string(rng.below(1'000)),
+                        std::string(256, 'x'), 0, 1, 0, /*noreply=*/true);
+          (void)client.execute(batch);
+          completed_batches.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        // Expected once stop() tears the connection down mid-flight.
+      }
+    });
+  }
+
+  // Let the clients build up real in-flight load, then stop the server
+  // while they are still writing.
+  while (completed_batches.load() < kClients * 4) {
+    std::this_thread::yield();
+  }
+  server.stop();
+  stop_requested.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(server.running());
+  EXPECT_GE(completed_batches.load(), kClients * 4);
+
+  // The server must be fully torn down: a fresh one can start and serve.
+  kvs::KvsServer again(stress_config(), camp_policy(), clock);
+  again.start();
+  kvs::KvsClient client("127.0.0.1", again.port());
+  EXPECT_TRUE(client.set("after-restart", "v", 0, 1));
+  again.stop();
+}
+
+}  // namespace
+}  // namespace camp

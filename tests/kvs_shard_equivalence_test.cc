@@ -1,0 +1,203 @@
+// Differential property test for hash partitioning: the SAME random
+// batched op stream (fixed seeds) executed against 1, 4 and 7 shards must
+// produce identical per-key results and identical aggregate hit/miss
+// totals — sharding is a concurrency layout, never a semantic change.
+//
+// Two layers are pinned:
+//   * policy level: ShardedCache{1,4,7} vs the raw LruCache it wraps, with
+//     capacity comfortably above the working set (eviction order across
+//     shard splits is legitimately different, so the equivalence is about
+//     routing, not victim choice);
+//   * store level: KvsStore (slab-backed engines) at 1/4/7 shards driven
+//     through the batched InprocClient transport.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kvs/api.h"
+#include "kvs/inproc.h"
+#include "kvs/sharded_cache.h"
+#include "kvs/store.h"
+#include "policy/lru.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace camp {
+namespace {
+
+// ---- policy level ---------------------------------------------------------
+
+struct PolicyOp {
+  enum class Kind { kGet, kPut, kErase, kContains } kind;
+  policy::Key key;
+  std::uint64_t size = 0;
+  std::uint64_t cost = 0;
+};
+
+std::vector<PolicyOp> random_policy_ops(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<PolicyOp> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PolicyOp op;
+    const std::uint64_t roll = rng.below(10);
+    op.key = rng.below(600);
+    if (roll < 5) {
+      op.kind = PolicyOp::Kind::kGet;
+    } else if (roll < 8) {
+      op.kind = PolicyOp::Kind::kPut;
+      op.size = 64 + rng.below(2048);
+      op.cost = 1 + rng.below(10'000);
+    } else if (roll < 9) {
+      op.kind = PolicyOp::Kind::kErase;
+    } else {
+      op.kind = PolicyOp::Kind::kContains;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Replay `ops` and record every boolean outcome in order.
+std::vector<bool> replay_policy_ops(policy::ICache& cache,
+                                    const std::vector<PolicyOp>& ops) {
+  std::vector<bool> outcomes;
+  outcomes.reserve(ops.size());
+  for (const PolicyOp& op : ops) {
+    switch (op.kind) {
+      case PolicyOp::Kind::kGet:
+        outcomes.push_back(cache.get(op.key));
+        break;
+      case PolicyOp::Kind::kPut:
+        outcomes.push_back(cache.put(op.key, op.size, op.cost));
+        break;
+      case PolicyOp::Kind::kErase:
+        cache.erase(op.key);
+        outcomes.push_back(true);
+        break;
+      case PolicyOp::Kind::kContains:
+        outcomes.push_back(cache.contains(op.key));
+        break;
+    }
+  }
+  return outcomes;
+}
+
+kvs::ShardedCache::ShardFactory lru_shard_factory() {
+  return [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  };
+}
+
+TEST(KvsShardEquivalenceTest, ShardedCacheMatchesSingleLruUnderAllSplits) {
+  // 600 keys x <= 2 KiB: far below 64 MiB, so no shard ever evicts and the
+  // op outcomes are purely a function of routing correctness.
+  constexpr std::uint64_t kCapacity = 64u << 20;
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    const auto ops = random_policy_ops(seed, 20'000);
+
+    policy::LruCache reference(kCapacity);
+    const auto want = replay_policy_ops(reference, ops);
+
+    for (const std::size_t shards : {1u, 4u, 7u}) {
+      kvs::ShardedCache cache(kCapacity, shards, lru_shard_factory());
+      const auto got = replay_policy_ops(cache, ops);
+      EXPECT_EQ(want, got) << "seed=" << seed << " shards=" << shards;
+
+      const policy::CacheStats reference_stats = reference.stats();
+      const policy::CacheStats stats = cache.stats_snapshot();
+      EXPECT_EQ(stats.gets, reference_stats.gets) << "shards=" << shards;
+      EXPECT_EQ(stats.hits, reference_stats.hits) << "shards=" << shards;
+      EXPECT_EQ(stats.misses, reference_stats.misses)
+          << "shards=" << shards;
+      EXPECT_EQ(stats.evictions, 0u) << "shards=" << shards;
+      EXPECT_EQ(cache.item_count(), reference.item_count())
+          << "shards=" << shards;
+      EXPECT_EQ(cache.used_bytes(), reference.used_bytes())
+          << "shards=" << shards;
+    }
+  }
+}
+
+// ---- store level ----------------------------------------------------------
+
+kvs::KvsBatch random_batch(util::Xoshiro256& rng, std::size_t ops) {
+  kvs::KvsBatch batch;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::string key = "key-" + std::to_string(rng.below(400));
+    const std::uint64_t roll = rng.below(10);
+    if (roll < 5) {
+      batch.add_iqget(key);
+    } else if (roll < 6) {
+      batch.add_get(key);
+    } else if (roll < 9) {
+      batch.add_set(key, std::string(64 + rng.below(1024), 'v'),
+                    static_cast<std::uint32_t>(rng.below(16)),
+                    static_cast<std::uint32_t>(1 + rng.below(10'000)));
+    } else {
+      batch.add_del(key);
+    }
+  }
+  return batch;
+}
+
+struct StoreReplay {
+  std::vector<bool> oks;
+  std::vector<std::string> values;
+  kvs::EngineStats stats;
+};
+
+StoreReplay replay_store(std::size_t shards, std::uint64_t seed) {
+  static const util::ManualClock clock;
+  kvs::StoreConfig config;
+  config.shards = shards;
+  config.engine.slab.memory_limit_bytes = 256u << 20;  // never evicts
+  kvs::KvsStore store(config, [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  }, clock);
+  kvs::InprocClient client(store);
+
+  util::Xoshiro256 rng(seed);
+  StoreReplay replay;
+  for (int b = 0; b < 60; ++b) {
+    const kvs::KvsBatch batch = random_batch(rng, 32);
+    const kvs::KvsBatchResult result = client.execute(batch);
+    EXPECT_EQ(result.size(), batch.size());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      replay.oks.push_back(result[i].ok);
+      replay.values.push_back(result[i].value);
+    }
+  }
+  replay.stats = store.aggregated_stats();
+  return replay;
+}
+
+TEST(KvsShardEquivalenceTest, StoreBatchesMatchSingleShardEngine) {
+  for (const std::uint64_t seed : {3u, 2014u}) {
+    const StoreReplay want = replay_store(/*shards=*/1, seed);
+    ASSERT_GT(want.stats.gets, 0u);
+    ASSERT_GT(want.stats.hits, 0u) << "stream must exercise hits";
+    ASSERT_GT(want.stats.sets, 0u);
+
+    for (const std::size_t shards : {4u, 7u}) {
+      const StoreReplay got = replay_store(shards, seed);
+      EXPECT_EQ(want.oks, got.oks) << "shards=" << shards;
+      EXPECT_EQ(want.values, got.values) << "shards=" << shards;
+      EXPECT_EQ(want.stats.gets, got.stats.gets) << "shards=" << shards;
+      EXPECT_EQ(want.stats.hits, got.stats.hits) << "shards=" << shards;
+      EXPECT_EQ(want.stats.sets, got.stats.sets) << "shards=" << shards;
+      EXPECT_EQ(want.stats.deletes, got.stats.deletes)
+          << "shards=" << shards;
+      EXPECT_EQ(want.stats.items, got.stats.items) << "shards=" << shards;
+      EXPECT_EQ(want.stats.value_bytes, got.stats.value_bytes)
+          << "shards=" << shards;
+      EXPECT_EQ(got.stats.rejected_sets, 0u) << "shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace camp

@@ -1,0 +1,191 @@
+// camp_bench_diff — compare a fresh camp_figures run against the committed
+// baselines; the CI perf/metric-regression gate.
+//
+//   camp_bench_diff --baseline bench/baselines --candidate /tmp/fig
+//
+// Options:
+//   --baseline <dir>        committed reference CSVs (required)
+//   --candidate <dir>       freshly generated CSVs (required)
+//   --figure <all|id,...>   restrict to some figures (default: every
+//                           baseline *.csv)
+//   --tolerance <m>=<rel>   override/add a per-metric relative tolerance,
+//                           e.g. --tolerance ops_per_sec=0.5 (repeatable)
+//   --allow-extra           don't fail on candidate rows missing from the
+//                           baseline (schema additions in flight)
+//
+// Tolerance policy: deterministic simulator counters (heap visits, queue
+// counts, hit/miss and cost-miss numbers) are compared exactly; wall-clock
+// throughput (ops_per_sec) defaults to a 40% band. Exit codes: 0 = within
+// tolerance, 1 = regression/drift found, 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "figures/diff.h"
+#include "tool_args.h"
+
+namespace {
+
+using namespace camp;
+using camp::tools::match_arg;
+
+struct Args {
+  std::string baseline;
+  std::string candidate;
+  std::string figure = "all";
+  std::vector<std::string> tolerances;
+  bool allow_extra = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string tolerance;
+    if (match_arg(argc, argv, i, "--baseline", &args.baseline)) continue;
+    if (match_arg(argc, argv, i, "--candidate", &args.candidate)) continue;
+    if (match_arg(argc, argv, i, "--figure", &args.figure)) continue;
+    if (match_arg(argc, argv, i, "--tolerance", &tolerance)) {
+      args.tolerances.push_back(tolerance);
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--allow-extra", nullptr)) {
+      args.allow_extra = true;
+      continue;
+    }
+    throw std::invalid_argument(std::string("unknown argument '") + argv[i] +
+                                "'");
+  }
+  if (args.baseline.empty() || args.candidate.empty()) {
+    throw std::invalid_argument(
+        "usage: camp_bench_diff --baseline <dir> --candidate <dir> "
+        "[--figure all] [--tolerance metric=rel]... [--allow-extra]");
+  }
+  return args;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> csv_stems(const std::string& dir) {
+  std::vector<std::string> ids;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".csv") continue;
+    ids.push_back(entry.path().stem().string());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Figure ids = baseline dir's *.csv stems, optionally filtered.
+std::vector<std::string> figure_ids(const Args& args) {
+  const std::vector<std::string> ids = csv_stems(args.baseline);
+  if (ids.empty()) {
+    throw std::runtime_error("no baseline *.csv files under " +
+                             args.baseline);
+  }
+  if (args.figure == "all" || args.figure.empty()) return ids;
+  std::vector<std::string> selected;
+  std::stringstream stream(args.figure);
+  std::string id;
+  while (std::getline(stream, id, ',')) {
+    if (id.empty()) continue;
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+      throw std::runtime_error("figure '" + id + "' has no baseline CSV in " +
+                               args.baseline);
+    }
+    selected.push_back(id);
+  }
+  if (selected.empty()) {
+    throw std::runtime_error("empty figure selection '" + args.figure +
+                             "' — the gate would compare nothing");
+  }
+  return selected;
+}
+
+/// A candidate figure with no committed baseline is drift too: a newly
+/// registered figure must land with its baseline, or the gate would
+/// silently skip it. Only meaningful for the unfiltered run.
+std::size_t report_unbaselined_candidates(
+    const Args& args, const std::vector<std::string>& baseline_ids) {
+  std::size_t issues = 0;
+  for (const std::string& id : csv_stems(args.candidate)) {
+    if (std::find(baseline_ids.begin(), baseline_ids.end(), id) !=
+        baseline_ids.end()) {
+      continue;
+    }
+    std::printf("FAIL %-14s candidate has no committed baseline CSV\n",
+                id.c_str());
+    ++issues;
+  }
+  return issues;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+
+    figures::DiffConfig config;
+    config.require_same_rows = !args.allow_extra;
+    for (const std::string& spec : args.tolerances) {
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("bad --tolerance '" + spec +
+                                    "' (want metric=rel)");
+      }
+      config.metric_tolerance[spec.substr(0, eq)] =
+          std::stod(spec.substr(eq + 1));
+    }
+
+    std::size_t total_issues = 0, total_compared = 0;
+    const std::vector<std::string> ids = figure_ids(args);
+    if (!args.allow_extra && (args.figure == "all" || args.figure.empty())) {
+      total_issues += report_unbaselined_candidates(args, ids);
+    }
+    for (const std::string& id : ids) {
+      const auto baseline_path =
+          std::filesystem::path(args.baseline) / (id + ".csv");
+      const auto candidate_path =
+          std::filesystem::path(args.candidate) / (id + ".csv");
+      if (!std::filesystem::exists(candidate_path)) {
+        std::printf("FAIL %-14s candidate file missing: %s\n", id.c_str(),
+                    candidate_path.string().c_str());
+        ++total_issues;
+        continue;
+      }
+      const auto baseline =
+          figures::parse_metric_csv(read_file(baseline_path));
+      const auto candidate =
+          figures::parse_metric_csv(read_file(candidate_path));
+      const figures::DiffReport report =
+          figures::diff_metrics(baseline, candidate, config);
+      total_compared += report.compared;
+      total_issues += report.issues.size();
+      std::printf("%s %-14s %zu metrics compared, %zu issues\n",
+                  report.ok() ? "ok  " : "FAIL", id.c_str(), report.compared,
+                  report.issues.size());
+      for (const figures::DiffIssue& issue : report.issues) {
+        std::printf("     %s\n", issue.to_string().c_str());
+      }
+    }
+    std::printf("%zu metrics compared, %zu issues\n", total_compared,
+                total_issues);
+    return total_issues == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "camp_bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

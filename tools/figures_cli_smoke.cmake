@@ -1,0 +1,38 @@
+# CTest driver for the figures CLI smoke test: two tiny-scale runs must be
+# byte-identical (camp_bench_diff exit 0), and a perturbed copy must fail
+# (exit 1). Run via:
+#   cmake -DCAMP_FIGURES=... -DCAMP_BENCH_DIFF=... -DWORK_DIR=... -P this
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(run a b)
+  execute_process(
+    COMMAND "${CAMP_FIGURES}" --figure table1,fig4 --scale tiny
+            --out "${WORK_DIR}/${run}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "camp_figures run '${run}' failed (rc=${rc})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CAMP_BENCH_DIFF}" --baseline "${WORK_DIR}/a"
+          --candidate "${WORK_DIR}/b"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identical runs diffed as different (rc=${rc})")
+endif()
+
+# Perturb one metric value beyond any tolerance and expect exit code 1.
+file(READ "${WORK_DIR}/b/fig4.csv" content)
+string(REGEX REPLACE "heap_node_visits,([0-9]+)" "heap_node_visits,1\\1"
+       content "${content}")
+file(WRITE "${WORK_DIR}/b/fig4.csv" "${content}")
+execute_process(
+  COMMAND "${CAMP_BENCH_DIFF}" --baseline "${WORK_DIR}/a"
+          --candidate "${WORK_DIR}/b"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "perturbed run must exit 1, got rc=${rc}")
+endif()

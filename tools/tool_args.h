@@ -1,0 +1,31 @@
+// Tiny flag parser shared by the figure-pipeline CLIs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace camp::tools {
+
+/// Accepts both `--name value` and `--name=value`. For valueless flags
+/// pass value == nullptr. Advances `i` when the value is a separate argv
+/// entry. Throws std::invalid_argument on a flag with a missing value.
+inline bool match_arg(int argc, char** argv, int& i, const char* name,
+                      std::string* value) {
+  const std::string arg = argv[i];
+  const std::string flag = name;
+  if (arg == flag) {
+    if (value == nullptr) return true;
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    *value = argv[++i];
+    return true;
+  }
+  if (value != nullptr && arg.rfind(flag + "=", 0) == 0) {
+    *value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace camp::tools
