@@ -1,0 +1,21 @@
+// fig_coop_cluster: the networked cooperative-cache cluster as a nodes x
+// clients matrix. Each point replays the paper's KVS trace through a
+// cluster of KvsStore nodes behind a consistent-hash ClusterClient — the
+// KOSAR-style deployment of Section 6's decentralized-CAMP challenge — and
+// reports the coop ledger (local/remote/guard hit ratios, transfer bytes,
+// guard park/expire/squeeze counts). The `churn` series adds a mid-run
+// node join (remote fetches + promotions heal the remapped slice) and a
+// decommission (last replicas drain into the guard).
+//
+// Because bench adapters run with timing enabled, static points also drive
+// N REAL cluster-attached worker-pool TCP servers with that many
+// concurrent ClusterClients and report `ops_per_sec`.
+//
+// The computation lives in the fig_coop_cluster FigureSpec
+// (src/figures/registry.cc); camp_figures emits its deterministic counters
+// for the committed baselines.
+#include "bench_figure_adapter.h"
+
+int main(int argc, char** argv) {
+  return camp::bench::run_figure_bench({"fig_coop_cluster"}, argc, argv);
+}

@@ -4,14 +4,16 @@
 
 namespace camp::coop {
 
-void ReplicaDirectory::add(Key key, NodeId node) {
+template <class K>
+void BasicReplicaDirectory<K>::add(const Key& key, NodeId node) {
   auto& nodes = holders_[key];
   if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) return;
   nodes.push_back(node);
   ++total_replicas_;
 }
 
-bool ReplicaDirectory::remove(Key key, NodeId node) {
+template <class K>
+bool BasicReplicaDirectory<K>::remove(const Key& key, NodeId node) {
   const auto it = holders_.find(key);
   if (it == holders_.end()) return false;
   auto& nodes = it->second;
@@ -26,7 +28,8 @@ bool ReplicaDirectory::remove(Key key, NodeId node) {
   return false;
 }
 
-std::vector<ReplicaDirectory::Key> ReplicaDirectory::remove_node(NodeId node) {
+template <class K>
+std::vector<K> BasicReplicaDirectory<K>::remove_node(NodeId node) {
   std::vector<Key> orphaned;
   for (auto it = holders_.begin(); it != holders_.end();) {
     auto& nodes = it->second;
@@ -44,24 +47,33 @@ std::vector<ReplicaDirectory::Key> ReplicaDirectory::remove_node(NodeId node) {
       ++it;
     }
   }
+  // Orphans surface in hash-map order; sort so every consumer (the sim
+  // group's guard intake, the cluster's decommission drain) processes them
+  // in a run-to-run and build-to-build deterministic order.
+  std::sort(orphaned.begin(), orphaned.end());
   return orphaned;
 }
 
-bool ReplicaDirectory::holds(Key key, NodeId node) const {
+template <class K>
+bool BasicReplicaDirectory<K>::holds(const Key& key, NodeId node) const {
   const auto it = holders_.find(key);
   if (it == holders_.end()) return false;
   return std::find(it->second.begin(), it->second.end(), node) !=
          it->second.end();
 }
 
-bool ReplicaDirectory::is_last_replica(Key key, NodeId node) const {
+template <class K>
+bool BasicReplicaDirectory<K>::is_last_replica(const Key& key,
+                                               NodeId node) const {
   const auto it = holders_.find(key);
   return it != holders_.end() && it->second.size() == 1 &&
          it->second.front() == node;
 }
 
-std::optional<ReplicaDirectory::NodeId> ReplicaDirectory::any_holder(
-    Key key, std::optional<NodeId> exclude) const {
+template <class K>
+std::optional<typename BasicReplicaDirectory<K>::NodeId>
+BasicReplicaDirectory<K>::any_holder(const Key& key,
+                                     std::optional<NodeId> exclude) const {
   const auto it = holders_.find(key);
   if (it == holders_.end()) return std::nullopt;
   for (const NodeId node : it->second) {
@@ -70,18 +82,29 @@ std::optional<ReplicaDirectory::NodeId> ReplicaDirectory::any_holder(
   return std::nullopt;
 }
 
-std::size_t ReplicaDirectory::replica_count(Key key) const {
+template <class K>
+std::vector<typename BasicReplicaDirectory<K>::NodeId>
+BasicReplicaDirectory<K>::holders_of(const Key& key) const {
+  const auto it = holders_.find(key);
+  return it == holders_.end() ? std::vector<NodeId>{} : it->second;
+}
+
+template <class K>
+std::size_t BasicReplicaDirectory<K>::replica_count(const Key& key) const {
   const auto it = holders_.find(key);
   return it == holders_.end() ? 0 : it->second.size();
 }
 
-std::vector<std::pair<ReplicaDirectory::Key,
-                      std::vector<ReplicaDirectory::NodeId>>>
-ReplicaDirectory::snapshot() const {
+template <class K>
+std::vector<std::pair<K, std::vector<typename BasicReplicaDirectory<K>::NodeId>>>
+BasicReplicaDirectory<K>::snapshot() const {
   std::vector<std::pair<Key, std::vector<NodeId>>> out;
   out.reserve(holders_.size());
   for (const auto& [key, nodes] : holders_) out.emplace_back(key, nodes);
   return out;
 }
+
+template class BasicReplicaDirectory<policy::Key>;
+template class BasicReplicaDirectory<std::string>;
 
 }  // namespace camp::coop

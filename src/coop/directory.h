@@ -3,10 +3,16 @@
 // cache coordinates through (paper Section 6); here it is an in-process
 // structure the group keeps transactionally consistent with the node caches
 // via their eviction listeners.
+//
+// The directory is generic over the key type: the single-threaded simulation
+// substrate (coop/group.h) tracks policy::Key ids, while the networked KVS
+// cluster (kvs/cluster.h) tracks the wire's string keys. Both share this one
+// implementation via explicit instantiation (directory.cc).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -14,32 +20,36 @@
 
 namespace camp::coop {
 
-class ReplicaDirectory {
+template <class K>
+class BasicReplicaDirectory {
  public:
-  using Key = policy::Key;
+  using Key = K;
   using NodeId = std::uint32_t;
 
   /// Record that `node` holds a replica of `key`. Duplicate adds are no-ops.
-  void add(Key key, NodeId node);
+  void add(const Key& key, NodeId node);
 
   /// Record that `node` no longer holds `key`. Removing an untracked pair is
   /// a no-op. Returns true when this removal dropped the *last* replica.
-  bool remove(Key key, NodeId node);
+  bool remove(const Key& key, NodeId node);
 
   /// Drop every entry for `node` (node decommission). Returns the keys whose
   /// last replica lived there.
   std::vector<Key> remove_node(NodeId node);
 
-  [[nodiscard]] bool holds(Key key, NodeId node) const;
+  [[nodiscard]] bool holds(const Key& key, NodeId node) const;
 
   /// True when `node` is the only holder of `key`.
-  [[nodiscard]] bool is_last_replica(Key key, NodeId node) const;
+  [[nodiscard]] bool is_last_replica(const Key& key, NodeId node) const;
 
   /// Any holder of `key` other than `exclude` (used for peer fetches).
   [[nodiscard]] std::optional<NodeId> any_holder(
-      Key key, std::optional<NodeId> exclude = std::nullopt) const;
+      const Key& key, std::optional<NodeId> exclude = std::nullopt) const;
 
-  [[nodiscard]] std::size_t replica_count(Key key) const;
+  /// Every holder of `key`, in insertion order (empty when untracked).
+  [[nodiscard]] std::vector<NodeId> holders_of(const Key& key) const;
+
+  [[nodiscard]] std::size_t replica_count(const Key& key) const;
   [[nodiscard]] std::size_t tracked_keys() const noexcept {
     return holders_.size();
   }
@@ -58,5 +68,14 @@ class ReplicaDirectory {
   std::unordered_map<Key, std::vector<NodeId>> holders_;
   std::size_t total_replicas_ = 0;
 };
+
+extern template class BasicReplicaDirectory<policy::Key>;
+extern template class BasicReplicaDirectory<std::string>;
+
+/// The simulation group's directory (policy key ids).
+using ReplicaDirectory = BasicReplicaDirectory<policy::Key>;
+
+/// The networked cluster's directory (wire string keys).
+using StringReplicaDirectory = BasicReplicaDirectory<std::string>;
 
 }  // namespace camp::coop

@@ -85,9 +85,17 @@ void CoopGroup::remove_node(NodeId id) {
   while (victim.cache->evict_one()) {
   }
   // Policies without external eviction support leave residents behind; sweep
-  // them through the directory so the group stays consistent.
+  // them through the directory so the group stays consistent. Every orphan
+  // (a key whose LAST replica lived on the victim) must flow into the guard
+  // exactly like a pressure-evicted last replica would — a decommission must
+  // never make a pair silently vanish while the directory forgets it.
   for (const Key key : directory_.remove_node(id)) {
     const auto it = meta_.find(key);
+    // Keys only enter the directory through request()/install(), which
+    // records their (size, cost) in meta_ first — an orphan without
+    // metadata means the directory and the caches disagreed.
+    assert(it != meta_.end() &&
+           "decommission orphan with no recorded metadata");
     if (it != meta_.end()) guard_park(key, it->second.first, it->second.second);
   }
   ring_.remove_node(id);

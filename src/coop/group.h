@@ -148,6 +148,11 @@ class CoopGroup {
   [[nodiscard]] std::size_t guard_item_count() const noexcept {
     return guard_index_.size();
   }
+  /// True when `key` is currently parked in the last-replica guard
+  /// (regardless of lease freshness). Observability for decommission tests.
+  [[nodiscard]] bool guard_contains(Key key) const {
+    return guard_index_.contains(key);
+  }
   [[nodiscard]] std::uint64_t guard_used_bytes() const noexcept {
     return guard_used_;
   }

@@ -1,6 +1,7 @@
 #include "coop/hash_ring.h"
 
 #include <stdexcept>
+#include <unordered_set>
 
 namespace camp::coop {
 
@@ -66,19 +67,16 @@ std::vector<std::uint32_t> HashRing::nodes_for(std::uint64_t key,
   out.reserve(want);
   auto it = ring_.lower_bound(key_hash(key));
   // Walk clockwise, collecting distinct nodes, wrapping at most once per
-  // full lap (distinctness is bounded by nodes_.size()).
+  // full lap (distinctness is bounded by nodes_.size()). The seen-set keeps
+  // the walk O(ring steps): with v virtual points per node a full lap is
+  // nodes*v steps, and the old per-step linear rescan of `out` made a
+  // replicas=nodes query quadratic in the node count.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(want);
   for (std::size_t steps = 0; out.size() < want && steps < ring_.size();
        ++steps) {
-    if (it == ring_.end()) it = ring_.begin();
-    const std::uint32_t node = it->second;
-    bool seen = false;
-    for (const std::uint32_t n : out) {
-      if (n == node) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) out.push_back(node);
+    if (it == ring_.end()) it = ring_.begin();  // wrap around
+    if (seen.insert(it->second).second) out.push_back(it->second);
     ++it;
   }
   return out;

@@ -16,6 +16,8 @@
 #include "figures/factories.h"
 #include "kvs/api.h"
 #include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/cluster_client.h"
 #include "kvs/inproc.h"
 #include "kvs/server.h"
 #include "kvs/store.h"
@@ -501,6 +503,211 @@ std::vector<FigureRow> fig9_scaling_run(const FigurePointSpec& point,
   return {row};
 }
 
+// ---- fig_coop_cluster: cooperative cluster, nodes x clients matrix --------
+
+/// Per-node store for an N-node cluster: half the trace's unique footprint
+/// split N ways, so the aggregate cluster runs at the paper's 0.5 cache
+/// ratio — tight enough that the guard works, roomy enough that local hits,
+/// remote fetches after churn and guard reinstatements all show up.
+kvs::StoreConfig coop_cluster_store_config(std::size_t nodes,
+                                           std::uint64_t unique_bytes) {
+  kvs::StoreConfig config;
+  config.shards = 1;
+  config.engine.slab.slab_size_bytes = 64u << 10;
+  config.engine.slab.memory_limit_bytes = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(0.5 * static_cast<double>(unique_bytes)) /
+          nodes,
+      8ull * config.engine.slab.slab_size_bytes);
+  return config;
+}
+
+kvs::ClusterConfig coop_cluster_config(const kvs::StoreConfig& store) {
+  kvs::ClusterConfig config;
+  config.virtual_nodes = 64;
+  config.promote_on_remote_hit = true;
+  config.preserve_last_replica = true;
+  // Guard: a quarter of one node's budget, lease short enough that parked
+  // pairs nobody re-requests visibly expire within a smoke run.
+  config.guard_capacity_bytes =
+      store.engine.slab.memory_limit_bytes * 25 / 100;
+  config.guard_lease_requests = 5'000;
+  return config;
+}
+
+std::vector<FigurePointSpec> fig_coop_cluster_points(const FigureOptions&) {
+  std::vector<FigurePointSpec> points;
+  for (const std::size_t nodes : {2u, 4u, 8u}) {
+    for (const double clients : {1.0, 4.0}) {
+      points.push_back(
+          {"static/nodes=" + std::to_string(nodes), "clients", clients});
+    }
+  }
+  for (const double clients : {1.0, 4.0}) {
+    points.push_back({"churn/nodes=4", "clients", clients});
+  }
+  return points;
+}
+
+std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
+                                            const FigureOptions& o) {
+  const TraceBundle& t = bundle_for(TraceKind::kKvs, o);
+  const bool churn = point.policy.rfind("churn", 0) == 0;
+  const std::size_t nodes = static_cast<std::size_t>(
+      std::stoul(point.policy.substr(point.policy.find('=') + 1)));
+  const auto clients = static_cast<std::size_t>(point.x);
+  const kvs::StoreConfig store_config =
+      coop_cluster_store_config(nodes, t.unique_bytes);
+  const kvs::ClusterConfig cluster_config =
+      coop_cluster_config(store_config);
+
+  // Deterministic pass: every node is a bare KvsStore behind a
+  // CoopNodeClient, the batches run sequentially through one ClusterClient,
+  // and the clock is manual — counters are byte-identical run to run.
+  kvs::ClusterCounters counters;
+  {
+    std::vector<std::unique_ptr<kvs::KvsStore>> stores;
+    const std::size_t total_stores = nodes + (churn ? 1 : 0);
+    for (std::size_t n = 0; n < total_stores; ++n) {
+      stores.push_back(std::make_unique<kvs::KvsStore>(
+          store_config, kvs_policy_factory("camp"), figure_clock()));
+    }
+    kvs::CoopCluster cluster(cluster_config);
+    std::vector<std::unique_ptr<kvs::CoopNodeClient>> node_clients;
+    kvs::ClusterClient router(cluster_config.virtual_nodes,
+                              /*parallel=*/false);
+    std::vector<kvs::ClusterNodeId> ids;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      ids.push_back(cluster.join(*stores[n]));
+      node_clients.push_back(
+          std::make_unique<kvs::CoopNodeClient>(cluster, ids.back()));
+      router.add_node(ids.back(), *node_clients.back());
+    }
+
+    auto streams = partition_streams(t.records, clients);
+    std::size_t total_batches = 0;
+    for (const ClientStream& s : streams) total_batches += s.gets.size();
+    // Membership churn: a node joins a third of the way in (ring-adjacent
+    // keys remap onto it and heal via peer fetch + promotion), the original
+    // first node decommissions at two thirds (its last replicas drain into
+    // the guard).
+    const std::size_t join_at = churn ? total_batches / 3 : 0;
+    const std::size_t leave_at = churn ? 2 * total_batches / 3 : 0;
+
+    std::vector<std::size_t> cursor(clients, 0);
+    std::size_t executed = 0;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t c = 0; c < clients; ++c) {
+        if (cursor[c] >= streams[c].gets.size()) continue;
+        if (churn && executed == join_at) {
+          const kvs::ClusterNodeId id = cluster.join(*stores[nodes]);
+          node_clients.push_back(
+              std::make_unique<kvs::CoopNodeClient>(cluster, id));
+          router.add_node(id, *node_clients.back());
+        }
+        if (churn && executed == leave_at) {
+          router.remove_node(ids.front());
+          cluster.leave(ids.front());
+        }
+        (void)replay_batch(router, streams[c].gets[cursor[c]],
+                           streams[c].rows[cursor[c]]);
+        ++cursor[c];
+        ++executed;
+        progressed = true;
+      }
+    }
+    counters = cluster.counters();
+  }
+
+  FigureRow row{point, {}};
+  row.metrics.emplace_back("nodes", static_cast<double>(nodes));
+  row.metrics.emplace_back("requests",
+                           static_cast<double>(counters.requests));
+  row.metrics.emplace_back("local_hits",
+                           static_cast<double>(counters.local_hits));
+  row.metrics.emplace_back("remote_hits",
+                           static_cast<double>(counters.remote_hits));
+  row.metrics.emplace_back("guard_hits",
+                           static_cast<double>(counters.guard_hits));
+  row.metrics.emplace_back("misses", static_cast<double>(counters.misses));
+  row.metrics.emplace_back("cold_misses",
+                           static_cast<double>(counters.cold_misses));
+  row.metrics.emplace_back("local_hit_ratio", counters.local_hit_ratio());
+  row.metrics.emplace_back("remote_hit_ratio", counters.remote_hit_ratio());
+  row.metrics.emplace_back("guard_hit_ratio", counters.guard_hit_ratio());
+  row.metrics.emplace_back("transfer_bytes",
+                           static_cast<double>(counters.transfer_bytes));
+  row.metrics.emplace_back("promotions",
+                           static_cast<double>(counters.promotions));
+  row.metrics.emplace_back("guard_parked",
+                           static_cast<double>(counters.guard_parked));
+  row.metrics.emplace_back("guard_expired",
+                           static_cast<double>(counters.guard_expired));
+  row.metrics.emplace_back("guard_squeezed",
+                           static_cast<double>(counters.guard_squeezed));
+
+  // Optional wall-clock pass (static topologies): N real worker-pool
+  // servers attached to one cluster, driven by `clients` concurrent
+  // ClusterClients over pipelined TCP connections. Nondeterministic — only
+  // emitted under --timing, diffed with a banded tolerance.
+  if (o.timing && !churn) {
+    static const util::SteadyClock steady;
+    kvs::ServerConfig server_config;
+    server_config.store = store_config;
+    server_config.workers = 2;
+    std::vector<std::unique_ptr<kvs::KvsServer>> servers;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      servers.push_back(std::make_unique<kvs::KvsServer>(
+          server_config, kvs_policy_factory("camp"), steady));
+    }
+    // Declared after the servers so its destructor (which detaches the
+    // stores' eviction hooks) runs first.
+    kvs::CoopCluster cluster(coop_cluster_config(store_config));
+    std::vector<kvs::ClusterNodeId> ids;
+    for (auto& server : servers) {
+      ids.push_back(cluster.join(server->store()));
+      server->attach_cluster(&cluster, ids.back());
+      server->start();
+    }
+    const auto streams = partition_streams(t.records, clients);
+    std::atomic<std::uint64_t> total_ops{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::unique_ptr<kvs::KvsClient>> conns;
+        kvs::ClusterClient router(cluster_config.virtual_nodes,
+                                  /*parallel=*/true);
+        for (std::size_t n = 0; n < ids.size(); ++n) {
+          conns.push_back(std::make_unique<kvs::KvsClient>(
+              "127.0.0.1", servers[n]->port()));
+          router.add_node(ids[n], *conns.back());
+        }
+        std::uint64_t local = 0;
+        for (std::size_t bi = 0; bi < streams[c].gets.size(); ++bi) {
+          local +=
+              replay_batch(router, streams[c].gets[bi], streams[c].rows[bi])
+                  .ops;
+        }
+        total_ops.fetch_add(local);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    for (auto& server : servers) server->stop();
+    row.metrics.emplace_back(
+        "ops_per_sec",
+        seconds <= 0.0 ? 0.0
+                       : static_cast<double>(total_ops.load()) / seconds);
+  }
+  return {row};
+}
+
 // ---- table1: regular vs MSY rounding at precision 4 -----------------------
 
 std::vector<FigurePointSpec> table1_points(const FigureOptions&) {
@@ -614,6 +821,10 @@ std::vector<FigureSpec> build_registry() {
   figures.emplace_back("fig9_scaling",
                        "Batched clients x shards scaling matrix",
                        fig9_scaling_points, fig9_scaling_run);
+
+  figures.emplace_back("fig_coop_cluster",
+                       "Cooperative KVS cluster: nodes x clients matrix",
+                       fig_coop_cluster_points, fig_coop_cluster_run);
 
   figures.emplace_back("table1", "Regular vs MSY rounding at precision 4",
                        table1_points, table1_run);

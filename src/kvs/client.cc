@@ -199,6 +199,51 @@ std::map<std::string, GetResult> KvsClient::multi_get(
   return out;
 }
 
+GetResult KvsClient::peer_get(std::string_view key) {
+  std::string request("pget ");
+  request.append(key);
+  request.append("\r\n");
+  send_all(request);
+  GetResult result;
+  for (;;) {
+    const std::string line = read_line();
+    if (line == "END") return result;
+    if (line.rfind("VALUE ", 0) != 0) {
+      throw std::runtime_error("KvsClient: unexpected pget reply: " + line);
+    }
+    // VALUE <key> <flags> <bytes> <cost> <ttl>
+    const std::size_t key_end = line.find(' ', 6);
+    const std::size_t bytes_pos = line.find(' ', key_end + 1);
+    const std::size_t cost_pos = line.find(' ', bytes_pos + 1);
+    const std::size_t ttl_pos = line.find(' ', cost_pos + 1);
+    if (key_end == std::string::npos || bytes_pos == std::string::npos ||
+        cost_pos == std::string::npos || ttl_pos == std::string::npos) {
+      throw std::runtime_error("KvsClient: malformed pget reply: " + line);
+    }
+    result.hit = true;
+    result.flags = static_cast<std::uint32_t>(
+        std::stoul(line.substr(key_end + 1, bytes_pos - key_end - 1)));
+    const auto nbytes = static_cast<std::size_t>(
+        std::stoul(line.substr(bytes_pos + 1, cost_pos - bytes_pos - 1)));
+    result.cost = static_cast<std::uint32_t>(
+        std::stoul(line.substr(cost_pos + 1, ttl_pos - cost_pos - 1)));
+    result.remaining_ttl_s =
+        static_cast<std::uint32_t>(std::stoul(line.substr(ttl_pos + 1)));
+    result.value = read_bytes(nbytes);
+  }
+}
+
+bool KvsClient::peer_del(std::string_view key) {
+  std::string request("pdel ");
+  request.append(key);
+  request.append("\r\n");
+  send_all(request);
+  const std::string line = read_line();
+  if (line == "DELETED") return true;
+  if (line == "NOT_FOUND") return false;
+  throw std::runtime_error("KvsClient: unexpected pdel reply: " + line);
+}
+
 std::map<std::string, std::string> KvsClient::stats() {
   send_all("stats\r\n");
   std::map<std::string, std::string> out;

@@ -36,6 +36,14 @@ class KvsClient final : public KvsApi {
   [[nodiscard]] std::map<std::string, GetResult> multi_get(
       const std::vector<std::string>& keys);
 
+  /// Cluster peer fetch ("pget <key>"): a raw local get at the peer that
+  /// bypasses its cooperative routing. The result carries the stored cost
+  /// (VALUE's optional 4th token) so a promotion preserves it.
+  [[nodiscard]] GetResult peer_get(std::string_view key);
+
+  /// Cluster peer delete ("pdel <key>"): raw local delete at the peer.
+  bool peer_del(std::string_view key);
+
   [[nodiscard]] std::map<std::string, std::string> stats();
   void flush_all();
   [[nodiscard]] std::string version();

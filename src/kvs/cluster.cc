@@ -1,0 +1,624 @@
+#include "kvs/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "kvs/client.h"
+
+namespace camp::kvs {
+
+std::uint64_t cluster_route_key(std::string_view key) noexcept {
+  // FNV-1a; the ring applies its own finalizing mix on top.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void ClusterConfig::validate() const {
+  if (virtual_nodes == 0) {
+    throw std::invalid_argument("ClusterConfig: virtual_nodes must be >= 1");
+  }
+  if (preserve_last_replica && guard_capacity_bytes > 0 &&
+      guard_lease_requests == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: guard_lease_requests must be >= 1 when the guard "
+        "is on");
+  }
+}
+
+CoopCluster::CoopCluster(ClusterConfig config)
+    : config_(config), ring_(config.virtual_nodes) {
+  config_.validate();
+  guard_capacity_ =
+      config_.preserve_last_replica ? config_.guard_capacity_bytes : 0;
+}
+
+CoopCluster::~CoopCluster() {
+  for (auto& [id, node] : nodes_) {
+    node.store->set_eviction_hook(nullptr);
+    node.store->set_stored_hook(nullptr);
+  }
+}
+
+CoopCluster::NodeId CoopCluster::join(KvsStore& store) {
+  NodeId id;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_node_id_++;
+    nodes_.emplace(id, Node{&store, {}, 0});
+    ring_.add_node(id);
+  }
+  store.set_eviction_hook(
+      [this, id](const EvictedItem& item) { on_node_eviction(id, item); });
+  // The stored hook runs inside the shard critical section of every
+  // successful set, so a replica is registered BEFORE any later eviction
+  // of it can fire — registering after the store call returned would leave
+  // a window where the eviction hook misses the pair (no guard park) and
+  // the directory then tracks a ghost.
+  store.set_stored_hook(
+      [this, id](std::string_view key) { on_node_stored(id, key); });
+  // Register pre-existing residents (a caller-seeded store) so peer fetches
+  // can find them. Runs under each shard's lock -> cluster mutex, the same
+  // order the hooks use.
+  store.for_each_item([this, id](std::string_view key, std::string_view,
+                                 std::uint32_t, std::uint32_t, std::uint32_t,
+                                 std::uint64_t) {
+    std::lock_guard lock(mutex_);
+    directory_.add(std::string(key), id);
+  });
+  return id;
+}
+
+void CoopCluster::set_node_endpoint(NodeId id, std::string host,
+                                    std::uint16_t port) {
+  std::lock_guard lock(mutex_);
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("CoopCluster: unknown node id " +
+                                std::to_string(id));
+  }
+  it->second.host = std::move(host);
+  it->second.port = port;
+}
+
+void CoopCluster::leave(NodeId id) {
+  KvsStore* store = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(id));
+    }
+    if (nodes_.size() <= 1) {
+      throw std::invalid_argument("CoopCluster: cannot remove the final node");
+    }
+    store = it->second.store;
+  }
+  // Stop the hooks first: the drain below is the only thing that may
+  // mutate this node's directory state from here on.
+  store->set_eviction_hook(nullptr);
+  store->set_stored_hook(nullptr);
+
+  struct Resident {
+    std::string key;
+    std::string value;
+    std::uint32_t flags = 0;
+    std::uint32_t cost = 0;
+    std::uint64_t charged_bytes = 0;
+    std::uint32_t remaining_ttl_s = 0;
+  };
+  std::vector<Resident> residents;
+  store->for_each_item([&residents](std::string_view key,
+                                    std::string_view value,
+                                    std::uint32_t flags, std::uint32_t cost,
+                                    std::uint32_t ttl_s,
+                                    std::uint64_t charged) {
+    residents.push_back(
+        {std::string(key), std::string(value), flags, cost, charged, ttl_s});
+  });
+  // Hash-map walk order is not a contract; sort so the guard's FIFO intake
+  // (and therefore every downstream counter) is deterministic run to run.
+  std::sort(residents.begin(), residents.end(),
+            [](const Resident& a, const Resident& b) { return a.key < b.key; });
+  {
+    std::lock_guard lock(mutex_);
+    for (Resident& r : residents) {
+      // remove() returns true exactly when this dropped the LAST replica:
+      // those pairs must land in the guard, not vanish.
+      if (directory_.remove(r.key, id)) {
+        guard_park_locked(std::move(r.key), std::move(r.value), r.flags,
+                          r.cost, r.charged_bytes, r.remaining_ttl_s);
+      }
+    }
+    // Entries that survived the sweep name pairs the store no longer has
+    // (lazily expired values): the bytes are gone, so the directory simply
+    // forgets them.
+    counters_.stale_directory_drops += directory_.remove_node(id).size();
+    ring_.remove_node(id);
+    nodes_.erase(id);
+  }
+  {
+    std::lock_guard lock(links_mutex_);
+    links_.erase(id);
+  }
+  store->flush_all();
+}
+
+GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
+  const std::string key_str(key);
+  KvsStore* local = nullptr;
+  bool cold = false;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(self);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(self));
+    }
+    local = it->second.store;
+    ++counters_.requests;
+    cold = config_.track_cold_misses && seen_.insert(key_str).second;
+    guard_expire_front_locked();
+  }
+
+  // 1. home-node lookup.
+  GetResult result = iq ? local->iqget(key) : local->get(key);
+  if (result.hit) {
+    std::lock_guard lock(mutex_);
+    ++counters_.local_hits;
+    return result;
+  }
+
+  // 2. directory -> peer fetch.
+  for (;;) {
+    std::optional<NodeId> holder;
+    {
+      std::lock_guard lock(mutex_);
+      holder = directory_.any_holder(key_str, self);
+    }
+    if (!holder) break;
+    GetResult fetched = peer_fetch(*holder, key);
+    if (!fetched.hit) {
+      // The holder no longer has the pair (expiry, concurrent removal, a
+      // node that died): forget the stale entry and try the next holder.
+      std::lock_guard lock(mutex_);
+      directory_.remove(key_str, *holder);
+      ++counters_.stale_directory_drops;
+      continue;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      ++counters_.remote_hits;
+      counters_.transfer_bytes += fetched.value.size();
+    }
+    if (config_.promote_on_remote_hit) {
+      // Read-through replication: copy the pair to its home so the next
+      // request is a local hit (and membership changes heal over time).
+      // The remaining TTL travels with the fetch, so a lease-bound pair
+      // does not become immortal by being promoted. The stored hook
+      // registers the new replica in the directory.
+      if (local->set(key, fetched.value, fetched.flags, fetched.cost,
+                     fetched.remaining_ttl_s)) {
+        std::lock_guard lock(mutex_);
+        ++counters_.promotions;
+      }
+    }
+    return fetched;
+  }
+
+  // 3. last-replica guard.
+  if (auto parked = guard_take(key_str)) {
+    {
+      std::lock_guard lock(mutex_);
+      ++counters_.guard_hits;
+    }
+    GetResult out;
+    out.hit = true;
+    out.flags = parked->flags;
+    out.cost = parked->cost;
+    out.remaining_ttl_s = parked->remaining_ttl_s;
+    // Reinstate at the home node with the lease it was parked with: the
+    // bytes never left the cluster. The stored hook registers the replica.
+    (void)local->set(key, parked->value, parked->flags, parked->cost,
+                     parked->remaining_ttl_s);
+    out.value = std::move(parked->value);
+    return out;
+  }
+
+  // 4. true miss: the client recomputes and refills via set().
+  {
+    std::lock_guard lock(mutex_);
+    if (cold) {
+      ++counters_.cold_misses;
+    } else {
+      ++counters_.misses;
+    }
+  }
+  return result;
+}
+
+bool CoopCluster::set(NodeId self, std::string_view key,
+                      std::string_view value, std::uint32_t flags,
+                      std::uint32_t cost, std::uint32_t exptime_s) {
+  KvsStore* local = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(self);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(self));
+    }
+    local = it->second.store;
+    ++counters_.sets;
+  }
+  // Directory registration and the purge of any superseded guard entry
+  // happen in the stored hook, inside the shard critical section.
+  return local->set(key, value, flags, cost, exptime_s);
+}
+
+bool CoopCluster::iqset(NodeId self, std::string_view key,
+                        std::string_view value, std::uint32_t flags,
+                        std::uint32_t exptime_s) {
+  KvsStore* local = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(self);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(self));
+    }
+    local = it->second.store;
+    ++counters_.sets;
+  }
+  return local->iqset(key, value, flags, exptime_s);
+}
+
+bool CoopCluster::del(NodeId self, std::string_view key) {
+  const std::string key_str(key);
+  std::vector<NodeId> holders;
+  KvsStore* local = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(self);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(self));
+    }
+    local = it->second.store;
+    ++counters_.deletes;
+    holders = directory_.holders_of(key_str);
+    // A delete also voids any parked last replica.
+    if (const auto g = guard_index_.find(key_str); g != guard_index_.end()) {
+      guard_drop_locked(g->second);
+    }
+  }
+  bool deleted = false;
+  bool self_tracked = false;
+  for (const NodeId holder : holders) {
+    if (holder == self) {
+      self_tracked = true;
+      deleted = local->del(key) || deleted;
+    } else {
+      deleted = peer_delete(holder, key) || deleted;
+    }
+    std::lock_guard lock(mutex_);
+    directory_.remove(key_str, holder);
+  }
+  // Defensive: drop an untracked local residue (should not happen while
+  // the directory is consistent).
+  if (!self_tracked) deleted = local->del(key) || deleted;
+  return deleted;
+}
+
+void CoopCluster::flush_node(NodeId id) {
+  KvsStore* store = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(id));
+    }
+    store = it->second.store;
+    // An explicit wipe, like a delete: nothing is preserved in the guard.
+    directory_.remove_node(id);
+  }
+  store->flush_all();
+}
+
+CoopCluster::NodeId CoopCluster::home_node(std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  return ring_.node_for(cluster_route_key(key));
+}
+
+std::size_t CoopCluster::node_count() const {
+  std::lock_guard lock(mutex_);
+  return nodes_.size();
+}
+
+std::vector<CoopCluster::NodeId> CoopCluster::node_ids() const {
+  std::lock_guard lock(mutex_);
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  return out;
+}
+
+ClusterCounters CoopCluster::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::size_t CoopCluster::guard_item_count() const {
+  std::lock_guard lock(mutex_);
+  return guard_index_.size();
+}
+
+std::uint64_t CoopCluster::guard_used_bytes() const {
+  std::lock_guard lock(mutex_);
+  return guard_used_;
+}
+
+bool CoopCluster::guard_contains(std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  return guard_index_.contains(std::string(key));
+}
+
+std::size_t CoopCluster::directory_replica_count(std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  return directory_.replica_count(std::string(key));
+}
+
+bool CoopCluster::check_invariants() const {
+  // Snapshot the shared metadata first, then verify against the stores
+  // WITHOUT the cluster mutex: the canonical lock order is store shard
+  // mutex -> cluster mutex (the eviction hooks), and holding the cluster
+  // mutex across store calls would invert it. The caller guarantees no
+  // traffic is in flight, so the snapshot stays valid for the comparison.
+  std::vector<std::pair<std::string, std::vector<NodeId>>> directory;
+  std::map<NodeId, KvsStore*> stores;
+  std::size_t tracked_total = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> parked;  // key, charged
+  std::size_t guard_indexed = 0;
+  std::uint64_t guard_used = 0;
+  std::uint64_t guard_capacity = 0;
+  {
+    std::lock_guard lock(mutex_);
+    directory = directory_.snapshot();
+    for (const auto& [id, node] : nodes_) stores[id] = node.store;
+    tracked_total = directory_.total_replicas();
+    parked.reserve(guard_fifo_.size());
+    for (const GuardEntry& e : guard_fifo_) {
+      parked.emplace_back(e.key, e.charged_bytes);
+    }
+    guard_indexed = guard_index_.size();
+    guard_used = guard_used_;
+    guard_capacity = guard_capacity_;
+  }
+
+  std::size_t directory_replicas = 0;
+  std::unordered_set<std::string> tracked_keys;
+  for (const auto& [key, holders] : directory) {
+    if (holders.empty()) return false;
+    tracked_keys.insert(key);
+    for (const NodeId id : holders) {
+      const auto it = stores.find(id);
+      if (it == stores.end()) return false;
+      if (!it->second->contains(key)) return false;
+    }
+    directory_replicas += holders.size();
+  }
+  if (directory_replicas != tracked_total) return false;
+  // Resident totals must agree with the directory (counting argument; the
+  // stores do not enumerate keys cheaply). Lazily-expired pairs would skew
+  // this — the invariant check targets no-expiry configurations.
+  std::size_t resident = 0;
+  for (const auto& [id, store] : stores) {
+    resident += store->aggregated_stats().items;
+  }
+  if (resident != directory_replicas) return false;
+
+  if (guard_indexed != parked.size()) return false;
+  if (guard_used > guard_capacity && !parked.empty()) return false;
+  std::uint64_t guard_bytes = 0;
+  for (const auto& [key, charged] : parked) {
+    guard_bytes += charged;
+    // A parked pair must have zero replicas anywhere.
+    if (tracked_keys.contains(key)) return false;
+  }
+  return guard_bytes == guard_used;
+}
+
+// ---------------------------------------------------------------------------
+// Peer transports
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<CoopCluster::PeerLink> CoopCluster::link_for(NodeId id) {
+  std::lock_guard lock(links_mutex_);
+  auto& link = links_[id];
+  if (!link) link = std::make_shared<PeerLink>();
+  return link;
+}
+
+GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
+  KvsStore* store = nullptr;
+  std::string host;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(holder);
+    if (it == nodes_.end()) return {};  // node left concurrently
+    store = it->second.store;
+    host = it->second.host;
+    port = it->second.port;
+  }
+  if (port == 0) {
+    // In-process fetch: a real get at the holder, so its eviction policy
+    // sees the touch exactly as the simulator's peer path does.
+    return store->get(key);
+  }
+  const std::shared_ptr<PeerLink> link = link_for(holder);
+  std::lock_guard io(link->mutex);
+  try {
+    if (!link->client) {
+      link->client = std::make_unique<KvsClient>(host, port);
+    }
+    return link->client->peer_get(key);
+  } catch (const std::exception&) {
+    // Connection refused/reset, or a malformed reply (mixed-version peer,
+    // corrupted stream — std::stoul throws logic_errors, not just
+    // runtime_errors): report a miss, the caller drops the stale directory
+    // entry and falls through. Never let one bad peer kill this node.
+    link->client.reset();
+    return {};
+  }
+}
+
+bool CoopCluster::peer_delete(NodeId holder, std::string_view key) {
+  KvsStore* store = nullptr;
+  std::string host;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(holder);
+    if (it == nodes_.end()) return false;
+    store = it->second.store;
+    host = it->second.host;
+    port = it->second.port;
+  }
+  if (port == 0) return store->del(key);
+  const std::shared_ptr<PeerLink> link = link_for(holder);
+  std::lock_guard io(link->mutex);
+  try {
+    if (!link->client) {
+      link->client = std::make_unique<KvsClient>(host, port);
+    }
+    return link->client->peer_del(key);
+  } catch (const std::exception&) {
+    link->client.reset();
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eviction hook + last-replica guard
+// ---------------------------------------------------------------------------
+
+void CoopCluster::on_node_eviction(NodeId id, const EvictedItem& item) {
+  std::lock_guard lock(mutex_);
+  std::string key(item.key);
+  // remove() returns true exactly when this dropped the LAST replica.
+  if (directory_.remove(key, id) && config_.preserve_last_replica) {
+    guard_park_locked(std::move(key), std::string(item.value), item.flags,
+                      item.cost, item.charged_bytes, item.remaining_ttl_s);
+  }
+}
+
+void CoopCluster::on_node_stored(NodeId id, std::string_view key) {
+  std::lock_guard lock(mutex_);
+  const std::string key_str(key);
+  directory_.add(key_str, id);
+  // A fresh write supersedes any parked last replica.
+  if (const auto it = guard_index_.find(key_str); it != guard_index_.end()) {
+    guard_drop_locked(it->second);
+  }
+}
+
+void CoopCluster::guard_park_locked(std::string key, std::string value,
+                                    std::uint32_t flags, std::uint32_t cost,
+                                    std::uint64_t charged_bytes,
+                                    std::uint32_t remaining_ttl_s) {
+  if (guard_capacity_ == 0 || charged_bytes > guard_capacity_) return;
+  // A parked key has zero replicas, so a duplicate park can only follow a
+  // stale entry; replace it.
+  if (const auto it = guard_index_.find(key); it != guard_index_.end()) {
+    guard_drop_locked(it->second);
+  }
+  while (guard_used_ + charged_bytes > guard_capacity_) {
+    assert(!guard_fifo_.empty());
+    ++counters_.guard_squeezed;
+    guard_drop_locked(guard_fifo_.begin());
+  }
+  guard_fifo_.push_back(GuardEntry{
+      std::move(key), std::move(value), flags, cost, charged_bytes,
+      counters_.requests + config_.guard_lease_requests, remaining_ttl_s});
+  guard_index_[guard_fifo_.back().key] = std::prev(guard_fifo_.end());
+  guard_used_ += charged_bytes;
+  ++counters_.guard_parked;
+}
+
+std::optional<CoopCluster::GuardEntry> CoopCluster::guard_take(
+    const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = guard_index_.find(key);
+  if (it == guard_index_.end()) return std::nullopt;
+  const auto list_it = it->second;
+  guard_used_ -= list_it->charged_bytes;
+  GuardEntry entry = std::move(*list_it);
+  guard_index_.erase(it);
+  guard_fifo_.erase(list_it);
+  if (entry.deadline <= counters_.requests) {
+    ++counters_.guard_expired;
+    return std::nullopt;
+  }
+  return entry;
+}
+
+void CoopCluster::guard_expire_front_locked() {
+  // Leases are granted in request order with a constant term, so the FIFO
+  // front always carries the earliest deadline.
+  while (!guard_fifo_.empty() &&
+         guard_fifo_.front().deadline <= counters_.requests) {
+    ++counters_.guard_expired;
+    guard_drop_locked(guard_fifo_.begin());
+  }
+}
+
+void CoopCluster::guard_drop_locked(std::list<GuardEntry>::iterator it) {
+  guard_used_ -= it->charged_bytes;
+  guard_index_.erase(it->key);
+  guard_fifo_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// CoopNodeClient
+// ---------------------------------------------------------------------------
+
+KvsBatchResult CoopNodeClient::execute(const KvsBatch& batch) {
+  KvsBatchResult out;
+  out.results.reserve(batch.size());
+  for (const KvsOp& op : batch.ops()) {
+    KvsOpResult r;
+    switch (op.type) {
+      case KvsOpType::kGet:
+      case KvsOpType::kIqGet: {
+        GetResult g =
+            cluster_.get(self_, op.key, op.type == KvsOpType::kIqGet);
+        r.ok = g.hit;
+        r.value = std::move(g.value);
+        r.flags = g.flags;
+        break;
+      }
+      case KvsOpType::kSet:
+        r.ok = cluster_.set(self_, op.key, op.value, op.flags, op.cost,
+                            op.exptime_s);
+        break;
+      case KvsOpType::kIqSet:
+        r.ok = cluster_.iqset(self_, op.key, op.value, op.flags,
+                              op.exptime_s);
+        break;
+      case KvsOpType::kDel:
+        r.ok = cluster_.del(self_, op.key);
+        break;
+    }
+    out.results.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace camp::kvs

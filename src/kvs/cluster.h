@@ -1,0 +1,290 @@
+// Networked cooperative KVS cluster: coop::CoopGroup's four-step request
+// flow (local hit -> directory peer fetch -> last-replica guard -> miss)
+// lifted out of the single-threaded simulation substrate and onto real
+// KvsStore nodes, the KOSAR-style deployment the paper names as future work
+// in Section 6.
+//
+// Topology: N KvsServer (or bare KvsStore) nodes, one shared CoopCluster
+// holding the consistent-hash ring, the string-keyed replica directory and
+// the last-replica guard. Clients route batches with kvs::ClusterClient
+// (cluster_client.h); each node answers its keys via the coop path:
+//
+//   1. local store lookup          -> local hit
+//   2. directory -> peer fetch     -> remote hit (transfer bytes charged,
+//                                     optionally promoted to the home node)
+//   3. last-replica guard lookup   -> guard hit (value reinstated at home)
+//   4. otherwise                   -> miss: the client recomputes and
+//                                     refills with a set to the home node
+//
+// Unlike the simulator's guard (metadata only), the cluster guard parks the
+// actual value bytes: when a node evicts the group's final copy of a pair,
+// the bytes move into a byte-bounded FIFO with a request-count lease, so a
+// re-request within the lease restores the pair without a recompute — and a
+// pair nobody asks for again cannot occupy the cluster indefinitely.
+//
+// Membership: join() adds a node to the ring (only ring-adjacent keys remap;
+// stale placements heal through the peer-fetch + promote path). leave()
+// decommissions a node: every resident pair leaves through the directory,
+// last replicas drain into the guard, and the store is flushed.
+//
+// Concurrency: the cluster mutex is a LEAF lock guarding only the shared
+// metadata (ring, directory, guard, counters). It is never held across a
+// store or peer-transport call; the engines' eviction hooks (which run
+// under a store shard lock) may take it. check_invariants() is the one
+// exception — call it only while no traffic is in flight.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coop/directory.h"
+#include "coop/hash_ring.h"
+#include "kvs/api.h"
+#include "kvs/store.h"
+
+namespace camp::kvs {
+
+class KvsClient;
+
+using ClusterNodeId = std::uint32_t;
+
+/// The 64-bit routing key a string key hashes to before it meets the ring
+/// (FNV-1a; the ring applies its own finalizing mix). Exposed so tests and
+/// the sim-equivalence harness can reproduce the cluster's placement.
+[[nodiscard]] std::uint64_t cluster_route_key(std::string_view key) noexcept;
+
+struct ClusterConfig {
+  /// Virtual points per node on the consistent-hash ring.
+  std::uint32_t virtual_nodes = 64;
+  /// Copy a remotely-fetched pair to the home node (read-through healing;
+  /// this is what converges placement after a membership change).
+  bool promote_on_remote_hit = true;
+
+  /// Enable the last-replica guard.
+  bool preserve_last_replica = true;
+  /// Guard byte budget (accounted in policy-charged bytes, i.e. slab chunk
+  /// sizes). 0 disables the guard even when preserve_last_replica is set.
+  std::uint64_t guard_capacity_bytes = 0;
+  /// A parked last replica not re-requested within this many cluster get
+  /// requests is dropped.
+  std::uint64_t guard_lease_requests = 50'000;
+
+  /// Split first-ever requests out of the miss counters (the simulator's
+  /// cold-exclusion metric rule). Costs memory proportional to the number
+  /// of unique keys ever requested — right for bounded traces (figures,
+  /// tests, equivalence runs); turn OFF for long-lived serving deployments,
+  /// where every miss then counts as `misses` and `cold_misses` stays 0.
+  bool track_cold_misses = true;
+
+  void validate() const;  // throws std::invalid_argument on nonsense
+};
+
+/// Cluster-wide counters. Deterministic under a single-threaded driver
+/// (the fig_coop_cluster baseline); exact under any driver, just
+/// schedule-dependent then. Cold misses (first request of a key) are split
+/// out so hit ratios match the simulator's cold-exclusion rule.
+struct ClusterCounters {
+  std::uint64_t requests = 0;  // coop get requests
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t guard_hits = 0;
+  std::uint64_t misses = 0;  // non-cold true misses
+  std::uint64_t cold_misses = 0;
+  std::uint64_t transfer_bytes = 0;  // value bytes fetched from peers
+  std::uint64_t promotions = 0;      // remote hits copied to the home node
+  std::uint64_t guard_parked = 0;
+  std::uint64_t guard_expired = 0;
+  std::uint64_t guard_squeezed = 0;
+  /// Directory entries dropped because the holder no longer had the pair
+  /// (lazy expiry, concurrent removal, decommission residue).
+  std::uint64_t stale_directory_drops = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+
+  [[nodiscard]] double local_hit_ratio() const noexcept {
+    const std::uint64_t noncold = requests - cold_misses;
+    return noncold == 0 ? 0.0
+                        : static_cast<double>(local_hits) /
+                              static_cast<double>(noncold);
+  }
+  [[nodiscard]] double remote_hit_ratio() const noexcept {
+    const std::uint64_t noncold = requests - cold_misses;
+    return noncold == 0 ? 0.0
+                        : static_cast<double>(remote_hits) /
+                              static_cast<double>(noncold);
+  }
+  [[nodiscard]] double guard_hit_ratio() const noexcept {
+    const std::uint64_t noncold = requests - cold_misses;
+    return noncold == 0 ? 0.0
+                        : static_cast<double>(guard_hits) /
+                              static_cast<double>(noncold);
+  }
+  [[nodiscard]] double miss_ratio() const noexcept {
+    const std::uint64_t noncold = requests - cold_misses;
+    return noncold == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(noncold);
+  }
+};
+
+class CoopCluster {
+ public:
+  using NodeId = ClusterNodeId;
+
+  explicit CoopCluster(ClusterConfig config);
+  /// Clears the eviction hooks it installed; joined stores must still be
+  /// alive here.
+  ~CoopCluster();
+  CoopCluster(const CoopCluster&) = delete;
+  CoopCluster& operator=(const CoopCluster&) = delete;
+
+  /// Add a node backed by `store` (which must outlive its membership) with
+  /// the next unused id. Installs the store's eviction hook and registers
+  /// any pre-existing residents in the directory. Only keys ring-adjacent
+  /// to the new node's points change home; their old copies keep serving
+  /// through peer fetches until promotion heals the placement.
+  NodeId join(KvsStore& store);
+
+  /// Give the node a TCP endpoint: peer fetches/deletes TO this node then
+  /// go over the wire (pget/pdel against its KvsServer) instead of through
+  /// direct KvsStore calls. Wire peer fetches are synchronous — use them
+  /// with drivers that bound outstanding requests (see the server test) or
+  /// leave endpoints unset for in-process fetches.
+  void set_node_endpoint(NodeId id, std::string host, std::uint16_t port);
+
+  /// Decommission a node: every resident pair leaves through the directory
+  /// (in sorted key order, so the drain is deterministic), last replicas
+  /// park their value bytes in the guard, the store is flushed and the node
+  /// leaves the ring. Throws std::invalid_argument for an unknown id or the
+  /// final node.
+  void leave(NodeId id);
+
+  /// The coop read path executed by node `self` (the four steps above).
+  /// `iq` uses iqget locally so the IQ cost-capture lease still works.
+  [[nodiscard]] GetResult get(NodeId self, std::string_view key,
+                              bool iq = false);
+
+  /// Store at `self` and register the replica in the directory.
+  bool set(NodeId self, std::string_view key, std::string_view value,
+           std::uint32_t flags, std::uint32_t cost,
+           std::uint32_t exptime_s = 0);
+  bool iqset(NodeId self, std::string_view key, std::string_view value,
+             std::uint32_t flags, std::uint32_t exptime_s = 0);
+
+  /// Cluster-wide delete: removes the pair from every directory-tracked
+  /// holder (peer deletes for remote ones) and purges any guard entry.
+  bool del(NodeId self, std::string_view key);
+
+  /// Drop this node's directory entries and flush its store (the cluster
+  /// form of flush_all; the node stays in the ring).
+  void flush_node(NodeId id);
+
+  [[nodiscard]] NodeId home_node(std::string_view key) const;
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ClusterCounters counters() const;
+  [[nodiscard]] std::size_t guard_item_count() const;
+  [[nodiscard]] std::uint64_t guard_used_bytes() const;
+  [[nodiscard]] bool guard_contains(std::string_view key) const;
+  [[nodiscard]] std::size_t directory_replica_count(
+      std::string_view key) const;
+
+  /// Directory/store agreement: every directory entry's holder really holds
+  /// the key, replica totals match resident totals, guard stays in budget,
+  /// parked pairs have zero replicas. Snapshots the metadata, then queries
+  /// the stores lock-free — only meaningful while no traffic is in flight.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Node {
+    KvsStore* store = nullptr;
+    std::string host;
+    std::uint16_t port = 0;  // 0 = in-process peer transport
+  };
+
+  struct GuardEntry {
+    std::string key;
+    std::string value;
+    std::uint32_t flags = 0;
+    std::uint32_t cost = 0;
+    std::uint64_t charged_bytes = 0;
+    std::uint64_t deadline = 0;  // request count at which the lease lapses
+    /// TTL seconds left at park time; reinstated with this lease (the park
+    /// interval is not subtracted — conservative, never immortal). 0 =
+    /// never expires.
+    std::uint32_t remaining_ttl_s = 0;
+  };
+
+  /// One lazily-connected peer connection; `mutex` serializes its users.
+  struct PeerLink {
+    std::mutex mutex;
+    std::unique_ptr<KvsClient> client;
+  };
+
+  void on_node_eviction(NodeId id, const EvictedItem& item);
+  void on_node_stored(NodeId id, std::string_view key);
+  [[nodiscard]] GetResult peer_fetch(NodeId holder, std::string_view key);
+  bool peer_delete(NodeId holder, std::string_view key);
+  [[nodiscard]] std::shared_ptr<PeerLink> link_for(NodeId id);
+
+  // -- guard (all require mutex_) -----------------------------------------
+  void guard_park_locked(std::string key, std::string value,
+                         std::uint32_t flags, std::uint32_t cost,
+                         std::uint64_t charged_bytes,
+                         std::uint32_t remaining_ttl_s);
+  void guard_expire_front_locked();
+  void guard_drop_locked(std::list<GuardEntry>::iterator it);
+  /// Remove and return the parked entry for `key` if its lease is alive.
+  [[nodiscard]] std::optional<GuardEntry> guard_take(const std::string& key);
+
+  ClusterConfig config_;
+  std::uint64_t guard_capacity_ = 0;  // 0 when the guard is disabled
+
+  mutable std::mutex mutex_;  // leaf lock; see file comment
+  coop::HashRing ring_;
+  std::map<NodeId, Node> nodes_;
+  coop::StringReplicaDirectory directory_;
+  ClusterCounters counters_;
+  std::unordered_set<std::string> seen_;  // cold-miss split
+
+  std::list<GuardEntry> guard_fifo_;  // deadlines are monotone: front first
+  std::unordered_map<std::string, std::list<GuardEntry>::iterator>
+      guard_index_;
+  std::uint64_t guard_used_ = 0;
+  NodeId next_node_id_ = 0;
+
+  mutable std::mutex links_mutex_;  // guards the map, not the links
+  std::map<NodeId, std::shared_ptr<PeerLink>> links_;
+};
+
+/// In-process transport for one cluster node: a KvsApi whose ops run the
+/// cooperative path as node `self`. The deterministic twin of a cluster-
+/// attached KvsServer — ClusterClient over CoopNodeClients is the whole
+/// cluster without sockets.
+class CoopNodeClient final : public KvsApi {
+ public:
+  CoopNodeClient(CoopCluster& cluster, ClusterNodeId self)
+      : cluster_(cluster), self_(self) {}
+
+  [[nodiscard]] KvsBatchResult execute(const KvsBatch& batch) override;
+
+  [[nodiscard]] ClusterNodeId node_id() const noexcept { return self_; }
+
+ private:
+  CoopCluster& cluster_;
+  ClusterNodeId self_;
+};
+
+}  // namespace camp::kvs

@@ -1,0 +1,106 @@
+#include "kvs/cluster_client.h"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace camp::kvs {
+
+ClusterClient::ClusterClient(std::uint32_t virtual_nodes, bool parallel)
+    : ring_(virtual_nodes), parallel_(parallel) {}
+
+void ClusterClient::add_node(ClusterNodeId id, KvsApi& transport) {
+  nodes_[id] = &transport;
+  ring_.add_node(id);
+}
+
+void ClusterClient::remove_node(ClusterNodeId id) {
+  nodes_.erase(id);
+  ring_.remove_node(id);
+}
+
+ClusterNodeId ClusterClient::home_node(std::string_view key) const {
+  return ring_.node_for(cluster_route_key(key));
+}
+
+KvsBatchResult ClusterClient::execute(const KvsBatch& batch) {
+  KvsBatchResult out;
+  out.results.resize(batch.size());
+  if (batch.empty()) return out;
+  if (nodes_.empty()) {
+    throw std::logic_error("ClusterClient: no nodes registered");
+  }
+
+  // Split the logical batch into per-node sub-batches, remembering which
+  // original op index each sub-op answers.
+  struct SubBatch {
+    KvsApi* transport = nullptr;
+    KvsBatch batch;
+    std::vector<std::size_t> op_indices;
+  };
+  std::map<ClusterNodeId, SubBatch> subs;
+  const std::vector<KvsOp>& ops = batch.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const KvsOp& op = ops[i];
+    const ClusterNodeId home = ring_.node_for(cluster_route_key(op.key));
+    SubBatch& sub = subs[home];
+    if (sub.transport == nullptr) sub.transport = nodes_.at(home);
+    switch (op.type) {
+      case KvsOpType::kGet:
+        sub.batch.add_get(op.key);
+        break;
+      case KvsOpType::kIqGet:
+        sub.batch.add_iqget(op.key);
+        break;
+      case KvsOpType::kSet:
+        sub.batch.add_set(op.key, op.value, op.flags, op.cost, op.exptime_s,
+                          op.noreply);
+        break;
+      case KvsOpType::kIqSet:
+        sub.batch.add_iqset(op.key, op.value, op.flags, op.exptime_s,
+                            op.noreply);
+        break;
+      case KvsOpType::kDel:
+        sub.batch.add_del(op.key, op.noreply);
+        break;
+    }
+    sub.op_indices.push_back(i);
+  }
+
+  // Execute each node's share and stitch replies back onto op order.
+  const auto scatter = [&out](const SubBatch& sub, KvsBatchResult&& reply) {
+    for (std::size_t j = 0; j < sub.op_indices.size(); ++j) {
+      out.results[sub.op_indices[j]] = std::move(reply.results[j]);
+    }
+  };
+  if (!parallel_ || subs.size() == 1) {
+    for (auto& [id, sub] : subs) {
+      scatter(sub, sub.transport->execute(sub.batch));
+    }
+    return out;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(subs.size());
+  std::vector<std::exception_ptr> errors(subs.size());
+  std::size_t slot = 0;
+  for (auto& [id, sub] : subs) {
+    SubBatch* s = &sub;
+    std::exception_ptr* err = &errors[slot++];
+    threads.emplace_back([s, err, &scatter] {
+      try {
+        scatter(*s, s->transport->execute(s->batch));
+      } catch (...) {
+        *err = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return out;
+}
+
+}  // namespace camp::kvs

@@ -1,0 +1,52 @@
+// ClusterClient: a KvsApi that spreads one logical KvsBatch across the
+// nodes of a cooperative cluster.
+//
+// Each op routes to its key's home node on a consistent-hash ring (the same
+// ring geometry CoopCluster uses, so client and servers agree on
+// placement). The batch splits into per-node sub-batches, which run over
+// the node transports — pipelined KvsClient TCP connections for a real
+// deployment, CoopNodeClient for the deterministic in-process cluster —
+// and the per-node replies are stitched back into the original op order.
+//
+// With `parallel` set the sub-batches are issued concurrently (one thread
+// per touched node, so a batch costs max(node latencies), not their sum);
+// without it they run sequentially in ascending node order, which keeps a
+// single-driver replay fully deterministic (the fig_coop_cluster baseline).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+
+#include "kvs/api.h"
+#include "kvs/cluster.h"
+
+namespace camp::kvs {
+
+class ClusterClient final : public KvsApi {
+ public:
+  /// `virtual_nodes` must match the cluster's ring geometry.
+  explicit ClusterClient(std::uint32_t virtual_nodes = 64,
+                         bool parallel = true);
+
+  /// Register node `id`'s transport (which must outlive the client and, in
+  /// parallel mode, must not be shared with another node id — transports
+  /// are driven from per-node threads).
+  void add_node(ClusterNodeId id, KvsApi& transport);
+  void remove_node(ClusterNodeId id);
+
+  [[nodiscard]] ClusterNodeId home_node(std::string_view key) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Split, execute per node, stitch results back into op order. Throws
+  /// std::logic_error when no nodes are registered; transport errors
+  /// propagate (parallel mode rethrows the first one after joining).
+  [[nodiscard]] KvsBatchResult execute(const KvsBatch& batch) override;
+
+ private:
+  coop::HashRing ring_;
+  std::map<ClusterNodeId, KvsApi*> nodes_;
+  bool parallel_;
+};
+
+}  // namespace camp::kvs

@@ -6,6 +6,19 @@
 
 namespace camp::kvs {
 
+namespace {
+
+/// Seconds left on a lease, rounded UP so mid-second reads do not shorten
+/// it to "expires now"; 0 when the pair never expires.
+std::uint32_t remaining_ttl_s(std::uint64_t expiry_ns,
+                              std::uint64_t now_ns) {
+  if (expiry_ns == 0) return 0;
+  return static_cast<std::uint32_t>((expiry_ns - now_ns + 999'999'999ULL) /
+                                    1'000'000'000ULL);
+}
+
+}  // namespace
+
 KvsEngine::KvsEngine(EngineConfig config, const PolicyFactory& policy_factory,
                      const util::Clock& clock)
     : config_(config),
@@ -44,6 +57,8 @@ GetResult KvsEngine::get(std::string_view key) {
   GetResult result;
   result.hit = true;
   result.flags = item.flags;
+  result.cost = item.cost;
+  result.remaining_ttl_s = remaining_ttl_s(item.expiry_ns, clock_.now_ns());
   result.value.assign(item_value(item.chunk.data, header));
   return result;
 }
@@ -122,6 +137,9 @@ bool KvsEngine::set(std::string_view key, std::string_view value,
   index_.emplace(std::move(key_str), item);
   ++stats_.items;
   stats_.value_bytes += value.size();
+  // Last, still inside the caller's shard critical section: stored and
+  // evicted notifications for one key are totally ordered (see StoredHook).
+  if (stored_hook_) stored_hook_(key);
   return true;
 }
 
@@ -166,21 +184,15 @@ bool KvsEngine::contains(std::string_view key) const {
 
 void KvsEngine::for_each_item(
     const std::function<void(std::string_view, std::string_view,
-                             std::uint32_t, std::uint32_t, std::uint32_t)>&
-        fn) const {
+                             std::uint32_t, std::uint32_t, std::uint32_t,
+                             std::uint64_t)>& fn) const {
   const std::uint64_t now = clock_.now_ns();
   for (const auto& [key, item] : index_) {
     if (item.expiry_ns != 0 && now >= item.expiry_ns) continue;
-    std::uint32_t ttl_s = 0;
-    if (item.expiry_ns != 0) {
-      // Round the remaining lease up so a snapshot taken mid-second does
-      // not silently shorten it to "expires now".
-      ttl_s = static_cast<std::uint32_t>(
-          (item.expiry_ns - now + 999'999'999ULL) / 1'000'000'000ULL);
-    }
+    const std::uint32_t ttl_s = remaining_ttl_s(item.expiry_ns, now);
     const ItemHeader header = read_item_header(item.chunk.data);
     fn(key, item_value(item.chunk.data, header), item.flags, item.cost,
-       ttl_s);
+       ttl_s, item.chunk.size);
   }
 }
 
@@ -202,7 +214,28 @@ void KvsEngine::on_policy_eviction(policy::Key id) {
   }
   const auto it = id_to_key_.find(id);
   if (it == id_to_key_.end()) return;  // already gone
+  notify_eviction(it->second);
   remove_item(it->second, /*free_chunk=*/true);
+}
+
+void KvsEngine::notify_eviction(const std::string& key) {
+  if (!eviction_hook_) return;
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  const Item& item = it->second;
+  const std::uint64_t now = clock_.now_ns();
+  // An already-lapsed pair is dead weight: dropping it loses nothing, so
+  // the hook (and the cluster's guard) never sees it.
+  if (item.expiry_ns != 0 && now >= item.expiry_ns) return;
+  const ItemHeader header = read_item_header(item.chunk.data);
+  EvictedItem evicted;
+  evicted.key = key;
+  evicted.value = item_value(item.chunk.data, header);
+  evicted.flags = item.flags;
+  evicted.cost = item.cost;
+  evicted.charged_bytes = item.chunk.size;
+  evicted.remaining_ttl_s = remaining_ttl_s(item.expiry_ns, now);
+  eviction_hook_(evicted);
 }
 
 std::optional<slab::Chunk> KvsEngine::allocate_with_pressure(
@@ -231,6 +264,7 @@ std::optional<slab::Chunk> KvsEngine::allocate_with_pressure(
           const auto it = index_.find(key);
           if (it == index_.end()) return;
           policy_->erase(it->second.id);
+          notify_eviction(key);  // pressure drop, same as a policy eviction
           // The chunk is being re-carved: do NOT free it back to its class.
           remove_item(key, /*free_chunk=*/false);
         });

@@ -60,7 +60,46 @@ struct GetResult {
   bool hit = false;
   std::string value;
   std::uint32_t flags = 0;
+  /// The stored pair's integer cost. Plain client replies do not carry it;
+  /// the cluster's peer-fetch path does (promotions must preserve the cost
+  /// the pair was originally stored with).
+  std::uint32_t cost = 0;
+  /// Seconds until the pair expires, rounded up; 0 = never expires. Carried
+  /// by the peer-fetch path so promotions preserve the remaining lease.
+  std::uint32_t remaining_ttl_s = 0;
 };
+
+/// A resident pair the engine is dropping under memory pressure (policy
+/// eviction or slab reassignment). The views point into the pair's chunk
+/// and are valid only for the duration of the hook call.
+struct EvictedItem {
+  std::string_view key;
+  std::string_view value;
+  std::uint32_t flags = 0;
+  std::uint32_t cost = 0;
+  /// Bytes the eviction policy accounted for the pair (its chunk size).
+  std::uint64_t charged_bytes = 0;
+  /// Seconds left on the pair's lease (rounded up); 0 = never expires.
+  /// Already-expired pairs never reach the hook.
+  std::uint32_t remaining_ttl_s = 0;
+};
+
+/// Invoked for every pressure-driven drop BEFORE the pair's memory is
+/// reclaimed. NOT invoked for explicit overwrites, deletes, flush_all or
+/// lazy expiry — those are caller-visible removals — nor for pairs whose
+/// TTL already lapsed (nothing of value is lost). The cooperative cluster
+/// (kvs/cluster.h) uses this to keep its replica directory consistent and
+/// to park last replicas in the guard. Runs while the engine (and its store
+/// shard lock) is held: the hook must not call back into the engine/store.
+using EvictionHook = std::function<void(const EvictedItem&)>;
+
+/// Invoked at the end of every SUCCESSFUL set/iqset with the stored key,
+/// still under the engine (and store shard) lock — so for any one key,
+/// stored and evicted notifications are totally ordered by the shard's
+/// critical sections. The cluster's replica directory relies on that
+/// ordering: registering the replica from a hook cannot race the pair's
+/// own eviction the way an add after the store call returned could.
+using StoredHook = std::function<void(std::string_view key)>;
 
 class KvsEngine {
  public:
@@ -96,12 +135,23 @@ class KvsEngine {
 
   /// Visit every resident pair. Expired pairs are skipped (this is a const
   /// walk; lazy removal still happens on the next get). `remaining_ttl_s`
-  /// is 0 for pairs that never expire, else the seconds left (>= 1).
-  /// Used by the snapshot module (kvs/snapshot.h); order unspecified.
+  /// is 0 for pairs that never expire, else the seconds left (>= 1);
+  /// `charged_bytes` is the chunk size the policy accounts for the pair.
+  /// Used by the snapshot module (kvs/snapshot.h) and the cluster's
+  /// decommission drain; order unspecified.
   void for_each_item(
       const std::function<void(std::string_view key, std::string_view value,
                                std::uint32_t flags, std::uint32_t cost,
-                               std::uint32_t remaining_ttl_s)>& fn) const;
+                               std::uint32_t remaining_ttl_s,
+                               std::uint64_t charged_bytes)>& fn) const;
+
+  /// See EvictionHook. Replaces any previous hook; pass nullptr to clear.
+  void set_eviction_hook(EvictionHook hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
+  /// See StoredHook. Replaces any previous hook; pass nullptr to clear.
+  void set_stored_hook(StoredHook hook) { stored_hook_ = std::move(hook); }
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
   [[nodiscard]] const policy::CacheStats& policy_stats() const {
     return policy_->stats();
@@ -121,6 +171,9 @@ class KvsEngine {
 
   void remove_item(const std::string& key, bool free_chunk);
   void on_policy_eviction(policy::Key id);
+  /// Fire eviction_hook_ for a still-resident pair about to be dropped
+  /// under pressure.
+  void notify_eviction(const std::string& key);
   [[nodiscard]] std::optional<slab::Chunk> allocate_with_pressure(
       std::uint64_t footprint);
 
@@ -138,6 +191,8 @@ class KvsEngine {
   // aborts instead of dereferencing a not-yet-existing item.
   policy::Key pending_id_ = 0;
   bool pending_evicted_ = false;
+  EvictionHook eviction_hook_;
+  StoredHook stored_hook_;
   EngineStats stats_;
 };
 

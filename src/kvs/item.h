@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string_view>
 
 namespace camp::kvs {
@@ -31,9 +32,19 @@ inline constexpr std::size_t kMaxKeyLength = 250;  // memcached's limit
 }
 
 /// Serialize header+key+value into `chunk_data` (must be large enough).
+/// Throws std::length_error for a key longer than kMaxKeyLength: the
+/// header's key_len is a uint16_t, and an unchecked cast would silently
+/// truncate an oversized key into a layout that aliases another chunk's
+/// bytes. Callers (the engine's set path) reject such keys up front; this
+/// guard makes the invariant local instead of relying on every caller.
 inline void write_item(std::byte* chunk_data, std::string_view key,
                        std::string_view value, std::uint32_t flags,
                        std::uint32_t cost) {
+  static_assert(kMaxKeyLength <= 0xffff,
+                "ItemHeader::key_len must be able to hold kMaxKeyLength");
+  if (key.size() > kMaxKeyLength) {
+    throw std::length_error("write_item: key exceeds kMaxKeyLength");
+  }
   ItemHeader header;
   header.key_len = static_cast<std::uint16_t>(key.size());
   header.value_len = static_cast<std::uint32_t>(value.size());

@@ -90,6 +90,20 @@ std::optional<Command> parse_command(std::string_view line) {
     cmd.key = std::string(tokens[1]);
     return cmd;
   }
+  if (verb == "pget") {
+    if (tokens.size() != 2 || !valid_key(tokens[1])) return std::nullopt;
+    Command cmd;
+    cmd.type = CommandType::kPGet;
+    cmd.key = std::string(tokens[1]);
+    return cmd;
+  }
+  if (verb == "pdel") {
+    if (tokens.size() != 2 || !valid_key(tokens[1])) return std::nullopt;
+    Command cmd;
+    cmd.type = CommandType::kPDel;
+    cmd.key = std::string(tokens[1]);
+    return cmd;
+  }
   if (verb == "set") return parse_storage(CommandType::kSet, tokens);
   if (verb == "iqset") return parse_storage(CommandType::kIqSet, tokens);
   if (verb == "delete") {
@@ -307,6 +321,28 @@ std::string format_value(std::string_view key, std::uint32_t flags,
   out.append(std::to_string(flags));
   out.push_back(' ');
   out.append(std::to_string(data.size()));
+  out.append("\r\n");
+  out.append(data);
+  out.append("\r\n");
+  return out;
+}
+
+std::string format_value_with_cost(std::string_view key, std::uint32_t flags,
+                                   std::uint32_t cost,
+                                   std::uint32_t remaining_ttl_s,
+                                   std::string_view data) {
+  std::string out;
+  out.reserve(key.size() + data.size() + 48);
+  out.append("VALUE ");
+  out.append(key);
+  out.push_back(' ');
+  out.append(std::to_string(flags));
+  out.push_back(' ');
+  out.append(std::to_string(data.size()));
+  out.push_back(' ');
+  out.append(std::to_string(cost));
+  out.push_back(' ');
+  out.append(std::to_string(remaining_ttl_s));
   out.append("\r\n");
   out.append(data);
   out.append("\r\n");

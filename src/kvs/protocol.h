@@ -41,6 +41,12 @@ enum class CommandType {
   kFlushAll,
   kVersion,
   kQuit,
+  // Cluster peer ops (kvs/cluster.h). Always served from the node's LOCAL
+  // store, bypassing any cooperative-cluster routing — a peer fetch must be
+  // terminal, never recursing into another peer fetch.
+  kPGet,  // "pget <key>": raw local get; the reply's VALUE line carries the
+          // pair's stored cost in memcached's optional 4th slot.
+  kPDel,  // "pdel <key>": raw local delete (cluster-wide delete fan-out).
 };
 
 /// Upper bound on a storage command's declared payload size. Anything
@@ -156,6 +162,15 @@ class CommandDecoder {
 [[nodiscard]] std::string format_value(std::string_view key,
                                        std::uint32_t flags,
                                        std::string_view data);
+/// "VALUE <key> <flags> <bytes> <cost> <ttl>": the pget reply. The stored
+/// cost rides in memcached's optional 4th VALUE token (cas slot), followed
+/// by the remaining TTL seconds (0 = never expires) — promotions preserve
+/// both.
+[[nodiscard]] std::string format_value_with_cost(std::string_view key,
+                                                 std::uint32_t flags,
+                                                 std::uint32_t cost,
+                                                 std::uint32_t remaining_ttl_s,
+                                                 std::string_view data);
 [[nodiscard]] std::string format_end();
 [[nodiscard]] std::string format_stored(bool stored);
 [[nodiscard]] std::string format_deleted(bool deleted);

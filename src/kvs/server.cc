@@ -12,6 +12,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kvs/cluster.h"
 #include "kvs/sharded_cache.h"
 
 namespace camp::kvs {
@@ -60,6 +61,15 @@ KvsServer::KvsServer(ServerConfig config, const PolicyFactory& policy_factory,
              clock) {}
 
 KvsServer::~KvsServer() { stop(); }
+
+void KvsServer::attach_cluster(CoopCluster* cluster, std::uint32_t self_node) {
+  if (running_.load()) {
+    throw std::logic_error(
+        "KvsServer: attach_cluster must run before start()");
+  }
+  cluster_ = cluster;
+  self_node_ = self_node;
+}
 
 void KvsServer::start() {
   if (running_.load()) return;
@@ -266,7 +276,18 @@ void KvsServer::worker_loop(Worker& worker) {
           out += format_error();
           continue;
         }
-        if (!apply_command(dc, out)) {
+        bool keep = false;
+        try {
+          keep = apply_command(dc, out);
+        } catch (const std::exception&) {
+          // A cluster-routed command can throw (stale node binding, peer
+          // transport failure surfacing as a logic error): answer ERROR
+          // and drop this connection instead of letting the exception
+          // terminate the worker (and with it the whole server).
+          out += format_error();
+          keep = false;
+        }
+        if (!keep) {
           conn.closing = true;
           break;
         }
@@ -295,14 +316,18 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
   switch (cmd.type) {
     case CommandType::kGet:
     case CommandType::kIqGet: {
-      const GetResult result = cmd.type == CommandType::kGet
-                                   ? store_.get(cmd.key)
-                                   : store_.iqget(cmd.key);
+      const bool iq = cmd.type == CommandType::kIqGet;
+      const GetResult result =
+          cluster_ != nullptr
+              ? cluster_->get(self_node_, cmd.key, iq)
+              : (iq ? store_.iqget(cmd.key) : store_.get(cmd.key));
       if (result.hit) {
         out += format_value(cmd.key, result.flags, result.value);
       }
       for (const std::string& key : cmd.extra_keys) {
-        const GetResult extra = store_.get(key);
+        const GetResult extra = cluster_ != nullptr
+                                    ? cluster_->get(self_node_, key)
+                                    : store_.get(key);
         if (extra.hit) {
           out += format_value(key, extra.flags, extra.value);
         }
@@ -310,19 +335,46 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
       out += format_end();
       break;
     }
+    case CommandType::kPGet: {
+      // Peer fetch: ALWAYS the raw local store, never the coop path — a
+      // peer fetch must be terminal. The reply carries the stored cost so
+      // the fetching node's promotion preserves it.
+      const GetResult result = store_.get(cmd.key);
+      if (result.hit) {
+        out += format_value_with_cost(cmd.key, result.flags, result.cost,
+                                      result.remaining_ttl_s, result.value);
+      }
+      out += format_end();
+      break;
+    }
     case CommandType::kSet:
     case CommandType::kIqSet: {
-      const bool stored =
-          cmd.type == CommandType::kSet
-              ? store_.set(cmd.key, dc.payload, cmd.flags, cmd.cost,
-                           cmd.exptime)
-              : store_.iqset(cmd.key, dc.payload, cmd.flags, cmd.exptime);
+      bool stored;
+      if (cluster_ != nullptr) {
+        stored = cmd.type == CommandType::kSet
+                     ? cluster_->set(self_node_, cmd.key, dc.payload,
+                                     cmd.flags, cmd.cost, cmd.exptime)
+                     : cluster_->iqset(self_node_, cmd.key, dc.payload,
+                                       cmd.flags, cmd.exptime);
+      } else {
+        stored = cmd.type == CommandType::kSet
+                     ? store_.set(cmd.key, dc.payload, cmd.flags, cmd.cost,
+                                  cmd.exptime)
+                     : store_.iqset(cmd.key, dc.payload, cmd.flags,
+                                    cmd.exptime);
+      }
       if (!cmd.noreply) out += format_stored(stored);
       break;
     }
     case CommandType::kDelete: {
-      const bool deleted = store_.del(cmd.key);
+      const bool deleted = cluster_ != nullptr
+                               ? cluster_->del(self_node_, cmd.key)
+                               : store_.del(cmd.key);
       if (!cmd.noreply) out += format_deleted(deleted);
+      break;
+    }
+    case CommandType::kPDel: {
+      out += format_deleted(store_.del(cmd.key));  // raw local, terminal
       break;
     }
     case CommandType::kStats: {
@@ -340,11 +392,33 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
       out += format_stat("expired", std::to_string(s.expired));
       out += format_stat("slab_reassignments",
                          std::to_string(s.slab_reassignments));
+      if (cluster_ != nullptr) {
+        const ClusterCounters c = cluster_->counters();
+        out += format_stat("cluster_node", std::to_string(self_node_));
+        out += format_stat("cluster_nodes",
+                           std::to_string(cluster_->node_count()));
+        out += format_stat("cluster_requests", std::to_string(c.requests));
+        out += format_stat("cluster_local_hits",
+                           std::to_string(c.local_hits));
+        out += format_stat("cluster_remote_hits",
+                           std::to_string(c.remote_hits));
+        out += format_stat("cluster_guard_hits",
+                           std::to_string(c.guard_hits));
+        out += format_stat("cluster_misses", std::to_string(c.misses));
+        out += format_stat("cluster_transfer_bytes",
+                           std::to_string(c.transfer_bytes));
+        out += format_stat("cluster_promotions",
+                           std::to_string(c.promotions));
+      }
       out += format_end();
       break;
     }
     case CommandType::kFlushAll: {
-      store_.flush_all();
+      if (cluster_ != nullptr) {
+        cluster_->flush_node(self_node_);  // keeps the directory honest
+      } else {
+        store_.flush_all();
+      }
       out += "OK\r\n";
       break;
     }

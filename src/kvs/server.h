@@ -34,6 +34,8 @@
 
 namespace camp::kvs {
 
+class CoopCluster;
+
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
@@ -57,6 +59,14 @@ class KvsServer {
   /// std::runtime_error on socket errors.
   void start();
   void stop();
+
+  /// Serve as node `self_node` of a cooperative cluster (kvs/cluster.h):
+  /// client get/iqget/set/iqset/delete traffic routes through the cluster's
+  /// four-step coop path; pget/pdel (peer ops) and everything else stay on
+  /// the local store. Call before start(), with `cluster` outliving the
+  /// server; pass nullptr to detach. The caller is responsible for having
+  /// joined this server's store() to the cluster under the same node id.
+  void attach_cluster(CoopCluster* cluster, std::uint32_t self_node);
 
   /// Actual listening port (resolves ephemeral 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
@@ -88,6 +98,8 @@ class KvsServer {
 
   ServerConfig config_;
   KvsStore store_;
+  CoopCluster* cluster_ = nullptr;  // optional cooperative-cluster binding
+  std::uint32_t self_node_ = 0;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};

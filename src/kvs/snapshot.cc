@@ -39,13 +39,14 @@ std::uint64_t save_snapshot(std::ostream& out, const KvsStore& store) {
   // only exposes iteration.
   std::uint64_t count = 0;
   store.for_each_item([&](std::string_view, std::string_view, std::uint32_t,
-                          std::uint32_t, std::uint32_t) { ++count; });
+                          std::uint32_t, std::uint32_t,
+                          std::uint64_t) { ++count; });
   out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
   put_le<std::uint64_t>(out, count);
   std::uint64_t written = 0;
   store.for_each_item([&](std::string_view key, std::string_view value,
                           std::uint32_t flags, std::uint32_t cost,
-                          std::uint32_t ttl_s) {
+                          std::uint32_t ttl_s, std::uint64_t) {
     // The resident set may shrink between the passes (expiry); pad-proof
     // by never writing more than `count` items. A growth between passes
     // cannot happen (for_each_item is const and the caller holds the

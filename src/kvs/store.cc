@@ -78,6 +78,12 @@ bool KvsStore::del(std::string_view key) {
   return shard.engine->del(key);
 }
 
+bool KvsStore::contains(std::string_view key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.engine->contains(key);
+}
+
 void KvsStore::flush_all() {
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
@@ -87,11 +93,25 @@ void KvsStore::flush_all() {
 
 void KvsStore::for_each_item(
     const std::function<void(std::string_view, std::string_view,
-                             std::uint32_t, std::uint32_t, std::uint32_t)>&
-        fn) const {
+                             std::uint32_t, std::uint32_t, std::uint32_t,
+                             std::uint64_t)>& fn) const {
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     shard->engine->for_each_item(fn);
+  }
+}
+
+void KvsStore::set_eviction_hook(const EvictionHook& hook) {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->engine->set_eviction_hook(hook);
+  }
+}
+
+void KvsStore::set_stored_hook(const StoredHook& hook) {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->engine->set_stored_hook(hook);
   }
 }
 

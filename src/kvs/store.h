@@ -36,12 +36,27 @@ class KvsStore {
   bool del(std::string_view key);
   void flush_all();
 
+  /// True if the key is resident (no policy side effects, expired pairs
+  /// still count until their lazy removal).
+  [[nodiscard]] bool contains(std::string_view key) const;
+
   /// Visit every resident, unexpired pair across all shards (each shard
-  /// walked under its own lock). Used by kvs/snapshot.h.
+  /// walked under its own lock). Used by kvs/snapshot.h and the cluster's
+  /// decommission drain. `charged_bytes` is the chunk size the eviction
+  /// policy accounts for the pair.
   void for_each_item(
       const std::function<void(std::string_view key, std::string_view value,
                                std::uint32_t flags, std::uint32_t cost,
-                               std::uint32_t remaining_ttl_s)>& fn) const;
+                               std::uint32_t remaining_ttl_s,
+                               std::uint64_t charged_bytes)>& fn) const;
+
+  /// Install `hook` on every engine shard (see kvs::EvictionHook). Set it
+  /// before serving traffic; pass nullptr to clear.
+  void set_eviction_hook(const EvictionHook& hook);
+
+  /// Install `hook` on every engine shard (see kvs::StoredHook). Set it
+  /// before serving traffic; pass nullptr to clear.
+  void set_stored_hook(const StoredHook& hook);
 
   [[nodiscard]] EngineStats aggregated_stats() const;
   [[nodiscard]] policy::CacheStats aggregated_policy_stats() const;

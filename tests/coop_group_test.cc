@@ -187,6 +187,52 @@ TEST(CoopGroup, RemoveNodeDrainsThroughTheGuard) {
   EXPECT_EQ(group.metrics().misses, misses_before);
 }
 
+// Decommission-consistency regression (the satellite audit): removing a
+// node mid-workload must leave NO pair that is both still directory-tracked
+// and physically gone, and every last replica the victim held must land in
+// the guard — the directory's orphan list and the guard's intake have to
+// agree exactly.
+TEST(CoopGroup, DecommissionMidWorkloadLosesNothing) {
+  CoopConfig cfg = base_cfg(4, 200'000);
+  cfg.guard_fraction = 1.0;  // ample: no squeeze may excuse a missing park
+  CoopGroup group(cfg);
+  util::Xoshiro256 rng(2014);
+  for (int i = 0; i < 20'000; ++i) {
+    group.request(rng.below(800), 64 + rng.below(400), 1 + rng.below(1000));
+  }
+  const CoopGroup::NodeId victim = 2;
+  // The keys whose ONLY copy lives on the victim: exactly these must flow
+  // into the guard.
+  std::vector<Key> expected_orphans;
+  for (const auto& [key, holders] : group.directory().snapshot()) {
+    if (holders.size() == 1 && holders.front() == victim) {
+      expected_orphans.push_back(key);
+    }
+  }
+  ASSERT_FALSE(expected_orphans.empty()) << "workload never used the victim";
+  const std::uint64_t parked_before = group.metrics().guard_parked;
+
+  group.remove_node(victim);
+
+  for (const Key key : expected_orphans) {
+    EXPECT_TRUE(group.guard_contains(key))
+        << "last replica of key " << key << " vanished in the decommission";
+    EXPECT_EQ(group.directory().replica_count(key), 0u);
+  }
+  // Guard intake matches the orphan set exactly — no phantom parks.
+  EXPECT_EQ(group.metrics().guard_parked - parked_before,
+            expected_orphans.size());
+  // No pair is both directory-tracked and gone (check_invariants verifies
+  // every directory entry against the surviving caches).
+  EXPECT_TRUE(group.check_invariants());
+  // ... and the drained pairs are servable: a re-request is a guard hit,
+  // not a recompute.
+  const std::uint64_t misses_before = group.metrics().misses;
+  EXPECT_TRUE(group.request(expected_orphans.front(), 100, 100));
+  EXPECT_EQ(group.metrics().misses, misses_before);
+  EXPECT_TRUE(group.check_invariants());
+}
+
 TEST(CoopGroup, RemovingUnknownOrFinalNodeThrows) {
   CoopGroup group(base_cfg(2, 1000));
   EXPECT_THROW(group.remove_node(99), std::invalid_argument);

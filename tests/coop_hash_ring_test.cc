@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <stdexcept>
 
 namespace camp::coop {
@@ -109,6 +110,53 @@ TEST(HashRing, NodesForClampsToRingSize) {
   ring.add_node(1);
   const auto replicas = ring.nodes_for(42, 5);
   EXPECT_EQ(replicas.size(), 2u);
+}
+
+// Regression for the nodes_for wrap-around path: with 2 nodes at a single
+// virtual point each, the ring holds just 2 points, so roughly half of all
+// key hashes land PAST the last point — lower_bound returns end() and the
+// walk must wrap to begin(). Before the wrap was exercised, a full-coverage
+// query (replicas == nodes) could silently come back short.
+TEST(HashRing, NodesForWrapsAroundTheRingEnd) {
+  HashRing ring(/*virtual_nodes=*/1);
+  ring.add_node(10);
+  ring.add_node(20);
+  int full = 0;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    const auto replicas = ring.nodes_for(k, 2);
+    ASSERT_EQ(replicas.size(), 2u) << "key " << k << " lost a replica";
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_EQ(replicas[0], ring.node_for(k));
+    if (replicas[0] != replicas[1]) ++full;
+  }
+  EXPECT_EQ(full, 256);
+}
+
+// Sparse ring (few virtual points), replicas far beyond the node count:
+// the walk must terminate after one lap with every node exactly once.
+TEST(HashRing, ReplicasBeyondNodeCountOnSparseRing) {
+  HashRing ring(/*virtual_nodes=*/1);
+  for (const std::uint32_t n : {3u, 900u, 77u}) ring.add_node(n);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const auto replicas = ring.nodes_for(k, 1000);
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<std::uint32_t> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+}
+
+// The seen-set rewrite must preserve the walk's clockwise order: the first
+// replica is node_for, and re-running the same query is stable.
+TEST(HashRing, NodesForIsDeterministicAndOrdered) {
+  HashRing ring(8);
+  for (std::uint32_t n = 0; n < 16; ++n) ring.add_node(n);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const auto a = ring.nodes_for(k, 16);
+    const auto b = ring.nodes_for(k, 16);
+    ASSERT_EQ(a.size(), 16u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.front(), ring.node_for(k));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// Cluster <-> simulator equivalence: the same deterministic trace driven
+// through the networked cooperative cluster (ClusterClient over in-process
+// CoopNodeClients, ManualClock) and through coop::CoopGroup must produce
+// IDENTICAL local/remote/guard/miss counters — the wire deployment is the
+// simulation substrate's semantics, not an approximation of them.
+//
+// Making the two systems bit-compatible pins down every accounting detail:
+//   * placement: both route by cluster_route_key() on the same ring
+//     geometry, so the sim is driven with the cluster's route hashes;
+//   * sizes: the engine charges slab-chunk bytes per pair, so the sim is
+//     driven with the SAME charged size (probed from a twin SlabAllocator)
+//     and node capacity equal to the engine's policy budget;
+//   * costs: fixed per key, so a promotion (which preserves the stored
+//     cost) matches the sim's install (which uses the request's cost);
+//   * guard: same byte budget, same lease, both measured in charged bytes
+//     and get-requests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coop/group.h"
+#include "kvs/cluster.h"
+#include "kvs/cluster_client.h"
+#include "policy/policy_factory.h"
+#include "slab/slab_allocator.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace camp::kvs {
+namespace {
+
+constexpr std::size_t kValueBytes = 1000;
+constexpr std::uint64_t kSlabBytes = 64u << 10;
+constexpr std::uint64_t kNodeSlabLimit = 8 * kSlabBytes;
+constexpr double kPolicyFill = 0.85;  // EngineConfig default
+constexpr std::uint64_t kLease = 3'000;
+constexpr std::uint32_t kNodes = 3;
+
+std::uint32_t cost_of(std::uint64_t key_id) {
+  return 1 + static_cast<std::uint32_t>((key_id * 2654435761ull) % 9'999);
+}
+
+/// Built without the fused `"k" + to_string` temporary, which trips GCC
+/// 12's bogus -Wrestrict at -O2 (same workaround as figures/registry.cc).
+std::string key_name(std::uint64_t key_id) {
+  std::string out = "k";
+  out += std::to_string(key_id);
+  return out;
+}
+
+/// The policy byte budget the engine derives from the slab limit.
+std::uint64_t node_policy_capacity() {
+  return static_cast<std::uint64_t>(static_cast<double>(kNodeSlabLimit) *
+                                    kPolicyFill);
+}
+
+std::uint64_t guard_capacity() {
+  return static_cast<std::uint64_t>(
+      std::llround(0.25 * static_cast<double>(node_policy_capacity())));
+}
+
+class ClusterSimEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClusterSimEquivalence, IdenticalCountersIncludingAJoin) {
+  const std::string policy_spec = GetParam();
+  static const util::ManualClock clock;
+
+  // --- the networked side -------------------------------------------------
+  StoreConfig store_config;
+  store_config.shards = 1;
+  store_config.engine.slab.slab_size_bytes =
+      static_cast<std::uint32_t>(kSlabBytes);
+  store_config.engine.slab.memory_limit_bytes = kNodeSlabLimit;
+  const PolicyFactory factory = [&policy_spec](std::uint64_t cap) {
+    return policy::make_policy(policy_spec, cap);
+  };
+  ClusterConfig cluster_config;
+  cluster_config.guard_capacity_bytes = guard_capacity();
+  cluster_config.guard_lease_requests = kLease;
+
+  std::vector<std::unique_ptr<KvsStore>> stores;
+  CoopCluster cluster(cluster_config);
+  std::vector<std::unique_ptr<CoopNodeClient>> node_clients;
+  ClusterClient router(cluster_config.virtual_nodes, /*parallel=*/false);
+  const auto add_cluster_node = [&] {
+    stores.push_back(
+        std::make_unique<KvsStore>(store_config, factory, clock));
+    const ClusterNodeId id = cluster.join(*stores.back());
+    node_clients.push_back(std::make_unique<CoopNodeClient>(cluster, id));
+    router.add_node(id, *node_clients.back());
+  };
+  for (std::uint32_t n = 0; n < kNodes; ++n) add_cluster_node();
+
+  // --- the simulation side ------------------------------------------------
+  coop::CoopConfig group_config;
+  group_config.nodes = kNodes;
+  group_config.node_capacity_bytes = node_policy_capacity();
+  group_config.policy_spec = policy_spec;
+  group_config.virtual_nodes = cluster_config.virtual_nodes;
+  group_config.guard_fraction =
+      static_cast<double>(guard_capacity()) /
+      static_cast<double>(node_policy_capacity());
+  group_config.guard_lease_requests = kLease;
+  coop::CoopGroup group(group_config);
+  ASSERT_EQ(static_cast<std::uint64_t>(
+                std::llround(group_config.guard_fraction *
+                             static_cast<double>(
+                                 group_config.node_capacity_bytes))),
+            guard_capacity())
+      << "guard budgets diverge before the trace even starts";
+
+  // Probe the engine's slab geometry for the charged (chunk) size of each
+  // key, so the sim is driven with identical byte accounting.
+  slab::SlabAllocator probe(store_config.engine.slab);
+  const auto charged_of = [&probe](const std::string& key) {
+    const auto cls = probe.class_for(item_footprint(key.size(), kValueBytes));
+    EXPECT_TRUE(cls.has_value());
+    return static_cast<std::uint64_t>(probe.chunk_size_of_class(*cls));
+  };
+
+  // --- drive both with the same trace ------------------------------------
+  const std::string payload(kValueBytes, 'v');
+  util::Xoshiro256 rng(2014);
+  constexpr int kOps = 24'000;
+  for (int i = 0; i < kOps; ++i) {
+    if (i == kOps / 2) {
+      // Membership change, mirrored: remapped keys produce remote hits and
+      // promotions on both sides.
+      add_cluster_node();
+      group.add_node();
+    }
+    // Skewed key mix: a hot core plus a long tail.
+    const std::uint64_t key_id =
+        rng.below(10) < 7 ? rng.below(350) : 350 + rng.below(1'400);
+    const std::string key = key_name(key_id);
+    const std::uint64_t route = cluster_route_key(key);
+    const std::uint32_t cost = cost_of(key_id);
+    const std::uint64_t charged = charged_of(key);
+
+    const bool sim_served = group.request(route, charged, cost);
+
+    KvsBatch get;
+    get.add_get(key);
+    const bool cluster_served = router.execute(get)[0].ok;
+    if (!cluster_served) {
+      KvsBatch set;
+      set.add_set(key, payload, 0, cost);
+      ASSERT_TRUE(router.execute(set)[0].ok)
+          << "refill rejected for " << key << " at op " << i;
+    }
+    ASSERT_EQ(sim_served, cluster_served)
+        << policy_spec << " diverged at op " << i << " key " << key;
+  }
+
+  // --- the ledgers must agree line by line --------------------------------
+  const coop::CoopMetrics& sim = group.metrics();
+  const ClusterCounters net = cluster.counters();
+  EXPECT_EQ(net.requests, sim.requests);
+  EXPECT_EQ(net.local_hits, sim.local_hits);
+  EXPECT_EQ(net.remote_hits, sim.remote_hits);
+  EXPECT_EQ(net.guard_hits, sim.guard_hits);
+  EXPECT_EQ(net.misses, sim.misses);
+  EXPECT_EQ(net.cold_misses, sim.cold_misses);
+  EXPECT_EQ(net.guard_parked, sim.guard_parked);
+  EXPECT_EQ(net.guard_expired, sim.guard_expired);
+  EXPECT_EQ(net.guard_squeezed, sim.guard_squeezed);
+  // The cluster meters transfers in bytes, the sim in abstract cost units;
+  // with fixed-size values they are proportional.
+  EXPECT_EQ(net.transfer_bytes, sim.remote_hits * kValueBytes);
+  EXPECT_GT(net.remote_hits, 0u) << "the join produced no remote traffic";
+  EXPECT_GT(net.guard_hits, 0u) << "the guard never reinstated anything";
+  EXPECT_TRUE(cluster.check_invariants());
+  EXPECT_TRUE(group.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ClusterSimEquivalence,
+                         ::testing::Values("lru", "camp"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace camp::kvs

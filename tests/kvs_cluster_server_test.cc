@@ -1,0 +1,232 @@
+// The cooperative cluster over real sockets: KvsServer nodes attached to a
+// shared CoopCluster, driven by ClusterClient over pipelined TCP
+// connections — including wire peer fetches (pget) and the multi-client
+// parallel path the TSan job watches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvs/client.h"
+#include "kvs/cluster.h"
+#include "kvs/cluster_client.h"
+#include "kvs/server.h"
+#include "policy/policy_factory.h"
+#include "util/clock.h"
+
+namespace camp::kvs {
+namespace {
+
+PolicyFactory lru_factory() {
+  return [](std::uint64_t cap) { return policy::make_policy("lru", cap); };
+}
+
+ServerConfig small_server() {
+  ServerConfig config;
+  config.workers = 2;
+  config.store.shards = 2;
+  config.store.engine.slab.slab_size_bytes = 64u << 10;
+  config.store.engine.slab.memory_limit_bytes = 1u << 20;
+  return config;
+}
+
+ClusterConfig cluster_config() {
+  ClusterConfig config;
+  config.guard_capacity_bytes = 256u << 10;
+  config.guard_lease_requests = 100'000;
+  return config;
+}
+
+/// N cluster-attached servers + a ClusterClient over TCP connections.
+struct WireHarness {
+  explicit WireHarness(std::size_t nodes, bool parallel_router,
+                       bool wire_peer_fetch)
+      : cluster(cluster_config()),
+        router(cluster_config().virtual_nodes, parallel_router) {
+    static const util::SteadyClock clock;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      servers.push_back(std::make_unique<KvsServer>(small_server(),
+                                                    lru_factory(), clock));
+      const ClusterNodeId id = cluster.join(servers.back()->store());
+      servers.back()->attach_cluster(&cluster, id);
+      servers.back()->start();
+      if (wire_peer_fetch) {
+        cluster.set_node_endpoint(id, "127.0.0.1", servers.back()->port());
+      }
+      conns.push_back(std::make_unique<KvsClient>("127.0.0.1",
+                                                  servers.back()->port()));
+      router.add_node(id, *conns.back());
+      ids.push_back(id);
+    }
+  }
+
+  ~WireHarness() {
+    conns.clear();  // disconnect before the servers go down
+    for (auto& server : servers) server->stop();
+  }
+
+  std::vector<std::unique_ptr<KvsServer>> servers;
+  CoopCluster cluster;  // after servers: its dtor detaches hooks first
+  std::vector<std::unique_ptr<KvsClient>> conns;
+  ClusterClient router;
+  std::vector<ClusterNodeId> ids;
+};
+
+TEST(ClusterServer, RoutedBatchesRoundTripOverTcp) {
+  WireHarness h(3, /*parallel_router=*/false, /*wire_peer_fetch=*/false);
+  KvsBatch sets;
+  for (int i = 0; i < 64; ++i) {
+    sets.add_set("key" + std::to_string(i), "value" + std::to_string(i), 0,
+                 1 + i % 7);
+  }
+  const KvsBatchResult stored = h.router.execute(sets);
+  EXPECT_EQ(stored.ok_count(), 64u);
+
+  KvsBatch gets;
+  for (int i = 0; i < 64; ++i) gets.add_get("key" + std::to_string(i));
+  const KvsBatchResult got = h.router.execute(gets);
+  ASSERT_EQ(got.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(got[i].ok) << "key" << i;
+    EXPECT_EQ(got[i].value, "value" + std::to_string(i));
+  }
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.requests, 64u);
+  EXPECT_EQ(c.local_hits, 64u);
+  // Every key went to its ring home.
+  std::size_t resident = 0;
+  for (auto& server : h.servers) {
+    resident += server->store().aggregated_stats().items;
+  }
+  EXPECT_EQ(resident, 64u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterServer, PeerFetchGoesOverTheWire) {
+  // Single driving thread, so at most one peer fetch is outstanding
+  // anywhere in the cluster — safe for synchronous wire fetches.
+  WireHarness h(2, /*parallel_router=*/false, /*wire_peer_fetch=*/true);
+  KvsBatch sets;
+  for (int i = 0; i < 80; ++i) {
+    sets.add_set("key" + std::to_string(i), std::string(64, 'w'), 0, 9);
+  }
+  ASSERT_EQ(h.router.execute(sets).ok_count(), 80u);
+
+  // A new node joins over the wire too: keys remapped onto it must be
+  // served by pget peer fetches from their old homes, then promoted.
+  static const util::SteadyClock clock;
+  h.servers.push_back(std::make_unique<KvsServer>(small_server(),
+                                                  lru_factory(), clock));
+  const ClusterNodeId added = h.cluster.join(h.servers.back()->store());
+  h.servers.back()->attach_cluster(&h.cluster, added);
+  h.servers.back()->start();
+  h.cluster.set_node_endpoint(added, "127.0.0.1", h.servers.back()->port());
+  h.conns.push_back(std::make_unique<KvsClient>("127.0.0.1",
+                                                h.servers.back()->port()));
+  h.router.add_node(added, *h.conns.back());
+  h.ids.push_back(added);
+
+  KvsBatch gets;
+  for (int i = 0; i < 80; ++i) gets.add_get("key" + std::to_string(i));
+  const KvsBatchResult got = h.router.execute(gets);
+  for (int i = 0; i < 80; ++i) {
+    EXPECT_TRUE(got[i].ok) << "key" << i;
+    EXPECT_EQ(got[i].value, std::string(64, 'w'));
+  }
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_GT(c.remote_hits, 0u) << "no key remapped onto the new node?";
+  EXPECT_EQ(c.promotions, c.remote_hits);
+  EXPECT_EQ(c.transfer_bytes, c.remote_hits * 64u);
+  EXPECT_EQ(c.local_hits + c.remote_hits, 80u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+
+  // The cluster counters surface through any node's stats command.
+  const auto stats = h.conns.front()->stats();
+  ASSERT_TRUE(stats.contains("cluster_remote_hits"));
+  EXPECT_EQ(stats.at("cluster_remote_hits"),
+            std::to_string(c.remote_hits));
+  EXPECT_EQ(stats.at("cluster_nodes"), "3");
+}
+
+TEST(ClusterServer, PeerOpsWorkAgainstAPlainServer) {
+  // pget/pdel are raw local ops — they work (and stay terminal) on a
+  // server with no cluster attached.
+  static const util::SteadyClock clock;
+  KvsServer server(small_server(), lru_factory(), clock);
+  server.start();
+  KvsClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.set("k", "data", 5, 42));
+  const GetResult r = client.peer_get("k");
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, "data");
+  EXPECT_EQ(r.flags, 5u);
+  EXPECT_EQ(r.cost, 42u);
+  EXPECT_FALSE(client.peer_get("missing").hit);
+  EXPECT_TRUE(client.peer_del("k"));
+  EXPECT_FALSE(client.peer_del("k"));
+  server.stop();
+}
+
+TEST(ClusterServer, ParallelClientsSeeNoLostReplies) {
+  // The TSan target: 4 nodes, 4 concurrent ClusterClients fanning
+  // sub-batches out in parallel, in-process peer fetches, eviction hooks
+  // firing under store shard locks. Every op must come back acked.
+  constexpr std::size_t kNodes = 4;
+  constexpr std::size_t kClients = 4;
+  constexpr int kBatches = 40;
+  constexpr std::size_t kBatchOps = 16;
+  WireHarness h(kNodes, /*parallel_router=*/false,
+                /*wire_peer_fetch=*/false);
+
+  std::atomic<std::uint64_t> acked{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        // Per-thread transports: KvsClient connections are not shareable.
+        std::vector<std::unique_ptr<KvsClient>> conns;
+        ClusterClient router(cluster_config().virtual_nodes,
+                             /*parallel=*/true);
+        for (std::size_t n = 0; n < kNodes; ++n) {
+          conns.push_back(std::make_unique<KvsClient>(
+              "127.0.0.1", h.servers[n]->port()));
+          router.add_node(h.ids[n], *conns.back());
+        }
+        for (int b = 0; b < kBatches; ++b) {
+          KvsBatch batch;
+          for (std::size_t i = 0; i < kBatchOps; ++i) {
+            const std::string key =
+                "key" + std::to_string((b * kBatchOps + i * 7) % 200);
+            if (i % 3 == 0) {
+              batch.add_set(key, std::string(512, 'a' + char(c)), 0, 3);
+            } else {
+              batch.add_get(key);
+            }
+          }
+          const KvsBatchResult r = router.execute(batch);
+          std::uint64_t local = 0;
+          for (const KvsOpResult& op : r.results) local += op.acked ? 1 : 0;
+          acked.fetch_add(local);
+        }
+      } catch (...) {
+        failed.store(true);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(acked.load(),
+            std::uint64_t{kClients} * kBatches * kBatchOps);
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.requests + c.sets,
+            std::uint64_t{kClients} * kBatches * kBatchOps);
+  // Quiesced now: the shared metadata must agree with the stores.
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+}  // namespace
+}  // namespace camp::kvs

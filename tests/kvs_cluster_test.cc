@@ -1,0 +1,455 @@
+// In-process tests for the networked cooperative cluster (kvs/cluster.h +
+// kvs/cluster_client.h): batch routing and stitching, the four-step coop
+// read path (local / peer fetch / guard / miss), membership churn, the
+// value-carrying last-replica guard, and deterministic counters.
+#include "kvs/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvs/cluster_client.h"
+#include "policy/policy_factory.h"
+#include "util/clock.h"
+
+namespace camp::kvs {
+namespace {
+
+const util::ManualClock& test_clock() {
+  static const util::ManualClock clock;
+  return clock;
+}
+
+PolicyFactory lru_factory() {
+  return [](std::uint64_t cap) { return policy::make_policy("lru", cap); };
+}
+
+/// One 64 KiB slab per node; ~4 KiB values land in a 4546-byte chunk class,
+/// so the policy (85% fill) caps a node at 12 resident pairs — small enough
+/// to force evictions on demand.
+StoreConfig small_store() {
+  StoreConfig config;
+  config.shards = 1;
+  config.engine.slab.slab_size_bytes = 64u << 10;
+  config.engine.slab.memory_limit_bytes = 64u << 10;
+  return config;
+}
+
+ClusterConfig guarded_config(std::uint64_t guard_bytes = 1u << 20,
+                             std::uint64_t lease = 10'000) {
+  ClusterConfig config;
+  config.guard_capacity_bytes = guard_bytes;
+  config.guard_lease_requests = lease;
+  return config;
+}
+
+std::string value_of(std::size_t bytes, char fill) {
+  return std::string(bytes, fill);
+}
+
+/// A cluster harness: N stores joined to one CoopCluster, fronted by
+/// CoopNodeClients and a sequential ClusterClient.
+struct Harness {
+  explicit Harness(std::size_t nodes,
+                   ClusterConfig config = guarded_config(),
+                   StoreConfig store_config = small_store())
+      : cluster(config), router(config.virtual_nodes, /*parallel=*/false) {
+    for (std::size_t i = 0; i < nodes; ++i) add_node(store_config);
+  }
+
+  ClusterNodeId add_node(StoreConfig store_config = small_store()) {
+    stores.push_back(std::make_unique<KvsStore>(store_config, lru_factory(),
+                                                test_clock()));
+    const ClusterNodeId id = cluster.join(*stores.back());
+    node_clients.push_back(std::make_unique<CoopNodeClient>(cluster, id));
+    router.add_node(id, *node_clients.back());
+    ids.push_back(id);
+    return id;
+  }
+
+  bool set(const std::string& key, const std::string& value,
+           std::uint32_t cost = 1) {
+    KvsBatch batch;
+    batch.add_set(key, value, 0, cost);
+    return router.execute(batch)[0].ok;
+  }
+
+  GetResult get(const std::string& key) {
+    KvsBatch batch;
+    batch.add_get(key);
+    const KvsBatchResult r = router.execute(batch);
+    return r[0].to_get_result();
+  }
+
+  std::vector<std::unique_ptr<KvsStore>> stores;
+  CoopCluster cluster;
+  std::vector<std::unique_ptr<CoopNodeClient>> node_clients;
+  ClusterClient router;
+  std::vector<ClusterNodeId> ids;
+};
+
+TEST(ClusterConfigTest, Validates) {
+  ClusterConfig bad;
+  bad.virtual_nodes = 0;
+  EXPECT_THROW(CoopCluster{bad}, std::invalid_argument);
+  bad = guarded_config();
+  bad.guard_lease_requests = 0;
+  EXPECT_THROW(CoopCluster{bad}, std::invalid_argument);
+  bad.preserve_last_replica = false;  // lease irrelevant when guard is off
+  EXPECT_NO_THROW(CoopCluster{bad});
+}
+
+TEST(ClusterClientTest, ThrowsWithoutNodes) {
+  ClusterClient router(64, false);
+  KvsBatch batch;
+  batch.add_get("k");
+  EXPECT_THROW((void)router.execute(batch), std::logic_error);
+}
+
+TEST(ClusterClientTest, AgreesWithClusterOnPlacement) {
+  Harness h(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(h.router.home_node(key), h.cluster.home_node(key));
+  }
+}
+
+TEST(ClusterClientTest, StitchesMixedBatchIntoOpOrder) {
+  Harness h(4);
+  ASSERT_TRUE(h.set("a", "va"));
+  ASSERT_TRUE(h.set("b", "vb"));
+  KvsBatch batch;
+  batch.add_get("a")
+      .add_get("missing")
+      .add_set("c", "vc", 0, 2)
+      .add_get("b")
+      .add_del("a")
+      .add_get("c");
+  const KvsBatchResult r = h.router.execute(batch);
+  ASSERT_EQ(r.size(), 6u);
+  EXPECT_TRUE(r[0].ok);
+  EXPECT_EQ(r[0].value, "va");
+  EXPECT_FALSE(r[1].ok);
+  EXPECT_TRUE(r[2].ok);
+  EXPECT_TRUE(r[3].ok);
+  EXPECT_EQ(r[3].value, "vb");
+  EXPECT_TRUE(r[4].ok);   // delete of a resident key
+  EXPECT_TRUE(r[5].ok);   // the set earlier in the SAME batch is visible
+  EXPECT_EQ(r[5].value, "vc");
+  EXPECT_FALSE(h.get("a").hit);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, SetsLandOnTheirHomeNode) {
+  Harness h(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(h.set(key, "v"));
+    const ClusterNodeId home = h.cluster.home_node(key);
+    std::size_t holders = 0;
+    for (const auto& store : h.stores) holders += store->contains(key);
+    EXPECT_EQ(holders, 1u);
+    EXPECT_EQ(h.stores[home]->contains(key), true)
+        << "key " << key << " not at home node " << home;
+  }
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, RemoteHitAfterJoinPromotesToNewHome) {
+  Harness h(2);
+  // 200-byte values: every key's footprint lands in ONE slab class
+  // regardless of key length, so the single-slab store never reassigns.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(h.set("key" + std::to_string(i), value_of(200, 'v'), 7));
+  }
+  const ClusterNodeId added = h.add_node();
+  // Find keys whose home moved onto the new (empty) node.
+  std::vector<std::string> moved;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (h.cluster.home_node(key) == added) moved.push_back(key);
+  }
+  ASSERT_FALSE(moved.empty());
+  const GetResult r = h.get(moved.front());
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, value_of(200, 'v'));
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.remote_hits, 1u);
+  EXPECT_EQ(c.promotions, 1u);
+  EXPECT_EQ(c.transfer_bytes, 200u);
+  // Promotion copied the pair home: the next get is a local hit and the
+  // directory tracks both replicas.
+  EXPECT_TRUE(h.stores[added]->contains(moved.front()));
+  EXPECT_EQ(h.cluster.directory_replica_count(moved.front()), 2u);
+  EXPECT_TRUE(h.get(moved.front()).hit);
+  EXPECT_EQ(h.cluster.counters().local_hits, 1u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, PromotionCanBeDisabled) {
+  ClusterConfig config = guarded_config();
+  config.promote_on_remote_hit = false;
+  Harness h(2, config);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(h.set("key" + std::to_string(i), "v"));
+  }
+  const ClusterNodeId added = h.add_node();
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (h.cluster.home_node(key) != added) continue;
+    EXPECT_TRUE(h.get(key).hit);
+    EXPECT_FALSE(h.stores[added]->contains(key));
+  }
+  EXPECT_EQ(h.cluster.counters().promotions, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, EvictedLastReplicaParksAndReinstates) {
+  // Single node: every eviction drops the cluster's only copy, so the
+  // guard must catch it with its value bytes intact.
+  Harness h(1);
+  const std::string payload = value_of(4000, 'p');
+  ASSERT_TRUE(h.set("victim", payload, 9));
+  // 12 resident pairs max: 20 more sets evict "victim" (LRU order).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(h.set("filler" + std::to_string(i), value_of(4000, 'f')));
+  }
+  ASSERT_FALSE(h.stores[0]->contains("victim"));
+  ASSERT_TRUE(h.cluster.guard_contains("victim"));
+  ASSERT_GT(h.cluster.counters().guard_parked, 0u);
+
+  const GetResult r = h.get("victim");
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, payload);
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.guard_hits, 1u);
+  EXPECT_EQ(c.misses, 0u);
+  // Reinstated at the home node, no longer parked.
+  EXPECT_TRUE(h.stores[0]->contains("victim"));
+  EXPECT_FALSE(h.cluster.guard_contains("victim"));
+  // Cost survived the park/reinstate round trip.
+  EXPECT_EQ(h.get("victim").flags, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, GuardLeaseExpiresColdParkedPairs) {
+  ClusterConfig config = guarded_config(1u << 20, /*lease=*/10);
+  Harness h(1, config);
+  ASSERT_TRUE(h.set("cold", value_of(4000, 'c')));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(h.set("filler" + std::to_string(i), value_of(4000, 'f')));
+  }
+  ASSERT_TRUE(h.cluster.guard_contains("cold"));
+  // Burn through the lease with unrelated requests.
+  for (int i = 0; i < 12; ++i) (void)h.get("filler19");
+  EXPECT_FALSE(h.cluster.guard_contains("cold"));
+  EXPECT_FALSE(h.get("cold").hit);
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_GT(c.guard_expired, 0u);
+  EXPECT_EQ(c.guard_hits, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, GuardByteBudgetSqueezesOldestFirst) {
+  // Guard holds at most two 4546-byte chunks.
+  ClusterConfig config = guarded_config(2 * 4546);
+  Harness h(1, config);
+  ASSERT_TRUE(h.set("old", value_of(4000, 'o')));
+  ASSERT_TRUE(h.set("mid", value_of(4000, 'm')));
+  ASSERT_TRUE(h.set("new", value_of(4000, 'n')));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(h.set("filler" + std::to_string(i), value_of(4000, 'f')));
+  }
+  // All three were parked at some point, but the budget keeps only two —
+  // and fillers kept parking, so the earliest entries were squeezed.
+  EXPECT_LE(h.cluster.guard_item_count(), 2u);
+  EXPECT_LE(h.cluster.guard_used_bytes(), config.guard_capacity_bytes);
+  EXPECT_GT(h.cluster.counters().guard_squeezed, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, PromotionAndGuardPreserveTtl) {
+  // A lease-bound pair must not become immortal by traveling through a
+  // peer fetch + promotion or a guard park + reinstatement.
+  util::ManualClock clock;
+  // Both stores outlive the cluster (its destructor detaches their hooks).
+  std::vector<std::unique_ptr<KvsStore>> stores;
+  stores.push_back(
+      std::make_unique<KvsStore>(small_store(), lru_factory(), clock));
+  stores.push_back(
+      std::make_unique<KvsStore>(small_store(), lru_factory(), clock));
+  CoopCluster cluster(guarded_config());
+  const ClusterNodeId a = cluster.join(*stores[0]);
+  ASSERT_TRUE(
+      cluster.set(a, "leased", value_of(200, 'l'), 0, 5, /*exptime_s=*/60));
+
+  // Join an empty node; pick a key homed there after remapping.
+  const ClusterNodeId b = cluster.join(*stores[1]);
+  if (cluster.home_node("leased") == b) {
+    // Promote via the coop path at the new home.
+    const GetResult r = cluster.get(b, "leased");
+    ASSERT_TRUE(r.hit);
+    EXPECT_GT(r.remaining_ttl_s, 0u);
+    EXPECT_LE(r.remaining_ttl_s, 60u);
+    // The promoted copy expires too: past the lease, BOTH replicas lapse.
+    clock.advance_ns(61ull * 1'000'000'000ull);
+    EXPECT_FALSE(cluster.get(b, "leased").hit);
+  } else {
+    // Key stayed home; still verify the lease is honored end to end.
+    clock.advance_ns(61ull * 1'000'000'000ull);
+    EXPECT_FALSE(cluster.get(a, "leased").hit);
+  }
+
+  // Guard path: evict a leased last replica, reinstate it, and confirm the
+  // reinstated copy still expires.
+  ASSERT_TRUE(
+      cluster.set(a, "parked", value_of(4000, 'p'), 0, 5, /*exptime_s=*/60));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.set(a, "filler" + std::to_string(i),
+                            value_of(4000, 'f'), 0, 1));
+  }
+  if (cluster.guard_contains("parked")) {
+    const ClusterNodeId home = cluster.home_node("parked");
+    const GetResult r = cluster.get(home, "parked");
+    ASSERT_TRUE(r.hit);
+    EXPECT_GT(r.remaining_ttl_s, 0u);
+    clock.advance_ns(61ull * 1'000'000'000ull);
+    EXPECT_FALSE(cluster.get(home, "parked").hit);
+  }
+}
+
+TEST(ClusterTest, DeleteFansOutToEveryReplicaAndTheGuard) {
+  Harness h(2);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(h.set("key" + std::to_string(i), "v"));
+  }
+  const ClusterNodeId added = h.add_node();
+  // Promote one moved key so it has two replicas.
+  std::string moved;
+  for (int i = 0; i < 60; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (h.cluster.home_node(key) == added) {
+      moved = key;
+      break;
+    }
+  }
+  ASSERT_FALSE(moved.empty());
+  ASSERT_TRUE(h.get(moved).hit);
+  ASSERT_EQ(h.cluster.directory_replica_count(moved), 2u);
+
+  KvsBatch batch;
+  batch.add_del(moved);
+  EXPECT_TRUE(h.router.execute(batch)[0].ok);
+  EXPECT_EQ(h.cluster.directory_replica_count(moved), 0u);
+  for (const auto& store : h.stores) EXPECT_FALSE(store->contains(moved));
+  EXPECT_FALSE(h.get(moved).hit);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, DecommissionDrainsLastReplicasIntoTheGuard) {
+  Harness h(3);
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(h.set("key" + std::to_string(i), value_of(200, 'v'), 5));
+  }
+  const ClusterNodeId victim = h.ids.front();
+  std::vector<std::string> on_victim;
+  for (int i = 0; i < 90; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (h.cluster.home_node(key) == victim) on_victim.push_back(key);
+  }
+  ASSERT_FALSE(on_victim.empty());
+
+  h.router.remove_node(victim);
+  h.cluster.leave(victim);
+
+  EXPECT_EQ(h.cluster.node_count(), 2u);
+  EXPECT_EQ(h.stores[0]->aggregated_stats().items, 0u)  // flushed
+      << "decommissioned store still holds pairs";
+  for (const std::string& key : on_victim) {
+    EXPECT_TRUE(h.cluster.guard_contains(key))
+        << "last replica of " << key << " vanished in the decommission";
+    EXPECT_EQ(h.cluster.directory_replica_count(key), 0u);
+  }
+  EXPECT_TRUE(h.cluster.check_invariants());
+
+  // Drained pairs are servable: the guard reinstates them at their new
+  // home without a recompute.
+  const GetResult r = h.get(on_victim.front());
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, value_of(200, 'v'));
+  EXPECT_EQ(h.cluster.counters().guard_hits, 1u);
+  EXPECT_EQ(h.cluster.counters().misses, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, LeaveRejectsUnknownAndFinalNode) {
+  Harness h(2);
+  EXPECT_THROW(h.cluster.leave(99), std::invalid_argument);
+  h.cluster.leave(h.ids[0]);
+  EXPECT_THROW(h.cluster.leave(h.ids[1]), std::invalid_argument);
+}
+
+TEST(ClusterTest, JoinRegistersPreSeededResidents) {
+  Harness h(1);
+  // Seed a store OUTSIDE the cluster, then join it: its residents must be
+  // peer-fetchable immediately.
+  auto seeded = std::make_unique<KvsStore>(small_store(), lru_factory(),
+                                           test_clock());
+  ASSERT_TRUE(seeded->set("warm", "bytes", 0, 3));
+  h.stores.push_back(std::move(seeded));
+  const ClusterNodeId id = h.cluster.join(*h.stores.back());
+  h.node_clients.push_back(
+      std::make_unique<CoopNodeClient>(h.cluster, id));
+  h.router.add_node(id, *h.node_clients.back());
+  EXPECT_EQ(h.cluster.directory_replica_count("warm"), 1u);
+  const GetResult r = h.get("warm");
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, "bytes");
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, CountersAreDeterministicAcrossRuns) {
+  const auto run = [] {
+    Harness h(3);
+    for (int i = 0; i < 400; ++i) {
+      const std::string key = "key" + std::to_string(i % 60);
+      KvsBatch batch;
+      batch.add_get(key);
+      if (!h.router.execute(batch)[0].ok) {
+        EXPECT_TRUE(h.set(key, value_of(3000, 'v'), 1 + i % 9));
+      }
+      if (i == 150) h.add_node();
+      if (i == 300) {
+        h.router.remove_node(h.ids[1]);
+        h.cluster.leave(h.ids[1]);
+      }
+    }
+    EXPECT_TRUE(h.cluster.check_invariants());
+    const ClusterCounters c = h.cluster.counters();
+    return std::vector<std::uint64_t>{
+        c.requests,     c.local_hits,   c.remote_hits,    c.guard_hits,
+        c.misses,       c.cold_misses,  c.transfer_bytes, c.promotions,
+        c.guard_parked, c.guard_expired, c.guard_squeezed, c.sets};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ClusterTest, FourStepsAccountEveryRequest) {
+  Harness h(4);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(i % 80);
+    if (!h.get(key).hit) {
+      ASSERT_TRUE(h.set(key, value_of(2500, 'v')));
+    }
+    if (i == 250) h.add_node();
+  }
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.requests, c.local_hits + c.remote_hits + c.guard_hits +
+                            c.misses + c.cold_misses);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+}  // namespace
+}  // namespace camp::kvs

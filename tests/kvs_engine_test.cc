@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/camp.h"
 #include "policy/lru.h"
 
@@ -76,6 +78,36 @@ TEST(Engine, RejectsBadKeys) {
   EXPECT_FALSE(engine.set("", "v", 0, 1));
   EXPECT_FALSE(engine.set(std::string(300, 'k'), "v", 0, 1));
   EXPECT_EQ(engine.stats().rejected_sets, 2u);
+}
+
+// write_item's key_len is a uint16_t; the layout guard must refuse any key
+// past kMaxKeyLength instead of silently truncating the length field into
+// a chunk layout that aliases other bytes. The engine rejects such keys
+// before the cast — but the guard has to hold even for a direct caller.
+TEST(Engine, WriteItemRefusesOversizedKeys) {
+  std::vector<std::byte> chunk(kItemHeaderSize + 2048);
+  const std::string max_key(kMaxKeyLength, 'k');
+  EXPECT_NO_THROW(write_item(chunk.data(), max_key, "v", 0, 1));
+  const ItemHeader header = read_item_header(chunk.data());
+  EXPECT_EQ(header.key_len, kMaxKeyLength);
+  EXPECT_EQ(item_key(chunk.data(), header), max_key);
+
+  const std::string oversized(kMaxKeyLength + 1, 'k');
+  EXPECT_THROW(write_item(chunk.data(), oversized, "v", 0, 1),
+               std::length_error);
+}
+
+// The boundary key length round-trips through the full engine path.
+TEST(Engine, MaxLengthKeyRoundTrips) {
+  util::ManualClock clock;
+  KvsEngine engine(small_engine(), lru_factory(), clock);
+  const std::string key(kMaxKeyLength, 'k');
+  ASSERT_TRUE(engine.set(key, "payload", 3, 9));
+  const GetResult r = engine.get(key);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, "payload");
+  EXPECT_FALSE(engine.set(key + "x", "payload", 3, 9));
+  EXPECT_EQ(engine.stats().rejected_sets, 1u);
 }
 
 TEST(Engine, RejectsValueBiggerThanSlab) {

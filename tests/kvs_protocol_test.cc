@@ -155,6 +155,32 @@ TEST(Protocol, MalformedTrailingCostTokens) {
   EXPECT_TRUE(ok->noreply);
 }
 
+TEST(Protocol, ParsePeerOps) {
+  auto pget = parse_command("pget mykey");
+  ASSERT_TRUE(pget.has_value());
+  EXPECT_EQ(pget->type, CommandType::kPGet);
+  EXPECT_EQ(pget->key, "mykey");
+
+  auto pdel = parse_command("pdel mykey");
+  ASSERT_TRUE(pdel.has_value());
+  EXPECT_EQ(pdel->type, CommandType::kPDel);
+  EXPECT_EQ(pdel->key, "mykey");
+
+  // Single-key only, valid keys only — peer ops are machine-generated.
+  EXPECT_FALSE(parse_command("pget a b").has_value());
+  EXPECT_FALSE(parse_command("pget").has_value());
+  EXPECT_FALSE(parse_command("pdel " + std::string(300, 'k')).has_value());
+}
+
+TEST(Protocol, FormatValueWithCost) {
+  // The pget reply carries the stored cost (memcached's optional 4th VALUE
+  // token, the cas slot) and the remaining TTL seconds (0 = never).
+  EXPECT_EQ(format_value_with_cost("k", 3, 77, 0, "hello"),
+            "VALUE k 3 5 77 0\r\nhello\r\n");
+  EXPECT_EQ(format_value_with_cost("k", 3, 77, 12, "hello"),
+            "VALUE k 3 5 77 12\r\nhello\r\n");
+}
+
 TEST(Protocol, FormatValue) {
   EXPECT_EQ(format_value("k", 3, "hello"), "VALUE k 3 5\r\nhello\r\n");
   EXPECT_EQ(format_end(), "END\r\n");

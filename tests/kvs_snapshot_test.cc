@@ -42,7 +42,7 @@ Dump dump(const KvsStore& store) {
   Dump out;
   store.for_each_item([&](std::string_view key, std::string_view value,
                           std::uint32_t flags, std::uint32_t cost,
-                          std::uint32_t ttl) {
+                          std::uint32_t ttl, std::uint64_t) {
     out.emplace(std::string(key),
                 std::make_tuple(std::string(value), flags, cost, ttl));
   });
