@@ -545,6 +545,20 @@ std::vector<FigurePointSpec> fig_coop_cluster_points(const FigureOptions&) {
   for (const double clients : {1.0, 4.0}) {
     points.push_back({"churn/nodes=4", "clients", clients});
   }
+  // Replication-factor-2 axis (appended AFTER the r=1 rows so the baseline
+  // CSV stays prefix-identical): every set fans out to the key's first two
+  // ring nodes, so node loss is absorbed by read failover instead of a
+  // recompute storm — at the cost of doubled write traffic and a halved
+  // effective cache.
+  for (const std::size_t nodes : {2u, 4u, 8u}) {
+    for (const double clients : {1.0, 4.0}) {
+      points.push_back(
+          {"static-r2/nodes=" + std::to_string(nodes), "clients", clients});
+    }
+  }
+  for (const double clients : {1.0, 4.0}) {
+    points.push_back({"churn-r2/nodes=4", "clients", clients});
+  }
   return points;
 }
 
@@ -552,13 +566,15 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
                                             const FigureOptions& o) {
   const TraceBundle& t = bundle_for(TraceKind::kKvs, o);
   const bool churn = point.policy.rfind("churn", 0) == 0;
+  const std::uint32_t replication =
+      point.policy.find("-r2/") != std::string::npos ? 2 : 1;
   const std::size_t nodes = static_cast<std::size_t>(
       std::stoul(point.policy.substr(point.policy.find('=') + 1)));
   const auto clients = static_cast<std::size_t>(point.x);
   const kvs::StoreConfig store_config =
       coop_cluster_store_config(nodes, t.unique_bytes);
-  const kvs::ClusterConfig cluster_config =
-      coop_cluster_config(store_config);
+  kvs::ClusterConfig cluster_config = coop_cluster_config(store_config);
+  cluster_config.replication = replication;
 
   // Deterministic pass: every node is a bare KvsStore behind a
   // CoopNodeClient, the batches run sequentially through one ClusterClient,
@@ -574,7 +590,7 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
     kvs::CoopCluster cluster(cluster_config);
     std::vector<std::unique_ptr<kvs::CoopNodeClient>> node_clients;
     kvs::ClusterClient router(cluster_config.virtual_nodes,
-                              /*parallel=*/false);
+                              /*parallel=*/false, replication);
     std::vector<kvs::ClusterNodeId> ids;
     for (std::size_t n = 0; n < nodes; ++n) {
       ids.push_back(cluster.join(*stores[n]));
@@ -646,6 +662,17 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
                            static_cast<double>(counters.guard_expired));
   row.metrics.emplace_back("guard_squeezed",
                            static_cast<double>(counters.guard_squeezed));
+  if (replication > 1) {
+    // Emitted only on the r2 rows so the r=1 baseline rows stay
+    // byte-identical to their pre-replication form.
+    row.metrics.emplace_back("replication",
+                             static_cast<double>(replication));
+    row.metrics.emplace_back(
+        "replica_writes", static_cast<double>(counters.replica_writes));
+    row.metrics.emplace_back(
+        "replica_write_failures",
+        static_cast<double>(counters.replica_write_failures));
+  }
 
   // Optional wall-clock pass (static topologies): N real worker-pool
   // servers attached to one cluster, driven by `clients` concurrent
@@ -663,7 +690,7 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
     }
     // Declared after the servers so its destructor (which detaches the
     // stores' eviction hooks) runs first.
-    kvs::CoopCluster cluster(coop_cluster_config(store_config));
+    kvs::CoopCluster cluster(cluster_config);
     std::vector<kvs::ClusterNodeId> ids;
     for (auto& server : servers) {
       ids.push_back(cluster.join(server->store()));
@@ -679,7 +706,7 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
       threads.emplace_back([&, c] {
         std::vector<std::unique_ptr<kvs::KvsClient>> conns;
         kvs::ClusterClient router(cluster_config.virtual_nodes,
-                                  /*parallel=*/true);
+                                  /*parallel=*/true, replication);
         for (std::size_t n = 0; n < ids.size(); ++n) {
           conns.push_back(std::make_unique<kvs::KvsClient>(
               "127.0.0.1", servers[n]->port()));
@@ -822,9 +849,10 @@ std::vector<FigureSpec> build_registry() {
                        "Batched clients x shards scaling matrix",
                        fig9_scaling_points, fig9_scaling_run);
 
-  figures.emplace_back("fig_coop_cluster",
-                       "Cooperative KVS cluster: nodes x clients matrix",
-                       fig_coop_cluster_points, fig_coop_cluster_run);
+  figures.emplace_back(
+      "fig_coop_cluster",
+      "Cooperative KVS cluster: nodes x clients x replication matrix",
+      fig_coop_cluster_points, fig_coop_cluster_run);
 
   figures.emplace_back("table1", "Regular vs MSY rounding at precision 4",
                        table1_points, table1_run);

@@ -14,6 +14,36 @@
 
 namespace camp::kvs {
 
+namespace {
+
+/// Strict u32 reply-token parse (see parse_reply_token): rejects the
+/// oversized/negative/garbage tokens a mixed-version or byzantine peer
+/// could send, which bare std::stoul + static_cast silently truncated.
+std::uint32_t parse_reply_u32(std::string_view token, const char* what) {
+  return static_cast<std::uint32_t>(
+      parse_reply_token(token, 0xffff'ffffull, what));
+}
+
+/// Payload sizes are additionally bounded by the protocol's value cap, so
+/// a lying peer cannot make the client allocate gigabytes.
+std::size_t parse_reply_bytes(std::string_view token, const char* what) {
+  return static_cast<std::size_t>(
+      parse_reply_token(token, kMaxValueBytes, what));
+}
+
+/// The peer ops interpolate the key straight into the request line, so a
+/// key with a space or CRLF would inject commands into the peer stream —
+/// reject it before any bytes go out (encode_batch already does this for
+/// the batch path).
+void require_wire_key(std::string_view key) {
+  if (!is_valid_wire_key(key)) {
+    throw std::invalid_argument("KvsClient: invalid wire key '" +
+                                std::string(key) + "'");
+  }
+}
+
+}  // namespace
+
 KvsClient::KvsClient(const std::string& host, std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("KvsClient: socket() failed");
@@ -134,12 +164,20 @@ KvsBatchResult KvsClient::execute(const KvsBatch& batch) {
             throw std::runtime_error("KvsClient: unexpected reply: " + line);
           }
           const std::size_t key_end = line.find(' ', 6);
-          const std::size_t bytes_pos = line.find(' ', key_end + 1);
+          const std::size_t bytes_pos = key_end == std::string::npos
+                                            ? std::string::npos
+                                            : line.find(' ', key_end + 1);
+          if (bytes_pos == std::string::npos) {
+            throw std::runtime_error("KvsClient: malformed VALUE reply: " +
+                                     line);
+          }
           const std::string key = line.substr(6, key_end - 6);
-          const auto flags = static_cast<std::uint32_t>(
-              std::stoul(line.substr(key_end + 1, bytes_pos - key_end - 1)));
-          const auto nbytes =
-              static_cast<std::size_t>(std::stoul(line.substr(bytes_pos + 1)));
+          const std::uint32_t flags = parse_reply_u32(
+              std::string_view(line).substr(key_end + 1,
+                                            bytes_pos - key_end - 1),
+              "flags");
+          const std::size_t nbytes = parse_reply_bytes(
+              std::string_view(line).substr(bytes_pos + 1), "bytes");
           std::string payload = read_bytes(nbytes);
           while (cursor < expect.op_indices.size() &&
                  batch[expect.op_indices[cursor]].key != key) {
@@ -200,6 +238,7 @@ std::map<std::string, GetResult> KvsClient::multi_get(
 }
 
 GetResult KvsClient::peer_get(std::string_view key) {
+  require_wire_key(key);
   std::string request("pget ");
   request.append(key);
   request.append("\r\n");
@@ -213,27 +252,62 @@ GetResult KvsClient::peer_get(std::string_view key) {
     }
     // VALUE <key> <flags> <bytes> <cost> <ttl>
     const std::size_t key_end = line.find(' ', 6);
-    const std::size_t bytes_pos = line.find(' ', key_end + 1);
-    const std::size_t cost_pos = line.find(' ', bytes_pos + 1);
-    const std::size_t ttl_pos = line.find(' ', cost_pos + 1);
-    if (key_end == std::string::npos || bytes_pos == std::string::npos ||
-        cost_pos == std::string::npos || ttl_pos == std::string::npos) {
+    const std::size_t bytes_pos = key_end == std::string::npos
+                                      ? std::string::npos
+                                      : line.find(' ', key_end + 1);
+    const std::size_t cost_pos = bytes_pos == std::string::npos
+                                     ? std::string::npos
+                                     : line.find(' ', bytes_pos + 1);
+    const std::size_t ttl_pos = cost_pos == std::string::npos
+                                    ? std::string::npos
+                                    : line.find(' ', cost_pos + 1);
+    if (ttl_pos == std::string::npos) {
       throw std::runtime_error("KvsClient: malformed pget reply: " + line);
     }
+    const std::string_view view(line);
     result.hit = true;
-    result.flags = static_cast<std::uint32_t>(
-        std::stoul(line.substr(key_end + 1, bytes_pos - key_end - 1)));
-    const auto nbytes = static_cast<std::size_t>(
-        std::stoul(line.substr(bytes_pos + 1, cost_pos - bytes_pos - 1)));
-    result.cost = static_cast<std::uint32_t>(
-        std::stoul(line.substr(cost_pos + 1, ttl_pos - cost_pos - 1)));
+    result.flags = parse_reply_u32(
+        view.substr(key_end + 1, bytes_pos - key_end - 1), "flags");
+    const std::size_t nbytes = parse_reply_bytes(
+        view.substr(bytes_pos + 1, cost_pos - bytes_pos - 1), "bytes");
+    result.cost = parse_reply_u32(
+        view.substr(cost_pos + 1, ttl_pos - cost_pos - 1), "cost");
     result.remaining_ttl_s =
-        static_cast<std::uint32_t>(std::stoul(line.substr(ttl_pos + 1)));
+        parse_reply_u32(view.substr(ttl_pos + 1), "ttl");
     result.value = read_bytes(nbytes);
   }
 }
 
+bool KvsClient::peer_set(std::string_view key, std::string_view value,
+                         std::uint32_t flags, std::uint32_t cost,
+                         std::uint32_t exptime_s) {
+  require_wire_key(key);
+  if (value.size() > kMaxValueBytes) {
+    throw std::length_error("KvsClient: peer_set value exceeds "
+                            "kMaxValueBytes");
+  }
+  std::string request("pset ");
+  request.append(key);
+  request.push_back(' ');
+  request.append(std::to_string(flags));
+  request.push_back(' ');
+  request.append(std::to_string(exptime_s));
+  request.push_back(' ');
+  request.append(std::to_string(value.size()));
+  request.push_back(' ');
+  request.append(std::to_string(cost));
+  request.append("\r\n");
+  request.append(value);
+  request.append("\r\n");
+  send_all(request);
+  const std::string line = read_line();
+  if (line == "STORED") return true;
+  if (line == "NOT_STORED") return false;
+  throw std::runtime_error("KvsClient: unexpected pset reply: " + line);
+}
+
 bool KvsClient::peer_del(std::string_view key) {
+  require_wire_key(key);
   std::string request("pdel ");
   request.append(key);
   request.append("\r\n");

@@ -44,6 +44,13 @@ class KvsClient final : public KvsApi {
   /// Cluster peer delete ("pdel <key>"): raw local delete at the peer.
   bool peer_del(std::string_view key);
 
+  /// Cluster peer store ("pset <key> ..."): a raw local set at the peer
+  /// that bypasses its cooperative routing — the replication-factor-R
+  /// write fan-out lands replica copies through this.
+  bool peer_set(std::string_view key, std::string_view value,
+                std::uint32_t flags, std::uint32_t cost,
+                std::uint32_t exptime_s = 0);
+
   [[nodiscard]] std::map<std::string, std::string> stats();
   void flush_all();
   [[nodiscard]] std::string version();

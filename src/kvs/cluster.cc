@@ -22,6 +22,9 @@ void ClusterConfig::validate() const {
   if (virtual_nodes == 0) {
     throw std::invalid_argument("ClusterConfig: virtual_nodes must be >= 1");
   }
+  if (replication == 0) {
+    throw std::invalid_argument("ClusterConfig: replication must be >= 1");
+  }
   if (preserve_last_replica && guard_capacity_bytes > 0 &&
       guard_lease_requests == 0) {
     throw std::invalid_argument(
@@ -246,6 +249,7 @@ bool CoopCluster::set(NodeId self, std::string_view key,
                       std::string_view value, std::uint32_t flags,
                       std::uint32_t cost, std::uint32_t exptime_s) {
   KvsStore* local = nullptr;
+  std::vector<NodeId> targets;
   {
     std::lock_guard lock(mutex_);
     const auto it = nodes_.find(self);
@@ -255,16 +259,25 @@ bool CoopCluster::set(NodeId self, std::string_view key,
     }
     local = it->second.store;
     ++counters_.sets;
+    if (config_.replication > 1) {
+      targets = ring_.nodes_for(cluster_route_key(key), config_.replication);
+    }
   }
-  // Directory registration and the purge of any superseded guard entry
-  // happen in the stored hook, inside the shard critical section.
-  return local->set(key, value, flags, cost, exptime_s);
+  if (targets.size() <= 1) {
+    // Replication 1 (or a single-node ring): the legacy home-only write.
+    // Directory registration and the purge of any superseded guard entry
+    // happen in the stored hook, inside the shard critical section.
+    return local->set(key, value, flags, cost, exptime_s);
+  }
+  return fan_out_write(self, local, targets, key, value, flags, cost,
+                       exptime_s, /*iq=*/false);
 }
 
 bool CoopCluster::iqset(NodeId self, std::string_view key,
                         std::string_view value, std::uint32_t flags,
                         std::uint32_t exptime_s) {
   KvsStore* local = nullptr;
+  std::vector<NodeId> targets;
   {
     std::lock_guard lock(mutex_);
     const auto it = nodes_.find(self);
@@ -274,8 +287,53 @@ bool CoopCluster::iqset(NodeId self, std::string_view key,
     }
     local = it->second.store;
     ++counters_.sets;
+    if (config_.replication > 1) {
+      targets = ring_.nodes_for(cluster_route_key(key), config_.replication);
+    }
   }
-  return local->iqset(key, value, flags, exptime_s);
+  if (targets.size() <= 1) {
+    return local->iqset(key, value, flags, exptime_s);
+  }
+  return fan_out_write(self, local, targets, key, value, flags, /*cost=*/0,
+                       exptime_s, /*iq=*/true);
+}
+
+bool CoopCluster::fan_out_write(NodeId self, KvsStore* local,
+                                const std::vector<NodeId>& targets,
+                                std::string_view key, std::string_view value,
+                                std::uint32_t flags, std::uint32_t cost,
+                                std::uint32_t exptime_s, bool iq) {
+  // Ring order, home first — the order CoopGroup::install_replicas writes,
+  // so evictions (and therefore every downstream counter) line up with the
+  // simulator. The cluster mutex is NOT held here: each write takes the
+  // target store's shard lock, whose critical section feeds the hooks.
+  bool home_ok = false;
+  bool all_ok = true;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId target = targets[i];
+    bool ok = false;
+    if (target == self) {
+      ok = iq ? local->iqset(key, value, flags, exptime_s)
+              : local->set(key, value, flags, cost, exptime_s);
+    } else {
+      // Replicas of an iqset carry cost 0 (engines clamp to 1): the IQ
+      // miss-timestamp lease lives at the home store only.
+      ok = replica_write(target, key, value, flags, iq ? 0 : cost,
+                         exptime_s);
+    }
+    if (i == 0) {
+      home_ok = ok;
+    } else {
+      std::lock_guard lock(mutex_);
+      if (ok) {
+        ++counters_.replica_writes;
+      } else {
+        ++counters_.replica_write_failures;
+      }
+    }
+    all_ok = all_ok && ok;
+  }
+  return config_.write_ack == WriteAckPolicy::kAckAll ? all_ok : home_ok;
 }
 
 bool CoopCluster::del(NodeId self, std::string_view key) {
@@ -327,6 +385,17 @@ void CoopCluster::flush_node(NodeId id) {
     store = it->second.store;
     // An explicit wipe, like a delete: nothing is preserved in the guard.
     directory_.remove_node(id);
+    // Parked last replicas of keys HOMED here are this node's data too — a
+    // post-flush get would otherwise reinstate pre-flush bytes straight
+    // out of the guard, silently undoing the flush. Keys homed at other
+    // nodes keep their parked entries (their flush did not happen).
+    for (auto it2 = guard_fifo_.begin(); it2 != guard_fifo_.end();) {
+      const auto next = std::next(it2);
+      if (ring_.node_for(cluster_route_key(it2->key)) == id) {
+        guard_drop_locked(it2);
+      }
+      it2 = next;
+    }
   }
   store->flush_all();
 }
@@ -334,6 +403,12 @@ void CoopCluster::flush_node(NodeId id) {
 CoopCluster::NodeId CoopCluster::home_node(std::string_view key) const {
   std::lock_guard lock(mutex_);
   return ring_.node_for(cluster_route_key(key));
+}
+
+std::vector<CoopCluster::NodeId> CoopCluster::replica_nodes(
+    std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  return ring_.nodes_for(cluster_route_key(key), config_.replication);
 }
 
 std::size_t CoopCluster::node_count() const {
@@ -479,6 +554,40 @@ GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
   }
 }
 
+bool CoopCluster::replica_write(NodeId target, std::string_view key,
+                                std::string_view value, std::uint32_t flags,
+                                std::uint32_t cost, std::uint32_t exptime_s) {
+  KvsStore* store = nullptr;
+  std::string host;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = nodes_.find(target);
+    if (it == nodes_.end()) return false;  // node left concurrently
+    store = it->second.store;
+    host = it->second.host;
+    port = it->second.port;
+  }
+  if (port == 0) {
+    // In-process replica write: the target's stored hook registers the
+    // replica in the directory under its shard lock, same as a home write.
+    return store->set(key, value, flags, cost, exptime_s);
+  }
+  const std::shared_ptr<PeerLink> link = link_for(target);
+  std::lock_guard io(link->mutex);
+  try {
+    if (!link->client) {
+      link->client = std::make_unique<KvsClient>(host, port);
+    }
+    return link->client->peer_set(key, value, flags, cost, exptime_s);
+  } catch (const std::exception&) {
+    // A dead or byzantine replica must never fail the home node's write
+    // path with an exception; the ack policy decides what a false means.
+    link->client.reset();
+    return false;
+  }
+}
+
 bool CoopCluster::peer_delete(NodeId holder, std::string_view key) {
   KvsStore* store = nullptr;
   std::string host;
@@ -540,7 +649,16 @@ void CoopCluster::guard_park_locked(std::string key, std::string value,
     guard_drop_locked(it->second);
   }
   while (guard_used_ + charged_bytes > guard_capacity_) {
-    assert(!guard_fifo_.empty());
+    if (guard_fifo_.empty()) {
+      // The byte ledger claims usage but nothing is parked: accounting
+      // drift. The old bare assert compiled away in release builds and
+      // this loop then spun forever; instead, record the break, resync
+      // the ledger to the (empty) FIFO and carry on parking.
+      assert(false && "guard byte ledger drifted from the FIFO");
+      ++counters_.guard_accounting_breaks;
+      guard_used_ = 0;
+      break;
+    }
     ++counters_.guard_squeezed;
     guard_drop_locked(guard_fifo_.begin());
   }

@@ -27,6 +27,13 @@
 // decommissions a node: every resident pair leaves through the directory,
 // last replicas drain into the guard, and the store is flushed.
 //
+// Replication: with ClusterConfig::replication = R > 1, every set/iqset
+// fans out from the home node to the first R distinct ring nodes (the same
+// HashRing::nodes_for placement the simulator's CoopGroup uses), with a
+// WriteAckPolicy deciding whether replicas are best-effort (kAckHome) or
+// required (kAckAll). Reads still route to the home node; ClusterClient
+// fails a read over to the next ring replica when the home transport dies.
+//
 // Concurrency: the cluster mutex is a LEAF lock guarding only the shared
 // metadata (ring, directory, guard, counters). It is never held across a
 // store or peer-transport call; the engines' eviction hooks (which run
@@ -62,12 +69,32 @@ using ClusterNodeId = std::uint32_t;
 /// the sim-equivalence harness can reproduce the cluster's placement.
 [[nodiscard]] std::uint64_t cluster_route_key(std::string_view key) noexcept;
 
+/// How many replica acks a fanned-out write needs before it reports
+/// success (replication > 1 only; with one copy there is nothing to vote).
+enum class WriteAckPolicy : std::uint8_t {
+  /// The HOME write (first ring node) must succeed; the R-1 replica writes
+  /// are best-effort, metered by replica_writes / replica_write_failures.
+  kAckHome,
+  /// Every one of the R writes must ack; one failed replica fails the set.
+  kAckAll,
+};
+
 struct ClusterConfig {
   /// Virtual points per node on the consistent-hash ring.
   std::uint32_t virtual_nodes = 64;
   /// Copy a remotely-fetched pair to the home node (read-through healing;
   /// this is what converges placement after a membership change).
   bool promote_on_remote_hit = true;
+
+  /// Replication factor: set/iqset fan out to the first `replication`
+  /// DISTINCT ring nodes clockwise from the key (HashRing::nodes_for),
+  /// clamped to the live node count — the same placement rule
+  /// coop::CoopConfig::replication uses. 1 = home-only writes (the legacy
+  /// path). Promotions and guard reinstatements stay single-copy either
+  /// way; extra replicas are re-created by the next miss refill.
+  std::uint32_t replication = 1;
+  /// Ack requirement for fanned-out writes (ignored when replication == 1).
+  WriteAckPolicy write_ack = WriteAckPolicy::kAckHome;
 
   /// Enable the last-replica guard.
   bool preserve_last_replica = true;
@@ -109,6 +136,14 @@ struct ClusterCounters {
   std::uint64_t stale_directory_drops = 0;
   std::uint64_t sets = 0;
   std::uint64_t deletes = 0;
+  /// Replication > 1 only: successful / failed NON-home replica writes of
+  /// the set/iqset fan-out (the home write is accounted by `sets`).
+  std::uint64_t replica_writes = 0;
+  std::uint64_t replica_write_failures = 0;
+  /// Guard squeeze loops aborted because the FIFO drained while the byte
+  /// ledger still claimed usage — accounting drift that would otherwise
+  /// spin forever in release builds. Always 0 in a healthy cluster.
+  std::uint64_t guard_accounting_breaks = 0;
 
   [[nodiscard]] double local_hit_ratio() const noexcept {
     const std::uint64_t noncold = requests - cold_misses;
@@ -173,10 +208,21 @@ class CoopCluster {
   [[nodiscard]] GetResult get(NodeId self, std::string_view key,
                               bool iq = false);
 
-  /// Store at `self` and register the replica in the directory.
+  /// Store the pair. With replication == 1 this writes `self`'s store (the
+  /// legacy home-only path); with replication R > 1 the write fans out to
+  /// the first R distinct ring nodes (peer writes go in-process, or over
+  /// the wire as `pset` for nodes with an endpoint), each registering its
+  /// replica through the stored hook. The return value follows
+  /// config().write_ack: home ack (replicas best-effort) or all R acks.
   bool set(NodeId self, std::string_view key, std::string_view value,
            std::uint32_t flags, std::uint32_t cost,
            std::uint32_t exptime_s = 0);
+  /// iqset fans out like set, but the IQ cost capture happens only at
+  /// `self`'s store — the same store whose iqget recorded the miss
+  /// timestamp (a routed client makes self the home node). Every other
+  /// target is written as a plain set with cost 0 (engines clamp that to
+  /// 1); if self is not even in the target set, the captured cost is lost
+  /// and all R copies store cost 1.
   bool iqset(NodeId self, std::string_view key, std::string_view value,
              std::uint32_t flags, std::uint32_t exptime_s = 0);
 
@@ -184,11 +230,17 @@ class CoopCluster {
   /// holder (peer deletes for remote ones) and purges any guard entry.
   bool del(NodeId self, std::string_view key);
 
-  /// Drop this node's directory entries and flush its store (the cluster
-  /// form of flush_all; the node stays in the ring).
+  /// Drop this node's directory entries, drop parked guard entries whose
+  /// key is HOMED here (a post-flush get must not serve pre-flush bytes
+  /// straight out of the guard), and flush its store (the cluster form of
+  /// flush_all; the node stays in the ring). Replicas of its keys held by
+  /// OTHER nodes survive — flushing one node never wipes its peers.
   void flush_node(NodeId id);
 
   [[nodiscard]] NodeId home_node(std::string_view key) const;
+  /// The key's full write target set: the first min(replication, nodes)
+  /// distinct ring nodes, home first.
+  [[nodiscard]] std::vector<NodeId> replica_nodes(std::string_view key) const;
   [[nodiscard]] std::size_t node_count() const;
   [[nodiscard]] std::vector<NodeId> node_ids() const;
   [[nodiscard]] const ClusterConfig& config() const noexcept {
@@ -237,6 +289,18 @@ class CoopCluster {
   void on_node_stored(NodeId id, std::string_view key);
   [[nodiscard]] GetResult peer_fetch(NodeId holder, std::string_view key);
   bool peer_delete(NodeId holder, std::string_view key);
+  /// One replica write of the set/iqset fan-out: direct store call for an
+  /// in-process node, `pset` for one with an endpoint. False on any
+  /// failure (store rejection, dead peer, malformed reply).
+  bool replica_write(NodeId target, std::string_view key,
+                     std::string_view value, std::uint32_t flags,
+                     std::uint32_t cost, std::uint32_t exptime_s);
+  /// The replication > 1 write path: write every node in `targets` in ring
+  /// order (the home is targets.front()) and vote per write_ack.
+  bool fan_out_write(NodeId self, KvsStore* local,
+                     const std::vector<NodeId>& targets, std::string_view key,
+                     std::string_view value, std::uint32_t flags,
+                     std::uint32_t cost, std::uint32_t exptime_s, bool iq);
   [[nodiscard]] std::shared_ptr<PeerLink> link_for(NodeId id);
 
   // -- guard (all require mutex_) -----------------------------------------

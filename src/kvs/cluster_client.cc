@@ -1,15 +1,28 @@
 #include "kvs/cluster_client.h"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace camp::kvs {
 
-ClusterClient::ClusterClient(std::uint32_t virtual_nodes, bool parallel)
-    : ring_(virtual_nodes), parallel_(parallel) {}
+namespace {
+
+bool is_read(KvsOpType type) {
+  return type == KvsOpType::kGet || type == KvsOpType::kIqGet;
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(std::uint32_t virtual_nodes, bool parallel,
+                             std::uint32_t replication)
+    : ring_(virtual_nodes),
+      parallel_(parallel),
+      replication_(std::max<std::uint32_t>(replication, 1)) {}
 
 void ClusterClient::add_node(ClusterNodeId id, KvsApi& transport) {
   nodes_[id] = &transport;
@@ -25,6 +38,84 @@ ClusterNodeId ClusterClient::home_node(std::string_view key) const {
   return ring_.node_for(cluster_route_key(key));
 }
 
+bool ClusterClient::can_fail_over(const KvsBatch& batch) const {
+  // A mutation's outcome at the dead node is unknowable; re-issuing it
+  // elsewhere could double-apply. Only all-read sub-batches fail over.
+  if (replication_ <= 1) return false;
+  for (const KvsOp& op : batch.ops()) {
+    if (!is_read(op.type)) return false;
+  }
+  return true;
+}
+
+void ClusterClient::check_alignment(ClusterNodeId primary, std::size_t got,
+                                    std::size_t want) {
+  // Trusting a short reply vector meant indexing past its end (UB) in the
+  // scatter when a transport lied.
+  if (got != want) {
+    throw std::runtime_error(
+        "ClusterClient: transport for node " + std::to_string(primary) +
+        " returned " + std::to_string(got) + " results for " +
+        std::to_string(want) + " ops");
+  }
+}
+
+KvsBatchResult ClusterClient::failover_reads_of(ClusterNodeId primary,
+                                                const KvsBatch& batch) {
+  // Per-op re-route: ops in a sub-batch share a primary but not
+  // necessarily the rest of their replica set, so each key walks its own
+  // ring successors. A replica answers through its own coop path — the
+  // surviving holder serves a local hit, not a guard entry or a miss.
+  KvsBatchResult out;
+  out.results.reserve(batch.size());
+  for (const KvsOp& op : batch.ops()) {
+    const std::vector<std::uint32_t> targets =
+        ring_.nodes_for(cluster_route_key(op.key), replication_);
+    std::exception_ptr last_error;
+    bool answered = false;
+    for (const std::uint32_t target : targets) {
+      if (target == primary) continue;
+      const auto it = nodes_.find(target);
+      if (it == nodes_.end()) continue;
+      KvsBatch one;
+      if (op.type == KvsOpType::kIqGet) {
+        one.add_iqget(op.key);
+      } else {
+        one.add_get(op.key);
+      }
+      try {
+        KvsBatchResult reply = it->second->execute(one);
+        check_alignment(target, reply.results.size(), 1);
+        out.results.push_back(std::move(reply.results[0]));
+        failover_reads_.fetch_add(1, std::memory_order_relaxed);
+        answered = true;
+        break;
+      } catch (...) {
+        last_error = std::current_exception();
+      }
+    }
+    if (!answered) {
+      if (last_error) std::rethrow_exception(last_error);
+      throw std::runtime_error(
+          "ClusterClient: no live replica for key '" + op.key +
+          "' after node " + std::to_string(primary) + " failed");
+    }
+  }
+  return out;
+}
+
+KvsBatchResult ClusterClient::run_sub(ClusterNodeId primary, SubBatch& sub) {
+  KvsBatchResult reply;
+  try {
+    reply = sub.transport->execute(sub.batch);
+  } catch (...) {
+    if (!can_fail_over(sub.batch)) throw;
+    reply = failover_reads_of(primary, sub.batch);
+  }
+  check_alignment(primary, reply.results.size(), sub.op_indices.size());
+  return reply;
+}
+
 KvsBatchResult ClusterClient::execute(const KvsBatch& batch) {
   KvsBatchResult out;
   out.results.resize(batch.size());
@@ -35,11 +126,6 @@ KvsBatchResult ClusterClient::execute(const KvsBatch& batch) {
 
   // Split the logical batch into per-node sub-batches, remembering which
   // original op index each sub-op answers.
-  struct SubBatch {
-    KvsApi* transport = nullptr;
-    KvsBatch batch;
-    std::vector<std::size_t> op_indices;
-  };
   std::map<ClusterNodeId, SubBatch> subs;
   const std::vector<KvsOp>& ops = batch.ops();
   for (std::size_t i = 0; i < ops.size(); ++i) {
@@ -69,7 +155,8 @@ KvsBatchResult ClusterClient::execute(const KvsBatch& batch) {
     sub.op_indices.push_back(i);
   }
 
-  // Execute each node's share and stitch replies back onto op order.
+  // Execute each node's share and stitch replies back onto op order,
+  // refusing replies that are not index-aligned with their sub-batch.
   const auto scatter = [&out](const SubBatch& sub, KvsBatchResult&& reply) {
     for (std::size_t j = 0; j < sub.op_indices.size(); ++j) {
       out.results[sub.op_indices[j]] = std::move(reply.results[j]);
@@ -77,28 +164,58 @@ KvsBatchResult ClusterClient::execute(const KvsBatch& batch) {
   };
   if (!parallel_ || subs.size() == 1) {
     for (auto& [id, sub] : subs) {
-      scatter(sub, sub.transport->execute(sub.batch));
+      scatter(sub, run_sub(id, sub));
     }
     return out;
   }
+
+  // Parallel mode: one thread per touched node. Failover is DEFERRED to
+  // after the join and runs on the calling thread — re-routing from inside
+  // a dead node's thread would drive a surviving node's transport
+  // concurrently with that node's own thread, and transports (KvsClient
+  // connections) are not shareable.
   std::vector<std::thread> threads;
   threads.reserve(subs.size());
   std::vector<std::exception_ptr> errors(subs.size());
+  std::vector<SubBatch*> needs_failover(subs.size(), nullptr);
+  std::vector<ClusterNodeId> sub_ids(subs.size(), 0);
   std::size_t slot = 0;
   for (auto& [id, sub] : subs) {
+    const ClusterNodeId primary = id;
     SubBatch* s = &sub;
-    std::exception_ptr* err = &errors[slot++];
-    threads.emplace_back([s, err, &scatter] {
+    const std::size_t my_slot = slot++;
+    sub_ids[my_slot] = primary;
+    threads.emplace_back([this, primary, s, my_slot, &errors,
+                          &needs_failover, &scatter] {
       try {
-        scatter(*s, s->transport->execute(s->batch));
+        KvsBatchResult reply;
+        try {
+          reply = s->transport->execute(s->batch);
+        } catch (...) {
+          // Same rule as run_sub — only a TRANSPORT failure may fail over;
+          // a lying (mis-sized) reply below is a hard error in both modes.
+          if (can_fail_over(s->batch)) {
+            needs_failover[my_slot] = s;
+            return;
+          }
+          throw;
+        }
+        check_alignment(primary, reply.results.size(),
+                        s->op_indices.size());
+        scatter(*s, std::move(reply));
       } catch (...) {
-        *err = std::current_exception();
+        errors[my_slot] = std::current_exception();
       }
     });
   }
   for (std::thread& t : threads) t.join();
   for (const std::exception_ptr& err : errors) {
     if (err) std::rethrow_exception(err);
+  }
+  for (std::size_t i = 0; i < needs_failover.size(); ++i) {
+    if (needs_failover[i] == nullptr) continue;
+    scatter(*needs_failover[i],
+            failover_reads_of(sub_ids[i], needs_failover[i]->batch));
   }
   return out;
 }

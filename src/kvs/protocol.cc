@@ -50,7 +50,8 @@ std::optional<Command> parse_storage(CommandType type,
   // buffer towards 4 GiB waiting for a payload that may never arrive.
   if (cmd.value_bytes > kMaxValueBytes) return std::nullopt;
   std::size_t next = 5;
-  if (type == CommandType::kSet && next < t.size() && t[next] != "noreply") {
+  if ((type == CommandType::kSet || type == CommandType::kPSet) &&
+      next < t.size() && t[next] != "noreply") {
     if (!parse_u32(t[next], cmd.cost)) return std::nullopt;
     ++next;
   }
@@ -63,6 +64,8 @@ std::optional<Command> parse_storage(CommandType type,
 }
 
 }  // namespace
+
+bool is_valid_wire_key(std::string_view key) { return valid_key(key); }
 
 std::optional<Command> parse_command(std::string_view line) {
   const auto tokens = split_tokens(line);
@@ -106,6 +109,7 @@ std::optional<Command> parse_command(std::string_view line) {
   }
   if (verb == "set") return parse_storage(CommandType::kSet, tokens);
   if (verb == "iqset") return parse_storage(CommandType::kIqSet, tokens);
+  if (verb == "pset") return parse_storage(CommandType::kPSet, tokens);
   if (verb == "delete") {
     if (tokens.size() < 2 || tokens.size() > 3 || !valid_key(tokens[1])) {
       return std::nullopt;
@@ -140,6 +144,26 @@ std::optional<Command> parse_command(std::string_view line) {
     return cmd;
   }
   return std::nullopt;
+}
+
+std::uint64_t parse_reply_token(std::string_view token, std::uint64_t max,
+                                const char* what) {
+  const auto fail = [&](const char* why) {
+    throw std::runtime_error(std::string("malformed reply: ") + why + " " +
+                             what + " token '" + std::string(token) + "'");
+  };
+  if (token.empty()) fail("empty");
+  if (token.find_first_not_of("0123456789") != std::string_view::npos) {
+    fail("non-digit");
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    fail("overflowing");  // all-digit but past uint64
+  }
+  if (value > max) fail("out-of-range");
+  return value;
 }
 
 BatchWire encode_batch(const KvsBatch& batch) {
@@ -281,7 +305,8 @@ CommandDecoder::Status CommandDecoder::next(DecodedCommand& out) {
       // garbage "commands", so the connection must die instead.
       const auto tokens = split_tokens(line);
       if (tokens.size() >= 5 &&
-          (tokens[0] == "set" || tokens[0] == "iqset")) {
+          (tokens[0] == "set" || tokens[0] == "iqset" ||
+           tokens[0] == "pset")) {
         const std::string_view bytes_tok = tokens[4];
         const bool numeric =
             !bytes_tok.empty() &&
@@ -301,7 +326,8 @@ CommandDecoder::Status CommandDecoder::next(DecodedCommand& out) {
       }
       return Status::kProtocolError;
     }
-    if (cmd->type == CommandType::kSet || cmd->type == CommandType::kIqSet) {
+    if (cmd->type == CommandType::kSet || cmd->type == CommandType::kIqSet ||
+        cmd->type == CommandType::kPSet) {
       pending_ = std::move(cmd);
       continue;  // loop back to pull the payload
     }

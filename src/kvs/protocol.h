@@ -47,6 +47,8 @@ enum class CommandType {
   kPGet,  // "pget <key>": raw local get; the reply's VALUE line carries the
           // pair's stored cost in memcached's optional 4th slot.
   kPDel,  // "pdel <key>": raw local delete (cluster-wide delete fan-out).
+  kPSet,  // "pset <key> <flags> <exptime> <bytes> [cost]": raw local store
+          // (replication-factor-R write fan-out from a key's home node).
 };
 
 /// Upper bound on a storage command's declared payload size. Anything
@@ -73,6 +75,21 @@ struct Command {
 /// Parse one command line (without the trailing CRLF). nullopt = protocol
 /// error (caller answers "ERROR").
 [[nodiscard]] std::optional<Command> parse_command(std::string_view line);
+
+/// The server's key rules (memcached's): 1..250 bytes, no space/CR/LF/NUL.
+/// A key that fails this would desync or inject commands into the wire
+/// stream; every wire-bound path must reject it before writing.
+[[nodiscard]] bool is_valid_wire_key(std::string_view key);
+
+/// Strict bounded parse of a decimal reply token. The whole token must be
+/// digits, with no sign/space/garbage, and the value must not exceed `max`
+/// — a mixed-version or byzantine peer whose reply carries "-1",
+/// "4294967296x" or a 20-digit size must FAIL the parse, not silently
+/// truncate or wrap the way bare std::stoul + static_cast did. Throws
+/// std::runtime_error naming `what` on any violation.
+[[nodiscard]] std::uint64_t parse_reply_token(std::string_view token,
+                                              std::uint64_t max,
+                                              const char* what);
 
 // ---- batch wire encoding (client side) ---------------------------------------
 

@@ -366,6 +366,16 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
       if (!cmd.noreply) out += format_stored(stored);
       break;
     }
+    case CommandType::kPSet: {
+      // Replica write: ALWAYS the raw local store, never the coop path — a
+      // replica write is terminal (the fan-out already ran at the home
+      // node; re-routing here would fan out again). The store's stored
+      // hook registers the replica in the shared directory.
+      const bool stored =
+          store_.set(cmd.key, dc.payload, cmd.flags, cmd.cost, cmd.exptime);
+      if (!cmd.noreply) out += format_stored(stored);
+      break;
+    }
     case CommandType::kDelete: {
       const bool deleted = cluster_ != nullptr
                                ? cluster_->del(self_node_, cmd.key)
@@ -409,6 +419,16 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
                            std::to_string(c.transfer_bytes));
         out += format_stat("cluster_promotions",
                            std::to_string(c.promotions));
+        out += format_stat("cluster_replication",
+                           std::to_string(cluster_->config().replication));
+        out += format_stat("cluster_replica_writes",
+                           std::to_string(c.replica_writes));
+        out += format_stat("cluster_replica_write_failures",
+                           std::to_string(c.replica_write_failures));
+        // The release-build drift signal (always 0 in a healthy cluster);
+        // an operator must be able to poll for it.
+        out += format_stat("cluster_guard_accounting_breaks",
+                           std::to_string(c.guard_accounting_breaks));
       }
       out += format_end();
       break;

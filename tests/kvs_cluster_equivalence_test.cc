@@ -13,12 +13,17 @@
 //   * costs: fixed per key, so a promotion (which preserves the stored
 //     cost) matches the sim's install (which uses the request's cost);
 //   * guard: same byte budget, same lease, both measured in charged bytes
-//     and get-requests.
+//     and get-requests;
+//   * replication: with R = 2 the cluster's set fan-out writes the same
+//     first-two-ring-nodes set (in the same order) as the sim's
+//     install_replicas, so replica evictions and guard parks line up too.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "coop/group.h"
@@ -62,10 +67,13 @@ std::uint64_t guard_capacity() {
       std::llround(0.25 * static_cast<double>(node_policy_capacity())));
 }
 
-class ClusterSimEquivalence : public ::testing::TestWithParam<std::string> {};
+class ClusterSimEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::uint32_t>> {};
 
 TEST_P(ClusterSimEquivalence, IdenticalCountersIncludingAJoin) {
-  const std::string policy_spec = GetParam();
+  const std::string policy_spec = std::get<0>(GetParam());
+  const std::uint32_t replication = std::get<1>(GetParam());
   static const util::ManualClock clock;
 
   // --- the networked side -------------------------------------------------
@@ -80,11 +88,13 @@ TEST_P(ClusterSimEquivalence, IdenticalCountersIncludingAJoin) {
   ClusterConfig cluster_config;
   cluster_config.guard_capacity_bytes = guard_capacity();
   cluster_config.guard_lease_requests = kLease;
+  cluster_config.replication = replication;
 
   std::vector<std::unique_ptr<KvsStore>> stores;
   CoopCluster cluster(cluster_config);
   std::vector<std::unique_ptr<CoopNodeClient>> node_clients;
-  ClusterClient router(cluster_config.virtual_nodes, /*parallel=*/false);
+  ClusterClient router(cluster_config.virtual_nodes, /*parallel=*/false,
+                       replication);
   const auto add_cluster_node = [&] {
     stores.push_back(
         std::make_unique<KvsStore>(store_config, factory, clock));
@@ -100,6 +110,7 @@ TEST_P(ClusterSimEquivalence, IdenticalCountersIncludingAJoin) {
   group_config.node_capacity_bytes = node_policy_capacity();
   group_config.policy_spec = policy_spec;
   group_config.virtual_nodes = cluster_config.virtual_nodes;
+  group_config.replication = replication;
   group_config.guard_fraction =
       static_cast<double>(guard_capacity()) /
       static_cast<double>(node_policy_capacity());
@@ -152,7 +163,8 @@ TEST_P(ClusterSimEquivalence, IdenticalCountersIncludingAJoin) {
           << "refill rejected for " << key << " at op " << i;
     }
     ASSERT_EQ(sim_served, cluster_served)
-        << policy_spec << " diverged at op " << i << " key " << key;
+        << policy_spec << " r=" << replication << " diverged at op " << i
+        << " key " << key;
   }
 
   // --- the ledgers must agree line by line --------------------------------
@@ -172,13 +184,22 @@ TEST_P(ClusterSimEquivalence, IdenticalCountersIncludingAJoin) {
   EXPECT_EQ(net.transfer_bytes, sim.remote_hits * kValueBytes);
   EXPECT_GT(net.remote_hits, 0u) << "the join produced no remote traffic";
   EXPECT_GT(net.guard_hits, 0u) << "the guard never reinstated anything";
+  if (replication > 1) {
+    // Every miss refill fanned out; the replica ledger must show it.
+    EXPECT_GT(net.replica_writes + net.replica_write_failures, 0u);
+  }
   EXPECT_TRUE(cluster.check_invariants());
   EXPECT_TRUE(group.check_invariants());
 }
 
-INSTANTIATE_TEST_SUITE_P(Policies, ClusterSimEquivalence,
-                         ::testing::Values("lru", "camp"),
-                         [](const auto& info) { return info.param; });
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ClusterSimEquivalence,
+    ::testing::Combine(::testing::Values("lru", "camp"),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_r" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace camp::kvs

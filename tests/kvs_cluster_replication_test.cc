@@ -1,0 +1,446 @@
+// Replication-factor-R writes for the networked cooperative cluster:
+// set/iqset fan-out to the first R distinct ring nodes, write-ack policies
+// (home-ack vs all-ack), ClusterClient read failover to a surviving
+// replica when a node's transport dies mid-workload, the lying-transport
+// scatter guard, and a parallel replicated stress run (the TSan target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvs/cluster.h"
+#include "kvs/cluster_client.h"
+#include "policy/policy_factory.h"
+#include "util/clock.h"
+
+namespace camp::kvs {
+namespace {
+
+const util::ManualClock& test_clock() {
+  static const util::ManualClock clock;
+  return clock;
+}
+
+PolicyFactory lru_factory() {
+  return [](std::uint64_t cap) { return policy::make_policy("lru", cap); };
+}
+
+StoreConfig roomy_store(std::uint64_t limit = 1u << 20) {
+  StoreConfig config;
+  config.shards = 1;
+  config.engine.slab.slab_size_bytes = 64u << 10;
+  config.engine.slab.memory_limit_bytes = limit;
+  return config;
+}
+
+ClusterConfig replicated_config(std::uint32_t replication,
+                                WriteAckPolicy ack = WriteAckPolicy::kAckHome) {
+  ClusterConfig config;
+  config.replication = replication;
+  config.write_ack = ack;
+  config.guard_capacity_bytes = 256u << 10;
+  config.guard_lease_requests = 100'000;
+  return config;
+}
+
+/// A transport wrapper whose node can be "killed": every execute then
+/// throws the transport error a dead TCP connection would.
+class KillableTransport final : public KvsApi {
+ public:
+  explicit KillableTransport(KvsApi& inner) : inner_(inner) {}
+
+  KvsBatchResult execute(const KvsBatch& batch) override {
+    if (dead_.load()) {
+      throw std::runtime_error("KillableTransport: node is down");
+    }
+    return inner_.execute(batch);
+  }
+
+  void kill() { dead_.store(true); }
+
+ private:
+  KvsApi& inner_;
+  std::atomic<bool> dead_{false};
+};
+
+/// N stores joined to one CoopCluster, fronted by CoopNodeClients wrapped
+/// in KillableTransports, routed by a replication-aware ClusterClient.
+struct ReplicatedHarness {
+  explicit ReplicatedHarness(std::size_t nodes, ClusterConfig config,
+                             StoreConfig store_config = roomy_store())
+      : cluster(config),
+        router(config.virtual_nodes, /*parallel=*/false,
+               config.replication) {
+    for (std::size_t i = 0; i < nodes; ++i) add_node(store_config);
+  }
+
+  ClusterNodeId add_node(StoreConfig store_config = roomy_store()) {
+    stores.push_back(std::make_unique<KvsStore>(store_config, lru_factory(),
+                                                test_clock()));
+    const ClusterNodeId id = cluster.join(*stores.back());
+    node_clients.push_back(std::make_unique<CoopNodeClient>(cluster, id));
+    transports.push_back(
+        std::make_unique<KillableTransport>(*node_clients.back()));
+    router.add_node(id, *transports.back());
+    ids.push_back(id);
+    return id;
+  }
+
+  bool set(const std::string& key, const std::string& value,
+           std::uint32_t cost = 1) {
+    KvsBatch batch;
+    batch.add_set(key, value, 0, cost);
+    return router.execute(batch)[0].ok;
+  }
+
+  GetResult get(const std::string& key) {
+    KvsBatch batch;
+    batch.add_get(key);
+    return router.execute(batch)[0].to_get_result();
+  }
+
+  std::vector<std::unique_ptr<KvsStore>> stores;
+  CoopCluster cluster;
+  std::vector<std::unique_ptr<CoopNodeClient>> node_clients;
+  std::vector<std::unique_ptr<KillableTransport>> transports;
+  ClusterClient router;
+  std::vector<ClusterNodeId> ids;
+};
+
+TEST(ClusterReplicationConfig, Validates) {
+  ClusterConfig bad;
+  bad.replication = 0;
+  EXPECT_THROW(CoopCluster{bad}, std::invalid_argument);
+  ClusterConfig two = replicated_config(2);
+  EXPECT_NO_THROW(CoopCluster{two});
+}
+
+TEST(ClusterReplication, SetFansOutToRDistinctRingNodes) {
+  ReplicatedHarness h(3, replicated_config(2));
+  constexpr int kKeys = 60;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(h.set(key, "v" + std::to_string(i)));
+    const std::vector<ClusterNodeId> replicas = h.cluster.replica_nodes(key);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_EQ(replicas.front(), h.cluster.home_node(key));
+    EXPECT_NE(replicas[0], replicas[1]);
+    for (const ClusterNodeId id : replicas) {
+      EXPECT_TRUE(h.stores[id]->contains(key))
+          << key << " missing at replica node " << id;
+    }
+    EXPECT_EQ(h.cluster.directory_replica_count(key), 2u);
+  }
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.sets, std::uint64_t{kKeys});
+  EXPECT_EQ(c.replica_writes, std::uint64_t{kKeys});
+  EXPECT_EQ(c.replica_write_failures, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterReplication, ReplicationClampsToNodeCount) {
+  ReplicatedHarness h(2, replicated_config(5));
+  ASSERT_TRUE(h.set("k", "v"));
+  EXPECT_EQ(h.cluster.replica_nodes("k").size(), 2u);
+  EXPECT_EQ(h.cluster.directory_replica_count("k"), 2u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterReplication, ReadsStayHomeNoPeerTraffic) {
+  // With a copy at the home node, replicated reads never touch peers: the
+  // extra replicas are availability, not read load.
+  ReplicatedHarness h(3, replicated_config(2));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(h.set("key" + std::to_string(i), "v"));
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(h.get("key" + std::to_string(i)).hit);
+  }
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.local_hits, 40u);
+  EXPECT_EQ(c.remote_hits, 0u);
+  EXPECT_EQ(h.router.failover_reads(), 0u);
+}
+
+TEST(ClusterReplication, IqsetReplicatesWithHomeOnlyCostCapture) {
+  ReplicatedHarness h(3, replicated_config(2));
+  KvsBatch batch;
+  batch.add_iqset("iq-key", "iq-value", 7);
+  ASSERT_TRUE(h.router.execute(batch)[0].ok);
+  EXPECT_EQ(h.cluster.directory_replica_count("iq-key"), 2u);
+  for (const ClusterNodeId id : h.cluster.replica_nodes("iq-key")) {
+    EXPECT_TRUE(h.stores[id]->contains("iq-key"));
+  }
+  EXPECT_EQ(h.cluster.counters().replica_writes, 1u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+/// Finds a key homed at a LARGE node whose second replica is the given
+/// small node, with a value too big for the small node's slab geometry.
+std::string key_with_replica_at(const CoopCluster& cluster,
+                                ClusterNodeId small) {
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string key = "probe" + std::to_string(i);
+    const auto replicas = cluster.replica_nodes(key);
+    if (replicas.size() == 2 && replicas[0] != small &&
+        replicas[1] == small) {
+      return key;
+    }
+  }
+  return {};
+}
+
+TEST(ClusterReplication, AckHomeToleratesAFailedReplicaWrite) {
+  ReplicatedHarness h(0, replicated_config(2, WriteAckPolicy::kAckHome));
+  h.add_node(roomy_store());
+  // A node whose largest slab class cannot hold a 5000-byte value: replica
+  // writes of such values are rejected there.
+  StoreConfig tiny;
+  tiny.shards = 1;
+  tiny.engine.slab.slab_size_bytes = 4096;
+  tiny.engine.slab.memory_limit_bytes = 4096;
+  const ClusterNodeId small = h.add_node(tiny);
+
+  const std::string key = key_with_replica_at(h.cluster, small);
+  ASSERT_FALSE(key.empty());
+  EXPECT_TRUE(h.set(key, std::string(5000, 'x')));  // home ack suffices
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.replica_write_failures, 1u);
+  EXPECT_EQ(c.replica_writes, 0u);
+  EXPECT_EQ(h.cluster.directory_replica_count(key), 1u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterReplication, AckAllFailsWhenAReplicaWriteFails) {
+  ReplicatedHarness h(0, replicated_config(2, WriteAckPolicy::kAckAll));
+  h.add_node(roomy_store());
+  StoreConfig tiny;
+  tiny.shards = 1;
+  tiny.engine.slab.slab_size_bytes = 4096;
+  tiny.engine.slab.memory_limit_bytes = 4096;
+  const ClusterNodeId small = h.add_node(tiny);
+
+  const std::string key = key_with_replica_at(h.cluster, small);
+  ASSERT_FALSE(key.empty());
+  EXPECT_FALSE(h.set(key, std::string(5000, 'x')));
+  EXPECT_EQ(h.cluster.counters().replica_write_failures, 1u);
+  // A value both nodes can hold acks under all-ack too.
+  EXPECT_TRUE(h.set(key, std::string(100, 'y')));
+  EXPECT_EQ(h.cluster.directory_replica_count(key), 2u);
+}
+
+TEST(ClusterReplication, NodeLossReadsFailOverToSurvivingReplica) {
+  // The node-loss scenario: one of the R=2 replica holders dies
+  // mid-workload. Every read must still hit — answered by the surviving
+  // replica as a LOCAL hit, with no guard involvement and no miss spike.
+  ReplicatedHarness h(3, replicated_config(2));
+  constexpr int kKeys = 120;
+  const std::string payload(200, 'v');
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(h.set("key" + std::to_string(i), payload));
+  }
+  // Warm pass: everything is a local hit at its home.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(h.get("key" + std::to_string(i)).hit);
+  }
+  const ClusterCounters before = h.cluster.counters();
+  ASSERT_EQ(before.misses, 0u);
+
+  const ClusterNodeId victim = h.ids[1];
+  std::size_t homed_at_victim = 0;
+  bool killed = false;
+  for (int i = 0; i < kKeys; ++i) {
+    // Kill the node mid-workload, not between passes.
+    if (i == kKeys / 3) {
+      h.transports[1]->kill();
+      killed = true;
+    }
+    const std::string key = "key" + std::to_string(i);
+    const GetResult r = h.get(key);
+    EXPECT_TRUE(r.hit) << key << " lost after node " << victim << " died";
+    EXPECT_EQ(r.value, payload);
+    if (killed && h.cluster.home_node(key) == victim) ++homed_at_victim;
+  }
+  ASSERT_GT(homed_at_victim, 0u) << "no key exercised the failover path";
+  EXPECT_EQ(h.router.failover_reads(), homed_at_victim);
+
+  const ClusterCounters after = h.cluster.counters();
+  EXPECT_EQ(after.misses, before.misses) << "node loss caused a miss spike";
+  EXPECT_EQ(after.guard_hits, before.guard_hits)
+      << "failover reads leaned on the guard";
+  // The surviving replicas answered as plain local hits.
+  EXPECT_EQ(after.local_hits, before.local_hits + kKeys);
+}
+
+TEST(ClusterReplication, DecommissionParksOnlyLastReplicas) {
+  // leave() must guard-park a pair only when the LAST replica drains —
+  // with R=2 every key has a second copy elsewhere, so a decommission
+  // parks nothing and every key stays servable without a recompute.
+  ReplicatedHarness h(3, replicated_config(2));
+  constexpr int kKeys = 60;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(h.set("key" + std::to_string(i), "v" + std::to_string(i)));
+    ASSERT_EQ(h.cluster.directory_replica_count("key" + std::to_string(i)),
+              2u);
+  }
+  const ClusterNodeId victim = h.ids.front();
+  h.router.remove_node(victim);
+  h.cluster.leave(victim);
+
+  EXPECT_EQ(h.cluster.guard_item_count(), 0u)
+      << "a doubly-held key guard-parked on decommission";
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_GE(h.cluster.directory_replica_count(key), 1u);
+    const GetResult r = h.get(key);
+    EXPECT_TRUE(r.hit) << key << " lost in the decommission";
+    EXPECT_EQ(r.value, "v" + std::to_string(i));
+  }
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.misses, 0u);
+  EXPECT_EQ(c.guard_hits, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterReplication, MutationsDoNotFailOver) {
+  ReplicatedHarness h(2, replicated_config(2));
+  ASSERT_TRUE(h.set("stable", "v"));
+  // Find the node that homes "stable" and kill its transport: a set must
+  // propagate the transport error (its outcome elsewhere is unknowable),
+  // while a get of the same key fails over.
+  const ClusterNodeId home = h.cluster.home_node("stable");
+  const std::size_t slot =
+      static_cast<std::size_t>(home == h.ids[0] ? 0 : 1);
+  h.transports[slot]->kill();
+  KvsBatch set;
+  set.add_set("stable", "new-value", 0, 1);
+  EXPECT_THROW((void)h.router.execute(set), std::runtime_error);
+  EXPECT_TRUE(h.get("stable").hit);
+  EXPECT_GT(h.router.failover_reads(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lying transports (the scatter bounds-check bugfix)
+// ---------------------------------------------------------------------------
+
+/// A transport that answers every batch with a fixed number of results,
+/// regardless of how many ops were asked.
+class LyingTransport final : public KvsApi {
+ public:
+  explicit LyingTransport(std::size_t results) : results_(results) {}
+
+  KvsBatchResult execute(const KvsBatch&) override {
+    KvsBatchResult out;
+    out.results.resize(results_);
+    for (KvsOpResult& r : out.results) r.ok = true;
+    return out;
+  }
+
+ private:
+  std::size_t results_;
+};
+
+TEST(ClusterClientScatter, ShortReplyVectorThrowsInsteadOfUb) {
+  LyingTransport liar(/*results=*/1);
+  ClusterClient router(64, /*parallel=*/false);
+  router.add_node(0, liar);
+  KvsBatch batch;
+  batch.add_get("a").add_get("b").add_get("c");
+  try {
+    (void)router.execute(batch);
+    FAIL() << "short reply vector must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("returned 1 results for 3 ops"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ClusterClientScatter, OversizedReplyVectorThrowsToo) {
+  LyingTransport liar(/*results=*/7);
+  ClusterClient router(64, /*parallel=*/true);
+  router.add_node(0, liar);
+  KvsBatch batch;
+  batch.add_get("a");
+  EXPECT_THROW((void)router.execute(batch), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel replicated stress (the TSan target)
+// ---------------------------------------------------------------------------
+
+TEST(ClusterReplicationStress, ParallelReplicatedClientsStayConsistent) {
+  // 3 nodes, R=2, 4 concurrent ClusterClients fanning sub-batches out in
+  // parallel while every set ALSO fans out to a second node's store —
+  // replica writes, eviction hooks and directory updates all interleave
+  // under the store shard locks. Every op must come back acked and the
+  // shared metadata must agree with the stores once quiesced.
+  constexpr std::size_t kNodes = 3;
+  constexpr std::size_t kClients = 4;
+  constexpr int kBatches = 40;
+  constexpr std::size_t kBatchOps = 16;
+
+  StoreConfig store_config;
+  store_config.shards = 2;
+  store_config.engine.slab.slab_size_bytes = 64u << 10;
+  store_config.engine.slab.memory_limit_bytes = 256u << 10;
+
+  std::vector<std::unique_ptr<KvsStore>> stores;
+  CoopCluster cluster(replicated_config(2));
+  std::vector<ClusterNodeId> ids;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    stores.push_back(std::make_unique<KvsStore>(store_config, lru_factory(),
+                                                test_clock()));
+    ids.push_back(cluster.join(*stores.back()));
+  }
+
+  std::atomic<std::uint64_t> acked{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        // Per-thread transports; the cluster itself is the shared state.
+        std::vector<std::unique_ptr<CoopNodeClient>> nodes;
+        ClusterClient router(64, /*parallel=*/true, /*replication=*/2);
+        for (std::size_t n = 0; n < kNodes; ++n) {
+          nodes.push_back(std::make_unique<CoopNodeClient>(cluster, ids[n]));
+          router.add_node(ids[n], *nodes.back());
+        }
+        for (int b = 0; b < kBatches; ++b) {
+          KvsBatch batch;
+          for (std::size_t i = 0; i < kBatchOps; ++i) {
+            const std::string key =
+                "key" + std::to_string((b * kBatchOps + i * 7) % 150);
+            if (i % 3 == 0) {
+              batch.add_set(key, std::string(512, 'a' + char(c)), 0, 3);
+            } else {
+              batch.add_get(key);
+            }
+          }
+          const KvsBatchResult r = router.execute(batch);
+          std::uint64_t local = 0;
+          for (const KvsOpResult& op : r.results) local += op.acked ? 1 : 0;
+          acked.fetch_add(local);
+        }
+      } catch (...) {
+        failed.store(true);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(acked.load(), std::uint64_t{kClients} * kBatches * kBatchOps);
+  const ClusterCounters c = cluster.counters();
+  EXPECT_EQ(c.requests + c.sets,
+            std::uint64_t{kClients} * kBatches * kBatchOps);
+  EXPECT_GT(c.replica_writes, 0u);
+  EXPECT_TRUE(cluster.check_invariants());
+}
+
+}  // namespace
+}  // namespace camp::kvs

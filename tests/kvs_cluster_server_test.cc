@@ -33,19 +33,21 @@ ServerConfig small_server() {
   return config;
 }
 
-ClusterConfig cluster_config() {
+ClusterConfig cluster_config(std::uint32_t replication = 1) {
   ClusterConfig config;
   config.guard_capacity_bytes = 256u << 10;
   config.guard_lease_requests = 100'000;
+  config.replication = replication;
   return config;
 }
 
 /// N cluster-attached servers + a ClusterClient over TCP connections.
 struct WireHarness {
   explicit WireHarness(std::size_t nodes, bool parallel_router,
-                       bool wire_peer_fetch)
-      : cluster(cluster_config()),
-        router(cluster_config().virtual_nodes, parallel_router) {
+                       bool wire_peer_fetch, std::uint32_t replication = 1)
+      : cluster(cluster_config(replication)),
+        router(cluster_config().virtual_nodes, parallel_router,
+               replication) {
     static const util::SteadyClock clock;
     for (std::size_t i = 0; i < nodes; ++i) {
       servers.push_back(std::make_unique<KvsServer>(small_server(),
@@ -152,7 +154,7 @@ TEST(ClusterServer, PeerFetchGoesOverTheWire) {
 }
 
 TEST(ClusterServer, PeerOpsWorkAgainstAPlainServer) {
-  // pget/pdel are raw local ops — they work (and stay terminal) on a
+  // pget/pdel/pset are raw local ops — they work (and stay terminal) on a
   // server with no cluster attached.
   static const util::SteadyClock clock;
   KvsServer server(small_server(), lru_factory(), clock);
@@ -167,7 +169,49 @@ TEST(ClusterServer, PeerOpsWorkAgainstAPlainServer) {
   EXPECT_FALSE(client.peer_get("missing").hit);
   EXPECT_TRUE(client.peer_del("k"));
   EXPECT_FALSE(client.peer_del("k"));
+  // pset stores raw-locally, cost and flags intact.
+  EXPECT_TRUE(client.peer_set("p", "replica-bytes", 3, 17));
+  const GetResult p = client.peer_get("p");
+  EXPECT_TRUE(p.hit);
+  EXPECT_EQ(p.value, "replica-bytes");
+  EXPECT_EQ(p.flags, 3u);
+  EXPECT_EQ(p.cost, 17u);
   server.stop();
+}
+
+TEST(ClusterServer, ReplicatedWritesFanOutOverTheWire) {
+  // R=2 with wire endpoints: the home server's fan-out lands the second
+  // copy via pset on the replica's own TCP server. Single driving thread,
+  // so at most one synchronous peer op is outstanding anywhere.
+  WireHarness h(3, /*parallel_router=*/false, /*wire_peer_fetch=*/true,
+                /*replication=*/2);
+  constexpr int kKeys = 40;
+  KvsBatch sets;
+  for (int i = 0; i < kKeys; ++i) {
+    sets.add_set("key" + std::to_string(i), "value" + std::to_string(i), 0,
+                 1 + i % 7);
+  }
+  ASSERT_EQ(h.router.execute(sets).ok_count(), static_cast<std::size_t>(kKeys));
+
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const auto replicas = h.cluster.replica_nodes(key);
+    ASSERT_EQ(replicas.size(), 2u);
+    for (const ClusterNodeId id : replicas) {
+      EXPECT_TRUE(h.servers[id]->store().contains(key))
+          << key << " missing at wire replica node " << id;
+    }
+    EXPECT_EQ(h.cluster.directory_replica_count(key), 2u);
+  }
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(c.replica_writes, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(c.replica_write_failures, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+
+  // The new counters surface through stats.
+  const auto stats = h.conns.front()->stats();
+  EXPECT_EQ(stats.at("cluster_replication"), "2");
+  EXPECT_EQ(stats.at("cluster_replica_writes"), std::to_string(kKeys));
 }
 
 TEST(ClusterServer, ParallelClientsSeeNoLostReplies) {

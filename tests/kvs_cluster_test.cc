@@ -384,6 +384,59 @@ TEST(ClusterTest, DecommissionDrainsLastReplicasIntoTheGuard) {
   EXPECT_TRUE(h.cluster.check_invariants());
 }
 
+TEST(ClusterTest, FlushNodeDropsGuardEntriesHomedThere) {
+  // Regression: flush_all on a cluster-attached node wiped the store and
+  // directory but left parked last-replica guard entries behind — a
+  // post-flush get then served pre-flush bytes straight out of the guard.
+  Harness h(1);
+  ASSERT_TRUE(h.set("victim", value_of(4000, 'p'), 9));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(h.set("filler" + std::to_string(i), value_of(4000, 'f')));
+  }
+  ASSERT_TRUE(h.cluster.guard_contains("victim"));
+
+  h.cluster.flush_node(h.ids[0]);
+  EXPECT_FALSE(h.cluster.guard_contains("victim"))
+      << "flush left a pre-flush value parked in the guard";
+  EXPECT_EQ(h.cluster.guard_item_count(), 0u);  // single node homes all keys
+  const GetResult r = h.get("victim");
+  EXPECT_FALSE(r.hit) << "flushed pair served from the guard";
+  EXPECT_EQ(h.cluster.counters().guard_hits, 0u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
+TEST(ClusterTest, FlushNodeKeepsGuardEntriesHomedElsewhere) {
+  // Flushing one node is that node's wipe, not the cluster's: parked last
+  // replicas of keys homed at OTHER nodes must keep serving.
+  Harness h(2);
+  // Park one key per node by filling each home with same-homed keys.
+  std::vector<std::string> victims(2);
+  for (std::size_t node = 0; node < 2; ++node) {
+    int placed = 0;
+    for (int i = 0; placed < 21 && i < 10'000; ++i) {
+      const std::string key =
+          "n" + std::to_string(node) + "k" + std::to_string(i);
+      if (h.cluster.home_node(key) != h.ids[node]) continue;
+      ASSERT_TRUE(h.set(key, value_of(4000, 'v'), 5));
+      if (placed == 0) victims[node] = key;
+      ++placed;
+    }
+    ASSERT_TRUE(h.cluster.guard_contains(victims[node]))
+        << "filling node " << node << " never parked its first key";
+  }
+
+  h.cluster.flush_node(h.ids[0]);
+  EXPECT_FALSE(h.cluster.guard_contains(victims[0]));
+  EXPECT_TRUE(h.cluster.guard_contains(victims[1]))
+      << "flushing node 0 dropped a guard entry homed at node 1";
+  EXPECT_FALSE(h.get(victims[0]).hit);
+  const GetResult r = h.get(victims[1]);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value, value_of(4000, 'v'));
+  EXPECT_EQ(h.cluster.counters().guard_hits, 1u);
+  EXPECT_TRUE(h.cluster.check_invariants());
+}
+
 TEST(ClusterTest, LeaveRejectsUnknownAndFinalNode) {
   Harness h(2);
   EXPECT_THROW(h.cluster.leave(99), std::invalid_argument);

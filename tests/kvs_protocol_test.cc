@@ -170,6 +170,18 @@ TEST(Protocol, ParsePeerOps) {
   EXPECT_FALSE(parse_command("pget a b").has_value());
   EXPECT_FALSE(parse_command("pget").has_value());
   EXPECT_FALSE(parse_command("pdel " + std::string(300, 'k')).has_value());
+
+  // pset: the replica-write storage op, same shape as set (optional cost).
+  auto pset = parse_command("pset mykey 3 60 5 42");
+  ASSERT_TRUE(pset.has_value());
+  EXPECT_EQ(pset->type, CommandType::kPSet);
+  EXPECT_EQ(pset->key, "mykey");
+  EXPECT_EQ(pset->flags, 3u);
+  EXPECT_EQ(pset->exptime, 60u);
+  EXPECT_EQ(pset->value_bytes, 5u);
+  EXPECT_EQ(pset->cost, 42u);
+  EXPECT_FALSE(parse_command("pset mykey 3 60").has_value());
+  EXPECT_FALSE(parse_command("pset mykey 3 60 99999999999").has_value());
 }
 
 TEST(Protocol, FormatValueWithCost) {
