@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <map>
 #include <stdexcept>
 
 namespace camp::core {
@@ -101,7 +102,7 @@ bool ConcurrentCampCache::try_touch_shared(Entry& e) {
   // e.queue is stable here: only the exclusive side migrates entries between
   // queues, and we hold the shared structure lock.
   Queue& q = *e.queue;
-  std::unique_lock queue_lock(q.mutex);
+  util::MutexLock queue_lock(q.mutex);
   const std::uint64_t new_ratio = rounded_ratio(e.cost, e.size);
   if (new_ratio != e.ratio) return false;  // queue migration: exclusive side
 
@@ -109,7 +110,7 @@ bool ConcurrentCampCache::try_touch_shared(Entry& e) {
     // Serial fast path: p alone in a queue that is not the global minimum.
     // L <- current heap top (the minimum over the *other* pairs), then the
     // refreshed head goes straight back into the heap node.
-    std::lock_guard heap_lock(heap_mutex_);
+    util::MutexLock heap_lock(heap_mutex_);
     if (head_heap_.top_handle() == q.handle) return false;
     raise_inflation(head_heap_.top().h);
     e.h = inflation_.load(std::memory_order_relaxed) + e.ratio;
@@ -124,7 +125,7 @@ bool ConcurrentCampCache::try_touch_shared(Entry& e) {
   if (was_head) {
     // The queue head changed: this is the only case where the hit path
     // synchronizes on the heap (Section 4.1, feature 1).
-    std::lock_guard heap_lock(heap_mutex_);
+    util::MutexLock heap_lock(heap_mutex_);
     head_heap_.update(q.handle, head_key(q));
     raise_inflation(head_heap_.top().h);
     refresh_min_head_locked();
@@ -142,11 +143,11 @@ bool ConcurrentCampCache::try_touch_shared(Entry& e) {
 bool ConcurrentCampCache::get(Key key) {
   gets_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::shared_lock shared(structure_);
+    util::ReaderLock shared(structure_);
     Entry* e = nullptr;
     {
       IndexStripe& s = stripe_for(key);
-      std::lock_guard g(s.mutex);
+      util::MutexLock g(s.mutex);
       const auto it = s.map.find(key);
       if (it == s.map.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -164,16 +165,18 @@ bool ConcurrentCampCache::get(Key key) {
   // under the exclusive lock: the entry may have been evicted in the window,
   // in which case the hit stands but the side effects are moot.
   exclusive_retries_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock exclusive(structure_);
+  util::WriterLock exclusive(structure_);
   IndexStripe& s = stripe_for(key);
+  util::MutexLock g(s.mutex);
   const auto it = s.map.find(key);
   if (it != s.map.end()) touch_exclusive(it->second);
   return true;
 }
 
 // ---------------------------------------------------------------------------
-// Exclusive side: the serial algorithm verbatim (the unique structure lock
-// excludes every shared holder, so no inner locks are needed)
+// Exclusive side: the serial algorithm verbatim. The unique structure lock
+// excludes every shared holder, so the inner stripe/heap locks taken below
+// are uncontended; they exist so the GUARDED_BY claims hold on every path.
 // ---------------------------------------------------------------------------
 
 void ConcurrentCampCache::detach_exclusive(Entry& e) {
@@ -182,13 +185,21 @@ void ConcurrentCampCache::detach_exclusive(Entry& e) {
   q.list.remove(e);
   e.queue = nullptr;
   if (q.list.empty()) {
-    head_heap_.erase(q.handle);
+    {
+      util::MutexLock heap_lock(heap_mutex_);
+      head_heap_.erase(q.handle);
+      refresh_min_head_locked();
+    }
     ++queues_destroyed_;
     queues_.erase(q.qid);  // q is dead after this line
   } else if (was_head) {
+    util::MutexLock heap_lock(heap_mutex_);
     head_heap_.update(q.handle, head_key(q));
+    refresh_min_head_locked();
+  } else {
+    util::MutexLock heap_lock(heap_mutex_);
+    refresh_min_head_locked();
   }
-  refresh_min_head_locked();
 }
 
 void ConcurrentCampCache::append_exclusive(Entry& e, std::uint64_t ratio) {
@@ -200,6 +211,7 @@ void ConcurrentCampCache::append_exclusive(Entry& e, std::uint64_t ratio) {
   if (created) {
     q.qid = qid;
     q.ratio = ratio;
+    util::MutexLock heap_lock(heap_mutex_);
     q.handle = head_heap_.push(head_key(q));
     ++queues_created_;
     refresh_min_head_locked();
@@ -209,7 +221,10 @@ void ConcurrentCampCache::append_exclusive(Entry& e, std::uint64_t ratio) {
 void ConcurrentCampCache::touch_exclusive(Entry& e) {
   const std::uint64_t new_ratio = rounded_ratio(e.cost, e.size);
   detach_exclusive(e);
-  if (!head_heap_.empty()) raise_inflation(head_heap_.top().h);
+  {
+    util::MutexLock heap_lock(heap_mutex_);
+    if (!head_heap_.empty()) raise_inflation(head_heap_.top().h);
+  }
   e.ratio = new_ratio;
   e.h = inflation_.load(std::memory_order_relaxed) + new_ratio;
   e.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -217,19 +232,27 @@ void ConcurrentCampCache::touch_exclusive(Entry& e) {
 }
 
 void ConcurrentCampCache::evict_victim_exclusive() {
-  assert(!head_heap_.empty() && "eviction requested from an empty cache");
-  Queue& q = *head_heap_.top().queue;
-  Entry* victim = q.list.front();
+  Queue* q = nullptr;
+  {
+    util::MutexLock heap_lock(heap_mutex_);
+    assert(!head_heap_.empty() && "eviction requested from an empty cache");
+    q = head_heap_.top().queue;
+  }
+  Entry* victim = q->list.front();
   raise_inflation(victim->h);  // L <- H of the evicted minimum
   const Key vkey = victim->key;
   const std::uint64_t vsize = victim->size;
   detach_exclusive(*victim);
-  stripe_for(vkey).map.erase(vkey);
+  {
+    IndexStripe& s = stripe_for(vkey);
+    util::MutexLock g(s.mutex);
+    s.map.erase(vkey);
+  }
   evictions_.fetch_add(1, std::memory_order_relaxed);
   used_.fetch_sub(vsize, std::memory_order_relaxed);
   policy::EvictionListener listener;
   {
-    std::lock_guard g(listener_mutex_);
+    util::MutexLock g(listener_mutex_);
     listener = listener_;
   }
   if (listener) listener(vkey, vsize);
@@ -242,10 +265,11 @@ bool ConcurrentCampCache::put(Key key, std::uint64_t size,
     rejected_puts_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  std::unique_lock exclusive(structure_);
+  util::WriterLock exclusive(structure_);
   // Overwrite semantics: drop any stale pair first.
   {
     IndexStripe& s = stripe_for(key);
+    util::MutexLock g(s.mutex);
     const auto it = s.map.find(key);
     if (it != s.map.end()) {
       detach_exclusive(it->second);
@@ -260,6 +284,7 @@ bool ConcurrentCampCache::put(Key key, std::uint64_t size,
     evict_victim_exclusive();
   }
   IndexStripe& s = stripe_for(key);
+  util::MutexLock g(s.mutex);
   auto [it, inserted] = s.map.try_emplace(key);
   assert(inserted);
   Entry& e = it->second;
@@ -275,15 +300,16 @@ bool ConcurrentCampCache::put(Key key, std::uint64_t size,
 }
 
 bool ConcurrentCampCache::contains(Key key) const {
-  std::shared_lock shared(structure_);
+  util::ReaderLock shared(structure_);
   IndexStripe& s = stripe_for(key);
-  std::lock_guard g(s.mutex);
+  util::MutexLock g(s.mutex);
   return s.map.contains(key);
 }
 
 void ConcurrentCampCache::erase(Key key) {
-  std::unique_lock exclusive(structure_);
+  util::WriterLock exclusive(structure_);
   IndexStripe& s = stripe_for(key);
+  util::MutexLock g(s.mutex);
   const auto it = s.map.find(key);
   if (it == s.map.end()) return;
   detach_exclusive(it->second);
@@ -292,32 +318,45 @@ void ConcurrentCampCache::erase(Key key) {
 }
 
 bool ConcurrentCampCache::evict_one() {
-  std::unique_lock exclusive(structure_);
-  if (head_heap_.empty()) return false;
+  util::WriterLock exclusive(structure_);
+  {
+    util::MutexLock heap_lock(heap_mutex_);
+    if (head_heap_.empty()) return false;
+  }
   evict_victim_exclusive();
   return true;
 }
 
 std::size_t ConcurrentCampCache::item_count() const {
-  std::shared_lock shared(structure_);
+  util::ReaderLock shared(structure_);
   std::size_t count = 0;
   for (const auto& stripe : stripes_) {
-    std::lock_guard g(stripe->mutex);
+    util::MutexLock g(stripe->mutex);
     count += stripe->map.size();
   }
   return count;
 }
 
+policy::CacheStats ConcurrentCampCache::stats_snapshot() const {
+  policy::CacheStats s;
+  s.gets = gets_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.rejected_puts = rejected_puts_.load(std::memory_order_relaxed);
+  return s;
+}
+
 const policy::CacheStats& ConcurrentCampCache::stats() const {
-  std::lock_guard g(stats_mutex_);
-  stats_snapshot_.gets = gets_.load(std::memory_order_relaxed);
-  stats_snapshot_.hits = hits_.load(std::memory_order_relaxed);
-  stats_snapshot_.misses = misses_.load(std::memory_order_relaxed);
-  stats_snapshot_.puts = puts_.load(std::memory_order_relaxed);
-  stats_snapshot_.evictions = evictions_.load(std::memory_order_relaxed);
-  stats_snapshot_.rejected_puts =
-      rejected_puts_.load(std::memory_order_relaxed);
-  return stats_snapshot_;
+  // Per-thread, per-instance snapshot buffer: concurrent stats() calls never
+  // share aggregation state, so there is no torn read and nothing to lock
+  // (the old shared snapshot field was a data race under concurrent stats()).
+  static thread_local std::map<const ConcurrentCampCache*, policy::CacheStats>
+      snapshots;
+  policy::CacheStats& snapshot = snapshots[this];
+  snapshot = stats_snapshot();
+  return snapshot;
 }
 
 std::string ConcurrentCampCache::name() const {
@@ -334,12 +373,12 @@ std::string ConcurrentCampCache::name() const {
 
 void ConcurrentCampCache::set_eviction_listener(
     policy::EvictionListener listener) {
-  std::lock_guard g(listener_mutex_);
+  util::MutexLock g(listener_mutex_);
   listener_ = std::move(listener);
 }
 
 ConcurrentCampIntrospection ConcurrentCampCache::introspect() const {
-  std::shared_lock shared(structure_);
+  util::ReaderLock shared(structure_);
   ConcurrentCampIntrospection out;
   out.nonempty_queues = queues_.size();
   out.queues_created = queues_created_;
@@ -349,15 +388,18 @@ ConcurrentCampIntrospection ConcurrentCampCache::introspect() const {
   out.shared_fast_hits = shared_fast_hits_.load(std::memory_order_relaxed);
   out.exclusive_retries = exclusive_retries_.load(std::memory_order_relaxed);
   {
-    std::lock_guard heap_lock(heap_mutex_);
+    util::MutexLock heap_lock(heap_mutex_);
     out.heap = head_heap_.stats();
   }
   return out;
 }
 
 bool ConcurrentCampCache::check_invariants() {
-  std::unique_lock exclusive(structure_);
-  if (!head_heap_.check_invariants()) return false;
+  util::WriterLock exclusive(structure_);
+  {
+    util::MutexLock heap_lock(heap_mutex_);
+    if (!head_heap_.check_invariants()) return false;
+  }
   std::uint64_t bytes = 0;
   std::size_t items = 0;
   const std::uint64_t inflation = inflation_.load(std::memory_order_relaxed);
@@ -381,17 +423,25 @@ bool ConcurrentCampCache::check_invariants() {
       bytes += e.size;
       ++items;
     }
-    const HeadKey hk = head_heap_.value(q.handle);
+    HeadKey hk;
+    {
+      util::MutexLock heap_lock(heap_mutex_);
+      hk = head_heap_.value(q.handle);
+    }
     const Entry* head = q.list.front();
     if (hk.h != head->h || hk.seq != head->seq || hk.queue != &q) {
       return false;
     }
   }
   std::size_t indexed = 0;
-  for (const auto& stripe : stripes_) indexed += stripe->map.size();
+  for (const auto& stripe : stripes_) {
+    util::MutexLock g(stripe->mutex);
+    indexed += stripe->map.size();
+  }
   if (bytes != used_.load(std::memory_order_relaxed)) return false;
   if (items != indexed) return false;
   if (bytes > config_.capacity_bytes) return false;
+  util::MutexLock heap_lock(heap_mutex_);
   return head_heap_.size() == queues_.size();
 }
 

@@ -25,13 +25,23 @@
 // also the global minimum) retry on the unique side. Run single-threaded,
 // the cache makes decision-for-decision the same choices as BasicCampCache
 // (tests/camp_concurrent_test.cc asserts this).
+//
+// The discipline is machine-checked two ways (util/mutex.h): Clang Thread
+// Safety Annotations prove at compile time that the index stripes, the
+// head heap and the listener are only touched under their mutexes (the
+// exclusive side takes those inner locks too — uncontended there, since
+// the unique structure lock excludes every shared holder — precisely so
+// the GUARDED_BY claims hold on every path), and debug builds rank-check
+// the acquisition order structure -> stripe -> queue -> heap -> listener
+// at runtime. Queue lists and the h/seq entry fields stay unannotated:
+// their guard alternates between the owning queue's mutex (shared plane)
+// and the unique structure lock (exclusive plane), which the static
+// analysis cannot express.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +49,7 @@
 #include "heap/dary_heap.h"
 #include "intrusive/list.h"
 #include "policy/cache_iface.h"
+#include "util/mutex.h"
 #include "util/rounding.h"
 
 namespace camp::core {
@@ -97,7 +108,14 @@ class ConcurrentCampCache final : public policy::ICache {
     return used_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t item_count() const override;
+  /// Folds the atomic counters into a snapshot. The returned reference
+  /// points at a thread-local per-instance buffer (same contract as
+  /// ShardedCache::stats()): concurrent callers never race on shared
+  /// aggregation state, and it stays valid until the SAME thread calls
+  /// stats() on the SAME instance again.
   [[nodiscard]] const policy::CacheStats& stats() const override;
+  /// By-value variant of stats() for callers that want an owned snapshot.
+  [[nodiscard]] policy::CacheStats stats_snapshot() const;
   [[nodiscard]] std::string name() const override;
   void set_eviction_listener(policy::EvictionListener listener) override;
 
@@ -132,7 +150,11 @@ class ConcurrentCampCache final : public policy::ICache {
   struct Queue {
     std::uint64_t qid = 0;  // ratio * physical_queues + part
     std::uint64_t ratio = 0;
-    std::mutex mutex;  // guards list and the h/seq fields of its entries
+    // Guards `list` and the h/seq fields of its entries on the SHARED
+    // plane; the exclusive side touches them lock-free under the unique
+    // structure lock. That either-or guard is not expressible to the
+    // static analysis, so these fields carry no GUARDED_BY.
+    util::Mutex mutex{util::LockRank::kCampQueue};
     intrusive::List<Entry, &Entry::hook> list;
     std::uint32_t handle = 0;  // head-heap handle
   };
@@ -151,8 +173,8 @@ class ConcurrentCampCache final : public policy::ICache {
   using HeadHeap = heap::DaryHeap<HeadKey, HeadKeyLess, 8>;
 
   struct alignas(64) IndexStripe {
-    mutable std::mutex mutex;
-    std::unordered_map<Key, Entry> map;
+    mutable util::Mutex mutex{util::LockRank::kCampIndexStripe};
+    std::unordered_map<Key, Entry> map CAMP_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] IndexStripe& stripe_for(Key key) const noexcept;
@@ -163,19 +185,21 @@ class ConcurrentCampCache final : public policy::ICache {
 
   /// Fast-path hit under the shared structure lock. Returns false when the
   /// operation needs the exclusive side (topology change).
-  bool try_touch_shared(Entry& e);
+  bool try_touch_shared(Entry& e) CAMP_REQUIRES_SHARED(structure_);
 
   /// Serial-equivalent hit path; caller holds the unique structure lock.
-  void touch_exclusive(Entry& e);
+  void touch_exclusive(Entry& e) CAMP_REQUIRES(structure_);
 
-  // The following helpers require the unique structure lock.
-  void detach_exclusive(Entry& e);
-  void append_exclusive(Entry& e, std::uint64_t ratio);
-  void evict_victim_exclusive();
+  // The following helpers require the unique structure lock (and take the
+  // stripe/heap locks themselves where they touch guarded state).
+  void detach_exclusive(Entry& e) CAMP_REQUIRES(structure_);
+  void append_exclusive(Entry& e, std::uint64_t ratio)
+      CAMP_REQUIRES(structure_);
+  void evict_victim_exclusive() CAMP_REQUIRES(structure_);
 
   /// Re-reads the heap minimum into the atomic mirror; caller holds
   /// heap_mutex_.
-  void refresh_min_head_locked();
+  void refresh_min_head_locked() CAMP_REQUIRES(heap_mutex_);
 
   void raise_inflation(std::uint64_t candidate) noexcept;
   [[nodiscard]] static HeadKey head_key(Queue& q);
@@ -183,15 +207,15 @@ class ConcurrentCampCache final : public policy::ICache {
   ConcurrentCampConfig config_;
   util::AtomicRatioScaler scaler_;
 
-  mutable std::shared_mutex structure_;
+  mutable util::SharedMutex structure_{util::LockRank::kCampStructure};
   std::vector<std::unique_ptr<IndexStripe>> stripes_;
 
-  // Queue topology: mutated only under the unique structure lock, so shared
-  // holders may read the map without extra locking.
-  std::unordered_map<std::uint64_t, Queue> queues_;
+  // Queue topology: mutated only under the unique structure lock; shared
+  // holders read it under their shared hold.
+  std::unordered_map<std::uint64_t, Queue> queues_ CAMP_GUARDED_BY(structure_);
 
-  mutable std::mutex heap_mutex_;
-  HeadHeap head_heap_;
+  mutable util::Mutex heap_mutex_{util::LockRank::kCampHeap};
+  HeadHeap head_heap_ CAMP_GUARDED_BY(heap_mutex_);
   // Lock-free mirror of the heap minimum for the L-raise on the hit path.
   // Updated under heap_mutex_; readers tolerate a stale pair (the raise is a
   // monotone max and L <= every resident H, so a stale minimum only delays
@@ -208,14 +232,11 @@ class ConcurrentCampCache final : public policy::ICache {
   std::atomic<std::uint64_t> gets_{0}, hits_{0}, misses_{0}, puts_{0},
       evictions_{0}, rejected_puts_{0};
   std::atomic<std::uint64_t> shared_fast_hits_{0}, exclusive_retries_{0};
-  std::uint64_t queues_created_ = 0;    // unique-lock side only
-  std::uint64_t queues_destroyed_ = 0;  // unique-lock side only
+  std::uint64_t queues_created_ CAMP_GUARDED_BY(structure_) = 0;
+  std::uint64_t queues_destroyed_ CAMP_GUARDED_BY(structure_) = 0;
 
-  mutable std::mutex stats_mutex_;
-  mutable policy::CacheStats stats_snapshot_;
-
-  std::mutex listener_mutex_;
-  policy::EvictionListener listener_;
+  util::Mutex listener_mutex_{util::LockRank::kCampListener};
+  policy::EvictionListener listener_ CAMP_GUARDED_BY(listener_mutex_);
 };
 
 /// Factory mirroring make_camp.
