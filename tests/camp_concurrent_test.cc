@@ -256,6 +256,55 @@ TEST(ConcurrentCamp, IntrospectionTracksQueues) {
   EXPECT_EQ(intro.queues_destroyed, 0u);
 }
 
+TEST(ConcurrentCamp, ConcurrentStatsReadersDoNotRace) {
+  // Regression: stats() used to fill ONE shared snapshot field under a
+  // dedicated mutex and return a reference to it, so a reader could observe
+  // another reader's half-written refill after its own lock was released.
+  // It now folds the atomic counters into a thread-local per-instance
+  // buffer (the ShardedCache::stats() contract). Run under TSan in CI.
+  ConcurrentCampCache cache(mt_cfg(1u << 20));
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 3;
+  constexpr int kOps = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&cache, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 7);
+      for (int i = 0; i < kOps; ++i) {
+        const Key k = rng.below(500);
+        if (!cache.get(k)) cache.put(k, 64, 1);
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < kOps; ++i) {
+        const policy::CacheStats& s = cache.stats();
+        EXPECT_LE(s.hits, s.gets);  // monotone on a coherent snapshot
+        const policy::CacheStats owned = cache.stats_snapshot();
+        EXPECT_LE(owned.hits, owned.gets);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.stats_snapshot().gets,
+            static_cast<std::uint64_t>(kWriters) * kOps);
+}
+
+TEST(ConcurrentCamp, StatsReferencesFromTwoInstancesDoNotAlias) {
+  ConcurrentCampCache a(mt_cfg(10'000));
+  ConcurrentCampCache b(mt_cfg(10'000));
+  a.put(1, 100, 1);
+  (void)a.get(1);
+  (void)a.get(2);  // a: 2 gets
+  (void)b.get(7);  // b: 1 get
+  const policy::CacheStats& sa = a.stats();
+  const policy::CacheStats& sb = b.stats();
+  EXPECT_NE(&sa, &sb) << "per-instance buffers must not alias";
+  EXPECT_EQ(sa.gets, 2u) << "a's snapshot must survive b.stats()";
+  EXPECT_EQ(sb.gets, 1u);
+}
+
 TEST(ConcurrentCamp, PhysicalQueuesSplitHotRatios) {
   // With q=8, pairs sharing one rounded ratio spread across up to 8
   // physical queues (more heap nodes, less lock contention).
