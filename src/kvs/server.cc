@@ -156,7 +156,7 @@ void KvsServer::stop() {
     // Unblock a worker parked in a blocking send()/recv() on a stalled
     // connection; shutdown (not close) keeps the fd numbers valid for the
     // worker's own cleanup.
-    std::lock_guard lock(worker->mutex);
+    util::MutexLock lock(worker->mutex);
     for (const int fd : worker->live_fds) ::shutdown(fd, SHUT_RDWR);
     for (const int fd : worker->pending_fds) ::shutdown(fd, SHUT_RDWR);
   }
@@ -166,7 +166,10 @@ void KvsServer::stop() {
     ::close(worker->wake_write_fd);
     // The acceptor may have handed over a connection after the worker's
     // final adoption pass; with both threads joined, whatever is left in
-    // pending_fds belongs to no one — close it here.
+    // pending_fds belongs to no one — close it here. Joining made this
+    // thread the sole owner, but take the lock anyway: it is uncontended,
+    // and it keeps every pending_fds access uniformly guarded.
+    util::MutexLock lock(worker->mutex);
     for (const int fd : worker->pending_fds) ::close(fd);
     worker->pending_fds.clear();
   }
@@ -184,7 +187,7 @@ void KvsServer::accept_loop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Worker& worker = *workers_[next_worker_++ % workers_.size()];
     {
-      std::lock_guard lock(worker.mutex);
+      util::MutexLock lock(worker.mutex);
       worker.pending_fds.push_back(fd);
     }
     const char wake = 'c';
@@ -202,7 +205,7 @@ void KvsServer::worker_loop(Worker& worker) {
   // a recycled fd number.
   const auto retire = [&worker](int fd) {
     {
-      std::lock_guard lock(worker.mutex);
+      util::MutexLock lock(worker.mutex);
       std::erase(worker.live_fds, fd);
     }
     ::close(fd);
@@ -211,7 +214,7 @@ void KvsServer::worker_loop(Worker& worker) {
   while (running_.load()) {
     // Adopt connections the acceptor handed over.
     {
-      std::lock_guard lock(worker.mutex);
+      util::MutexLock lock(worker.mutex);
       for (const int fd : worker.pending_fds) {
         Connection conn;
         conn.fd = fd;
@@ -306,7 +309,7 @@ void KvsServer::worker_loop(Worker& worker) {
   for (const Connection& conn : conns) retire(conn.fd);
   // Connections handed over after the last adoption pass still belong to
   // this worker; close them too.
-  std::lock_guard lock(worker.mutex);
+  util::MutexLock lock(worker.mutex);
   for (const int fd : worker.pending_fds) ::close(fd);
   worker.pending_fds.clear();
 }

@@ -24,13 +24,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "kvs/protocol.h"
 #include "kvs/store.h"
+#include "util/mutex.h"
 
 namespace camp::kvs {
 
@@ -85,9 +85,12 @@ class KvsServer {
     std::thread thread;
     int wake_read_fd = -1;
     int wake_write_fd = -1;
-    std::mutex mutex;
-    std::vector<int> pending_fds;
-    std::vector<int> live_fds;
+    // kServerWorker is the lowest rank in the hierarchy: the worker takes
+    // this lock briefly around fd handoff and never holds it across store
+    // or cluster calls.
+    util::Mutex mutex{util::LockRank::kServerWorker};
+    std::vector<int> pending_fds CAMP_GUARDED_BY(mutex);
+    std::vector<int> live_fds CAMP_GUARDED_BY(mutex);
   };
 
   void accept_loop();

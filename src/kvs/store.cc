@@ -33,11 +33,13 @@ KvsStore::KvsStore(StoreConfig config, const PolicyFactory& policy_factory,
                               per_shard.slab.slab_size_bytes);
   shards_.reserve(config.shards);
   for (std::size_t i = 0; i < config.shards; ++i) {
-    auto shard = std::make_unique<Shard>();
     EngineConfig cfg = per_shard;
     cfg.rng_seed = per_shard.rng_seed + i;
-    shard->engine = std::make_unique<KvsEngine>(cfg, policy_factory, clock);
-    shards_.push_back(std::move(shard));
+    // Construct the engine first and hand it to Shard's constructor so the
+    // write to the guarded `engine` field happens inside Shard's own ctor,
+    // which the thread-safety analysis treats as exclusive.
+    shards_.push_back(std::make_unique<Shard>(
+        std::make_unique<KvsEngine>(cfg, policy_factory, clock)));
   }
 }
 
@@ -47,13 +49,13 @@ KvsStore::Shard& KvsStore::shard_for(std::string_view key) const {
 
 GetResult KvsStore::get(std::string_view key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.engine->get(key);
 }
 
 GetResult KvsStore::iqget(std::string_view key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.engine->iqget(key);
 }
 
@@ -61,32 +63,32 @@ bool KvsStore::set(std::string_view key, std::string_view value,
                    std::uint32_t flags, std::uint32_t cost,
                    std::uint32_t exptime_s) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.engine->set(key, value, flags, cost, exptime_s);
 }
 
 bool KvsStore::iqset(std::string_view key, std::string_view value,
                      std::uint32_t flags, std::uint32_t exptime_s) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.engine->iqset(key, value, flags, exptime_s);
 }
 
 bool KvsStore::del(std::string_view key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.engine->del(key);
 }
 
 bool KvsStore::contains(std::string_view key) const {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.engine->contains(key);
 }
 
 void KvsStore::flush_all() {
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     shard->engine->flush_all();
   }
 }
@@ -96,21 +98,21 @@ void KvsStore::for_each_item(
                              std::uint32_t, std::uint32_t, std::uint32_t,
                              std::uint64_t)>& fn) const {
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     shard->engine->for_each_item(fn);
   }
 }
 
 void KvsStore::set_eviction_hook(const EvictionHook& hook) {
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     shard->engine->set_eviction_hook(hook);
   }
 }
 
 void KvsStore::set_stored_hook(const StoredHook& hook) {
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     shard->engine->set_stored_hook(hook);
   }
 }
@@ -118,7 +120,7 @@ void KvsStore::set_stored_hook(const StoredHook& hook) {
 EngineStats KvsStore::aggregated_stats() const {
   EngineStats agg;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     const EngineStats& s = shard->engine->stats();
     agg.gets += s.gets;
     agg.hits += s.hits;
@@ -136,7 +138,7 @@ EngineStats KvsStore::aggregated_stats() const {
 policy::CacheStats KvsStore::aggregated_policy_stats() const {
   policy::CacheStats agg;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     const policy::CacheStats& s = shard->engine->policy_stats();
     agg.gets += s.gets;
     agg.hits += s.hits;
@@ -149,8 +151,9 @@ policy::CacheStats KvsStore::aggregated_policy_stats() const {
 }
 
 std::string KvsStore::policy_name() const {
-  std::lock_guard lock(shards_.front()->mutex);
-  return shards_.front()->engine->policy_name();
+  Shard& shard = *shards_.front();
+  util::MutexLock lock(shard.mutex);
+  return shard.engine->policy_name();
 }
 
 }  // namespace camp::kvs

@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "kvs/engine.h"
+#include "util/mutex.h"
 
 namespace camp::kvs {
 
@@ -65,8 +65,16 @@ class KvsStore {
 
  private:
   struct Shard {
-    std::unique_ptr<KvsEngine> engine;
-    mutable std::mutex mutex;
+    explicit Shard(std::unique_ptr<KvsEngine> e) : engine(std::move(e)) {}
+
+    // kStoreShard is the OUTERMOST cache-side rank: the engine's eviction
+    // hook fires under this lock and may descend through a policy shard,
+    // the CAMP internals, and finally the cluster's leaf mutex.
+    mutable util::Mutex mutex{util::LockRank::kStoreShard};
+    // Set once in the constructor, never reseated; the serial engine behind
+    // it is only thread-safe under the shard lock.
+    std::unique_ptr<KvsEngine> engine CAMP_GUARDED_BY(mutex)
+        CAMP_PT_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view key) const;
