@@ -19,15 +19,17 @@ ShardedCache::ShardedCache(std::uint64_t capacity_bytes, std::size_t shards,
   const std::uint64_t remainder = capacity_bytes % shards;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    auto shard = std::make_unique<Shard>();
     // Spread the remainder one byte per shard so the split sums to exactly
     // capacity_bytes and no two shards differ by more than one byte.
     const std::uint64_t cap = share + (i < remainder ? 1 : 0);
-    shard->cache = factory(cap);
-    if (!shard->cache) {
+    auto cache = factory(cap);
+    if (!cache) {
       throw std::invalid_argument("ShardedCache: factory returned null");
     }
-    shards_.push_back(std::move(shard));
+    // Handing the cache to Shard's constructor (rather than assigning the
+    // guarded field after construction) keeps the write inside Shard's own
+    // ctor, which the thread-safety analysis correctly treats as exclusive.
+    shards_.push_back(std::make_unique<Shard>(std::move(cache)));
   }
 }
 
@@ -38,39 +40,42 @@ ShardedCache::Shard& ShardedCache::shard_for(policy::Key key) const {
 
 bool ShardedCache::get(policy::Key key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.cache->get(key);
 }
 
 bool ShardedCache::put(policy::Key key, std::uint64_t size,
                        std::uint64_t cost) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.cache->put(key, size, cost);
 }
 
 bool ShardedCache::contains(policy::Key key) const {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.cache->contains(key);
 }
 
 void ShardedCache::erase(policy::Key key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   shard.cache->erase(key);
 }
 
 std::uint64_t ShardedCache::capacity_bytes() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->cache->capacity_bytes();
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mutex);
+    total += shard->cache->capacity_bytes();
+  }
   return total;
 }
 
 std::uint64_t ShardedCache::used_bytes() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     total += shard->cache->used_bytes();
   }
   return total;
@@ -79,7 +84,7 @@ std::uint64_t ShardedCache::used_bytes() const {
 std::size_t ShardedCache::item_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     total += shard->cache->item_count();
   }
   return total;
@@ -88,7 +93,7 @@ std::size_t ShardedCache::item_count() const {
 policy::CacheStats ShardedCache::stats_snapshot() const {
   policy::CacheStats agg;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     const policy::CacheStats& s = shard->cache->stats();
     agg.gets += s.gets;
     agg.hits += s.hits;
@@ -115,18 +120,28 @@ const policy::CacheStats& ShardedCache::stats() const {
 }
 
 std::uint64_t ShardedCache::shard_capacity_bytes(std::size_t index) const {
-  return shards_.at(index)->cache->capacity_bytes();
+  Shard& shard = *shards_.at(index);
+  util::MutexLock lock(shard.mutex);
+  return shard.cache->capacity_bytes();
 }
 
 std::string ShardedCache::name() const {
+  Shard& shard = *shards_.front();
+  util::MutexLock lock(shard.mutex);
   return "sharded(" + std::to_string(shards_.size()) + "x" +
-         shards_.front()->cache->name() + ")";
+         shard.cache->name() + ")";
 }
 
 void ShardedCache::set_eviction_listener(policy::EvictionListener listener) {
   // Each shard forwards to the shared listener. The listener runs under the
   // shard's mutex; it must not call back into the same shard.
+  //
+  // The shard lock here is not just annotation hygiene: installing a
+  // listener while workers are mid-operation used to race on the policy's
+  // unguarded listener field (caught by the thread-safety analysis; see
+  // tests/kvs_sharded_cache_test.cc ListenerInstallDuringTraffic).
   for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mutex);
     shard->cache->set_eviction_listener(listener);
   }
 }

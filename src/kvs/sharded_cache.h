@@ -12,11 +12,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "policy/cache_iface.h"
+#include "util/mutex.h"
 
 namespace camp::kvs {
 
@@ -56,8 +56,17 @@ class ShardedCache final : public policy::ICache {
 
  private:
   struct Shard {
-    std::unique_ptr<policy::ICache> cache;
-    mutable std::mutex mutex;
+    explicit Shard(std::unique_ptr<policy::ICache> c) : cache(std::move(c)) {}
+
+    // kPolicyShard allows equal-rank self-nesting (util/lock_rank.h):
+    // nested ShardedCaches are real — policy_shards wraps a sharded inner
+    // factory — and the outer shard lock is held across inner-shard calls.
+    mutable util::Mutex mutex{util::LockRank::kPolicyShard};
+    // The pointer itself is set once in the constructor and never reseated,
+    // but the pointee (a serial policy instance) is only thread-safe under
+    // the shard lock, so both levels are annotated.
+    std::unique_ptr<policy::ICache> cache CAMP_GUARDED_BY(mutex)
+        CAMP_PT_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] Shard& shard_for(policy::Key key) const;

