@@ -33,12 +33,17 @@ void ClusterConfig::validate() const {
   }
 }
 
-CoopCluster::CoopCluster(ClusterConfig config)
-    : config_(config), ring_(config.virtual_nodes) {
-  config_.validate();
-  guard_capacity_ =
-      config_.preserve_last_replica ? config_.guard_capacity_bytes : 0;
+ClusterConfig CoopCluster::validated(ClusterConfig config) {
+  config.validate();
+  return config;
 }
+
+CoopCluster::CoopCluster(ClusterConfig config)
+    : config_(validated(config)),
+      guard_capacity_(config_.preserve_last_replica
+                          ? config_.guard_capacity_bytes
+                          : 0),
+      ring_(config_.virtual_nodes) {}
 
 CoopCluster::~CoopCluster() {
   for (auto& [id, node] : nodes_) {
@@ -50,7 +55,7 @@ CoopCluster::~CoopCluster() {
 CoopCluster::NodeId CoopCluster::join(KvsStore& store) {
   NodeId id;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     id = next_node_id_++;
     nodes_.emplace(id, Node{&store, {}, 0});
     ring_.add_node(id);
@@ -70,7 +75,7 @@ CoopCluster::NodeId CoopCluster::join(KvsStore& store) {
   store.for_each_item([this, id](std::string_view key, std::string_view,
                                  std::uint32_t, std::uint32_t, std::uint32_t,
                                  std::uint64_t) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     directory_.add(std::string(key), id);
   });
   return id;
@@ -78,7 +83,7 @@ CoopCluster::NodeId CoopCluster::join(KvsStore& store) {
 
 void CoopCluster::set_node_endpoint(NodeId id, std::string host,
                                     std::uint16_t port) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = nodes_.find(id);
   if (it == nodes_.end()) {
     throw std::invalid_argument("CoopCluster: unknown node id " +
@@ -91,7 +96,7 @@ void CoopCluster::set_node_endpoint(NodeId id, std::string host,
 void CoopCluster::leave(NodeId id) {
   KvsStore* store = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(id);
     if (it == nodes_.end()) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
@@ -129,7 +134,7 @@ void CoopCluster::leave(NodeId id) {
   std::sort(residents.begin(), residents.end(),
             [](const Resident& a, const Resident& b) { return a.key < b.key; });
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (Resident& r : residents) {
       // remove() returns true exactly when this dropped the LAST replica:
       // those pairs must land in the guard, not vanish.
@@ -146,7 +151,7 @@ void CoopCluster::leave(NodeId id) {
     nodes_.erase(id);
   }
   {
-    std::lock_guard lock(links_mutex_);
+    util::MutexLock lock(links_mutex_);
     links_.erase(id);
   }
   store->flush_all();
@@ -157,7 +162,7 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
   KvsStore* local = nullptr;
   bool cold = false;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(self);
     if (it == nodes_.end()) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
@@ -172,7 +177,7 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
   // 1. home-node lookup.
   GetResult result = iq ? local->iqget(key) : local->get(key);
   if (result.hit) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++counters_.local_hits;
     return result;
   }
@@ -181,7 +186,7 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
   for (;;) {
     std::optional<NodeId> holder;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       holder = directory_.any_holder(key_str, self);
     }
     if (!holder) break;
@@ -189,13 +194,13 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
     if (!fetched.hit) {
       // The holder no longer has the pair (expiry, concurrent removal, a
       // node that died): forget the stale entry and try the next holder.
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       directory_.remove(key_str, *holder);
       ++counters_.stale_directory_drops;
       continue;
     }
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       ++counters_.remote_hits;
       counters_.transfer_bytes += fetched.value.size();
     }
@@ -207,7 +212,7 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
       // registers the new replica in the directory.
       if (local->set(key, fetched.value, fetched.flags, fetched.cost,
                      fetched.remaining_ttl_s)) {
-        std::lock_guard lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++counters_.promotions;
       }
     }
@@ -217,7 +222,7 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
   // 3. last-replica guard.
   if (auto parked = guard_take(key_str)) {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       ++counters_.guard_hits;
     }
     GetResult out;
@@ -235,7 +240,7 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
 
   // 4. true miss: the client recomputes and refills via set().
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (cold) {
       ++counters_.cold_misses;
     } else {
@@ -251,7 +256,7 @@ bool CoopCluster::set(NodeId self, std::string_view key,
   KvsStore* local = nullptr;
   std::vector<NodeId> targets;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(self);
     if (it == nodes_.end()) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
@@ -279,7 +284,7 @@ bool CoopCluster::iqset(NodeId self, std::string_view key,
   KvsStore* local = nullptr;
   std::vector<NodeId> targets;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(self);
     if (it == nodes_.end()) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
@@ -324,7 +329,7 @@ bool CoopCluster::fan_out_write(NodeId self, KvsStore* local,
     if (i == 0) {
       home_ok = ok;
     } else {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (ok) {
         ++counters_.replica_writes;
       } else {
@@ -341,7 +346,7 @@ bool CoopCluster::del(NodeId self, std::string_view key) {
   std::vector<NodeId> holders;
   KvsStore* local = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(self);
     if (it == nodes_.end()) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
@@ -364,7 +369,7 @@ bool CoopCluster::del(NodeId self, std::string_view key) {
     } else {
       deleted = peer_delete(holder, key) || deleted;
     }
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     directory_.remove(key_str, holder);
   }
   // Defensive: drop an untracked local residue (should not happen while
@@ -376,7 +381,7 @@ bool CoopCluster::del(NodeId self, std::string_view key) {
 void CoopCluster::flush_node(NodeId id) {
   KvsStore* store = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(id);
     if (it == nodes_.end()) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
@@ -401,23 +406,23 @@ void CoopCluster::flush_node(NodeId id) {
 }
 
 CoopCluster::NodeId CoopCluster::home_node(std::string_view key) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ring_.node_for(cluster_route_key(key));
 }
 
 std::vector<CoopCluster::NodeId> CoopCluster::replica_nodes(
     std::string_view key) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ring_.nodes_for(cluster_route_key(key), config_.replication);
 }
 
 std::size_t CoopCluster::node_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return nodes_.size();
 }
 
 std::vector<CoopCluster::NodeId> CoopCluster::node_ids() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
   for (const auto& [id, node] : nodes_) out.push_back(id);
@@ -425,27 +430,27 @@ std::vector<CoopCluster::NodeId> CoopCluster::node_ids() const {
 }
 
 ClusterCounters CoopCluster::counters() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return counters_;
 }
 
 std::size_t CoopCluster::guard_item_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return guard_index_.size();
 }
 
 std::uint64_t CoopCluster::guard_used_bytes() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return guard_used_;
 }
 
 bool CoopCluster::guard_contains(std::string_view key) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return guard_index_.contains(std::string(key));
 }
 
 std::size_t CoopCluster::directory_replica_count(std::string_view key) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return directory_.replica_count(std::string(key));
 }
 
@@ -463,7 +468,7 @@ bool CoopCluster::check_invariants() const {
   std::uint64_t guard_used = 0;
   std::uint64_t guard_capacity = 0;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     directory = directory_.snapshot();
     for (const auto& [id, node] : nodes_) stores[id] = node.store;
     tracked_total = directory_.total_replicas();
@@ -514,7 +519,7 @@ bool CoopCluster::check_invariants() const {
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<CoopCluster::PeerLink> CoopCluster::link_for(NodeId id) {
-  std::lock_guard lock(links_mutex_);
+  util::MutexLock lock(links_mutex_);
   auto& link = links_[id];
   if (!link) link = std::make_shared<PeerLink>();
   return link;
@@ -525,7 +530,7 @@ GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
   std::string host;
   std::uint16_t port = 0;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(holder);
     if (it == nodes_.end()) return {};  // node left concurrently
     store = it->second.store;
@@ -538,7 +543,7 @@ GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
     return store->get(key);
   }
   const std::shared_ptr<PeerLink> link = link_for(holder);
-  std::lock_guard io(link->mutex);
+  util::MutexLock io(link->mutex);
   try {
     if (!link->client) {
       link->client = std::make_unique<KvsClient>(host, port);
@@ -561,7 +566,7 @@ bool CoopCluster::replica_write(NodeId target, std::string_view key,
   std::string host;
   std::uint16_t port = 0;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(target);
     if (it == nodes_.end()) return false;  // node left concurrently
     store = it->second.store;
@@ -574,7 +579,7 @@ bool CoopCluster::replica_write(NodeId target, std::string_view key,
     return store->set(key, value, flags, cost, exptime_s);
   }
   const std::shared_ptr<PeerLink> link = link_for(target);
-  std::lock_guard io(link->mutex);
+  util::MutexLock io(link->mutex);
   try {
     if (!link->client) {
       link->client = std::make_unique<KvsClient>(host, port);
@@ -593,7 +598,7 @@ bool CoopCluster::peer_delete(NodeId holder, std::string_view key) {
   std::string host;
   std::uint16_t port = 0;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = nodes_.find(holder);
     if (it == nodes_.end()) return false;
     store = it->second.store;
@@ -602,7 +607,7 @@ bool CoopCluster::peer_delete(NodeId holder, std::string_view key) {
   }
   if (port == 0) return store->del(key);
   const std::shared_ptr<PeerLink> link = link_for(holder);
-  std::lock_guard io(link->mutex);
+  util::MutexLock io(link->mutex);
   try {
     if (!link->client) {
       link->client = std::make_unique<KvsClient>(host, port);
@@ -619,7 +624,7 @@ bool CoopCluster::peer_delete(NodeId holder, std::string_view key) {
 // ---------------------------------------------------------------------------
 
 void CoopCluster::on_node_eviction(NodeId id, const EvictedItem& item) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string key(item.key);
   // remove() returns true exactly when this dropped the LAST replica.
   if (directory_.remove(key, id) && config_.preserve_last_replica) {
@@ -629,7 +634,7 @@ void CoopCluster::on_node_eviction(NodeId id, const EvictedItem& item) {
 }
 
 void CoopCluster::on_node_stored(NodeId id, std::string_view key) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::string key_str(key);
   directory_.add(key_str, id);
   // A fresh write supersedes any parked last replica.
@@ -672,7 +677,7 @@ void CoopCluster::guard_park_locked(std::string key, std::string value,
 
 std::optional<CoopCluster::GuardEntry> CoopCluster::guard_take(
     const std::string& key) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = guard_index_.find(key);
   if (it == guard_index_.end()) return std::nullopt;
   const auto list_it = it->second;

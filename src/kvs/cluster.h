@@ -45,7 +45,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -57,6 +56,7 @@
 #include "coop/hash_ring.h"
 #include "kvs/api.h"
 #include "kvs/store.h"
+#include "util/mutex.h"
 
 namespace camp::kvs {
 
@@ -280,9 +280,14 @@ class CoopCluster {
   };
 
   /// One lazily-connected peer connection; `mutex` serializes its users.
+  /// Held across the synchronous wire round-trip, which is why it ranks
+  /// BELOW the cluster leaf mutex (a peer fetch must never be able to stall
+  /// the metadata lock) and why link_for never holds links_mutex_ while
+  /// taking it.
   struct PeerLink {
-    std::mutex mutex;
-    std::unique_ptr<KvsClient> client;
+    util::Mutex mutex{util::LockRank::kClusterPeerLink};
+    std::unique_ptr<KvsClient> client CAMP_GUARDED_BY(mutex)
+        CAMP_PT_GUARDED_BY(mutex);
   };
 
   void on_node_eviction(NodeId id, const EvictedItem& item);
@@ -307,30 +312,45 @@ class CoopCluster {
   void guard_park_locked(std::string key, std::string value,
                          std::uint32_t flags, std::uint32_t cost,
                          std::uint64_t charged_bytes,
-                         std::uint32_t remaining_ttl_s);
-  void guard_expire_front_locked();
-  void guard_drop_locked(std::list<GuardEntry>::iterator it);
+                         std::uint32_t remaining_ttl_s) CAMP_REQUIRES(mutex_);
+  void guard_expire_front_locked() CAMP_REQUIRES(mutex_);
+  void guard_drop_locked(std::list<GuardEntry>::iterator it)
+      CAMP_REQUIRES(mutex_);
   /// Remove and return the parked entry for `key` if its lease is alive.
-  [[nodiscard]] std::optional<GuardEntry> guard_take(const std::string& key);
+  [[nodiscard]] std::optional<GuardEntry> guard_take(const std::string& key)
+      CAMP_EXCLUDES(mutex_);
 
-  ClusterConfig config_;
-  std::uint64_t guard_capacity_ = 0;  // 0 when the guard is disabled
+  /// Validates `config` (so the ctor can initialize the const members from
+  /// an already-checked copy) and returns it.
+  [[nodiscard]] static ClusterConfig validated(ClusterConfig config);
 
-  mutable std::mutex mutex_;  // leaf lock; see file comment
-  coop::HashRing ring_;
-  std::map<NodeId, Node> nodes_;
-  coop::StringReplicaDirectory directory_;
-  ClusterCounters counters_;
-  std::unordered_set<std::string> seen_;  // cold-miss split
+  const ClusterConfig config_;
+  const std::uint64_t guard_capacity_;  // 0 when the guard is disabled
 
-  std::list<GuardEntry> guard_fifo_;  // deadlines are monotone: front first
+  // Leaf lock (see file comment): guards the shared metadata and is never
+  // held across a store or peer-transport call. kClusterLeaf is the highest
+  // rank in the hierarchy because the engines' eviction hooks take it while
+  // holding a store shard lock (and, through a sharded CAMP policy, the
+  // whole CAMP-internal chain).
+  mutable util::Mutex mutex_{util::LockRank::kClusterLeaf};
+  coop::HashRing ring_ CAMP_GUARDED_BY(mutex_);
+  std::map<NodeId, Node> nodes_ CAMP_GUARDED_BY(mutex_);
+  coop::StringReplicaDirectory directory_ CAMP_GUARDED_BY(mutex_);
+  ClusterCounters counters_ CAMP_GUARDED_BY(mutex_);
+  std::unordered_set<std::string> seen_ CAMP_GUARDED_BY(mutex_);  // cold-miss
+
+  // Guard FIFO (deadlines are monotone: front expires first).
+  std::list<GuardEntry> guard_fifo_ CAMP_GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::list<GuardEntry>::iterator>
-      guard_index_;
-  std::uint64_t guard_used_ = 0;
-  NodeId next_node_id_ = 0;
+      guard_index_ CAMP_GUARDED_BY(mutex_);
+  std::uint64_t guard_used_ CAMP_GUARDED_BY(mutex_) = 0;
+  NodeId next_node_id_ CAMP_GUARDED_BY(mutex_) = 0;
 
-  mutable std::mutex links_mutex_;  // guards the map, not the links
-  std::map<NodeId, std::shared_ptr<PeerLink>> links_;
+  // Guards the link MAP, not the links; ranks below the per-link mutex so
+  // a thread may look a link up and then lock it, never the reverse.
+  mutable util::Mutex links_mutex_{util::LockRank::kClusterLinks};
+  std::map<NodeId, std::shared_ptr<PeerLink>> links_
+      CAMP_GUARDED_BY(links_mutex_);
 };
 
 /// In-process transport for one cluster node: a KvsApi whose ops run the

@@ -82,6 +82,15 @@ class ClusterClient final : public KvsApi {
   static void check_alignment(ClusterNodeId primary, std::size_t got,
                               std::size_t want);
 
+  // Deliberately mutex-free: ring_/nodes_/parallel_/replication_ are
+  // const-after-setup (add_node/remove_node run before traffic, from the
+  // owning thread), and in parallel mode the per-node worker threads touch
+  // DISJOINT SubBatch slots plus their own transports, joining before
+  // execute() returns — the join is the only publication point. The one
+  // cell written from inside the fan-out is the failover counter, which is
+  // atomic for exactly that reason. If add/remove-node-under-traffic ever
+  // becomes a requirement, nodes_ needs a util::SharedMutex ranked below
+  // kClusterPeerLink.
   coop::HashRing ring_;
   std::map<ClusterNodeId, KvsApi*> nodes_;
   bool parallel_;
