@@ -1,0 +1,163 @@
+// The runtime half of the lock-discipline story (util/lock_rank.h): debug
+// builds rank-check every util::Mutex/SharedMutex acquisition on a
+// per-thread stack and abort on the first hierarchy violation; release
+// builds compile the checker out entirely. Both branches are tested — this
+// file compiles to the matching half under either build type.
+#include "util/lock_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace camp::util {
+namespace {
+
+#if !defined(NDEBUG)
+
+// ---------------------------------------------------------------------------
+// Debug: the checker is live.
+// ---------------------------------------------------------------------------
+
+TEST(LockRankTest, AscendingChainPasses) {
+  // The canonical deepest chain in the repository: a store shard's eviction
+  // hook descending through a sharded CAMP policy into the cluster's leaf
+  // mutex (see util/lock_rank.h for the hierarchy).
+  Mutex worker(LockRank::kServerWorker);
+  Mutex store_shard(LockRank::kStoreShard);
+  Mutex policy_shard(LockRank::kPolicyShard);
+  SharedMutex structure(LockRank::kCampStructure);
+  Mutex stripe(LockRank::kCampIndexStripe);
+  Mutex queue(LockRank::kCampQueue);
+  Mutex heap(LockRank::kCampHeap);
+  Mutex listener(LockRank::kCampListener);
+  Mutex leaf(LockRank::kClusterLeaf);
+
+  MutexLock l0(worker);
+  MutexLock l1(store_shard);
+  MutexLock l2(policy_shard);
+  WriterLock l3(structure);
+  MutexLock l4(stripe);
+  MutexLock l5(queue);
+  MutexLock l6(heap);
+  MutexLock l7(listener);
+  MutexLock l8(leaf);
+  EXPECT_EQ(lock_rank::held_count(), 9u);
+}
+
+TEST(LockRankTest, SharedModeRanksLikeExclusive) {
+  SharedMutex structure(LockRank::kCampStructure);
+  Mutex queue(LockRank::kCampQueue);
+  ReaderLock shared(structure);
+  MutexLock inner(queue);  // shared holds constrain nesting the same way
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+}
+
+TEST(LockRankTest, PolicyShardMaySelfNest) {
+  // Nested ShardedCaches are real: policy_shards wraps a sharded inner
+  // factory, and the outer shard lock is held across inner-shard calls.
+  Mutex outer(LockRank::kPolicyShard);
+  Mutex inner(LockRank::kPolicyShard);
+  MutexLock l1(outer);
+  MutexLock l2(inner);
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+}
+
+TEST(LockRankTest, OutOfOrderReleaseIsTolerated) {
+  // Releasing an outer lock before an inner one is legal (only acquisition
+  // order is constrained); the stack search handles it.
+  Mutex shard(LockRank::kStoreShard);
+  Mutex leaf(LockRank::kClusterLeaf);
+  shard.lock();
+  leaf.lock();
+  shard.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 1u);
+  leaf.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST(LockRankTest, RanksArePerThread) {
+  Mutex leaf(LockRank::kClusterLeaf);
+  MutexLock hold(leaf);
+  // Another thread starts with an empty stack: holding the highest rank
+  // here must not constrain it.
+  std::thread t([] {
+    Mutex shard(LockRank::kStoreShard);
+    MutexLock lock(shard);
+    EXPECT_EQ(lock_rank::held_count(), 1u);
+  });
+  t.join();
+  EXPECT_EQ(lock_rank::held_count(), 1u);
+}
+
+TEST(LockRankDeathTest, InversionDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex leaf(LockRank::kClusterLeaf);
+  Mutex shard(LockRank::kStoreShard);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(leaf);
+        MutexLock inner(shard);  // cluster leaf -> store shard: inverted
+      },
+      "rank inversion");
+}
+
+TEST(LockRankDeathTest, EqualRankDiesWithoutSelfNestingAllowance) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex a(LockRank::kStoreShard);
+  Mutex b(LockRank::kStoreShard);
+  EXPECT_DEATH(
+      {
+        MutexLock l1(a);
+        MutexLock l2(b);  // two store shards at once: deadlock-prone
+      },
+      "rank inversion");
+}
+
+TEST(LockRankDeathTest, SharedAcquisitionChecksToo) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex leaf(LockRank::kClusterLeaf);
+  SharedMutex structure(LockRank::kCampStructure);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(leaf);
+        ReaderLock inner(structure);  // shared mode is no escape hatch
+      },
+      "rank inversion");
+}
+
+TEST(LockRankDeathTest, ReleasingUnheldRankDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(lock_rank::released(LockRank::kCampHeap), "not held");
+}
+
+#else  // defined(NDEBUG)
+
+// ---------------------------------------------------------------------------
+// Release: the checker is compiled out to zero cost.
+// ---------------------------------------------------------------------------
+
+TEST(LockRankTest, CheckerCompiledOutInRelease) {
+  // The wrappers carry no rank bookkeeping: layout-identical to the std
+  // types they wrap.
+  static_assert(sizeof(Mutex) == sizeof(std::mutex));
+  static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex));
+
+  // An inversion that would abort a debug build runs silently.
+  Mutex leaf(LockRank::kClusterLeaf);
+  Mutex shard(LockRank::kStoreShard);
+  {
+    MutexLock outer(leaf);
+    MutexLock inner(shard);
+    EXPECT_EQ(lock_rank::held_count(), 0u);  // no-op stub
+  }
+  SUCCEED();
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace camp::util
