@@ -1,5 +1,6 @@
 #include "coop/group.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -41,6 +42,9 @@ CoopGroup::CoopGroup(CoopConfig config)
                 std::llround(config_.guard_fraction *
                              static_cast<double>(config_.node_capacity_bytes)))
           : 0;
+  hints_.set_budget(config_.repair.hinted_handoff
+                        ? config_.repair.hint_budget_bytes
+                        : 0);
   nodes_.reserve(config_.nodes);
   for (std::uint32_t i = 0; i < config_.nodes; ++i) add_node();
 }
@@ -107,6 +111,209 @@ void CoopGroup::remove_node(NodeId id) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Churn & anti-entropy (mirrors kvs::CoopCluster — same planners, same
+// schedule, so the equivalence test can pin the repair counters exactly)
+// ---------------------------------------------------------------------------
+
+void CoopGroup::kill_node(NodeId id) {
+  Node& victim = node(id);  // throws on unknown id
+  if (down_.contains(id)) return;
+  down_.insert(id);
+  // Crash semantics: detach the listener FIRST so the wipe parks nothing
+  // in the guard (a crash loses data), then forget the node's directory
+  // entries. It stays on the ring — key homes do not move.
+  victim.cache->set_eviction_listener(nullptr);
+  while (victim.cache->evict_one()) {
+  }
+  directory_.remove_node(id);
+}
+
+void CoopGroup::heal_node(NodeId id) {
+  Node& patient = node(id);  // throws on unknown id
+  if (!down_.contains(id)) return;
+  down_.erase(id);
+  patient.cache->set_eviction_listener([this, id](Key key,
+                                                  std::uint64_t size) {
+    on_evicted(id, key, size);
+  });
+  // Drain the hint backlog oldest-first. A hint is only a (target, key)
+  // pointer: the value is re-fetched from a surviving live holder (a real
+  // cache touch, mirroring the cluster's peer fetch), so stale bytes can
+  // never be resurrected.
+  for (const Key key : hints_.drain(id)) {
+    if (directory_.holds(key, id)) {
+      ++metrics_.repair.hints_obsolete;  // e.g. a sweep got there first
+      continue;
+    }
+    std::optional<NodeId> source;
+    for (const NodeId holder : directory_.holders_of(key)) {
+      if (!down_.contains(holder)) {
+        source = holder;
+        break;
+      }
+    }
+    if (!source) {
+      ++metrics_.repair.hints_obsolete;  // key left the group meanwhile
+      continue;
+    }
+    if (!node(*source).cache->get(key)) {
+      ++metrics_.repair.hints_obsolete;  // holder lost it before the fetch
+      continue;
+    }
+    const auto it = meta_.find(key);
+    assert(it != meta_.end() && "hinted key with no recorded metadata");
+    if (it != meta_.end() &&
+        install(id, key, it->second.first, it->second.second)) {
+      ++metrics_.repair.hints_replayed;
+    } else {
+      ++metrics_.repair.hints_obsolete;  // the rejoined cache rejected it
+    }
+  }
+}
+
+std::size_t CoopGroup::repair_tick(std::size_t max_keys) {
+  ++metrics_.repair.sweep_ticks;
+  const std::size_t live_count = nodes_.size() - down_.size();
+  const std::size_t want =
+      std::min<std::size_t>(config_.replication, live_count);
+
+  // Phase 1 — plan from a directory snapshot in sorted-key order (the
+  // cluster sorts by (route, key); its route of a sim-driven key IS the
+  // key, so the orders agree). All jobs are planned before any transfer
+  // runs, exactly like the cluster's single planning pass under its lock:
+  // an install's evictions during phase 2 must not re-plan later keys.
+  struct Candidate {
+    Key key = 0;
+    std::vector<NodeId> holders;
+  };
+  std::vector<Candidate> candidates;
+  if (want > 1) {
+    for (auto& [key, holders] : directory_.snapshot()) {
+      std::size_t live_copies = 0;
+      for (const NodeId h : holders) {
+        if (!down_.contains(h)) ++live_copies;
+      }
+      if (live_copies >= want) continue;
+      candidates.push_back({key, std::move(holders)});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.key < b.key;
+              });
+  }
+
+  std::size_t begin = 0;
+  std::size_t end = candidates.size();
+  if (max_keys > 0) {
+    if (sweep_cursor_) {
+      while (begin < candidates.size() &&
+             !(*sweep_cursor_ < candidates[begin].key)) {
+        ++begin;
+      }
+      if (begin >= candidates.size()) begin = 0;  // wrap to the front
+    }
+    end = std::min(candidates.size(), begin + max_keys);
+    if (end == candidates.size()) {
+      sweep_cursor_.reset();
+    } else {
+      sweep_cursor_ = candidates[end - 1].key;
+    }
+  } else {
+    sweep_cursor_.reset();
+  }
+
+  struct Job {
+    Key key = 0;
+    NodeId source = 0;
+    std::vector<NodeId> targets;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t i = begin; i < end; ++i) {
+    Candidate& c = candidates[i];
+    ++metrics_.repair.sweep_keys_scanned;
+    std::optional<NodeId> source;
+    std::size_t live_copies = 0;
+    for (const NodeId h : c.holders) {
+      if (down_.contains(h)) continue;
+      ++live_copies;
+      if (!source) source = h;  // first live holder, insertion order
+    }
+    if (!source) {
+      ++metrics_.repair.sweep_failures;  // nobody live holds it
+      continue;
+    }
+    const auto ring_order = ring_.nodes_for(c.key, nodes_.size());
+    std::vector<NodeId> targets = kvs::plan_key_repair_targets(
+        ring_order, want, live_copies,
+        [this](NodeId id) { return !down_.contains(id); },
+        [&c](NodeId id) {
+          return std::find(c.holders.begin(), c.holders.end(), id) !=
+                 c.holders.end();
+        });
+    if (targets.empty()) continue;
+    jobs.push_back(Job{c.key, *source, std::move(targets)});
+  }
+
+  // Phase 2 — transfers: one touch at the source per key (the cluster's
+  // peer fetch), one install per missing copy.
+  std::size_t recopies = 0;
+  for (const Job& job : jobs) {
+    if (!node(job.source).cache->get(job.key)) {
+      ++metrics_.repair.sweep_failures;  // source lost it since the plan
+      continue;
+    }
+    const auto it = meta_.find(job.key);
+    assert(it != meta_.end() && "swept key with no recorded metadata");
+    if (it == meta_.end()) {
+      ++metrics_.repair.sweep_failures;
+      continue;
+    }
+    for (const NodeId target : job.targets) {
+      if (install(target, job.key, it->second.first, it->second.second)) {
+        ++metrics_.repair.sweep_recopies;
+        ++recopies;
+      } else {
+        ++metrics_.repair.sweep_failures;
+      }
+    }
+  }
+  return recopies;
+}
+
+CoopGroup::NodeId CoopGroup::route_node(Key key) const {
+  const NodeId home = ring_.node_for(key);
+  if (unroutable_.empty() || !unroutable_.contains(home)) return home;
+  if (config_.replication > 1) {
+    for (const NodeId id : ring_.nodes_for(key, config_.replication)) {
+      if (!unroutable_.contains(id)) return id;
+    }
+  }
+  throw std::runtime_error("CoopGroup: no routable replica for key " +
+                           std::to_string(key));
+}
+
+bool CoopGroup::node_live(NodeId id) const {
+  (void)node(id);  // throws on unknown id
+  return !down_.contains(id);
+}
+
+std::vector<CoopGroup::Key> CoopGroup::under_replicated_keys() const {
+  const std::size_t live_count = nodes_.size() - down_.size();
+  const std::size_t want =
+      std::min<std::size_t>(config_.replication, live_count);
+  std::vector<Key> keys;
+  for (const auto& [key, holders] : directory_.snapshot()) {
+    std::size_t live_copies = 0;
+    for (const NodeId h : holders) {
+      if (!down_.contains(h)) ++live_copies;
+    }
+    if (live_copies < want) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 CoopGroup::NodeId CoopGroup::home_node(Key key) const {
   return ring_.node_for(key);
 }
@@ -121,12 +328,14 @@ std::uint64_t CoopGroup::node_used_bytes(NodeId id) const {
   return node(id).cache->used_bytes();
 }
 
-void CoopGroup::install(NodeId id, Key key, std::uint64_t size,
+bool CoopGroup::install(NodeId id, Key key, std::uint64_t size,
                         std::uint64_t cost) {
   Node& n = node(id);
-  if (n.cache->put(key, size, cost) && !directory_.holds(key, id)) {
+  const bool stored = n.cache->put(key, size, cost);
+  if (stored && !directory_.holds(key, id)) {
     directory_.add(key, id);
   }
+  return stored;
 }
 
 void CoopGroup::install_replicas(Key key, std::uint64_t size,
@@ -135,7 +344,21 @@ void CoopGroup::install_replicas(Key key, std::uint64_t size,
     install(ring_.node_for(key), key, size, cost);
     return;
   }
-  for (const NodeId id : ring_.nodes_for(key, config_.replication)) {
+  // Sloppy quorum, shared planner with CoopCluster::plan_write_targets:
+  // the first min(R, live) LIVE nodes in full ring order (identical to the
+  // strict preference list while everything is live), hinting each down
+  // node displaced from the preference prefix.
+  const auto ring_order = ring_.nodes_for(key, nodes_.size());
+  const kvs::SloppyWritePlan plan = kvs::plan_sloppy_write(
+      ring_order, config_.replication,
+      [this](NodeId id) { return !down_.contains(id); });
+  if (config_.repair.hinted_handoff) {
+    for (const NodeId dead : plan.hinted) {
+      hints_.push(dead, key, kvs::kHintOverheadBytes + sizeof(Key),
+                  metrics_.repair);
+    }
+  }
+  for (const NodeId id : plan.targets) {
     install(id, key, size, cost);
   }
 }
@@ -151,34 +374,53 @@ void CoopGroup::on_evicted(NodeId id, Key key, std::uint64_t size) {
 }
 
 bool CoopGroup::request(Key key, std::uint64_t size, std::uint64_t cost) {
+  // The serving node is the home unless the client cannot reach it (see
+  // route_node): with every node routable this is exactly the legacy
+  // home-node flow. Routing failures throw BEFORE any metric moves, the
+  // way the cluster client fails before any node sees the request.
+  const NodeId serving = route_node(key);
+  if (down_.contains(serving)) {
+    throw std::runtime_error("CoopGroup: node " + std::to_string(serving) +
+                             " is down");
+  }
+
   ++metrics_.requests;
   meta_[key] = {size, cost};
   const bool cold = seen_.insert(key).second;
   if (!cold) metrics_.noncold_cost += cost;
   guard_expire_front();
 
-  const NodeId home = ring_.node_for(key);
-  if (node(home).cache->get(key)) {
+  if (node(serving).cache->get(key)) {
     ++metrics_.local_hits;
+    // Read repair: a hit served away from a live home the directory says
+    // is missing the pair re-registers it there — the cluster's
+    // CoopCluster::get does the same with a replica write.
+    if (config_.repair.read_repair && config_.replication > 1) {
+      const NodeId home = ring_.node_for(key);
+      if (home != serving && !down_.contains(home) &&
+          !directory_.holds(key, home) && install(home, key, size, cost)) {
+        ++metrics_.repair.read_repairs;
+      }
+    }
     return true;
   }
 
-  if (const auto holder = directory_.any_holder(key, home)) {
+  if (const auto holder = directory_.any_holder(key, serving)) {
     // Peer fetch: touch the replica at its holder (policy side effects
     // apply there) and pay the transfer cost instead of a recompute.
     node(*holder).cache->get(key);
     ++metrics_.remote_hits;
     metrics_.transfer_cost += config_.remote_transfer_cost;
-    if (config_.promote_on_remote_hit) install(home, key, size, cost);
+    if (config_.promote_on_remote_hit) install(serving, key, size, cost);
     return true;
   }
 
   if (auto parked = guard_take(key)) {
-    // The last replica was preserved: reinstate it at the home node. No
+    // The last replica was preserved: reinstate it at the serving node. No
     // recompute and no network transfer is charged — the bytes never left
     // the group.
     ++metrics_.guard_hits;
-    install(home, key, parked->size, parked->cost);
+    install(serving, key, parked->size, parked->cost);
     return true;
   }
 

@@ -41,6 +41,11 @@
 
 #include "coop/directory.h"
 #include "coop/hash_ring.h"
+// Shared anti-entropy primitives (hint queue, sloppy-write and key-repair
+// planners, RepairConfig/RepairCounters). The header is std-only, so this
+// does not couple the simulation substrate to the networked KVS — it is
+// exactly how the two substrates are guaranteed to plan repairs identically.
+#include "kvs/repair.h"
 #include "policy/cache_iface.h"
 
 namespace camp::coop {
@@ -73,6 +78,12 @@ struct CoopConfig {
   /// Copy a remotely-hit pair to the home node (read-through replication).
   bool promote_on_remote_hit = true;
 
+  /// Anti-entropy knobs, mirroring kvs::ClusterConfig::repair: read repair
+  /// at the serving node, hinted handoff for writes planned around down
+  /// nodes, and the hint byte budget (charged kHintOverheadBytes +
+  /// sizeof(Key) per hint in this substrate).
+  kvs::RepairConfig repair;
+
   void validate() const;  // throws std::invalid_argument on nonsense
 };
 
@@ -91,6 +102,10 @@ struct CoopMetrics {
   std::uint64_t guard_parked = 0;   // last replicas parked in the guard
   std::uint64_t guard_expired = 0;  // parked pairs whose lease lapsed
   std::uint64_t guard_squeezed = 0;  // parked pairs evicted by guard pressure
+
+  /// Anti-entropy ledger; the cluster equivalence test pins this
+  /// field-by-field against kvs::ClusterCounters::repair.
+  kvs::RepairCounters repair;
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t noncold = requests - cold_misses;
@@ -135,6 +150,42 @@ class CoopGroup {
   /// Throws std::invalid_argument for an unknown id or the final node.
   void remove_node(NodeId id);
 
+  // -- churn & anti-entropy (mirrors kvs::CoopCluster) ----------------------
+
+  /// Crash the node: its replicas vanish (NO guard parks — a crash loses
+  /// data) and it stops taking reads, installs, fetches and repair copies.
+  /// It stays on the ring, so key homes do not move. No-op if already down.
+  void kill_node(NodeId id);
+  /// Rejoin a killed node and drain its hint backlog (oldest first): each
+  /// hint re-installs the key from a surviving live holder
+  /// (hints_replayed) or is retired as obsolete. No-op if already live.
+  void heal_node(NodeId id);
+  /// One anti-entropy sweep pass over the directory in sorted-key order;
+  /// see kvs::CoopCluster::repair_tick for the exact schedule (this is its
+  /// deterministic twin, built on the same planning helpers). Returns the
+  /// number of re-copies made this tick.
+  std::size_t repair_tick(std::size_t max_keys = 0);
+
+  /// The CLIENT's view of reachability, mirroring a dead/revived transport
+  /// in kvs::ClusterClient: an unroutable node is skipped by request
+  /// routing (reads fail over to the next ring replica) independently of
+  /// whether the node itself is up. kill/heal and route_down/route_up are
+  /// deliberately separate switches — healing a server before the client
+  /// notices is exactly the stale window where read repair fires.
+  void route_down(NodeId id) { unroutable_.insert(id); }
+  void route_up(NodeId id) { unroutable_.erase(id); }
+
+  [[nodiscard]] bool node_live(NodeId id) const;
+  /// Keys whose LIVE holder count is below min(replication, live nodes),
+  /// sorted. Empty exactly when the sweep has converged.
+  [[nodiscard]] std::vector<Key> under_replicated_keys() const;
+  [[nodiscard]] std::size_t hint_count() const noexcept {
+    return hints_.size();
+  }
+  [[nodiscard]] std::uint64_t hint_used_bytes() const noexcept {
+    return hints_.used_bytes();
+  }
+
   [[nodiscard]] NodeId home_node(Key key) const;
   [[nodiscard]] std::size_t node_count() const noexcept;
   [[nodiscard]] const CoopMetrics& metrics() const noexcept {
@@ -178,8 +229,17 @@ class CoopGroup {
   [[nodiscard]] Node& node(NodeId id);
   [[nodiscard]] const Node& node(NodeId id) const;
 
-  void install(NodeId id, Key key, std::uint64_t size, std::uint64_t cost);
-  /// Install at the key's full replica set (used on computes).
+  /// The node a request is served at: the home, or — when the home is
+  /// unroutable and replication > 1 — the first routable ring replica
+  /// (ClusterClient's read-failover rule). Throws when no replica is
+  /// routable, like the client does.
+  [[nodiscard]] NodeId route_node(Key key) const;
+
+  /// Returns true when the pair actually landed in the node's cache (the
+  /// directory registers only then) — the simulator's replica_write.
+  bool install(NodeId id, Key key, std::uint64_t size, std::uint64_t cost);
+  /// Install at the key's live replica set (used on computes): a sloppy
+  /// plan around down nodes, hinting each displaced preferred target.
   void install_replicas(Key key, std::uint64_t size, std::uint64_t cost);
   void on_evicted(NodeId id, Key key, std::uint64_t size);
 
@@ -200,6 +260,14 @@ class CoopGroup {
   // size), but parking a last replica needs its cost too.
   std::unordered_map<Key, std::pair<std::uint64_t, std::uint64_t>> meta_;
   NodeId next_node_id_ = 0;
+
+  // Churn state: down_ is SERVER liveness (kill/heal), unroutable_ is the
+  // CLIENT's transport view (route_down/route_up); hints_ and the sweep
+  // cursor mirror the cluster's (single-threaded here, so unsynchronized).
+  std::unordered_set<NodeId> down_;
+  std::unordered_set<NodeId> unroutable_;
+  kvs::HintQueue<Key> hints_;
+  std::optional<Key> sweep_cursor_;
 
   // Guard storage: FIFO list (deadlines are monotone, so front expires
   // first) + index. Byte budget derived from config.

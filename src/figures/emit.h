@@ -30,4 +30,11 @@ namespace camp::figures {
 /// JSON array of row objects with the same fields as the CSV columns.
 [[nodiscard]] std::string to_json(const FigureResult& result);
 
+/// Gnuplot script that plots the figure's sibling CSV (`<figure>.csv`):
+/// one plot block per metric, one series per policy, each series selecting
+/// its rows straight out of the long/tidy CSV with a strcol() filter — no
+/// pre-pivoting step. Deterministic for a given result, so the scripts are
+/// diffable just like the CSVs.
+[[nodiscard]] std::string to_gnuplot(const FigureResult& result);
+
 }  // namespace camp::figures

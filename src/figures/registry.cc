@@ -559,13 +559,25 @@ std::vector<FigurePointSpec> fig_coop_cluster_points(const FigureOptions&) {
   for (const double clients : {1.0, 4.0}) {
     points.push_back({"churn-r2/nodes=4", "clients", clients});
   }
+  // Failure churn with the anti-entropy subsystem engaged (appended last,
+  // same prefix-stability rule): a node CRASHES a third of the way in
+  // (kill_node — sloppy writes hint around it), heals at two thirds
+  // (draining its hints), and clients notice the recovery one twelfth of a
+  // run later — the stale window where failover reads trigger read repair.
+  // Bounded repair_tick sweeps run throughout.
+  for (const double clients : {1.0, 4.0}) {
+    points.push_back({"churn-repair-r2/nodes=4", "clients", clients});
+  }
   return points;
 }
 
 std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
                                             const FigureOptions& o) {
   const TraceBundle& t = bundle_for(TraceKind::kKvs, o);
-  const bool churn = point.policy.rfind("churn", 0) == 0;
+  // "churn-repair" also starts with "churn", so test for it first.
+  const bool churn_repair = point.policy.rfind("churn-repair", 0) == 0;
+  const bool churn =
+      !churn_repair && point.policy.rfind("churn", 0) == 0;
   const std::uint32_t replication =
       point.policy.find("-r2/") != std::string::npos ? 2 : 1;
   const std::size_t nodes = static_cast<std::size_t>(
@@ -580,6 +592,7 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
   // CoopNodeClient, the batches run sequentially through one ClusterClient,
   // and the clock is manual — counters are byte-identical run to run.
   kvs::ClusterCounters counters;
+  std::size_t under_replicated_after_repair = 0;
   {
     std::vector<std::unique_ptr<kvs::KvsStore>> stores;
     const std::size_t total_stores = nodes + (churn ? 1 : 0);
@@ -608,6 +621,20 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
     // the guard).
     const std::size_t join_at = churn ? total_batches / 3 : 0;
     const std::size_t leave_at = churn ? 2 * total_batches / 3 : 0;
+    // Failure churn (churn-repair): the second node crashes a third of the
+    // way in, heals at two thirds, and the ROUTER only re-learns it one
+    // twelfth of a run later — the deliberate stale window where reads for
+    // its keys still fail over to a replica and trigger read repair.
+    // Bounded anti-entropy ticks run throughout so the sweep ledger shows
+    // up even while the node is down (scans that find no live target).
+    const std::size_t kill_at = churn_repair ? total_batches / 3 : 0;
+    const std::size_t heal_at = churn_repair ? 2 * total_batches / 3 : 0;
+    const std::size_t revive_at =
+        churn_repair
+            ? heal_at + std::max<std::size_t>(1, total_batches / 12)
+            : 0;
+    const std::size_t tick_every =
+        std::max<std::size_t>(1, total_batches / 6);
 
     std::vector<std::size_t> cursor(clients, 0);
     std::size_t executed = 0;
@@ -626,12 +653,34 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
           router.remove_node(ids.front());
           cluster.leave(ids.front());
         }
+        if (churn_repair) {
+          if (executed == kill_at) {
+            router.remove_node(ids[1]);
+            cluster.kill_node(ids[1]);
+          }
+          if (executed == heal_at) cluster.heal_node(ids[1]);
+          if (executed == revive_at) {
+            router.add_node(ids[1], *node_clients[1]);
+          }
+          // A bounded slice per tick: the stores run at a 0.5 cache ratio,
+          // so an until-quiescent sweep would evict-and-recopy forever.
+          if (executed > 0 && executed % tick_every == 0) {
+            (void)cluster.repair_tick(/*max_keys=*/64);
+          }
+        }
         (void)replay_batch(router, streams[c].gets[cursor[c]],
                            streams[c].rows[cursor[c]]);
         ++cursor[c];
         ++executed;
         progressed = true;
       }
+    }
+    if (churn_repair) {
+      // Two final full sweeps (fixed count, same capacity-pressure
+      // caveat), then record what is still under-replicated.
+      (void)cluster.repair_tick();
+      (void)cluster.repair_tick();
+      under_replicated_after_repair = cluster.under_replicated_keys().size();
     }
     counters = cluster.counters();
   }
@@ -673,12 +722,40 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
         "replica_write_failures",
         static_cast<double>(counters.replica_write_failures));
   }
+  if (churn_repair) {
+    // The anti-entropy ledger, only on the churn-repair rows (prefix
+    // stability again). `under_replicated_after_repair` stays nonzero by
+    // design at this cache ratio — see the capacity-pressure comment at
+    // the final sweeps above.
+    const kvs::RepairCounters& r = counters.repair;
+    row.metrics.emplace_back("read_repairs",
+                             static_cast<double>(r.read_repairs));
+    row.metrics.emplace_back("hints_queued",
+                             static_cast<double>(r.hints_queued));
+    row.metrics.emplace_back("hints_replayed",
+                             static_cast<double>(r.hints_replayed));
+    row.metrics.emplace_back("hints_dropped",
+                             static_cast<double>(r.hints_dropped));
+    row.metrics.emplace_back("hints_obsolete",
+                             static_cast<double>(r.hints_obsolete));
+    row.metrics.emplace_back("sweep_ticks",
+                             static_cast<double>(r.sweep_ticks));
+    row.metrics.emplace_back("sweep_keys_scanned",
+                             static_cast<double>(r.sweep_keys_scanned));
+    row.metrics.emplace_back("sweep_recopies",
+                             static_cast<double>(r.sweep_recopies));
+    row.metrics.emplace_back("sweep_failures",
+                             static_cast<double>(r.sweep_failures));
+    row.metrics.emplace_back(
+        "under_replicated_after_repair",
+        static_cast<double>(under_replicated_after_repair));
+  }
 
   // Optional wall-clock pass (static topologies): N real worker-pool
   // servers attached to one cluster, driven by `clients` concurrent
   // ClusterClients over pipelined TCP connections. Nondeterministic — only
   // emitted under --timing, diffed with a banded tolerance.
-  if (o.timing && !churn) {
+  if (o.timing && !churn && !churn_repair) {
     static const util::SteadyClock steady;
     kvs::ServerConfig server_config;
     server_config.store = store_config;

@@ -43,7 +43,11 @@ CoopCluster::CoopCluster(ClusterConfig config)
       guard_capacity_(config_.preserve_last_replica
                           ? config_.guard_capacity_bytes
                           : 0),
-      ring_(config_.virtual_nodes) {}
+      ring_(config_.virtual_nodes) {
+  hints_.set_budget(config_.repair.hinted_handoff
+                        ? config_.repair.hint_budget_bytes
+                        : 0);
+}
 
 CoopCluster::~CoopCluster() {
   for (auto& [id, node] : nodes_) {
@@ -147,6 +151,8 @@ void CoopCluster::leave(NodeId id) {
     // (lazily expired values): the bytes are gone, so the directory simply
     // forgets them.
     counters_.stale_directory_drops += directory_.remove_node(id).size();
+    // Hints aimed at a node that will never rejoin are dead letters.
+    counters_.repair.hints_obsolete += hints_.erase_target(id);
     ring_.remove_node(id);
     nodes_.erase(id);
   }
@@ -168,6 +174,13 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
                                   std::to_string(self));
     }
+    if (!it->second.live) {
+      // Backstop: a dead node serves nothing. Routed traffic never gets
+      // here (ClusterClient's transport to it is down and fails over), but
+      // a direct caller must not read a flushed store as a silent miss.
+      throw std::runtime_error("CoopCluster: node " + std::to_string(self) +
+                               " is down");
+    }
     local = it->second.store;
     ++counters_.requests;
     cold = config_.track_cold_misses && seen_.insert(key_str).second;
@@ -177,8 +190,30 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
   // 1. home-node lookup.
   GetResult result = iq ? local->iqget(key) : local->get(key);
   if (result.hit) {
-    util::MutexLock lock(mutex_);
-    ++counters_.local_hits;
+    bool repair_home = false;
+    NodeId home = 0;
+    {
+      util::MutexLock lock(mutex_);
+      ++counters_.local_hits;
+      // Read repair: this node served a read for a key it is NOT the home
+      // of (a failover read, or residue of ring churn) while the home is
+      // live but missing the pair — re-register the value there so the
+      // next read routed home is a local hit without waiting for a sweep.
+      if (config_.repair.read_repair && config_.replication > 1) {
+        home = ring_.node_for(cluster_route_key(key));
+        if (home != self) {
+          const auto home_it = nodes_.find(home);
+          repair_home = home_it != nodes_.end() && home_it->second.live &&
+                        !directory_.holds(key_str, home);
+        }
+      }
+    }
+    if (repair_home &&
+        replica_write(home, key, result.value, result.flags, result.cost,
+                      result.remaining_ttl_s)) {
+      util::MutexLock lock(mutex_);
+      ++counters_.repair.read_repairs;
+    }
     return result;
   }
 
@@ -262,16 +297,21 @@ bool CoopCluster::set(NodeId self, std::string_view key,
       throw std::invalid_argument("CoopCluster: unknown node id " +
                                   std::to_string(self));
     }
+    if (!it->second.live) {
+      throw std::runtime_error("CoopCluster: node " + std::to_string(self) +
+                               " is down");
+    }
     local = it->second.store;
     ++counters_.sets;
     if (config_.replication > 1) {
-      targets = ring_.nodes_for(cluster_route_key(key), config_.replication);
+      targets = plan_write_targets_locked(key);
     }
   }
   if (targets.size() <= 1) {
-    // Replication 1 (or a single-node ring): the legacy home-only write.
-    // Directory registration and the purge of any superseded guard entry
-    // happen in the stored hook, inside the shard critical section.
+    // Replication 1 (or a single-node ring, or one live node — which must
+    // be self): the legacy home-only write. Directory registration and the
+    // purge of any superseded guard entry happen in the stored hook, inside
+    // the shard critical section.
     return local->set(key, value, flags, cost, exptime_s);
   }
   return fan_out_write(self, local, targets, key, value, flags, cost,
@@ -290,10 +330,14 @@ bool CoopCluster::iqset(NodeId self, std::string_view key,
       throw std::invalid_argument("CoopCluster: unknown node id " +
                                   std::to_string(self));
     }
+    if (!it->second.live) {
+      throw std::runtime_error("CoopCluster: node " + std::to_string(self) +
+                               " is down");
+    }
     local = it->second.store;
     ++counters_.sets;
     if (config_.replication > 1) {
-      targets = ring_.nodes_for(cluster_route_key(key), config_.replication);
+      targets = plan_write_targets_locked(key);
     }
   }
   if (targets.size() <= 1) {
@@ -301,6 +345,30 @@ bool CoopCluster::iqset(NodeId self, std::string_view key,
   }
   return fan_out_write(self, local, targets, key, value, flags, /*cost=*/0,
                        exptime_s, /*iq=*/true);
+}
+
+std::vector<CoopCluster::NodeId> CoopCluster::plan_write_targets_locked(
+    std::string_view key) {
+  const auto ring_order =
+      ring_.nodes_for(cluster_route_key(key), nodes_.size());
+  // Local liveness snapshot: the planner's callback must not touch guarded
+  // members (Clang TSA does not see through lambdas).
+  std::map<NodeId, bool> live;
+  for (const auto& [id, node] : nodes_) live[id] = node.live;
+  SloppyWritePlan plan =
+      plan_sloppy_write(ring_order, config_.replication, [&live](NodeId id) {
+        const auto it = live.find(id);
+        return it != live.end() && it->second;
+      });
+  if (config_.write_ack == WriteAckPolicy::kAckHome &&
+      config_.repair.hinted_handoff) {
+    const std::string key_str(key);
+    for (const NodeId dead : plan.hinted) {
+      hints_.push(dead, key_str, kHintOverheadBytes + key_str.size(),
+                  counters_.repair);
+    }
+  }
+  return std::move(plan.targets);
 }
 
 bool CoopCluster::fan_out_write(NodeId self, KvsStore* local,
@@ -334,6 +402,15 @@ bool CoopCluster::fan_out_write(NodeId self, KvsStore* local,
         ++counters_.replica_writes;
       } else {
         ++counters_.replica_write_failures;
+        // A best-effort replica write that failed leaves the key
+        // under-replicated: hand the copy off as a hint so the target (or
+        // a sweep, whichever comes first) can catch up.
+        if (config_.write_ack == WriteAckPolicy::kAckHome &&
+            config_.repair.hinted_handoff) {
+          const std::string key_str(key);
+          hints_.push(target, key_str, kHintOverheadBytes + key_str.size(),
+                      counters_.repair);
+        }
       }
     }
     all_ok = all_ok && ok;
@@ -352,13 +429,19 @@ bool CoopCluster::del(NodeId self, std::string_view key) {
       throw std::invalid_argument("CoopCluster: unknown node id " +
                                   std::to_string(self));
     }
+    if (!it->second.live) {
+      throw std::runtime_error("CoopCluster: node " + std::to_string(self) +
+                               " is down");
+    }
     local = it->second.store;
     ++counters_.deletes;
     holders = directory_.holders_of(key_str);
-    // A delete also voids any parked last replica.
+    // A delete also voids any parked last replica and any queued hints —
+    // replaying a hint for a deleted key would resurrect it.
     if (const auto g = guard_index_.find(key_str); g != guard_index_.end()) {
       guard_drop_locked(g->second);
     }
+    counters_.repair.hints_obsolete += hints_.erase_key(key_str);
   }
   bool deleted = false;
   bool self_tracked = false;
@@ -403,6 +486,275 @@ void CoopCluster::flush_node(NodeId id) {
     }
   }
   store->flush_all();
+}
+
+// ---------------------------------------------------------------------------
+// Churn & anti-entropy
+// ---------------------------------------------------------------------------
+
+void CoopCluster::kill_node(NodeId id) {
+  KvsStore* store = nullptr;
+  {
+    util::MutexLock lock(mutex_);
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(id));
+    }
+    if (!it->second.live) return;
+    it->second.live = false;
+    store = it->second.store;
+  }
+  // A crash loses the node's data outright: detach the hooks FIRST so the
+  // wipe below cannot feed the guard (unlike leave(), nothing is preserved
+  // — that is the under-replication the repair mechanisms exist to heal).
+  store->set_eviction_hook(nullptr);
+  store->set_stored_hook(nullptr);
+  {
+    util::MutexLock lock(mutex_);
+    directory_.remove_node(id);
+  }
+  store->flush_all();
+}
+
+void CoopCluster::heal_node(NodeId id) {
+  KvsStore* store = nullptr;
+  std::vector<std::string> hinted;
+  {
+    util::MutexLock lock(mutex_);
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      throw std::invalid_argument("CoopCluster: unknown node id " +
+                                  std::to_string(id));
+    }
+    if (it->second.live) return;
+    it->second.live = true;
+    store = it->second.store;
+    // Claim the backlog under the same lock that flipped liveness: writes
+    // racing in from here on target the node directly instead of hinting.
+    hinted = hints_.drain(id);
+  }
+  // Reattach the hooks BEFORE replaying hints, so every replayed copy
+  // registers in the directory exactly like a normal replica write.
+  store->set_eviction_hook(
+      [this, id](const EvictedItem& item) { on_node_eviction(id, item); });
+  store->set_stored_hook(
+      [this, id](std::string_view key) { on_node_stored(id, key); });
+  // Drain the hints oldest-first (the order the writes were missed in).
+  // Each hint is only a (target, key) pointer: the VALUE is re-fetched from
+  // a surviving live holder, so a hint can never resurrect stale bytes of a
+  // key that was deleted or re-written while the node was down.
+  for (const std::string& key : hinted) {
+    std::optional<NodeId> source;
+    {
+      util::MutexLock lock(mutex_);
+      if (directory_.holds(key, id)) {
+        ++counters_.repair.hints_obsolete;  // e.g. a sweep got there first
+        continue;
+      }
+      for (const NodeId holder : directory_.holders_of(key)) {
+        const auto hit = nodes_.find(holder);
+        if (hit != nodes_.end() && hit->second.live) {
+          source = holder;
+          break;
+        }
+      }
+    }
+    if (!source) {
+      util::MutexLock lock(mutex_);
+      ++counters_.repair.hints_obsolete;  // key left the cluster meanwhile
+      continue;
+    }
+    const GetResult fetched = peer_fetch(*source, key);
+    if (!fetched.hit) {
+      util::MutexLock lock(mutex_);
+      ++counters_.repair.hints_obsolete;  // holder lost it before the fetch
+      continue;
+    }
+    const bool ok = replica_write(id, key, fetched.value, fetched.flags,
+                                  fetched.cost, fetched.remaining_ttl_s);
+    util::MutexLock lock(mutex_);
+    if (ok) {
+      ++counters_.repair.hints_replayed;
+    } else {
+      ++counters_.repair.hints_obsolete;  // the rejoined store rejected it
+    }
+  }
+}
+
+std::size_t CoopCluster::repair_tick(std::size_t max_keys) {
+  struct Job {
+    std::string key;
+    NodeId source = 0;
+    std::vector<NodeId> targets;
+  };
+  std::vector<Job> jobs;
+  {
+    util::MutexLock lock(mutex_);
+    ++counters_.repair.sweep_ticks;
+
+    std::map<NodeId, bool> live;
+    std::size_t live_count = 0;
+    for (const auto& [id, node] : nodes_) {
+      live[id] = node.live;
+      if (node.live) ++live_count;
+    }
+    const std::size_t want =
+        std::min<std::size_t>(config_.replication, live_count);
+
+    // Candidates: every directory key whose LIVE holder count is below the
+    // achievable replication level, in sorted (route, key) order — the same
+    // numeric order the simulator twin sweeps its u64 keys in.
+    struct Candidate {
+      std::uint64_t route = 0;
+      std::string key;
+      std::vector<NodeId> holders;
+    };
+    std::vector<Candidate> candidates;
+    if (want > 1) {
+      for (auto& [key, holders] : directory_.snapshot()) {
+        std::size_t live_copies = 0;
+        for (const NodeId h : holders) {
+          if (live[h]) ++live_copies;
+        }
+        if (live_copies >= want) continue;
+        candidates.push_back(
+            {cluster_route_key(key), key, std::move(holders)});
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.route != b.route ? a.route < b.route
+                                            : a.key < b.key;
+                });
+    }
+
+    // Bounded ticks resume after the cursor (the last key the previous
+    // bounded tick processed); an unbounded tick sweeps everything.
+    std::size_t begin = 0;
+    std::size_t end = candidates.size();
+    if (max_keys > 0) {
+      if (sweep_cursor_) {
+        const std::uint64_t cursor_route = cluster_route_key(*sweep_cursor_);
+        while (begin < candidates.size() &&
+               !(cursor_route < candidates[begin].route ||
+                 (cursor_route == candidates[begin].route &&
+                  *sweep_cursor_ < candidates[begin].key))) {
+          ++begin;
+        }
+        if (begin >= candidates.size()) begin = 0;  // wrap to the front
+      }
+      end = std::min(candidates.size(), begin + max_keys);
+      if (end == candidates.size()) {
+        sweep_cursor_.reset();
+      } else {
+        sweep_cursor_ = candidates[end - 1].key;
+      }
+    } else {
+      sweep_cursor_.reset();
+    }
+
+    std::size_t scanned = 0;
+    std::size_t failures = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      Candidate& c = candidates[i];
+      ++scanned;
+      std::optional<NodeId> source;
+      std::size_t live_copies = 0;
+      for (const NodeId h : c.holders) {
+        if (!live[h]) continue;
+        ++live_copies;
+        if (!source) source = h;  // first live holder, insertion order
+      }
+      if (!source) {
+        ++failures;  // nobody live holds it: this key cannot be repaired
+        continue;
+      }
+      const auto ring_order = ring_.nodes_for(c.route, nodes_.size());
+      std::vector<NodeId> targets = plan_key_repair_targets(
+          ring_order, want, live_copies,
+          [&live](NodeId id) {
+            const auto it = live.find(id);
+            return it != live.end() && it->second;
+          },
+          [&c](NodeId id) {
+            return std::find(c.holders.begin(), c.holders.end(), id) !=
+                   c.holders.end();
+          });
+      if (targets.empty()) continue;
+      jobs.push_back(Job{std::move(c.key), *source, std::move(targets)});
+    }
+    counters_.repair.sweep_keys_scanned += scanned;
+    counters_.repair.sweep_failures += failures;
+  }
+
+  // Transfers happen OUTSIDE the metadata lock: one peer fetch per key (a
+  // real get, so the source's eviction policy sees the touch), one replica
+  // write per missing copy (the target's stored hook registers it).
+  std::size_t recopies = 0;
+  std::size_t failures = 0;
+  for (const Job& job : jobs) {
+    const GetResult fetched = peer_fetch(job.source, job.key);
+    if (!fetched.hit) {
+      ++failures;  // the source lost the pair between the plan and the fetch
+      continue;
+    }
+    for (const NodeId target : job.targets) {
+      if (replica_write(target, job.key, fetched.value, fetched.flags,
+                        fetched.cost, fetched.remaining_ttl_s)) {
+        ++recopies;
+      } else {
+        ++failures;
+      }
+    }
+  }
+  {
+    util::MutexLock lock(mutex_);
+    counters_.repair.sweep_recopies += recopies;
+    counters_.repair.sweep_failures += failures;
+  }
+  return recopies;
+}
+
+bool CoopCluster::node_live(NodeId id) const {
+  util::MutexLock lock(mutex_);
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("CoopCluster: unknown node id " +
+                                std::to_string(id));
+  }
+  return it->second.live;
+}
+
+std::vector<std::string> CoopCluster::under_replicated_keys() const {
+  util::MutexLock lock(mutex_);
+  std::map<NodeId, bool> live;
+  std::size_t live_count = 0;
+  for (const auto& [id, node] : nodes_) {
+    live[id] = node.live;
+    if (node.live) ++live_count;
+  }
+  const std::size_t want =
+      std::min<std::size_t>(config_.replication, live_count);
+  std::vector<std::string> keys;
+  for (const auto& [key, holders] : directory_.snapshot()) {
+    std::size_t live_copies = 0;
+    for (const NodeId h : holders) {
+      if (live[h]) ++live_copies;
+    }
+    if (live_copies < want) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::size_t CoopCluster::hint_count() const {
+  util::MutexLock lock(mutex_);
+  return hints_.size();
+}
+
+std::uint64_t CoopCluster::hint_used_bytes() const {
+  util::MutexLock lock(mutex_);
+  return hints_.used_bytes();
 }
 
 CoopCluster::NodeId CoopCluster::home_node(std::string_view key) const {
@@ -533,6 +885,7 @@ GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
     util::MutexLock lock(mutex_);
     const auto it = nodes_.find(holder);
     if (it == nodes_.end()) return {};  // node left concurrently
+    if (!it->second.live) return {};    // crashed holder: treat as a miss
     store = it->second.store;
     host = it->second.host;
     port = it->second.port;
@@ -568,7 +921,8 @@ bool CoopCluster::replica_write(NodeId target, std::string_view key,
   {
     util::MutexLock lock(mutex_);
     const auto it = nodes_.find(target);
-    if (it == nodes_.end()) return false;  // node left concurrently
+    if (it == nodes_.end()) return false;   // node left concurrently
+    if (!it->second.live) return false;     // crashed target rejects writes
     store = it->second.store;
     host = it->second.host;
     port = it->second.port;
@@ -601,6 +955,7 @@ bool CoopCluster::peer_delete(NodeId holder, std::string_view key) {
     util::MutexLock lock(mutex_);
     const auto it = nodes_.find(holder);
     if (it == nodes_.end()) return false;
+    if (!it->second.live) return false;  // a crash already dropped the pair
     store = it->second.store;
     host = it->second.host;
     port = it->second.port;

@@ -55,6 +55,7 @@
 #include "coop/directory.h"
 #include "coop/hash_ring.h"
 #include "kvs/api.h"
+#include "kvs/repair.h"
 #include "kvs/store.h"
 #include "util/mutex.h"
 
@@ -105,6 +106,11 @@ struct ClusterConfig {
   /// requests is dropped.
   std::uint64_t guard_lease_requests = 50'000;
 
+  /// Anti-entropy knobs (read repair, hinted handoff, hint byte budget).
+  /// The sweep itself is driven by repair_tick() — manually from tests and
+  /// figures, or by a RepairDriver thread in live deployments.
+  RepairConfig repair;
+
   /// Split first-ever requests out of the miss counters (the simulator's
   /// cold-exclusion metric rule). Costs memory proportional to the number
   /// of unique keys ever requested — right for bounded traces (figures,
@@ -144,6 +150,11 @@ struct ClusterCounters {
   /// ledger still claimed usage — accounting drift that would otherwise
   /// spin forever in release builds. Always 0 in a healthy cluster.
   std::uint64_t guard_accounting_breaks = 0;
+
+  /// Anti-entropy ledger (sweep / read repair / hinted handoff); pinned
+  /// field-by-field against coop::CoopMetrics::repair in the equivalence
+  /// test.
+  RepairCounters repair;
 
   [[nodiscard]] double local_hit_ratio() const noexcept {
     const std::uint64_t noncold = requests - cold_misses;
@@ -237,6 +248,43 @@ class CoopCluster {
   /// OTHER nodes survive — flushing one node never wipes its peers.
   void flush_node(NodeId id);
 
+  // -- churn & anti-entropy -------------------------------------------------
+
+  /// Crash the node: mark it dead, detach its hooks, forget its directory
+  /// entries (a crash loses data — unlike leave(), NOTHING parks in the
+  /// guard) and wipe its store. The node STAYS in the ring, so key homes do
+  /// not move: reads fail over to surviving replicas (ClusterClient), writes
+  /// slide to the next live ring nodes (sloppy quorum) and queue hints for
+  /// the dead preferred targets. Requests executed AS a dead node throw.
+  /// No-op if already dead.
+  void kill_node(NodeId id);
+
+  /// Rejoin a killed node: reattach its hooks, mark it live, and drain
+  /// every hint queued for it (oldest first) BEFORE it serves traffic —
+  /// each hint re-copies the key from a surviving live holder
+  /// (hints_replayed) or is retired as obsolete (already holds it / key
+  /// gone / write rejected). No-op if already live.
+  void heal_node(NodeId id);
+
+  /// One anti-entropy sweep pass: walk the replica directory in sorted
+  /// (route, key) order, find keys whose live holder count is below
+  /// min(replication, live nodes), and re-copy each from its first live
+  /// holder onto the next live ring replicas (one peer fetch per key, one
+  /// replica write per missing copy). `max_keys` > 0 bounds how many
+  /// under-replicated keys one tick processes — a cursor resumes the NEXT
+  /// tick after the last key swept, so successive bounded ticks cover the
+  /// full directory. Returns the number of re-copies made this tick (0 at
+  /// quiescence). Deterministic under a quiesced cluster; safe (but
+  /// schedule-dependent) under live traffic.
+  std::size_t repair_tick(std::size_t max_keys = 0);
+
+  [[nodiscard]] bool node_live(NodeId id) const;
+  /// Keys whose LIVE holder count is below min(replication, live nodes),
+  /// sorted. Empty exactly when the sweep has converged.
+  [[nodiscard]] std::vector<std::string> under_replicated_keys() const;
+  [[nodiscard]] std::size_t hint_count() const;
+  [[nodiscard]] std::uint64_t hint_used_bytes() const;
+
   [[nodiscard]] NodeId home_node(std::string_view key) const;
   /// The key's full write target set: the first min(replication, nodes)
   /// distinct ring nodes, home first.
@@ -264,6 +312,9 @@ class CoopCluster {
     KvsStore* store = nullptr;
     std::string host;
     std::uint16_t port = 0;  // 0 = in-process peer transport
+    /// False between kill_node and heal_node: still on the ring (homes do
+    /// not move) but takes no reads, writes, fetches or repair copies.
+    bool live = true;
   };
 
   struct GuardEntry {
@@ -306,6 +357,13 @@ class CoopCluster {
                      const std::vector<NodeId>& targets, std::string_view key,
                      std::string_view value, std::uint32_t flags,
                      std::uint32_t cost, std::uint32_t exptime_s, bool iq);
+  /// Sloppy-quorum target selection for a replicated write: the first
+  /// min(replication, live) LIVE ring nodes (identical to the strict
+  /// preference list while everything is live), queuing a hint for every
+  /// dead node displaced from the preference prefix (kAckHome only — under
+  /// kAckAll the write fails instead, so there is nothing to hand off).
+  [[nodiscard]] std::vector<NodeId> plan_write_targets_locked(
+      std::string_view key) CAMP_REQUIRES(mutex_);
   [[nodiscard]] std::shared_ptr<PeerLink> link_for(NodeId id);
 
   // -- guard (all require mutex_) -----------------------------------------
@@ -345,6 +403,11 @@ class CoopCluster {
       guard_index_ CAMP_GUARDED_BY(mutex_);
   std::uint64_t guard_used_ CAMP_GUARDED_BY(mutex_) = 0;
   NodeId next_node_id_ CAMP_GUARDED_BY(mutex_) = 0;
+
+  // Hinted-handoff queue (budget set from config_.repair in the ctor) and
+  // the bounded-sweep resume cursor (last key processed by a max_keys tick).
+  HintQueue<std::string> hints_ CAMP_GUARDED_BY(mutex_);
+  std::optional<std::string> sweep_cursor_ CAMP_GUARDED_BY(mutex_);
 
   // Guards the link MAP, not the links; ranks below the per-link mutex so
   // a thread may look a link up and then lock it, never the reverse.

@@ -20,6 +20,12 @@
 // one of R nodes costs neither a miss spike nor a guard drain. Mutations
 // never fail over (their outcome at the dead node is unknowable), so a
 // failed sub-batch containing one rethrows the transport error instead.
+//
+// Failover composes with the cluster's anti-entropy machinery (kvs/repair.h)
+// without the client doing anything: a failed-over read lands at a replica
+// whose CoopCluster::get notices the home is live-but-missing the key and
+// re-registers it there (read repair), so the window where this client
+// still routes around a healed node actively heals that node's cache.
 #pragma once
 
 #include <atomic>

@@ -139,9 +139,17 @@ void KvsServer::start() {
     worker->thread = std::thread([this, w] { worker_loop(*w); });
   }
   acceptor_ = std::thread([this] { accept_loop(); });
+  if (cluster_ != nullptr && config_.cluster_repair_interval_ms > 0) {
+    repair_driver_ = std::make_unique<RepairDriver>(
+        [this] { (void)cluster_->repair_tick(); },
+        std::chrono::milliseconds(config_.cluster_repair_interval_ms));
+  }
 }
 
 void KvsServer::stop() {
+  // Stop the anti-entropy thread first: its ticks drive peer transports,
+  // which must not outlive the serving loops they talk to.
+  repair_driver_.reset();
   if (!running_.exchange(false)) return;
   // Unblock the acceptor with shutdown() and join it BEFORE touching
   // listen_fd_ again: close()/reassignment while accept() still reads the
@@ -432,6 +440,26 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
         // an operator must be able to poll for it.
         out += format_stat("cluster_guard_accounting_breaks",
                            std::to_string(c.guard_accounting_breaks));
+        // Anti-entropy ledger (kvs/repair.h): read repair, hinted handoff
+        // and the background sweep each meter their own convergence work.
+        out += format_stat("cluster_read_repairs",
+                           std::to_string(c.repair.read_repairs));
+        out += format_stat("cluster_hints_queued",
+                           std::to_string(c.repair.hints_queued));
+        out += format_stat("cluster_hints_replayed",
+                           std::to_string(c.repair.hints_replayed));
+        out += format_stat("cluster_hints_dropped",
+                           std::to_string(c.repair.hints_dropped));
+        out += format_stat("cluster_hints_obsolete",
+                           std::to_string(c.repair.hints_obsolete));
+        out += format_stat("cluster_sweep_ticks",
+                           std::to_string(c.repair.sweep_ticks));
+        out += format_stat("cluster_sweep_keys_scanned",
+                           std::to_string(c.repair.sweep_keys_scanned));
+        out += format_stat("cluster_sweep_recopies",
+                           std::to_string(c.repair.sweep_recopies));
+        out += format_stat("cluster_sweep_failures",
+                           std::to_string(c.repair.sweep_failures));
       }
       out += format_end();
       break;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "kvs/protocol.h"
+#include "kvs/repair.h"
 #include "kvs/store.h"
 #include "util/mutex.h"
 
@@ -44,6 +45,11 @@ struct ServerConfig {
   /// Physical policy queues per engine shard (ShardedCache); 1 = the
   /// policy factory's cache is used directly.
   std::size_t policy_shards = 1;
+  /// With a cluster attached and this > 0, start() spawns a RepairDriver
+  /// thread running cluster->repair_tick() on this interval (anti-entropy
+  /// in live deployments). 0 (default) = manual repair_tick() only — the
+  /// deterministic mode every test and figure uses.
+  std::uint32_t cluster_repair_interval_ms = 0;
   StoreConfig store;
 };
 
@@ -103,6 +109,9 @@ class KvsServer {
   KvsStore store_;
   CoopCluster* cluster_ = nullptr;  // optional cooperative-cluster binding
   std::uint32_t self_node_ = 0;
+  /// Background anti-entropy (cluster_repair_interval_ms > 0 only); owns
+  /// no lock, so it sits outside the rank hierarchy entirely.
+  std::unique_ptr<RepairDriver> repair_driver_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -78,6 +79,50 @@ TEST(FiguresCsvTest, JsonEmitterCoversTheSameRows) {
     ++objects;
   }
   EXPECT_EQ(objects, metric_count);
+}
+
+TEST(FiguresGnuplotTest, ScriptPlotsEveryMetricWithOneSeriesPerPolicy) {
+  const FigureResult result = tiny_runner().run("table1");
+  const std::string gp = to_gnuplot(result);
+
+  // Reads the sibling CSV with a comma separator and an x label.
+  EXPECT_NE(gp.find("set datafile separator ','"), std::string::npos);
+  EXPECT_NE(gp.find(result.figure + ".csv"), std::string::npos);
+
+  // One plot block (output + title + ylabel) per distinct metric, and each
+  // block selects rows by policy AND metric via strcol filters.
+  std::vector<std::string> policies;
+  std::vector<std::string> metrics;
+  auto note = [](std::vector<std::string>& seen, const std::string& v) {
+    if (std::find(seen.begin(), seen.end(), v) == seen.end())
+      seen.push_back(v);
+  };
+  for (const FigureRow& row : result.rows) {
+    note(policies, row.point.policy);
+    for (const auto& [metric, value] : row.metrics) {
+      (void)value;
+      note(metrics, metric);
+    }
+  }
+  ASSERT_FALSE(policies.empty());
+  ASSERT_FALSE(metrics.empty());
+  std::size_t outputs = 0;
+  for (std::size_t pos = gp.find("set output '"); pos != std::string::npos;
+       pos = gp.find("set output '", pos + 1)) {
+    ++outputs;
+  }
+  EXPECT_EQ(outputs, metrics.size());
+  for (const std::string& metric : metrics) {
+    EXPECT_NE(gp.find("strcol(5) eq '" + metric + "'"), std::string::npos)
+        << metric;
+  }
+  for (const std::string& policy : policies) {
+    EXPECT_NE(gp.find("strcol(2) eq '" + policy + "'"), std::string::npos)
+        << policy;
+  }
+
+  // Deterministic, like the CSV emitter.
+  EXPECT_EQ(gp, to_gnuplot(result));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -212,6 +213,74 @@ TEST(ClusterServer, ReplicatedWritesFanOutOverTheWire) {
   const auto stats = h.conns.front()->stats();
   EXPECT_EQ(stats.at("cluster_replication"), "2");
   EXPECT_EQ(stats.at("cluster_replica_writes"), std::to_string(kKeys));
+}
+
+TEST(ClusterServer, RepairCountersSurfaceThroughStats) {
+  // Every anti-entropy counter appears in the stats reply and moves when
+  // the mechanism runs: kill one of the R=2 holders, let a sloppy write
+  // queue a hint and a manual sweep re-copy, then heal and re-read.
+  WireHarness h(3, /*parallel_router=*/false, /*wire_peer_fetch=*/false,
+                /*replication=*/2);
+  const auto stats0 = h.conns.front()->stats();
+  for (const char* key :
+       {"cluster_read_repairs", "cluster_hints_queued",
+        "cluster_hints_replayed", "cluster_hints_dropped",
+        "cluster_hints_obsolete", "cluster_sweep_ticks",
+        "cluster_sweep_keys_scanned", "cluster_sweep_recopies",
+        "cluster_sweep_failures"}) {
+    ASSERT_TRUE(stats0.contains(key)) << key << " missing from stats";
+    EXPECT_EQ(stats0.at(key), "0") << key;
+  }
+
+  KvsBatch sets;
+  for (int i = 0; i < 40; ++i) {
+    sets.add_set("key" + std::to_string(i), "v", 0, 1);
+  }
+  ASSERT_EQ(h.router.execute(sets).ok_count(), 40u);
+  h.cluster.kill_node(h.ids[1]);
+  // Writes planned around the dead node queue hints...
+  for (int i = 40; i < 80; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(h.cluster.set(h.ids[0], key, "v", 0, 1));
+  }
+  // ...the sweep re-copies what the crash under-replicated...
+  EXPECT_GT(h.cluster.repair_tick(), 0u);
+  // ...and the heal drains the hint backlog.
+  h.cluster.heal_node(h.ids[1]);
+
+  const auto stats = h.conns.front()->stats();
+  EXPECT_NE(stats.at("cluster_hints_queued"), "0");
+  EXPECT_NE(stats.at("cluster_hints_replayed"), "0");
+  EXPECT_NE(stats.at("cluster_sweep_recopies"), "0");
+  EXPECT_EQ(stats.at("cluster_sweep_ticks"), "1");
+  const ClusterCounters c = h.cluster.counters();
+  EXPECT_EQ(stats.at("cluster_hints_queued"),
+            std::to_string(c.repair.hints_queued));
+  EXPECT_EQ(stats.at("cluster_sweep_recopies"),
+            std::to_string(c.repair.sweep_recopies));
+}
+
+TEST(ClusterServer, RepairDriverTicksTheSweepInBackground) {
+  // cluster_repair_interval_ms > 0: the server runs its own RepairDriver;
+  // sweep_ticks climbs with no manual repair_tick() calls at all.
+  static const util::SteadyClock clock;
+  ServerConfig config = small_server();
+  config.cluster_repair_interval_ms = 2;
+  KvsServer server(config, lru_factory(), clock);
+  // Declared AFTER the server, so the cluster's dtor detaches its hooks
+  // while the store is still alive (same ordering as WireHarness).
+  CoopCluster cluster(cluster_config(/*replication=*/2));
+  const ClusterNodeId id = cluster.join(server.store());
+  server.attach_cluster(&cluster, id);
+  server.start();
+  while (cluster.counters().repair.sweep_ticks < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.stop();
+  const std::uint64_t ticks = cluster.counters().repair.sweep_ticks;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(cluster.counters().repair.sweep_ticks, ticks)
+      << "a sweep ticked after stop()";
 }
 
 TEST(ClusterServer, ParallelClientsSeeNoLostReplies) {

@@ -13,6 +13,9 @@
 //   --format <csv|json|both>   emitted formats (default csv)
 //   --timing                   also measure wall-clock throughput metrics
 //                              (nondeterministic; diffed with a band)
+//   --plots                    also write a gnuplot script (<id>.gp) next
+//                              to each CSV; `gnuplot <id>.gp` renders one
+//                              PNG per metric
 //   --list                     print the registry and exit
 //
 // Without --timing the output is a pure function of (figure, scale, seed):
@@ -42,6 +45,7 @@ struct Args {
   std::string format = "csv";
   std::uint64_t seed = figures::kCanonicalSeed;
   bool timing = false;
+  bool plots = false;
   bool list = false;
 };
 
@@ -56,6 +60,10 @@ Args parse_args(int argc, char** argv) {
     if (match_arg(argc, argv, i, "--seed", &seed_text)) continue;
     if (match_arg(argc, argv, i, "--timing", nullptr)) {
       args.timing = true;
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--plots", nullptr)) {
+      args.plots = true;
       continue;
     }
     if (match_arg(argc, argv, i, "--list", nullptr)) {
@@ -108,7 +116,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: camp_figures --figure all --out <dir> "
                    "[--scale smoke|paper|tiny] [--seed N] "
-                   "[--format csv|json|both] [--timing] [--list]\n");
+                   "[--format csv|json|both] [--timing] [--plots] "
+                   "[--list]\n");
       return 2;
     }
     const bool csv = args.format == "csv" || args.format == "both";
@@ -139,6 +148,9 @@ int main(int argc, char** argv) {
       }
       if (json) {
         write_file(out_dir / (id + ".json"), figures::to_json(result));
+      }
+      if (args.plots) {
+        write_file(out_dir / (id + ".gp"), figures::to_gnuplot(result));
       }
       std::printf("  %-14s %4zu rows\n", id.c_str(), result.rows.size());
     }

@@ -1,6 +1,7 @@
 # CTest driver for the figures CLI smoke test: two tiny-scale runs must be
-# byte-identical (camp_bench_diff exit 0), and a perturbed copy must fail
-# (exit 1). Run via:
+# byte-identical (camp_bench_diff exit 0), a perturbed copy must fail
+# (exit 1), and --plots must drop a gnuplot script next to each CSV. Run
+# via:
 #   cmake -DCAMP_FIGURES=... -DCAMP_BENCH_DIFF=... -DWORK_DIR=... -P this
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -8,10 +9,21 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 foreach(run a b)
   execute_process(
     COMMAND "${CAMP_FIGURES}" --figure table1,fig4 --scale tiny
-            --out "${WORK_DIR}/${run}"
+            --out "${WORK_DIR}/${run}" --plots
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "camp_figures run '${run}' failed (rc=${rc})")
+  endif()
+endforeach()
+
+# --plots writes a <figure>.gp companion script that reads the sibling CSV.
+foreach(id table1 fig4)
+  if(NOT EXISTS "${WORK_DIR}/a/${id}.gp")
+    message(FATAL_ERROR "--plots did not write ${id}.gp")
+  endif()
+  file(READ "${WORK_DIR}/a/${id}.gp" script)
+  if(NOT script MATCHES "${id}\\.csv")
+    message(FATAL_ERROR "${id}.gp does not reference ${id}.csv")
   endif()
 endforeach()
 
