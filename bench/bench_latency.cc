@@ -1,0 +1,18 @@
+// fig_latency: the event-driven server's latency profile as a connections
+// x batch-size matrix. Each point replays the KVS trace against a REAL
+// epoll KvsServer with `conns` closed-loop TCP connections issuing
+// `batch`-op pipelined batches; client-side per-op-type LatencyHistograms
+// (HDR-style log-linear, util/stats.h) yield get/set p50/p99/p999/max in
+// microseconds plus aggregate ops_per_sec.
+//
+// Because bench adapters run with timing enabled, the wall-clock
+// percentile metrics are always emitted here; the committed baseline
+// (bench/baselines/fig_latency.csv) holds only the deterministic in-proc
+// counters, so perf diffs band the percentiles instead of byte-comparing
+// them. The computation lives in the fig_latency FigureSpec
+// (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
+
+int main(int argc, char** argv) {
+  return camp::bench::run_figure_bench({"fig_latency"}, argc, argv);
+}

@@ -82,7 +82,16 @@ std::vector<MetricRow> parse_metric_csv(const std::string& text) {
 }
 
 std::map<std::string, double> DiffConfig::default_tolerances() {
-  return {{"ops_per_sec", 0.40}};
+  // Wall-clock metrics (emitted only under --timing) get wide bands; all
+  // deterministic counters stay exact. Tail percentiles wobble more than
+  // throughput across machines and runs, hence the wider band.
+  std::map<std::string, double> tolerances{{"ops_per_sec", 0.40}};
+  for (const char* op : {"get", "set"}) {
+    for (const char* q : {"p50", "p99", "p999", "max"}) {
+      tolerances.emplace(std::string(op) + "_" + q + "_us", 0.75);
+    }
+  }
+  return tolerances;
 }
 
 std::string DiffIssue::to_string() const {

@@ -27,6 +27,7 @@
 #include "sim/sweep.h"
 #include "util/clock.h"
 #include "util/rounding.h"
+#include "util/stats.h"
 
 namespace camp::figures {
 
@@ -318,9 +319,12 @@ struct ClientStream {
   std::vector<std::vector<const trace::TraceRecord*>> rows;  // per batch
 };
 
-/// Round-robin partition of the KVS trace into per-client iqget batches.
+/// Round-robin partition of the KVS trace into per-client iqget batches of
+/// `batch_size` ops (fig9_scaling's fixed kScalingBatch by default;
+/// fig_latency sweeps it).
 std::vector<ClientStream> partition_streams(
-    const std::vector<trace::TraceRecord>& records, std::size_t clients) {
+    const std::vector<trace::TraceRecord>& records, std::size_t clients,
+    std::size_t batch_size = kScalingBatch) {
   std::vector<ClientStream> streams(clients);
   for (std::size_t c = 0; c < clients; ++c) {
     kvs::KvsBatch batch;
@@ -328,7 +332,7 @@ std::vector<ClientStream> partition_streams(
     for (std::size_t i = c; i < records.size(); i += clients) {
       batch.add_iqget(trace_key(records[i].key));
       rows.push_back(&records[i]);
-      if (batch.size() == kScalingBatch) {
+      if (batch.size() == batch_size) {
         streams[c].gets.push_back(std::move(batch));
         streams[c].rows.push_back(std::move(rows));
         batch = {};
@@ -495,6 +499,151 @@ std::vector<FigureRow> fig9_scaling_run(const FigurePointSpec& point,
                                       start)
             .count();
     server.stop();
+    row.metrics.emplace_back(
+        "ops_per_sec",
+        seconds <= 0.0 ? 0.0
+                       : static_cast<double>(total_ops.load()) / seconds);
+  }
+  return {row};
+}
+
+// ---- fig_latency: connections x batch-size latency matrix -----------------
+
+/// Append p50/p99/p999/max for one op type ("get"/"set") in microseconds.
+void append_latency_metrics(FigureRow& row, const std::string& op,
+                            const util::LatencyHistogram& h) {
+  row.metrics.emplace_back(op + "_p50_us",
+                           static_cast<double>(h.percentile(0.50)));
+  row.metrics.emplace_back(op + "_p99_us",
+                           static_cast<double>(h.percentile(0.99)));
+  row.metrics.emplace_back(op + "_p999_us",
+                           static_cast<double>(h.percentile(0.999)));
+  row.metrics.emplace_back(op + "_max_us",
+                           static_cast<double>(h.max_value()));
+}
+
+std::vector<FigurePointSpec> fig_latency_points(const FigureOptions&) {
+  std::vector<FigurePointSpec> points;
+  for (const std::size_t conns : {1u, 2u, 4u}) {
+    for (const double batch : {1.0, 8.0, 32.0}) {
+      points.push_back(
+          {"conns=" + std::to_string(conns), "batch", batch});
+    }
+  }
+  return points;
+}
+
+std::vector<FigureRow> fig_latency_run(const FigurePointSpec& point,
+                                       const FigureOptions& o) {
+  const TraceBundle& t = bundle_for(TraceKind::kKvs, o);
+  const std::size_t conns = static_cast<std::size_t>(
+      std::stoul(point.policy.substr(point.policy.find('=') + 1)));
+  const auto batch_size = static_cast<std::size_t>(point.x);
+  const kvs::StoreConfig store_config =
+      fig9_store_config(/*ratio=*/0.25, /*shards=*/2, t.unique_bytes);
+
+  // Deterministic pass (the committed baseline): the per-connection batch
+  // streams replayed in-proc, single-threaded, round-robin. Counters only —
+  // wall-clock latency percentiles exist solely under --timing.
+  std::uint64_t ops = 0, gets = 0, hits = 0, batches = 0;
+  {
+    kvs::KvsStore store(store_config, kvs_policy_factory("camp"),
+                        figure_clock());
+    kvs::InprocClient inproc(store);
+    auto streams = partition_streams(t.records, conns, batch_size);
+    std::vector<std::size_t> cursor(conns, 0);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t c = 0; c < conns; ++c) {
+        if (cursor[c] >= streams[c].gets.size()) continue;
+        const BatchOutcome outcome = replay_batch(
+            inproc, streams[c].gets[cursor[c]], streams[c].rows[cursor[c]]);
+        ops += outcome.ops;
+        gets += outcome.gets;
+        hits += outcome.hits;
+        ++batches;
+        ++cursor[c];
+        progressed = true;
+      }
+    }
+  }
+
+  FigureRow row{point, {}};
+  row.metrics.emplace_back("connections", static_cast<double>(conns));
+  row.metrics.emplace_back("batch", static_cast<double>(batch_size));
+  row.metrics.emplace_back("ops", static_cast<double>(ops));
+  row.metrics.emplace_back("gets", static_cast<double>(gets));
+  row.metrics.emplace_back("batches", static_cast<double>(batches));
+  row.metrics.emplace_back("hits", static_cast<double>(hits));
+  row.metrics.emplace_back("misses", static_cast<double>(gets - hits));
+
+  // Wall-clock pass: a real epoll server driven by `conns` closed-loop TCP
+  // connections, per-op-type latency recorded client-side into per-thread
+  // histograms (merged after join — no hot-path synchronization).
+  // Nondeterministic by nature: emitted only under --timing and diffed with
+  // a banded tolerance.
+  if (o.timing) {
+    kvs::ServerConfig server_config;
+    server_config.store = store_config;
+    server_config.workers = 2;
+    static const util::SteadyClock steady;
+    kvs::KvsServer server(server_config, kvs_policy_factory("camp"), steady);
+    server.start();
+    const auto streams = partition_streams(t.records, conns, batch_size);
+    std::vector<util::LatencyHistogram> get_hists(conns);
+    std::vector<util::LatencyHistogram> set_hists(conns);
+    std::atomic<std::uint64_t> total_ops{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    for (std::size_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        kvs::KvsClient client("127.0.0.1", server.port());
+        std::uint64_t local = 0;
+        const auto us_since = [](std::chrono::steady_clock::time_point t0) {
+          return static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        };
+        for (std::size_t bi = 0; bi < streams[c].gets.size(); ++bi) {
+          const kvs::KvsBatch& get_batch = streams[c].gets[bi];
+          const auto t_get = std::chrono::steady_clock::now();
+          const kvs::KvsBatchResult got = client.execute(get_batch);
+          get_hists[c].add(us_since(t_get));
+          local += get_batch.size();
+          kvs::KvsBatch refill;
+          for (std::size_t i = 0; i < get_batch.size(); ++i) {
+            if (got[i].ok) continue;
+            const trace::TraceRecord& r = *streams[c].rows[bi][i];
+            refill.add_set(trace_key(r.key),
+                           std::string_view(fig9_payload()).substr(0, r.size),
+                           0, r.cost, 0, /*noreply=*/true);
+          }
+          if (!refill.empty()) {
+            const auto t_set = std::chrono::steady_clock::now();
+            (void)client.execute(refill);
+            set_hists[c].add(us_since(t_set));
+            local += refill.size();
+          }
+        }
+        total_ops.fetch_add(local);
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    server.stop();
+    util::LatencyHistogram get_hist, set_hist;
+    for (std::size_t c = 0; c < conns; ++c) {
+      get_hist.merge(get_hists[c]);
+      set_hist.merge(set_hists[c]);
+    }
+    append_latency_metrics(row, "get", get_hist);
+    append_latency_metrics(row, "set", set_hist);
     row.metrics.emplace_back(
         "ops_per_sec",
         seconds <= 0.0 ? 0.0
@@ -925,6 +1074,10 @@ std::vector<FigureSpec> build_registry() {
   figures.emplace_back("fig9_scaling",
                        "Batched clients x shards scaling matrix",
                        fig9_scaling_points, fig9_scaling_run);
+
+  figures.emplace_back("fig_latency",
+                       "Latency percentiles: connections x batch-size matrix",
+                       fig_latency_points, fig_latency_run);
 
   figures.emplace_back(
       "fig_coop_cluster",

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kvs/net_io.h"
 #include "kvs/protocol.h"
 
 namespace camp::kvs {
@@ -76,35 +77,62 @@ KvsClient::~KvsClient() {
 void KvsClient::send_all(std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (n > 0) {
-      ++write_count_;
-      sent += static_cast<std::size_t>(n);
-      continue;
+    const ssize_t n = net::retry_eintr([&] {
+      return ::send(fd_, data.data() + sent, data.size() - sent,
+                    MSG_NOSIGNAL | MSG_DONTWAIT);
+    });
+    switch (net::classify_send(n)) {
+      case net::IoStatus::kProgress:
+        ++write_count_;
+        sent += static_cast<std::size_t>(n);
+        continue;
+      case net::IoStatus::kWouldBlock:
+        break;
+      default:
+        throw std::runtime_error(std::string("KvsClient: send failed: ") +
+                                 std::strerror(errno));
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Kernel send buffer full. The server may itself be blocked writing
-      // replies we have not read yet (a huge replied batch can exceed both
-      // sockets' buffers), so drain replies into inbuf_ before waiting for
-      // writability — otherwise the two blocking writers deadlock.
-      char chunk[16 * 1024];
-      ssize_t got;
-      while ((got = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT)) > 0) {
-        inbuf_.append(chunk, static_cast<std::size_t>(got));
-      }
-      if (got == 0) throw std::runtime_error("KvsClient: connection closed");
-      if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
-        throw std::runtime_error("KvsClient: recv failed");
-      }
-      pollfd pfd{fd_, POLLIN | POLLOUT, 0};
-      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
-        throw std::runtime_error("KvsClient: poll failed");
-      }
-      continue;
+    // Kernel send buffer full. The server may be unable to accept more
+    // request bytes until we read the replies it already queued (a huge
+    // replied batch can exceed both sockets' buffers), so drain replies
+    // into inbuf_ before waiting — otherwise the two writers deadlock.
+    char chunk[16 * 1024];
+    ssize_t got;
+    while ((got = net::retry_eintr([&] {
+              return ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+            })) > 0) {
+      inbuf_.append(chunk, static_cast<std::size_t>(got));
     }
-    throw std::runtime_error("KvsClient: send failed");
+    if (got == 0) throw std::runtime_error("KvsClient: connection closed");
+    if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      throw std::runtime_error(std::string("KvsClient: recv failed: ") +
+                               std::strerror(errno));
+    }
+    wait_ready(/*want_write=*/true);  // unsent request bytes remain here
   }
+}
+
+void KvsClient::wait_ready(bool want_write) {
+  pollfd pfd{fd_, static_cast<short>(POLLIN | (want_write ? POLLOUT : 0)), 0};
+  const ssize_t r = net::retry_eintr(
+      [&] { return static_cast<ssize_t>(::poll(&pfd, 1, -1)); });
+  if (r < 0) {
+    throw std::runtime_error(std::string("KvsClient: poll failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+void KvsClient::fill_inbuf() {
+  char chunk[16 * 1024];
+  const ssize_t n =
+      net::retry_eintr([&] { return ::recv(fd_, chunk, sizeof(chunk), 0); });
+  if (n > 0) {
+    inbuf_.append(chunk, static_cast<std::size_t>(n));
+    return;
+  }
+  if (n == 0) throw std::runtime_error("KvsClient: connection closed");
+  throw std::runtime_error(std::string("KvsClient: recv failed: ") +
+                           std::strerror(errno));
 }
 
 std::string KvsClient::read_line() {
@@ -115,19 +143,13 @@ std::string KvsClient::read_line() {
       inbuf_.erase(0, pos + 2);
       return line;
     }
-    char chunk[16 * 1024];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) throw std::runtime_error("KvsClient: connection closed");
-    inbuf_.append(chunk, static_cast<std::size_t>(n));
+    fill_inbuf();
   }
 }
 
 std::string KvsClient::read_bytes(std::size_t n) {
   while (inbuf_.size() < n + 2) {  // payload + CRLF
-    char chunk[16 * 1024];
-    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (got <= 0) throw std::runtime_error("KvsClient: connection closed");
-    inbuf_.append(chunk, static_cast<std::size_t>(got));
+    fill_inbuf();
   }
   std::string payload = inbuf_.substr(0, n);
   inbuf_.erase(0, n + 2);

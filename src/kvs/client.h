@@ -63,6 +63,15 @@ class KvsClient final : public KvsApi {
 
  private:
   void send_all(std::string_view data);
+  /// Block until the socket is readable — or, when `want_write` is set
+  /// (unsent request bytes remain), readable OR writable. POLLOUT is never
+  /// requested without pending output: a writable-but-idle socket would
+  /// make poll() return instantly forever, turning the wait into a busy
+  /// loop.
+  void wait_ready(bool want_write);
+  /// One blocking recv appended to inbuf_ (EINTR retried — a signal is not
+  /// a peer disconnect). Throws on EOF or socket error.
+  void fill_inbuf();
   [[nodiscard]] std::string read_line();
   [[nodiscard]] std::string read_bytes(std::size_t n);
 

@@ -1,0 +1,69 @@
+// EventLoop: the server's readiness-notification core — a thin epoll
+// wrapper plus an eventfd wakeup channel.
+//
+// Each KvsServer worker owns ONE EventLoop and is the only thread that
+// calls add/modify/remove/wait on it; wake() is the single cross-thread
+// entry point (the acceptor rings it after a connection handoff, stop()
+// rings it for shutdown) and is async-signal- and thread-safe by eventfd's
+// semantics. This thread-confined design needs no mutex, so the loop sits
+// entirely outside the lock-rank hierarchy.
+//
+// The backend is epoll (level-triggered: a connection whose interest set
+// still has unserved readiness is re-reported, so the worker can cap
+// per-round work for fairness without losing events). An io_uring backend
+// is the documented extension point — see README "KVS server & batched
+// client" — and would slot in behind this same interface.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace camp::kvs {
+
+class EventLoop {
+ public:
+  /// One readiness report. `tag` is the opaque pointer registered for the
+  /// fd; `hangup` folds EPOLLHUP/EPOLLERR (peer gone or socket error — the
+  /// fd may still have final bytes to read).
+  struct Event {
+    void* tag = nullptr;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  /// Creates the epoll instance and the wakeup eventfd; throws
+  /// std::runtime_error on failure.
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` with the given interest set. `tag` comes back verbatim
+  /// in every Event for this fd. Throws on epoll_ctl failure.
+  void add(int fd, bool want_read, bool want_write, void* tag);
+  /// Update an fd's interest set (and tag).
+  void modify(int fd, bool want_read, bool want_write, void* tag);
+  /// Deregister an fd. Must run before the fd is closed.
+  void remove(int fd);
+
+  /// Block until at least one registered fd is ready, `timeout_ms` elapses
+  /// (-1 = forever), or wake() is rung. Fills `out` (cleared first) with
+  /// the ready fds' events; wakeup notifications are consumed internally
+  /// and produce no Event, so a return with `out` empty means "woken or
+  /// timed out — re-check your control state". EINTR retries internally.
+  void wait(std::vector<Event>& out, int timeout_ms);
+
+  /// Make the next (or current) wait() return promptly. Callable from any
+  /// thread, any number of times; wakes coalesce.
+  void wake() noexcept;
+
+  /// Readiness backend compiled into this build.
+  [[nodiscard]] static const char* backend() noexcept { return "epoll"; }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd, nonblocking
+};
+
+}  // namespace camp::kvs

@@ -1,0 +1,56 @@
+// EINTR/EAGAIN-aware socket I/O helpers shared by the server's event loop
+// and the blocking client.
+//
+// Every raw ::send/::recv/::writev/::poll call in src/kvs goes through
+// retry_eintr: a signal landing mid-syscall makes the kernel return -1 with
+// errno == EINTR, which is NOT an error — the pre-event-loop server treated
+// it as one and dropped the connection (and the client misreported it as
+// "connection closed"). The helper is templated on the syscall thunk so the
+// retry contract is unit-testable without signals (tests/kvs_event_loop_test).
+//
+// classify_io() folds the errno zoo of a NON-BLOCKING socket operation into
+// the three outcomes an event-driven caller actually branches on.
+#pragma once
+
+#include <cerrno>
+#include <sys/types.h>
+
+namespace camp::kvs::net {
+
+/// Retry `fn` (a callable returning ssize_t and setting errno, like a
+/// ::send/::recv/::poll thunk) for as long as it fails with EINTR. Returns
+/// the first result that is not an EINTR failure.
+template <class Fn>
+ssize_t retry_eintr(Fn&& fn) {
+  for (;;) {
+    const ssize_t n = fn();
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+/// Outcome of one non-blocking read/write attempt, post retry_eintr.
+enum class IoStatus {
+  kProgress,    // n > 0: bytes moved
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK: try again when epoll says so
+  kClosed,      // orderly EOF (recv returned 0)
+  kError,       // anything else: the connection is gone
+};
+
+/// Classify the result of a non-blocking recv-style call (0 = EOF).
+[[nodiscard]] inline IoStatus classify_recv(ssize_t n) {
+  if (n > 0) return IoStatus::kProgress;
+  if (n == 0) return IoStatus::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+  return IoStatus::kError;
+}
+
+/// Classify the result of a non-blocking send/writev-style call.
+[[nodiscard]] inline IoStatus classify_send(ssize_t n) {
+  if (n > 0) return IoStatus::kProgress;
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return IoStatus::kWouldBlock;
+  }
+  return IoStatus::kError;
+}
+
+}  // namespace camp::kvs::net

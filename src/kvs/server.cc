@@ -1,35 +1,39 @@
 #include "kvs/server.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "kvs/cluster.h"
+#include "kvs/net_io.h"
 #include "kvs/sharded_cache.h"
 
 namespace camp::kvs {
 
 namespace {
 
-// Blocking full-buffer send.
-bool send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+/// Flush replies into the write queue in chunks of this size, so writev
+/// gets several mid-sized buffers to batch instead of one giant string.
+constexpr std::size_t kReplyChunkBytes = 64u << 10;
+
+/// Per-connection read budget for one event-loop round. Level-triggered
+/// epoll re-reports a connection with unread bytes, so capping here costs
+/// nothing and keeps one fast writer from starving its worker siblings.
+constexpr std::size_t kReadBudgetBytes = 256u << 10;
+
+/// Max buffers per writev batch (well under IOV_MAX everywhere).
+constexpr std::size_t kMaxIov = 8;
 
 // With policy_shards > 1 every engine's eviction policy becomes a
 // ShardedCache of that many physical queues built by the inner factory —
@@ -44,12 +48,71 @@ PolicyFactory wrap_policy_factory(PolicyFactory inner,
   };
 }
 
-// One connection owned by a worker: fd plus incremental decode state.
+/// One connection, owned exclusively by its worker: fd, incremental decode
+/// state, and the pending-reply write queue (a deque of chunks so flushes
+/// can writev several at once). `out_offset` is the already-sent prefix of
+/// the front chunk.
 struct Connection {
   int fd = -1;
   CommandDecoder decoder;
-  bool closing = false;
+  std::deque<std::string> outq;
+  std::size_t out_offset = 0;
+  std::size_t out_bytes = 0;  // total unsent reply bytes across outq
+  bool reg_read = true;       // current epoll interest
+  bool reg_write = false;
+  bool reads_paused = false;  // backpressure: outq past the high watermark
+  bool closing = false;       // flush outq, then close (quit / fatal error)
+  bool drop = false;          // close now, pending replies are forfeit
 };
+
+void enqueue_reply(Connection& conn, std::string&& chunk) {
+  if (chunk.empty()) return;
+  conn.out_bytes += chunk.size();
+  conn.outq.push_back(std::move(chunk));
+}
+
+/// writev as much of the queue as the socket accepts. Returns false when
+/// the connection died mid-write.
+bool flush_replies(Connection& conn) {
+  while (conn.out_bytes > 0) {
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    for (const std::string& chunk : conn.outq) {
+      if (niov == kMaxIov) break;
+      const std::size_t skip = niov == 0 ? conn.out_offset : 0;
+      iov[niov].iov_base = const_cast<char*>(chunk.data() + skip);
+      iov[niov].iov_len = chunk.size() - skip;
+      ++niov;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n =
+        net::retry_eintr([&] { return ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL); });
+    switch (net::classify_send(n)) {
+      case net::IoStatus::kProgress:
+        break;
+      case net::IoStatus::kWouldBlock:
+        return true;  // epoll will tell us when to resume
+      default:
+        return false;
+    }
+    std::size_t sent = static_cast<std::size_t>(n);
+    conn.out_bytes -= sent;
+    while (sent > 0) {
+      std::string& front = conn.outq.front();
+      const std::size_t remaining = front.size() - conn.out_offset;
+      if (sent < remaining) {
+        conn.out_offset += sent;
+        break;
+      }
+      sent -= remaining;
+      conn.out_offset = 0;
+      conn.outq.pop_front();
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -80,12 +143,9 @@ void KvsServer::start() {
 
   // Everything from here until the threads spawn must release the fds it
   // opened on failure: stop() is a no-op while running_ is still false, so
-  // a throwing start() would otherwise leak them.
+  // a throwing start() would otherwise leak them. Worker event loops close
+  // their own fds on destruction.
   const auto fail = [this](const std::string& what) {
-    for (const auto& worker : workers_) {
-      if (worker->wake_read_fd >= 0) ::close(worker->wake_read_fd);
-      if (worker->wake_write_fd >= 0) ::close(worker->wake_write_fd);
-    }
     workers_.clear();
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -118,22 +178,17 @@ void KvsServer::start() {
   workers_.reserve(pool);
   for (std::size_t i = 0; i < pool; ++i) {
     auto worker = std::make_unique<Worker>();
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-      workers_.push_back(std::move(worker));  // fds -1; fail() skips them
-      fail("pipe() failed");
+    try {
+      worker->loop = std::make_unique<EventLoop>();
+    } catch (const std::exception& e) {
+      fail(e.what());
     }
-    worker->wake_read_fd = pipe_fds[0];
-    worker->wake_write_fd = pipe_fds[1];
-    // Non-blocking read end: the drain loop below must never park the
-    // worker inside read() once poll() reported the pipe readable.
-    ::fcntl(worker->wake_read_fd, F_SETFL,
-            ::fcntl(worker->wake_read_fd, F_GETFL) | O_NONBLOCK);
     workers_.push_back(std::move(worker));
   }
 
   running_.store(true);
   next_worker_ = 0;
+  accept_failures_.store(0, std::memory_order_relaxed);
   for (auto& worker : workers_) {
     Worker* w = worker.get();
     worker->thread = std::thread([this, w] { worker_loop(*w); });
@@ -158,20 +213,11 @@ void KvsServer::stop() {
   if (acceptor_.joinable()) acceptor_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  for (auto& worker : workers_) {
-    const char wake = 'q';
-    (void)!::write(worker->wake_write_fd, &wake, 1);
-    // Unblock a worker parked in a blocking send()/recv() on a stalled
-    // connection; shutdown (not close) keeps the fd numbers valid for the
-    // worker's own cleanup.
-    util::MutexLock lock(worker->mutex);
-    for (const int fd : worker->live_fds) ::shutdown(fd, SHUT_RDWR);
-    for (const int fd : worker->pending_fds) ::shutdown(fd, SHUT_RDWR);
-  }
+  // Workers never park in socket I/O (everything is non-blocking); one
+  // wake() per loop suffices to get each out of EventLoop::wait.
+  for (auto& worker : workers_) worker->loop->wake();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
-    ::close(worker->wake_read_fd);
-    ::close(worker->wake_write_fd);
     // The acceptor may have handed over a connection after the worker's
     // final adoption pass; with both threads joined, whatever is left in
     // pending_fds belongs to no one — close it here. Joining made this
@@ -186,9 +232,20 @@ void KvsServer::stop() {
 
 void KvsServer::accept_loop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) {
       if (!running_.load()) break;
+      // Transient per-connection races are retried immediately; everything
+      // else (EMFILE/ENFILE fd exhaustion, ENOBUFS/ENOMEM, ...) is counted
+      // and backed off — a persistent failure must not spin this thread
+      // hot, and an operator must be able to see it happening (STATS
+      // `accept_failures`).
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      accept_failures_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
     const int one = 1;
@@ -198,123 +255,166 @@ void KvsServer::accept_loop() {
       util::MutexLock lock(worker.mutex);
       worker.pending_fds.push_back(fd);
     }
-    const char wake = 'c';
-    (void)!::write(worker.wake_write_fd, &wake, 1);
+    worker.loop->wake();
   }
 }
 
 void KvsServer::worker_loop(Worker& worker) {
-  std::vector<Connection> conns;
-  std::vector<pollfd> pfds;
-  std::string out;
+  EventLoop& loop = *worker.loop;
+  // Tag stability: the loop hands back raw Connection pointers, so each
+  // lives behind a unique_ptr in this fd-keyed map.
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::vector<EventLoop::Event> events;
+  std::vector<int> adopted;
   char chunk[16 * 1024];
 
-  // Deregister from live_fds BEFORE closing so stop() can never shutdown()
-  // a recycled fd number.
-  const auto retire = [&worker](int fd) {
-    {
-      util::MutexLock lock(worker.mutex);
-      std::erase(worker.live_fds, fd);
+  const std::size_t high_watermark =
+      std::max<std::size_t>(config_.write_high_watermark, kReplyChunkBytes);
+  const std::size_t low_watermark = high_watermark / 2;
+
+  const auto destroy = [&](Connection* conn) {
+    loop.remove(conn->fd);
+    ::close(conn->fd);
+    conns.erase(conn->fd);
+  };
+
+  // Reconcile a connection's epoll interest with its current state: read
+  // while not backpressured, write while replies are pending.
+  const auto update_interest = [&](Connection* conn) {
+    const bool want_read = !conn->reads_paused && !conn->closing;
+    const bool want_write = conn->out_bytes > 0;
+    if (want_read != conn->reg_read || want_write != conn->reg_write) {
+      loop.modify(conn->fd, want_read, want_write, conn);
+      conn->reg_read = want_read;
+      conn->reg_write = want_write;
     }
-    ::close(fd);
+  };
+
+  // Drain complete commands out of the decoder while the write queue is
+  // under the watermark, appending replies in kReplyChunkBytes chunks.
+  const auto process_commands = [&](Connection* conn) {
+    if (conn->closing || conn->drop) return;
+    conn->reads_paused = false;
+    std::string out;
+    DecodedCommand dc;
+    for (;;) {
+      if (conn->out_bytes + out.size() >= high_watermark) {
+        // Backpressure: the peer is not draining replies. Park the
+        // decoder (it keeps any buffered bytes) and stop reading until
+        // flush_replies gets the queue back under the low watermark.
+        conn->reads_paused = true;
+        break;
+      }
+      if (out.size() >= kReplyChunkBytes) {
+        enqueue_reply(*conn, std::move(out));
+        out = {};
+      }
+      const CommandDecoder::Status status = conn->decoder.next(dc);
+      if (status == CommandDecoder::Status::kNeedMore) break;
+      if (status == CommandDecoder::Status::kFatalError) {
+        // Unframeable stream (malformed storage header / endless line):
+        // answer ERROR and drop the connection, memcached-style.
+        out += format_error();
+        conn->closing = true;
+        break;
+      }
+      if (status == CommandDecoder::Status::kProtocolError) {
+        out += format_error();
+        continue;
+      }
+      bool keep = false;
+      try {
+        keep = apply_command(dc, out);
+      } catch (const std::exception&) {
+        // A cluster-routed command can throw (stale node binding, peer
+        // transport failure surfacing as a logic error): answer ERROR
+        // and drop this connection instead of letting the exception
+        // terminate the worker (and with it the whole server).
+        out += format_error();
+        keep = false;
+      }
+      if (!keep) {
+        conn->closing = true;
+        break;
+      }
+    }
+    enqueue_reply(*conn, std::move(out));
+  };
+
+  // Post-I/O bookkeeping shared by the read and write paths: try to flush,
+  // resume a backpressured reader once the peer drained, and retire the
+  // connection when it is done for.
+  const auto settle = [&](Connection* conn) {
+    if (!conn->drop && !flush_replies(*conn)) conn->drop = true;
+    if (!conn->drop && conn->reads_paused && conn->out_bytes <= low_watermark) {
+      // The decoder may hold complete commands that arrived before the
+      // pause; serve them now that there is room.
+      process_commands(conn);
+      if (!flush_replies(*conn)) conn->drop = true;
+    }
+    if (conn->drop || (conn->closing && conn->out_bytes == 0)) {
+      destroy(conn);
+      return;
+    }
+    update_interest(conn);
+  };
+
+  const auto handle_readable = [&](Connection* conn) {
+    std::size_t budget = kReadBudgetBytes;
+    while (budget > 0 && !conn->drop) {
+      const ssize_t n = net::retry_eintr(
+          [&] { return ::recv(conn->fd, chunk, sizeof(chunk), MSG_DONTWAIT); });
+      const net::IoStatus status = net::classify_recv(n);
+      if (status == net::IoStatus::kProgress) {
+        conn->decoder.feed(
+            std::string_view(chunk, static_cast<std::size_t>(n)));
+        budget -= std::min(budget, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (status == net::IoStatus::kWouldBlock) break;
+      // EOF or hard error: whatever replies are still queued have no
+      // reader worth waiting for.
+      conn->drop = true;
+    }
+    process_commands(conn);
   };
 
   while (running_.load()) {
     // Adopt connections the acceptor handed over.
     {
       util::MutexLock lock(worker.mutex);
-      for (const int fd : worker.pending_fds) {
-        Connection conn;
-        conn.fd = fd;
-        conns.push_back(std::move(conn));
-        worker.live_fds.push_back(fd);
-      }
-      worker.pending_fds.clear();
+      adopted.swap(worker.pending_fds);
     }
+    for (const int fd : adopted) {
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      Connection* tag = conn.get();
+      conns.emplace(fd, std::move(conn));
+      loop.add(fd, /*want_read=*/true, /*want_write=*/false, tag);
+    }
+    adopted.clear();
 
-    pfds.clear();
-    pfds.push_back({worker.wake_read_fd, POLLIN, 0});
-    for (const Connection& conn : conns) {
-      pfds.push_back({conn.fd, POLLIN, 0});
-    }
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
+    loop.wait(events, -1);
+    if (!running_.load()) break;
 
-    if ((pfds[0].revents & POLLIN) != 0) {
-      // Drain every queued wake byte (handoff or shutdown notice); the
-      // read end is non-blocking, so this stops at EAGAIN.
-      while (::read(worker.wake_read_fd, chunk, sizeof(chunk)) > 0) {
-      }
-    }
-
-    for (std::size_t i = 0; i < conns.size(); ++i) {
-      Connection& conn = conns[i];
-      if ((pfds[i + 1].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
-      const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) {
-        conn.closing = true;
+    for (const EventLoop::Event& ev : events) {
+      auto* conn = static_cast<Connection*>(ev.tag);
+      if (ev.hangup && !ev.readable && !ev.writable) {
+        destroy(conn);
         continue;
       }
-      conn.decoder.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
-
-      // Drain the entire pipeline of complete commands, answering the
-      // whole burst with one write — flushing early if the replies grow
-      // past kReplyFlushBytes, so a tiny request pipeline asking for huge
-      // values cannot amplify into unbounded server memory.
-      constexpr std::size_t kReplyFlushBytes = 64u << 10;
-      out.clear();
-      DecodedCommand dc;
-      for (;;) {
-        if (out.size() >= kReplyFlushBytes) {
-          if (!send_all(conn.fd, out)) {
-            conn.closing = true;
-            break;
-          }
-          out.clear();
-        }
-        const CommandDecoder::Status status = conn.decoder.next(dc);
-        if (status == CommandDecoder::Status::kNeedMore) break;
-        if (status == CommandDecoder::Status::kFatalError) {
-          // Unframeable stream (malformed storage header / endless line):
-          // answer ERROR and drop the connection, memcached-style.
-          out += format_error();
-          conn.closing = true;
-          break;
-        }
-        if (status == CommandDecoder::Status::kProtocolError) {
-          out += format_error();
-          continue;
-        }
-        bool keep = false;
-        try {
-          keep = apply_command(dc, out);
-        } catch (const std::exception&) {
-          // A cluster-routed command can throw (stale node binding, peer
-          // transport failure surfacing as a logic error): answer ERROR
-          // and drop this connection instead of letting the exception
-          // terminate the worker (and with it the whole server).
-          out += format_error();
-          keep = false;
-        }
-        if (!keep) {
-          conn.closing = true;
-          break;
-        }
-      }
-      if (!out.empty() && !send_all(conn.fd, out)) conn.closing = true;
-    }
-
-    for (std::size_t i = conns.size(); i-- > 0;) {
-      if (conns[i].closing) {
-        retire(conns[i].fd);
-        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
-      }
+      if (ev.readable) handle_readable(conn);
+      // One settle per event: flush (covers ev.writable), resume a
+      // backpressured reader, retire or re-arm interest.
+      settle(conn);
     }
   }
 
-  for (const Connection& conn : conns) retire(conn.fd);
+  for (auto& [fd, conn] : conns) {
+    loop.remove(fd);
+    ::close(fd);
+  }
+  conns.clear();
   // Connections handed over after the last adoption pass still belong to
   // this worker; close them too.
   util::MutexLock lock(worker.mutex);
@@ -402,6 +502,9 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
       const EngineStats s = store_.aggregated_stats();
       out += format_stat("policy", store_.policy_name());
       out += format_stat("workers", std::to_string(workers_.size()));
+      out += format_stat("io_backend", EventLoop::backend());
+      out += format_stat("accept_failures",
+                         std::to_string(accept_failures()));
       out += format_stat("store_shards", std::to_string(store_.shard_count()));
       out += format_stat("gets", std::to_string(s.gets));
       out += format_stat("hits", std::to_string(s.hits));

@@ -4,21 +4,24 @@
 //
 // Threading model: one acceptor thread plus a FIXED pool of worker threads
 // (shard-per-core: `workers == 0` sizes the pool to hardware_concurrency).
-// The acceptor hands each accepted connection to a worker round-robin; a
-// worker multiplexes all of its connections with poll() and a self-pipe
-// for shutdown/handoff wakeups. Per readable connection the worker drains
-// EVERY complete pipelined command out of the read buffer (incremental
-// CommandDecoder), accumulates the replies, and answers with one write —
-// so a batched client costs one read + one write per batch on the server
-// side too.
+// The acceptor hands each accepted connection to a worker round-robin; the
+// worker owns it exclusively for its whole lifetime and multiplexes all of
+// its connections with an epoll EventLoop (kvs/event_loop.h). Sockets are
+// non-blocking end to end: per readable connection the worker drains EVERY
+// complete pipelined command out of the read buffer (incremental
+// CommandDecoder), accumulates replies into a per-connection write queue,
+// and flushes with writev — so one stalled (never-reading) peer can no
+// longer park the worker in send() and starve its other connections. Past
+// `write_high_watermark` pending reply bytes the worker stops decoding
+// that connection's commands until the peer drains (backpressure), which
+// bounds per-connection server memory at the watermark plus one reply.
 //
 // Keys are hash-partitioned across the store's engine shards; with
 // `policy_shards > 1` each engine's eviction policy is additionally a
 // ShardedCache over that many physical queues (the paper's Section 4.1
 // "multiple physical queues per LRU queue" recipe).
 //
-// stop() shuts the listener and every live connection down and joins all
-// threads.
+// stop() wakes every worker through its event loop and joins all threads.
 #pragma once
 
 #include <atomic>
@@ -28,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "kvs/event_loop.h"
 #include "kvs/protocol.h"
 #include "kvs/repair.h"
 #include "kvs/store.h"
@@ -45,6 +49,11 @@ struct ServerConfig {
   /// Physical policy queues per engine shard (ShardedCache); 1 = the
   /// policy factory's cache is used directly.
   std::size_t policy_shards = 1;
+  /// Per-connection pending-reply ceiling. Once a connection's unsent
+  /// reply bytes exceed this, the worker stops decoding further commands
+  /// from it until the peer drains below half the watermark — backpressure
+  /// instead of unbounded buffering for a slow or never-reading client.
+  std::size_t write_high_watermark = 256u << 10;
   /// With a cluster attached and this > 0, start() spawns a RepairDriver
   /// thread running cluster->repair_tick() on this interval (anti-entropy
   /// in live deployments). 0 (default) = manual repair_tick() only — the
@@ -80,23 +89,28 @@ class KvsServer {
   [[nodiscard]] bool running() const { return running_.load(); }
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
+  /// accept() failures that were NOT transient (fd exhaustion such as
+  /// EMFILE/ENFILE, ENOBUFS/ENOMEM, ...). Each one also triggers a short
+  /// acceptor backoff so a persistent failure cannot spin the thread hot.
+  /// Surfaced in STATS as `accept_failures`.
+  [[nodiscard]] std::uint64_t accept_failures() const {
+    return accept_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One worker thread's shared state. The worker exclusively owns its
-  /// connections; the acceptor only touches `pending_fds` (under `mutex`)
-  /// and the write end of the wake pipe. `live_fds` mirrors the fds the
-  /// worker currently serves (maintained under `mutex`) so stop() can
-  /// shutdown() them and unblock a worker parked in a blocking send() to a
-  /// stalled client.
+  /// connections and its event loop; the acceptor only touches
+  /// `pending_fds` (under `mutex`) and the loop's wake() channel (which is
+  /// thread-safe by design). The worker never blocks in socket I/O — only
+  /// in EventLoop::wait — so stop() needs nothing beyond a wake().
   struct Worker {
     std::thread thread;
-    int wake_read_fd = -1;
-    int wake_write_fd = -1;
+    std::unique_ptr<EventLoop> loop;
     // kServerWorker is the lowest rank in the hierarchy: the worker takes
     // this lock briefly around fd handoff and never holds it across store
     // or cluster calls.
     util::Mutex mutex{util::LockRank::kServerWorker};
     std::vector<int> pending_fds CAMP_GUARDED_BY(mutex);
-    std::vector<int> live_fds CAMP_GUARDED_BY(mutex);
   };
 
   void accept_loop();
@@ -115,6 +129,7 @@ class KvsServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> accept_failures_{0};
   std::thread acceptor_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t next_worker_ = 0;  // acceptor-only round-robin cursor

@@ -15,6 +15,60 @@ double ReservoirSampler::percentile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) noexcept {
+  // Values below 2^kSubBits are recorded exactly (one bucket per value);
+  // above that each octave [2^t, 2^{t+1}) is split into 2^kSubBits linear
+  // sub-buckets selected by the kSubBits bits after the leading one.
+  if (value < (1ull << kSubBits)) return static_cast<std::size_t>(value);
+  const auto top = static_cast<std::uint32_t>(std::bit_width(value) - 1);
+  const std::uint32_t shift = top - kSubBits;
+  const std::uint64_t sub = (value >> shift) & ((1ull << kSubBits) - 1);
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(shift + 1) << kSubBits) + sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_ceil(std::size_t i) noexcept {
+  const std::uint64_t sub_count = 1ull << kSubBits;
+  if (i < sub_count) return static_cast<std::uint64_t>(i);
+  const std::uint32_t shift = static_cast<std::uint32_t>(i >> kSubBits) - 1;
+  const std::uint64_t sub = i & (sub_count - 1);
+  // Bucket covers [ (sub_count + sub) << shift, +2^shift ): report its
+  // inclusive upper bound.
+  return ((sub_count + sub) << shift) + (1ull << shift) - 1;
+}
+
+void LatencyHistogram::add(std::uint64_t value) {
+  const std::size_t bucket = bucket_index(value);
+  if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+  ++counts_[bucket];
+  ++total_;
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) return std::min(bucket_ceil(i), max_);
+  }
+  return max_;  // unreachable when counts_ is consistent with total_
+}
+
 void Log2Histogram::add(std::uint64_t value) noexcept {
   const std::size_t bucket =
       value <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);

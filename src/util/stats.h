@@ -69,6 +69,39 @@ class ReservoirSampler {
   mutable std::vector<double> samples_;
 };
 
+/// HDR-style log-linear latency histogram: each power-of-two range is split
+/// into 2^kSubBits linear sub-buckets, giving a bounded relative error of
+/// 1/2^kSubBits (~3%) at every magnitude with a few KB of counters — the
+/// standard shape for recording microsecond latencies across six decades
+/// without per-sample storage. add() is O(1) and allocation-free past the
+/// high-water bucket; merge() lets per-thread recorders combine after a run
+/// so the hot path needs no synchronization.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave (32): relative quantization error 1/32.
+  static constexpr std::uint32_t kSubBits = 5;
+
+  void add(std::uint64_t value);
+  void merge(const LatencyHistogram& other);
+
+  /// q in [0, 1]: smallest recorded-bucket upper bound covering at least
+  /// a q-fraction of samples; returns the bucket's representative value.
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Inclusive upper bound of bucket i — what percentile() reports.
+  [[nodiscard]] static std::uint64_t bucket_ceil(std::size_t i) noexcept;
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
 /// Geometric-bucket histogram (powers of two) for size/cost distributions.
 class Log2Histogram {
  public:

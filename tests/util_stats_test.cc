@@ -45,6 +45,72 @@ TEST(ReservoirSampler, ApproximatesUniformPercentiles) {
   EXPECT_NEAR(r.percentile(0.9), 0.9, 0.05);
 }
 
+TEST(LatencyHistogram, ExactBelowSubBucketRange) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.max_value(), 31u);
+  // Values below 2^kSubBits are recorded exactly: every percentile is the
+  // true order statistic (ceil-rank: p50 of 32 samples is the 16th
+  // smallest, value 15).
+  EXPECT_EQ(h.percentile(0.5), 15u);
+  EXPECT_EQ(h.percentile(1.0), 31u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+}
+
+TEST(LatencyHistogram, BoundedRelativeErrorAtAllMagnitudes) {
+  LatencyHistogram h;
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 50'000; ++i) {
+    // Six decades of "latencies": 1us .. ~1e6us.
+    const auto v = 1 + rng.below(1'000'000);
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact = static_cast<double>(
+        values[static_cast<std::size_t>(q * (values.size() - 1))]);
+    const auto approx = static_cast<double>(h.percentile(q));
+    // 2^kSubBits = 32 linear sub-buckets per octave: <= ~1/32 relative
+    // quantization error (a little slack for the rank-vs-index off-by-one).
+    EXPECT_NEAR(approx, exact, exact / 16.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, PercentileNeverExceedsMax) {
+  LatencyHistogram h;
+  h.add(1'000'003);
+  h.add(17);
+  EXPECT_EQ(h.percentile(1.0), 1'000'003u);
+  EXPECT_EQ(h.percentile(0.999), 1'000'003u);
+  EXPECT_EQ(h.percentile(0.25), 17u);
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.below(100'000);
+    combined.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max_value(), combined.max_value());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << "q=" << q;
+  }
+}
+
 TEST(Log2Histogram, BucketsByMagnitude) {
   Log2Histogram h;
   h.add(0);

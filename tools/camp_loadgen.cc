@@ -1,0 +1,292 @@
+// camp_loadgen — latency load generator for the KVS server.
+//
+//   camp_loadgen --mode closed --connections 4 --batch 8 --duration-ms 2000
+//   camp_loadgen --mode open --rate 500 --connections 2 --duration-ms 2000
+//   camp_loadgen --host 127.0.0.1 --port 11211 --mode closed
+//
+// With no --port the tool spawns an in-process KvsServer on an ephemeral
+// localhost port (configured by --policy/--capacity-mb/--workers/--shards)
+// and tears it down afterwards, so the smoke test needs no fixture.
+//
+// Two load models, per connection:
+//   closed  back-to-back batches: the next request is issued the moment the
+//           previous reply lands. Measures service latency under exactly
+//           `connections` outstanding requests — but a slow reply slows the
+//           arrival process itself, hiding queueing delay.
+//   open    batches on a fixed schedule (--rate per connection): arrival i
+//           is DUE at start + i/rate, and its latency is measured from that
+//           scheduled time, not from when the tool got around to sending it.
+//           A stalled server therefore charges the stall to every overdue
+//           request — the standard correction for coordinated omission.
+//
+// Each connection thread keeps its own per-op-type LatencyHistogram (no
+// shared state on the hot path); main merges them after the join and prints
+// one line per op type:
+//
+//   camp_loadgen mode=closed connections=4 batch=8 duration_ms=2000 io_backend=epoll
+//   op=get count=12345 p50_us=110 p99_us=410 p999_us=900 max_us=1200
+//   op=set count=1371 p50_us=130 p99_us=500 p999_us=980 max_us=1500
+//   total ops=109728 wall_ms=2001 ops_per_sec=54836.6
+//
+// Exits nonzero when the run completed zero operations.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvs/api.h"
+#include "kvs/client.h"
+#include "kvs/server.h"
+#include "policy/policy_factory.h"
+#include "tool_args.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace camp;
+using camp::tools::match_arg;
+
+struct Args {
+  std::string mode = "closed";
+  std::size_t connections = 4;
+  std::size_t batch = 8;
+  std::uint64_t duration_ms = 1000;
+  double rate = 1000.0;  // open loop: batches/sec per connection
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = spawn an in-process server
+  std::string policy = "camp";
+  std::size_t capacity_mb = 64;
+  std::size_t workers = 2;
+  std::size_t shards = 2;
+  std::size_t value_bytes = 1024;
+  std::uint64_t keys = 10000;
+  double set_ratio = 0.1;
+  std::uint64_t seed = 1;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  std::string text;
+  const auto as_u64 = [&](const char* what) {
+    try {
+      return std::stoull(text);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string("bad value for ") + what +
+                                  ": '" + text + "'");
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (match_arg(argc, argv, i, "--mode", &args.mode)) continue;
+    if (match_arg(argc, argv, i, "--host", &args.host)) continue;
+    if (match_arg(argc, argv, i, "--policy", &args.policy)) continue;
+    if (match_arg(argc, argv, i, "--connections", &text)) {
+      args.connections = as_u64("--connections");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--batch", &text)) {
+      args.batch = as_u64("--batch");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--duration-ms", &text)) {
+      args.duration_ms = as_u64("--duration-ms");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--rate", &text)) {
+      args.rate = std::stod(text);
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--port", &text)) {
+      args.port = static_cast<std::uint16_t>(as_u64("--port"));
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--capacity-mb", &text)) {
+      args.capacity_mb = as_u64("--capacity-mb");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--workers", &text)) {
+      args.workers = as_u64("--workers");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--shards", &text)) {
+      args.shards = as_u64("--shards");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--value-bytes", &text)) {
+      args.value_bytes = as_u64("--value-bytes");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--keys", &text)) {
+      args.keys = as_u64("--keys");
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--set-ratio", &text)) {
+      args.set_ratio = std::stod(text);
+      continue;
+    }
+    if (match_arg(argc, argv, i, "--seed", &text)) {
+      args.seed = as_u64("--seed");
+      continue;
+    }
+    throw std::invalid_argument(std::string("unknown argument '") + argv[i] +
+                                "'");
+  }
+  if (args.mode != "closed" && args.mode != "open") {
+    throw std::invalid_argument("unknown mode '" + args.mode +
+                                "' (want closed|open)");
+  }
+  if (args.connections == 0 || args.batch == 0 || args.keys == 0) {
+    throw std::invalid_argument(
+        "--connections, --batch and --keys must be positive");
+  }
+  if (args.mode == "open" && args.rate <= 0.0) {
+    throw std::invalid_argument("--rate must be positive in open mode");
+  }
+  return args;
+}
+
+/// One connection's tallies: merged by the main thread after join.
+struct ConnStats {
+  util::LatencyHistogram get_hist;
+  util::LatencyHistogram set_hist;
+  std::uint64_t ops = 0;
+};
+
+void run_connection(const Args& args, std::uint16_t port, std::size_t index,
+                    ConnStats& stats) {
+  kvs::KvsClient client(args.host, port);
+  util::Xoshiro256 rng(args.seed * 0x9e3779b97f4a7c15ull + index);
+  const std::string payload(args.value_bytes, 'v');
+  const auto key_for = [&](std::uint64_t k) {
+    return "lg:" + std::to_string(k);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(args.duration_ms);
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / args.rate));
+  const bool open_loop = args.mode == "open";
+
+  for (std::uint64_t i = 0;; ++i) {
+    auto issue_at = start;
+    if (open_loop) {
+      issue_at = start + interval * static_cast<std::int64_t>(i);
+      if (issue_at >= deadline) break;
+      // Sleep until the scheduled arrival; when the previous batch overran
+      // the schedule this is already in the past and we fall straight
+      // through — the overdue time still counts against this batch below.
+      std::this_thread::sleep_until(issue_at);
+    } else {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      issue_at = std::chrono::steady_clock::now();
+    }
+
+    // Homogeneous batches keep per-op-type attribution exact: the whole
+    // batch is sets with probability --set-ratio, gets otherwise.
+    const bool is_set = rng.uniform() < args.set_ratio;
+    kvs::KvsBatch batch;
+    for (std::size_t b = 0; b < args.batch; ++b) {
+      const std::uint64_t k = rng.below(args.keys);
+      if (is_set) {
+        batch.add_set(key_for(k), payload, 0, /*cost=*/1, 0);
+      } else {
+        batch.add_get(key_for(k));
+      }
+    }
+    (void)client.execute(batch);
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - issue_at)
+            .count());
+    (is_set ? stats.set_hist : stats.get_hist).add(us);
+    stats.ops += args.batch;
+  }
+}
+
+void print_op_line(const char* op, const util::LatencyHistogram& h) {
+  if (h.count() == 0) return;
+  std::printf("op=%s count=%llu p50_us=%llu p99_us=%llu p999_us=%llu "
+              "max_us=%llu\n",
+              op, static_cast<unsigned long long>(h.count()),
+              static_cast<unsigned long long>(h.percentile(0.50)),
+              static_cast<unsigned long long>(h.percentile(0.99)),
+              static_cast<unsigned long long>(h.percentile(0.999)),
+              static_cast<unsigned long long>(h.max_value()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+
+    // Self-hosted server unless the caller points at a live one.
+    std::unique_ptr<kvs::KvsServer> server;
+    std::uint16_t port = args.port;
+    if (port == 0) {
+      kvs::ServerConfig config;
+      config.workers = args.workers;
+      config.store.shards = args.shards;
+      config.store.engine.slab.memory_limit_bytes =
+          static_cast<std::uint64_t>(args.capacity_mb) << 20;
+      static const util::SteadyClock steady;
+      const std::string policy = args.policy;
+      server = std::make_unique<kvs::KvsServer>(
+          std::move(config),
+          [policy](std::uint64_t capacity) {
+            return policy::make_policy(policy, capacity);
+          },
+          steady);
+      server->start();
+      port = server->port();
+    }
+
+    std::printf("camp_loadgen mode=%s connections=%zu batch=%zu "
+                "duration_ms=%llu io_backend=%s\n",
+                args.mode.c_str(), args.connections, args.batch,
+                static_cast<unsigned long long>(args.duration_ms),
+                kvs::EventLoop::backend());
+
+    std::vector<ConnStats> per_conn(args.connections);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(args.connections);
+    for (std::size_t c = 0; c < args.connections; ++c) {
+      threads.emplace_back(
+          [&, c] { run_connection(args, port, c, per_conn[c]); });
+    }
+    for (auto& th : threads) th.join();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (server) server->stop();
+
+    util::LatencyHistogram get_hist, set_hist;
+    std::uint64_t ops = 0;
+    for (const ConnStats& s : per_conn) {
+      get_hist.merge(s.get_hist);
+      set_hist.merge(s.set_hist);
+      ops += s.ops;
+    }
+    print_op_line("get", get_hist);
+    print_op_line("set", set_hist);
+    std::printf("total ops=%llu wall_ms=%.0f ops_per_sec=%.1f\n",
+                static_cast<unsigned long long>(ops), wall_ms,
+                wall_ms <= 0.0 ? 0.0
+                               : static_cast<double>(ops) * 1000.0 / wall_ms);
+    if (ops == 0) {
+      std::fprintf(stderr, "camp_loadgen: zero operations completed\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "camp_loadgen: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,31 @@
+# CTest driver for the loadgen smoke test: a tiny self-hosted run in each
+# loop mode must exit 0 and print a well-formed report — the header line,
+# at least one per-op-type percentile line, and the throughput footer. Run
+# via:
+#   cmake -DCAMP_LOADGEN=... -P this
+foreach(mode closed open)
+  execute_process(
+    COMMAND "${CAMP_LOADGEN}" --mode ${mode} --connections 2 --batch 4
+            --duration-ms 150 --rate 200 --keys 64 --value-bytes 64
+            --capacity-mb 8 --workers 2 --shards 2 --seed 7
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "camp_loadgen --mode ${mode} failed (rc=${rc}):\n${out}")
+  endif()
+  if(NOT out MATCHES "camp_loadgen mode=${mode} connections=2 batch=4")
+    message(FATAL_ERROR "--mode ${mode}: malformed header:\n${out}")
+  endif()
+  if(NOT out MATCHES "io_backend=[a-z_]+")
+    message(FATAL_ERROR "--mode ${mode}: missing io_backend:\n${out}")
+  endif()
+  # 150ms of back-to-back (or 200/s scheduled) gets at set-ratio 0.1 always
+  # lands get batches; sets are probabilistic, so only the get line is
+  # asserted.
+  if(NOT out MATCHES "op=get count=[0-9]+ p50_us=[0-9]+ p99_us=[0-9]+ p999_us=[0-9]+ max_us=[0-9]+")
+    message(FATAL_ERROR "--mode ${mode}: malformed get percentile line:\n${out}")
+  endif()
+  if(NOT out MATCHES "total ops=[0-9]+ wall_ms=[0-9]+ ops_per_sec=[0-9.]+")
+    message(FATAL_ERROR "--mode ${mode}: malformed footer:\n${out}")
+  endif()
+endforeach()
