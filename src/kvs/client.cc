@@ -259,50 +259,58 @@ std::map<std::string, GetResult> KvsClient::multi_get(
   return out;
 }
 
-GetResult KvsClient::peer_get(std::string_view key) {
+StoredGetResult KvsClient::peer_get(std::string_view key) {
   require_wire_key(key);
   std::string request("pget ");
   request.append(key);
   request.append("\r\n");
   send_all(request);
-  GetResult result;
+  StoredGetResult result;
   for (;;) {
     const std::string line = read_line();
     if (line == "END") return result;
     if (line.rfind("VALUE ", 0) != 0) {
       throw std::runtime_error("KvsClient: unexpected pget reply: " + line);
     }
-    // VALUE <key> <flags> <bytes> <cost> <ttl>
-    const std::size_t key_end = line.find(' ', 6);
-    const std::size_t bytes_pos = key_end == std::string::npos
-                                      ? std::string::npos
-                                      : line.find(' ', key_end + 1);
-    const std::size_t cost_pos = bytes_pos == std::string::npos
-                                     ? std::string::npos
-                                     : line.find(' ', bytes_pos + 1);
-    const std::size_t ttl_pos = cost_pos == std::string::npos
-                                    ? std::string::npos
-                                    : line.find(' ', cost_pos + 1);
-    if (ttl_pos == std::string::npos) {
+    // VALUE <key> <flags> <bytes> <cost> <ttl> [<codec> <raw_len>]
+    // (the trailing pair appears only for compressed pairs).
+    std::vector<std::string_view> tokens;
+    const std::string_view view(line);
+    std::size_t pos = 6;  // past "VALUE "
+    while (pos < view.size()) {
+      while (pos < view.size() && view[pos] == ' ') ++pos;
+      const std::size_t start = pos;
+      while (pos < view.size() && view[pos] != ' ') ++pos;
+      if (pos > start) tokens.push_back(view.substr(start, pos - start));
+    }
+    if (tokens.size() != 5 && tokens.size() != 7) {
       throw std::runtime_error("KvsClient: malformed pget reply: " + line);
     }
-    const std::string_view view(line);
     result.hit = true;
-    result.flags = parse_reply_u32(
-        view.substr(key_end + 1, bytes_pos - key_end - 1), "flags");
-    const std::size_t nbytes = parse_reply_bytes(
-        view.substr(bytes_pos + 1, cost_pos - bytes_pos - 1), "bytes");
-    result.cost = parse_reply_u32(
-        view.substr(cost_pos + 1, ttl_pos - cost_pos - 1), "cost");
-    result.remaining_ttl_s =
-        parse_reply_u32(view.substr(ttl_pos + 1), "ttl");
-    result.value = read_bytes(nbytes);
+    result.flags = parse_reply_u32(tokens[1], "flags");
+    const std::size_t nbytes = parse_reply_bytes(tokens[2], "bytes");
+    result.cost = parse_reply_u32(tokens[3], "cost");
+    result.remaining_ttl_s = parse_reply_u32(tokens[4], "ttl");
+    if (tokens.size() == 7) {
+      const auto codec_tag = parse_reply_u32(tokens[5], "codec");
+      if (!codec_tag_valid(codec_tag) || codec_tag == 0) {
+        throw std::runtime_error("KvsClient: malformed pget reply: " + line);
+      }
+      result.codec = static_cast<Codec>(codec_tag);
+      result.raw_len = static_cast<std::uint32_t>(
+          parse_reply_token(tokens[6], kMaxValueBytes, "raw_len"));
+    }
+    result.stored = read_bytes(nbytes);
+    if (result.codec == Codec::kIdentity) {
+      result.raw_len = static_cast<std::uint32_t>(result.stored.size());
+    }
   }
 }
 
 bool KvsClient::peer_set(std::string_view key, std::string_view value,
                          std::uint32_t flags, std::uint32_t cost,
-                         std::uint32_t exptime_s) {
+                         std::uint32_t exptime_s, std::uint32_t codec,
+                         std::uint32_t raw_len) {
   require_wire_key(key);
   if (value.size() > kMaxValueBytes) {
     throw std::length_error("KvsClient: peer_set value exceeds "
@@ -318,6 +326,14 @@ bool KvsClient::peer_set(std::string_view key, std::string_view value,
   request.append(std::to_string(value.size()));
   request.push_back(' ');
   request.append(std::to_string(cost));
+  if (codec != 0) {
+    // Already-compressed payload: ship the codec tag + decoded length so
+    // the peer stores it verbatim (after validating by decoding).
+    request.push_back(' ');
+    request.append(std::to_string(codec));
+    request.push_back(' ');
+    request.append(std::to_string(raw_len));
+  }
   request.append("\r\n");
   request.append(value);
   request.append("\r\n");

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "kvs/api.h"
+#include "kvs/engine.h"
 
 namespace camp::kvs {
 
@@ -38,18 +39,23 @@ class KvsClient final : public KvsApi {
 
   /// Cluster peer fetch ("pget <key>"): a raw local get at the peer that
   /// bypasses its cooperative routing. The result carries the stored cost
-  /// (VALUE's optional 4th token) so a promotion preserves it.
-  [[nodiscard]] GetResult peer_get(std::string_view key);
+  /// (VALUE's optional 4th token) so a promotion preserves it, and the
+  /// pair's STORED form — compressed pairs travel compressed, with their
+  /// codec tag and raw length in the reply's trailing tokens.
+  [[nodiscard]] StoredGetResult peer_get(std::string_view key);
 
   /// Cluster peer delete ("pdel <key>"): raw local delete at the peer.
   bool peer_del(std::string_view key);
 
   /// Cluster peer store ("pset <key> ..."): a raw local set at the peer
   /// that bypasses its cooperative routing — the replication-factor-R
-  /// write fan-out lands replica copies through this.
+  /// write fan-out lands replica copies through this. `codec` != 0 marks
+  /// `value` as an already-compressed payload decoding to `raw_len` bytes
+  /// (the peer validates by decoding); codec 0 sends the legacy raw form.
   bool peer_set(std::string_view key, std::string_view value,
                 std::uint32_t flags, std::uint32_t cost,
-                std::uint32_t exptime_s = 0);
+                std::uint32_t exptime_s = 0, std::uint32_t codec = 0,
+                std::uint32_t raw_len = 0);
 
   [[nodiscard]] std::map<std::string, std::string> stats();
   void flush_all();

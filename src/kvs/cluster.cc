@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "kvs/client.h"
+#include "kvs/compress.h"
 
 namespace camp::kvs {
 
@@ -76,11 +77,9 @@ CoopCluster::NodeId CoopCluster::join(KvsStore& store) {
   // Register pre-existing residents (a caller-seeded store) so peer fetches
   // can find them. Runs under each shard's lock -> cluster mutex, the same
   // order the hooks use.
-  store.for_each_item([this, id](std::string_view key, std::string_view,
-                                 std::uint32_t, std::uint32_t, std::uint32_t,
-                                 std::uint64_t) {
+  store.for_each_item([this, id](const ItemView& item) {
     util::MutexLock lock(mutex_);
-    directory_.add(std::string(key), id);
+    directory_.add(std::string(item.key), id);
   });
   return id;
 }
@@ -118,20 +117,19 @@ void CoopCluster::leave(NodeId id) {
 
   struct Resident {
     std::string key;
-    std::string value;
+    std::string stored;  // the pair's stored (possibly compressed) form
+    std::uint32_t raw_len = 0;
+    Codec codec = Codec::kIdentity;
     std::uint32_t flags = 0;
     std::uint32_t cost = 0;
     std::uint64_t charged_bytes = 0;
     std::uint32_t remaining_ttl_s = 0;
   };
   std::vector<Resident> residents;
-  store->for_each_item([&residents](std::string_view key,
-                                    std::string_view value,
-                                    std::uint32_t flags, std::uint32_t cost,
-                                    std::uint32_t ttl_s,
-                                    std::uint64_t charged) {
-    residents.push_back(
-        {std::string(key), std::string(value), flags, cost, charged, ttl_s});
+  store->for_each_item([&residents](const ItemView& item) {
+    residents.push_back({std::string(item.key), std::string(item.stored),
+                         item.raw_len, item.codec, item.flags, item.cost,
+                         item.charged_bytes, item.remaining_ttl_s});
   });
   // Hash-map walk order is not a contract; sort so the guard's FIFO intake
   // (and therefore every downstream counter) is deterministic run to run.
@@ -143,8 +141,10 @@ void CoopCluster::leave(NodeId id) {
       // remove() returns true exactly when this dropped the LAST replica:
       // those pairs must land in the guard, not vanish.
       if (directory_.remove(r.key, id)) {
-        guard_park_locked(std::move(r.key), std::move(r.value), r.flags,
-                          r.cost, r.charged_bytes, r.remaining_ttl_s);
+        guard_park_locked(GuardEntry{std::move(r.key), std::move(r.stored),
+                                     r.raw_len, r.codec, r.flags, r.cost,
+                                     r.charged_bytes, /*deadline=*/0,
+                                     r.remaining_ttl_s});
       }
     }
     // Entries that survived the sweep name pairs the store no longer has
@@ -209,7 +209,9 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
       }
     }
     if (repair_home &&
-        replica_write(home, key, result.value, result.flags, result.cost,
+        replica_write(home, key, result.value,
+                      static_cast<std::uint32_t>(result.value.size()),
+                      Codec::kIdentity, result.flags, result.cost,
                       result.remaining_ttl_s)) {
       util::MutexLock lock(mutex_);
       ++counters_.repair.read_repairs;
@@ -225,7 +227,15 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
       holder = directory_.any_holder(key_str, self);
     }
     if (!holder) break;
-    GetResult fetched = peer_fetch(*holder, key);
+    StoredGetResult fetched = peer_fetch(*holder, key);
+    std::string value;
+    if (fetched.hit &&
+        !decompress_value(fetched.codec, fetched.stored, fetched.raw_len,
+                          value)) {
+      // A stored form that does not decode is as useless as a miss — a
+      // byzantine or mixed-version holder must not poison this read.
+      fetched.hit = false;
+    }
     if (!fetched.hit) {
       // The holder no longer has the pair (expiry, concurrent removal, a
       // node that died): forget the stale entry and try the next holder.
@@ -237,40 +247,59 @@ GetResult CoopCluster::get(NodeId self, std::string_view key, bool iq) {
     {
       util::MutexLock lock(mutex_);
       ++counters_.remote_hits;
-      counters_.transfer_bytes += fetched.value.size();
+      // The pair crossed the transport in its STORED form: compressed
+      // pairs charge their compressed size here, which is the whole point
+      // of shipping them compressed.
+      counters_.transfer_bytes += fetched.stored.size();
     }
     if (config_.promote_on_remote_hit) {
       // Read-through replication: copy the pair to its home so the next
       // request is a local hit (and membership changes heal over time).
       // The remaining TTL travels with the fetch, so a lease-bound pair
       // does not become immortal by being promoted. The stored hook
-      // registers the new replica in the directory.
-      if (local->set(key, fetched.value, fetched.flags, fetched.cost,
-                     fetched.remaining_ttl_s)) {
+      // registers the new replica in the directory. A compressed fetch is
+      // re-stored verbatim — no decompress/recompress round-trip.
+      if (local->set_stored(key, fetched.stored, fetched.raw_len,
+                            fetched.codec, fetched.flags, fetched.cost,
+                            fetched.remaining_ttl_s)) {
         util::MutexLock lock(mutex_);
         ++counters_.promotions;
       }
     }
-    return fetched;
+    GetResult out;
+    out.hit = true;
+    out.value = std::move(value);
+    out.flags = fetched.flags;
+    out.cost = fetched.cost;
+    out.remaining_ttl_s = fetched.remaining_ttl_s;
+    return out;
   }
 
   // 3. last-replica guard.
   if (auto parked = guard_take(key_str)) {
-    {
-      util::MutexLock lock(mutex_);
-      ++counters_.guard_hits;
+    std::string value;
+    if (decompress_value(parked->codec, parked->stored, parked->raw_len,
+                         value)) {
+      {
+        util::MutexLock lock(mutex_);
+        ++counters_.guard_hits;
+      }
+      GetResult out;
+      out.hit = true;
+      out.flags = parked->flags;
+      out.cost = parked->cost;
+      out.remaining_ttl_s = parked->remaining_ttl_s;
+      // Reinstate at the home node with the lease it was parked with: the
+      // bytes never left the cluster, and a compressed park reinstates
+      // verbatim. The stored hook registers the replica.
+      (void)local->set_stored(key, parked->stored, parked->raw_len,
+                              parked->codec, parked->flags, parked->cost,
+                              parked->remaining_ttl_s);
+      out.value = std::move(value);
+      return out;
     }
-    GetResult out;
-    out.hit = true;
-    out.flags = parked->flags;
-    out.cost = parked->cost;
-    out.remaining_ttl_s = parked->remaining_ttl_s;
-    // Reinstate at the home node with the lease it was parked with: the
-    // bytes never left the cluster. The stored hook registers the replica.
-    (void)local->set(key, parked->value, parked->flags, parked->cost,
-                     parked->remaining_ttl_s);
-    out.value = std::move(parked->value);
-    return out;
+    // Undecodable parked bytes (cannot happen unless memory was scribbled
+    // on): drop them and fall through to the miss path.
   }
 
   // 4. true miss: the client recomputes and refills via set().
@@ -390,9 +419,12 @@ bool CoopCluster::fan_out_write(NodeId self, KvsStore* local,
               : local->set(key, value, flags, cost, exptime_s);
     } else {
       // Replicas of an iqset carry cost 0 (engines clamp to 1): the IQ
-      // miss-timestamp lease lives at the home store only.
-      ok = replica_write(target, key, value, flags, iq ? 0 : cost,
-                         exptime_s);
+      // miss-timestamp lease lives at the home store only. The fan-out
+      // carries the RAW value as identity — each target applies its own
+      // compression config, exactly like a direct set.
+      ok = replica_write(target, key, value,
+                         static_cast<std::uint32_t>(value.size()),
+                         Codec::kIdentity, flags, iq ? 0 : cost, exptime_s);
     }
     if (i == 0) {
       home_ok = ok;
@@ -565,14 +597,17 @@ void CoopCluster::heal_node(NodeId id) {
       ++counters_.repair.hints_obsolete;  // key left the cluster meanwhile
       continue;
     }
-    const GetResult fetched = peer_fetch(*source, key);
+    const StoredGetResult fetched = peer_fetch(*source, key);
     if (!fetched.hit) {
       util::MutexLock lock(mutex_);
       ++counters_.repair.hints_obsolete;  // holder lost it before the fetch
       continue;
     }
-    const bool ok = replica_write(id, key, fetched.value, fetched.flags,
-                                  fetched.cost, fetched.remaining_ttl_s);
+    // The stored form passes through verbatim — a compressed pair is
+    // repaired compressed, never decode/re-encoded in transit.
+    const bool ok =
+        replica_write(id, key, fetched.stored, fetched.raw_len, fetched.codec,
+                      fetched.flags, fetched.cost, fetched.remaining_ttl_s);
     util::MutexLock lock(mutex_);
     if (ok) {
       ++counters_.repair.hints_replayed;
@@ -693,14 +728,15 @@ std::size_t CoopCluster::repair_tick(std::size_t max_keys) {
   std::size_t recopies = 0;
   std::size_t failures = 0;
   for (const Job& job : jobs) {
-    const GetResult fetched = peer_fetch(job.source, job.key);
+    const StoredGetResult fetched = peer_fetch(job.source, job.key);
     if (!fetched.hit) {
       ++failures;  // the source lost the pair between the plan and the fetch
       continue;
     }
     for (const NodeId target : job.targets) {
-      if (replica_write(target, job.key, fetched.value, fetched.flags,
-                        fetched.cost, fetched.remaining_ttl_s)) {
+      if (replica_write(target, job.key, fetched.stored, fetched.raw_len,
+                        fetched.codec, fetched.flags, fetched.cost,
+                        fetched.remaining_ttl_s)) {
         ++recopies;
       } else {
         ++failures;
@@ -877,7 +913,7 @@ std::shared_ptr<CoopCluster::PeerLink> CoopCluster::link_for(NodeId id) {
   return link;
 }
 
-GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
+StoredGetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
   KvsStore* store = nullptr;
   std::string host;
   std::uint16_t port = 0;
@@ -891,9 +927,10 @@ GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
     port = it->second.port;
   }
   if (port == 0) {
-    // In-process fetch: a real get at the holder, so its eviction policy
-    // sees the touch exactly as the simulator's peer path does.
-    return store->get(key);
+    // In-process fetch: a real stored-form get at the holder, so its
+    // eviction policy sees the touch exactly as the simulator's peer path
+    // does — and a compressed pair never pays a decompress just to move.
+    return store->get_stored(key);
   }
   const std::shared_ptr<PeerLink> link = link_for(holder);
   util::MutexLock io(link->mutex);
@@ -913,8 +950,10 @@ GetResult CoopCluster::peer_fetch(NodeId holder, std::string_view key) {
 }
 
 bool CoopCluster::replica_write(NodeId target, std::string_view key,
-                                std::string_view value, std::uint32_t flags,
-                                std::uint32_t cost, std::uint32_t exptime_s) {
+                                std::string_view stored,
+                                std::uint32_t raw_len, Codec codec,
+                                std::uint32_t flags, std::uint32_t cost,
+                                std::uint32_t exptime_s) {
   KvsStore* store = nullptr;
   std::string host;
   std::uint16_t port = 0;
@@ -930,7 +969,10 @@ bool CoopCluster::replica_write(NodeId target, std::string_view key,
   if (port == 0) {
     // In-process replica write: the target's stored hook registers the
     // replica in the directory under its shard lock, same as a home write.
-    return store->set(key, value, flags, cost, exptime_s);
+    // set_stored keeps a compressed payload verbatim; identity delegates
+    // to set(), letting the target apply its own compression config.
+    return store->set_stored(key, stored, raw_len, codec, flags, cost,
+                             exptime_s);
   }
   const std::shared_ptr<PeerLink> link = link_for(target);
   util::MutexLock io(link->mutex);
@@ -938,7 +980,8 @@ bool CoopCluster::replica_write(NodeId target, std::string_view key,
     if (!link->client) {
       link->client = std::make_unique<KvsClient>(host, port);
     }
-    return link->client->peer_set(key, value, flags, cost, exptime_s);
+    return link->client->peer_set(key, stored, flags, cost, exptime_s,
+                                  static_cast<std::uint32_t>(codec), raw_len);
   } catch (const std::exception&) {
     // A dead or byzantine replica must never fail the home node's write
     // path with an exception; the ack policy decides what a false means.
@@ -981,10 +1024,14 @@ bool CoopCluster::peer_delete(NodeId holder, std::string_view key) {
 void CoopCluster::on_node_eviction(NodeId id, const EvictedItem& item) {
   util::MutexLock lock(mutex_);
   std::string key(item.key);
-  // remove() returns true exactly when this dropped the LAST replica.
+  // remove() returns true exactly when this dropped the LAST replica. The
+  // park copies the STORED form out of the chunk — compressed pairs park
+  // compressed, charging their compressed chunk size.
   if (directory_.remove(key, id) && config_.preserve_last_replica) {
-    guard_park_locked(std::move(key), std::string(item.value), item.flags,
-                      item.cost, item.charged_bytes, item.remaining_ttl_s);
+    guard_park_locked(GuardEntry{std::move(key), std::string(item.stored),
+                                 item.raw_len, item.codec, item.flags,
+                                 item.cost, item.charged_bytes,
+                                 /*deadline=*/0, item.remaining_ttl_s});
   }
 }
 
@@ -998,17 +1045,15 @@ void CoopCluster::on_node_stored(NodeId id, std::string_view key) {
   }
 }
 
-void CoopCluster::guard_park_locked(std::string key, std::string value,
-                                    std::uint32_t flags, std::uint32_t cost,
-                                    std::uint64_t charged_bytes,
-                                    std::uint32_t remaining_ttl_s) {
-  if (guard_capacity_ == 0 || charged_bytes > guard_capacity_) return;
+void CoopCluster::guard_park_locked(GuardEntry entry) {
+  if (guard_capacity_ == 0 || entry.charged_bytes > guard_capacity_) return;
   // A parked key has zero replicas, so a duplicate park can only follow a
   // stale entry; replace it.
-  if (const auto it = guard_index_.find(key); it != guard_index_.end()) {
+  if (const auto it = guard_index_.find(entry.key);
+      it != guard_index_.end()) {
     guard_drop_locked(it->second);
   }
-  while (guard_used_ + charged_bytes > guard_capacity_) {
+  while (guard_used_ + entry.charged_bytes > guard_capacity_) {
     if (guard_fifo_.empty()) {
       // The byte ledger claims usage but nothing is parked: accounting
       // drift. The old bare assert compiled away in release builds and
@@ -1022,11 +1067,10 @@ void CoopCluster::guard_park_locked(std::string key, std::string value,
     ++counters_.guard_squeezed;
     guard_drop_locked(guard_fifo_.begin());
   }
-  guard_fifo_.push_back(GuardEntry{
-      std::move(key), std::move(value), flags, cost, charged_bytes,
-      counters_.requests + config_.guard_lease_requests, remaining_ttl_s});
+  entry.deadline = counters_.requests + config_.guard_lease_requests;
+  guard_used_ += entry.charged_bytes;
+  guard_fifo_.push_back(std::move(entry));
   guard_index_[guard_fifo_.back().key] = std::prev(guard_fifo_.end());
-  guard_used_ += charged_bytes;
   ++counters_.guard_parked;
 }
 

@@ -20,7 +20,10 @@
 // actual value bytes: when a node evicts the group's final copy of a pair,
 // the bytes move into a byte-bounded FIFO with a request-count lease, so a
 // re-request within the lease restores the pair without a recompute — and a
-// pair nobody asks for again cannot occupy the cluster indefinitely.
+// pair nobody asks for again cannot occupy the cluster indefinitely. With
+// value compression on, the guard parks the pair's STORED (compressed)
+// form and charges the compressed chunk size against its byte budget, so
+// the same guard_capacity_bytes shelters proportionally more pairs.
 //
 // Membership: join() adds a node to the ring (only ring-adjacent keys remap;
 // stale placements heal through the peer-fetch + promote path). leave()
@@ -319,7 +322,14 @@ class CoopCluster {
 
   struct GuardEntry {
     std::string key;
-    std::string value;
+    /// The pair in its STORED form (compressed bytes for a compressed
+    /// pair): parking never decompresses, and a guard hit reinstates the
+    /// stored bytes verbatim. `charged_bytes` below is therefore the
+    /// compressed chunk charge — the guard budget stretches exactly as far
+    /// as the node's own slab capacity does.
+    std::string stored;
+    std::uint32_t raw_len = 0;
+    Codec codec = Codec::kIdentity;
     std::uint32_t flags = 0;
     std::uint32_t cost = 0;
     std::uint64_t charged_bytes = 0;
@@ -343,14 +353,22 @@ class CoopCluster {
 
   void on_node_eviction(NodeId id, const EvictedItem& item);
   void on_node_stored(NodeId id, std::string_view key);
-  [[nodiscard]] GetResult peer_fetch(NodeId holder, std::string_view key);
+  /// Fetch the pair in its STORED form — compressed pairs cross the peer
+  /// transport (and every repair path built on it) compressed, so the
+  /// transfer_bytes counter meters the bytes that actually moved.
+  [[nodiscard]] StoredGetResult peer_fetch(NodeId holder,
+                                           std::string_view key);
   bool peer_delete(NodeId holder, std::string_view key);
   /// One replica write of the set/iqset fan-out: direct store call for an
-  /// in-process node, `pset` for one with an endpoint. False on any
-  /// failure (store rejection, dead peer, malformed reply).
+  /// in-process node, `pset` for one with an endpoint. `stored` is the
+  /// pair's stored form decoding to `raw_len` bytes under `codec`
+  /// (identity: stored IS the raw value and the target applies its own
+  /// compression config). False on any failure (store rejection, dead
+  /// peer, malformed reply).
   bool replica_write(NodeId target, std::string_view key,
-                     std::string_view value, std::uint32_t flags,
-                     std::uint32_t cost, std::uint32_t exptime_s);
+                     std::string_view stored, std::uint32_t raw_len,
+                     Codec codec, std::uint32_t flags, std::uint32_t cost,
+                     std::uint32_t exptime_s);
   /// The replication > 1 write path: write every node in `targets` in ring
   /// order (the home is targets.front()) and vote per write_ack.
   bool fan_out_write(NodeId self, KvsStore* local,
@@ -367,10 +385,9 @@ class CoopCluster {
   [[nodiscard]] std::shared_ptr<PeerLink> link_for(NodeId id);
 
   // -- guard (all require mutex_) -----------------------------------------
-  void guard_park_locked(std::string key, std::string value,
-                         std::uint32_t flags, std::uint32_t cost,
-                         std::uint64_t charged_bytes,
-                         std::uint32_t remaining_ttl_s) CAMP_REQUIRES(mutex_);
+  /// Parks `entry` (its `deadline` is assigned here from the current
+  /// request count; any caller-supplied value is overwritten).
+  void guard_park_locked(GuardEntry entry) CAMP_REQUIRES(mutex_);
   void guard_expire_front_locked() CAMP_REQUIRES(mutex_);
   void guard_drop_locked(std::list<GuardEntry>::iterator it)
       CAMP_REQUIRES(mutex_);

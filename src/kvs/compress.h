@@ -1,0 +1,89 @@
+// Pluggable value codecs for the KVS engine: the layer that lets the store
+// keep (and charge the eviction policy for) FEWER bytes than the client
+// wrote, multiplying effective capacity under the same byte budget — the
+// compressed-cache recipe from Safecracker's CAMPReplPolicy line of work
+// applied to the paper's IQ Twemcache.
+//
+// Two real codecs plus an identity pass-through:
+//
+//   * kBdi — base+delta-immediate packing for small structured values:
+//     the value is read as 8-byte little-endian words, the first word is
+//     the base, and every word is stored as a narrow (1/2/4-byte) signed
+//     delta from it. Wins on counters, timestamps, pointers-into-one-heap —
+//     the "small structured value" shapes BDI was designed for.
+//   * kRle — a PackBits-style run-length byte codec for larger values:
+//     literal runs and repeat runs framed by a control byte. An LZ-class
+//     stand-in with a hard worst-case expansion bound of 1/128, so the
+//     bail-out below keeps incompressible values at identity.
+//   * kIdentity — the stored bytes ARE the raw bytes (codec tag 0); the
+//     on-chunk layout for identity items is byte-identical to the
+//     pre-compression engine, which is what keeps every compression-off
+//     baseline row byte-identical.
+//
+// compress_value() is the single selection point: it tries the applicable
+// codecs and returns the smallest encoding, bailing to identity unless the
+// winner is STRICTLY smaller than the raw value (an incompressible value
+// must never grow its chunk). decompress_value() is hardened against
+// corrupt input — it is fed wire bytes by the pset peer-transfer path — and
+// fails closed (returns false) rather than over-reading or over-writing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace camp::kvs {
+
+/// Per-value codec tag, persisted in the item header, the snapshot file and
+/// the pget/pset wire extension. Values are wire-stable; never renumber.
+enum class Codec : std::uint8_t {
+  kIdentity = 0,
+  kBdi = 1,
+  kRle = 2,
+};
+
+/// Highest valid codec tag (wire/snapshot validation).
+inline constexpr std::uint8_t kMaxCodecTag = 2;
+
+[[nodiscard]] inline bool codec_tag_valid(std::uint32_t tag) {
+  return tag <= kMaxCodecTag;
+}
+
+[[nodiscard]] const char* codec_name(Codec codec);
+
+/// Engine-level compression tunables (EngineConfig::compression). Disabled
+/// by default: every pre-existing baseline depends on the identity layout.
+struct CompressionConfig {
+  bool enabled = false;
+  /// Values below this never attempt compression (framing overhead and the
+  /// slab's minimum chunk size make tiny wins meaningless).
+  std::uint32_t min_value_bytes = 64;
+  /// BDI is attempted for values up to this size (it is O(n) but its
+  /// whole-value single-base model only pays off on small structured
+  /// values); RLE is attempted at every size.
+  std::uint32_t bdi_max_bytes = 4096;
+};
+
+/// Outcome of compress_value: kIdentity means "store the raw bytes" (data
+/// is empty and must be ignored); any other codec means `data` holds the
+/// strictly-smaller encoding.
+struct CompressResult {
+  Codec codec = Codec::kIdentity;
+  std::string data;
+};
+
+/// Encode `raw` with the best applicable codec. Returns kIdentity when
+/// compression is disabled, the value is under min_value_bytes, or no codec
+/// beats the raw size (the incompressible bail-out).
+[[nodiscard]] CompressResult compress_value(std::string_view raw,
+                                            const CompressionConfig& config);
+
+/// Decode `stored` (encoded with `codec`) into `out`, which must come out
+/// to exactly `raw_len` bytes. Returns false on any malformed input —
+/// truncated stream, trailing garbage, or a length mismatch — leaving `out`
+/// in an unspecified state. kIdentity copies through (stored must already
+/// be raw_len bytes).
+[[nodiscard]] bool decompress_value(Codec codec, std::string_view stored,
+                                    std::size_t raw_len, std::string& out);
+
+}  // namespace camp::kvs

@@ -50,16 +50,53 @@ GetResult KvsEngine::get(std::string_view key) {
     remove_item(key_copy, /*free_chunk=*/true);
     return {};
   }
-  ++stats_.hits;
   Item& item = it->second;
-  policy_->get(item.id);  // refresh recency/priority
   const ItemHeader header = read_item_header(item.chunk.data);
   GetResult result;
+  if (item.codec == Codec::kIdentity) {
+    result.value.assign(item_stored(item.chunk.data, header));
+  } else if (!decompress_value(item.codec, item_stored(item.chunk.data, header),
+                               item.raw_len, result.value)) {
+    // Corrupt stored bytes (a bad peer transfer that slipped past wire
+    // validation): drop the pair and miss, before any hit accounting.
+    ++stats_.decompress_failures;
+    policy_->erase(item.id);
+    const std::string key_copy = it->first;
+    remove_item(key_copy, /*free_chunk=*/true);
+    return {};
+  }
+  ++stats_.hits;
+  policy_->get(item.id);  // refresh recency/priority
   result.hit = true;
   result.flags = item.flags;
   result.cost = item.cost;
   result.remaining_ttl_s = remaining_ttl_s(item.expiry_ns, clock_.now_ns());
-  result.value.assign(item_value(item.chunk.data, header));
+  return result;
+}
+
+StoredGetResult KvsEngine::get_stored(std::string_view key) {
+  ++stats_.gets;
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) return {};
+  if (it->second.expiry_ns != 0 && clock_.now_ns() >= it->second.expiry_ns) {
+    ++stats_.expired;
+    policy_->erase(it->second.id);
+    const std::string key_copy = it->first;  // remove_item erases the node
+    remove_item(key_copy, /*free_chunk=*/true);
+    return {};
+  }
+  ++stats_.hits;
+  Item& item = it->second;
+  policy_->get(item.id);  // refresh recency/priority
+  const ItemHeader header = read_item_header(item.chunk.data);
+  StoredGetResult result;
+  result.hit = true;
+  result.stored.assign(item_stored(item.chunk.data, header));
+  result.raw_len = item.raw_len;
+  result.codec = item.codec;
+  result.flags = item.flags;
+  result.cost = item.cost;
+  result.remaining_ttl_s = remaining_ttl_s(item.expiry_ns, clock_.now_ns());
   return result;
 }
 
@@ -79,8 +116,45 @@ bool KvsEngine::set(std::string_view key, std::string_view value,
     ++stats_.rejected_sets;
     return false;
   }
+  // Compress-on-store: the stored form (and therefore the slab class and
+  // the bytes charged to the policy) is the codec's output; the bail-out
+  // keeps incompressible values on the identity layout.
+  CompressResult comp = compress_value(value, config_.compression);
+  if (config_.compression.enabled && comp.codec == Codec::kIdentity &&
+      value.size() >= config_.compression.min_value_bytes) {
+    ++stats_.compress_bails;
+  }
+  const std::string_view stored =
+      comp.codec == Codec::kIdentity ? value : std::string_view(comp.data);
+  return store_internal(key, stored, static_cast<std::uint32_t>(value.size()),
+                        comp.codec, flags, cost, exptime_s);
+}
+
+bool KvsEngine::set_stored(std::string_view key, std::string_view stored,
+                           std::uint32_t raw_len, Codec codec,
+                           std::uint32_t flags, std::uint32_t cost,
+                           std::uint32_t exptime_s) {
+  // Identity means "this IS the raw value": route through set() so the
+  // receiving node applies its own compression config, exactly as if the
+  // client had written here directly.
+  if (codec == Codec::kIdentity) {
+    return set(key, stored, flags, cost, exptime_s);
+  }
+  ++stats_.sets;
+  if (key.empty() || key.size() > kMaxKeyLength) {
+    ++stats_.rejected_sets;
+    return false;
+  }
+  return store_internal(key, stored, raw_len, codec, flags, cost, exptime_s);
+}
+
+bool KvsEngine::store_internal(std::string_view key, std::string_view stored,
+                               std::uint32_t raw_len, Codec codec,
+                               std::uint32_t flags, std::uint32_t cost,
+                               std::uint32_t exptime_s) {
   if (cost == 0) cost = 1;
-  const std::uint64_t footprint = item_footprint(key.size(), value.size());
+  const std::uint64_t footprint =
+      item_footprint(key.size(), stored.size(), codec);
   const auto cls = slab_.class_for(footprint);
   if (!cls) {
     ++stats_.rejected_sets;
@@ -89,9 +163,14 @@ bool KvsEngine::set(std::string_view key, std::string_view value,
   const std::uint64_t charged = slab_.chunk_size_of_class(*cls);
 
   std::string key_str(key);
-  // Overwrite semantics: drop any existing copy first.
+  // Overwrite semantics: drop any existing copy first — including its
+  // policy charge, or the stale id would keep its chunk-size accounted
+  // until pressure happened to evict the phantom.
   const auto existing = index_.find(key_str);
-  if (existing != index_.end()) remove_item(key_str, /*free_chunk=*/true);
+  if (existing != index_.end()) {
+    policy_->erase(existing->second.id);
+    remove_item(key_str, /*free_chunk=*/true);
+  }
 
   // Let the policy account for the pair and evict as needed (evictions call
   // back into on_policy_eviction, which frees chunks).
@@ -122,11 +201,13 @@ bool KvsEngine::set(std::string_view key, std::string_view value,
     ++stats_.rejected_sets;
     return false;
   }
-  write_item(chunk->data, key, value, flags, cost);
+  write_item(chunk->data, key, stored, raw_len, codec, flags, cost);
   Item item;
   item.id = id;
   item.chunk = *chunk;
-  item.value_len = static_cast<std::uint32_t>(value.size());
+  item.raw_len = raw_len;
+  item.stored_len = static_cast<std::uint32_t>(stored.size());
+  item.codec = codec;
   item.flags = flags;
   item.cost = cost;
   item.expiry_ns =
@@ -136,7 +217,8 @@ bool KvsEngine::set(std::string_view key, std::string_view value,
                                   1'000'000'000ull;
   index_.emplace(std::move(key_str), item);
   ++stats_.items;
-  stats_.value_bytes += value.size();
+  stats_.value_bytes += raw_len;
+  stats_.stored_bytes += stored.size();
   // Last, still inside the caller's shard critical section: stored and
   // evicted notifications for one key are totally ordered (see StoredHook).
   if (stored_hook_) stored_hook_(key);
@@ -183,16 +265,21 @@ bool KvsEngine::contains(std::string_view key) const {
 }
 
 void KvsEngine::for_each_item(
-    const std::function<void(std::string_view, std::string_view,
-                             std::uint32_t, std::uint32_t, std::uint32_t,
-                             std::uint64_t)>& fn) const {
+    const std::function<void(const ItemView&)>& fn) const {
   const std::uint64_t now = clock_.now_ns();
   for (const auto& [key, item] : index_) {
     if (item.expiry_ns != 0 && now >= item.expiry_ns) continue;
-    const std::uint32_t ttl_s = remaining_ttl_s(item.expiry_ns, now);
     const ItemHeader header = read_item_header(item.chunk.data);
-    fn(key, item_value(item.chunk.data, header), item.flags, item.cost,
-       ttl_s, item.chunk.size);
+    ItemView view;
+    view.key = key;
+    view.stored = item_stored(item.chunk.data, header);
+    view.raw_len = item.raw_len;
+    view.codec = item.codec;
+    view.flags = item.flags;
+    view.cost = item.cost;
+    view.remaining_ttl_s = remaining_ttl_s(item.expiry_ns, now);
+    view.charged_bytes = item.chunk.size;
+    fn(view);
   }
 }
 
@@ -202,7 +289,8 @@ void KvsEngine::remove_item(const std::string& key, bool free_chunk) {
   Item& item = it->second;
   if (free_chunk) slab_.free(item.chunk);
   id_to_key_.erase(item.id);
-  stats_.value_bytes -= item.value_len;
+  stats_.value_bytes -= item.raw_len;
+  stats_.stored_bytes -= item.stored_len;
   --stats_.items;
   index_.erase(it);
 }
@@ -230,7 +318,9 @@ void KvsEngine::notify_eviction(const std::string& key) {
   const ItemHeader header = read_item_header(item.chunk.data);
   EvictedItem evicted;
   evicted.key = key;
-  evicted.value = item_value(item.chunk.data, header);
+  evicted.stored = item_stored(item.chunk.data, header);
+  evicted.raw_len = item.raw_len;
+  evicted.codec = item.codec;
   evicted.flags = item.flags;
   evicted.cost = item.cost;
   evicted.charged_bytes = item.chunk.size;

@@ -42,6 +42,9 @@ struct EngineConfig {
   /// Scale ns timestamps to cost units for iqset (1000 = microseconds).
   std::uint64_t cost_time_divisor_ns = 1000;
   std::uint64_t rng_seed = 0x5eedc0de;
+  /// Transparent value compression (kvs/compress.h). Off by default: the
+  /// identity layout keeps every pre-compression baseline byte-identical.
+  CompressionConfig compression;
 };
 
 struct EngineStats {
@@ -53,7 +56,14 @@ struct EngineStats {
   std::uint64_t expired = 0;  // pairs lazily dropped on an expired get
   std::uint64_t slab_reassignments = 0;
   std::uint64_t items = 0;
-  std::uint64_t value_bytes = 0;  // payload bytes currently resident
+  std::uint64_t value_bytes = 0;   // RAW payload bytes currently resident
+  std::uint64_t stored_bytes = 0;  // post-codec payload bytes resident
+  /// Values that attempted compression but stayed identity (no codec beat
+  /// the raw size).
+  std::uint64_t compress_bails = 0;
+  /// Stored bytes that failed to decode on read (corrupt peer transfer);
+  /// the pair is dropped and the read misses.
+  std::uint64_t decompress_failures = 0;
 };
 
 struct GetResult {
@@ -69,12 +79,32 @@ struct GetResult {
   std::uint32_t remaining_ttl_s = 0;
 };
 
+/// A stored pair in its resident (post-codec) form, as surfaced by
+/// get_stored, for_each_item and the eviction hook. `stored` is the bytes
+/// actually kept in the chunk; `raw_len` is the client-visible length the
+/// stored bytes decode to (equal to stored.size() for identity items).
+struct StoredGetResult {
+  bool hit = false;
+  std::string stored;
+  std::uint32_t raw_len = 0;
+  Codec codec = Codec::kIdentity;
+  std::uint32_t flags = 0;
+  std::uint32_t cost = 0;
+  std::uint32_t remaining_ttl_s = 0;
+};
+
 /// A resident pair the engine is dropping under memory pressure (policy
 /// eviction or slab reassignment). The views point into the pair's chunk
-/// and are valid only for the duration of the hook call.
+/// and are valid only for the duration of the hook call. Reports BOTH the
+/// raw size (`raw_len`) and the charged size (`charged_bytes`) — listeners
+/// must not re-derive either from the stored bytes they receive.
 struct EvictedItem {
   std::string_view key;
-  std::string_view value;
+  /// The resident bytes (post-codec); decode with `codec` + `raw_len` to
+  /// recover the client-visible value.
+  std::string_view stored;
+  std::uint32_t raw_len = 0;
+  Codec codec = Codec::kIdentity;
   std::uint32_t flags = 0;
   std::uint32_t cost = 0;
   /// Bytes the eviction policy accounted for the pair (its chunk size).
@@ -82,6 +112,21 @@ struct EvictedItem {
   /// Seconds left on the pair's lease (rounded up); 0 = never expires.
   /// Already-expired pairs never reach the hook.
   std::uint32_t remaining_ttl_s = 0;
+};
+
+/// One resident pair as seen by for_each_item: the stored form plus every
+/// size the byte-accounting layers care about.
+struct ItemView {
+  std::string_view key;
+  std::string_view stored;
+  std::uint32_t raw_len = 0;
+  Codec codec = Codec::kIdentity;
+  std::uint32_t flags = 0;
+  std::uint32_t cost = 0;
+  /// 0 for pairs that never expire, else the seconds left (>= 1).
+  std::uint32_t remaining_ttl_s = 0;
+  /// The chunk size the policy accounts for the pair.
+  std::uint64_t charged_bytes = 0;
 };
 
 /// Invoked for every pressure-driven drop BEFORE the pair's memory is
@@ -118,10 +163,26 @@ class KvsEngine {
   /// IQ get: a miss records the miss timestamp for cost capture.
   [[nodiscard]] GetResult iqget(std::string_view key);
 
+  /// Get the pair in its resident (post-codec) form without decompressing.
+  /// Same hit/miss accounting and policy touch as get(); the peer-transfer
+  /// path uses this so already-compressed payloads move between nodes
+  /// without a decompress/recompress round-trip.
+  [[nodiscard]] StoredGetResult get_stored(std::string_view key);
+
   /// Store with an explicit cost (0 means "unknown": clamps to 1).
   /// `exptime_s` = seconds until expiry, 0 = never (memcached semantics).
+  /// Compresses the value first when EngineConfig::compression allows.
   bool set(std::string_view key, std::string_view value, std::uint32_t flags,
            std::uint32_t cost, std::uint32_t exptime_s = 0);
+
+  /// Store an already-encoded value verbatim under `codec` (peer transfer,
+  /// snapshot restore). `raw_len` must be the decoded length; the engine
+  /// trusts it (the wire/snapshot entry points validate by decoding).
+  /// kIdentity delegates to set(), so a raw payload round-trips through
+  /// this node's own compression config exactly like a client set.
+  bool set_stored(std::string_view key, std::string_view stored,
+                  std::uint32_t raw_len, Codec codec, std::uint32_t flags,
+                  std::uint32_t cost, std::uint32_t exptime_s = 0);
 
   /// IQ set: cost = elapsed time since the iqget miss (scaled), or 1 when
   /// no miss was recorded.
@@ -133,17 +194,11 @@ class KvsEngine {
 
   [[nodiscard]] bool contains(std::string_view key) const;
 
-  /// Visit every resident pair. Expired pairs are skipped (this is a const
-  /// walk; lazy removal still happens on the next get). `remaining_ttl_s`
-  /// is 0 for pairs that never expire, else the seconds left (>= 1);
-  /// `charged_bytes` is the chunk size the policy accounts for the pair.
-  /// Used by the snapshot module (kvs/snapshot.h) and the cluster's
-  /// decommission drain; order unspecified.
-  void for_each_item(
-      const std::function<void(std::string_view key, std::string_view value,
-                               std::uint32_t flags, std::uint32_t cost,
-                               std::uint32_t remaining_ttl_s,
-                               std::uint64_t charged_bytes)>& fn) const;
+  /// Visit every resident pair in its stored form (see ItemView). Expired
+  /// pairs are skipped (this is a const walk; lazy removal still happens on
+  /// the next get). Used by the snapshot module (kvs/snapshot.h) and the
+  /// cluster's decommission drain; order unspecified.
+  void for_each_item(const std::function<void(const ItemView&)>& fn) const;
 
   /// See EvictionHook. Replaces any previous hook; pass nullptr to clear.
   void set_eviction_hook(EvictionHook hook) {
@@ -157,18 +212,31 @@ class KvsEngine {
     return policy_->stats();
   }
   [[nodiscard]] std::string policy_name() const { return policy_->name(); }
+  /// Bytes the policy currently accounts for — CHARGED (post-codec chunk)
+  /// bytes, not raw payload bytes.
+  [[nodiscard]] std::uint64_t policy_used_bytes() const {
+    return policy_->used_bytes();
+  }
   [[nodiscard]] const slab::SlabAllocator& allocator() const { return slab_; }
 
  private:
   struct Item {
     policy::Key id = 0;
     slab::Chunk chunk;
-    std::uint32_t value_len = 0;
+    std::uint32_t raw_len = 0;     // client-visible value length
+    std::uint32_t stored_len = 0;  // post-codec bytes in the chunk
+    Codec codec = Codec::kIdentity;
     std::uint32_t flags = 0;
     std::uint32_t cost = 0;
     std::uint64_t expiry_ns = 0;  // 0 = never expires
   };
 
+  /// Shared tail of set()/set_stored(): charge, allocate, write the chunk.
+  /// `stored` is the exact bytes to keep under `codec`; stats (sets,
+  /// rejected_sets) for the public entry points are handled by callers.
+  bool store_internal(std::string_view key, std::string_view stored,
+                      std::uint32_t raw_len, Codec codec, std::uint32_t flags,
+                      std::uint32_t cost, std::uint32_t exptime_s);
   void remove_item(const std::string& key, bool free_chunk);
   void on_policy_eviction(policy::Key id);
   /// Fire eviction_hook_ for a still-resident pair about to be dropped

@@ -1,11 +1,20 @@
 // On-chunk item layout for the KVS engine.
 //
 // Each slab chunk stores a small header followed by the key bytes and the
-// value bytes. Keeping the key inside the chunk lets slab reassignment
+// STORED value bytes — post-codec when compression produced a win, raw
+// otherwise. Keeping the key inside the chunk lets slab reassignment
 // (calcification remedy) identify the resident item from raw chunk memory,
 // exactly like twemcache's item headers do.
 //
-//   [ItemHeader][key bytes][value bytes]
+//   [ItemHeader][raw_len ext (compressed items only)][key bytes][stored bytes]
+//
+// The header distinguishes `stored_len` (bytes resident in the chunk, the
+// quantity slab class selection and policy charging are driven by) from the
+// value's raw length (what the client sees). Identity items carry no
+// raw-len extension — their raw length IS stored_len — so the identity
+// layout, footprint and therefore every slab-class decision are
+// byte-identical to the pre-compression engine. That invariant is what
+// keeps compression-off baselines byte-stable.
 #pragma once
 
 #include <cstdint>
@@ -13,33 +22,56 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "kvs/compress.h"
+
 namespace camp::kvs {
 
 struct ItemHeader {
   std::uint16_t key_len = 0;
-  std::uint32_t value_len = 0;
-  std::uint32_t flags = 0;     // opaque client flags (memcached semantics)
-  std::uint32_t cost = 0;      // integer cost units (for CAMP/GDS)
+  std::uint8_t codec = 0;  // Codec tag (kvs/compress.h)
+  std::uint8_t reserved = 0;
+  std::uint32_t stored_len = 0;  // bytes resident in the chunk (post-codec)
+  std::uint32_t flags = 0;       // opaque client flags (memcached semantics)
+  std::uint32_t cost = 0;        // integer cost units (for CAMP/GDS)
 };
 
 inline constexpr std::size_t kItemHeaderSize = sizeof(ItemHeader);
+// The old header (key_len + pad + value_len + flags + cost) was also 16
+// bytes; the codec tag lives in what used to be padding, so footprints for
+// identity items are unchanged.
+static_assert(kItemHeaderSize == 16, "item header layout is size-frozen");
 inline constexpr std::size_t kMaxKeyLength = 250;  // memcached's limit
+/// Compressed items append the value's raw length after the header.
+inline constexpr std::size_t kRawLenExtSize = 4;
 
-/// Total chunk bytes needed for a key/value pair.
-[[nodiscard]] inline std::uint64_t item_footprint(std::size_t key_len,
-                                                  std::size_t value_len) {
-  return kItemHeaderSize + key_len + value_len;
+[[nodiscard]] inline std::size_t item_ext_size(Codec codec) {
+  return codec == Codec::kIdentity ? 0 : kRawLenExtSize;
 }
 
-/// Serialize header+key+value into `chunk_data` (must be large enough).
+/// Total chunk bytes needed for a key + stored bytes under `codec`.
+[[nodiscard]] inline std::uint64_t item_footprint(std::size_t key_len,
+                                                  std::size_t stored_len,
+                                                  Codec codec) {
+  return kItemHeaderSize + item_ext_size(codec) + key_len + stored_len;
+}
+
+/// Identity-layout footprint (raw bytes stored as-is). Kept as the common
+/// spelling so compression-oblivious callers stay byte-compatible.
+[[nodiscard]] inline std::uint64_t item_footprint(std::size_t key_len,
+                                                  std::size_t value_len) {
+  return item_footprint(key_len, value_len, Codec::kIdentity);
+}
+
+/// Serialize header[+raw_len ext]+key+stored into `chunk_data` (must be
+/// large enough, i.e. sized by item_footprint with the same codec).
 /// Throws std::length_error for a key longer than kMaxKeyLength: the
 /// header's key_len is a uint16_t, and an unchecked cast would silently
 /// truncate an oversized key into a layout that aliases another chunk's
 /// bytes. Callers (the engine's set path) reject such keys up front; this
 /// guard makes the invariant local instead of relying on every caller.
 inline void write_item(std::byte* chunk_data, std::string_view key,
-                       std::string_view value, std::uint32_t flags,
-                       std::uint32_t cost) {
+                       std::string_view stored, std::uint32_t raw_len,
+                       Codec codec, std::uint32_t flags, std::uint32_t cost) {
   static_assert(kMaxKeyLength <= 0xffff,
                 "ItemHeader::key_len must be able to hold kMaxKeyLength");
   if (key.size() > kMaxKeyLength) {
@@ -47,13 +79,27 @@ inline void write_item(std::byte* chunk_data, std::string_view key,
   }
   ItemHeader header;
   header.key_len = static_cast<std::uint16_t>(key.size());
-  header.value_len = static_cast<std::uint32_t>(value.size());
+  header.codec = static_cast<std::uint8_t>(codec);
+  header.stored_len = static_cast<std::uint32_t>(stored.size());
   header.flags = flags;
   header.cost = cost;
   std::memcpy(chunk_data, &header, kItemHeaderSize);
-  std::memcpy(chunk_data + kItemHeaderSize, key.data(), key.size());
-  std::memcpy(chunk_data + kItemHeaderSize + key.size(), value.data(),
-              value.size());
+  std::byte* cursor = chunk_data + kItemHeaderSize;
+  if (codec != Codec::kIdentity) {
+    std::memcpy(cursor, &raw_len, kRawLenExtSize);  // LE
+    cursor += kRawLenExtSize;
+  }
+  std::memcpy(cursor, key.data(), key.size());
+  std::memcpy(cursor + key.size(), stored.data(), stored.size());
+}
+
+/// Identity convenience: raw bytes stored as-is.
+inline void write_item(std::byte* chunk_data, std::string_view key,
+                       std::string_view value, std::uint32_t flags,
+                       std::uint32_t cost) {
+  write_item(chunk_data, key, value,
+             static_cast<std::uint32_t>(value.size()), Codec::kIdentity,
+             flags, cost);
 }
 
 [[nodiscard]] inline ItemHeader read_item_header(const std::byte* chunk_data) {
@@ -62,17 +108,33 @@ inline void write_item(std::byte* chunk_data, std::string_view key,
   return header;
 }
 
+[[nodiscard]] inline Codec item_codec(const ItemHeader& header) {
+  return static_cast<Codec>(header.codec);
+}
+
+/// The value's raw (client-visible) length: stored_len for identity items,
+/// the raw-len extension for compressed ones.
+[[nodiscard]] inline std::uint32_t item_raw_len(const std::byte* chunk_data,
+                                                const ItemHeader& header) {
+  if (item_codec(header) == Codec::kIdentity) return header.stored_len;
+  std::uint32_t raw_len = 0;
+  std::memcpy(&raw_len, chunk_data + kItemHeaderSize, kRawLenExtSize);
+  return raw_len;
+}
+
 [[nodiscard]] inline std::string_view item_key(const std::byte* chunk_data,
                                                const ItemHeader& header) {
-  return {reinterpret_cast<const char*>(chunk_data) + kItemHeaderSize,
+  return {reinterpret_cast<const char*>(chunk_data) + kItemHeaderSize +
+              item_ext_size(item_codec(header)),
           header.key_len};
 }
 
-[[nodiscard]] inline std::string_view item_value(const std::byte* chunk_data,
-                                                 const ItemHeader& header) {
+/// The stored (possibly compressed) bytes resident in the chunk.
+[[nodiscard]] inline std::string_view item_stored(const std::byte* chunk_data,
+                                                  const ItemHeader& header) {
   return {reinterpret_cast<const char*>(chunk_data) + kItemHeaderSize +
-              header.key_len,
-          header.value_len};
+              item_ext_size(item_codec(header)) + header.key_len,
+          header.stored_len};
 }
 
 }  // namespace camp::kvs

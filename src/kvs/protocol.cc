@@ -4,6 +4,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "kvs/compress.h"
+
 namespace camp::kvs {
 
 namespace {
@@ -37,7 +39,10 @@ bool valid_key(std::string_view key) {
 std::optional<Command> parse_storage(CommandType type,
                                      const std::vector<std::string_view>& t) {
   // set <key> <flags> <exptime> <bytes> [cost] [noreply]
-  if (t.size() < 5 || t.size() > 7) return std::nullopt;
+  // pset additionally allows "<codec> <raw_len>" after the cost (an
+  // already-compressed peer payload).
+  const std::size_t max_tokens = type == CommandType::kPSet ? 9 : 7;
+  if (t.size() < 5 || t.size() > max_tokens) return std::nullopt;
   Command cmd;
   cmd.type = type;
   if (!valid_key(t[1])) return std::nullopt;
@@ -54,6 +59,20 @@ std::optional<Command> parse_storage(CommandType type,
       next < t.size() && t[next] != "noreply") {
     if (!parse_u32(t[next], cmd.cost)) return std::nullopt;
     ++next;
+  }
+  if (type == CommandType::kPSet && next < t.size() &&
+      t[next] != "noreply") {
+    // The codec/raw_len extension travels as a pair or not at all.
+    if (next + 1 >= t.size() || t[next + 1] == "noreply") return std::nullopt;
+    if (!parse_u32(t[next], cmd.codec) ||
+        !parse_u32(t[next + 1], cmd.raw_len)) {
+      return std::nullopt;
+    }
+    // An unknown codec tag cannot be decoded by this node; reject at the
+    // parse so the decoder skips the (credible) payload cleanly.
+    if (!codec_tag_valid(cmd.codec)) return std::nullopt;
+    if (cmd.codec != 0 && cmd.raw_len > kMaxValueBytes) return std::nullopt;
+    next += 2;
   }
   if (next < t.size()) {
     if (t[next] != "noreply") return std::nullopt;
@@ -371,6 +390,37 @@ std::string format_value_with_cost(std::string_view key, std::uint32_t flags,
   out.append(std::to_string(remaining_ttl_s));
   out.append("\r\n");
   out.append(data);
+  out.append("\r\n");
+  return out;
+}
+
+std::string format_value_stored(std::string_view key, std::uint32_t flags,
+                                std::uint32_t cost,
+                                std::uint32_t remaining_ttl_s,
+                                std::uint32_t codec, std::uint32_t raw_len,
+                                std::string_view stored) {
+  if (codec == 0) {
+    // Raw pair: byte-identical to the legacy 5-token pget reply.
+    return format_value_with_cost(key, flags, cost, remaining_ttl_s, stored);
+  }
+  std::string out;
+  out.reserve(key.size() + stored.size() + 64);
+  out.append("VALUE ");
+  out.append(key);
+  out.push_back(' ');
+  out.append(std::to_string(flags));
+  out.push_back(' ');
+  out.append(std::to_string(stored.size()));
+  out.push_back(' ');
+  out.append(std::to_string(cost));
+  out.push_back(' ');
+  out.append(std::to_string(remaining_ttl_s));
+  out.push_back(' ');
+  out.append(std::to_string(codec));
+  out.push_back(' ');
+  out.append(std::to_string(raw_len));
+  out.append("\r\n");
+  out.append(stored);
   out.append("\r\n");
   return out;
 }

@@ -45,10 +45,16 @@ enum class CommandType {
   // store, bypassing any cooperative-cluster routing — a peer fetch must be
   // terminal, never recursing into another peer fetch.
   kPGet,  // "pget <key>": raw local get; the reply's VALUE line carries the
-          // pair's stored cost in memcached's optional 4th slot.
+          // pair's stored cost in memcached's optional 4th slot, and — for
+          // compressed pairs only — trailing "<codec> <raw_len>" tokens so
+          // the payload travels in its stored (compressed) form.
   kPDel,  // "pdel <key>": raw local delete (cluster-wide delete fan-out).
-  kPSet,  // "pset <key> <flags> <exptime> <bytes> [cost]": raw local store
-          // (replication-factor-R write fan-out from a key's home node).
+  kPSet,  // "pset <key> <flags> <exptime> <bytes> <cost> [<codec>
+          // <raw_len>]": raw local store (replication-factor-R write
+          // fan-out from a key's home node). The optional codec/raw_len
+          // pair marks an already-compressed payload of <bytes> stored
+          // bytes decoding to raw_len; absent = raw payload, byte-identical
+          // to the pre-compression wire format.
 };
 
 /// Upper bound on a storage command's declared payload size. Anything
@@ -69,6 +75,10 @@ struct Command {
   std::uint32_t exptime = 0;      // seconds until expiry; 0 = never
   std::uint32_t value_bytes = 0;  // payload length for set/iqset
   std::uint32_t cost = 0;         // optional on set (0 = unspecified)
+  /// pset only: codec tag of an already-compressed payload (0 = raw) and
+  /// the raw length it decodes to. The server validates by decoding.
+  std::uint32_t codec = 0;
+  std::uint32_t raw_len = 0;
   bool noreply = false;
 };
 
@@ -188,6 +198,14 @@ class CommandDecoder {
                                                  std::uint32_t cost,
                                                  std::uint32_t remaining_ttl_s,
                                                  std::string_view data);
+/// pget reply for a pair in its stored form: identical to
+/// format_value_with_cost for raw (codec 0) pairs; compressed pairs append
+/// " <codec> <raw_len>" so the payload ships compressed and the fetching
+/// node can re-store it verbatim or decode it for the client.
+[[nodiscard]] std::string format_value_stored(
+    std::string_view key, std::uint32_t flags, std::uint32_t cost,
+    std::uint32_t remaining_ttl_s, std::uint32_t codec, std::uint32_t raw_len,
+    std::string_view stored);
 [[nodiscard]] std::string format_end();
 [[nodiscard]] std::string format_stored(bool stored);
 [[nodiscard]] std::string format_deleted(bool deleted);

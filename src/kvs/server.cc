@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "kvs/cluster.h"
+#include "kvs/compress.h"
 #include "kvs/net_io.h"
 #include "kvs/sharded_cache.h"
 
@@ -116,10 +117,22 @@ bool flush_replies(Connection& conn) {
 
 }  // namespace
 
+namespace {
+
+/// Mirror ServerConfig::compression into the store's engine config before
+/// the store is built — the engine owns compression, the server flag is
+/// just the deployment knob.
+StoreConfig with_compression(StoreConfig store, bool enabled) {
+  store.engine.compression.enabled = enabled;
+  return store;
+}
+
+}  // namespace
+
 KvsServer::KvsServer(ServerConfig config, const PolicyFactory& policy_factory,
                      const util::Clock& clock)
     : config_(std::move(config)),
-      store_(config_.store,
+      store_(with_compression(config_.store, config_.compression),
              wrap_policy_factory(policy_factory, config_.policy_shards),
              clock) {}
 
@@ -449,11 +462,16 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
     case CommandType::kPGet: {
       // Peer fetch: ALWAYS the raw local store, never the coop path — a
       // peer fetch must be terminal. The reply carries the stored cost so
-      // the fetching node's promotion preserves it.
-      const GetResult result = store_.get(cmd.key);
+      // the fetching node's promotion preserves it, and ships the pair in
+      // its STORED form: compressed pairs travel compressed (with codec +
+      // raw_len trailing tokens) instead of paying a decompress here and a
+      // recompress at the fetching node.
+      const StoredGetResult result = store_.get_stored(cmd.key);
       if (result.hit) {
-        out += format_value_with_cost(cmd.key, result.flags, result.cost,
-                                      result.remaining_ttl_s, result.value);
+        out += format_value_stored(cmd.key, result.flags, result.cost,
+                                   result.remaining_ttl_s,
+                                   static_cast<std::uint32_t>(result.codec),
+                                   result.raw_len, result.stored);
       }
       out += format_end();
       break;
@@ -482,8 +500,23 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
       // replica write is terminal (the fan-out already ran at the home
       // node; re-routing here would fan out again). The store's stored
       // hook registers the replica in the shared directory.
-      const bool stored =
-          store_.set(cmd.key, dc.payload, cmd.flags, cmd.cost, cmd.exptime);
+      bool stored = false;
+      if (cmd.codec != 0) {
+        // Already-compressed payload: validate before storing. A payload
+        // that does not decode to exactly raw_len bytes would poison every
+        // future get of this key, so a byzantine or mixed-version peer gets
+        // NOT_STORED, not a stored landmine.
+        std::string decoded;
+        if (decompress_value(static_cast<Codec>(cmd.codec), dc.payload,
+                             cmd.raw_len, decoded)) {
+          stored = store_.set_stored(cmd.key, dc.payload, cmd.raw_len,
+                                     static_cast<Codec>(cmd.codec), cmd.flags,
+                                     cmd.cost, cmd.exptime);
+        }
+      } else {
+        stored =
+            store_.set(cmd.key, dc.payload, cmd.flags, cmd.cost, cmd.exptime);
+      }
       if (!cmd.noreply) out += format_stored(stored);
       break;
     }
@@ -516,6 +549,17 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
       out += format_stat("expired", std::to_string(s.expired));
       out += format_stat("slab_reassignments",
                          std::to_string(s.slab_reassignments));
+      // Compression telemetry. stored_raw_bytes == value_bytes (client-
+      // visible resident bytes); stored_compressed_bytes is what the slab
+      // chunks actually hold — the gap is the capacity the codec bought.
+      out += format_stat("compression_enabled",
+                         config_.compression ? "1" : "0");
+      out += format_stat("stored_raw_bytes", std::to_string(s.value_bytes));
+      out += format_stat("stored_compressed_bytes",
+                         std::to_string(s.stored_bytes));
+      out += format_stat("compress_bails", std::to_string(s.compress_bails));
+      out += format_stat("decompress_failures",
+                         std::to_string(s.decompress_failures));
       if (cluster_ != nullptr) {
         const ClusterCounters c = cluster_->counters();
         out += format_stat("cluster_node", std::to_string(self_node_));

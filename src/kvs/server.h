@@ -59,6 +59,11 @@ struct ServerConfig {
   /// in live deployments). 0 (default) = manual repair_tick() only — the
   /// deterministic mode every test and figure uses.
   std::uint32_t cluster_repair_interval_ms = 0;
+  /// Transparent value compression (kvs/compress.h): mirrored into
+  /// store.engine.compression.enabled at construction. Off by default so
+  /// the identity chunk layout — and every pre-compression baseline —
+  /// stays byte-identical.
+  bool compression = false;
   StoreConfig store;
 };
 

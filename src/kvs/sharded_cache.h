@@ -33,6 +33,10 @@ class ShardedCache final : public policy::ICache {
                const ShardFactory& factory);
 
   bool get(policy::Key key) override;
+  /// `size` is the CHARGED size — with value compression on, the engine
+  /// passes the compressed chunk size here, so every shard's byte budget
+  /// (and CAMP's size-normalized priorities) sees what the pair actually
+  /// occupies, not what the client wrote.
   bool put(policy::Key key, std::uint64_t size, std::uint64_t cost) override;
   [[nodiscard]] bool contains(policy::Key key) const override;
   void erase(policy::Key key) override;

@@ -38,27 +38,27 @@ std::uint64_t save_snapshot(std::ostream& out, const KvsStore& store) {
   // Two-pass: the count precedes the items in the format, and the store
   // only exposes iteration.
   std::uint64_t count = 0;
-  store.for_each_item([&](std::string_view, std::string_view, std::uint32_t,
-                          std::uint32_t, std::uint32_t,
-                          std::uint64_t) { ++count; });
+  store.for_each_item([&](const ItemView&) { ++count; });
   out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
   put_le<std::uint64_t>(out, count);
   std::uint64_t written = 0;
-  store.for_each_item([&](std::string_view key, std::string_view value,
-                          std::uint32_t flags, std::uint32_t cost,
-                          std::uint32_t ttl_s, std::uint64_t) {
+  store.for_each_item([&](const ItemView& item) {
     // The resident set may shrink between the passes (expiry); pad-proof
     // by never writing more than `count` items. A growth between passes
     // cannot happen (for_each_item is const and the caller holds the
     // store single-threaded during snapshots by contract).
     if (written == count) return;
-    put_le<std::uint32_t>(out, static_cast<std::uint32_t>(key.size()));
-    put_le<std::uint32_t>(out, static_cast<std::uint32_t>(value.size()));
-    put_le<std::uint32_t>(out, flags);
-    put_le<std::uint32_t>(out, cost);
-    put_le<std::uint32_t>(out, ttl_s);
-    out.write(key.data(), static_cast<std::streamsize>(key.size()));
-    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    put_le<std::uint32_t>(out, static_cast<std::uint32_t>(item.key.size()));
+    put_le<std::uint32_t>(out, item.raw_len);
+    put_le<std::uint32_t>(out, static_cast<std::uint32_t>(item.stored.size()));
+    put_le<std::uint8_t>(out, static_cast<std::uint8_t>(item.codec));
+    put_le<std::uint32_t>(out, item.flags);
+    put_le<std::uint32_t>(out, item.cost);
+    put_le<std::uint32_t>(out, item.remaining_ttl_s);
+    out.write(item.key.data(),
+              static_cast<std::streamsize>(item.key.size()));
+    out.write(item.stored.data(),
+              static_cast<std::streamsize>(item.stored.size()));
     ++written;
   });
   // If expiry shrank the second pass, backfill is impossible in a stream;
@@ -80,24 +80,44 @@ std::uint64_t save_snapshot_file(const std::string& path,
 SnapshotStats load_snapshot(std::istream& in, KvsStore& store) {
   char magic[sizeof(kSnapshotMagic)];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+  if (!in) throw std::runtime_error("snapshot: bad magic");
+  const bool v1 = std::memcmp(magic, kSnapshotMagicV1, sizeof(magic)) == 0;
+  if (!v1 && std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
     throw std::runtime_error("snapshot: bad magic");
   }
   const auto count = get_le<std::uint64_t>(in);
   SnapshotStats stats;
-  std::string key, value;
+  std::string key, stored;
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto key_len = get_le<std::uint32_t>(in);
-    const auto value_len = get_le<std::uint32_t>(in);
+    const auto raw_len = get_le<std::uint32_t>(in);
+    const auto stored_len = v1 ? raw_len : get_le<std::uint32_t>(in);
+    const auto codec_tag = v1 ? std::uint8_t{0} : get_le<std::uint8_t>(in);
     const auto flags = get_le<std::uint32_t>(in);
     const auto cost = get_le<std::uint32_t>(in);
     const auto ttl_s = get_le<std::uint32_t>(in);
     key.resize(key_len);
-    value.resize(value_len);
+    stored.resize(stored_len);
     in.read(key.data(), key_len);
-    in.read(value.data(), value_len);
+    in.read(stored.data(), stored_len);
     if (!in) throw std::runtime_error("snapshot: truncated item");
-    if (store.set(key, value, flags, cost, ttl_s)) {
+    if (!codec_tag_valid(codec_tag)) {
+      throw std::runtime_error("snapshot: unknown codec tag");
+    }
+    // Compressed payloads must decode to exactly raw_len before they are
+    // stored — the same validate-by-decoding rule the pset wire entry
+    // applies, so a corrupt file cannot plant a pair that poisons reads.
+    if (codec_tag != 0) {
+      std::string decoded;
+      if (!decompress_value(static_cast<Codec>(codec_tag), stored, raw_len,
+                            decoded)) {
+        throw std::runtime_error("snapshot: corrupt compressed item");
+      }
+    }
+    // v2 restores the stored form verbatim (no recompress); identity and
+    // every v1 item replay through set() and the target's own config.
+    if (store.set_stored(key, stored, raw_len,
+                         static_cast<Codec>(codec_tag), flags, cost, ttl_s)) {
       ++stats.items_loaded;
     } else {
       ++stats.items_rejected;

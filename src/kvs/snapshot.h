@@ -3,19 +3,27 @@
 // persistence tier — dump the resident set, reload it after a restart so
 // the expensive pairs do not have to be recomputed from a cold cache).
 //
-// Format (little-endian, magic "CAMPSNP1"):
+// Format v2 (little-endian, magic "CAMPSNP2"):
 //
 //   [magic:8][count:u64]
-//   per item: [key_len:u32][value_len:u32][flags:u32][cost:u32][ttl_s:u32]
-//             [key bytes][value bytes]
+//   per item: [key_len:u32][raw_len:u32][stored_len:u32][codec:u8]
+//             [flags:u32][cost:u32][ttl_s:u32][key bytes][stored bytes]
 //
-// Loading replays items through the normal set() path, so the eviction
-// policy re-admits them and memory limits are honoured: a snapshot larger
-// than the target store simply loads its prefix (later items may evict
-// earlier ones, exactly as live traffic would). Recency order inside the
-// snapshot is the walk order of the source store, not the original access
-// order — what survives a restart is the *cost* information CAMP needs,
-// while recency rebuilds within a few requests.
+// Items are persisted in their STORED (post-codec) form with their codec
+// tag, so saving and restoring a compressed store never pays a
+// decompress/recompress round-trip — and a restore into a store with a
+// different compression config keeps each pair's original encoding.
+// Legacy v1 files ("CAMPSNP1": [key_len:u32][value_len:u32][flags][cost]
+// [ttl_s][key][value]) still load; their values are raw and replay through
+// set(), picking up the target store's compression config.
+//
+// Loading replays items through the normal set()/set_stored() path, so the
+// eviction policy re-admits them and memory limits are honoured: a snapshot
+// larger than the target store simply loads its prefix (later items may
+// evict earlier ones, exactly as live traffic would). Recency order inside
+// the snapshot is the walk order of the source store, not the original
+// access order — what survives a restart is the *cost* information CAMP
+// needs, while recency rebuilds within a few requests.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +35,10 @@
 namespace camp::kvs {
 
 inline constexpr char kSnapshotMagic[8] = {'C', 'A', 'M', 'P',
-                                           'S', 'N', 'P', '1'};
+                                           'S', 'N', 'P', '2'};
+/// Legacy v1 magic: raw values, no codec tag. Load-only.
+inline constexpr char kSnapshotMagicV1[8] = {'C', 'A', 'M', 'P',
+                                             'S', 'N', 'P', '1'};
 
 struct SnapshotStats {
   std::uint64_t items_written = 0;

@@ -59,12 +59,28 @@ GetResult KvsStore::iqget(std::string_view key) {
   return shard.engine->iqget(key);
 }
 
+StoredGetResult KvsStore::get_stored(std::string_view key) {
+  Shard& shard = shard_for(key);
+  util::MutexLock lock(shard.mutex);
+  return shard.engine->get_stored(key);
+}
+
 bool KvsStore::set(std::string_view key, std::string_view value,
                    std::uint32_t flags, std::uint32_t cost,
                    std::uint32_t exptime_s) {
   Shard& shard = shard_for(key);
   util::MutexLock lock(shard.mutex);
   return shard.engine->set(key, value, flags, cost, exptime_s);
+}
+
+bool KvsStore::set_stored(std::string_view key, std::string_view stored,
+                          std::uint32_t raw_len, Codec codec,
+                          std::uint32_t flags, std::uint32_t cost,
+                          std::uint32_t exptime_s) {
+  Shard& shard = shard_for(key);
+  util::MutexLock lock(shard.mutex);
+  return shard.engine->set_stored(key, stored, raw_len, codec, flags, cost,
+                                  exptime_s);
 }
 
 bool KvsStore::iqset(std::string_view key, std::string_view value,
@@ -94,9 +110,7 @@ void KvsStore::flush_all() {
 }
 
 void KvsStore::for_each_item(
-    const std::function<void(std::string_view, std::string_view,
-                             std::uint32_t, std::uint32_t, std::uint32_t,
-                             std::uint64_t)>& fn) const {
+    const std::function<void(const ItemView&)>& fn) const {
   for (const auto& shard : shards_) {
     util::MutexLock lock(shard->mutex);
     shard->engine->for_each_item(fn);
@@ -131,6 +145,9 @@ EngineStats KvsStore::aggregated_stats() const {
     agg.slab_reassignments += s.slab_reassignments;
     agg.items += s.items;
     agg.value_bytes += s.value_bytes;
+    agg.stored_bytes += s.stored_bytes;
+    agg.compress_bails += s.compress_bails;
+    agg.decompress_failures += s.decompress_failures;
   }
   return agg;
 }

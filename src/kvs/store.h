@@ -29,8 +29,15 @@ class KvsStore {
 
   [[nodiscard]] GetResult get(std::string_view key);
   [[nodiscard]] GetResult iqget(std::string_view key);
+  /// The resident (post-codec) form, no decompression (peer transfer,
+  /// snapshots). See KvsEngine::get_stored.
+  [[nodiscard]] StoredGetResult get_stored(std::string_view key);
   bool set(std::string_view key, std::string_view value, std::uint32_t flags,
            std::uint32_t cost, std::uint32_t exptime_s = 0);
+  /// Store an already-encoded value verbatim. See KvsEngine::set_stored.
+  bool set_stored(std::string_view key, std::string_view stored,
+                  std::uint32_t raw_len, Codec codec, std::uint32_t flags,
+                  std::uint32_t cost, std::uint32_t exptime_s = 0);
   bool iqset(std::string_view key, std::string_view value,
              std::uint32_t flags, std::uint32_t exptime_s = 0);
   bool del(std::string_view key);
@@ -40,15 +47,10 @@ class KvsStore {
   /// still count until their lazy removal).
   [[nodiscard]] bool contains(std::string_view key) const;
 
-  /// Visit every resident, unexpired pair across all shards (each shard
-  /// walked under its own lock). Used by kvs/snapshot.h and the cluster's
-  /// decommission drain. `charged_bytes` is the chunk size the eviction
-  /// policy accounts for the pair.
-  void for_each_item(
-      const std::function<void(std::string_view key, std::string_view value,
-                               std::uint32_t flags, std::uint32_t cost,
-                               std::uint32_t remaining_ttl_s,
-                               std::uint64_t charged_bytes)>& fn) const;
+  /// Visit every resident, unexpired pair across all shards in its stored
+  /// form (each shard walked under its own lock; see kvs::ItemView). Used
+  /// by kvs/snapshot.h and the cluster's decommission drain.
+  void for_each_item(const std::function<void(const ItemView&)>& fn) const;
 
   /// Install `hook` on every engine shard (see kvs::EvictionHook). Set it
   /// before serving traffic; pass nullptr to clear.

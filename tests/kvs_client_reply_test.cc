@@ -137,12 +137,55 @@ TEST(ClientReplyParse, WellFormedRepliesStillParse) {
 TEST(ClientReplyParse, WellFormedPeerGetStillParses) {
   CannedPeer peer("VALUE k 7 2 42 60\r\nvv\r\nEND\r\n");
   KvsClient client("127.0.0.1", peer.port());
-  const GetResult r = client.peer_get("k");
+  const StoredGetResult r = client.peer_get("k");
   EXPECT_TRUE(r.hit);
   EXPECT_EQ(r.flags, 7u);
   EXPECT_EQ(r.cost, 42u);
   EXPECT_EQ(r.remaining_ttl_s, 60u);
-  EXPECT_EQ(r.value, "vv");
+  EXPECT_EQ(r.stored, "vv");
+  EXPECT_EQ(r.codec, Codec::kIdentity);
+  EXPECT_EQ(r.raw_len, 2u);
+}
+
+TEST(ClientReplyParse, CompressedPeerGetParsesTrailingTokens) {
+  // The 7-token form: codec 2 (RLE) payload of 3 stored bytes decoding to
+  // 10 raw bytes. The client re-stores the payload verbatim; it does NOT
+  // decode here, so the bytes only need to parse, not decompress.
+  CannedPeer peer("VALUE k 7 3 42 60 2 10\r\nxyz\r\nEND\r\n");
+  KvsClient client("127.0.0.1", peer.port());
+  const StoredGetResult r = client.peer_get("k");
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.stored, "xyz");
+  EXPECT_EQ(r.codec, Codec::kRle);
+  EXPECT_EQ(r.raw_len, 10u);
+}
+
+TEST(ClientReplyParse, PeerGetRejectsBadCodecTokens) {
+  // Unknown codec tag.
+  {
+    CannedPeer peer("VALUE k 7 2 42 60 9 10\r\nvv\r\nEND\r\n");
+    KvsClient client("127.0.0.1", peer.port());
+    EXPECT_THROW((void)client.peer_get("k"), std::runtime_error);
+  }
+  // Codec 0 must not appear in the 7-token form (identity never carries
+  // the extension on the wire).
+  {
+    CannedPeer peer("VALUE k 7 2 42 60 0 2\r\nvv\r\nEND\r\n");
+    KvsClient client("127.0.0.1", peer.port());
+    EXPECT_THROW((void)client.peer_get("k"), std::runtime_error);
+  }
+  // raw_len past the protocol cap.
+  {
+    CannedPeer peer("VALUE k 7 2 42 60 2 999999999\r\nvv\r\nEND\r\n");
+    KvsClient client("127.0.0.1", peer.port());
+    EXPECT_THROW((void)client.peer_get("k"), std::runtime_error);
+  }
+  // Six tokens: codec without raw_len.
+  {
+    CannedPeer peer("VALUE k 7 2 42 60 2\r\nvv\r\nEND\r\n");
+    KvsClient client("127.0.0.1", peer.port());
+    EXPECT_THROW((void)client.peer_get("k"), std::runtime_error);
+  }
 }
 
 TEST(ClientReplyParse, PeerOpsRejectInjectionKeys) {

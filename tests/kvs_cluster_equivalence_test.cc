@@ -30,6 +30,7 @@
 
 #include "coop/group.h"
 #include "kvs/cluster.h"
+#include "kvs/compress.h"
 #include "kvs/cluster_client.h"
 #include "policy/policy_factory.h"
 #include "slab/slab_allocator.h"
@@ -196,6 +197,163 @@ TEST_P(ClusterSimEquivalence, IdenticalCountersIncludingAJoin) {
 
 INSTANTIATE_TEST_SUITE_P(
     Policies, ClusterSimEquivalence,
+    ::testing::Combine(::testing::Values("lru", "camp"),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_r" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Compression-on equivalence
+// ---------------------------------------------------------------------------
+
+/// Half pseudo-random, half run: RLE keeps the literal half and collapses
+/// the run, so the stored form is ~0.5x the raw kValueBytes — large enough
+/// to matter, deterministic, and identical for every key.
+std::string compressible_payload() {
+  util::Xoshiro256 rng(77);
+  std::string payload(kValueBytes / 2, '\0');
+  for (char& c : payload) c = static_cast<char>(rng.next() & 0xff);
+  payload += std::string(kValueBytes - payload.size(), 'v');
+  return payload;
+}
+
+class ClusterSimCompressionEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::uint32_t>> {};
+
+TEST_P(ClusterSimCompressionEquivalence, CountersPinExactlyUnderCompression) {
+  // The same lock-step schedule as above, with value compression ON at
+  // every node. The sim has no codec — it only ever sees byte charges — so
+  // equivalence holds exactly when the cluster charges the COMPRESSED
+  // chunk size everywhere a size matters: local sets, promotions, guard
+  // parks and squeezes, replica fan-out. Driving the sim with the stored
+  // footprint and pinning every counter proves the whole pipeline charges
+  // post-codec bytes, with no layer quietly falling back to raw sizes.
+  const std::string policy_spec = std::get<0>(GetParam());
+  const std::uint32_t replication = std::get<1>(GetParam());
+  static const util::ManualClock clock;
+
+  // Half the raw bytes per pair: halve the node budget so the policies
+  // stay under comparable pressure (evictions, parks, squeezes all fire).
+  const std::uint64_t node_slab_limit = 4 * kSlabBytes;
+  const std::uint64_t policy_capacity = static_cast<std::uint64_t>(
+      static_cast<double>(node_slab_limit) * kPolicyFill);
+  const std::uint64_t guard_bytes = static_cast<std::uint64_t>(
+      std::llround(0.25 * static_cast<double>(policy_capacity)));
+
+  const std::string payload = compressible_payload();
+  CompressionConfig compression;
+  compression.enabled = true;
+  const CompressResult comp = compress_value(payload, compression);
+  ASSERT_EQ(comp.codec, Codec::kRle);
+  const std::size_t stored_len = comp.data.size();
+  ASSERT_LT(stored_len, payload.size() * 6 / 10)
+      << "the payload must actually compress";
+
+  StoreConfig store_config;
+  store_config.shards = 1;
+  store_config.engine.slab.slab_size_bytes =
+      static_cast<std::uint32_t>(kSlabBytes);
+  store_config.engine.slab.memory_limit_bytes = node_slab_limit;
+  store_config.engine.compression.enabled = true;
+  const PolicyFactory factory = [&policy_spec](std::uint64_t cap) {
+    return policy::make_policy(policy_spec, cap);
+  };
+  ClusterConfig cluster_config;
+  cluster_config.guard_capacity_bytes = guard_bytes;
+  cluster_config.guard_lease_requests = kLease;
+  cluster_config.replication = replication;
+
+  std::vector<std::unique_ptr<KvsStore>> stores;
+  CoopCluster cluster(cluster_config);
+  std::vector<std::unique_ptr<CoopNodeClient>> node_clients;
+  ClusterClient router(cluster_config.virtual_nodes, /*parallel=*/false,
+                       replication);
+  const auto add_cluster_node = [&] {
+    stores.push_back(
+        std::make_unique<KvsStore>(store_config, factory, clock));
+    const ClusterNodeId id = cluster.join(*stores.back());
+    node_clients.push_back(std::make_unique<CoopNodeClient>(cluster, id));
+    router.add_node(id, *node_clients.back());
+  };
+  for (std::uint32_t n = 0; n < kNodes; ++n) add_cluster_node();
+
+  coop::CoopConfig group_config;
+  group_config.nodes = kNodes;
+  group_config.node_capacity_bytes = policy_capacity;
+  group_config.policy_spec = policy_spec;
+  group_config.virtual_nodes = cluster_config.virtual_nodes;
+  group_config.replication = replication;
+  group_config.guard_fraction = static_cast<double>(guard_bytes) /
+                                static_cast<double>(policy_capacity);
+  group_config.guard_lease_requests = kLease;
+  coop::CoopGroup group(group_config);
+
+  // The sim's charge per pair is the chunk the engine picks for the
+  // COMPRESSED form (stored bytes + the raw_len extension word).
+  slab::SlabAllocator probe(store_config.engine.slab);
+  const auto charged_of = [&](const std::string& key) {
+    const auto cls =
+        probe.class_for(item_footprint(key.size(), stored_len, comp.codec));
+    EXPECT_TRUE(cls.has_value());
+    return static_cast<std::uint64_t>(probe.chunk_size_of_class(*cls));
+  };
+
+  util::Xoshiro256 rng(2014);
+  constexpr int kOps = 24'000;
+  for (int i = 0; i < kOps; ++i) {
+    if (i == kOps / 2) {
+      add_cluster_node();
+      group.add_node();
+    }
+    const std::uint64_t key_id =
+        rng.below(10) < 7 ? rng.below(350) : 350 + rng.below(1'400);
+    const std::string key = key_name(key_id);
+    const std::uint64_t route = cluster_route_key(key);
+    const std::uint32_t cost = cost_of(key_id);
+    const std::uint64_t charged = charged_of(key);
+
+    const bool sim_served = group.request(route, charged, cost);
+
+    KvsBatch get;
+    get.add_get(key);
+    const bool cluster_served = router.execute(get)[0].ok;
+    if (!cluster_served) {
+      KvsBatch set;
+      set.add_set(key, payload, 0, cost);
+      ASSERT_TRUE(router.execute(set)[0].ok)
+          << "refill rejected for " << key << " at op " << i;
+    }
+    ASSERT_EQ(sim_served, cluster_served)
+        << policy_spec << " r=" << replication << " diverged at op " << i
+        << " key " << key;
+  }
+
+  const coop::CoopMetrics& sim = group.metrics();
+  const ClusterCounters net = cluster.counters();
+  EXPECT_EQ(net.requests, sim.requests);
+  EXPECT_EQ(net.local_hits, sim.local_hits);
+  EXPECT_EQ(net.remote_hits, sim.remote_hits);
+  EXPECT_EQ(net.guard_hits, sim.guard_hits);
+  EXPECT_EQ(net.misses, sim.misses);
+  EXPECT_EQ(net.cold_misses, sim.cold_misses);
+  EXPECT_EQ(net.guard_parked, sim.guard_parked);
+  EXPECT_EQ(net.guard_expired, sim.guard_expired);
+  EXPECT_EQ(net.guard_squeezed, sim.guard_squeezed);
+  // Peer transfers move the STORED form: the byte meter counts compressed
+  // bytes, one stored_len per remote hit — not raw kValueBytes.
+  EXPECT_EQ(net.transfer_bytes, sim.remote_hits * stored_len);
+  EXPECT_GT(net.remote_hits, 0u) << "the join produced no remote traffic";
+  EXPECT_GT(net.guard_hits, 0u) << "the guard never reinstated anything";
+  EXPECT_GT(net.guard_parked, 0u);
+  EXPECT_TRUE(cluster.check_invariants());
+  EXPECT_TRUE(group.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ClusterSimCompressionEquivalence,
     ::testing::Combine(::testing::Values("lru", "camp"),
                        ::testing::Values(1u, 2u)),
     [](const auto& info) {

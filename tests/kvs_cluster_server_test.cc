@@ -14,6 +14,7 @@
 #include "kvs/client.h"
 #include "kvs/cluster.h"
 #include "kvs/cluster_client.h"
+#include "kvs/compress.h"
 #include "kvs/server.h"
 #include "policy/policy_factory.h"
 #include "util/clock.h"
@@ -162,9 +163,11 @@ TEST(ClusterServer, PeerOpsWorkAgainstAPlainServer) {
   server.start();
   KvsClient client("127.0.0.1", server.port());
   ASSERT_TRUE(client.set("k", "data", 5, 42));
-  const GetResult r = client.peer_get("k");
+  const StoredGetResult r = client.peer_get("k");
   EXPECT_TRUE(r.hit);
-  EXPECT_EQ(r.value, "data");
+  EXPECT_EQ(r.stored, "data");
+  EXPECT_EQ(r.codec, Codec::kIdentity);
+  EXPECT_EQ(r.raw_len, 4u);
   EXPECT_EQ(r.flags, 5u);
   EXPECT_EQ(r.cost, 42u);
   EXPECT_FALSE(client.peer_get("missing").hit);
@@ -172,12 +175,72 @@ TEST(ClusterServer, PeerOpsWorkAgainstAPlainServer) {
   EXPECT_FALSE(client.peer_del("k"));
   // pset stores raw-locally, cost and flags intact.
   EXPECT_TRUE(client.peer_set("p", "replica-bytes", 3, 17));
-  const GetResult p = client.peer_get("p");
+  const StoredGetResult p = client.peer_get("p");
   EXPECT_TRUE(p.hit);
-  EXPECT_EQ(p.value, "replica-bytes");
+  EXPECT_EQ(p.stored, "replica-bytes");
   EXPECT_EQ(p.flags, 3u);
   EXPECT_EQ(p.cost, 17u);
   server.stop();
+}
+
+TEST(ClusterServer, CompressedValuesMoveOverTheWire) {
+  // End-to-end over real sockets: a compression-ON server stores the
+  // compressed form, serves gets transparently, exposes the stored form
+  // (with codec + raw_len tokens) via pget, and a pset of those exact
+  // bytes lands them verbatim on a compression-OFF server — the peer
+  // transfer path never inflates or recompresses.
+  static const util::SteadyClock clock;
+  ServerConfig compressing = small_server();
+  compressing.compression = true;
+  KvsServer node_a(compressing, lru_factory(), clock);
+  KvsServer node_b(small_server(), lru_factory(), clock);  // compression off
+  node_a.start();
+  node_b.start();
+  {
+    KvsClient a("127.0.0.1", node_a.port());
+    KvsClient b("127.0.0.1", node_b.port());
+
+    const std::string raw(4096, 'v');
+    ASSERT_TRUE(a.set("zip", raw, 7, 42));
+    // Client-visible read is transparent.
+    EXPECT_EQ(a.get("zip").value, raw);
+
+    // pget carries the stored form plus the codec/raw_len tokens.
+    const StoredGetResult stored = a.peer_get("zip");
+    ASSERT_TRUE(stored.hit);
+    EXPECT_EQ(stored.codec, Codec::kRle);
+    EXPECT_EQ(stored.raw_len, raw.size());
+    ASSERT_LT(stored.stored.size(), raw.size() / 10);
+    std::string decoded;
+    ASSERT_TRUE(decompress_value(stored.codec, stored.stored,
+                                 stored.raw_len, decoded));
+    EXPECT_EQ(decoded, raw);
+
+    // Replaying those exact bytes via pset onto the compression-OFF node
+    // keeps them verbatim; its clients still read the raw value.
+    ASSERT_TRUE(b.peer_set("zip", stored.stored, stored.flags, stored.cost,
+                           /*exptime_s=*/0,
+                           static_cast<std::uint32_t>(stored.codec),
+                           stored.raw_len));
+    EXPECT_EQ(b.get("zip").value, raw);
+    const StoredGetResult relay = b.peer_get("zip");
+    EXPECT_EQ(relay.codec, Codec::kRle);
+    EXPECT_EQ(relay.stored, stored.stored);
+
+    // A compressed pset that does not decode is rejected at the wire.
+    EXPECT_FALSE(b.peer_set("bad", "\x80\x80\x80", 0, 1, /*exptime_s=*/0,
+                            /*codec=*/2, /*raw_len=*/4096));
+    EXPECT_FALSE(b.get("bad").hit);
+
+    // The size ledger surfaces in STATS.
+    const auto stats = a.stats();
+    EXPECT_EQ(stats.at("compression_enabled"), "1");
+    EXPECT_EQ(stats.at("stored_raw_bytes"), std::to_string(raw.size()));
+    EXPECT_EQ(stats.at("stored_compressed_bytes"),
+              std::to_string(stored.stored.size()));
+  }
+  node_a.stop();
+  node_b.stop();
 }
 
 TEST(ClusterServer, ReplicatedWritesFanOutOverTheWire) {

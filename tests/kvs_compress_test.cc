@@ -1,0 +1,228 @@
+// Codec layer (kvs/compress.h): round-trips across value shapes, the
+// incompressible bail-out, and — because decompress_value eats wire bytes
+// from peers — hardened rejection of malformed encodings. The fuzz-style
+// corpus hammers both directions with deterministic pseudo-random inputs:
+// every compress output must decode back exactly, and no mutated encoding
+// may decode to the wrong length or crash.
+#include "kvs/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "kvs/protocol.h"
+#include "util/rng.h"
+
+namespace camp::kvs {
+namespace {
+
+CompressionConfig enabled_config() {
+  CompressionConfig config;
+  config.enabled = true;
+  return config;
+}
+
+/// A "small structured value": 8-byte LE counters clustered near a base —
+/// the shape BDI exists for.
+std::string structured_value(std::size_t words, std::uint64_t base,
+                             std::uint32_t spread) {
+  util::Xoshiro256 rng(0xbd1bd1);
+  std::string raw(words * 8, '\0');
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t w = base + rng.next() % spread;
+    std::memcpy(raw.data() + i * 8, &w, 8);  // host LE on every CI target
+  }
+  return raw;
+}
+
+std::string random_value(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::string raw(n, '\0');
+  for (char& c : raw) c = static_cast<char>(rng.next() & 0xff);
+  return raw;
+}
+
+TEST(Compress, DisabledConfigAlwaysIdentity) {
+  CompressionConfig off;  // default
+  EXPECT_EQ(compress_value(std::string(4096, 'a'), off).codec,
+            Codec::kIdentity);
+}
+
+TEST(Compress, EmptyAndTinyValuesStayIdentity) {
+  const CompressionConfig config = enabled_config();
+  EXPECT_EQ(compress_value("", config).codec, Codec::kIdentity);
+  EXPECT_EQ(compress_value("x", config).codec, Codec::kIdentity);
+  // One byte under the threshold: still identity, by the min_value_bytes
+  // rule, even though 63 'a's would RLE beautifully.
+  EXPECT_EQ(
+      compress_value(std::string(config.min_value_bytes - 1, 'a'), config)
+          .codec,
+      Codec::kIdentity);
+  // At the threshold the codecs engage.
+  EXPECT_NE(
+      compress_value(std::string(config.min_value_bytes, 'a'), config).codec,
+      Codec::kIdentity);
+}
+
+TEST(Compress, RunsCompressViaRle) {
+  const CompressionConfig config = enabled_config();
+  const std::string raw(100'000, 'v');
+  const CompressResult comp = compress_value(raw, config);
+  EXPECT_EQ(comp.codec, Codec::kRle);
+  // 128 repeats per 2-byte frame: ~n/64.
+  EXPECT_LT(comp.data.size(), raw.size() / 50);
+  std::string out;
+  ASSERT_TRUE(decompress_value(comp.codec, comp.data, raw.size(), out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST(Compress, StructuredValuesCompressViaBdi) {
+  const CompressionConfig config = enabled_config();
+  // 64 counters within 2^15 of one base: 2-byte deltas, ~4x.
+  const std::string raw = structured_value(64, 0x1122334455667788ull, 30'000);
+  const CompressResult comp = compress_value(raw, config);
+  EXPECT_EQ(comp.codec, Codec::kBdi);
+  EXPECT_LT(comp.data.size(), raw.size() / 2);
+  std::string out;
+  ASSERT_TRUE(decompress_value(comp.codec, comp.data, raw.size(), out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST(Compress, BdiRespectsSizeCeiling) {
+  CompressionConfig config = enabled_config();
+  config.bdi_max_bytes = 256;
+  // Structured but past the BDI ceiling. The base's bytes are all distinct
+  // and the spread never carries past the low two bytes, so the raw bytes
+  // hold no runs for RLE to win on: with BDI skipped, the value bails.
+  const std::string raw = structured_value(64, 0x1122334455667788ull, 30'000);
+  ASSERT_GT(raw.size(), config.bdi_max_bytes);
+  EXPECT_EQ(compress_value(raw, config).codec, Codec::kIdentity);
+  // The same value under the default ceiling compresses.
+  EXPECT_EQ(compress_value(raw, enabled_config()).codec, Codec::kBdi);
+}
+
+TEST(Compress, IncompressibleValueBailsToIdentity) {
+  const CompressionConfig config = enabled_config();
+  // Uniform random bytes: no runs, no shared base. Must bail, never grow.
+  EXPECT_EQ(compress_value(random_value(4096, 0xfeed), config).codec,
+            Codec::kIdentity);
+}
+
+TEST(Compress, ProtocolCapSizedValueRoundTrips) {
+  const CompressionConfig config = enabled_config();
+  // The largest value the protocol admits (64 MiB), highly compressible —
+  // exercises the length bookkeeping at the extreme without a slow input.
+  std::string raw(kMaxValueBytes, 'z');
+  // Break up some runs so both literal and repeat paths run at scale.
+  for (std::size_t i = 0; i < raw.size(); i += 4093) {
+    raw[i] = static_cast<char>('a' + (i % 23));
+  }
+  const CompressResult comp = compress_value(raw, config);
+  ASSERT_EQ(comp.codec, Codec::kRle);
+  std::string out;
+  ASSERT_TRUE(decompress_value(comp.codec, comp.data, raw.size(), out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST(Compress, IdentityDecodeChecksLength) {
+  std::string out;
+  EXPECT_TRUE(decompress_value(Codec::kIdentity, "abcd", 4, out));
+  EXPECT_EQ(out, "abcd");
+  EXPECT_FALSE(decompress_value(Codec::kIdentity, "abcd", 5, out));
+  EXPECT_FALSE(decompress_value(Codec::kIdentity, "abcd", 3, out));
+}
+
+TEST(Compress, MalformedEncodingsAreRejected) {
+  const CompressionConfig config = enabled_config();
+  std::string out;
+
+  // Truncated RLE stream: a repeat control with no byte after it.
+  EXPECT_FALSE(decompress_value(Codec::kRle, std::string(1, '\x81'), 2, out));
+  // The reserved 128 control byte.
+  EXPECT_FALSE(decompress_value(Codec::kRle, std::string(1, '\x80'), 1, out));
+  // A literal control promising more bytes than the stream holds.
+  EXPECT_FALSE(decompress_value(Codec::kRle, std::string("\x05" "ab"), 6,
+                                out));
+  // Valid stream, wrong declared raw_len.
+  const CompressResult rle = compress_value(std::string(256, 'q'), config);
+  ASSERT_EQ(rle.codec, Codec::kRle);
+  EXPECT_FALSE(decompress_value(Codec::kRle, rle.data, 255, out));
+  EXPECT_FALSE(decompress_value(Codec::kRle, rle.data, 257, out));
+
+  // BDI: empty stream, bad width tag, truncated delta array, trailing
+  // garbage, wrong raw_len.
+  EXPECT_FALSE(decompress_value(Codec::kBdi, "", 16, out));
+  const std::string structured =
+      structured_value(32, 0xaabbccdd0000ull, 1000);
+  const CompressResult bdi = compress_value(structured, config);
+  ASSERT_EQ(bdi.codec, Codec::kBdi);
+  std::string bad = bdi.data;
+  bad[0] = 3;  // widths are 1/2/4 only
+  EXPECT_FALSE(decompress_value(Codec::kBdi, bad, structured.size(), out));
+  EXPECT_FALSE(decompress_value(
+      Codec::kBdi, std::string_view(bdi.data).substr(0, bdi.data.size() - 1),
+      structured.size(), out));
+  EXPECT_FALSE(decompress_value(Codec::kBdi, bdi.data + "x",
+                                structured.size(), out));
+  EXPECT_FALSE(
+      decompress_value(Codec::kBdi, bdi.data, structured.size() - 8, out));
+}
+
+TEST(Compress, FuzzCorpusRoundTripsAndRejectsMutations) {
+  const CompressionConfig config = enabled_config();
+  util::Xoshiro256 rng(0xc0ffee);
+  int compressed_seen = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    // Mix value shapes: runs, structured words, random, and hybrids.
+    std::string raw;
+    const std::size_t len = 1 + rng.next() % 3000;
+    switch (iter % 4) {
+      case 0:
+        raw.assign(len, static_cast<char>('a' + iter % 26));
+        break;
+      case 1:
+        raw = structured_value(1 + len / 8, rng.next(), 1 + iter * 7u);
+        break;
+      case 2:
+        raw = random_value(len, rng.next());
+        break;
+      default:
+        raw = random_value(len / 2, rng.next()) +
+              std::string(len / 2 + 1, 'r');
+        break;
+    }
+    const CompressResult comp = compress_value(raw, config);
+    std::string out;
+    if (comp.codec == Codec::kIdentity) {
+      ASSERT_TRUE(decompress_value(comp.codec, raw, raw.size(), out));
+      ASSERT_EQ(out, raw);
+      continue;
+    }
+    ++compressed_seen;
+    ASSERT_LT(comp.data.size(), raw.size());
+    ASSERT_TRUE(decompress_value(comp.codec, comp.data, raw.size(), out));
+    ASSERT_EQ(out, raw);
+
+    // Mutate one byte / truncate / extend: must either fail closed or
+    // still produce exactly raw_len bytes — never crash, never over-read.
+    std::string mutated = comp.data;
+    mutated[rng.next() % mutated.size()] ^= static_cast<char>(
+        1 + rng.next() % 255);
+    if (decompress_value(comp.codec, mutated, raw.size(), out)) {
+      ASSERT_EQ(out.size(), raw.size());
+    }
+    if (comp.data.size() > 1) {
+      ASSERT_FALSE(decompress_value(
+          comp.codec,
+          std::string_view(comp.data).substr(0, comp.data.size() / 2),
+          raw.size(), out))
+          << "a truncated encoding must not decode to the full length";
+    }
+  }
+  // The corpus must actually exercise the codecs, not bail throughout.
+  EXPECT_GT(compressed_seen, 100);
+}
+
+}  // namespace
+}  // namespace camp::kvs

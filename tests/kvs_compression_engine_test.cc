@@ -1,0 +1,276 @@
+// Engine-boundary tests for transparent value compression: the engine
+// compresses on store, decompresses on read, and charges the POLICY the
+// compressed chunk size — which is the whole point (more pairs fit under
+// one byte budget). Also covers the stored-form surfaces (get_stored /
+// set_stored / for_each_item / the eviction hook) and the hardened
+// corrupt-stored-bytes read path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/camp.h"
+#include "kvs/compress.h"
+#include "kvs/engine.h"
+#include "kvs/item.h"
+#include "policy/lru.h"
+
+namespace camp::kvs {
+namespace {
+
+EngineConfig engine_config(bool compression,
+                           std::uint64_t bytes = 2u << 20) {
+  EngineConfig c;
+  c.slab.memory_limit_bytes = bytes;
+  c.slab.slab_size_bytes = 1u << 20;
+  c.compression.enabled = compression;
+  return c;
+}
+
+PolicyFactory lru_factory() {
+  return [](std::uint64_t cap) {
+    return std::make_unique<policy::LruCache>(cap);
+  };
+}
+
+PolicyFactory camp_factory(int precision = 5) {
+  return [precision](std::uint64_t cap) {
+    core::CampConfig config;
+    config.capacity_bytes = cap;
+    config.precision = precision;
+    return core::make_camp(config);
+  };
+}
+
+const std::string kRunny(4096, 'v');  // massively RLE-compressible
+
+TEST(CompressionEngine, RoundTripIsTransparent) {
+  util::ManualClock clock;
+  KvsEngine engine(engine_config(true), lru_factory(), clock);
+  ASSERT_TRUE(engine.set("k", kRunny, 7, 3));
+  const GetResult r = engine.get("k");
+  ASSERT_TRUE(r.hit);
+  EXPECT_EQ(r.value, kRunny);
+  EXPECT_EQ(r.flags, 7u);
+
+  // The resident form is compressed: raw accounting vs stored accounting.
+  const EngineStats& s = engine.stats();
+  EXPECT_EQ(s.value_bytes, kRunny.size());
+  EXPECT_LT(s.stored_bytes, kRunny.size() / 10);
+  EXPECT_EQ(s.compress_bails, 0u);
+}
+
+TEST(CompressionEngine, ChargesThePolicyTheCompressedSize) {
+  util::ManualClock clock;
+  KvsEngine on(engine_config(true), lru_factory(), clock);
+  KvsEngine off(engine_config(false), lru_factory(), clock);
+  ASSERT_TRUE(on.set("k", kRunny, 0, 1));
+  ASSERT_TRUE(off.set("k", kRunny, 0, 1));
+  // Same value, same budget: the compressed engine charges a far smaller
+  // chunk (slab classes are picked by STORED footprint).
+  EXPECT_LT(on.policy_used_bytes(), off.policy_used_bytes() / 8);
+}
+
+TEST(CompressionEngine, CompressionOffStoresIdentity) {
+  util::ManualClock clock;
+  KvsEngine engine(engine_config(false), lru_factory(), clock);
+  ASSERT_TRUE(engine.set("k", kRunny, 0, 1));
+  const StoredGetResult r = engine.get_stored("k");
+  ASSERT_TRUE(r.hit);
+  EXPECT_EQ(r.codec, Codec::kIdentity);
+  EXPECT_EQ(r.stored, kRunny);
+  EXPECT_EQ(r.raw_len, kRunny.size());
+  EXPECT_EQ(engine.stats().stored_bytes, engine.stats().value_bytes);
+}
+
+TEST(CompressionEngine, IncompressibleValueCountsABail) {
+  util::ManualClock clock;
+  KvsEngine engine(engine_config(true), lru_factory(), clock);
+  util::Xoshiro256 rng(0xabad1dea);
+  std::string random(1024, '\0');
+  for (char& c : random) c = static_cast<char>(rng.next() & 0xff);
+  ASSERT_TRUE(engine.set("r", random, 0, 1));
+  EXPECT_EQ(engine.stats().compress_bails, 1u);
+  EXPECT_EQ(engine.get_stored("r").codec, Codec::kIdentity);
+  EXPECT_EQ(engine.get("r").value, random);
+  // Tiny values skip compression without counting a bail (they never
+  // attempted it).
+  ASSERT_TRUE(engine.set("tiny", "ab", 0, 1));
+  EXPECT_EQ(engine.stats().compress_bails, 1u);
+}
+
+TEST(CompressionEngine, GetStoredReturnsTheCompressedForm) {
+  util::ManualClock clock;
+  KvsEngine engine(engine_config(true), lru_factory(), clock);
+  ASSERT_TRUE(engine.set("k", kRunny, 5, 9));
+  const StoredGetResult r = engine.get_stored("k");
+  ASSERT_TRUE(r.hit);
+  EXPECT_EQ(r.codec, Codec::kRle);
+  EXPECT_EQ(r.raw_len, kRunny.size());
+  EXPECT_LT(r.stored.size(), kRunny.size() / 10);
+  EXPECT_EQ(r.flags, 5u);
+  EXPECT_EQ(r.cost, 9u);
+  std::string decoded;
+  ASSERT_TRUE(decompress_value(r.codec, r.stored, r.raw_len, decoded));
+  EXPECT_EQ(decoded, kRunny);
+  // get_stored is a real read: hit accounting matches get().
+  EXPECT_EQ(engine.stats().gets, 1u);
+  EXPECT_EQ(engine.stats().hits, 1u);
+}
+
+TEST(CompressionEngine, SetStoredKeepsCompressedBytesVerbatim) {
+  util::ManualClock clock;
+  // The RECEIVING engine has compression OFF — a peer transfer must still
+  // land the compressed payload as-is (stored_len is what it is, no
+  // recompress, no inflate).
+  KvsEngine engine(engine_config(false), lru_factory(), clock);
+  const CompressResult comp = compress_value(kRunny, {.enabled = true});
+  ASSERT_EQ(comp.codec, Codec::kRle);
+  ASSERT_TRUE(engine.set_stored("k", comp.data,
+                                static_cast<std::uint32_t>(kRunny.size()),
+                                comp.codec, 1, 2));
+  const StoredGetResult stored = engine.get_stored("k");
+  EXPECT_EQ(stored.codec, Codec::kRle);
+  EXPECT_EQ(stored.stored, comp.data);
+  EXPECT_EQ(engine.get("k").value, kRunny);
+}
+
+TEST(CompressionEngine, SetStoredIdentityAppliesLocalConfig) {
+  util::ManualClock clock;
+  // Identity set_stored delegates to set(): an engine with compression ON
+  // compresses a raw peer payload exactly like a client set.
+  KvsEngine engine(engine_config(true), lru_factory(), clock);
+  ASSERT_TRUE(engine.set_stored("k", kRunny,
+                                static_cast<std::uint32_t>(kRunny.size()),
+                                Codec::kIdentity, 0, 1));
+  EXPECT_EQ(engine.get_stored("k").codec, Codec::kRle);
+  EXPECT_EQ(engine.get("k").value, kRunny);
+}
+
+TEST(CompressionEngine, CorruptStoredBytesFailClosedOnRead) {
+  util::ManualClock clock;
+  KvsEngine engine(engine_config(false), lru_factory(), clock);
+  // set_stored trusts its caller (wire/snapshot entry points validate by
+  // decoding) — feed it garbage directly to exercise the read-side guard.
+  ASSERT_TRUE(engine.set_stored("bad", "\x80\x80\x80", 4096, Codec::kRle, 0,
+                                1));
+  EXPECT_EQ(engine.stats().items, 1u);
+  const GetResult r = engine.get("bad");
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(engine.stats().decompress_failures, 1u);
+  // The poisoned pair was dropped, not left to fail every future read.
+  EXPECT_EQ(engine.stats().items, 0u);
+  EXPECT_FALSE(engine.contains("bad"));
+}
+
+TEST(CompressionEngine, ForEachItemExposesBothSizes) {
+  util::ManualClock clock;
+  KvsEngine engine(engine_config(true), lru_factory(), clock);
+  ASSERT_TRUE(engine.set("zip", kRunny, 0, 1));
+  std::size_t seen = 0;
+  engine.for_each_item([&](const ItemView& item) {
+    ++seen;
+    EXPECT_EQ(item.key, "zip");
+    EXPECT_EQ(item.codec, Codec::kRle);
+    EXPECT_EQ(item.raw_len, kRunny.size());
+    EXPECT_LT(item.stored.size(), kRunny.size() / 10);
+    EXPECT_EQ(item.charged_bytes,
+              engine.allocator().chunk_size_of_class(
+                  engine.allocator()
+                      .class_for(item_footprint(3, item.stored.size(),
+                                                item.codec))
+                      .value()));
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(CompressionEngine, EvictionHookReportsRawAndChargedBytes) {
+  util::ManualClock clock;
+  // Small budget so the second set evicts the first.
+  EngineConfig config = engine_config(true, 1u << 20);
+  config.slab.slab_size_bytes = 512u << 10;
+  KvsEngine engine(config, lru_factory(), clock);
+  // The hook's views die with the call; copy what the assertions need.
+  struct Evicted {
+    std::string key;
+    std::string stored;
+    std::uint32_t raw_len = 0;
+    Codec codec = Codec::kIdentity;
+    std::uint64_t charged_bytes = 0;
+  };
+  std::vector<Evicted> evicted;
+  engine.set_eviction_hook([&](const EvictedItem& item) {
+    evicted.push_back(Evicted{std::string(item.key),
+                              std::string(item.stored), item.raw_len,
+                              item.codec, item.charged_bytes});
+  });
+  const std::string big(400u << 10, 'e');  // compresses to ~6 KiB
+  ASSERT_TRUE(engine.set("first", big, 0, 1));
+  // Fill with incompressible values until "first" goes (LRU order).
+  util::Xoshiro256 rng(0x5eed);
+  std::string random(200u << 10, '\0');
+  int i = 0;
+  while (evicted.empty() && i < 64) {
+    for (char& c : random) c = static_cast<char>(rng.next() & 0xff);
+    ASSERT_TRUE(engine.set("filler" + std::to_string(i++), random, 0, 1));
+  }
+  ASSERT_FALSE(evicted.empty());
+  const Evicted& first = evicted.front();
+  ASSERT_EQ(first.key, "first");
+  ASSERT_EQ(first.codec, Codec::kRle);
+  EXPECT_EQ(first.raw_len, big.size());
+  // Charged bytes follow the STORED footprint, far below the raw size.
+  EXPECT_LT(first.charged_bytes, big.size() / 10);
+  EXPECT_GE(first.charged_bytes, first.stored.size());
+  std::string decoded;
+  ASSERT_TRUE(
+      decompress_value(first.codec, first.stored, first.raw_len, decoded));
+  EXPECT_EQ(decoded, big);
+}
+
+TEST(CompressionEngine, SameBudgetHoldsMoreCompressibleValues) {
+  // The acceptance-shaped property at engine scope: under one byte budget,
+  // a compressible working set sees strictly more hits with compression on.
+  util::ManualClock clock;
+  const std::uint64_t budget = 2u << 20;
+  KvsEngine on(engine_config(true, budget), camp_factory(), clock);
+  KvsEngine off(engine_config(false, budget), camp_factory(), clock);
+  const std::string payload(16 << 10, 'p');  // ~16 KiB, ~128x compressible
+  constexpr int kKeys = 512;                 // raw working set: 8 MiB
+  for (auto* engine : {&on, &off}) {
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE(
+          engine->set("key" + std::to_string(i), payload, 0, 1 + i % 5));
+    }
+  }
+  std::uint64_t hits_on = 0;
+  std::uint64_t hits_off = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    hits_on += on.get(key).hit ? 1 : 0;
+    hits_off += off.get(key).hit ? 1 : 0;
+  }
+  EXPECT_EQ(hits_on, static_cast<std::uint64_t>(kKeys))
+      << "the compressed working set fits the budget outright";
+  EXPECT_LT(hits_off, hits_on / 4);
+}
+
+TEST(CompressionEngine, OverwriteAcrossCodecsKeepsAccountingExact) {
+  util::ManualClock clock;
+  KvsEngine engine(engine_config(true), lru_factory(), clock);
+  util::Xoshiro256 rng(0x0eed);
+  std::string random(2048, '\0');
+  for (char& c : random) c = static_cast<char>(rng.next() & 0xff);
+
+  ASSERT_TRUE(engine.set("k", kRunny, 0, 1));        // RLE
+  ASSERT_TRUE(engine.set("k", random, 0, 1));        // identity (bail)
+  ASSERT_TRUE(engine.set("k", std::string(600, 'w'), 0, 1));  // RLE again
+  ASSERT_TRUE(engine.del("k"));
+  EXPECT_EQ(engine.stats().items, 0u);
+  EXPECT_EQ(engine.stats().value_bytes, 0u);
+  EXPECT_EQ(engine.stats().stored_bytes, 0u);
+  EXPECT_EQ(engine.policy_used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace camp::kvs

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <sstream>
 
 #include "core/camp.h"
 #include "policy/lru.h"
+#include "util/rng.h"
 
 namespace camp::kvs {
 namespace {
@@ -34,17 +36,21 @@ PolicyFactory camp_factory() {
   };
 }
 
-/// Canonical dump for comparisons: key -> (value, flags, cost, ttl).
+/// Canonical dump for comparisons: key -> (raw value, flags, cost, ttl).
+/// Decompresses each item's stored form, so two stores agree exactly when
+/// their client-visible contents agree — whatever codec either one used.
 using Dump = std::map<std::string,
                       std::tuple<std::string, std::uint32_t, std::uint32_t,
                                  std::uint32_t>>;
 Dump dump(const KvsStore& store) {
   Dump out;
-  store.for_each_item([&](std::string_view key, std::string_view value,
-                          std::uint32_t flags, std::uint32_t cost,
-                          std::uint32_t ttl, std::uint64_t) {
-    out.emplace(std::string(key),
-                std::make_tuple(std::string(value), flags, cost, ttl));
+  store.for_each_item([&](const ItemView& item) {
+    std::string value;
+    ASSERT_TRUE(
+        decompress_value(item.codec, item.stored, item.raw_len, value));
+    out.emplace(std::string(item.key),
+                std::make_tuple(std::move(value), item.flags, item.cost,
+                                item.remaining_ttl_s));
   });
   return out;
 }
@@ -167,6 +173,110 @@ TEST(Snapshot, FileRoundTrip) {
   EXPECT_THROW(load_snapshot_file("/no/such/snapshot.bin", restored),
                std::runtime_error);
   std::remove(path.c_str());
+}
+
+TEST(Snapshot, MixedCodecsRestoreVerbatim) {
+  // A compressed store holds pairs under all three codecs at once (runs ->
+  // RLE, clustered counters -> BDI, random -> identity bail). The snapshot
+  // must persist each STORED form with its tag and restore it verbatim —
+  // no decompress/recompress round-trip — so the restored store's stored
+  // forms (not just its values) match the source byte for byte.
+  util::ManualClock clock;
+  StoreConfig config = small_config();
+  config.engine.compression.enabled = true;
+  KvsStore source(config, camp_factory(), clock);
+
+  ASSERT_TRUE(source.set("rle", std::string(5'000, 'z'), 1, 10));
+  std::string structured(512, '\0');
+  for (std::size_t i = 0; i < structured.size(); i += 8) {
+    const std::uint64_t word = 0x0102030405060708ull + i;
+    std::memcpy(structured.data() + i, &word, 8);
+  }
+  ASSERT_TRUE(source.set("bdi", structured, 2, 20));
+  util::Xoshiro256 rng(0x5eedf00d);
+  std::string random(512, '\0');
+  for (char& c : random) c = static_cast<char>(rng.next() & 0xff);
+  ASSERT_TRUE(source.set("raw", random, 3, 30, /*exptime_s=*/120));
+
+  std::map<std::string, std::pair<std::string, Codec>> source_stored;
+  source.for_each_item([&](const ItemView& item) {
+    source_stored.emplace(std::string(item.key),
+                          std::make_pair(std::string(item.stored),
+                                         item.codec));
+  });
+  ASSERT_EQ(source_stored.at("rle").second, Codec::kRle);
+  ASSERT_EQ(source_stored.at("bdi").second, Codec::kBdi);
+  ASSERT_EQ(source_stored.at("raw").second, Codec::kIdentity);
+
+  std::stringstream buffer;
+  EXPECT_EQ(save_snapshot(buffer, source), 3u);
+  // Restore into a compression-OFF store: the compressed forms must still
+  // land verbatim (set_stored keeps non-identity payloads as-is).
+  KvsStore restored(small_config(), camp_factory(), clock);
+  const SnapshotStats stats = load_snapshot(buffer, restored);
+  EXPECT_EQ(stats.items_loaded, 3u);
+  EXPECT_EQ(dump(source), dump(restored));
+  restored.for_each_item([&](const ItemView& item) {
+    const auto& [stored, codec] = source_stored.at(std::string(item.key));
+    EXPECT_EQ(item.codec, codec);
+    EXPECT_EQ(item.stored, stored) << "stored form must restore verbatim";
+  });
+  // Client-visible reads come back decompressed, TTL intact.
+  EXPECT_EQ(restored.get("rle").value, std::string(5'000, 'z'));
+  EXPECT_EQ(restored.get("bdi").value, structured);
+  clock.advance_ns(121ull * 1'000'000'000ull);
+  EXPECT_FALSE(restored.get("raw").hit);
+}
+
+TEST(Snapshot, RejectsCorruptCompressedItem) {
+  util::ManualClock clock;
+  StoreConfig config = small_config();
+  config.engine.compression.enabled = true;
+  KvsStore source(config, camp_factory(), clock);
+  ASSERT_TRUE(source.set("zip", std::string(4'096, 'q'), 0, 1));
+  std::stringstream buffer;
+  save_snapshot(buffer, source);
+  std::string bytes = buffer.str();
+  // Smash the final RLE control byte (stream tail is ...[control][byte])
+  // into the reserved 0x80: the payload no longer decodes, and the load
+  // must throw rather than plant a pair that poisons every future read.
+  ASSERT_GE(bytes.size(), 2u);
+  bytes[bytes.size() - 2] = '\x80';
+  std::stringstream corrupt(bytes);
+  KvsStore restored(config, camp_factory(), clock);
+  EXPECT_THROW(load_snapshot(corrupt, restored), std::runtime_error);
+}
+
+TEST(Snapshot, LoadsV1FormatAsIdentity) {
+  // Hand-build a CAMPSNP1 stream (the pre-compression format: value_len in
+  // the second field, no stored_len/codec) — old files keep loading, and
+  // their values replay through set() under the target's own config.
+  const std::string key = "legacy";
+  const std::string value = "pre-compression bytes";
+  std::string bytes(kSnapshotMagicV1, sizeof(kSnapshotMagicV1));
+  const auto put32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  };
+  for (int i = 0; i < 8; ++i) bytes.push_back(i == 0 ? 1 : 0);  // count u64
+  put32(static_cast<std::uint32_t>(key.size()));
+  put32(static_cast<std::uint32_t>(value.size()));
+  put32(9);   // flags
+  put32(77);  // cost
+  put32(0);   // ttl
+  bytes += key;
+  bytes += value;
+
+  util::ManualClock clock;
+  KvsStore restored(small_config(), camp_factory(), clock);
+  std::stringstream in(bytes);
+  EXPECT_EQ(load_snapshot(in, restored).items_loaded, 1u);
+  const GetResult r = restored.get("legacy");
+  ASSERT_TRUE(r.hit);
+  EXPECT_EQ(r.value, value);
+  EXPECT_EQ(r.flags, 9u);
+  EXPECT_EQ(r.cost, 77u);
 }
 
 TEST(Snapshot, WarmRestartKeepsCostlyPairsWorking) {
