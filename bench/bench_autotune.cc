@@ -1,0 +1,17 @@
+// fig_autotune: self-tuning precision vs the static settings across three
+// cost-model phases (three-tier choice, fixed, continuous lognormal) over
+// disjoint key spaces. The duel's decision counters (windows, sampled ops,
+// migrations, final precision) are reported alongside the per-phase
+// cost-miss ratios — all deterministic, so the baseline diff is exact.
+//
+// Expected shape: camp-auto tracks the best static candidate within a few
+// percent in every phase (and may beat them all where the optimum shifts
+// mid-run), while the statics each lose at least one phase.
+//
+// The computation lives in the fig_autotune FigureSpec
+// (src/figures/registry.cc).
+#include "bench_figure_adapter.h"
+
+int main(int argc, char** argv) {
+  return camp::bench::run_figure_bench({"fig_autotune"}, argc, argv);
+}

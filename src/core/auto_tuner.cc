@@ -1,0 +1,243 @@
+#include "core/auto_tuner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/rounding.h"
+
+namespace camp::core {
+
+void AutoTunerConfig::validate() const {
+  if (candidates.empty()) {
+    throw std::invalid_argument("AutoTunerConfig: candidates must be non-empty");
+  }
+  std::unordered_set<int> seen;
+  for (const int p : candidates) {
+    if (p < 1) {
+      throw std::invalid_argument(
+          "AutoTunerConfig: candidate precisions must be >= 1");
+    }
+    if (!seen.insert(p).second) {
+      throw std::invalid_argument(
+          "AutoTunerConfig: duplicate candidate precision");
+    }
+  }
+  if (initial_precision < 1) {
+    throw std::invalid_argument(
+        "AutoTunerConfig: initial_precision must be >= 1");
+  }
+  if (sample_shift > 32) {
+    throw std::invalid_argument("AutoTunerConfig: sample_shift must be <= 32");
+  }
+  if (window_samples == 0) {
+    throw std::invalid_argument("AutoTunerConfig: window_samples must be > 0");
+  }
+  if (psel_threshold < 1) {
+    throw std::invalid_argument("AutoTunerConfig: psel_threshold must be >= 1");
+  }
+}
+
+AutoTuner::AutoTuner(AutoTunerConfig config, std::uint64_t live_capacity_bytes)
+    : config_(std::move(config)), current_(config_.initial_precision) {
+  config_.validate();
+  std::uint64_t shadow_capacity = config_.shadow_capacity_bytes;
+  if (shadow_capacity == 0) {
+    shadow_capacity =
+        std::max<std::uint64_t>(1, live_capacity_bytes >> config_.sample_shift);
+  }
+  const std::size_t n = config_.candidates.size();
+  shadows_.reserve(n);
+  for (const int p : config_.candidates) {
+    shadows_.push_back(
+        std::make_unique<CampCache>(CampConfig{shadow_capacity, p}));
+  }
+  window_miss_cost_.assign(n, 0);
+  counters_.psel.assign(n, 0);
+  counters_.window_wins.assign(n, 0);
+  counters_.shadow_hits.assign(n, 0);
+  counters_.shadow_misses.assign(n, 0);
+}
+
+bool AutoTuner::is_sampled(policy::Key key) const noexcept {
+  const std::uint64_t mask = (std::uint64_t{1} << config_.sample_shift) - 1;
+  return (util::mix64(key ^ config_.salt) & mask) == 0;
+}
+
+std::optional<int> AutoTuner::observe(policy::Key key, std::uint64_t size,
+                                      std::uint64_t cost) {
+  ++counters_.ops;
+  if (!is_sampled(key)) return std::nullopt;
+  ++counters_.sampled;
+  const std::uint64_t charged_cost = std::max<std::uint64_t>(1, cost);
+  for (std::size_t i = 0; i < shadows_.size(); ++i) {
+    if (shadows_[i]->get(key)) {
+      ++counters_.shadow_hits[i];
+    } else {
+      // The simulator's miss rule: the window is charged the pair's cost
+      // and the shadow admits it (oversized pairs are rejected but still
+      // charged — they would miss in any cache).
+      ++counters_.shadow_misses[i];
+      window_miss_cost_[i] += charged_cost;
+      if (size > 0) shadows_[i]->put(key, size, cost);
+    }
+  }
+  if (++window_fill_ < config_.window_samples) return std::nullopt;
+  return end_window();
+}
+
+std::optional<int> AutoTuner::end_window() {
+  ++counters_.windows;
+  window_fill_ = 0;
+  // Winner = lowest missed cost; ties prefer the incumbent (no migration
+  // without a strict improvement), then the lowest candidate index, so the
+  // duel is deterministic.
+  const std::uint64_t best =
+      *std::min_element(window_miss_cost_.begin(), window_miss_cost_.end());
+  std::size_t winner = window_miss_cost_.size();
+  for (std::size_t i = 0; i < window_miss_cost_.size(); ++i) {
+    if (window_miss_cost_[i] != best) continue;
+    if (config_.candidates[i] == current_) {
+      winner = i;
+      break;
+    }
+    if (winner == window_miss_cost_.size()) winner = i;
+  }
+  std::fill(window_miss_cost_.begin(), window_miss_cost_.end(), 0);
+  ++counters_.window_wins[winner];
+  for (std::size_t i = 0; i < counters_.psel.size(); ++i) {
+    std::int64_t& p = counters_.psel[i];
+    if (i == winner) {
+      p = std::min<std::int64_t>(p + 1, config_.psel_threshold);
+    } else {
+      p = std::max<std::int64_t>(p - 1, 0);
+    }
+  }
+  trace_ += "w" + std::to_string(counters_.windows) + ":p" +
+            std::to_string(config_.candidates[winner]) + ";";
+  const int winning_precision = config_.candidates[winner];
+  if (winning_precision == current_ ||
+      counters_.psel[winner] < config_.psel_threshold) {
+    return std::nullopt;
+  }
+  decisions_.push_back(
+      AutoTunerDecision{counters_.sampled, current_, winning_precision});
+  trace_ += "w" + std::to_string(counters_.windows) + ">p" +
+            std::to_string(winning_precision) + ";";
+  current_ = winning_precision;
+  ++counters_.retunes;
+  std::fill(counters_.psel.begin(), counters_.psel.end(), 0);
+  return winning_precision;
+}
+
+std::string AutoTuner::trace() const { return trace_; }
+
+// ---------------------------------------------------------------------------
+// SharedAutoTuner
+// ---------------------------------------------------------------------------
+
+SharedAutoTuner::SharedAutoTuner(AutoTunerConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+void SharedAutoTuner::register_capacity(std::uint64_t bytes) {
+  util::MutexLock g(mutex_);
+  if (tuner_ != nullptr) {
+    throw std::logic_error(
+        "SharedAutoTuner: register_capacity after traffic started");
+  }
+  registered_capacity_ += bytes;
+}
+
+AutoTuner& SharedAutoTuner::tuner_locked() const {
+  if (tuner_ == nullptr) {
+    tuner_ = std::make_unique<AutoTuner>(config_, registered_capacity_);
+  }
+  return *tuner_;
+}
+
+void SharedAutoTuner::observe(policy::Key key, std::uint64_t size,
+                              std::uint64_t cost) {
+  util::MutexLock g(mutex_);
+  if (tuner_locked().observe(key, size, cost).has_value()) {
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+int SharedAutoTuner::current_precision() const {
+  util::MutexLock g(mutex_);
+  return tuner_locked().current_precision();
+}
+
+AutoTunerConfig SharedAutoTuner::tuner_config() const { return config_; }
+
+AutoTunerCounters SharedAutoTuner::counters() const {
+  util::MutexLock g(mutex_);
+  return tuner_locked().counters();
+}
+
+std::vector<AutoTunerDecision> SharedAutoTuner::decisions() const {
+  util::MutexLock g(mutex_);
+  return tuner_locked().decisions();
+}
+
+std::string SharedAutoTuner::trace() const {
+  util::MutexLock g(mutex_);
+  return tuner_locked().trace();
+}
+
+// ---------------------------------------------------------------------------
+// SelfTuningCampCache
+// ---------------------------------------------------------------------------
+
+SelfTuningCampCache::SelfTuningCampCache(CampConfig config,
+                                         std::shared_ptr<SharedAutoTuner> tuner)
+    : live_(config), shared_tuner_(std::move(tuner)) {
+  if (shared_tuner_ == nullptr) {
+    throw std::invalid_argument("SelfTuningCampCache: tuner must not be null");
+  }
+  shared_tuner_->register_capacity(config.capacity_bytes);
+}
+
+void SelfTuningCampCache::apply_pending_retune() {
+  const std::uint64_t e = shared_tuner_->epoch();
+  if (e == seen_epoch_) return;
+  seen_epoch_ = e;
+  live_.retune(shared_tuner_->current_precision());
+}
+
+bool SelfTuningCampCache::get(Key key) {
+  apply_pending_retune();
+  const bool hit = live_.get(key);
+  // Misses are observed by the put() the caller issues next (simulator
+  // protocol); a hit's metadata comes from the resident pair.
+  if (hit) shared_tuner_->observe(key, live_.size_of(key), live_.cost_of(key));
+  return hit;
+}
+
+bool SelfTuningCampCache::put(Key key, std::uint64_t size, std::uint64_t cost) {
+  apply_pending_retune();
+  shared_tuner_->observe(key, size, cost);
+  const bool admitted = live_.put(key, size, cost);
+  // The tuner may have migrated on this very access; the next operation
+  // applies it (apply_pending_retune), keeping observe/mutate phases
+  // strictly ordered.
+  return admitted;
+}
+
+std::string SelfTuningCampCache::name() const {
+  const int p = live_.precision();
+  if (p >= util::kPrecisionInfinity) return "camp-auto(p=inf)";
+  return "camp-auto(p=" + std::to_string(p) + ")";
+}
+
+std::unique_ptr<policy::ICache> make_self_tuning_camp(
+    CampConfig config, AutoTunerConfig shared_tuner_config) {
+  config.precision = shared_tuner_config.initial_precision;
+  return std::make_unique<SelfTuningCampCache>(
+      config, std::make_shared<SharedAutoTuner>(std::move(shared_tuner_config)));
+}
+
+}  // namespace camp::core

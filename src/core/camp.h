@@ -22,12 +22,15 @@
 // tie-breaking (tests/camp_gds_equivalence_test.cc asserts this).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "heap/dary_heap.h"
 #include "intrusive/list.h"
@@ -65,6 +68,7 @@ struct CampIntrospection {
   std::size_t nonempty_queues = 0;       // current LRU queue count
   std::uint64_t queues_created = 0;      // lifetime
   std::uint64_t queues_destroyed = 0;    // lifetime
+  std::uint64_t retunes = 0;             // precision changes (IRetunable)
   std::uint64_t inflation = 0;           // current L
   std::uint64_t max_scaled_ratio = 0;    // largest pre-rounding ratio seen (U)
   std::uint64_t scaling_multiplier = 0;  // current adaptive max-size
@@ -72,7 +76,8 @@ struct CampIntrospection {
 };
 
 template <int HeapArity = 8>
-class BasicCampCache final : public policy::CacheBase {
+class BasicCampCache final : public policy::CacheBase,
+                             public policy::IRetunable {
  public:
   using Key = policy::Key;
 
@@ -138,10 +143,10 @@ class BasicCampCache final : public policy::CacheBase {
 
   [[nodiscard]] std::string name() const override {
     const std::string base = config_.frequency_aware ? "camp-f" : "camp";
-    if (config_.precision >= util::kPrecisionInfinity) {
+    if (precision() >= util::kPrecisionInfinity) {
       return base + "(p=inf)";
     }
-    return base + "(p=" + std::to_string(config_.precision) + ")";
+    return base + "(p=" + std::to_string(precision()) + ")";
   }
 
   /// Evict the current victim on demand (KVS engine slab pressure).
@@ -149,6 +154,38 @@ class BasicCampCache final : public policy::CacheBase {
     if (head_heap_.empty()) return false;
     evict_victim();
     return true;
+  }
+
+  // -- IRetunable -------------------------------------------------------------
+  /// Switch the rounding precision and rebuild the queue topology in place.
+  ///
+  /// Every resident pair is re-rounded at the new precision and re-appended
+  /// in global access order (seq), with its priority refreshed to L + r'.
+  /// The rebuilt cache is decision-equivalent to a fresh cache at the new
+  /// precision that admitted the same resident set in recency order at a
+  /// constant L; the only permitted divergence is the order of (H, seq)
+  /// ties, which the rebuild resolves by access recency (documented
+  /// queue-order ties — tests/camp_retune_test.cc pins both directions).
+  bool retune(int new_precision) override {
+    if (new_precision < 1) {
+      throw std::invalid_argument(
+          "BasicCampCache::retune: precision must be >= 1");
+    }
+    if (new_precision == config_.precision) return false;
+    config_.precision = new_precision;
+    rebuild_queues();
+    ++intro_.retunes;
+    return true;
+  }
+
+  /// THE precision accessor: every rounding decision and name() reads the
+  /// live value through here (no scattered config copies).
+  [[nodiscard]] int precision() const noexcept override {
+    return config_.precision;
+  }
+
+  [[nodiscard]] std::uint64_t retune_count() const noexcept override {
+    return intro_.retunes;
   }
 
   // -- introspection ----------------------------------------------------------
@@ -175,6 +212,18 @@ class BasicCampCache final : public policy::CacheBase {
   [[nodiscard]] std::uint32_t frequency_of(Key key) const {
     const auto it = index_.find(key);
     return it == index_.end() ? 0 : it->second.freq;
+  }
+
+  /// Size / cost of a resident key (0 if absent). The auto-tuner's wrapper
+  /// (core/auto_tuner.h) mirrors live hits into the shadow stream with
+  /// these, since ICache::get carries no metadata.
+  [[nodiscard]] std::uint64_t size_of(Key key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : it->second.size;
+  }
+  [[nodiscard]] std::uint64_t cost_of(Key key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : it->second.cost;
   }
 
   [[nodiscard]] CampIntrospection introspect() const {
@@ -276,7 +325,31 @@ class BasicCampCache final : public policy::CacheBase {
                                             std::uint64_t size) {
     const std::uint64_t scaled = scaler_.scale(cost, size);
     if (scaled > intro_.max_scaled_ratio) intro_.max_scaled_ratio = scaled;
-    return util::msy_round(scaled, config_.precision);
+    return util::msy_round(scaled, precision());
+  }
+
+  /// Retune rebuild: drop every queue and the head heap, then re-append all
+  /// resident pairs in access order under the current precision. Priorities
+  /// are refreshed to L + r' (L itself never moves here), so Proposition 1
+  /// and the within-queue strictly-increasing (h, seq) invariant hold
+  /// immediately: within a rebuilt queue all pairs share h = L + r' and seq
+  /// is strictly increasing by construction.
+  void rebuild_queues() {
+    std::vector<Entry*> entries;
+    entries.reserve(index_.size());
+    for (auto& [key, e] : index_) entries.push_back(&e);
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+    for (auto& [ratio, q] : queues_) q.list.clear();
+    intro_.queues_destroyed += queues_.size();
+    queues_.clear();
+    head_heap_.clear();
+    for (Entry* e : entries) {
+      e->queue = nullptr;
+      e->ratio = rounded_ratio(effective_cost(*e), e->size);
+      e->h = inflation_ + e->ratio;
+      append(*e, e->ratio);
+    }
   }
 
   [[nodiscard]] static HeadKey head_key(Queue& q) {

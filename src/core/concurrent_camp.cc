@@ -1,9 +1,11 @@
 #include "core/concurrent_camp.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <map>
 #include <stdexcept>
+#include <vector>
 
 namespace camp::core {
 
@@ -37,7 +39,7 @@ void ConcurrentCampConfig::validate() const {
 }
 
 ConcurrentCampCache::ConcurrentCampCache(ConcurrentCampConfig config)
-    : config_(config) {
+    : config_(config), precision_(config.precision) {
   config_.validate();
   stripes_.reserve(config_.index_stripes);
   for (std::uint32_t i = 0; i < config_.index_stripes; ++i) {
@@ -66,7 +68,7 @@ std::uint64_t ConcurrentCampCache::queue_id(std::uint64_t ratio,
 
 std::uint64_t ConcurrentCampCache::rounded_ratio(
     std::uint64_t cost, std::uint64_t size) const noexcept {
-  return scaler_.scale_and_round(cost, size, config_.precision);
+  return scaler_.scale_and_round(cost, size, precision());
 }
 
 ConcurrentCampCache::HeadKey ConcurrentCampCache::head_key(Queue& q) {
@@ -258,6 +260,50 @@ void ConcurrentCampCache::evict_victim_exclusive() {
   if (listener) listener(vkey, vsize);
 }
 
+bool ConcurrentCampCache::retune(int new_precision) {
+  if (new_precision < 1) {
+    throw std::invalid_argument(
+        "ConcurrentCampCache::retune: precision must be >= 1");
+  }
+  util::WriterLock exclusive(structure_);
+  if (new_precision == precision()) return false;
+  precision_.store(new_precision, std::memory_order_relaxed);
+  rebuild_queues_exclusive();
+  retunes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ConcurrentCampCache::rebuild_queues_exclusive() {
+  // Gather every resident entry in global access order; seq is globally
+  // unique, so the sort is a total (deterministic) order.
+  std::vector<Entry*> entries;
+  for (const auto& stripe : stripes_) {
+    util::MutexLock g(stripe->mutex);
+    entries.reserve(entries.size() + stripe->map.size());
+    for (auto& [key, e] : stripe->map) entries.push_back(&e);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+  for (auto& [qid, q] : queues_) q.list.clear();
+  queues_destroyed_ += queues_.size();
+  queues_.clear();
+  {
+    util::MutexLock heap_lock(heap_mutex_);
+    head_heap_.clear();
+    refresh_min_head_locked();
+  }
+  // Priorities refresh to L + r' with L unchanged: Proposition 1 and the
+  // within-queue strictly-increasing (h, seq) invariant hold immediately
+  // (all pairs of a rebuilt queue share h; seq increases by construction).
+  const std::uint64_t inflation = inflation_.load(std::memory_order_relaxed);
+  for (Entry* e : entries) {
+    e->queue = nullptr;
+    e->ratio = rounded_ratio(e->cost, e->size);
+    e->h = inflation + e->ratio;
+    append_exclusive(*e, e->ratio);
+  }
+}
+
 bool ConcurrentCampCache::put(Key key, std::uint64_t size,
                               std::uint64_t cost) {
   puts_.fetch_add(1, std::memory_order_relaxed);
@@ -360,10 +406,10 @@ const policy::CacheStats& ConcurrentCampCache::stats() const {
 }
 
 std::string ConcurrentCampCache::name() const {
+  // Reports the CURRENT (post-retune) precision, not the constructed one.
+  const int p = precision();
   std::string name = "camp-mt(p=";
-  name += config_.precision >= util::kPrecisionInfinity
-              ? "inf"
-              : std::to_string(config_.precision);
+  name += p >= util::kPrecisionInfinity ? "inf" : std::to_string(p);
   if (config_.physical_queues > 1) {
     name += ",q=" + std::to_string(config_.physical_queues);
   }
@@ -383,6 +429,8 @@ ConcurrentCampIntrospection ConcurrentCampCache::introspect() const {
   out.nonempty_queues = queues_.size();
   out.queues_created = queues_created_;
   out.queues_destroyed = queues_destroyed_;
+  out.retunes = retunes_.load(std::memory_order_relaxed);
+  out.precision = precision();
   out.inflation = inflation_.load(std::memory_order_relaxed);
   out.scaling_multiplier = scaler_.max_size();
   out.shared_fast_hits = shared_fast_hits_.load(std::memory_order_relaxed);

@@ -56,7 +56,9 @@ namespace camp::core {
 
 struct ConcurrentCampConfig {
   std::uint64_t capacity_bytes = 0;
-  /// MSY rounding precision, as in CampConfig.
+  /// INITIAL MSY rounding precision, as in CampConfig. The live value can
+  /// move at runtime through IRetunable::retune; read it through
+  /// ConcurrentCampCache::precision(), never from a config copy.
   int precision = 5;
   /// Physical sub-queues per rounded ratio (Section 4.1, feature 3). 1 keeps
   /// the serial layout; higher values trade extra heap nodes for less
@@ -74,6 +76,8 @@ struct ConcurrentCampIntrospection {
   std::size_t nonempty_queues = 0;
   std::uint64_t queues_created = 0;
   std::uint64_t queues_destroyed = 0;
+  std::uint64_t retunes = 0;  // precision changes (IRetunable)
+  int precision = 0;          // current live precision
   std::uint64_t inflation = 0;
   std::uint64_t scaling_multiplier = 0;
   std::uint64_t shared_fast_hits = 0;   // hits served under the shared lock
@@ -81,7 +85,8 @@ struct ConcurrentCampIntrospection {
   heap::HeapStats heap;
 };
 
-class ConcurrentCampCache final : public policy::ICache {
+class ConcurrentCampCache final : public policy::ICache,
+                                  public policy::IRetunable {
  public:
   using Key = policy::Key;
 
@@ -118,6 +123,23 @@ class ConcurrentCampCache final : public policy::ICache {
   [[nodiscard]] policy::CacheStats stats_snapshot() const;
   [[nodiscard]] std::string name() const override;
   void set_eviction_listener(policy::EvictionListener listener) override;
+
+  // -- IRetunable (thread-safe) ----------------------------------------------
+  /// Switch the rounding precision on the exclusive plane: takes the unique
+  /// structure lock, then rebuilds the queue topology exactly like the
+  /// serial engine (resident pairs re-rounded and re-appended in access
+  /// order; see BasicCampCache::retune for the decision-equivalence
+  /// contract). Concurrent gets/puts simply order before or after the
+  /// rebuild.
+  bool retune(int new_precision) override;
+  /// THE precision accessor: the live value every rounding decision and
+  /// name() reads (relaxed atomic; config().precision is only the initial).
+  [[nodiscard]] int precision() const noexcept override {
+    return precision_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t retune_count() const noexcept override {
+    return retunes_.load(std::memory_order_relaxed);
+  }
 
   // -- introspection ----------------------------------------------------------
   [[nodiscard]] ConcurrentCampIntrospection introspect() const;
@@ -196,6 +218,10 @@ class ConcurrentCampCache final : public policy::ICache {
   void append_exclusive(Entry& e, std::uint64_t ratio)
       CAMP_REQUIRES(structure_);
   void evict_victim_exclusive() CAMP_REQUIRES(structure_);
+  /// Retune rebuild (see BasicCampCache::rebuild_queues): drops every queue
+  /// and the head heap, then re-appends all resident pairs in access order
+  /// under the current precision.
+  void rebuild_queues_exclusive() CAMP_REQUIRES(structure_);
 
   /// Re-reads the heap minimum into the atomic mirror; caller holds
   /// heap_mutex_.
@@ -206,6 +232,9 @@ class ConcurrentCampCache final : public policy::ICache {
 
   ConcurrentCampConfig config_;
   util::AtomicRatioScaler scaler_;
+  /// Live rounding precision (config_.precision is only the initial value).
+  std::atomic<int> precision_;
+  std::atomic<std::uint64_t> retunes_{0};
 
   mutable util::SharedMutex structure_{util::LockRank::kCampStructure};
   std::vector<std::unique_ptr<IndexStripe>> stripes_;

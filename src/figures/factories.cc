@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/auto_tuner.h"
 #include "core/camp.h"
 #include "policy/gds.h"
 #include "policy/lru.h"
@@ -31,6 +32,14 @@ sim::CacheFactory camp_factory(int precision) {
     config.capacity_bytes = cap;
     config.precision = precision;
     return core::make_camp(config);
+  };
+}
+
+sim::CacheFactory camp_auto_factory() {
+  return [](std::uint64_t cap) {
+    core::CampConfig config;
+    config.capacity_bytes = cap;
+    return core::make_self_tuning_camp(config, core::AutoTunerConfig{});
   };
 }
 
@@ -72,6 +81,7 @@ sim::CacheFactory series_factory(
     const std::vector<trace::TraceRecord>& records) {
   if (series == "lru") return lru_factory();
   if (series == "gds") return gds_factory();
+  if (series == "camp-auto") return camp_auto_factory();
   if (series.rfind("camp-p", 0) == 0) {
     return camp_factory(std::stoi(series.substr(6)));
   }

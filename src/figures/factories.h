@@ -14,6 +14,9 @@ namespace camp::figures {
 [[nodiscard]] sim::CacheFactory lru_factory();
 [[nodiscard]] sim::CacheFactory gds_factory();
 [[nodiscard]] sim::CacheFactory camp_factory(int precision);
+/// Self-tuning CAMP with the default AutoTunerConfig (core/auto_tuner.h):
+/// each cache instance duels its own shadow set and retunes itself.
+[[nodiscard]] sim::CacheFactory camp_auto_factory();
 
 /// The paper's cost-proportional Pooled LRU built from an offline profile
 /// (pools by exact cost value, capacity proportional to request cost mass).
@@ -29,7 +32,8 @@ namespace camp::figures {
 [[nodiscard]] sim::CacheFactory pooled_range_factory();
 
 /// Factory for a figure series name: "lru", "gds", "camp-p5" (any
-/// precision suffix), "pooled-cost", "pooled-uniform", "pooled-range".
+/// precision suffix), "camp-auto", "pooled-cost", "pooled-uniform",
+/// "pooled-range".
 /// `records` feeds the profile-driven pooled plans. Throws
 /// std::invalid_argument on an unknown name.
 [[nodiscard]] sim::CacheFactory series_factory(

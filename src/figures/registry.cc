@@ -3,15 +3,21 @@
 #include "figures/figure_spec.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string_view>
 #include <thread>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
 
+#include "core/auto_tuner.h"
 #include "core/camp.h"
 #include "figures/factories.h"
 #include "kvs/api.h"
@@ -25,6 +31,7 @@
 #include "sim/occupancy.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
+#include "trace/workloads.h"
 #include "util/clock.h"
 #include "util/rounding.h"
 #include "util/stats.h"
@@ -1061,6 +1068,114 @@ std::vector<FigureRow> fig_coop_cluster_run(const FigurePointSpec& point,
   return {row};
 }
 
+// ---- fig_autotune: precision self-tuning across cost-model phases ---------
+
+/// Three back-to-back phases over disjoint key namespaces, all with the
+/// bg_default size model but DIFFERENT cost models — the paper's three-tier
+/// choice, fixed cost, continuous lognormal — so the precision that
+/// minimizes missed cost shifts at each phase boundary and no static
+/// setting is right everywhere. Phase 0's unique footprint is the
+/// cache-ratio denominator (the phased-figure convention).
+struct AutotuneBundle {
+  std::vector<trace::TraceRecord> records;
+  std::vector<std::size_t> phase_end;  // exclusive record index per phase
+  std::uint64_t unique_bytes = 0;
+};
+
+const AutotuneBundle& autotune_bundle(const FigureOptions& o) {
+  static std::mutex mutex;
+  static std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+                  std::unique_ptr<AutotuneBundle>>
+      memo;
+  const std::uint64_t seed = seed_for(TraceKind::kPhased, o.seed) + 100;
+  const std::tuple<std::uint64_t, std::uint64_t, std::uint64_t> key{
+      o.scale.num_keys, o.scale.num_requests, seed};
+  std::lock_guard<std::mutex> guard(mutex);
+  auto& slot = memo[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<AutotuneBundle>();
+    const std::uint64_t keys =
+        std::max<std::uint64_t>(1, o.scale.num_keys / 3);
+    const std::uint64_t requests =
+        std::max<std::uint64_t>(1, o.scale.num_requests / 3);
+    const std::array<trace::CostModel, 3> cost_models{
+        trace::CostModel::choice({1, 100, 10'000}),
+        trace::CostModel::fixed(1),
+        trace::CostModel::log_normal(4.6, 2.0, 1, 100'000)};
+    for (std::size_t phase = 0; phase < cost_models.size(); ++phase) {
+      auto config = trace::bg_default(keys, requests,
+                                      seed + phase * 1000003ull);
+      config.cost_model = cost_models[phase];
+      config.trace_id = static_cast<std::uint32_t>(phase);
+      config.key_namespace = phase * (keys + 1);
+      trace::TraceGenerator gen(config);
+      auto rows = gen.generate();
+      if (phase == 0) slot->unique_bytes = gen.unique_bytes();
+      slot->records.insert(slot->records.end(), rows.begin(), rows.end());
+      slot->phase_end.push_back(slot->records.size());
+    }
+  }
+  return *slot;
+}
+
+std::vector<FigurePointSpec> fig_autotune_points(const FigureOptions&) {
+  // The static series mirror the auto-tuner's default candidate set
+  // (core/auto_tuner.h), so "does auto match the best static?" is
+  // answerable row against row.
+  return grid({"camp-p1", "camp-p2", "camp-p5", "camp-p64", "camp-auto"},
+              "ratio", {0.1, 0.25});
+}
+
+std::vector<FigureRow> fig_autotune_run(const FigurePointSpec& point,
+                                        const FigureOptions& o) {
+  const AutotuneBundle& b = autotune_bundle(o);
+  const std::uint64_t cap = sim::capacity_for_ratio(point.x, b.unique_bytes);
+  auto cache = series_factory(point.policy, b.records)(cap);
+  sim::Simulator simulator(*cache);
+  FigureRow row{point, {}};
+  // Replay phase by phase, reporting each phase's own cost-miss ratio and
+  // miss rate (deltas of the simulator's cumulative counters).
+  sim::Metrics prev;
+  std::size_t begin = 0;
+  const std::span<const trace::TraceRecord> records(b.records);
+  for (std::size_t phase = 0; phase < b.phase_end.size(); ++phase) {
+    const std::size_t end = b.phase_end[phase];
+    simulator.run(records.subspan(begin, end - begin));
+    const sim::Metrics& m = simulator.metrics();
+    sim::Metrics delta;
+    delta.requests = m.requests - prev.requests;
+    delta.cold_requests = m.cold_requests - prev.cold_requests;
+    delta.hits = m.hits - prev.hits;
+    delta.noncold_misses = m.noncold_misses - prev.noncold_misses;
+    delta.noncold_cost_total =
+        m.noncold_cost_total - prev.noncold_cost_total;
+    delta.noncold_cost_missed =
+        m.noncold_cost_missed - prev.noncold_cost_missed;
+    const std::string prefix = "phase" + std::to_string(phase) + "_";
+    row.metrics.emplace_back(prefix + "cost_miss_ratio",
+                             delta.cost_miss_ratio());
+    row.metrics.emplace_back(prefix + "miss_rate", delta.miss_rate());
+    prev = m;
+    begin = end;
+  }
+  append_sim_metrics(row, simulator.metrics());
+  // The decision-trace ledger, camp-auto rows only (exact-diffed counters —
+  // the duel is deterministic end to end).
+  if (const auto* tuned =
+          dynamic_cast<const core::SelfTuningCampCache*>(cache.get())) {
+    const core::AutoTunerCounters t = tuned->tuner().counters();
+    row.metrics.emplace_back("final_precision",
+                             static_cast<double>(tuned->precision()));
+    row.metrics.emplace_back("autotune_retunes",
+                             static_cast<double>(t.retunes));
+    row.metrics.emplace_back("autotune_windows",
+                             static_cast<double>(t.windows));
+    row.metrics.emplace_back("autotune_sampled",
+                             static_cast<double>(t.sampled));
+  }
+  return {row};
+}
+
 // ---- table1: regular vs MSY rounding at precision 4 -----------------------
 
 std::vector<FigurePointSpec> table1_points(const FigureOptions&) {
@@ -1188,6 +1303,11 @@ std::vector<FigureSpec> build_registry() {
       "fig_coop_cluster",
       "Cooperative KVS cluster: nodes x clients x replication matrix",
       fig_coop_cluster_points, fig_coop_cluster_run);
+
+  figures.emplace_back(
+      "fig_autotune",
+      "Self-tuning precision vs static settings across cost-model phases",
+      fig_autotune_points, fig_autotune_run);
 
   figures.emplace_back("table1", "Regular vs MSY rounding at precision 4",
                        table1_points, table1_run);

@@ -264,6 +264,11 @@ bool KvsEngine::contains(std::string_view key) const {
   return index_.contains(std::string(key));
 }
 
+std::uint32_t KvsEngine::cost_of(std::string_view key) const {
+  const auto it = index_.find(std::string(key));
+  return it == index_.end() ? 0 : it->second.cost;
+}
+
 void KvsEngine::for_each_item(
     const std::function<void(const ItemView&)>& fn) const {
   const std::uint64_t now = clock_.now_ns();

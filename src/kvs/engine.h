@@ -194,6 +194,11 @@ class KvsEngine {
 
   [[nodiscard]] bool contains(std::string_view key) const;
 
+  /// Stored cost of a resident pair (0 if absent; no policy side effects).
+  /// The store's auto-tune feed reads this after iqset, where the engine
+  /// derived the cost internally from the iqget miss timestamp.
+  [[nodiscard]] std::uint32_t cost_of(std::string_view key) const;
+
   /// Visit every resident pair in its stored form (see ItemView). Expired
   /// pairs are skipped (this is a const walk; lazy removal still happens on
   /// the next get). Used by the snapshot module (kvs/snapshot.h) and the
@@ -216,6 +221,17 @@ class KvsEngine {
   /// bytes, not raw payload bytes.
   [[nodiscard]] std::uint64_t policy_used_bytes() const {
     return policy_->used_bytes();
+  }
+  /// The policy's byte budget (fill fraction * shard slab memory); the
+  /// store registers this with the precision auto-tuner.
+  [[nodiscard]] std::uint64_t policy_capacity_bytes() const {
+    return policy_->capacity_bytes();
+  }
+  /// The policy's retune capability, or nullptr for non-CAMP policies.
+  /// STATS uses it to report the live (post-retune) precision; the store's
+  /// auto-tune feed uses it to apply duel migrations.
+  [[nodiscard]] policy::IRetunable* retunable_policy() noexcept {
+    return policy::as_retunable(policy_.get());
   }
   [[nodiscard]] const slab::SlabAllocator& allocator() const { return slab_; }
 

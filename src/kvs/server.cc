@@ -560,6 +560,23 @@ bool KvsServer::apply_command(const DecodedCommand& dc, std::string& out) {
       out += format_stat("compress_bails", std::to_string(s.compress_bails));
       out += format_stat("decompress_failures",
                          std::to_string(s.decompress_failures));
+      // Precision self-tuning telemetry: the live precision whenever the
+      // policy is retunable, plus the duel ledger when the tuner is on.
+      if (const auto precision = store_.policy_precision()) {
+        out += format_stat("camp_precision_current",
+                           std::to_string(*precision));
+      }
+      if (store_.autotune_enabled()) {
+        const core::AutoTunerCounters t = store_.autotune_counters();
+        out += format_stat("autotune_retunes", std::to_string(t.retunes));
+        out += format_stat("autotune_windows", std::to_string(t.windows));
+        out += format_stat("autotune_sampled", std::to_string(t.sampled));
+        const std::vector<int> candidates = store_.autotune_candidates();
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          out += format_stat("autotune_psel_" + std::to_string(candidates[i]),
+                             std::to_string(t.psel[i]));
+        }
+      }
       if (cluster_ != nullptr) {
         const ClusterCounters c = cluster_->counters();
         out += format_stat("cluster_node", std::to_string(self_node_));

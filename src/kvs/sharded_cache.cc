@@ -132,6 +132,38 @@ std::string ShardedCache::name() const {
          shard.cache->name() + ")";
 }
 
+bool ShardedCache::retune(int new_precision) {
+  bool changed = false;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mutex);
+    if (auto* tunable = policy::as_retunable(shard->cache.get())) {
+      changed = tunable->retune(new_precision) || changed;
+    }
+  }
+  return changed;
+}
+
+int ShardedCache::precision() const {
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mutex);
+    if (auto* tunable = policy::as_retunable(shard->cache.get())) {
+      return tunable->precision();
+    }
+  }
+  return 0;
+}
+
+std::uint64_t ShardedCache::retune_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mutex);
+    if (auto* tunable = policy::as_retunable(shard->cache.get())) {
+      total += tunable->retune_count();
+    }
+  }
+  return total;
+}
+
 void ShardedCache::set_eviction_listener(policy::EvictionListener listener) {
   // Each shard forwards to the shared listener. The listener runs under the
   // shard's mutex; it must not call back into the same shard.

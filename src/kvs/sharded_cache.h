@@ -20,7 +20,7 @@
 
 namespace camp::kvs {
 
-class ShardedCache final : public policy::ICache {
+class ShardedCache final : public policy::ICache, public policy::IRetunable {
  public:
   using ShardFactory =
       std::function<std::unique_ptr<policy::ICache>(std::uint64_t capacity)>;
@@ -53,6 +53,17 @@ class ShardedCache final : public policy::ICache {
   [[nodiscard]] policy::CacheStats stats_snapshot() const;
   [[nodiscard]] std::string name() const override;
   void set_eviction_listener(policy::EvictionListener listener) override;
+
+  // -- IRetunable forwarding --------------------------------------------------
+  // Opportunistic (see policy::IRetunable): each shard is retuned under its
+  // own lock iff its inner policy is itself retunable; non-tunable inners
+  // make retune() a false-returning no-op and precision() report 0.
+  bool retune(int new_precision) override;
+  /// The first tunable shard's CURRENT precision (0 when none is tunable).
+  /// Shards tuned through retune() or a shared auto-tuner always agree.
+  [[nodiscard]] int precision() const override;
+  /// Sum of the shards' retune counts.
+  [[nodiscard]] std::uint64_t retune_count() const override;
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   /// Capacity assigned to one shard (remainder-distributed split).

@@ -41,22 +41,58 @@ KvsStore::KvsStore(StoreConfig config, const PolicyFactory& policy_factory,
     shards_.push_back(std::make_unique<Shard>(
         std::make_unique<KvsEngine>(cfg, policy_factory, clock)));
   }
+  if (config.autotune.has_value()) {
+    tuner_ = std::make_shared<core::SharedAutoTuner>(*config.autotune);
+    // Register every shard's policy budget (the tuner scales its shadows to
+    // the logical total) and align the live policies with the tuner's
+    // initial precision, so "current precision" is well-defined before the
+    // first migration.
+    for (const auto& shard : shards_) {
+      util::MutexLock lock(shard->mutex);
+      tuner_->register_capacity(shard->engine->policy_capacity_bytes());
+      if (auto* tunable = shard->engine->retunable_policy()) {
+        tunable->retune(config.autotune->initial_precision);
+      }
+    }
+  }
 }
 
 KvsStore::Shard& KvsStore::shard_for(std::string_view key) const {
   return *shards_[static_cast<std::size_t>(hash_key(key) % shards_.size())];
 }
 
+void KvsStore::autotune_observe_locked(Shard& shard, std::string_view key,
+                                       std::uint64_t size,
+                                       std::uint64_t cost) {
+  tuner_->observe(hash_key(key), size, cost);
+  const std::uint64_t epoch = tuner_->epoch();
+  if (epoch == shard.tuner_epoch_seen) return;
+  shard.tuner_epoch_seen = epoch;
+  if (auto* tunable = shard.engine->retunable_policy()) {
+    tunable->retune(tuner_->current_precision());
+  }
+}
+
 GetResult KvsStore::get(std::string_view key) {
   Shard& shard = shard_for(key);
   util::MutexLock lock(shard.mutex);
-  return shard.engine->get(key);
+  GetResult result = shard.engine->get(key);
+  // Hits feed the tuner here; a miss is observed by the set() that follows
+  // it (same once-per-request rule as the policy-level wrapper).
+  if (tuner_ != nullptr && result.hit) {
+    autotune_observe_locked(shard, key, result.value.size(), result.cost);
+  }
+  return result;
 }
 
 GetResult KvsStore::iqget(std::string_view key) {
   Shard& shard = shard_for(key);
   util::MutexLock lock(shard.mutex);
-  return shard.engine->iqget(key);
+  GetResult result = shard.engine->iqget(key);
+  if (tuner_ != nullptr && result.hit) {
+    autotune_observe_locked(shard, key, result.value.size(), result.cost);
+  }
+  return result;
 }
 
 StoredGetResult KvsStore::get_stored(std::string_view key) {
@@ -70,7 +106,11 @@ bool KvsStore::set(std::string_view key, std::string_view value,
                    std::uint32_t exptime_s) {
   Shard& shard = shard_for(key);
   util::MutexLock lock(shard.mutex);
-  return shard.engine->set(key, value, flags, cost, exptime_s);
+  const bool stored = shard.engine->set(key, value, flags, cost, exptime_s);
+  if (tuner_ != nullptr && stored) {
+    autotune_observe_locked(shard, key, value.size(), cost);
+  }
+  return stored;
 }
 
 bool KvsStore::set_stored(std::string_view key, std::string_view stored,
@@ -79,15 +119,26 @@ bool KvsStore::set_stored(std::string_view key, std::string_view stored,
                           std::uint32_t exptime_s) {
   Shard& shard = shard_for(key);
   util::MutexLock lock(shard.mutex);
-  return shard.engine->set_stored(key, stored, raw_len, codec, flags, cost,
-                                  exptime_s);
+  const bool ok = shard.engine->set_stored(key, stored, raw_len, codec, flags,
+                                           cost, exptime_s);
+  if (tuner_ != nullptr && ok) {
+    autotune_observe_locked(shard, key, raw_len, cost);
+  }
+  return ok;
 }
 
 bool KvsStore::iqset(std::string_view key, std::string_view value,
                      std::uint32_t flags, std::uint32_t exptime_s) {
   Shard& shard = shard_for(key);
   util::MutexLock lock(shard.mutex);
-  return shard.engine->iqset(key, value, flags, exptime_s);
+  const bool ok = shard.engine->iqset(key, value, flags, exptime_s);
+  if (tuner_ != nullptr && ok) {
+    // The engine derived the cost internally (iqget miss timestamp delta);
+    // read it back for the shadow stream.
+    autotune_observe_locked(shard, key, value.size(),
+                            shard.engine->cost_of(key));
+  }
+  return ok;
 }
 
 bool KvsStore::del(std::string_view key) {
@@ -171,6 +222,37 @@ std::string KvsStore::policy_name() const {
   Shard& shard = *shards_.front();
   util::MutexLock lock(shard.mutex);
   return shard.engine->policy_name();
+}
+
+core::AutoTunerCounters KvsStore::autotune_counters() const {
+  if (tuner_ == nullptr) {
+    throw std::logic_error("KvsStore::autotune_counters: autotune disabled");
+  }
+  return tuner_->counters();
+}
+
+int KvsStore::autotune_precision() const {
+  if (tuner_ == nullptr) {
+    throw std::logic_error("KvsStore::autotune_precision: autotune disabled");
+  }
+  return tuner_->current_precision();
+}
+
+std::vector<int> KvsStore::autotune_candidates() const {
+  if (tuner_ == nullptr) {
+    throw std::logic_error("KvsStore::autotune_candidates: autotune disabled");
+  }
+  return tuner_->tuner_config().candidates;
+}
+
+std::optional<int> KvsStore::policy_precision() const {
+  Shard& shard = *shards_.front();
+  util::MutexLock lock(shard.mutex);
+  auto* tunable = shard.engine->retunable_policy();
+  if (tunable == nullptr) return std::nullopt;
+  const int precision = tunable->precision();
+  if (precision == 0) return std::nullopt;  // wrapper with no tunable inner
+  return precision;
 }
 
 }  // namespace camp::kvs

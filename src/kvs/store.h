@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
+#include "core/auto_tuner.h"
 #include "kvs/engine.h"
 #include "util/mutex.h"
 
@@ -18,6 +20,14 @@ namespace camp::kvs {
 struct StoreConfig {
   std::size_t shards = 4;
   EngineConfig engine;  // memory limit is split across shards
+  /// CAMP precision auto-tuning (core/auto_tuner.h). When set, the store
+  /// runs ONE SharedAutoTuner across all shards, feeds it every get/set's
+  /// (stable string-key hash, size, cost) — engine-internal policy ids
+  /// churn on re-admission, so the shadow stream must key on the string
+  /// keys — and each shard lazily retunes its policy when the duel
+  /// migrates. No-op for policies that are not retunable. Do not combine
+  /// with the "camp:p=auto" policy spec (that wrapper feeds its own tuner).
+  std::optional<core::AutoTunerConfig> autotune;
 };
 
 class KvsStore {
@@ -65,6 +75,21 @@ class KvsStore {
   [[nodiscard]] std::string policy_name() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  // -- precision auto-tuning (StoreConfig::autotune) --------------------------
+  [[nodiscard]] bool autotune_enabled() const noexcept {
+    return tuner_ != nullptr;
+  }
+  /// The duel's decision-trace ledger. Requires autotune_enabled().
+  [[nodiscard]] core::AutoTunerCounters autotune_counters() const;
+  /// The precision the duel currently favors. Requires autotune_enabled().
+  [[nodiscard]] int autotune_precision() const;
+  /// The candidate set. Requires autotune_enabled().
+  [[nodiscard]] std::vector<int> autotune_candidates() const;
+  /// The LIVE (post-retune) precision of the policy, independent of
+  /// auto-tuning: nullopt when the policy is not retunable. STATS reports
+  /// this as camp_precision_current.
+  [[nodiscard]] std::optional<int> policy_precision() const;
+
  private:
   struct Shard {
     explicit Shard(std::unique_ptr<KvsEngine> e) : engine(std::move(e)) {}
@@ -77,11 +102,23 @@ class KvsStore {
     // it is only thread-safe under the shard lock.
     std::unique_ptr<KvsEngine> engine CAMP_GUARDED_BY(mutex)
         CAMP_PT_GUARDED_BY(mutex);
+    /// SharedAutoTuner::epoch() this shard has caught up with; a mismatch
+    /// on the next access retunes this shard's policy (lazy migration —
+    /// shards never lock each other).
+    std::uint64_t tuner_epoch_seen CAMP_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view key) const;
 
+  /// Feed one access into the shared tuner and apply any pending migration
+  /// to THIS shard. Caller holds the shard lock; the tuner mutex (rank
+  /// kAutoTuner) nests inside it and is released before the retune.
+  void autotune_observe_locked(Shard& shard, std::string_view key,
+                               std::uint64_t size, std::uint64_t cost)
+      CAMP_REQUIRES(shard.mutex);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<core::SharedAutoTuner> tuner_;
 };
 
 }  // namespace camp::kvs

@@ -78,6 +78,37 @@ class ICache {
   virtual void set_eviction_listener(EvictionListener listener) = 0;
 };
 
+/// Implemented by policies whose rounding precision can be changed while
+/// resident pairs stay cached (CAMP's retune path, core/camp.h). Wrappers
+/// (ShardedCache, the self-tuning wrapper) forward opportunistically: their
+/// retune() returns false and precision() returns 0 when the underlying
+/// policy is not precision-tunable, so callers must treat precision() == 0
+/// as "not tunable", never as a real setting (real precisions are >= 1).
+class IRetunable {
+ public:
+  virtual ~IRetunable() = default;
+
+  /// Switch the live precision and rebuild the queue topology in place.
+  /// Returns true when the precision actually changed (retuning to the
+  /// current value is a no-op and does not count as a retune). Throws
+  /// std::invalid_argument for precision < 1.
+  virtual bool retune(int precision) = 0;
+
+  /// The precision the policy is CURRENTLY running at (post-retune), not
+  /// the constructed one. 0 = not tunable (forwarding wrapper over a
+  /// non-CAMP policy).
+  [[nodiscard]] virtual int precision() const = 0;
+
+  /// Lifetime count of retune() calls that changed the precision.
+  [[nodiscard]] virtual std::uint64_t retune_count() const = 0;
+};
+
+/// The retune capability of `cache`, or nullptr when the policy's precision
+/// is not runtime-tunable.
+[[nodiscard]] inline IRetunable* as_retunable(ICache* cache) noexcept {
+  return dynamic_cast<IRetunable*>(cache);
+}
+
 /// Shared bookkeeping for concrete caches.
 class CacheBase : public ICache {
  public:

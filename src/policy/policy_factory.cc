@@ -1,8 +1,10 @@
 #include "policy/policy_factory.h"
 
 #include <charconv>
+#include <optional>
 #include <stdexcept>
 
+#include "core/auto_tuner.h"
 #include "core/camp.h"
 #include "core/concurrent_camp.h"
 #include "policy/admission.h"
@@ -21,15 +23,118 @@ namespace camp::policy {
 
 namespace {
 
-int parse_int(std::string_view text, const char* what) {
+[[nodiscard]] std::invalid_argument spec_error(const std::string& spec,
+                                               const std::string& why) {
+  return std::invalid_argument("make_policy: " + why + " in spec '" + spec +
+                               "'");
+}
+
+/// Strict integer parse: empty input, non-numeric characters and trailing
+/// garbage all throw (naming the offending token), never fall back.
+int parse_int(std::string_view text, const std::string& spec,
+              const char* what) {
   int value = 0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) {
-    throw std::invalid_argument(std::string("make_policy: bad ") + what +
-                                " in spec");
+    throw spec_error(spec, std::string("bad ") + what + " '" +
+                               std::string(text) + "'");
   }
   return value;
+}
+
+int parse_precision(std::string_view text, const std::string& spec) {
+  const int p = parse_int(text, spec, "precision");
+  if (p < 1) {
+    throw spec_error(spec, "precision must be >= 1 (got '" +
+                               std::string(text) + "')");
+  }
+  return p;
+}
+
+/// Parsed ':'-separated key=value parameters of the camp family specs.
+struct CampSpecParams {
+  std::optional<int> precision;  // numeric p=
+  bool auto_precision = false;   // p=auto
+  std::optional<std::vector<int>> candidates;
+  std::optional<std::uint32_t> physical_queues;  // q=
+};
+
+CampSpecParams parse_camp_params(const std::string& spec,
+                                 std::string_view family,
+                                 std::string_view rest) {
+  CampSpecParams out;
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    const std::string_view token = rest.substr(0, colon);
+    rest = colon == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(colon + 1);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw spec_error(spec, "malformed parameter '" + std::string(token) +
+                                 "' (want key=value)");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "p") {
+      if (out.precision.has_value() || out.auto_precision) {
+        throw spec_error(spec, "duplicate parameter 'p'");
+      }
+      if (value == "auto") {
+        if (family != "camp") {
+          throw spec_error(spec, "p=auto is only supported by 'camp'");
+        }
+        out.auto_precision = true;
+      } else {
+        out.precision = parse_precision(value, spec);
+      }
+    } else if (key == "q" && family == "camp-mt") {
+      if (out.physical_queues.has_value()) {
+        throw spec_error(spec, "duplicate parameter 'q'");
+      }
+      const int q = parse_int(value, spec, "physical queue count");
+      if (q < 1) throw spec_error(spec, "physical queue count must be >= 1");
+      out.physical_queues = static_cast<std::uint32_t>(q);
+    } else if (key == "candidates" && family == "camp") {
+      if (out.candidates.has_value()) {
+        throw spec_error(spec, "duplicate parameter 'candidates'");
+      }
+      std::vector<int> list;
+      std::string_view items = value;
+      while (true) {
+        const std::size_t comma = items.find(',');
+        list.push_back(parse_precision(items.substr(0, comma), spec));
+        if (comma == std::string_view::npos) break;
+        items = items.substr(comma + 1);
+      }
+      out.candidates = std::move(list);
+    } else {
+      throw spec_error(spec, "unknown parameter '" + std::string(key) +
+                                 "' for '" + std::string(family) + "'");
+    }
+  }
+  if (out.candidates.has_value() && !out.auto_precision) {
+    throw spec_error(spec, "'candidates' requires p=auto");
+  }
+  return out;
+}
+
+/// The parameter tail after "<family>:", or empty for a bare family name.
+[[nodiscard]] std::string_view camp_param_tail(const std::string& spec,
+                                               std::string_view family) {
+  return spec.size() == family.size()
+             ? std::string_view{}
+             : std::string_view(spec).substr(family.size() + 1);
+}
+
+[[nodiscard]] core::AutoTunerConfig auto_tuner_config(
+    const CampSpecParams& params) {
+  core::AutoTunerConfig config;
+  if (params.candidates.has_value()) {
+    config.candidates = *params.candidates;
+    config.initial_precision = config.candidates.front();
+  }
+  return config;
 }
 
 }  // namespace
@@ -41,34 +146,38 @@ std::unique_ptr<ICache> make_policy(const std::string& spec,
         make_policy(spec.substr(6), capacity_bytes), AdmissionConfig{});
   }
   if (spec == "lru") return std::make_unique<LruCache>(capacity_bytes);
-  if (spec == "camp") {
-    return core::make_camp(core::CampConfig{capacity_bytes, 5, true});
-  }
-  if (spec.rfind("camp:p=", 0) == 0) {
-    const int p = parse_int(std::string_view(spec).substr(7), "precision");
-    return core::make_camp(core::CampConfig{capacity_bytes, p, true});
-  }
-  if (spec == "camp-f" || spec.rfind("camp-f:p=", 0) == 0) {
+  if (spec == "camp-f" || spec.rfind("camp-f:", 0) == 0) {
+    const CampSpecParams params =
+        parse_camp_params(spec, "camp-f", camp_param_tail(spec, "camp-f"));
     core::CampConfig config;
     config.capacity_bytes = capacity_bytes;
     config.frequency_aware = true;
-    if (spec != "camp-f") {
-      config.precision =
-          parse_int(std::string_view(spec).substr(9), "precision");
-    }
+    if (params.precision.has_value()) config.precision = *params.precision;
     return core::make_camp(config);
   }
-  if (spec == "camp-mt") {
+  if (spec == "camp-mt" || spec.rfind("camp-mt:", 0) == 0) {
+    const CampSpecParams params =
+        parse_camp_params(spec, "camp-mt", camp_param_tail(spec, "camp-mt"));
     core::ConcurrentCampConfig config;
     config.capacity_bytes = capacity_bytes;
+    if (params.precision.has_value()) config.precision = *params.precision;
+    if (params.physical_queues.has_value()) {
+      config.physical_queues = *params.physical_queues;
+    }
     return core::make_concurrent_camp(config);
   }
-  if (spec.rfind("camp-mt:q=", 0) == 0) {
-    core::ConcurrentCampConfig config;
+  if (spec == "camp" || spec.rfind("camp:", 0) == 0) {
+    const CampSpecParams params =
+        parse_camp_params(spec, "camp", camp_param_tail(spec, "camp"));
+    if (params.auto_precision) {
+      core::CampConfig config;
+      config.capacity_bytes = capacity_bytes;
+      return core::make_self_tuning_camp(config, auto_tuner_config(params));
+    }
+    core::CampConfig config;
     config.capacity_bytes = capacity_bytes;
-    config.physical_queues = static_cast<std::uint32_t>(
-        parse_int(std::string_view(spec).substr(10), "physical queues"));
-    return core::make_concurrent_camp(config);
+    if (params.precision.has_value()) config.precision = *params.precision;
+    return core::make_camp(config);
   }
   if (spec == "gds") {
     return make_gds(GdsConfig{capacity_bytes, util::kPrecisionInfinity, false});
@@ -89,7 +198,7 @@ std::unique_ptr<ICache> make_policy(const std::string& spec,
     return std::make_unique<TwoQCache>(TwoQConfig{capacity_bytes, 0.25, 0.5});
   }
   if (spec.rfind("lru-", 0) == 0) {
-    const int k = parse_int(std::string_view(spec).substr(4), "K");
+    const int k = parse_int(std::string_view(spec).substr(4), spec, "K");
     return std::make_unique<LruKCache>(capacity_bytes, k);
   }
   if (spec == "clock") return std::make_unique<ClockCache>(capacity_bytes);
@@ -107,12 +216,34 @@ std::unique_ptr<ICache> make_policy(const std::string& spec,
   throw std::invalid_argument("make_policy: unknown spec '" + spec + "'");
 }
 
+std::function<std::unique_ptr<ICache>(std::uint64_t)> make_policy_factory(
+    const std::string& spec) {
+  if (spec == "camp" || spec.rfind("camp:", 0) == 0) {
+    const CampSpecParams params =
+        parse_camp_params(spec, "camp", camp_param_tail(spec, "camp"));
+    if (params.auto_precision) {
+      core::AutoTunerConfig tuner_config = auto_tuner_config(params);
+      const int initial = tuner_config.initial_precision;
+      auto tuner =
+          std::make_shared<core::SharedAutoTuner>(std::move(tuner_config));
+      return [tuner, initial](
+                 std::uint64_t capacity) -> std::unique_ptr<ICache> {
+        core::CampConfig config;
+        config.capacity_bytes = capacity;
+        config.precision = initial;
+        return std::make_unique<core::SelfTuningCampCache>(config, tuner);
+      };
+    }
+  }
+  return [spec](std::uint64_t capacity) { return make_policy(spec, capacity); };
+}
+
 std::vector<std::string> known_policy_specs() {
-  return {"lru",         "camp",        "camp:p=1",    "camp-f",
-          "camp-mt",     "gds",         "gds:lru",     "gdsf",
-          "greedy-dual", "arc",         "2q",          "lru-2",
-          "gd-wheel",    "clock",       "sampled-lru", "sampled-gds",
-          "admit+camp"};
+  return {"lru",         "camp",        "camp:p=1",    "camp:p=auto",
+          "camp-f",      "camp-mt",     "gds",         "gds:lru",
+          "gdsf",        "greedy-dual", "arc",         "2q",
+          "lru-2",       "gd-wheel",    "clock",       "sampled-lru",
+          "sampled-gds", "admit+camp"};
 }
 
 }  // namespace camp::policy

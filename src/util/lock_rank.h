@@ -44,6 +44,14 @@ enum class LockRank : int {
   /// outer->inner acquisition order, so equal-rank nesting cannot invert.
   kPolicyShard = 300,
 
+  /// core::SharedAutoTuner::mutex_ — the shadow-cache duel state of the
+  /// precision auto-tuner. Fed under a store shard (200) or policy shard
+  /// (300) lock; never held while taking any camp-internal lock (shards
+  /// apply migrations lazily, under their own locks, after the tuner call
+  /// returned), so it slots strictly between the shard planes and the camp
+  /// plane.
+  kAutoTuner = 350,
+
   /// ConcurrentCampCache::structure_ — the readers-writer lock separating
   /// the shared hit plane from the exclusive mutation plane.
   kCampStructure = 400,

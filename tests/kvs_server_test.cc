@@ -13,6 +13,7 @@
 
 #include <atomic>
 
+#include "core/auto_tuner.h"
 #include "core/camp.h"
 #include "core/concurrent_camp.h"
 #include "kvs/client.h"
@@ -223,6 +224,44 @@ TEST(ServerLifecycle, CampPolicyEndToEnd) {
   EXPECT_TRUE(client.set("expensive", "data", 0, 10'000));
   EXPECT_TRUE(client.get("expensive").hit);
   EXPECT_EQ(client.stats().at("policy"), "camp(p=5)");
+  server.stop();
+}
+
+TEST(ServerLifecycle, StatsExposeAutotuneCounters) {
+  // Store-level precision auto-tuning surfaces its whole decision ledger
+  // through STATS: the live precision, the duel counters and one psel
+  // gauge per candidate.
+  util::SteadyClock clock;
+  ServerConfig config = server_config();
+  core::AutoTunerConfig tuning;
+  tuning.candidates = {2, 5};
+  tuning.initial_precision = 5;
+  tuning.sample_shift = 0;  // sample everything: deterministic tiny test
+  tuning.window_samples = 4;
+  tuning.psel_threshold = 1;
+  config.store.autotune = tuning;
+  KvsServer server(
+      config,
+      [](std::uint64_t cap) {
+        core::CampConfig c;
+        c.capacity_bytes = cap;
+        c.precision = 5;
+        return core::make_camp(c);
+      },
+      clock);
+  server.start();
+  KvsClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(client.set("key" + std::to_string(i), "value", 0, 7));
+  }
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.at("policy"), "camp(p=5)");  // shard 0 name (pre-catchup ok)
+  EXPECT_NE(stats.at("camp_precision_current"), "0");
+  EXPECT_EQ(stats.at("autotune_sampled"), "16");
+  EXPECT_GE(std::stoi(stats.at("autotune_windows")), 4);
+  EXPECT_TRUE(stats.contains("autotune_retunes"));
+  EXPECT_TRUE(stats.contains("autotune_psel_2"));
+  EXPECT_TRUE(stats.contains("autotune_psel_5"));
   server.stop();
 }
 

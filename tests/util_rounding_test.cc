@@ -80,6 +80,64 @@ TEST(MsyRound, Monotone) {
   }
 }
 
+// ---- precision-boundary properties (retune's candidate extremes) ------------
+
+TEST(MsyRound, PrecisionOneYieldsPowersOfTwo) {
+  // p=1 keeps only the top set bit, so every rounded value is a power of
+  // two — the coarsest candidate the auto-tuner duels with.
+  SplitMix64 rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = (rng.next() >> (i % 48)) | 1;
+    const std::uint64_t r = msy_round(x, 1);
+    EXPECT_EQ(r & (r - 1), 0u) << "x=" << x << " r=" << r;
+    EXPECT_NE(r, 0u);
+  }
+}
+
+TEST(MsyRound, KeepsExactlyTopPrecisionBits) {
+  // For values wider than p bits, rounding zeroes everything below the top
+  // p bits and changes nothing else (p=2 spelled out, then swept).
+  EXPECT_EQ(msy_round(0b111, 2), 0b110u);
+  EXPECT_EQ(msy_round(0b1011, 2), 0b1000u);
+  EXPECT_EQ(msy_round(0b110101, 2), 0b110000u);
+  SplitMix64 rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.next() | (1ull << 63);  // full width
+    for (int p : {1, 2, 5, 13}) {
+      const std::uint64_t keep_mask = ~((1ull << (64 - p)) - 1);
+      EXPECT_EQ(msy_round(x, p), x & keep_mask) << "x=" << x << " p=" << p;
+    }
+  }
+}
+
+TEST(MsyRound, AnyPrecisionAtOrAboveInfinityIsIdentity) {
+  SplitMix64 rng(29);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t x = rng.next();
+    for (int p : {kPrecisionInfinity, kPrecisionInfinity + 1, 1000}) {
+      EXPECT_EQ(msy_round(x, p), x);
+    }
+  }
+}
+
+TEST(MsyRound, MonotoneInPrecision) {
+  // For a fixed value, raising p only refines the result upward toward x:
+  // round(x, p) <= round(x, p+1) <= x. This is what makes a retune across
+  // the candidate set a pure coarsening/refinement of the queue topology.
+  SplitMix64 rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.next() >> (i % 40);
+    std::uint64_t prev = msy_round(x, 1);
+    for (int p = 2; p <= kPrecisionInfinity; ++p) {
+      const std::uint64_t cur = msy_round(x, p);
+      EXPECT_LE(prev, cur) << "x=" << x << " p=" << p;
+      EXPECT_LE(cur, x);
+      prev = cur;
+    }
+    EXPECT_EQ(prev, x) << "p=64 must recover the exact value";
+  }
+}
+
 // ---- Proposition 3: relative error bound eps = 2^(1-p) ----------------------
 
 class MsyErrorBound : public ::testing::TestWithParam<int> {};
